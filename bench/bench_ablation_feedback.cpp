@@ -1,0 +1,43 @@
+// Ablation: fixed interval vs runtime feedback control vs oracle best
+// interval (paper Sec. 5.4).  The feedback controller (Velusamy et al.
+// [31]) keeps tags awake and retunes the interval from the observed
+// induced-miss rate; it should recover a good share of the oracle's gain
+// for gated-Vss.
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  std::printf("== Ablation: adaptivity (fixed vs feedback vs oracle), "
+              "85C, L2=11, gated-vss ==\n");
+  std::printf("%-10s %12s %14s %12s\n", "benchmark", "fixed 4k",
+              "feedback", "oracle");
+  const std::vector<uint64_t> grid = harness::paper_interval_grid();
+  double sum_fixed = 0.0;
+  double sum_fb = 0.0;
+  double sum_oracle = 0.0;
+  for (const auto& prof : workload::spec2000_profiles()) {
+    harness::ExperimentConfig cfg = bench::base_config(11, 85.0);
+    cfg.technique = leakctl::TechniqueParams::gated_vss();
+    const double fixed =
+        harness::run_experiment(prof, cfg).energy.net_savings_frac;
+
+    cfg.adaptive_feedback = true;
+    const double feedback =
+        harness::run_experiment(prof, cfg).energy.net_savings_frac;
+    cfg.adaptive_feedback = false;
+
+    const double oracle = harness::best_interval_sweep(prof, cfg, grid)
+                              .best.energy.net_savings_frac;
+    std::printf("%-10s %11.2f%% %13.2f%% %11.2f%%\n", prof.name.data(),
+                fixed * 100.0, feedback * 100.0, oracle * 100.0);
+    sum_fixed += fixed;
+    sum_fb += feedback;
+    sum_oracle += oracle;
+  }
+  const double n = 11.0;
+  std::printf("%-10s %11.2f%% %13.2f%% %11.2f%%\n", "AVG",
+              sum_fixed / n * 100.0, sum_fb / n * 100.0,
+              sum_oracle / n * 100.0);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Ablation: noaccess vs simple decay policy (paper Sec. 2.3).
+//
+// The simple policy keeps no per-line history and turns everything off
+// every interval: more leakage savings, more slow hits / induced misses.
+// The paper uses noaccess for both techniques to keep the comparison fair.
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace {
+
+void run(const leakctl::TechniqueParams& tech, leakctl::DecayPolicy policy,
+         const char* label) {
+  harness::ExperimentConfig cfg = bench::base_config(11, 110.0);
+  cfg.technique = tech;
+  cfg.policy = policy;
+  const auto suite = harness::run_suite(cfg);
+  const auto avg = harness::averages(suite);
+  unsigned long long standby_events = 0;
+  for (const auto& r : suite) {
+    standby_events += r.control.slow_hits + r.control.induced_misses;
+  }
+  std::printf("%-10s %-9s savings %6.2f %%  perf loss %5.2f %%  turnoff "
+              "%5.1f %%  standby events %llu\n",
+              tech.name.data(), label, avg.net_savings * 100.0,
+              avg.perf_loss * 100.0, avg.turnoff * 100.0, standby_events);
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Ablation: decay policy (noaccess vs simple), 110C, "
+              "L2=11 ==\n");
+  run(leakctl::TechniqueParams::drowsy(), leakctl::DecayPolicy::noaccess,
+      "noaccess");
+  run(leakctl::TechniqueParams::drowsy(), leakctl::DecayPolicy::simple,
+      "simple");
+  run(leakctl::TechniqueParams::gated_vss(), leakctl::DecayPolicy::noaccess,
+      "noaccess");
+  run(leakctl::TechniqueParams::gated_vss(), leakctl::DecayPolicy::simple,
+      "simple");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Ablation: tags decayed vs tags kept awake (paper Sec. 5.3).
+//
+// Keeping the tags live removes drowsy's extra penalties (slow hits fall
+// to the 1-cycle data wake; true misses pay nothing extra) but forfeits
+// the 5-10 % of cache leakage the tags contribute.  For gated-Vss live
+// tags buy nothing on the access path — their only use is to enable
+// adaptive decay.
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace {
+
+void run(leakctl::TechniqueParams tech, bool decay_tags) {
+  tech.decay_tags = decay_tags;
+  harness::ExperimentConfig cfg = bench::base_config(11, 110.0);
+  cfg.technique = tech;
+  const auto avg = harness::averages(harness::run_suite(cfg));
+  std::printf("%-10s tags %-7s savings %6.2f %%  perf loss %5.2f %%\n",
+              tech.name.data(), decay_tags ? "decayed" : "awake",
+              avg.net_savings * 100.0, avg.perf_loss * 100.0);
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Ablation: tag decay (Sec. 5.3), 110C, L2=11 ==\n");
+  run(leakctl::TechniqueParams::drowsy(), true);
+  run(leakctl::TechniqueParams::drowsy(), false);
+  run(leakctl::TechniqueParams::gated_vss(), true);
+  run(leakctl::TechniqueParams::gated_vss(), false);
+  return 0;
+}

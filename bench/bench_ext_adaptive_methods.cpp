@@ -1,0 +1,50 @@
+// Extension: the three adaptive decay-interval methods of Sec. 5.4, head
+// to head for gated-Vss — the formal feedback controller [31], Zhou et
+// al.'s adaptive mode control [33], and Kaxiras et al.'s per-line
+// intervals [19] — against the fixed interval and the oracle.
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace {
+
+double run_scheme(const workload::BenchmarkProfile& prof,
+                  harness::ExperimentConfig cfg,
+                  harness::ExperimentConfig::AdaptiveScheme scheme) {
+  cfg.adaptive = scheme;
+  return harness::run_experiment(prof, cfg).energy.net_savings_frac;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Extension: adaptive methods (gated-Vss, 85C, L2=11) ==\n");
+  std::printf("%-10s %9s %10s %8s %10s %9s\n", "benchmark", "fixed",
+              "feedback", "AMC", "per-line", "oracle");
+  const std::vector<uint64_t> grid = harness::paper_interval_grid();
+  double sums[5] = {0, 0, 0, 0, 0};
+  using Scheme = harness::ExperimentConfig::AdaptiveScheme;
+  for (const auto& prof : workload::spec2000_profiles()) {
+    harness::ExperimentConfig cfg = bench::base_config(11, 85.0);
+    cfg.technique = leakctl::TechniqueParams::gated_vss();
+    const double fixed = run_scheme(prof, cfg, Scheme::none);
+    const double feedback = run_scheme(prof, cfg, Scheme::feedback);
+    const double amc = run_scheme(prof, cfg, Scheme::amc);
+    const double per_line = run_scheme(prof, cfg, Scheme::per_line);
+    const double oracle = harness::best_interval_sweep(prof, cfg, grid)
+                              .best.energy.net_savings_frac;
+    std::printf("%-10s %8.2f%% %9.2f%% %7.2f%% %9.2f%% %8.2f%%\n",
+                prof.name.data(), fixed * 100, feedback * 100, amc * 100,
+                per_line * 100, oracle * 100);
+    sums[0] += fixed;
+    sums[1] += feedback;
+    sums[2] += amc;
+    sums[3] += per_line;
+    sums[4] += oracle;
+  }
+  const double n = 11.0;
+  std::printf("%-10s %8.2f%% %9.2f%% %7.2f%% %9.2f%% %8.2f%%\n", "AVG",
+              sums[0] / n * 100, sums[1] / n * 100, sums[2] / n * 100,
+              sums[3] / n * 100, sums[4] / n * 100);
+  return 0;
+}

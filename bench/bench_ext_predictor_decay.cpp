@@ -1,0 +1,37 @@
+// Extension: decay applied to the branch predictor and BTB (Hu et al.,
+// paper reference [17]) — per-benchmark turnoff ratio, gross predictor
+// leakage savings, and the misprediction cost, over an interval sweep.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "leakctl/predictor_decay.h"
+
+int main() {
+  const uint64_t insts = bench::instructions();
+  hotleakage::LeakageModel model(hotleakage::TechNode::nm70);
+  model.set_operating_point(hotleakage::OperatingPoint::at_celsius(110, 0.9));
+
+  std::printf("== Extension: branch predictor + BTB decay (gated rows) ==\n");
+  std::printf("%-10s %9s | %10s %9s %12s\n", "benchmark", "interval",
+              "mispred", "turnoff", "gross save");
+  for (const auto& prof : workload::spec2000_profiles()) {
+    bool first = true;
+    for (uint64_t interval : {16384ull, 65536ull, 262144ull}) {
+      leakctl::PredictorDecayConfig cfg;
+      cfg.decay_interval = interval;
+      const auto r = leakctl::run_predictor_decay_experiment(
+          prof, cfg, model, insts, 1.5);
+      std::printf("%-10s %8lluk | %5.2f%% (%+.2f) %8.1f%% %11.1f%%\n",
+                  first ? prof.name.data() : "",
+                  static_cast<unsigned long long>(interval / 1024),
+                  r.decayed_mispredict_rate * 100.0,
+                  (r.decayed_mispredict_rate - r.plain_mispredict_rate) *
+                      100.0,
+                  r.turnoff_ratio * 100.0, r.gross_leakage_savings * 100.0);
+      first = false;
+    }
+  }
+  std::printf("(mispred column: decayed rate, with delta vs the plain "
+              "predictor in parentheses)\n");
+  return 0;
+}

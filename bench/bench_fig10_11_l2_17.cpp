@@ -1,0 +1,17 @@
+// Figures 10 and 11: net leakage savings (110 C) and performance loss at a
+// 17-cycle L2 — the regime where the state-preserving nature of drowsy
+// becomes a clear advantage.
+#include <iostream>
+
+#include "bench/common.h"
+
+int main() {
+  auto [drowsy, gated] = bench::run_both(bench::base_config(17, 110.0));
+  harness::print_savings_figure(
+      std::cout, "Figure 10: net leakage savings @110C, L2=17 cycles",
+      {drowsy, gated});
+  harness::print_perf_figure(
+      std::cout, "Figure 11: performance loss, L2=17 cycles",
+      {drowsy, gated});
+  return 0;
+}

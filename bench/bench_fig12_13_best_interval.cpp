@@ -1,0 +1,48 @@
+// Figures 12 and 13: net leakage savings (85 C, 11-cycle L2) and
+// performance loss when each benchmark runs at its own best decay interval
+// (the oracle for adaptive schemes, Sec. 5.4).  Also prints the comparison
+// with the fixed-interval run: adaptivity primarily benefits gated-Vss.
+#include <iostream>
+
+#include "bench/common.h"
+
+int main() {
+  harness::ExperimentConfig cfg = bench::base_config(11, 85.0);
+  const std::vector<uint64_t> grid = harness::paper_interval_grid();
+
+  harness::Series drowsy{"drowsy", {}};
+  harness::Series gated{"gated-vss", {}};
+  for (const auto& prof : workload::spec2000_profiles()) {
+    cfg.technique = leakctl::TechniqueParams::drowsy();
+    drowsy.results.push_back(
+        harness::best_interval_sweep(prof, cfg, grid).best);
+    cfg.technique = leakctl::TechniqueParams::gated_vss();
+    gated.results.push_back(
+        harness::best_interval_sweep(prof, cfg, grid).best);
+  }
+
+  harness::print_savings_figure(
+      std::cout,
+      "Figure 12: net leakage savings @85C, L2=11, best per-benchmark "
+      "interval",
+      {drowsy, gated});
+  harness::print_perf_figure(
+      std::cout,
+      "Figure 13: performance loss, L2=11, best per-benchmark interval",
+      {drowsy, gated});
+
+  // Sec. 5.4 comparison against the fixed default interval.
+  auto [drowsy_fixed, gated_fixed] = bench::run_both(bench::base_config(11, 85.0));
+  const auto db = harness::averages(drowsy.results);
+  const auto gb = harness::averages(gated.results);
+  const auto df = harness::averages(drowsy_fixed.results);
+  const auto gf = harness::averages(gated_fixed.results);
+  std::cout << "adaptivity benefit (avg savings, avg perf loss):\n";
+  std::cout << "  gated-vss: " << gf.net_savings * 100 << "% -> "
+            << gb.net_savings * 100 << "%,  " << gf.perf_loss * 100
+            << "% -> " << gb.perf_loss * 100 << "%\n";
+  std::cout << "  drowsy:    " << df.net_savings * 100 << "% -> "
+            << db.net_savings * 100 << "%,  " << df.perf_loss * 100
+            << "% -> " << db.perf_loss * 100 << "%\n";
+  return 0;
+}

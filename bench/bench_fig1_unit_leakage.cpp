@@ -1,0 +1,82 @@
+// Figure 1: unit-leakage model vs transistor-level reference.
+//
+// Four sweeps at 70 nm — (a) W/L, (b) Vdd, (c) temperature, (d) Vth —
+// printing the architectural model (Eq. 2), the reference device model,
+// and the relative error.  The paper reports near-perfect agreement for
+// (a)-(c) and divergence beyond the normal Vth range in (d).
+#include <cstdio>
+
+#include "hotleakage/bsim3.h"
+#include "spiceref/device.h"
+
+namespace {
+
+using hotleakage::DeviceType;
+using hotleakage::OperatingPoint;
+using hotleakage::TechNode;
+
+void row(double x, const char* unit, double model, double ref) {
+  const double err = ref > 0.0 ? (model - ref) / ref : 0.0;
+  std::printf("  %10.3f %-4s  model %.4e A  ref %.4e A  err %+6.1f %%\n", x,
+              unit, model, ref, err * 100.0);
+}
+
+} // namespace
+
+int main() {
+  const hotleakage::TechParams& tech =
+      hotleakage::tech_params(TechNode::nm70);
+
+  std::printf("== Figure 1: unit leakage, model vs transistor-level "
+              "reference (70nm) ==\n");
+
+  std::printf("(a) W/L sweep @ Vdd=0.9 V, T=300 K\n");
+  for (double wl : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const OperatingPoint op{.temperature_k = 300.0, .vdd = 0.9};
+    const double model = hotleakage::subthreshold_current(
+        tech, DeviceType::nmos, op, {.w_over_l = wl});
+    const double ref = spiceref::reference_leakage(
+        tech, DeviceType::nmos,
+        {.vgs = 0.0, .vds = 0.9, .vsb = 0.0, .temperature_k = 300.0},
+        {.w_over_l = wl});
+    row(wl, "W/L", model, ref);
+  }
+
+  std::printf("(b) Vdd sweep @ W/L=1, T=300 K\n");
+  for (double vdd : {0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1}) {
+    const OperatingPoint op{.temperature_k = 300.0, .vdd = vdd};
+    const double model =
+        hotleakage::subthreshold_current(tech, DeviceType::nmos, op);
+    const double ref = spiceref::reference_leakage(
+        tech, DeviceType::nmos,
+        {.vgs = 0.0, .vds = vdd, .vsb = 0.0, .temperature_k = 300.0});
+    row(vdd, "V", model, ref);
+  }
+
+  std::printf("(c) temperature sweep @ W/L=1, Vdd=0.9 V\n");
+  for (double t : {300.0, 320.0, 340.0, 358.15, 370.0, 383.15}) {
+    const OperatingPoint op{.temperature_k = t, .vdd = 0.9};
+    const double model =
+        hotleakage::subthreshold_current(tech, DeviceType::nmos, op);
+    const double ref = spiceref::reference_leakage(
+        tech, DeviceType::nmos,
+        {.vgs = 0.0, .vds = 0.9, .vsb = 0.0, .temperature_k = t});
+    row(t, "K", model, ref);
+  }
+
+  std::printf("(d) Vth sweep @ W/L=1, Vdd=0.9 V, T=300 K\n");
+  for (double vth : {0.10, 0.15, 0.19, 0.25, 0.30, 0.35, 0.40, 0.45}) {
+    const OperatingPoint op{.temperature_k = 300.0, .vdd = 0.9};
+    const double model = hotleakage::subthreshold_current(
+        tech, DeviceType::nmos, op, {.vth_absolute = vth});
+    const double ref = spiceref::reference_leakage(
+        tech, DeviceType::nmos,
+        {.vgs = 0.0, .vds = 0.9, .vsb = 0.0, .temperature_k = 300.0},
+        {.w_over_l = 1.0, .vth_absolute = vth});
+    row(vth, "V", model, ref);
+  }
+  std::printf("note: (d) diverges beyond the nominal Vth (0.19 V) where the "
+              "junction/gate floor the simple model omits dominates — the "
+              "paper's Fig. 1d caveat.\n");
+  return 0;
+}

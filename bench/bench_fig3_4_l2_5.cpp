@@ -1,0 +1,16 @@
+// Figures 3 and 4: net leakage savings and performance loss at 110 C with
+// a 5-cycle (fast on-chip) L2 — the regime where gated-Vss is almost
+// uniformly superior.
+#include <iostream>
+
+#include "bench/common.h"
+
+int main() {
+  auto [drowsy, gated] = bench::run_both(bench::base_config(5, 110.0));
+  harness::print_savings_figure(
+      std::cout, "Figure 3: net leakage savings @110C, L2=5 cycles",
+      {drowsy, gated});
+  harness::print_perf_figure(
+      std::cout, "Figure 4: performance loss, L2=5 cycles", {drowsy, gated});
+  return 0;
+}

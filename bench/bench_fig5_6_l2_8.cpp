@@ -1,0 +1,16 @@
+// Figures 5 and 6: net leakage savings and performance loss at 110 C with
+// an 8-cycle L2 — gated-Vss still ahead, drowsy better on a small number
+// of benchmarks.
+#include <iostream>
+
+#include "bench/common.h"
+
+int main() {
+  auto [drowsy, gated] = bench::run_both(bench::base_config(8, 110.0));
+  harness::print_savings_figure(
+      std::cout, "Figure 5: net leakage savings @110C, L2=8 cycles",
+      {drowsy, gated});
+  harness::print_perf_figure(
+      std::cout, "Figure 6: performance loss, L2=8 cycles", {drowsy, gated});
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 7: net leakage savings at 85 C with an 11-cycle L2 (compare with
+// Figure 8 at 110 C for the Sec. 5.2 temperature study).
+#include <iostream>
+
+#include "bench/common.h"
+
+int main() {
+  auto [drowsy, gated] = bench::run_both(bench::base_config(11, 85.0));
+  harness::print_savings_figure(
+      std::cout, "Figure 7: net leakage savings @85C, L2=11 cycles",
+      {drowsy, gated});
+  const harness::SuiteAverages d = harness::averages(drowsy.results);
+  const harness::SuiteAverages g = harness::averages(gated.results);
+  std::cout << "turnoff ratio (avg): drowsy "
+            << static_cast<int>(d.turnoff * 100) << " %, gated-vss "
+            << static_cast<int>(g.turnoff * 100) << " %\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figures 8 and 9: net leakage savings (110 C) and performance loss with
+// the baseline 11-cycle L2 — the "less clear" regime: gated-Vss slightly
+// better on average savings, slightly worse on average performance loss,
+// with each technique winning on about half the benchmarks.
+#include <iostream>
+
+#include "bench/common.h"
+
+int main() {
+  auto [drowsy, gated] = bench::run_both(bench::base_config(11, 110.0));
+  harness::print_savings_figure(
+      std::cout, "Figure 8: net leakage savings @110C, L2=11 cycles",
+      {drowsy, gated});
+  harness::print_perf_figure(
+      std::cout, "Figure 9: performance loss, L2=11 cycles", {drowsy, gated});
+
+  int drowsy_wins = 0;
+  for (std::size_t i = 0; i < drowsy.results.size(); ++i) {
+    if (drowsy.results[i].energy.net_savings_frac >
+        gated.results[i].energy.net_savings_frac) {
+      ++drowsy_wins;
+    }
+  }
+  std::cout << "benchmarks where drowsy wins on savings: " << drowsy_wins
+            << "/" << drowsy.results.size() << "\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Google-benchmark micro-benchmarks of the hot paths: leakage-model
+// recomputation (the cost of DVS/thermal tracking), cache access, decay
+// machinery, trace generation, and the full controlled access path.
+#include <benchmark/benchmark.h>
+
+#include "hotleakage/kdesign.h"
+#include "hotleakage/model.h"
+#include "leakctl/controlled_cache.h"
+#include "sim/processor.h"
+#include "workload/generator.h"
+
+namespace {
+
+void BM_UnitLeakage(benchmark::State& state) {
+  const auto& tech = hotleakage::tech_params(hotleakage::TechNode::nm70);
+  const hotleakage::OperatingPoint op{.temperature_k = 383.15, .vdd = 0.9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hotleakage::unit_leakage(tech, hotleakage::DeviceType::nmos, op));
+  }
+}
+BENCHMARK(BM_UnitLeakage);
+
+void BM_CellLeakageSram(benchmark::State& state) {
+  const auto& tech = hotleakage::tech_params(hotleakage::TechNode::nm70);
+  const hotleakage::Cell sram = hotleakage::cells::sram6t(tech);
+  const hotleakage::OperatingPoint op{.temperature_k = 383.15, .vdd = 0.9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hotleakage::cell_leakage(tech, sram, op));
+  }
+}
+BENCHMARK(BM_CellLeakageSram);
+
+void BM_OperatingPointChange(benchmark::State& state) {
+  // The cost HotLeakage pays every time temperature or Vdd changes —
+  // dominated by the variation Monte Carlo when enabled.
+  hotleakage::VariationConfig vcfg;
+  vcfg.enabled = state.range(0) != 0;
+  hotleakage::LeakageModel model(hotleakage::TechNode::nm70, vcfg);
+  double t = 360.0;
+  for (auto _ : state) {
+    t = t < 390.0 ? t + 0.01 : 360.0;
+    model.set_operating_point({.temperature_k = t, .vdd = 0.9});
+    benchmark::DoNotOptimize(model.variation_factor());
+  }
+}
+BENCHMARK(BM_OperatingPointChange)->Arg(0)->Arg(1);
+
+void BM_CacheAccess(benchmark::State& state) {
+  sim::Cache cache({.size_bytes = 64 * 1024, .assoc = 2, .line_bytes = 64,
+                    .hit_latency = 2});
+  uint64_t addr = 0;
+  uint64_t cycle = 0;
+  for (auto _ : state) {
+    addr = (addr + 64) & 0xFFFFF;
+    benchmark::DoNotOptimize(cache.access(addr, false, ++cycle));
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_GeneratorNext(benchmark::State& state) {
+  workload::Generator gen(workload::profile_by_name("gcc"), 1);
+  sim::MicroOp op;
+  for (auto _ : state) {
+    gen.next(op);
+    benchmark::DoNotOptimize(op);
+  }
+}
+BENCHMARK(BM_GeneratorNext);
+
+void BM_ControlledAccess(benchmark::State& state) {
+  sim::ProcessorConfig pcfg = sim::ProcessorConfig::table2(11);
+  sim::L2System l2(pcfg.l2, pcfg.memory_latency, nullptr);
+  leakctl::ControlledCacheConfig ccfg;
+  ccfg.cache = pcfg.l1d;
+  ccfg.technique = leakctl::TechniqueParams::gated_vss();
+  ccfg.decay_interval = 4096;
+  leakctl::ControlledCache cc(ccfg, l2, nullptr);
+  uint64_t addr = 0;
+  uint64_t cycle = 0;
+  for (auto _ : state) {
+    addr = (addr + 64) & 0xFFFFF;
+    cycle += 2;
+    benchmark::DoNotOptimize(cc.access(addr, false, cycle));
+  }
+}
+BENCHMARK(BM_ControlledAccess);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  // Whole-stack throughput: instructions simulated per second.
+  for (auto _ : state) {
+    sim::ProcessorConfig pcfg = sim::ProcessorConfig::table2(11);
+    sim::Processor proc(pcfg);
+    sim::BaselineDataPort dport(pcfg.l1d, proc.l2(), nullptr);
+    workload::Generator gen(workload::profile_by_name("gzip"), 1);
+    benchmark::DoNotOptimize(proc.run(gen, dport, 50'000));
+  }
+  state.SetItemsProcessed(state.iterations() * 50'000);
+}
+BENCHMARK(BM_EndToEndSimulation);
+
+} // namespace
+
+BENCHMARK_MAIN();

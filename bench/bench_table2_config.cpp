@@ -1,0 +1,55 @@
+// Table 2: simulated processor configuration, echoed from the live config
+// structures plus a baseline sanity run of every benchmark (IPC, miss
+// rates, branch misprediction) on that machine.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "sim/processor.h"
+#include "workload/generator.h"
+
+int main() {
+  const sim::ProcessorConfig cfg = sim::ProcessorConfig::table2(11);
+  std::printf("== Table 2: simulated processor microarchitecture ==\n");
+  std::printf("Instruction window   %u-RUU, %u-LSQ\n", cfg.core.ruu_size,
+              cfg.core.lsq_size);
+  std::printf("Issue width          %u instructions per cycle\n",
+              cfg.core.issue_width);
+  std::printf("Functional units     %u IntALU, %u IntMult/Div, %u FPALU, "
+              "%u FPMult/Div, %u mem ports\n",
+              cfg.core.int_alu, cfg.core.int_multdiv, cfg.core.fp_alu,
+              cfg.core.fp_multdiv, cfg.core.mem_ports);
+  std::printf("L1 D-cache           %zu KB, %zu-way LRU, %zu B blocks, "
+              "%u-cycle latency\n",
+              cfg.l1d.size_bytes / 1024, cfg.l1d.assoc, cfg.l1d.line_bytes,
+              cfg.l1d.hit_latency);
+  std::printf("L1 I-cache           %zu KB, %zu-way LRU, %zu B blocks, "
+              "%u-cycle latency\n",
+              cfg.l1i.size_bytes / 1024, cfg.l1i.assoc, cfg.l1i.line_bytes,
+              cfg.l1i.hit_latency);
+  std::printf("L2                   unified, %zu MB, %zu-way LRU, %zu B "
+              "blocks, %u-cycle latency\n",
+              cfg.l2.size_bytes / (1024 * 1024), cfg.l2.assoc,
+              cfg.l2.line_bytes, cfg.l2.hit_latency);
+  std::printf("Memory               %u cycles\n", cfg.memory_latency);
+  std::printf("Branch predictor     hybrid: 4K bimod + 4K/12-bit GAg + 4K "
+              "chooser; 1K-entry 2-way BTB\n");
+  std::printf("Technology           70 nm, %.1f V, %.0f MHz\n\n", 0.9,
+              cfg.clock_hz / 1e6);
+
+  const uint64_t insts = bench::instructions();
+  std::printf("baseline sanity run (%llu instructions/benchmark):\n",
+              static_cast<unsigned long long>(insts));
+  std::printf("%-10s %6s %10s %10s %10s\n", "benchmark", "IPC", "L1D miss",
+              "L1I miss", "br mispred");
+  for (const auto& prof : workload::spec2000_profiles()) {
+    sim::Processor proc(cfg);
+    sim::BaselineDataPort dport(cfg.l1d, proc.l2(), &proc.activity());
+    workload::Generator gen(prof, 1);
+    const sim::RunStats st = proc.run(gen, dport, insts);
+    std::printf("%-10s %6.2f %9.2f%% %9.2f%% %9.2f%%\n", prof.name.data(),
+                st.ipc(), dport.cache().stats().miss_rate() * 100.0,
+                proc.iport().cache().stats().miss_rate() * 100.0,
+                st.branch.mispredict_rate() * 100.0);
+  }
+  return 0;
+}

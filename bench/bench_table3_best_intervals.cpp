@@ -1,0 +1,39 @@
+// Table 3: best decay interval per benchmark for drowsy and gated-Vss
+// (85 C, 11-cycle L2).  The paper's qualitative properties: gated-Vss's
+// best intervals are longer and spread much more widely than drowsy's.
+#include <iostream>
+
+#include "bench/common.h"
+
+int main() {
+  harness::ExperimentConfig cfg = bench::base_config(11, 85.0);
+  const std::vector<uint64_t> grid = harness::paper_interval_grid();
+
+  std::vector<harness::BestIntervalRow> rows;
+  for (const auto& prof : workload::spec2000_profiles()) {
+    harness::BestIntervalRow row;
+    row.benchmark = std::string(prof.name);
+    cfg.technique = leakctl::TechniqueParams::drowsy();
+    row.drowsy_interval =
+        harness::best_interval_sweep(prof, cfg, grid).best_interval;
+    cfg.technique = leakctl::TechniqueParams::gated_vss();
+    row.gated_interval =
+        harness::best_interval_sweep(prof, cfg, grid).best_interval;
+    rows.push_back(row);
+  }
+  harness::print_best_interval_table(std::cout, "Table 3: best decay intervals",
+                                     rows);
+
+  uint64_t dmin = ~0ull, dmax = 0, gmin = ~0ull, gmax = 0;
+  for (const auto& r : rows) {
+    dmin = std::min(dmin, r.drowsy_interval);
+    dmax = std::max(dmax, r.drowsy_interval);
+    gmin = std::min(gmin, r.gated_interval);
+    gmax = std::max(gmax, r.gated_interval);
+  }
+  std::cout << "spread: drowsy " << harness::format_interval(dmin) << ".."
+            << harness::format_interval(dmax) << ", gated-vss "
+            << harness::format_interval(gmin) << ".."
+            << harness::format_interval(gmax) << "\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared plumbing for the figure/table regeneration binaries.
+//
+// Each bench binary regenerates one table or figure from the paper.  The
+// default run length keeps the whole `for b in build/bench/*` sweep under a
+// few minutes; set HLCC_INSTRUCTIONS to raise fidelity (the paper simulated
+// 500 M committed instructions per benchmark).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+namespace bench {
+
+/// Instructions per run: HLCC_INSTRUCTIONS env var or the default.
+inline uint64_t instructions(uint64_t fallback = 600'000) {
+  if (const char* env = std::getenv("HLCC_INSTRUCTIONS")) {
+    const unsigned long long v = std::strtoull(env, nullptr, 10);
+    if (v > 0) {
+      return v;
+    }
+  }
+  return fallback;
+}
+
+/// Baseline experiment config shared by the figure benches.
+inline harness::ExperimentConfig base_config(unsigned l2_latency,
+                                             double temperature_c) {
+  harness::ExperimentConfig cfg;
+  cfg.l2_latency = l2_latency;
+  cfg.temperature_c = temperature_c;
+  cfg.instructions = instructions();
+  return cfg;
+}
+
+/// Run drowsy + gated suites for one configuration.
+inline std::pair<harness::Series, harness::Series>
+run_both(harness::ExperimentConfig cfg) {
+  cfg.technique = leakctl::TechniqueParams::drowsy();
+  harness::Series drowsy{"drowsy", harness::run_suite(cfg)};
+  cfg.technique = leakctl::TechniqueParams::gated_vss();
+  harness::Series gated{"gated-vss", harness::run_suite(cfg)};
+  return {std::move(drowsy), std::move(gated)};
+}
+
+} // namespace bench

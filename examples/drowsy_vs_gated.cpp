@@ -1,0 +1,57 @@
+// The paper's headline experiment on one benchmark: drowsy vs gated-Vss
+// on the L1 D-cache, swept over L2 latency.
+//
+// Usage: ./examples/drowsy_vs_gated [benchmark] [instructions]
+//   benchmark    one of gcc gzip parser vortex gap perl twolf bzip2 vpr
+//                mcf crafty          (default: gcc)
+//   instructions committed instructions to simulate (default: 500000)
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+int main(int argc, char** argv) {
+  const char* bench = argc > 1 ? argv[1] : "gcc";
+  const uint64_t insts =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 500'000;
+
+  const workload::BenchmarkProfile* profile = nullptr;
+  try {
+    profile = &workload::profile_by_name(bench);
+  } catch (const std::out_of_range&) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", bench);
+    return 1;
+  }
+
+  std::printf("drowsy vs gated-Vss on %s (%llu instructions, 110 C, "
+              "noaccess decay @4k cycles)\n\n",
+              bench, static_cast<unsigned long long>(insts));
+  std::printf("%-8s %18s %18s\n", "L2 lat", "drowsy", "gated-vss");
+  std::printf("%-8s %9s %8s %9s %8s\n", "", "savings", "loss", "savings",
+              "loss");
+  for (unsigned l2 : {5u, 8u, 11u, 17u}) {
+    harness::ExperimentConfig cfg;
+    cfg.l2_latency = l2;
+    cfg.instructions = insts;
+    cfg.technique = leakctl::TechniqueParams::drowsy();
+    const auto d = harness::run_experiment(*profile, cfg);
+    cfg.technique = leakctl::TechniqueParams::gated_vss();
+    const auto g = harness::run_experiment(*profile, cfg);
+    std::printf("%-8u %8.2f%% %7.2f%% %8.2f%% %7.2f%%\n", l2,
+                d.energy.net_savings_frac * 100.0,
+                d.energy.perf_loss_frac * 100.0,
+                g.energy.net_savings_frac * 100.0,
+                g.energy.perf_loss_frac * 100.0);
+  }
+
+  // Full detail at the baseline latency.
+  harness::ExperimentConfig cfg;
+  cfg.instructions = insts;
+  cfg.technique = leakctl::TechniqueParams::gated_vss();
+  std::printf("\ndetail at L2=11 (gated-vss):\n");
+  harness::print_result_detail(std::cout,
+                               harness::run_experiment(*profile, cfg));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// HotLeakage's signature capability: recomputing leakage as temperature
+// and voltage change at runtime (the Butts-Sohi fixed-unit-leakage model
+// cannot do this).
+//
+// This example simulates a simple thermal + DVS scenario: the core heats
+// up under load, a thermal manager throttles voltage when a trigger
+// temperature is crossed, and the leakage of the L1 D-cache is re-evaluated
+// every millisecond — a miniature of the DTM studies the paper cites.
+#include <cstdio>
+
+#include "hotleakage/model.h"
+
+namespace {
+
+/// First-order thermal RC: dT/dt = (P_total * Rth - (T - T_amb)) / tau.
+struct ThermalRc {
+  double t_celsius = 45.0;
+  double t_ambient = 45.0;
+  double rth = 2.2;   ///< K/W (package)
+  double tau = 0.010; ///< s
+
+  void step(double power_w, double dt) {
+    const double t_target = t_ambient + power_w * rth;
+    t_celsius += (t_target - t_celsius) * (dt / tau);
+  }
+};
+
+} // namespace
+
+int main() {
+  using namespace hotleakage;
+  const CacheGeometry l1d{.lines = 1024, .line_bytes = 64, .tag_bits = 28,
+                          .assoc = 2};
+  LeakageModel model(TechNode::nm70);
+
+  ThermalRc thermal;
+  double vdd = 0.9;
+  const double trigger_c = 100.0; // DTM trigger
+  const double release_c = 90.0;
+  // Core dynamic power: quadratic in Vdd, plus phase behaviour (a hot loop
+  // between 10 and 35 ms).
+  std::printf("%6s %8s %7s %9s %11s %9s\n", "t[ms]", "T[C]", "Vdd",
+              "Pdyn[W]", "Pleak[mW]", "DTM");
+  for (int ms = 0; ms <= 50; ++ms) {
+    const bool hot_phase = ms >= 10 && ms < 35;
+    const double p_dyn = (hot_phase ? 32.0 : 14.0) * (vdd / 0.9) * (vdd / 0.9);
+
+    model.set_operating_point(
+        OperatingPoint::at_celsius(thermal.t_celsius, vdd));
+    const double p_leak = model.structure_power(l1d);
+
+    // Thermal manager: throttle on trigger, restore on release.
+    const char* action = "-";
+    if (thermal.t_celsius > trigger_c && vdd > 0.7) {
+      vdd = 0.7;
+      action = "throttle";
+    } else if (thermal.t_celsius < release_c && vdd < 0.9) {
+      vdd = 0.9;
+      action = "restore";
+    }
+
+    if (ms % 2 == 0) {
+      std::printf("%6d %8.1f %7.2f %9.1f %11.1f %9s\n", ms,
+                  thermal.t_celsius, vdd, p_dyn, p_leak * 1e3, action);
+    }
+    // The chip-level power driving the RC includes a chip-wide leakage
+    // share, approximated as 30x the L1's (caches dominate area).
+    thermal.step(p_dyn + 30.0 * p_leak, 0.001);
+  }
+
+  std::printf("\nNote how leakage tracks the temperature exponentially and "
+              "collapses under the DVS throttle: exactly the coupling "
+              "HotLeakage was built to expose.\n");
+  return 0;
+}

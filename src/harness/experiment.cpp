@@ -1,0 +1,177 @@
+#include "harness/experiment.h"
+
+#include <map>
+#include <tuple>
+
+#include "workload/generator.h"
+
+namespace harness {
+namespace {
+
+struct BaselineKey {
+  std::string benchmark;
+  unsigned l2_latency;
+  uint64_t instructions;
+  uint64_t seed;
+  auto operator<=>(const BaselineKey&) const = default;
+};
+
+struct BaselineRecord {
+  sim::RunStats run;
+  wattch::Activity activity;
+  double l1d_miss_rate = 0.0;
+};
+
+std::map<BaselineKey, BaselineRecord>& baseline_cache() {
+  static std::map<BaselineKey, BaselineRecord> cache;
+  return cache;
+}
+
+const BaselineRecord& baseline_for(const workload::BenchmarkProfile& profile,
+                                   const ExperimentConfig& cfg) {
+  const BaselineKey key{std::string(profile.name), cfg.l2_latency,
+                        cfg.instructions, cfg.seed};
+  auto it = baseline_cache().find(key);
+  if (it != baseline_cache().end()) {
+    return it->second;
+  }
+  const sim::ProcessorConfig pcfg = sim::ProcessorConfig::table2(cfg.l2_latency);
+  sim::Processor proc(pcfg);
+  sim::BaselineDataPort dport(pcfg.l1d, proc.l2(), &proc.activity());
+  workload::Generator gen(profile, cfg.seed);
+  BaselineRecord rec;
+  rec.run = proc.run(gen, dport, cfg.instructions);
+  rec.activity = proc.activity();
+  rec.l1d_miss_rate = dport.cache().stats().miss_rate();
+  return baseline_cache().emplace(key, std::move(rec)).first->second;
+}
+
+} // namespace
+
+void clear_baseline_cache() { baseline_cache().clear(); }
+
+ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
+                                const ExperimentConfig& cfg) {
+  ExperimentResult result;
+  result.benchmark = std::string(profile.name);
+  result.config = cfg;
+
+  const BaselineRecord& base = baseline_for(profile, cfg);
+  result.base_run = base.run;
+  result.base_l1d_miss_rate = base.l1d_miss_rate;
+
+  // Technique run: identical machine + instruction stream, controlled L1D.
+  const sim::ProcessorConfig pcfg = sim::ProcessorConfig::table2(cfg.l2_latency);
+  sim::Processor proc(pcfg);
+  leakctl::ControlledCacheConfig ccfg;
+  ccfg.cache = pcfg.l1d;
+  ccfg.technique = cfg.technique;
+  ccfg.policy = cfg.policy;
+  ccfg.decay_interval = cfg.decay_interval;
+  ExperimentConfig::AdaptiveScheme scheme = cfg.adaptive;
+  if (cfg.adaptive_feedback &&
+      scheme == ExperimentConfig::AdaptiveScheme::none) {
+    scheme = ExperimentConfig::AdaptiveScheme::feedback;
+  }
+  if (scheme != ExperimentConfig::AdaptiveScheme::none) {
+    // All adaptive schemes observe induced misses through the tags, which
+    // must therefore stay awake (paper Sec. 5.4).
+    ccfg.technique.decay_tags = false;
+  }
+  leakctl::ControlledCache dport(ccfg, proc.l2(), &proc.activity());
+  leakctl::FeedbackController feedback_ctl(cfg.feedback);
+  leakctl::AdaptiveModeControl amc_ctl(cfg.amc);
+  leakctl::PerLineAdaptiveController per_line_ctl(cfg.per_line);
+  switch (scheme) {
+  case ExperimentConfig::AdaptiveScheme::feedback:
+    feedback_ctl.attach(dport);
+    break;
+  case ExperimentConfig::AdaptiveScheme::amc:
+    amc_ctl.attach(dport);
+    break;
+  case ExperimentConfig::AdaptiveScheme::per_line:
+    per_line_ctl.attach(dport);
+    break;
+  case ExperimentConfig::AdaptiveScheme::none:
+    break;
+  }
+  workload::Generator gen(profile, cfg.seed);
+  result.tech_run = proc.run(gen, dport, cfg.instructions);
+  dport.finalize(result.tech_run.cycles);
+  result.control = dport.stats();
+
+  // Energy accounting at the experiment's operating point.
+  hotleakage::VariationConfig vcfg;
+  vcfg.enabled = cfg.variation;
+  hotleakage::LeakageModel model(hotleakage::TechNode::nm70, vcfg);
+  const double vdd = cfg.vdd > 0.0 ? cfg.vdd : model.tech().vdd_nominal;
+  model.set_operating_point(
+      hotleakage::OperatingPoint::at_celsius(cfg.temperature_c, vdd));
+  const hotleakage::CacheGeometry geom = leakctl::geometry_of(pcfg.l1d);
+  const hotleakage::CacheGeometry l2geom = leakctl::geometry_of(pcfg.l2);
+  const wattch::PowerParams power =
+      wattch::PowerParams::for_config_at(model.tech(), geom, l2geom, vdd);
+
+  leakctl::RunPair runs;
+  runs.base_run = base.run;
+  runs.base_activity = base.activity;
+  runs.tech_run = result.tech_run;
+  runs.tech_activity = proc.activity();
+  runs.control = result.control;
+  // DVS: the clock follows the supply near-linearly; cycle counts are
+  // voltage-independent, so only the seconds-per-cycle change.
+  const double clock_hz = pcfg.clock_hz * (vdd / model.tech().vdd_nominal);
+  result.energy = leakctl::compute_energy(model, geom, power, ccfg.technique,
+                                          runs, clock_hz);
+  return result;
+}
+
+std::vector<ExperimentResult> run_suite(const ExperimentConfig& cfg) {
+  std::vector<ExperimentResult> results;
+  results.reserve(workload::spec2000_profiles().size());
+  for (const workload::BenchmarkProfile& p : workload::spec2000_profiles()) {
+    results.push_back(run_experiment(p, cfg));
+  }
+  return results;
+}
+
+IntervalSweepResult best_interval_sweep(
+    const workload::BenchmarkProfile& profile, ExperimentConfig cfg,
+    const std::vector<uint64_t>& intervals) {
+  IntervalSweepResult out;
+  bool first = true;
+  for (const uint64_t interval : intervals) {
+    cfg.decay_interval = interval;
+    ExperimentResult r = run_experiment(profile, cfg);
+    if (first || r.energy.net_savings_frac > out.best.energy.net_savings_frac) {
+      out.best = r;
+      out.best_interval = interval;
+      first = false;
+    }
+    out.sweep.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<uint64_t> paper_interval_grid() {
+  return {1024, 2048, 4096, 8192, 16384, 32768, 65536};
+}
+
+SuiteAverages averages(const std::vector<ExperimentResult>& results) {
+  SuiteAverages avg;
+  if (results.empty()) {
+    return avg;
+  }
+  for (const ExperimentResult& r : results) {
+    avg.net_savings += r.energy.net_savings_frac;
+    avg.perf_loss += r.energy.perf_loss_frac;
+    avg.turnoff += r.energy.turnoff_ratio;
+  }
+  const double n = static_cast<double>(results.size());
+  avg.net_savings /= n;
+  avg.perf_loss /= n;
+  avg.turnoff /= n;
+  return avg;
+}
+
+} // namespace harness

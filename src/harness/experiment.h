@@ -1,0 +1,93 @@
+// Experiment driver: one call = one (benchmark x technique x interval x
+// L2-latency x temperature) cell of the paper's evaluation.
+//
+// Every technique run is paired with a baseline run (no leakage control) of
+// the *same* instruction stream on the *same* machine configuration; the
+// baseline is memoized because it does not depend on the technique,
+// interval, or temperature.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "leakctl/adaptive.h"
+#include "leakctl/adaptive_modes.h"
+#include "leakctl/energy.h"
+#include "sim/processor.h"
+#include "workload/profile.h"
+
+namespace harness {
+
+struct ExperimentConfig {
+  unsigned l2_latency = 11;       ///< paper sweep: 5 / 8 / 11 / 17
+  double temperature_c = 110.0;   ///< paper: 85 or 110
+  /// Supply voltage; < 0 uses the node nominal (0.9 V at 70 nm).  DVS
+  /// studies lower it; the clock scales near-linearly with Vdd.
+  double vdd = -1.0;
+  leakctl::TechniqueParams technique = leakctl::TechniqueParams::drowsy();
+  leakctl::DecayPolicy policy = leakctl::DecayPolicy::noaccess;
+  uint64_t decay_interval = 4096; ///< cycles
+  uint64_t instructions = 2'000'000;
+  uint64_t seed = 1;
+  bool variation = true;          ///< inter-die Monte Carlo on
+  /// Runtime feedback control of the interval (implies awake tags).
+  /// Equivalent to adaptive = AdaptiveScheme::feedback.
+  bool adaptive_feedback = false;
+  leakctl::FeedbackConfig feedback;
+
+  /// Which runtime adaptive scheme to run, if any (all imply awake tags):
+  /// the formal feedback controller [31], Zhou et al.'s adaptive mode
+  /// control [33], or Kaxiras et al.'s per-line intervals [19] — the three
+  /// methods the paper lists in Sec. 5.4.
+  enum class AdaptiveScheme { none, feedback, amc, per_line };
+  AdaptiveScheme adaptive = AdaptiveScheme::none;
+  leakctl::AmcConfig amc;
+  leakctl::PerLineAdaptiveConfig per_line;
+};
+
+struct ExperimentResult {
+  std::string benchmark;
+  ExperimentConfig config;
+  leakctl::EnergyBreakdown energy;
+  sim::RunStats base_run;
+  sim::RunStats tech_run;
+  leakctl::ControlStats control;
+  double base_l1d_miss_rate = 0.0;
+};
+
+/// Run one cell.
+ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
+                                const ExperimentConfig& cfg);
+
+/// Run the full 11-benchmark suite for one configuration.
+std::vector<ExperimentResult> run_suite(const ExperimentConfig& cfg);
+
+/// Sweep decay intervals for one benchmark and return the interval with
+/// the highest net savings (the Figs. 12-13 / Table 3 oracle), along with
+/// the result at that interval and the whole sweep.
+struct IntervalSweepResult {
+  uint64_t best_interval = 0;
+  ExperimentResult best;
+  std::vector<ExperimentResult> sweep; ///< one entry per interval
+};
+IntervalSweepResult best_interval_sweep(
+    const workload::BenchmarkProfile& profile, ExperimentConfig cfg,
+    const std::vector<uint64_t>& intervals);
+
+/// The paper's interval grid {1k, 2k, ..., 64k}.
+std::vector<uint64_t> paper_interval_grid();
+
+/// Average of net savings / perf loss over a suite (the figures' AVG bar).
+struct SuiteAverages {
+  double net_savings = 0.0;
+  double perf_loss = 0.0;
+  double turnoff = 0.0;
+};
+SuiteAverages averages(const std::vector<ExperimentResult>& results);
+
+/// Clear the memoized baselines (tests use this to bound memory).
+void clear_baseline_cache();
+
+} // namespace harness

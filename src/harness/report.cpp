@@ -1,0 +1,86 @@
+#include "harness/report.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace harness {
+namespace {
+
+void print_metric_figure(std::ostream& os, const std::string& title,
+                         const std::vector<Series>& series, bool savings) {
+  os << "== " << title << " ==\n";
+  os << std::left << std::setw(10) << "benchmark";
+  for (const Series& s : series) {
+    os << std::right << std::setw(12) << s.label;
+  }
+  os << '\n';
+  const std::size_t n = series.empty() ? 0 : series.front().results.size();
+  os << std::fixed << std::setprecision(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    os << std::left << std::setw(10) << series.front().results[i].benchmark;
+    for (const Series& s : series) {
+      const double v = savings ? s.results[i].energy.net_savings_frac
+                               : s.results[i].energy.perf_loss_frac;
+      os << std::right << std::setw(11) << v * 100.0 << '%';
+    }
+    os << '\n';
+  }
+  os << std::left << std::setw(10) << "AVG";
+  for (const Series& s : series) {
+    const SuiteAverages avg = averages(s.results);
+    const double v = savings ? avg.net_savings : avg.perf_loss;
+    os << std::right << std::setw(11) << v * 100.0 << '%';
+  }
+  os << "\n\n";
+}
+
+} // namespace
+
+void print_savings_figure(std::ostream& os, const std::string& title,
+                          const std::vector<Series>& series) {
+  print_metric_figure(os, title, series, /*savings=*/true);
+}
+
+void print_perf_figure(std::ostream& os, const std::string& title,
+                       const std::vector<Series>& series) {
+  print_metric_figure(os, title, series, /*savings=*/false);
+}
+
+void print_best_interval_table(std::ostream& os, const std::string& title,
+                               const std::vector<BestIntervalRow>& rows) {
+  os << "== " << title << " ==\n";
+  os << std::left << std::setw(10) << "benchmark" << std::right
+     << std::setw(10) << "drowsy" << std::setw(12) << "gated-vss" << '\n';
+  for (const BestIntervalRow& row : rows) {
+    os << std::left << std::setw(10) << row.benchmark << std::right
+       << std::setw(10) << format_interval(row.drowsy_interval)
+       << std::setw(12) << format_interval(row.gated_interval) << '\n';
+  }
+  os << '\n';
+}
+
+void print_result_detail(std::ostream& os, const ExperimentResult& r) {
+  os << std::fixed << std::setprecision(3);
+  os << r.benchmark << " [" << r.config.technique.name
+     << ", interval=" << format_interval(r.config.decay_interval)
+     << ", L2=" << r.config.l2_latency << "cyc, T=" << r.config.temperature_c
+     << "C]\n"
+     << "  net savings     " << r.energy.net_savings_frac * 100.0 << " %\n"
+     << "  perf loss       " << r.energy.perf_loss_frac * 100.0 << " %\n"
+     << "  turnoff ratio   " << r.energy.turnoff_ratio * 100.0 << " %\n"
+     << "  baseline leak   " << r.energy.baseline_leakage_j * 1e3 << " mJ\n"
+     << "  technique leak  " << r.energy.technique_leakage_j * 1e3 << " mJ\n"
+     << "  extra dynamic   " << r.energy.extra_dynamic_j * 1e3 << " mJ\n"
+     << "  hits/slow/ind/true  " << r.control.hits << "/" << r.control.slow_hits
+     << "/" << r.control.induced_misses << "/" << r.control.true_misses
+     << "\n";
+}
+
+std::string format_interval(uint64_t cycles) {
+  if (cycles % 1024 == 0) {
+    return std::to_string(cycles / 1024) + "k";
+  }
+  return std::to_string(cycles);
+}
+
+} // namespace harness

@@ -1,0 +1,42 @@
+// Figure/table renderers: print the paper's rows and series as aligned
+// text so each bench binary regenerates one table or figure.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace harness {
+
+/// One labelled series (e.g. "drowsy", "gated-vss") over the benchmarks.
+struct Series {
+  std::string label;
+  std::vector<ExperimentResult> results; ///< same benchmark order
+};
+
+/// Figure 3/5/7/8/10/12-style: net leakage savings per benchmark + AVG.
+void print_savings_figure(std::ostream& os, const std::string& title,
+                          const std::vector<Series>& series);
+
+/// Figure 4/6/9/11/13-style: performance loss per benchmark + AVG.
+void print_perf_figure(std::ostream& os, const std::string& title,
+                       const std::vector<Series>& series);
+
+/// Table 3-style: best decay interval per benchmark per technique.
+struct BestIntervalRow {
+  std::string benchmark;
+  uint64_t drowsy_interval = 0;
+  uint64_t gated_interval = 0;
+};
+void print_best_interval_table(std::ostream& os, const std::string& title,
+                               const std::vector<BestIntervalRow>& rows);
+
+/// Free-form detail dump of one result (debugging / examples).
+void print_result_detail(std::ostream& os, const ExperimentResult& r);
+
+/// Format an interval as the paper does ("1k", "64k").
+std::string format_interval(uint64_t cycles);
+
+} // namespace harness

@@ -1,0 +1,54 @@
+#include "hotleakage/bsim3.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hotleakage {
+namespace {
+
+const DeviceParams& device(const TechParams& tech, DeviceType type) {
+  return type == DeviceType::nmos ? tech.nmos : tech.pmos;
+}
+
+} // namespace
+
+double effective_vth(const TechParams& tech, DeviceType type,
+                     const OperatingPoint& op, const DeviceOverrides& ovr) {
+  if (ovr.vth_absolute >= 0.0) {
+    return ovr.vth_absolute;
+  }
+  const double vth_t = vth_at_temperature(device(tech, type), op.temperature_k);
+  // RBB-style manipulation raises |Vth|; never allow it to go negative.
+  return std::max(vth_t + ovr.vth_delta, 0.0);
+}
+
+double subthreshold_current(const TechParams& tech, DeviceType type,
+                            const OperatingPoint& op,
+                            const DeviceOverrides& ovr) {
+  if (op.temperature_k <= 0.0) {
+    throw std::invalid_argument("subthreshold_current: temperature must be > 0 K");
+  }
+  if (op.vdd < 0.0) {
+    throw std::invalid_argument("subthreshold_current: Vdd must be >= 0 V");
+  }
+  if (ovr.w_over_l <= 0.0) {
+    throw std::invalid_argument("subthreshold_current: W/L must be > 0");
+  }
+  const DeviceParams& dev = device(tech, type);
+  const double vt = thermal_voltage(op.temperature_k);
+  const double vth = effective_vth(tech, type, op, ovr);
+  const double cox = oxide_capacitance(tech);
+
+  const double prefactor = dev.mu0 * cox * ovr.w_over_l * vt * vt;
+  const double dibl = std::exp(dev.dibl_b * (op.vdd - tech.vdd0));
+  const double drain_term = 1.0 - std::exp(-op.vdd / vt);
+  const double gate_term = std::exp((-vth - dev.v_off) / (dev.n_swing * vt));
+  return prefactor * dibl * drain_term * gate_term;
+}
+
+double unit_leakage(const TechParams& tech, DeviceType type,
+                    const OperatingPoint& op) {
+  return subthreshold_current(tech, type, op, DeviceOverrides{});
+}
+
+} // namespace hotleakage

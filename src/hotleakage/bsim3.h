@@ -1,0 +1,55 @@
+// BSIM3-derived subthreshold leakage model (paper Eq. 2).
+//
+//   I_leak = mu0 * Cox * (W/L) * exp(b * (Vdd - Vdd0)) * vt^2
+//            * (1 - exp(-Vdd / vt)) * exp((-|Vth| - Voff) / (n * vt))
+//
+// Assumptions (paper Sec. 3.1.1):
+//   1. Vgs = 0  — the transistor is off;
+//   2. Vds = Vdd — single transistor; stack effects are handled by the
+//      k_design factors at the cell level (kdesign.h).
+//
+// Vdd, temperature, and Vth are runtime inputs so that DVS and thermal
+// feedback can recompute leakage on the fly; everything else comes from the
+// technology tables.
+#pragma once
+
+#include "hotleakage/tech.h"
+
+namespace hotleakage {
+
+/// Runtime electrical operating point for a leakage evaluation.
+struct OperatingPoint {
+  double temperature_k = 383.15; ///< paper default: 110 C
+  double vdd = 0.9;              ///< supply voltage [V]
+
+  /// Convenience constructors for the paper's two study temperatures.
+  static OperatingPoint at_celsius(double celsius, double vdd) {
+    return {.temperature_k = celsius + 273.15, .vdd = vdd};
+  }
+};
+
+/// Optional per-evaluation overrides (used for what-if sweeps like Fig. 1d
+/// and for techniques that manipulate Vth, e.g. RBB).
+struct DeviceOverrides {
+  double w_over_l = 1.0;   ///< aspect ratio; 1.0 yields the paper's "unit leakage"
+  double vth_delta = 0.0;  ///< additive shift applied to |Vth| [V]
+  double vth_absolute = -1.0; ///< if >= 0, overrides |Vth| entirely [V]
+};
+
+/// Subthreshold leakage current [A] of a single off transistor of
+/// @p type, per Eq. 2.  @p op supplies Vdd and temperature;
+/// @p ovr supplies W/L and any Vth manipulation.
+double subthreshold_current(const TechParams& tech, DeviceType type,
+                            const OperatingPoint& op,
+                            const DeviceOverrides& ovr = {});
+
+/// The paper's "unit leakage" I-hat: subthreshold current at W/L = 1.
+double unit_leakage(const TechParams& tech, DeviceType type,
+                    const OperatingPoint& op);
+
+/// Effective threshold voltage used in the evaluation (after temperature
+/// dependence and overrides); exposed for tests and the Fig. 1d sweep.
+double effective_vth(const TechParams& tech, DeviceType type,
+                     const OperatingPoint& op, const DeviceOverrides& ovr = {});
+
+} // namespace hotleakage

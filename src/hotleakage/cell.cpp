@@ -1,0 +1,127 @@
+#include "hotleakage/cell.h"
+
+namespace hotleakage::cells {
+namespace {
+
+// Conventional relative sizings (W/L) for a minimum-pitch standard cell.
+constexpr double kNmosWl = 1.5;
+constexpr double kPmosWl = 3.0;  // mobility compensation
+// SRAM cell ratios: pull-down strongest for read stability, access mid,
+// pull-up weakest.
+constexpr double kSramPd = 2.0;
+constexpr double kSramAx = 1.2;
+constexpr double kSramPu = 1.0;
+
+double gate_width(const TechParams& tech, double wl_sum) {
+  return wl_sum * tech.lgate;
+}
+
+} // namespace
+
+Cell inverter(const TechParams& tech) {
+  Cell c;
+  c.name = "inverter";
+  c.n_inputs = 1;
+  c.n_nmos = 1;
+  c.n_pmos = 1;
+  c.is_gate = true;
+  c.pdn = Network::leaf({.input = 0, .w_over_l = kNmosWl});
+  c.pun = Network::leaf({.input = 0, .w_over_l = kPmosWl});
+  c.total_gate_width = gate_width(tech, kNmosWl + kPmosWl);
+  return c;
+}
+
+Cell nand2(const TechParams& tech) {
+  Cell c;
+  c.name = "nand2";
+  c.n_inputs = 2;
+  c.n_nmos = 2;
+  c.n_pmos = 2;
+  c.is_gate = true;
+  // Series NMOS pull-down (sized up to match drive), parallel PMOS pull-up.
+  c.pdn = Network::series({Network::leaf({.input = 0, .w_over_l = 2 * kNmosWl}),
+                           Network::leaf({.input = 1, .w_over_l = 2 * kNmosWl})});
+  c.pun = Network::parallel({Network::leaf({.input = 0, .w_over_l = kPmosWl}),
+                             Network::leaf({.input = 1, .w_over_l = kPmosWl})});
+  c.total_gate_width = gate_width(tech, 4 * kNmosWl + 2 * kPmosWl);
+  return c;
+}
+
+Cell nand3(const TechParams& tech) {
+  Cell c;
+  c.name = "nand3";
+  c.n_inputs = 3;
+  c.n_nmos = 3;
+  c.n_pmos = 3;
+  c.is_gate = true;
+  c.pdn = Network::series({Network::leaf({.input = 0, .w_over_l = 3 * kNmosWl}),
+                           Network::leaf({.input = 1, .w_over_l = 3 * kNmosWl}),
+                           Network::leaf({.input = 2, .w_over_l = 3 * kNmosWl})});
+  c.pun = Network::parallel({Network::leaf({.input = 0, .w_over_l = kPmosWl}),
+                             Network::leaf({.input = 1, .w_over_l = kPmosWl}),
+                             Network::leaf({.input = 2, .w_over_l = kPmosWl})});
+  c.total_gate_width = gate_width(tech, 9 * kNmosWl + 3 * kPmosWl);
+  return c;
+}
+
+Cell nor2(const TechParams& tech) {
+  Cell c;
+  c.name = "nor2";
+  c.n_inputs = 2;
+  c.n_nmos = 2;
+  c.n_pmos = 2;
+  c.is_gate = true;
+  c.pdn = Network::parallel({Network::leaf({.input = 0, .w_over_l = kNmosWl}),
+                             Network::leaf({.input = 1, .w_over_l = kNmosWl})});
+  c.pun = Network::series({Network::leaf({.input = 0, .w_over_l = 2 * kPmosWl}),
+                           Network::leaf({.input = 1, .w_over_l = 2 * kPmosWl})});
+  c.total_gate_width = gate_width(tech, 2 * kNmosWl + 4 * kPmosWl);
+  return c;
+}
+
+Cell sram6t(const TechParams& tech) {
+  Cell c;
+  c.name = "sram6t";
+  c.n_inputs = 0;
+  c.n_nmos = 4; // two pull-downs + two access transistors
+  c.n_pmos = 2; // two pull-ups
+  c.is_gate = false;
+  // The cell is symmetric: storing 0 and storing 1 leak identically.  With
+  // the wordline low and bitlines precharged high, three paths leak:
+  //   * the off pull-down NMOS of the inverter whose output is high,
+  //   * the off pull-up PMOS of the inverter whose output is low,
+  //   * the access NMOS on the low-storing side (bitline high, node low).
+  // The access transistor on the high side has ~0 V across it and is quiet.
+  CellState state;
+  state.paths = {
+      {.type = DeviceType::nmos, .w_over_l = kSramPd, .stack_depth = 1},
+      {.type = DeviceType::pmos, .w_over_l = kSramPu, .stack_depth = 1},
+      {.type = DeviceType::nmos, .w_over_l = kSramAx, .stack_depth = 1},
+  };
+  c.states = {state, state}; // storing 0 / storing 1
+  c.total_gate_width =
+      gate_width(tech, 2 * kSramPd + 2 * kSramAx + 2 * kSramPu);
+  return c;
+}
+
+Cell sense_amp(const TechParams& tech) {
+  Cell c;
+  c.name = "sense_amp";
+  c.n_inputs = 0;
+  c.n_nmos = 4; // cross-coupled pair + enable footer + equalizer
+  c.n_pmos = 3; // cross-coupled pair + precharge
+  c.is_gate = false;
+  // Idle (disabled, equalized): the footer is off, stacking the NMOS pair;
+  // the PMOS precharge devices are on, so the PMOS pair leaks singly.
+  CellState idle;
+  idle.paths = {
+      {.type = DeviceType::nmos, .w_over_l = 2.0, .stack_depth = 2},
+      {.type = DeviceType::nmos, .w_over_l = 2.0, .stack_depth = 2},
+      {.type = DeviceType::pmos, .w_over_l = 2.0, .stack_depth = 1},
+  };
+  c.states = {idle};
+  c.total_gate_width = gate_width(tech, 4 * 2.0 + 3 * 2.0);
+  return c;
+}
+
+} // namespace hotleakage::cells

@@ -1,0 +1,70 @@
+// Cell library for HotLeakage (paper Sec. 3.1.2).
+//
+// Two kinds of cells are supported:
+//
+//  * complementary static gates described by a pull-down / pull-up network
+//    pair — the k_n / k_p derivation enumerates every input combination
+//    exactly as the paper's two-input NAND worked example does;
+//  * "explicit path" cells (the 6T SRAM cell, sense amplifier) whose leakage
+//    paths are not a simple complementary gate; these enumerate their
+//    internal states and the off devices leaking in each state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hotleakage/network.h"
+
+namespace hotleakage {
+
+/// One subthreshold leakage path in an explicit-path cell state: a single
+/// off device (optionally stacked) of the given polarity.
+struct LeakPath {
+  DeviceType type = DeviceType::nmos;
+  double w_over_l = 1.0;
+  int stack_depth = 1; ///< number of series off devices in this path
+};
+
+/// One internal state of an explicit-path cell (e.g. SRAM storing 0 or 1)
+/// with the devices that leak in that state.
+struct CellState {
+  std::vector<LeakPath> paths;
+};
+
+/// A library cell.
+struct Cell {
+  std::string name;
+  int n_inputs = 0;   ///< for gate cells; 0 for explicit-path cells
+  int n_nmos = 0;
+  int n_pmos = 0;
+  /// Gate-cell description (valid when n_inputs > 0).
+  Network pdn = Network::leaf({});
+  Network pun = Network::leaf({});
+  bool is_gate = false;
+  /// Explicit-path description (valid when !is_gate).
+  std::vector<CellState> states;
+  /// Total gate width [m] of all devices, for gate-leakage roll-up.
+  double total_gate_width = 0.0;
+};
+
+/// Built-in cells.  All sizings are conventional relative ratios; the
+/// k_design factors absorb them per the paper.
+namespace cells {
+
+/// Static CMOS inverter.
+Cell inverter(const TechParams& tech);
+/// Two-input NAND — the paper's worked k_design example (Fig. 2, Eqs. 7-8).
+Cell nand2(const TechParams& tech);
+/// Three-input NAND (decoder predecode stage).
+Cell nand3(const TechParams& tech);
+/// Two-input NOR.
+Cell nor2(const TechParams& tech);
+/// Six-transistor SRAM cell with precharged-high bitlines: per stored-bit
+/// state, one inverter NMOS, one inverter PMOS, and one access NMOS leak.
+Cell sram6t(const TechParams& tech);
+/// Latch-style sense amplifier (idle, equalized state).
+Cell sense_amp(const TechParams& tech);
+
+} // namespace cells
+
+} // namespace hotleakage

@@ -1,0 +1,45 @@
+#include "hotleakage/gate_leakage.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hotleakage {
+
+double gate_current_density(const TechParams& tech, const OperatingPoint& op,
+                            const GateLeakOverrides& ovr) {
+  if (tech.gate_leak_density <= 0.0) {
+    return 0.0;
+  }
+  if (op.vdd < 0.0) {
+    throw std::invalid_argument("gate_current_density: Vdd must be >= 0");
+  }
+  const double tox = ovr.tox > 0.0 ? ovr.tox : tech.tox;
+  // Calibration anchor: density = gate_leak_density at (tech.tox,
+  // vdd_nominal, 300 K).  Exponential in oxide thinning, power law in Vdd,
+  // weak linear temperature dependence.
+  const double tox_factor = std::exp(-tech.gate_leak_tox_b * (tox - tech.tox));
+  const double vdd_factor =
+      op.vdd == 0.0 ? 0.0
+                    : std::pow(op.vdd / tech.vdd_nominal, tech.gate_leak_vdd_exp);
+  const double temp_factor =
+      1.0 + tech.gate_leak_tc * (op.temperature_k - kRoomTemperatureK);
+  return tech.gate_leak_density * tox_factor * vdd_factor *
+         std::max(temp_factor, 0.0);
+}
+
+double gate_current(const TechParams& tech, const OperatingPoint& op,
+                    const GateLeakOverrides& ovr) {
+  const double width = ovr.width_m > 0.0 ? ovr.width_m : 2.0 * tech.lgate;
+  return gate_current_density(tech, op, ovr) * width;
+}
+
+double gidl_penalty_factor(const TechParams& tech, double vbb) {
+  // GIDL grows roughly exponentially with reverse bias magnitude, and its
+  // onset sharpens at thinner oxides.  At 70 nm a -0.5 V body bias roughly
+  // doubles the floor leakage; at 180 nm the effect is minor.
+  const double severity = 4.0e-9 / tech.tox; // ~3.3 at 70 nm, ~1.0 at 180 nm
+  const double bias = std::fabs(vbb);
+  return 1.0 + severity * (std::exp(bias) - 1.0) * 0.25;
+}
+
+} // namespace hotleakage

@@ -1,0 +1,42 @@
+// Gate (direct-tunnelling) leakage and GIDL modelling (paper Sec. 3.2).
+//
+// An explicit physical equation for gate tunnelling is neither practical nor
+// necessary at the architecture level; like HotLeakage we use a curve fit
+// calibrated from circuit simulation.  The 70 nm fit targets 40 nA/um of
+// gate width at tox = 1.2 nm, Vdd = 0.9 V, 300 K (ITRS-2001 projection).
+// Gate leakage is strongly dependent on tox and Vdd and only weakly on
+// temperature.
+#pragma once
+
+#include "hotleakage/bsim3.h"
+#include "hotleakage/tech.h"
+
+namespace hotleakage {
+
+/// Parameters of the gate-leakage curve fit for what-if studies; defaults
+/// come from the technology table.
+struct GateLeakOverrides {
+  double tox = -1.0;        ///< gate-oxide thickness [m]; <0 uses tech value
+  double width_m = -1.0;    ///< device gate width [m]; <0 uses minimum (2 * Lgate)
+};
+
+/// Gate tunnelling current [A] for one transistor at the given operating
+/// point.  Returns 0 for nodes where the table marks gate leakage
+/// negligible (180/130 nm).
+double gate_current(const TechParams& tech, const OperatingPoint& op,
+                    const GateLeakOverrides& ovr = {});
+
+/// Gate leakage current density [A per metre of gate width]; the quantity
+/// the 40 nA/um calibration pins down.
+double gate_current_density(const TechParams& tech, const OperatingPoint& op,
+                            const GateLeakOverrides& ovr = {});
+
+/// GIDL (gate-induced drain leakage) multiplier applied to subthreshold
+/// leakage when a reverse body bias @p vbb (negative for NMOS wells) is
+/// applied.  GIDL grows with |Vbb| and erodes the benefit of RBB at small
+/// nodes — the reason the paper declines to study RBB at 70 nm.
+/// Returns a factor >= 1 to be multiplied into the *residual* leakage of an
+/// RBB-standby cell.
+double gidl_penalty_factor(const TechParams& tech, double vbb);
+
+} // namespace hotleakage

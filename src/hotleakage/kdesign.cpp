@@ -1,0 +1,105 @@
+#include "hotleakage/kdesign.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hotleakage/gate_leakage.h"
+
+namespace hotleakage {
+namespace {
+
+/// Sum of off-network leakages over all input combinations, split by which
+/// network is off.  Returns {sum_off_pdn, sum_off_pun}.
+struct OffSums {
+  double pdn = 0.0;
+  double pun = 0.0;
+  int combos = 0;
+};
+
+OffSums enumerate_gate(const TechParams& tech, const Cell& cell,
+                       const OperatingPoint& op) {
+  if (cell.n_inputs <= 0 || cell.n_inputs > 16) {
+    throw std::invalid_argument("enumerate_gate: bad input count");
+  }
+  const double in = unit_leakage(tech, DeviceType::nmos, op);
+  const double ip = unit_leakage(tech, DeviceType::pmos, op);
+  const double sf = stack_factor(tech, op);
+  OffSums sums;
+  sums.combos = 1 << cell.n_inputs;
+  for (uint32_t combo = 0; combo < static_cast<uint32_t>(sums.combos); ++combo) {
+    if (!cell.pdn.conducts(combo, DeviceType::nmos)) {
+      sums.pdn += cell.pdn.off_leakage(combo, DeviceType::nmos, in, sf);
+    }
+    if (!cell.pun.conducts(combo, DeviceType::pmos)) {
+      sums.pun += cell.pun.off_leakage(combo, DeviceType::pmos, ip, sf);
+    }
+  }
+  return sums;
+}
+
+OffSums enumerate_paths(const TechParams& tech, const Cell& cell,
+                        const OperatingPoint& op) {
+  const double in = unit_leakage(tech, DeviceType::nmos, op);
+  const double ip = unit_leakage(tech, DeviceType::pmos, op);
+  const double sf = stack_factor(tech, op);
+  OffSums sums;
+  sums.combos = static_cast<int>(cell.states.size());
+  for (const CellState& state : cell.states) {
+    for (const LeakPath& path : state.paths) {
+      const double unit = path.type == DeviceType::nmos ? in : ip;
+      const double attenuation = std::pow(sf, path.stack_depth - 1);
+      const double current = unit * path.w_over_l / attenuation;
+      (path.type == DeviceType::nmos ? sums.pdn : sums.pun) += current;
+    }
+  }
+  return sums;
+}
+
+OffSums enumerate(const TechParams& tech, const Cell& cell,
+                  const OperatingPoint& op) {
+  return cell.is_gate ? enumerate_gate(tech, cell, op)
+                      : enumerate_paths(tech, cell, op);
+}
+
+} // namespace
+
+KDesign compute_kdesign(const TechParams& tech, const Cell& cell,
+                        const OperatingPoint& op) {
+  if (cell.n_nmos <= 0 && cell.n_pmos <= 0) {
+    throw std::invalid_argument("compute_kdesign: cell has no devices");
+  }
+  const OffSums sums = enumerate(tech, cell, op);
+  const double in = unit_leakage(tech, DeviceType::nmos, op);
+  const double ip = unit_leakage(tech, DeviceType::pmos, op);
+  KDesign k;
+  if (cell.n_nmos > 0 && in > 0.0) {
+    k.kn = sums.pdn / (sums.combos * cell.n_nmos * in);
+  }
+  if (cell.n_pmos > 0 && ip > 0.0) {
+    k.kp = sums.pun / (sums.combos * cell.n_pmos * ip);
+  }
+  return k;
+}
+
+CellLeakage cell_leakage(const TechParams& tech, const Cell& cell,
+                         const OperatingPoint& op) {
+  const KDesign k = compute_kdesign(tech, cell, op);
+  const double in = unit_leakage(tech, DeviceType::nmos, op);
+  const double ip = unit_leakage(tech, DeviceType::pmos, op);
+  CellLeakage leak;
+  leak.subthreshold = cell.n_nmos * k.kn * in + cell.n_pmos * k.kp * ip;
+  // Roughly half of a CMOS cell's devices see full gate bias in any state;
+  // the curve-fit density already averages over bias conditions.
+  leak.gate = gate_current_density(tech, op) * cell.total_gate_width * 0.5;
+  return leak;
+}
+
+double static_power(const TechParams& tech, const Cell& cell,
+                    const OperatingPoint& op, double n_cells) {
+  if (n_cells < 0.0) {
+    throw std::invalid_argument("static_power: negative cell count");
+  }
+  return op.vdd * n_cells * cell_leakage(tech, cell, op).total();
+}
+
+} // namespace hotleakage

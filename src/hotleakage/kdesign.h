@@ -1,0 +1,53 @@
+// The double-k_design model (paper Sec. 3.1.2, Eqs. 3-8).
+//
+// Butts & Sohi's single k_design assumes N and P devices are near-identical;
+// HotLeakage found they are not, and uses two factors:
+//
+//   I_cell = n_n * k_n * I_n  +  n_p * k_p * I_p                       (Eq. 3)
+//   k_n = (I_1n + I_2n + ... ) / (N * n_n * I_n)                       (Eq. 5)
+//   k_p = (I_1p + I_2p + ... ) / (N * n_p * I_p)                       (Eq. 6)
+//
+// where the I_kn are the leakage currents for the input combinations that
+// turn off the pull-down network (and symmetrically for I_kp), N is the
+// total number of input combinations, n_n/n_p the device counts, and
+// I_n/I_p the unit leakages.  For explicit-path cells (SRAM) the same
+// formula is applied over the cell's internal states.
+//
+// k_n and k_p come out independent of Vth and (through the stack factor)
+// linear in temperature and Vdd — the properties the paper reports.
+#pragma once
+
+#include "hotleakage/cell.h"
+
+namespace hotleakage {
+
+/// Computed design factors for a cell at one operating point.
+struct KDesign {
+  double kn = 0.0;
+  double kp = 0.0;
+};
+
+/// Derive k_n and k_p for @p cell at @p op by exhaustive enumeration of
+/// input combinations (gate cells) or internal states (explicit-path
+/// cells).
+KDesign compute_kdesign(const TechParams& tech, const Cell& cell,
+                        const OperatingPoint& op);
+
+/// Breakdown of a cell's leakage at one operating point.
+struct CellLeakage {
+  double subthreshold = 0.0; ///< [A], via Eq. 3
+  double gate = 0.0;         ///< [A], tunnelling through all gate oxide
+  double total() const { return subthreshold + gate; }
+};
+
+/// Average leakage current of one instance of @p cell (Eq. 3 plus the gate
+/// term), averaged over input combinations / states.
+CellLeakage cell_leakage(const TechParams& tech, const Cell& cell,
+                         const OperatingPoint& op);
+
+/// Static power of @p n_cells identical cells (Eq. 4):
+/// P = Vdd * N_cells * I_cell.
+double static_power(const TechParams& tech, const Cell& cell,
+                    const OperatingPoint& op, double n_cells);
+
+} // namespace hotleakage

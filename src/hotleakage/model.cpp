@@ -1,0 +1,136 @@
+#include "hotleakage/model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hotleakage/gate_leakage.h"
+#include "hotleakage/kdesign.h"
+
+namespace hotleakage {
+
+LeakageModel::LeakageModel(TechNode node, VariationConfig variation,
+                           StandbyParams standby)
+    : tech_(tech_params(node)),
+      variation_(variation),
+      standby_(standby),
+      op_{.temperature_k = 383.15, .vdd = tech_.vdd_nominal},
+      sram_(cells::sram6t(tech_)),
+      decoder_gate_(cells::nand3(tech_)),
+      senseamp_(cells::sense_amp(tech_)) {
+  set_operating_point(op_);
+}
+
+void LeakageModel::set_operating_point(const OperatingPoint& op) {
+  if (op.temperature_k <= 0.0) {
+    throw std::invalid_argument("set_operating_point: temperature must be > 0");
+  }
+  op_ = op;
+  variation_factor_ = variation_scale(tech_, op_, variation_);
+}
+
+double LeakageModel::sram_power(double n_cells, StandbyMode mode) const {
+  switch (mode) {
+  case StandbyMode::active: {
+    return static_power(tech_, sram_, op_, n_cells) * variation_factor_;
+  }
+  case StandbyMode::drowsy: {
+    // Retention supply ~1.5x Vth: both the subthreshold (via DIBL and the
+    // drain term) and the gate tunnelling (Vdd power law) collapse, but the
+    // cell keeps its state.
+    // The retention supply is a static design choice, set from the nominal
+    // (300 K) threshold voltage: Vdd_drowsy ~ 1.5x Vth (paper Sec. 2.2).
+    OperatingPoint drowsy_op = op_;
+    drowsy_op.vdd = standby_.drowsy_vdd_over_vth *
+                    std::max(tech_.nmos.vth0, tech_.pmos.vth0);
+    return static_power(tech_, sram_, drowsy_op, n_cells) * variation_factor_;
+  }
+  case StandbyMode::gated: {
+    // The off high-Vt footer stacks with every path in the line.  Residual
+    // current is the footer's own subthreshold leakage attenuated by the
+    // stack effect; state is lost.
+    const double active = static_power(tech_, sram_, op_, n_cells);
+    const double vt = thermal_voltage(op_.temperature_k);
+    const double vth_n = vth_at_temperature(tech_.nmos, op_.temperature_k);
+    const double footer_suppression =
+        std::exp((standby_.gated_footer_vth - vth_n) /
+                 (tech_.nmos.n_swing * vt));
+    const double sf = stack_factor(tech_, op_);
+    return active / (footer_suppression * sf) * variation_factor_;
+  }
+  case StandbyMode::rbb: {
+    // RBB raises Vth, cutting subthreshold leakage exponentially, but GIDL
+    // claws back part of the benefit at thin-oxide nodes (Sec. 3.2).
+    const double in_active = unit_leakage(tech_, DeviceType::nmos, op_);
+    DeviceOverrides ovr;
+    ovr.vth_delta = standby_.rbb_vth_shift;
+    const double in_rbb = subthreshold_current(tech_, DeviceType::nmos, op_, ovr);
+    const double sub_ratio = in_active > 0.0 ? in_rbb / in_active : 1.0;
+    const double gidl = gidl_penalty_factor(tech_, -standby_.rbb_bias);
+    const double active = static_power(tech_, sram_, op_, n_cells);
+    return active * sub_ratio * gidl * variation_factor_;
+  }
+  }
+  throw std::invalid_argument("sram_power: unknown standby mode");
+}
+
+double LeakageModel::data_line_power(const CacheGeometry& geom,
+                                     StandbyMode mode) const {
+  return sram_power(static_cast<double>(geom.data_bits_per_line()), mode);
+}
+
+double LeakageModel::tag_line_power(const CacheGeometry& geom,
+                                    StandbyMode mode) const {
+  return sram_power(static_cast<double>(geom.tag_bits), mode);
+}
+
+double LeakageModel::edge_logic_power(const CacheGeometry& geom) const {
+  // Decoder: ~2 NAND3 levels per row plus wordline drivers (as inverters);
+  // sense amps: one per data column pair (column-muxed 2:1).
+  const double rows = static_cast<double>(geom.rows());
+  const double cols = static_cast<double>(
+      geom.data_bits_per_line() * geom.assoc);
+  const double n_decoder = rows * 3.0;
+  const double n_senseamp = cols / 2.0;
+  const double p_dec =
+      static_power(tech_, decoder_gate_, op_, n_decoder);
+  const double p_sa = static_power(tech_, senseamp_, op_, n_senseamp);
+  return (p_dec + p_sa) * variation_factor_;
+}
+
+double LeakageModel::decay_hardware_power(const CacheGeometry& geom) const {
+  // Per line: a 2-bit saturating counter (~2 flops ~= 24 transistors) plus a
+  // standby latch and the sleep device itself; model as 30 inverter
+  // equivalents per line, always active.
+  const Cell inv = cells::inverter(tech_);
+  const double n = static_cast<double>(geom.lines) * 15.0;
+  return static_power(tech_, inv, op_, n) * variation_factor_;
+}
+
+double LeakageModel::structure_power(const CacheGeometry& geom) const {
+  const double lines = static_cast<double>(geom.lines);
+  return lines * (data_line_power(geom, StandbyMode::active) +
+                  tag_line_power(geom, StandbyMode::active)) +
+         edge_logic_power(geom);
+}
+
+double LeakageModel::register_file_power(std::size_t entries,
+                                         std::size_t bits) const {
+  const double n_cells = static_cast<double>(entries * bits);
+  // Multi-ported cells are larger; scale by port overhead (~2x for 6R/3W
+  // relative to a 6T cell) and add decoder edge logic per entry.
+  const double cell_power = sram_power(n_cells, StandbyMode::active) * 2.0;
+  const double p_dec =
+      static_power(tech_, decoder_gate_, op_, static_cast<double>(entries) * 2.0) *
+      variation_factor_;
+  return cell_power + p_dec;
+}
+
+double LeakageModel::standby_ratio(StandbyMode mode) const {
+  const double active = sram_power(1024.0, StandbyMode::active);
+  if (active <= 0.0) {
+    return 1.0;
+  }
+  return sram_power(1024.0, mode) / active;
+}
+
+} // namespace hotleakage

@@ -1,0 +1,109 @@
+// Top-level HotLeakage API (paper Sec. 3.4).
+//
+// A LeakageModel binds a technology node, a variation configuration, and a
+// current operating point (temperature, Vdd).  It exposes leakage *power*
+// for microarchitectural structures — cache data arrays, tag arrays, edge
+// logic, register files — per line and per standby mode, and recomputes the
+// underlying currents whenever the operating point changes (supporting DVS
+// and thermal feedback, the motivating use cases for moving beyond
+// Butts-Sohi's fixed unit leakage).
+#pragma once
+
+#include <cstddef>
+
+#include "hotleakage/bsim3.h"
+#include "hotleakage/cell.h"
+#include "hotleakage/variation.h"
+
+namespace hotleakage {
+
+/// Standby modes the generic line-deactivation abstraction supports
+/// (paper Sec. 2.3): the three techniques studied plus fully active.
+enum class StandbyMode {
+  active, ///< normal operation, full leakage
+  drowsy, ///< state-preserving: Vdd lowered to ~1.5x Vth
+  gated,  ///< non-state-preserving: high-Vt footer disconnects ground
+  rbb,    ///< state-preserving: reverse body bias raises Vth (GIDL-limited)
+};
+
+/// Geometry of one cache-like SRAM structure.
+struct CacheGeometry {
+  std::size_t lines = 1024;     ///< total cache lines (all ways)
+  std::size_t line_bytes = 64;  ///< data bytes per line
+  std::size_t tag_bits = 28;    ///< tag + state bits per line
+  std::size_t assoc = 2;
+  /// Rows in the physical SRAM array (sets); columns follow from geometry.
+  std::size_t rows() const { return lines / (assoc ? assoc : 1); }
+  std::size_t data_bits_per_line() const { return line_bytes * 8; }
+};
+
+/// Knobs of the standby-mode circuits.
+struct StandbyParams {
+  /// Drowsy retention supply as a multiple of NMOS Vth (paper: ~1.5x).
+  double drowsy_vdd_over_vth = 1.5;
+  /// High-Vt of the gated-Vss footer device [V].
+  double gated_footer_vth = 0.35;
+  /// Reverse body bias magnitude for RBB mode [V].
+  double rbb_bias = 0.40;
+  /// Extra Vth shift RBB achieves at the given bias [V].
+  double rbb_vth_shift = 0.12;
+};
+
+/// A LeakageModel evaluates leakage power for structures at the current
+/// operating point.  Copyable value type; all evaluation is const.
+class LeakageModel {
+public:
+  LeakageModel(TechNode node, VariationConfig variation = {},
+               StandbyParams standby = {});
+
+  /// Change temperature and/or Vdd; leakage currents are recomputed lazily
+  /// at the next query (the recompute is cheap — closed-form equations plus
+  /// a cached variation factor).
+  void set_operating_point(const OperatingPoint& op);
+  const OperatingPoint& operating_point() const { return op_; }
+  const TechParams& tech() const { return tech_; }
+  const StandbyParams& standby_params() const { return standby_; }
+
+  /// Leakage power [W] of one cache line's data cells in @p mode.
+  double data_line_power(const CacheGeometry& geom, StandbyMode mode) const;
+  /// Leakage power [W] of one cache line's tag cells in @p mode.
+  double tag_line_power(const CacheGeometry& geom, StandbyMode mode) const;
+  /// Leakage power [W] of the array's edge logic (decoders, wordline
+  /// drivers, sense amps); always active.
+  double edge_logic_power(const CacheGeometry& geom) const;
+  /// Leakage power [W] of the per-line decay hardware (2-bit counter and
+  /// mode latch) added by any dynamic leakage-control technique.
+  double decay_hardware_power(const CacheGeometry& geom) const;
+
+  /// Whole structure fully active, including edge logic [W].
+  double structure_power(const CacheGeometry& geom) const;
+
+  /// Register-file leakage [W] (HotLeakage also ships a register-file
+  /// model): @p entries x @p bits 6T-equivalent cells plus edge logic.
+  double register_file_power(std::size_t entries, std::size_t bits) const;
+
+  /// Ratio of standby to active leakage power for @p mode at the current
+  /// operating point; the quantity that drives technique effectiveness.
+  double standby_ratio(StandbyMode mode) const;
+
+  /// The inter-die variation scaling currently applied.
+  double variation_factor() const { return variation_factor_; }
+
+  /// Leakage power [W] of @p n_cells 6T SRAM cells in @p mode.  The
+  /// building block for "other cache-like structures" (branch predictor
+  /// tables, BTBs, ...) — adding a structure model is one call.
+  double sram_power(double n_cells, StandbyMode mode) const;
+
+private:
+
+  TechParams tech_;
+  VariationConfig variation_;
+  StandbyParams standby_;
+  OperatingPoint op_;
+  Cell sram_;
+  Cell decoder_gate_;
+  Cell senseamp_;
+  double variation_factor_ = 1.0;
+};
+
+} // namespace hotleakage

@@ -1,0 +1,71 @@
+// Series/parallel transistor-network evaluator used to derive k_design
+// factors (paper Sec. 3.1.2).
+//
+// A static-CMOS gate is a pull-down network (PDN) of NMOS devices and a
+// complementary pull-up network (PUN) of PMOS devices.  For every input
+// combination, exactly one of the networks is cut off; the subthreshold
+// current through the off network — including the stack effect when several
+// series devices are simultaneously off — is what the k_n / k_p factors
+// aggregate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hotleakage/bsim3.h"
+#include "hotleakage/tech.h"
+
+namespace hotleakage {
+
+/// One transistor in a network: which input drives its gate and its
+/// relative sizing.
+struct NetTransistor {
+  int input = 0;        ///< index of the driving input signal
+  double w_over_l = 1.0;///< aspect ratio (unit leakage scales linearly)
+  bool negated = false; ///< gate sees the complement of the input signal
+};
+
+/// A series/parallel network expression tree.
+class Network {
+public:
+  /// Leaf: a single transistor.
+  static Network leaf(NetTransistor t);
+  /// All children conduct for the network to conduct.
+  static Network series(std::vector<Network> children);
+  /// Any conducting child makes the network conduct.
+  static Network parallel(std::vector<Network> children);
+
+  /// True iff the network conducts for @p inputs (bit i = input i high)
+  /// when built from devices of @p polarity (NMOS on when gate high,
+  /// PMOS on when gate low).
+  bool conducts(uint32_t inputs, DeviceType polarity) const;
+
+  /// Leakage current [A] through the network when it is *off* for
+  /// @p inputs.  Series stacks of multiple off devices are attenuated by
+  /// @p stack_factor per extra off device.  @p unit is the unit leakage of
+  /// this polarity at the operating point.  Preconditions: the network does
+  /// not conduct for @p inputs.
+  double off_leakage(uint32_t inputs, DeviceType polarity, double unit,
+                     double stack_factor) const;
+
+  /// Number of transistors in the network.
+  int device_count() const;
+
+private:
+  enum class Kind { leaf, series, parallel };
+
+  Network() = default;
+
+  Kind kind_ = Kind::leaf;
+  NetTransistor transistor_{};
+  std::vector<Network> children_;
+};
+
+/// Stack-effect attenuation per additional series off device.  Mildly
+/// temperature dependent: the stack benefit shrinks as leakage grows with
+/// temperature, which is what makes k_design linear in T (paper Sec. 3.1.2).
+double stack_factor(const TechParams& tech, const OperatingPoint& op);
+
+} // namespace hotleakage

@@ -1,0 +1,124 @@
+#include "hotleakage/options.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace hotleakage {
+namespace {
+
+double parse_double(std::string_view key, std::string_view value) {
+  try {
+    return std::stod(std::string(value));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option '" + std::string(key) +
+                                "': expected a number, got '" +
+                                std::string(value) + "'");
+  }
+}
+
+long long parse_int(std::string_view key, std::string_view value) {
+  long long out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    throw std::invalid_argument("option '" + std::string(key) +
+                                "': expected an integer, got '" +
+                                std::string(value) + "'");
+  }
+  return out;
+}
+
+bool parse_bool(std::string_view key, std::string_view value) {
+  if (value == "on" || value == "true" || value == "1") {
+    return true;
+  }
+  if (value == "off" || value == "false" || value == "0") {
+    return false;
+  }
+  throw std::invalid_argument("option '" + std::string(key) +
+                              "': expected on/off, got '" +
+                              std::string(value) + "'");
+}
+
+TechNode parse_node(std::string_view value) {
+  if (value == "70" || value == "70nm") return TechNode::nm70;
+  if (value == "100" || value == "100nm") return TechNode::nm100;
+  if (value == "130" || value == "130nm") return TechNode::nm130;
+  if (value == "180" || value == "180nm") return TechNode::nm180;
+  throw std::invalid_argument("option 'tech': unknown node '" +
+                              std::string(value) +
+                              "' (expected 70/100/130/180)");
+}
+
+} // namespace
+
+LeakageModel Options::build() const {
+  LeakageModel model(node, variation, standby);
+  model.set_operating_point(operating_point());
+  return model;
+}
+
+Options parse_options(std::span<const std::string> args) {
+  Options opts;
+  for (const std::string& arg : args) {
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("malformed option '" + arg +
+                                  "' (expected key=value)");
+    }
+    const std::string_view key = std::string_view(arg).substr(0, eq);
+    const std::string_view value = std::string_view(arg).substr(eq + 1);
+
+    if (key == "tech") {
+      opts.node = parse_node(value);
+    } else if (key == "temp") {
+      opts.temperature_c = parse_double(key, value);
+    } else if (key == "vdd") {
+      opts.vdd = parse_double(key, value);
+      if (opts.vdd < 0.0) {
+        throw std::invalid_argument("option 'vdd': must be >= 0");
+      }
+    } else if (key == "variation") {
+      opts.variation.enabled = parse_bool(key, value);
+    } else if (key == "samples") {
+      const long long n = parse_int(key, value);
+      if (n <= 0) {
+        throw std::invalid_argument("option 'samples': must be > 0");
+      }
+      opts.variation.samples = static_cast<int>(n);
+    } else if (key == "seed") {
+      opts.variation.seed = static_cast<uint64_t>(parse_int(key, value));
+    } else if (key == "sigma-scale") {
+      opts.variation.sigma_scale = parse_double(key, value);
+    } else if (key == "drowsy-vdd-ratio") {
+      opts.standby.drowsy_vdd_over_vth = parse_double(key, value);
+    } else if (key == "footer-vth") {
+      opts.standby.gated_footer_vth = parse_double(key, value);
+    } else if (key == "rbb-bias") {
+      opts.standby.rbb_bias = parse_double(key, value);
+    } else if (key == "rbb-vth-shift") {
+      opts.standby.rbb_vth_shift = parse_double(key, value);
+    } else {
+      throw std::invalid_argument("unknown option '" + std::string(key) +
+                                  "'\n" + options_help());
+    }
+  }
+  return opts;
+}
+
+std::string options_help() {
+  return "HotLeakage options (key=value):\n"
+         "  tech=70|100|130|180     technology node [nm] (default 70)\n"
+         "  temp=<celsius>          temperature (default 110)\n"
+         "  vdd=<volts>             supply (default: node nominal)\n"
+         "  variation=on|off        inter-die Monte Carlo (default on)\n"
+         "  samples=<n>             Monte Carlo dies (default 256)\n"
+         "  seed=<n>                Monte Carlo seed\n"
+         "  sigma-scale=<x>         scale the 3-sigma magnitudes\n"
+         "  drowsy-vdd-ratio=<x>    drowsy retention Vdd / Vth (default 1.5)\n"
+         "  footer-vth=<volts>      gated-Vss footer Vth (default 0.35)\n"
+         "  rbb-bias=<volts>        reverse body bias (default 0.40)\n"
+         "  rbb-vth-shift=<volts>   RBB Vth shift (default 0.12)\n";
+}
+
+} // namespace hotleakage

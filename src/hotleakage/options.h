@@ -1,0 +1,55 @@
+// Command-line-style configuration of the HotLeakage model (paper Sec. 3.4:
+// "the various parameters related to the leakage power modeling and the
+// leakage control techniques are specified at the command line ... to use
+// HotLeakage with our pre-determined values of k_design, it is only
+// necessary to specify the technology parameter").
+//
+// Keys (all optional; every parameter has a reasonable default):
+//   tech=70|100|130|180       technology node [nm]
+//   temp=<celsius>            operating temperature
+//   vdd=<volts>               supply voltage (default: node nominal)
+//   variation=on|off          inter-die Monte Carlo
+//   samples=<n>               Monte Carlo dies
+//   seed=<n>                  Monte Carlo seed
+//   sigma-scale=<x>           scale all 3-sigma magnitudes
+//   drowsy-vdd-ratio=<x>      drowsy retention supply as multiple of Vth
+//   footer-vth=<volts>        gated-Vss footer threshold
+//   rbb-bias=<volts>          reverse body bias magnitude
+//   rbb-vth-shift=<volts>     Vth shift RBB achieves
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "hotleakage/model.h"
+
+namespace hotleakage {
+
+/// Everything needed to build a LeakageModel at an operating point.
+struct Options {
+  TechNode node = TechNode::nm70;
+  double temperature_c = 110.0;
+  double vdd = -1.0; ///< < 0 means "use the node's nominal supply"
+  VariationConfig variation;
+  StandbyParams standby;
+
+  /// Resolved supply voltage.
+  double resolved_vdd() const {
+    return vdd >= 0.0 ? vdd : tech_params(node).vdd_nominal;
+  }
+  OperatingPoint operating_point() const {
+    return OperatingPoint::at_celsius(temperature_c, resolved_vdd());
+  }
+  /// Construct the configured model, positioned at the operating point.
+  LeakageModel build() const;
+};
+
+/// Parse "key=value" arguments.  Throws std::invalid_argument with a
+/// descriptive message on an unknown key or malformed value.
+Options parse_options(std::span<const std::string> args);
+
+/// One-line-per-key usage text.
+std::string options_help();
+
+} // namespace hotleakage

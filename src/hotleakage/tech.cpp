@@ -1,0 +1,129 @@
+#include "hotleakage/tech.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hotleakage {
+namespace {
+
+// Mobility values follow the usual ~3x NMOS/PMOS ratio and degrade with
+// scaling (higher channel doping).  DIBL exponents grow as channels shorten.
+// Swing coefficients drift up with scaling as short-channel control worsens.
+constexpr TechParams kTech180 = {
+    .node = TechNode::nm180,
+    .vdd0 = 2.0,
+    .vdd_nominal = 2.0,
+    .tox = 4.0e-9,
+    .lgate = 180e-9,
+    .freq_hz = 1.0e9,
+    .nmos = {.mu0 = 0.0430, .vth0 = 0.420, .n_swing = 1.32, .v_off = -0.090,
+             .dibl_b = 1.10, .vth_tc = 0.70e-3},
+    .pmos = {.mu0 = 0.0125, .vth0 = 0.450, .n_swing = 1.36, .v_off = -0.090,
+             .dibl_b = 1.00, .vth_tc = 0.70e-3},
+    .sigmas = {},
+    .gate_leak_density = 0.0, // negligible at 4 nm oxide
+    .gate_leak_tox_b = 0.0,
+    .gate_leak_vdd_exp = 0.0,
+    .gate_leak_tc = 0.0,
+};
+
+constexpr TechParams kTech130 = {
+    .node = TechNode::nm130,
+    .vdd0 = 1.5,
+    .vdd_nominal = 1.5,
+    .tox = 3.3e-9,
+    .lgate = 130e-9,
+    .freq_hz = 2.0e9,
+    .nmos = {.mu0 = 0.0400, .vth0 = 0.340, .n_swing = 1.36, .v_off = -0.088,
+             .dibl_b = 1.55, .vth_tc = 0.73e-3},
+    .pmos = {.mu0 = 0.0118, .vth0 = 0.360, .n_swing = 1.40, .v_off = -0.088,
+             .dibl_b = 1.40, .vth_tc = 0.73e-3},
+    .sigmas = {},
+    .gate_leak_density = 0.0,
+    .gate_leak_tox_b = 0.0,
+    .gate_leak_vdd_exp = 0.0,
+    .gate_leak_tc = 0.0,
+};
+
+constexpr TechParams kTech100 = {
+    .node = TechNode::nm100,
+    .vdd0 = 1.2,
+    .vdd_nominal = 1.2,
+    .tox = 2.0e-9,
+    .lgate = 100e-9,
+    .freq_hz = 3.5e9,
+    .nmos = {.mu0 = 0.0370, .vth0 = 0.260, .n_swing = 1.40, .v_off = -0.085,
+             .dibl_b = 2.00, .vth_tc = 0.76e-3},
+    .pmos = {.mu0 = 0.0105, .vth0 = 0.280, .n_swing = 1.44, .v_off = -0.085,
+             .dibl_b = 1.80, .vth_tc = 0.76e-3},
+    .sigmas = {},
+    .gate_leak_density = 2.0e-9 / 1.0e-6, // 2 nA/um: tunnelling emerging at 2.0 nm
+    .gate_leak_tox_b = 1.2e10,
+    .gate_leak_vdd_exp = 3.0,
+    .gate_leak_tc = 6.0e-4,
+};
+
+// 70 nm: paper-stated Vth (0.190 N / 0.213 P), Vdd0 = 1.0, operating point
+// 0.9 V @ 5600 MHz, tox 1.2 nm with a 40 nA/um gate-leakage calibration.
+constexpr TechParams kTech70 = {
+    .node = TechNode::nm70,
+    .vdd0 = 1.0,
+    .vdd_nominal = 0.9,
+    .tox = 1.2e-9,
+    .lgate = 70e-9,
+    .freq_hz = 5.6e9,
+    .nmos = {.mu0 = 0.0320, .vth0 = 0.190, .n_swing = 1.45, .v_off = -0.080,
+             .dibl_b = 2.50, .vth_tc = 0.80e-3},
+    .pmos = {.mu0 = 0.0090, .vth0 = 0.213, .n_swing = 1.50, .v_off = -0.080,
+             .dibl_b = 2.30, .vth_tc = 0.80e-3},
+    .sigmas = {},
+    .gate_leak_density = 40.0e-9 / 1.0e-6, // 40 nA per um of width = 0.04 A/m
+    .gate_leak_tox_b = 1.4e10,
+    .gate_leak_vdd_exp = 3.5,
+    .gate_leak_tc = 8.0e-4,
+};
+
+} // namespace
+
+const TechParams& tech_params(TechNode node) {
+  switch (node) {
+  case TechNode::nm180:
+    return kTech180;
+  case TechNode::nm130:
+    return kTech130;
+  case TechNode::nm100:
+    return kTech100;
+  case TechNode::nm70:
+    return kTech70;
+  }
+  throw std::invalid_argument("tech_params: unknown technology node");
+}
+
+double oxide_capacitance(const TechParams& tech) {
+  return kEpsilonOx / tech.tox;
+}
+
+double thermal_voltage(double temperature_k) {
+  return kBoltzmann * temperature_k / kElectronCharge;
+}
+
+double vth_at_temperature(const DeviceParams& dev, double temperature_k) {
+  const double vth = dev.vth0 - dev.vth_tc * (temperature_k - kRoomTemperatureK);
+  return std::max(vth, 0.01);
+}
+
+std::string_view to_string(TechNode node) {
+  switch (node) {
+  case TechNode::nm180:
+    return "180nm";
+  case TechNode::nm130:
+    return "130nm";
+  case TechNode::nm100:
+    return "100nm";
+  case TechNode::nm70:
+    return "70nm";
+  }
+  return "unknown";
+}
+
+} // namespace hotleakage

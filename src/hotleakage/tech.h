@@ -1,0 +1,103 @@
+// Technology-node parameter tables for the HotLeakage model.
+//
+// HotLeakage (Zhang et al., UVa CS-2003-05) ships per-node constants derived
+// from BSIM3 v3.2 device models and transistor-level (Cadence / AIM-SPICE)
+// curve fitting.  This header provides the equivalent built-in tables for
+// 180, 130, 100, and 70 nm.  The constants the paper states explicitly are
+// used verbatim:
+//
+//   * default supply voltage Vdd0: 2.0 / 1.5 / 1.2 / 1.0 V per node,
+//   * 70 nm threshold voltages: 0.190 V (NMOS) and 0.213 V (PMOS),
+//   * 70 nm gate-leakage target: 40 nA/um at tox = 1.2 nm, Vdd = 0.9 V, 300 K,
+//   * 3-sigma inter-die variations (Nassif, ASP-DAC'01): L 47 %, tox 16 %,
+//     Vdd 10 %, Vth 13 %.
+//
+// The remaining fitted coefficients (DIBL factor b, subthreshold swing n,
+// BSIM3 Voff, mobility, oxide thickness) are chosen so the resulting unit
+// leakage lands in the ITRS-2001 band the paper quotes (leakage ~50 % of
+// total power at 70 nm).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace hotleakage {
+
+/// Process generations supported by the built-in tables.
+enum class TechNode : int {
+  nm180 = 180,
+  nm130 = 130,
+  nm100 = 100,
+  nm70 = 70,
+};
+
+/// Which device polarity a parameter set describes.
+enum class DeviceType { nmos, pmos };
+
+/// Per-polarity BSIM3-style device parameters (SI units throughout).
+struct DeviceParams {
+  double mu0;     ///< zero-bias mobility [m^2 / (V s)]
+  double vth0;    ///< threshold voltage magnitude at 300 K [V]
+  double n_swing; ///< subthreshold swing coefficient (dimensionless)
+  double v_off;   ///< BSIM3 empirical offset voltage [V] (negative)
+  double dibl_b;  ///< DIBL curve-fit exponent b [1/V]: exp(b * (Vdd - Vdd0))
+  double vth_tc;  ///< |dVth/dT| temperature coefficient [V/K] (Vth drops as T rises)
+};
+
+/// Inter-die 3-sigma variation magnitudes, as fractions of the mean.
+struct VariationSigmas {
+  double length3 = 0.47;  ///< transistor length, 3-sigma / mean
+  double tox3 = 0.16;     ///< gate-oxide thickness
+  double vdd3 = 0.10;     ///< supply voltage
+  double vth3 = 0.13;     ///< threshold voltage
+};
+
+/// Full per-node technology description.
+struct TechParams {
+  TechNode node;
+  double vdd0;          ///< default (curve-fit reference) supply voltage [V]
+  double vdd_nominal;   ///< nominal operating supply for this study [V]
+  double tox;           ///< gate-oxide thickness [m]
+  double lgate;         ///< drawn gate length [m]
+  double freq_hz;       ///< nominal clock frequency for this study [Hz]
+  DeviceParams nmos;
+  DeviceParams pmos;
+  VariationSigmas sigmas;
+  /// Gate-leakage curve-fit: density target [A/m of gate width] at
+  /// (tox, vdd_nominal, 300 K) plus sensitivities; see gate_leakage.h.
+  double gate_leak_density; ///< [A/m] at calibration point; 0 disables
+  double gate_leak_tox_b;   ///< exponential tox sensitivity [1/m]
+  double gate_leak_vdd_exp; ///< power-law Vdd exponent
+  double gate_leak_tc;      ///< linear temperature coefficient [1/K]
+};
+
+/// Returns the built-in parameter table for @p node.
+/// The tables are immutable; callers copy and modify for what-if studies.
+const TechParams& tech_params(TechNode node);
+
+/// Gate-oxide capacitance per unit area, eps_ox / tox [F/m^2].
+double oxide_capacitance(const TechParams& tech);
+
+/// Thermal voltage kT/q [V] at absolute temperature @p temperature_k.
+double thermal_voltage(double temperature_k);
+
+/// Threshold voltage at temperature, |Vth|(T) = vth0 - vth_tc * (T - 300 K).
+/// Clamped at a small positive floor so the model stays defined for
+/// pathological inputs.
+double vth_at_temperature(const DeviceParams& dev, double temperature_k);
+
+/// Human-readable node name, e.g. "70nm".
+std::string_view to_string(TechNode node);
+
+/// All supported nodes, ordered newest (smallest) first.
+inline constexpr std::array<TechNode, 4> kAllNodes = {
+    TechNode::nm70, TechNode::nm100, TechNode::nm130, TechNode::nm180};
+
+/// Physical constants.
+inline constexpr double kBoltzmann = 1.380649e-23; ///< [J/K]
+inline constexpr double kElectronCharge = 1.602176634e-19; ///< [C]
+inline constexpr double kEpsilonOx = 3.9 * 8.8541878128e-12; ///< SiO2 [F/m]
+inline constexpr double kRoomTemperatureK = 300.0;
+
+} // namespace hotleakage

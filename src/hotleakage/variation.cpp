@@ -1,0 +1,87 @@
+#include "hotleakage/variation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace hotleakage {
+namespace {
+
+/// Evaluate the sampled die: L scales leakage as 1/L and, more importantly,
+/// shorter channels have lower Vth (roll-off) and stronger DIBL; tox scales
+/// Cox and gate leakage; Vdd and Vth feed Eq. 2 directly.
+double sampled_leakage(const TechParams& tech, DeviceType type,
+                       const OperatingPoint& op, double dl, double dtox,
+                       double dvdd, double dvth) {
+  TechParams die = tech;
+  // Channel length: W/L grows as L shrinks, and Vth rolls off linearly with
+  // length reduction (a standard first-order short-channel approximation).
+  const double l_ratio = std::clamp(1.0 + dl, 0.25, 2.0);
+  die.tox = tech.tox * std::clamp(1.0 + dtox, 0.25, 2.0);
+  const double vth_rolloff = -0.08 * (1.0 - l_ratio); // shorter => lower Vth
+
+  OperatingPoint die_op = op;
+  die_op.vdd = std::max(0.0, op.vdd * (1.0 + dvdd));
+
+  DeviceOverrides ovr;
+  ovr.w_over_l = 1.0 / l_ratio;
+  const DeviceParams& dev = type == DeviceType::nmos ? tech.nmos : tech.pmos;
+  ovr.vth_delta = dev.vth0 * dvth + vth_rolloff;
+  return subthreshold_current(die, type, die_op, ovr);
+}
+
+} // namespace
+
+VariationResult interdie_variation(const TechParams& tech, DeviceType type,
+                                   const OperatingPoint& op,
+                                   const VariationConfig& cfg) {
+  VariationResult result;
+  if (!cfg.enabled || cfg.samples <= 0) {
+    return result;
+  }
+  const double nominal = subthreshold_current(tech, type, op);
+  if (nominal <= 0.0) {
+    return result;
+  }
+  std::mt19937_64 rng(cfg.seed);
+  const VariationSigmas& s3 = tech.sigmas;
+  std::normal_distribution<double> dist_l(0.0, cfg.sigma_scale * s3.length3 / 3.0);
+  std::normal_distribution<double> dist_tox(0.0, cfg.sigma_scale * s3.tox3 / 3.0);
+  std::normal_distribution<double> dist_vdd(0.0, cfg.sigma_scale * s3.vdd3 / 3.0);
+  std::normal_distribution<double> dist_vth(0.0, cfg.sigma_scale * s3.vth3 / 3.0);
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (int i = 0; i < cfg.samples; ++i) {
+    const double current = sampled_leakage(tech, type, op, dist_l(rng),
+                                           dist_tox(rng), dist_vdd(rng),
+                                           dist_vth(rng));
+    const double factor = current / nominal;
+    sum += factor;
+    sum_sq += factor * factor;
+    lo = std::min(lo, factor);
+    hi = std::max(hi, factor);
+  }
+  const double n = static_cast<double>(cfg.samples);
+  result.mean_factor = sum / n;
+  result.min_factor = lo;
+  result.max_factor = hi;
+  const double var = std::max(0.0, sum_sq / n - result.mean_factor * result.mean_factor);
+  result.stddev_factor = std::sqrt(var);
+  return result;
+}
+
+double variation_scale(const TechParams& tech, const OperatingPoint& op,
+                       const VariationConfig& cfg) {
+  if (!cfg.enabled) {
+    return 1.0;
+  }
+  const VariationResult n = interdie_variation(tech, DeviceType::nmos, op, cfg);
+  const VariationResult p = interdie_variation(tech, DeviceType::pmos, op, cfg);
+  return 0.5 * (n.mean_factor + p.mean_factor);
+}
+
+} // namespace hotleakage

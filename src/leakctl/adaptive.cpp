@@ -1,0 +1,43 @@
+#include "leakctl/adaptive.h"
+
+#include <algorithm>
+
+namespace leakctl {
+
+FeedbackController::FeedbackController(FeedbackConfig cfg) : cfg_(cfg) {}
+
+void FeedbackController::attach(ControlledCache& cc) {
+  cc.set_window_hook(cfg_.window_cycles,
+                     [this](ControlledCache& cache, uint64_t boundary) {
+                       on_window(cache, boundary);
+                     });
+}
+
+void FeedbackController::on_window(ControlledCache& cc,
+                                   uint64_t boundary_cycle) {
+  (void)boundary_cycle;
+  const double events = static_cast<double>(cc.drain_induced_events());
+  const double rate = events / static_cast<double>(cfg_.window_cycles);
+  const uint64_t current = cc.decay_interval();
+  if (rate > cfg_.target_rate * (1.0 + cfg_.deadband)) {
+    // Too many induced events: decay less aggressively.
+    const uint64_t next = std::min<uint64_t>(
+        cfg_.max_interval,
+        static_cast<uint64_t>(static_cast<double>(current) * cfg_.gain));
+    if (next != current) {
+      cc.set_decay_interval(next);
+      ++ups_;
+    }
+  } else if (rate < cfg_.target_rate * (1.0 - cfg_.deadband)) {
+    // Few induced events: we can decay more aggressively and save more.
+    const uint64_t next = std::max<uint64_t>(
+        cfg_.min_interval,
+        static_cast<uint64_t>(static_cast<double>(current) / cfg_.gain));
+    if (next != current) {
+      cc.set_decay_interval(next);
+      ++downs_;
+    }
+  }
+}
+
+} // namespace leakctl

@@ -1,0 +1,52 @@
+// Adaptive decay-interval control (paper Sec. 5.4).
+//
+// The paper identifies three adaptive approaches; we implement the
+// formal-feedback technique of Velusamy et al. [31]: a small state machine
+// that periodically observes the induced-miss (or slow-hit) rate through
+// the awake tags and multiplicatively adjusts the decay interval to hold
+// that rate at a setpoint.  Adaptivity matters far more for gated-Vss,
+// whose best static intervals spread over 1 k - 64 k cycles (Table 3),
+// than for drowsy, which is insensitive to the interval.
+//
+// The oracle "best per-benchmark interval" of Figs. 12-13 is not a runtime
+// controller; the harness produces it by sweeping intervals
+// (harness::best_interval_sweep).
+#pragma once
+
+#include <cstdint>
+
+#include "leakctl/controlled_cache.h"
+
+namespace leakctl {
+
+struct FeedbackConfig {
+  uint64_t window_cycles = 50000;   ///< observation window
+  double target_rate = 5.0e-4;      ///< induced events per cycle setpoint
+  double deadband = 0.5;            ///< +/- fraction around the setpoint
+  uint64_t min_interval = 1024;
+  uint64_t max_interval = 65536;
+  double gain = 2.0;                ///< multiplicative step
+};
+
+/// Integral-style multiplicative feedback controller.  Wire it to a
+/// ControlledCache via attach(); it installs itself as the window hook.
+class FeedbackController {
+public:
+  explicit FeedbackController(FeedbackConfig cfg = {});
+
+  /// Install on @p cc.  The controller must outlive the cache's run.
+  void attach(ControlledCache& cc);
+
+  /// One observation window (exposed for unit tests).
+  void on_window(ControlledCache& cc, uint64_t boundary_cycle);
+
+  uint64_t adjustments_up() const { return ups_; }
+  uint64_t adjustments_down() const { return downs_; }
+
+private:
+  FeedbackConfig cfg_;
+  uint64_t ups_ = 0;
+  uint64_t downs_ = 0;
+};
+
+} // namespace leakctl

@@ -1,0 +1,82 @@
+#include "leakctl/adaptive_modes.h"
+
+#include <algorithm>
+
+namespace leakctl {
+
+PerLineAdaptiveController::PerLineAdaptiveController(PerLineAdaptiveConfig cfg)
+    : cfg_(cfg) {}
+
+void PerLineAdaptiveController::attach(ControlledCache& cc) {
+  shift_.assign(cc.lines(), cfg_.min_shift);
+  for (std::size_t i = 0; i < shift_.size(); ++i) {
+    cc.set_line_decay_threshold(i, static_cast<uint16_t>(4u << shift_[i]));
+  }
+  cc.set_induced_hook(
+      [this, &cc](std::size_t line) { on_induced(cc, line); });
+  cc.set_window_hook(cfg_.forget_window_cycles,
+                     [this](ControlledCache& cache, uint64_t) {
+                       on_forget(cache);
+                     });
+}
+
+void PerLineAdaptiveController::on_induced(ControlledCache& cc,
+                                           std::size_t line_index) {
+  // Premature deactivation: this line's data was still live.  Give it a
+  // longer leash.
+  uint16_t& shift = shift_[line_index];
+  if (shift < cfg_.max_shift) {
+    ++shift;
+    cc.set_line_decay_threshold(line_index,
+                                static_cast<uint16_t>(4u << shift));
+    ++promotions_;
+  }
+}
+
+void PerLineAdaptiveController::on_forget(ControlledCache& cc) {
+  // Forgetting: demote every line one step so intervals track phase
+  // changes instead of ratcheting up forever.
+  for (std::size_t i = 0; i < shift_.size(); ++i) {
+    if (shift_[i] > cfg_.min_shift) {
+      --shift_[i];
+      cc.set_line_decay_threshold(i, static_cast<uint16_t>(4u << shift_[i]));
+      ++demotions_;
+    }
+  }
+}
+
+AdaptiveModeControl::AdaptiveModeControl(AmcConfig cfg) : cfg_(cfg) {}
+
+void AdaptiveModeControl::attach(ControlledCache& cc) {
+  cc.set_window_hook(cfg_.window_cycles,
+                     [this](ControlledCache& cache, uint64_t boundary) {
+                       on_window(cache, boundary);
+                     });
+}
+
+void AdaptiveModeControl::on_window(ControlledCache& cc,
+                                    uint64_t boundary_cycle) {
+  (void)boundary_cycle;
+  const double induced = static_cast<double>(cc.drain_induced_events());
+  const double real = static_cast<double>(cc.drain_true_misses());
+  if (induced + real < 8.0) {
+    return; // not enough signal this window
+  }
+  const double ratio = induced / std::max(real, 1.0);
+  const uint64_t current = cc.decay_interval();
+  if (ratio > cfg_.target_ratio * (1.0 + cfg_.band)) {
+    const uint64_t next = std::min<uint64_t>(cfg_.max_interval, current * 2);
+    if (next != current) {
+      cc.set_decay_interval(next);
+      ++ups_;
+    }
+  } else if (ratio < cfg_.target_ratio * (1.0 - cfg_.band)) {
+    const uint64_t next = std::max<uint64_t>(cfg_.min_interval, current / 2);
+    if (next != current) {
+      cc.set_decay_interval(next);
+      ++downs_;
+    }
+  }
+}
+
+} // namespace leakctl

@@ -1,0 +1,81 @@
+// The other two adaptive-decay approaches the paper identifies (Sec. 5.4):
+//
+//  * Kaxiras et al. [19]: *per-line* adaptive decay intervals — each line
+//    carries a few bits selecting among exponentially-spaced intervals;
+//    a premature deactivation (induced event) promotes the line to a longer
+//    interval, and a periodic forgetting step demotes all lines so the
+//    intervals re-shorten when behaviour changes.
+//
+//  * Zhou et al. [33], *adaptive mode control* (AMC): the tags stay awake
+//    and the controller holds the ratio of "sleep misses" (would-be hits on
+//    deactivated lines, i.e. induced events) to real misses inside a target
+//    band by adjusting the global decay interval.
+//
+// Both require awake tags to observe induced events, like the feedback
+// controller in adaptive.h.
+#pragma once
+
+#include <cstdint>
+
+#include "leakctl/controlled_cache.h"
+
+namespace leakctl {
+
+/// Kaxiras-style per-line interval adaptation.
+struct PerLineAdaptiveConfig {
+  uint16_t min_shift = 0;  ///< threshold = 4 << shift epochs
+  uint16_t max_shift = 4;  ///< up to 16x the base interval
+  uint64_t forget_window_cycles = 200'000; ///< demote everything periodically
+};
+
+class PerLineAdaptiveController {
+public:
+  explicit PerLineAdaptiveController(PerLineAdaptiveConfig cfg = {});
+
+  /// Installs both the per-event induced hook (promotion) and the periodic
+  /// window hook (forgetting) on @p cc.  Must outlive the run.
+  void attach(ControlledCache& cc);
+
+  /// Exposed for tests.
+  void on_induced(ControlledCache& cc, std::size_t line_index);
+  void on_forget(ControlledCache& cc);
+
+  unsigned long long promotions() const { return promotions_; }
+  unsigned long long demotions() const { return demotions_; }
+
+private:
+  PerLineAdaptiveConfig cfg_;
+  std::vector<uint16_t> shift_;
+  unsigned long long promotions_ = 0;
+  unsigned long long demotions_ = 0;
+};
+
+/// Zhou-style adaptive mode control on the global interval.
+struct AmcConfig {
+  uint64_t window_cycles = 50'000;
+  /// Target band for induced events as a fraction of real misses
+  /// ("performance factor" in the AMC paper).
+  double target_ratio = 0.05;
+  double band = 0.5; ///< +/- fraction around the target
+  uint64_t min_interval = 1024;
+  uint64_t max_interval = 65536;
+};
+
+class AdaptiveModeControl {
+public:
+  explicit AdaptiveModeControl(AmcConfig cfg = {});
+
+  void attach(ControlledCache& cc);
+  void on_window(ControlledCache& cc, uint64_t boundary_cycle);
+
+  unsigned long long adjustments() const { return ups_ + downs_; }
+  unsigned long long ups() const { return ups_; }
+  unsigned long long downs() const { return downs_; }
+
+private:
+  AmcConfig cfg_;
+  unsigned long long ups_ = 0;
+  unsigned long long downs_ = 0;
+};
+
+} // namespace leakctl

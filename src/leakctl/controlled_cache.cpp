@@ -1,0 +1,255 @@
+#include "leakctl/controlled_cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace leakctl {
+
+ControlledCache::ControlledCache(const ControlledCacheConfig& cfg,
+                                 sim::BackingStore& next_level,
+                                 wattch::Activity* activity)
+    : cfg_(cfg),
+      cache_(cfg.cache),
+      next_(next_level),
+      activity_(activity),
+      decay_(cfg.cache.lines(), cfg.decay_interval, cfg.policy),
+      ctl_(cfg.cache.lines()) {}
+
+void ControlledCache::deactivate(std::size_t index, uint64_t boundary_cycle) {
+  LineCtl& ln = ctl_[index];
+  if (ln.standby) {
+    return;
+  }
+  const uint64_t active_span =
+      boundary_cycle > ln.event_cycle ? boundary_cycle - ln.event_cycle : 0;
+  // The settle period still leaks at the full rate (Table 1: 30 cycles for
+  // gated-Vss — why it suffers at short intervals).
+  stats_.data_active_cycles += active_span + cfg_.technique.settle_to_low;
+  if (cfg_.technique.decay_tags) {
+    stats_.tag_active_cycles += active_span + cfg_.technique.settle_to_low;
+  }
+  ln.standby = true;
+  ln.event_cycle = boundary_cycle + cfg_.technique.settle_to_low;
+  stats_.decays++;
+  if (activity_ != nullptr) {
+    activity_->line_transitions++;
+  }
+
+  if (!cfg_.technique.state_preserving) {
+    const std::size_t set = index / cfg_.cache.assoc;
+    const std::size_t way = index % cfg_.cache.assoc;
+    const sim::Cache::Line& line = cache_.line(set, way);
+    if (line.valid) {
+      ln.ghost_tag = line.tag;
+      ln.ghost_fresh = true;
+      const uint64_t wb_addr = cache_.line_addr(set, way);
+      if (cache_.invalidate(set, way)) {
+        stats_.decay_writebacks++;
+        next_.writeback(wb_addr, boundary_cycle);
+      }
+    } else {
+      ln.ghost_fresh = false;
+    }
+  }
+}
+
+void ControlledCache::wake(std::size_t index, uint64_t cycle) {
+  LineCtl& ln = ctl_[index];
+  if (!ln.standby) {
+    return;
+  }
+  const uint64_t standby_span =
+      cycle > ln.event_cycle ? cycle - ln.event_cycle : 0;
+  stats_.data_standby_cycles += standby_span;
+  if (cfg_.technique.decay_tags) {
+    stats_.tag_standby_cycles += standby_span;
+  }
+  ln.standby = false;
+  ln.event_cycle = cycle;
+  ln.ghost_fresh = false;
+  stats_.wakes++;
+  if (activity_ != nullptr) {
+    activity_->line_transitions++;
+    activity_->drowsy_wakes++;
+  }
+}
+
+bool ControlledCache::any_standby_in_set(std::size_t set) const {
+  for (std::size_t w = 0; w < cfg_.cache.assoc; ++w) {
+    if (ctl_[line_index(set, w)].standby) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ControlledCache::note_fill(std::size_t set, std::size_t filled_way,
+                                uint64_t cycle) {
+  (void)cycle;
+  // A fill into the set means LRU would by now have evicted any line that
+  // had been idle long enough to decay: their ghosts go stale.
+  for (std::size_t w = 0; w < cfg_.cache.assoc; ++w) {
+    ctl_[line_index(set, w)].ghost_fresh = false;
+  }
+  (void)filled_way;
+}
+
+unsigned ControlledCache::access(uint64_t addr, bool is_store,
+                                 uint64_t cycle) {
+  if (finalized_) {
+    throw std::logic_error("ControlledCache::access after finalize");
+  }
+  max_cycle_ = std::max(max_cycle_, cycle);
+  decay_.advance(max_cycle_,
+                 [this](std::size_t idx, uint64_t at) { deactivate(idx, at); });
+  while (window_cycles_ != 0 && max_cycle_ >= next_window_) {
+    const uint64_t boundary = next_window_;
+    next_window_ += window_cycles_;
+    if (window_hook_) {
+      window_hook_(*this, boundary);
+    }
+  }
+
+  if (activity_ != nullptr) {
+    (is_store ? activity_->l1_writes : activity_->l1_reads)++;
+  }
+
+  const std::size_t set = cache_.set_index(addr);
+  const uint64_t tag = cache_.tag_of(addr);
+  const TechniqueParams& tech = cfg_.technique;
+  unsigned latency = cfg_.cache.hit_latency;
+
+  // Pre-classify against the standby state *before* the cache mutates.
+  int hit_way = -1;
+  for (std::size_t w = 0; w < cfg_.cache.assoc; ++w) {
+    const sim::Cache::Line& ln = cache_.line(set, w);
+    if (ln.valid && ln.tag == tag) {
+      hit_way = static_cast<int>(w);
+      break;
+    }
+  }
+  const bool set_has_standby = any_standby_in_set(set);
+  bool induced = false;
+  std::size_t induced_line = 0;
+  if (hit_way < 0 && !tech.state_preserving) {
+    for (std::size_t w = 0; w < cfg_.cache.assoc; ++w) {
+      const LineCtl& ln = ctl_[line_index(set, w)];
+      if (ln.standby && ln.ghost_fresh && ln.ghost_tag == tag) {
+        induced = true;
+        induced_line = line_index(set, w);
+        break;
+      }
+    }
+  }
+
+  const sim::Cache::AccessResult r = cache_.access(addr, is_store, cycle);
+  const std::size_t idx = line_index(r.set, r.way);
+  const bool was_standby = ctl_[idx].standby;
+
+  if (r.hit) {
+    if (was_standby) {
+      // State-preserving standby hit: slow hit, pay the wake penalty.
+      stats_.slow_hits++;
+      induced_events_window_++;
+      if (induced_hook_) {
+        induced_hook_(idx);
+      }
+      latency += tech.decay_tags ? tech.wake_extra_tags_decayed
+                                 : tech.wake_extra_tags_awake;
+      wake(idx, cycle);
+    } else {
+      stats_.hits++;
+    }
+  } else {
+    // Miss path.
+    if (induced) {
+      stats_.induced_misses++;
+      induced_events_window_++;
+      if (induced_hook_) {
+        induced_hook_(induced_line);
+      }
+    } else {
+      stats_.true_misses++;
+      true_misses_window_++;
+      if (set_has_standby) {
+        stats_.true_misses_on_standby_set++;
+        // Drowsy must wake the standby tags before it can conclude "miss";
+        // gated-Vss pays nothing (standby ways are known misses).
+        latency += tech.true_miss_extra_tags_decayed;
+      }
+    }
+    if (r.writeback) {
+      next_.writeback(r.writeback_addr, cycle);
+    }
+    latency += next_.access(addr, /*is_store=*/false, cycle);
+    if (was_standby) {
+      wake(idx, cycle); // fill powers the way back up (settle overlapped)
+    }
+    note_fill(r.set, r.way, cycle);
+  }
+
+  decay_.on_access(idx);
+  ctl_[idx].ghost_fresh = false;
+  return latency;
+}
+
+void ControlledCache::finalize(uint64_t end_cycle) {
+  if (finalized_) {
+    return;
+  }
+  max_cycle_ = std::max(max_cycle_, end_cycle);
+  decay_.advance(max_cycle_,
+                 [this](std::size_t idx, uint64_t at) { deactivate(idx, at); });
+  for (std::size_t i = 0; i < ctl_.size(); ++i) {
+    const LineCtl& ln = ctl_[i];
+    const uint64_t span =
+        max_cycle_ > ln.event_cycle ? max_cycle_ - ln.event_cycle : 0;
+    if (ln.standby) {
+      stats_.data_standby_cycles += span;
+      if (cfg_.technique.decay_tags) {
+        stats_.tag_standby_cycles += span;
+      }
+    } else {
+      stats_.data_active_cycles += span;
+      if (cfg_.technique.decay_tags) {
+        stats_.tag_active_cycles += span;
+      }
+    }
+  }
+  if (!cfg_.technique.decay_tags) {
+    // Tags never decayed: active for the whole run.
+    stats_.tag_active_cycles =
+        static_cast<unsigned long long>(ctl_.size()) * max_cycle_;
+    stats_.tag_standby_cycles = 0;
+  }
+  stats_.counter_ticks = decay_.counter_ticks();
+  if (activity_ != nullptr) {
+    activity_->counter_ticks += decay_.counter_ticks();
+  }
+  finalized_ = true;
+}
+
+void ControlledCache::set_decay_interval(uint64_t interval) {
+  decay_.set_interval(interval);
+}
+
+unsigned long long ControlledCache::drain_induced_events() {
+  const unsigned long long v = induced_events_window_;
+  induced_events_window_ = 0;
+  return v;
+}
+
+unsigned long long ControlledCache::drain_true_misses() {
+  const unsigned long long v = true_misses_window_;
+  true_misses_window_ = 0;
+  return v;
+}
+
+void ControlledCache::set_window_hook(uint64_t window_cycles,
+                                      WindowHook hook) {
+  window_cycles_ = window_cycles;
+  next_window_ = max_cycle_ + window_cycles;
+  window_hook_ = std::move(hook);
+}
+
+} // namespace leakctl

@@ -1,0 +1,160 @@
+// L1 D-cache wrapped with a leakage-control technique (paper Sec. 2.3).
+//
+// This is the paper's central artifact: a sim::DataPort that interposes the
+// decay machinery between the core and the L1 D-cache, classifies every
+// access (normal hit / slow hit / induced miss / true miss), injects the
+// technique's latencies, and keeps exact per-line active/standby residency
+// integrals for the energy accounting in energy.h.
+//
+// Classification:
+//   * drowsy (state-preserving): a standby line still hits, paying the wake
+//     penalty — a *slow hit*.  A true miss additionally pays the tag-wake
+//     penalty when tags are decayed (wake, check, then go to L2).
+//   * gated-Vss (non-state-preserving): deactivation invalidates the line
+//     (dirty lines are written back at deactivation time).  A later access
+//     that would have hit is an *induced miss* (full L2 access); an access
+//     that would have missed anyway is a *true miss*, and is served at the
+//     plain miss latency — standby ways are known misses, so no tag wake is
+//     needed (the Sec. 5.1 effect that makes gated faster on true misses).
+//
+// Induced-vs-true classification for gated-Vss uses ghost tags: each
+// deactivated way remembers its tag until the next fill into its set, at
+// which point LRU would have evicted the (long-idle) line anyway.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "leakctl/decay.h"
+#include "leakctl/technique.h"
+#include "sim/hierarchy.h"
+
+namespace leakctl {
+
+struct ControlledCacheConfig {
+  sim::CacheConfig cache;
+  TechniqueParams technique = TechniqueParams::drowsy();
+  DecayPolicy policy = DecayPolicy::noaccess;
+  uint64_t decay_interval = 4096;
+};
+
+/// Access classification and residency statistics for one run.
+struct ControlStats {
+  unsigned long long hits = 0;           ///< active-line hits
+  unsigned long long slow_hits = 0;      ///< standby hits (state-preserving)
+  unsigned long long induced_misses = 0; ///< standby destroyed useful data
+  unsigned long long true_misses = 0;
+  unsigned long long true_misses_on_standby_set = 0; ///< paid/saved tag wake
+  unsigned long long decays = 0;         ///< active -> standby transitions
+  unsigned long long wakes = 0;          ///< standby -> active transitions
+  unsigned long long decay_writebacks = 0;
+  unsigned long long counter_ticks = 0;
+  /// Residency integrals in line-cycles.
+  unsigned long long data_active_cycles = 0;
+  unsigned long long data_standby_cycles = 0;
+  unsigned long long tag_active_cycles = 0;
+  unsigned long long tag_standby_cycles = 0;
+
+  unsigned long long accesses() const {
+    return hits + slow_hits + induced_misses + true_misses;
+  }
+  /// Fraction of line-cycles spent in standby (the paper's turnoff ratio).
+  double turnoff_ratio() const {
+    const unsigned long long total = data_active_cycles + data_standby_cycles;
+    return total ? static_cast<double>(data_standby_cycles) / total : 0.0;
+  }
+};
+
+class ControlledCache final : public sim::DataPort,
+                              public sim::BackingStore {
+public:
+  ControlledCache(const ControlledCacheConfig& cfg,
+                  sim::BackingStore& next_level,
+                  wattch::Activity* activity);
+
+  /// Satisfies both DataPort (an L1 in front of the core) and
+  /// BackingStore (an L2 in front of memory): decay applies at any level.
+  unsigned access(uint64_t addr, bool is_store, uint64_t cycle) override;
+
+  /// BackingStore: absorb a dirty victim from the level above (off the
+  /// critical path; still updates contents and decay state).
+  void writeback(uint64_t addr, uint64_t cycle) override {
+    (void)access(addr, /*is_store=*/true, cycle);
+  }
+
+  /// Close residency integrals at the end of the run.  Must be called once
+  /// after the core finishes; access() must not be called afterwards.
+  void finalize(uint64_t end_cycle);
+
+  /// Adaptive-control hooks.
+  void set_decay_interval(uint64_t interval);
+  uint64_t decay_interval() const { return decay_.interval(); }
+
+  const ControlStats& stats() const { return stats_; }
+  const ControlledCacheConfig& config() const { return cfg_; }
+  const sim::Cache& cache() const { return cache_; }
+
+  /// Induced misses + slow hits since the last call (feedback-controller
+  /// sensor; the tags identify induced misses when kept awake).
+  unsigned long long drain_induced_events();
+
+  /// Install a periodic hook: @p hook(self, boundary_cycle) runs every
+  /// @p window_cycles.  Adaptive controllers use this to observe induced
+  /// misses and retune the decay interval at runtime.
+  using WindowHook = std::function<void(ControlledCache&, uint64_t)>;
+  void set_window_hook(uint64_t window_cycles, WindowHook hook);
+
+  /// True misses since the last call (AMC-style controllers use the
+  /// induced-to-true miss ratio as their sensor).
+  unsigned long long drain_true_misses();
+
+  /// Per-event hook invoked with the line index of every induced event
+  /// (induced miss or slow hit) — the sensor for Kaxiras-style per-line
+  /// adaptive intervals.
+  using InducedHook = std::function<void(std::size_t line_index)>;
+  void set_induced_hook(InducedHook hook) { induced_hook_ = std::move(hook); }
+
+  /// Per-line decay threshold in epochs (default 4 = one interval).
+  void set_line_decay_threshold(std::size_t line_index, uint16_t epochs) {
+    decay_.set_line_threshold(line_index, epochs);
+  }
+  uint16_t line_decay_threshold(std::size_t line_index) const {
+    return decay_.line_threshold(line_index);
+  }
+  std::size_t lines() const { return ctl_.size(); }
+
+private:
+  struct LineCtl {
+    uint64_t event_cycle = 0;   ///< activation time (active) / decay time
+    uint64_t ghost_tag = 0;     ///< tag at deactivation (gated-Vss)
+    bool ghost_fresh = false;   ///< no fill into the set since deactivation
+    bool standby = false;
+  };
+
+  std::size_t line_index(std::size_t set, std::size_t way) const {
+    return set * cfg_.cache.assoc + way;
+  }
+  void deactivate(std::size_t index, uint64_t boundary_cycle);
+  void wake(std::size_t index, uint64_t cycle);
+  bool any_standby_in_set(std::size_t set) const;
+  void note_fill(std::size_t set, std::size_t filled_way, uint64_t cycle);
+
+  ControlledCacheConfig cfg_;
+  sim::Cache cache_;
+  sim::BackingStore& next_;
+  wattch::Activity* activity_;
+  DecayCounters decay_;
+  std::vector<LineCtl> ctl_;
+  ControlStats stats_;
+  uint64_t max_cycle_ = 0;
+  unsigned long long induced_events_window_ = 0;
+  unsigned long long true_misses_window_ = 0;
+  uint64_t window_cycles_ = 0;
+  uint64_t next_window_ = 0;
+  WindowHook window_hook_;
+  InducedHook induced_hook_;
+  bool finalized_ = false;
+};
+
+} // namespace leakctl

@@ -1,0 +1,37 @@
+// Leakage-controlled L1 instruction cache (extension).
+//
+// The paper studies the L1 D-cache, but the original drowsy-cache proposal
+// also covers the I-cache, and the generic line-standby abstraction of
+// Sec. 2.3 applies unchanged: this adapter runs the same ControlledCache
+// machinery on the fetch path.  Instruction lines are never dirty, so
+// gated-Vss deactivation needs no writebacks, and induced misses surface
+// as fetch stalls instead of load latency.
+#pragma once
+
+#include "leakctl/controlled_cache.h"
+#include "sim/hierarchy.h"
+
+namespace leakctl {
+
+class ControlledFetchPort final : public sim::FetchPort {
+public:
+  ControlledFetchPort(const ControlledCacheConfig& cfg,
+                      sim::BackingStore& next_level,
+                      wattch::Activity* activity)
+      : cache_(cfg, next_level, activity) {}
+
+  unsigned fetch(uint64_t pc, uint64_t cycle) override {
+    return cache_.access(pc, /*is_store=*/false, cycle);
+  }
+
+  /// Close residency integrals at the end of the run.
+  void finalize(uint64_t end_cycle) { cache_.finalize(end_cycle); }
+
+  ControlledCache& cache() { return cache_; }
+  const ControlStats& stats() const { return cache_.stats(); }
+
+private:
+  ControlledCache cache_;
+};
+
+} // namespace leakctl

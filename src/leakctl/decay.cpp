@@ -1,0 +1,44 @@
+#include "leakctl/decay.h"
+
+#include <stdexcept>
+
+namespace leakctl {
+
+DecayCounters::DecayCounters(std::size_t lines, uint64_t decay_interval,
+                             DecayPolicy policy)
+    : policy_(policy), interval_(decay_interval) {
+  if (lines == 0) {
+    throw std::invalid_argument("DecayCounters: zero lines");
+  }
+  if (decay_interval < 4) {
+    throw std::invalid_argument("DecayCounters: interval must be >= 4 cycles");
+  }
+  counters_.assign(lines, 0);
+  threshold_.assign(lines, 4);
+  active_.assign(lines, 1);
+  next_epoch_ = epoch_length();
+}
+
+void DecayCounters::set_line_threshold(std::size_t line, uint16_t epochs) {
+  if (epochs < 1) {
+    throw std::invalid_argument("set_line_threshold: epochs must be >= 1");
+  }
+  threshold_[line] = epochs;
+}
+
+void DecayCounters::on_access(std::size_t line) {
+  counters_[line] = 0;
+  active_[line] = 1;
+}
+
+void DecayCounters::set_interval(uint64_t decay_interval) {
+  if (decay_interval < 4) {
+    throw std::invalid_argument("DecayCounters: interval must be >= 4 cycles");
+  }
+  // Re-anchor the next epoch boundary without moving time backwards.
+  const uint64_t last_boundary = next_epoch_ - epoch_length();
+  interval_ = decay_interval;
+  next_epoch_ = last_boundary + epoch_length();
+}
+
+} // namespace leakctl

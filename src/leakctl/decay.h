@@ -1,0 +1,98 @@
+// Decay-counter machinery (paper Sec. 2.3, following Kaxiras et al.).
+//
+// A global counter counts up to one quarter of the decay interval (the
+// "epoch"); each time it wraps, every active line's local 2-bit saturating
+// counter is incremented.  A line whose counter saturates has been idle for
+// the full decay interval (within one epoch of quantization error) and is
+// deactivated.  Any access resets the line's counter.
+//
+// The `simple` policy (from the drowsy paper) keeps no per-line history:
+// every full interval, all lines are deactivated unconditionally.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "leakctl/technique.h"
+
+namespace leakctl {
+
+class DecayCounters {
+public:
+  DecayCounters(std::size_t lines, uint64_t decay_interval, DecayPolicy policy);
+
+  /// Advance the global counter to @p cycle, invoking
+  /// @p on_decay(line_index, epoch_boundary_cycle) for every line that
+  /// deactivates.  Idempotent for non-increasing cycles.
+  template <typename F> void advance(uint64_t cycle, F&& on_decay) {
+    while (next_epoch_ <= cycle) {
+      tick_epoch(on_decay);
+    }
+  }
+
+  /// An access to @p line at any cycle: resets its counter and marks it
+  /// active (the caller handles the wake itself).
+  void on_access(std::size_t line);
+
+  /// True if the decay machinery currently considers @p line deactivated.
+  bool decayed(std::size_t line) const { return !active_[line]; }
+
+  /// Change the decay interval (adaptive schemes); takes effect for the
+  /// next epoch.  Interval must be >= 4 cycles.
+  void set_interval(uint64_t decay_interval);
+  uint64_t interval() const { return interval_; }
+
+  /// Per-line decay threshold in epochs (Kaxiras-style per-line adaptive
+  /// intervals: "an array of bits to select from multiple possible decay
+  /// intervals").  Default 4 epochs = one full interval.
+  void set_line_threshold(std::size_t line, uint16_t epochs);
+  uint16_t line_threshold(std::size_t line) const { return threshold_[line]; }
+
+  /// Total local-counter increments so far (dynamic-energy accounting).
+  unsigned long long counter_ticks() const { return counter_ticks_; }
+
+  std::size_t lines() const { return active_.size(); }
+
+private:
+  template <typename F> void tick_epoch(F&& on_decay) {
+    const uint64_t boundary = next_epoch_;
+    ++epoch_index_;
+    if (policy_ == DecayPolicy::noaccess) {
+      for (std::size_t i = 0; i < counters_.size(); ++i) {
+        if (!active_[i]) {
+          continue;
+        }
+        ++counter_ticks_;
+        if (counters_[i] + 1 >= threshold_[i]) {
+          active_[i] = 0;
+          on_decay(i, boundary);
+        } else {
+          ++counters_[i];
+        }
+      }
+    } else { // simple: all lines off every full interval
+      if (epoch_index_ % 4 == 0) {
+        for (std::size_t i = 0; i < counters_.size(); ++i) {
+          if (active_[i]) {
+            active_[i] = 0;
+            on_decay(i, boundary);
+          }
+        }
+      }
+    }
+    next_epoch_ += epoch_length();
+  }
+
+  uint64_t epoch_length() const { return interval_ / 4; }
+
+  DecayPolicy policy_;
+  uint64_t interval_;
+  uint64_t next_epoch_;
+  uint64_t epoch_index_ = 0;
+  std::vector<uint16_t> counters_;
+  std::vector<uint16_t> threshold_;
+  std::vector<uint8_t> active_;
+  unsigned long long counter_ticks_ = 0;
+};
+
+} // namespace leakctl

@@ -1,0 +1,76 @@
+#include "leakctl/energy.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace leakctl {
+
+hotleakage::CacheGeometry geometry_of(const sim::CacheConfig& cfg,
+                                      std::size_t physical_address_bits) {
+  hotleakage::CacheGeometry geom;
+  geom.lines = cfg.lines();
+  geom.line_bytes = cfg.line_bytes;
+  geom.assoc = cfg.assoc;
+  const std::size_t offset_bits =
+      static_cast<std::size_t>(std::log2(static_cast<double>(cfg.line_bytes)));
+  const std::size_t index_bits =
+      static_cast<std::size_t>(std::log2(static_cast<double>(cfg.sets())));
+  const std::size_t tag = physical_address_bits - offset_bits - index_bits;
+  geom.tag_bits = tag + 3; // + valid, dirty, LRU state
+  return geom;
+}
+
+EnergyBreakdown compute_energy(const hotleakage::LeakageModel& model,
+                               const hotleakage::CacheGeometry& geom,
+                               const wattch::PowerParams& power,
+                               const TechniqueParams& technique,
+                               const RunPair& runs, double clock_hz) {
+  if (clock_hz <= 0.0) {
+    throw std::invalid_argument("compute_energy: clock must be positive");
+  }
+  using hotleakage::StandbyMode;
+  const double dt = 1.0 / clock_hz;
+  const double t_base = static_cast<double>(runs.base_run.cycles) * dt;
+  const double t_tech = static_cast<double>(runs.tech_run.cycles) * dt;
+
+  const double p_data_active = model.data_line_power(geom, StandbyMode::active);
+  const double p_tag_active = model.tag_line_power(geom, StandbyMode::active);
+  const double p_data_standby = model.data_line_power(geom, technique.mode);
+  const double p_tag_standby = model.tag_line_power(geom, technique.mode);
+  const double p_edge = model.edge_logic_power(geom);
+  const double lines = static_cast<double>(geom.lines);
+
+  EnergyBreakdown e;
+  e.baseline_leakage_j =
+      (lines * (p_data_active + p_tag_active) + p_edge) * t_base;
+
+  const ControlStats& c = runs.control;
+  e.technique_leakage_j =
+      (p_data_active * static_cast<double>(c.data_active_cycles) +
+       p_data_standby * static_cast<double>(c.data_standby_cycles) +
+       p_tag_active * static_cast<double>(c.tag_active_cycles) +
+       p_tag_standby * static_cast<double>(c.tag_standby_cycles)) *
+          dt +
+      p_edge * t_tech;
+  e.decay_hw_leakage_j = model.decay_hardware_power(geom) * t_tech;
+
+  const double dyn_tech = runs.tech_activity.energy(power);
+  const double dyn_base = runs.base_activity.energy(power);
+  e.extra_dynamic_j = dyn_tech - dyn_base;
+
+  e.gross_savings_j = e.baseline_leakage_j - e.technique_leakage_j;
+  e.net_savings_j =
+      e.gross_savings_j - e.decay_hw_leakage_j - e.extra_dynamic_j;
+  e.net_savings_frac =
+      e.baseline_leakage_j > 0.0 ? e.net_savings_j / e.baseline_leakage_j : 0.0;
+  e.perf_loss_frac =
+      runs.base_run.cycles
+          ? (static_cast<double>(runs.tech_run.cycles) -
+             static_cast<double>(runs.base_run.cycles)) /
+                static_cast<double>(runs.base_run.cycles)
+          : 0.0;
+  e.turnoff_ratio = c.turnoff_ratio();
+  return e;
+}
+
+} // namespace leakctl

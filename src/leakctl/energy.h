@@ -1,0 +1,60 @@
+// Net energy-savings accounting (paper Sec. 2.3 and Sec. 5.1).
+//
+// The paper's figure of merit is *net* cache-leakage savings: the gross
+// leakage saved by standby residency, minus every cost the technique
+// introduces:
+//   1. dynamic power of the extra hardware (decay counters),
+//   2. leakage of that extra hardware,
+//   3. dynamic power of mode transitions (and drowsy wake-ups),
+//   4. dynamic power of extra execution time and of extra L2 / tag
+//      accesses — obtained, as in the paper, by differencing the dynamic
+//      energy of the technique run against the baseline run.
+//
+// All leakage terms come from HotLeakage at the experiment's operating
+// point; all dynamic terms from the Wattch-style event energies.
+#pragma once
+
+#include "hotleakage/model.h"
+#include "leakctl/controlled_cache.h"
+#include "sim/core.h"
+#include "wattch/power.h"
+
+namespace leakctl {
+
+/// Inputs describing one (baseline, technique) run pair.
+struct RunPair {
+  sim::RunStats base_run;
+  wattch::Activity base_activity;
+  sim::RunStats tech_run;
+  wattch::Activity tech_activity;
+  ControlStats control;
+};
+
+/// Energy breakdown in joules plus the paper's reported ratios.
+struct EnergyBreakdown {
+  double baseline_leakage_j = 0.0;  ///< whole L1D leakage, baseline run
+  double technique_leakage_j = 0.0; ///< residual leakage, technique run
+  double decay_hw_leakage_j = 0.0;  ///< cost #2
+  double extra_dynamic_j = 0.0;     ///< costs #1, #3, #4 (activity delta)
+  double gross_savings_j = 0.0;
+  double net_savings_j = 0.0;
+
+  /// Paper's y-axes.
+  double net_savings_frac = 0.0; ///< of baseline cache leakage energy
+  double perf_loss_frac = 0.0;
+  double turnoff_ratio = 0.0;
+};
+
+/// Compute the breakdown for one benchmark run pair.
+/// @p model must already be at the experiment's operating point.
+EnergyBreakdown compute_energy(const hotleakage::LeakageModel& model,
+                               const hotleakage::CacheGeometry& geom,
+                               const wattch::PowerParams& power,
+                               const TechniqueParams& technique,
+                               const RunPair& runs, double clock_hz);
+
+/// The L1 D-cache geometry corresponding to a sim::CacheConfig.
+hotleakage::CacheGeometry geometry_of(const sim::CacheConfig& cfg,
+                                      std::size_t physical_address_bits = 40);
+
+} // namespace leakctl

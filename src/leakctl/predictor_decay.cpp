@@ -1,0 +1,155 @@
+#include "leakctl/predictor_decay.h"
+
+#include <algorithm>
+
+#include "workload/generator.h"
+
+namespace leakctl {
+
+RowDomain::RowDomain(std::size_t rows, uint64_t interval)
+    : counters_(rows, interval, DecayPolicy::noaccess),
+      event_cycle_(rows, 0),
+      off_(rows, 0) {}
+
+void RowDomain::advance(uint64_t cycle) {
+  max_cycle_ = std::max(max_cycle_, cycle);
+  counters_.advance(max_cycle_, [this](std::size_t row, uint64_t boundary) {
+    active_cycles_ += boundary > event_cycle_[row]
+                          ? boundary - event_cycle_[row]
+                          : 0;
+    event_cycle_[row] = boundary;
+    off_[row] = 1;
+    ++decays_;
+  });
+}
+
+bool RowDomain::touch(std::size_t row, uint64_t cycle) {
+  advance(cycle);
+  const bool was_off = off_[row] != 0;
+  if (was_off) {
+    standby_cycles_ +=
+        cycle > event_cycle_[row] ? cycle - event_cycle_[row] : 0;
+    event_cycle_[row] = cycle;
+    off_[row] = 0;
+    ++wakes_;
+  }
+  counters_.on_access(row);
+  return was_off;
+}
+
+void RowDomain::finalize(uint64_t end_cycle) {
+  advance(end_cycle);
+  for (std::size_t row = 0; row < event_cycle_.size(); ++row) {
+    const uint64_t span =
+        max_cycle_ > event_cycle_[row] ? max_cycle_ - event_cycle_[row] : 0;
+    (off_[row] ? standby_cycles_ : active_cycles_) += span;
+  }
+}
+
+DecayedPredictor::DecayedPredictor(const PredictorDecayConfig& cfg)
+    : cfg_(cfg),
+      bimod_(sim::HybridPredictor::bimod_entries() / cfg.counters_per_row,
+             cfg.decay_interval),
+      gag_(sim::HybridPredictor::gag_entries() / cfg.counters_per_row,
+           cfg.decay_interval),
+      chooser_(sim::HybridPredictor::chooser_entries() / cfg.counters_per_row,
+               cfg.decay_interval),
+      btb_rows_(sim::Btb::sets() / cfg.btb_sets_per_row, cfg.decay_interval) {}
+
+bool DecayedPredictor::update(uint64_t pc, bool outcome, uint64_t cycle) {
+  const std::size_t cpr = cfg_.counters_per_row;
+  const std::size_t bimod_idx =
+      (pc >> 2) % sim::HybridPredictor::bimod_entries();
+  const std::size_t gag_idx = history_ % sim::HybridPredictor::gag_entries();
+  const std::size_t chooser_idx =
+      (pc >> 2) % sim::HybridPredictor::chooser_entries();
+
+  // A touch to a deactivated row wakes it with power-on contents: the
+  // learned state is gone (gated-Vss semantics), so the wrapped tables are
+  // reset lazily here.
+  if (bimod_.touch(bimod_idx / cpr, cycle)) {
+    predictor_.reset_bimod((bimod_idx / cpr) * cpr, cpr);
+  }
+  if (gag_.touch(gag_idx / cpr, cycle)) {
+    predictor_.reset_gag((gag_idx / cpr) * cpr, cpr);
+  }
+  if (chooser_.touch(chooser_idx / cpr, cycle)) {
+    predictor_.reset_chooser((chooser_idx / cpr) * cpr, cpr);
+  }
+  if (outcome) {
+    const std::size_t set = (pc >> 2) % sim::Btb::sets();
+    const std::size_t row = set / cfg_.btb_sets_per_row;
+    if (btb_rows_.touch(row, cycle)) {
+      btb_.invalidate_sets(row * cfg_.btb_sets_per_row,
+                           cfg_.btb_sets_per_row);
+    }
+  }
+
+  const bool correct = predictor_.update(pc, outcome);
+  history_ = ((history_ << 1) | (outcome ? 1u : 0u)) &
+             ((1u << sim::HybridPredictor::history_bits()) - 1u);
+  return correct;
+}
+
+void DecayedPredictor::finalize(uint64_t end_cycle) {
+  bimod_.finalize(end_cycle);
+  gag_.finalize(end_cycle);
+  chooser_.finalize(end_cycle);
+  btb_rows_.finalize(end_cycle);
+}
+
+double DecayedPredictor::turnoff_ratio() const {
+  const unsigned long long standby =
+      bimod_.standby_cycles() + gag_.standby_cycles() +
+      chooser_.standby_cycles() + btb_rows_.standby_cycles();
+  const unsigned long long total =
+      standby + bimod_.active_cycles() + gag_.active_cycles() +
+      chooser_.active_cycles() + btb_rows_.active_cycles();
+  return total ? static_cast<double>(standby) / total : 0.0;
+}
+
+unsigned long long DecayedPredictor::rows_decayed() const {
+  return bimod_.decays() + gag_.decays() + chooser_.decays() +
+         btb_rows_.decays();
+}
+
+unsigned long long DecayedPredictor::rows_reactivated() const {
+  return bimod_.wakes() + gag_.wakes() + chooser_.wakes() + btb_rows_.wakes();
+}
+
+PredictorDecayResult run_predictor_decay_experiment(
+    const workload::BenchmarkProfile& profile, const PredictorDecayConfig& cfg,
+    const hotleakage::LeakageModel& model, uint64_t instructions,
+    double cycles_per_instruction, uint64_t seed) {
+  workload::Generator gen(profile, seed);
+  sim::HybridPredictor plain;
+  DecayedPredictor decayed(cfg);
+
+  sim::MicroOp op;
+  uint64_t end_cycle = 0;
+  for (uint64_t i = 0; i < instructions && gen.next(op); ++i) {
+    if (op.op != sim::OpClass::branch) {
+      continue;
+    }
+    const uint64_t cycle =
+        static_cast<uint64_t>(static_cast<double>(i) * cycles_per_instruction);
+    plain.update(op.pc, op.taken);
+    decayed.update(op.pc, op.taken, cycle);
+    end_cycle = cycle;
+  }
+  decayed.finalize(end_cycle);
+
+  PredictorDecayResult result;
+  result.plain_mispredict_rate = plain.stats().mispredict_rate();
+  result.decayed_mispredict_rate = decayed.stats().mispredict_rate();
+  result.turnoff_ratio = decayed.turnoff_ratio();
+  // Gross leakage saved in the predictor SRAM: standby residency weighted
+  // by what gated-Vss leaves behind.
+  const double gated_residual =
+      model.standby_ratio(hotleakage::StandbyMode::gated);
+  result.gross_leakage_savings =
+      result.turnoff_ratio * (1.0 - gated_residual);
+  return result;
+}
+
+} // namespace leakctl

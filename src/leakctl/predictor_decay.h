@@ -1,0 +1,110 @@
+// Decay applied to branch-predictor structures (extension).
+//
+// The paper's related work (Hu et al., "Applying decay strategies to branch
+// predictors for leakage energy savings" [17]) decays rows of the predictor
+// tables and the BTB exactly like cache lines: a row idle for the decay
+// interval is deactivated; an access to a deactivated row reactivates it,
+// loses its learned state (gated-Vss style), and falls back to the default
+// prediction until retrained.  HotLeakage's generic abstraction covers this
+// — a row is just another SRAM block.
+//
+// This module wraps the Table 2 hybrid predictor + BTB with row decay and
+// provides a self-contained experiment comparing the decayed predictor
+// against the plain one on a workload's branch stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hotleakage/model.h"
+#include "leakctl/decay.h"
+#include "sim/branch.h"
+#include "workload/profile.h"
+
+namespace leakctl {
+
+struct PredictorDecayConfig {
+  uint64_t decay_interval = 65536; ///< predictor state is long-lived: use
+                                   ///< longer intervals than D-cache lines
+  unsigned counters_per_row = 64;  ///< SRAM row granularity of the tables
+  unsigned btb_sets_per_row = 8;
+};
+
+/// One decayable SRAM-row domain (a predictor table or the BTB): decay
+/// counters plus exact active/standby residency accounting.
+class RowDomain {
+public:
+  RowDomain(std::size_t rows, uint64_t interval);
+
+  /// Advance decay to @p cycle.
+  void advance(uint64_t cycle);
+  /// Touch @p row at @p cycle; returns true if the row was deactivated
+  /// (its contents were lost and the caller must reset the state).
+  bool touch(std::size_t row, uint64_t cycle);
+  void finalize(uint64_t end_cycle);
+
+  unsigned long long active_cycles() const { return active_cycles_; }
+  unsigned long long standby_cycles() const { return standby_cycles_; }
+  unsigned long long decays() const { return decays_; }
+  unsigned long long wakes() const { return wakes_; }
+  std::size_t rows() const { return event_cycle_.size(); }
+
+private:
+  DecayCounters counters_;
+  std::vector<uint64_t> event_cycle_;
+  std::vector<uint8_t> off_;
+  unsigned long long active_cycles_ = 0;
+  unsigned long long standby_cycles_ = 0;
+  unsigned long long decays_ = 0;
+  unsigned long long wakes_ = 0;
+  uint64_t max_cycle_ = 0;
+};
+
+/// Hybrid predictor + BTB with gated-Vss row decay.
+class DecayedPredictor {
+public:
+  explicit DecayedPredictor(const PredictorDecayConfig& cfg);
+
+  /// Predict + train, with @p cycle driving the decay clock.  Returns true
+  /// if the direction prediction was correct.
+  bool update(uint64_t pc, bool outcome, uint64_t cycle);
+
+  /// Close residency accounting.
+  void finalize(uint64_t end_cycle);
+
+  const sim::BranchStats& stats() const { return predictor_.stats(); }
+  /// Fraction of table-row-cycles spent deactivated, over all domains.
+  double turnoff_ratio() const;
+  unsigned long long rows_decayed() const;
+  unsigned long long rows_reactivated() const;
+
+private:
+  PredictorDecayConfig cfg_;
+  sim::HybridPredictor predictor_;
+  sim::Btb btb_;
+  RowDomain bimod_;
+  RowDomain gag_;
+  RowDomain chooser_;
+  RowDomain btb_rows_;
+  uint64_t history_ = 0; ///< mirror of the GAg history for row indexing
+};
+
+/// Outcome of the predictor-decay experiment on one benchmark.
+struct PredictorDecayResult {
+  double plain_mispredict_rate = 0.0;
+  double decayed_mispredict_rate = 0.0;
+  double turnoff_ratio = 0.0;
+  /// Gross predictor-leakage savings fraction (standby residency weighted
+  /// by the gated-Vss residual); extra mispredicts are reported separately
+  /// since this experiment has no timing model.
+  double gross_leakage_savings = 0.0;
+};
+
+/// Feed @p instructions of the benchmark's branch stream through a plain
+/// and a decayed predictor at an approximate @p cycles_per_instruction.
+PredictorDecayResult run_predictor_decay_experiment(
+    const workload::BenchmarkProfile& profile, const PredictorDecayConfig& cfg,
+    const hotleakage::LeakageModel& model, uint64_t instructions,
+    double cycles_per_instruction = 1.0, uint64_t seed = 1);
+
+} // namespace leakctl

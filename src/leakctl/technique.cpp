@@ -1,0 +1,49 @@
+#include "leakctl/technique.h"
+
+namespace leakctl {
+
+TechniqueParams TechniqueParams::drowsy() {
+  TechniqueParams t;
+  t.name = "drowsy";
+  t.mode = hotleakage::StandbyMode::drowsy;
+  t.state_preserving = true;
+  t.decay_tags = true;
+  t.wake_extra_tags_decayed = 3;
+  t.wake_extra_tags_awake = 1;
+  t.true_miss_extra_tags_decayed = 3;
+  t.settle_to_low = 3;
+  t.settle_to_high = 3;
+  return t;
+}
+
+TechniqueParams TechniqueParams::gated_vss() {
+  TechniqueParams t;
+  t.name = "gated-vss";
+  t.mode = hotleakage::StandbyMode::gated;
+  t.state_preserving = false;
+  t.decay_tags = true;
+  // Standby ways cannot hit; there is nothing to wake on the access path.
+  t.wake_extra_tags_decayed = 0;
+  t.wake_extra_tags_awake = 0;
+  t.true_miss_extra_tags_decayed = 0;
+  t.settle_to_low = 30; // Table 1: virtual-ground rail discharge is slow
+  t.settle_to_high = 3; // overlapped with the L2 access on fills
+  return t;
+}
+
+TechniqueParams TechniqueParams::rbb() {
+  TechniqueParams t;
+  t.name = "rbb";
+  t.mode = hotleakage::StandbyMode::rbb;
+  t.state_preserving = true;
+  t.decay_tags = true;
+  // Body-bias settling is slower than a drowsy rail swing.
+  t.wake_extra_tags_decayed = 4;
+  t.wake_extra_tags_awake = 2;
+  t.true_miss_extra_tags_decayed = 4;
+  t.settle_to_low = 10;
+  t.settle_to_high = 4;
+  return t;
+}
+
+} // namespace leakctl

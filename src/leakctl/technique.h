@@ -1,0 +1,58 @@
+// Leakage-control technique descriptors (paper Sec. 2).
+//
+// The generic abstraction: a technique puts individual cache lines (and,
+// by default, their tags) into a standby mode after a decay interval of
+// idleness.  A technique is characterized by
+//   * its standby circuit (drowsy supply / gated-Vss footer / RBB), which
+//     HotLeakage prices via hotleakage::StandbyMode;
+//   * whether standby preserves state (drowsy, RBB) or destroys it
+//     (gated-Vss);
+//   * its wake and settle latencies (paper Table 1: low->high is 3 cycles
+//     for both; high->low is 3 for drowsy but 30 for gated-Vss — the source
+//     of gated-Vss's sensitivity to short decay intervals);
+//   * whether tags decay with the data (paper Sec. 2.3/5.3: both schemes
+//     decay tags in the main experiments).
+#pragma once
+
+#include <string_view>
+
+#include "hotleakage/model.h"
+
+namespace leakctl {
+
+/// Decay policies from the drowsy-cache paper (Sec. 2.3).
+enum class DecayPolicy {
+  noaccess, ///< per-line 2-bit counters + global counter (used throughout)
+  simple,   ///< all lines deactivated every interval, no access history
+};
+
+struct TechniqueParams {
+  std::string_view name;
+  hotleakage::StandbyMode mode = hotleakage::StandbyMode::drowsy;
+  bool state_preserving = true;
+  bool decay_tags = true;
+
+  /// Extra cycles to access a standby line whose state survived (slow hit);
+  /// only meaningful for state-preserving techniques.  With decayed tags
+  /// the tags must wake before they can even be checked (paper: "at least
+  /// three cycles").
+  unsigned wake_extra_tags_decayed = 3;
+  unsigned wake_extra_tags_awake = 1;
+
+  /// Extra cycles a *true* miss pays before the L2 access can start, when
+  /// the set holds standby lines.  Drowsy must wake and check the tags
+  /// first; gated-Vss knows standby ways cannot hit and starts L2
+  /// immediately (the Sec. 5.1 "gated is faster on true misses" effect).
+  unsigned true_miss_extra_tags_decayed = 3;
+
+  /// Settling times (Table 1), in cycles.
+  unsigned settle_to_low = 3;  ///< high-leak -> low-leak transition
+  unsigned settle_to_high = 3; ///< low-leak -> high-leak transition
+
+  /// Built-in techniques.
+  static TechniqueParams drowsy();
+  static TechniqueParams gated_vss();
+  static TechniqueParams rbb();
+};
+
+} // namespace leakctl

@@ -1,0 +1,115 @@
+#include "sim/branch.h"
+
+namespace sim {
+
+HybridPredictor::HybridPredictor()
+    : bimod_(kBimodEntries), gag_(kGagEntries), chooser_(kChooserEntries) {}
+
+std::size_t HybridPredictor::bimod_index(uint64_t pc) const {
+  return (pc >> 2) % kBimodEntries;
+}
+
+std::size_t HybridPredictor::gag_index() const {
+  return history_ % kGagEntries;
+}
+
+std::size_t HybridPredictor::chooser_index(uint64_t pc) const {
+  return (pc >> 2) % kChooserEntries;
+}
+
+bool HybridPredictor::predict(uint64_t pc) const {
+  const bool use_gag = chooser_[chooser_index(pc)].taken();
+  return use_gag ? gag_[gag_index()].taken() : bimod_[bimod_index(pc)].taken();
+}
+
+bool HybridPredictor::update(uint64_t pc, bool outcome) {
+  const bool bimod_pred = bimod_[bimod_index(pc)].taken();
+  const bool gag_pred = gag_[gag_index()].taken();
+  const bool use_gag = chooser_[chooser_index(pc)].taken();
+  const bool prediction = use_gag ? gag_pred : bimod_pred;
+
+  // Chooser trains toward the component that was right (when they differ).
+  if (bimod_pred != gag_pred) {
+    chooser_[chooser_index(pc)].update(gag_pred == outcome);
+  }
+  bimod_[bimod_index(pc)].update(outcome);
+  gag_[gag_index()].update(outcome);
+  history_ = ((history_ << 1) | (outcome ? 1u : 0u)) &
+             ((1u << kHistoryBits) - 1u);
+
+  stats_.branches++;
+  const bool correct = prediction == outcome;
+  if (!correct) {
+    stats_.direction_mispredicts++;
+  }
+  return correct;
+}
+
+void HybridPredictor::reset_bimod(std::size_t begin, std::size_t count) {
+  for (std::size_t i = begin; i < begin + count && i < bimod_.size(); ++i) {
+    bimod_[i] = SatCounter2{};
+  }
+}
+
+void HybridPredictor::reset_gag(std::size_t begin, std::size_t count) {
+  for (std::size_t i = begin; i < begin + count && i < gag_.size(); ++i) {
+    gag_[i] = SatCounter2{};
+  }
+}
+
+void HybridPredictor::reset_chooser(std::size_t begin, std::size_t count) {
+  for (std::size_t i = begin; i < begin + count && i < chooser_.size(); ++i) {
+    chooser_[i] = SatCounter2{};
+  }
+}
+
+Btb::Btb() : entries_(kSets * kWays) {}
+
+bool Btb::lookup(uint64_t pc, uint64_t& target) const {
+  const std::size_t set = set_of(pc);
+  const uint64_t tag = tag_of(pc);
+  for (std::size_t w = 0; w < kWays; ++w) {
+    const Entry& e = entries_[set * kWays + w];
+    if (e.valid && e.tag == tag) {
+      target = e.target;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Btb::update(uint64_t pc, uint64_t target) {
+  const std::size_t set = set_of(pc);
+  const uint64_t tag = tag_of(pc);
+  Entry* victim = nullptr;
+  for (std::size_t w = 0; w < kWays; ++w) {
+    Entry& e = entries_[set * kWays + w];
+    if (e.valid && e.tag == tag) {
+      e.target = target;
+      e.lru = 1;
+      entries_[set * kWays + (1 - w)].lru = 0;
+      return;
+    }
+    if (victim == nullptr || !e.valid || e.lru == 0) {
+      if (victim == nullptr || (!e.valid && victim->valid)) {
+        victim = &e;
+      } else if (victim->valid && e.valid && e.lru == 0) {
+        victim = &e;
+      }
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->target = target;
+  victim->lru = 1;
+}
+
+void Btb::invalidate_sets(std::size_t set_begin, std::size_t count) {
+  for (std::size_t s = set_begin; s < set_begin + count && s < kSets; ++s) {
+    for (std::size_t w = 0; w < kWays; ++w) {
+      entries_[s * kWays + w] = Entry{};
+    }
+  }
+}
+
+} // namespace sim

@@ -1,0 +1,117 @@
+// Hybrid branch predictor and BTB (Table 2).
+//
+//   * 4 K-entry bimodal predictor (2-bit saturating counters, PC-indexed);
+//   * GAg: 12-bit global history register indexing 4 K 2-bit counters;
+//   * 4 K-entry bimod-style chooser picking between them per branch;
+//   * 1 K-entry, 2-way BTB for targets.
+//
+// A misprediction (wrong direction, or predicted-taken with a BTB miss)
+// forces the core to refetch after the branch resolves.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace sim {
+
+/// 2-bit saturating counter helper.
+class SatCounter2 {
+public:
+  bool taken() const { return value_ >= 2; }
+  void update(bool outcome) {
+    if (outcome) {
+      if (value_ < 3) ++value_;
+    } else {
+      if (value_ > 0) --value_;
+    }
+  }
+  uint8_t raw() const { return value_; }
+
+private:
+  uint8_t value_ = 2; // weakly taken
+};
+
+struct BranchStats {
+  unsigned long long branches = 0;
+  unsigned long long direction_mispredicts = 0;
+  unsigned long long btb_misses = 0;
+  double mispredict_rate() const {
+    return branches ? static_cast<double>(direction_mispredicts) / branches
+                    : 0.0;
+  }
+};
+
+class HybridPredictor {
+public:
+  HybridPredictor();
+
+  /// Predict the direction of the branch at @p pc.
+  bool predict(uint64_t pc) const;
+
+  /// Update all tables with the resolved @p outcome; returns true if the
+  /// prediction was correct.
+  bool update(uint64_t pc, bool outcome);
+
+  const BranchStats& stats() const { return stats_; }
+
+  /// Reset a range of counters to their power-on (weakly-taken) state.
+  /// Used by decay-based leakage control, which loses row contents on
+  /// deactivation (leakctl/predictor_decay.h).
+  void reset_bimod(std::size_t begin, std::size_t count);
+  void reset_gag(std::size_t begin, std::size_t count);
+  void reset_chooser(std::size_t begin, std::size_t count);
+
+  static constexpr std::size_t bimod_entries() { return kBimodEntries; }
+  static constexpr std::size_t gag_entries() { return kGagEntries; }
+  static constexpr std::size_t chooser_entries() { return kChooserEntries; }
+  static constexpr unsigned history_bits() { return kHistoryBits; }
+
+private:
+  std::size_t bimod_index(uint64_t pc) const;
+  std::size_t gag_index() const;
+  std::size_t chooser_index(uint64_t pc) const;
+
+  static constexpr std::size_t kBimodEntries = 4096;
+  static constexpr std::size_t kGagEntries = 4096;
+  static constexpr std::size_t kChooserEntries = 4096;
+  static constexpr unsigned kHistoryBits = 12;
+
+  std::vector<SatCounter2> bimod_;
+  std::vector<SatCounter2> gag_;
+  std::vector<SatCounter2> chooser_; ///< >=2 selects GAg
+  uint32_t history_ = 0;
+  BranchStats stats_;
+};
+
+/// 1 K-entry, 2-way branch target buffer.
+class Btb {
+public:
+  Btb();
+
+  /// Returns true and sets @p target on hit.
+  bool lookup(uint64_t pc, uint64_t& target) const;
+  void update(uint64_t pc, uint64_t target);
+
+  /// Invalidate a range of sets (decay-based leakage control).
+  void invalidate_sets(std::size_t set_begin, std::size_t count);
+
+  static constexpr std::size_t sets() { return kSets; }
+
+private:
+  struct Entry {
+    uint64_t tag = 0;
+    uint64_t target = 0;
+    bool valid = false;
+    uint8_t lru = 0;
+  };
+  static constexpr std::size_t kSets = 512; // 1 K entries, 2-way
+  static constexpr std::size_t kWays = 2;
+
+  std::size_t set_of(uint64_t pc) const { return (pc >> 2) % kSets; }
+  uint64_t tag_of(uint64_t pc) const { return (pc >> 2) / kSets; }
+
+  std::vector<Entry> entries_;
+};
+
+} // namespace sim

@@ -1,0 +1,95 @@
+#include "sim/cache.h"
+
+namespace sim {
+namespace {
+
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+} // namespace
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  if (cfg.line_bytes == 0 || cfg.assoc == 0 ||
+      cfg.size_bytes % cfg.line_bytes != 0 || cfg.lines() % cfg.assoc != 0 ||
+      !is_pow2(cfg.line_bytes) || !is_pow2(cfg.sets())) {
+    throw std::invalid_argument("Cache: inconsistent geometry");
+  }
+  lines_.resize(cfg.lines());
+}
+
+Cache::AccessResult Cache::access(uint64_t addr, bool is_write,
+                                  uint64_t cycle) {
+  AccessResult result;
+  result.set = set_index(addr);
+  const uint64_t tag = tag_of(addr);
+  (is_write ? stats_.writes : stats_.reads)++;
+
+  // Lookup.
+  std::size_t victim = 0;
+  uint32_t victim_lru = UINT32_MAX;
+  for (std::size_t way = 0; way < cfg_.assoc; ++way) {
+    Line& ln = line_mut(result.set, way);
+    if (ln.valid && ln.tag == tag) {
+      result.hit = true;
+      result.way = way;
+      ln.lru = ++lru_clock_;
+      ln.last_access_cycle = cycle;
+      if (is_write) {
+        ln.dirty = true;
+      }
+      return result;
+    }
+    if (!ln.valid) {
+      victim = way;
+      victim_lru = 0;
+    } else if (ln.lru < victim_lru) {
+      victim = way;
+      victim_lru = ln.lru;
+    }
+  }
+
+  // Miss: fill into the LRU (or an invalid) way.
+  (is_write ? stats_.write_misses : stats_.read_misses)++;
+  Line& ln = line_mut(result.set, victim);
+  if (ln.valid && ln.dirty && cfg_.write_back) {
+    result.writeback = true;
+    result.writeback_addr = line_addr(result.set, victim);
+    stats_.writebacks++;
+  }
+  ln.tag = tag;
+  ln.valid = true;
+  ln.dirty = is_write;
+  ln.lru = ++lru_clock_;
+  ln.last_access_cycle = cycle;
+  result.way = victim;
+  return result;
+}
+
+bool Cache::probe(uint64_t addr) const {
+  const std::size_t set = set_index(addr);
+  const uint64_t tag = tag_of(addr);
+  for (std::size_t way = 0; way < cfg_.assoc; ++way) {
+    const Line& ln = line(set, way);
+    if (ln.valid && ln.tag == tag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cache::invalidate(std::size_t set, std::size_t way) {
+  Line& ln = line_mut(set, way);
+  const bool was_dirty = ln.valid && ln.dirty;
+  if (was_dirty) {
+    stats_.invalidation_writebacks++;
+  }
+  ln.valid = false;
+  ln.dirty = false;
+  return was_dirty;
+}
+
+uint64_t Cache::line_addr(std::size_t set, std::size_t way) const {
+  const Line& ln = line(set, way);
+  return (ln.tag * cfg_.sets() + set) * cfg_.line_bytes;
+}
+
+} // namespace sim

@@ -1,0 +1,104 @@
+// Set-associative cache model (SimpleScalar-style, Table 2 configurations).
+//
+// True LRU replacement, write-back / write-allocate.  The cache exposes its
+// per-line state (tag, valid, dirty, last-access cycle) so the
+// leakage-control layer (src/leakctl) can deactivate lines, invalidate them
+// (gated-Vss), and account active/standby residency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace sim {
+
+/// Static configuration of one cache level.
+struct CacheConfig {
+  std::size_t size_bytes = 64 * 1024;
+  std::size_t assoc = 2;
+  std::size_t line_bytes = 64;
+  unsigned hit_latency = 2;
+  bool write_back = true;
+
+  std::size_t lines() const { return size_bytes / line_bytes; }
+  std::size_t sets() const { return lines() / assoc; }
+};
+
+/// Aggregate statistics.
+struct CacheStats {
+  unsigned long long reads = 0;
+  unsigned long long writes = 0;
+  unsigned long long read_misses = 0;
+  unsigned long long write_misses = 0;
+  unsigned long long writebacks = 0;
+  unsigned long long invalidation_writebacks = 0; ///< from leakctl deactivation
+
+  unsigned long long accesses() const { return reads + writes; }
+  unsigned long long misses() const { return read_misses + write_misses; }
+  double miss_rate() const {
+    return accesses() ? static_cast<double>(misses()) / accesses() : 0.0;
+  }
+};
+
+class Cache {
+public:
+  /// Per-line state, visible to the leakage-control layer.
+  struct Line {
+    uint64_t tag = 0;
+    uint64_t last_access_cycle = 0;
+    uint32_t lru = 0; ///< higher = more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  /// Outcome of one access.
+  struct AccessResult {
+    bool hit = false;
+    bool writeback = false;       ///< a dirty victim was evicted
+    uint64_t writeback_addr = 0;  ///< line address of that victim
+    std::size_t set = 0;
+    std::size_t way = 0; ///< way hit or filled
+  };
+
+  explicit Cache(const CacheConfig& cfg);
+
+  /// Look up and, on miss, fill (victim selected by LRU).  @p is_write
+  /// marks the line dirty on hit or fill (write-allocate).
+  AccessResult access(uint64_t addr, bool is_write, uint64_t cycle);
+
+  /// Look up without fill or LRU update (for inspection / adaptive
+  /// controllers that probe tags).
+  bool probe(uint64_t addr) const;
+
+  /// Invalidate one line (used by gated-Vss deactivation).  Returns true
+  /// if the line was dirty (a writeback is required).
+  bool invalidate(std::size_t set, std::size_t way);
+
+  const CacheConfig& config() const { return cfg_; }
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  const Line& line(std::size_t set, std::size_t way) const {
+    return lines_.at(set * cfg_.assoc + way);
+  }
+  std::size_t set_index(uint64_t addr) const {
+    return (addr / cfg_.line_bytes) % cfg_.sets();
+  }
+  uint64_t tag_of(uint64_t addr) const {
+    return (addr / cfg_.line_bytes) / cfg_.sets();
+  }
+  uint64_t line_addr(std::size_t set, std::size_t way) const;
+
+private:
+  Line& line_mut(std::size_t set, std::size_t way) {
+    return lines_[set * cfg_.assoc + way];
+  }
+
+  CacheConfig cfg_;
+  CacheStats stats_;
+  std::vector<Line> lines_;
+  uint32_t lru_clock_ = 0;
+};
+
+} // namespace sim

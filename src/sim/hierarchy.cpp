@@ -1,0 +1,73 @@
+#include "sim/hierarchy.h"
+
+namespace sim {
+
+L2System::L2System(const CacheConfig& l2cfg, unsigned memory_latency,
+                   wattch::Activity* activity)
+    : l2_(l2cfg), memory_latency_(memory_latency), activity_(activity) {}
+
+unsigned L2System::access(uint64_t addr, bool is_store, uint64_t cycle) {
+  if (activity_ != nullptr) {
+    activity_->l2_accesses++;
+  }
+  const Cache::AccessResult r = l2_.access(addr, is_store, cycle);
+  if (r.hit) {
+    return l2_.config().hit_latency;
+  }
+  if (activity_ != nullptr) {
+    activity_->memory_accesses++;
+    if (r.writeback) {
+      activity_->memory_accesses++; // dirty L2 victim written to memory
+    }
+  }
+  return l2_.config().hit_latency + memory_latency_;
+}
+
+void L2System::writeback(uint64_t addr, uint64_t cycle) {
+  if (activity_ != nullptr) {
+    activity_->l2_accesses++;
+  }
+  const Cache::AccessResult r = l2_.access(addr, /*is_write=*/true, cycle);
+  if (!r.hit && activity_ != nullptr) {
+    activity_->memory_accesses++;
+  }
+}
+
+BaselineDataPort::BaselineDataPort(const CacheConfig& l1cfg,
+                                   BackingStore& next_level,
+                                   wattch::Activity* activity)
+    : l1_(l1cfg), next_(next_level), activity_(activity) {}
+
+unsigned BaselineDataPort::access(uint64_t addr, bool is_store,
+                                  uint64_t cycle) {
+  if (activity_ != nullptr) {
+    (is_store ? activity_->l1_writes : activity_->l1_reads)++;
+  }
+  const Cache::AccessResult r = l1_.access(addr, is_store, cycle);
+  unsigned latency = l1_.config().hit_latency;
+  if (!r.hit) {
+    if (r.writeback) {
+      next_.writeback(r.writeback_addr, cycle);
+    }
+    latency += next_.access(addr, /*is_store=*/false, cycle);
+  }
+  return latency;
+}
+
+InstrPort::InstrPort(const CacheConfig& l1icfg, BackingStore& next_level,
+                     wattch::Activity* activity)
+    : l1i_(l1icfg), next_(next_level), activity_(activity) {}
+
+unsigned InstrPort::fetch(uint64_t pc, uint64_t cycle) {
+  if (activity_ != nullptr) {
+    activity_->l1_reads++;
+  }
+  const Cache::AccessResult r = l1i_.access(pc, /*is_write=*/false, cycle);
+  unsigned latency = l1i_.config().hit_latency;
+  if (!r.hit) {
+    latency += next_.access(pc, /*is_store=*/false, cycle);
+  }
+  return latency;
+}
+
+} // namespace sim

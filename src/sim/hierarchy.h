@@ -1,0 +1,126 @@
+// Memory-hierarchy plumbing: ports the core model uses, the shared
+// L2 + memory backend, and the baseline (no leakage control) L1 D-cache
+// port.  The leakage-control layer provides an alternative DataPort that
+// wraps the L1 D-cache with decay machinery (leakctl/controlled_cache.h).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cache.h"
+#include "wattch/power.h"
+
+namespace sim {
+
+/// Abstract D-side port: the core calls this for every load/store and gets
+/// back the access latency in cycles.
+class DataPort {
+public:
+  virtual ~DataPort() = default;
+  virtual unsigned access(uint64_t addr, bool is_store, uint64_t cycle) = 0;
+};
+
+/// Whatever sits behind a cache level: the next cache level, or memory.
+/// Letting leakage-controlled caches stack at any level (the decay papers
+/// cover L2 as well as L1).
+class BackingStore {
+public:
+  virtual ~BackingStore() = default;
+  /// Access beyond this level; returns the additional latency.
+  virtual unsigned access(uint64_t addr, bool is_store, uint64_t cycle) = 0;
+  /// Absorb a dirty victim (off the critical path).
+  virtual void writeback(uint64_t addr, uint64_t cycle) = 0;
+};
+
+/// Off-chip memory: fixed latency, energy-counted.
+class MemoryBackend final : public BackingStore {
+public:
+  MemoryBackend(unsigned latency, wattch::Activity* activity)
+      : latency_(latency), activity_(activity) {}
+
+  unsigned access(uint64_t, bool, uint64_t) override {
+    if (activity_ != nullptr) {
+      activity_->memory_accesses++;
+    }
+    return latency_;
+  }
+  void writeback(uint64_t, uint64_t) override {
+    if (activity_ != nullptr) {
+      activity_->memory_accesses++;
+    }
+  }
+
+private:
+  unsigned latency_;
+  wattch::Activity* activity_; ///< not owned; may be null
+};
+
+/// Unified L2 plus off-chip memory.  Both the I-side and D-side miss paths
+/// share it (Table 2: unified 2 MB, 2-way, 11-cycle; memory 100 cycles).
+class L2System : public BackingStore {
+public:
+  L2System(const CacheConfig& l2cfg, unsigned memory_latency,
+           wattch::Activity* activity);
+
+  /// Access beyond L1; returns the additional latency (L2 hit latency or
+  /// L2 latency + memory latency).
+  unsigned access(uint64_t addr, bool is_store, uint64_t cycle) override;
+
+  /// Write back a dirty L1 victim (no latency on the critical path; counts
+  /// energy and keeps L2 contents coherent).
+  void writeback(uint64_t addr, uint64_t cycle) override;
+
+  Cache& cache() { return l2_; }
+  const Cache& cache() const { return l2_; }
+  unsigned hit_latency() const { return l2_.config().hit_latency; }
+  unsigned memory_latency() const { return memory_latency_; }
+
+private:
+  Cache l2_;
+  unsigned memory_latency_;
+  wattch::Activity* activity_; ///< not owned; may be null
+};
+
+/// Baseline L1 D-cache port: plain cache in front of the shared L2.
+class BaselineDataPort final : public DataPort {
+public:
+  BaselineDataPort(const CacheConfig& l1cfg, BackingStore& next_level,
+                   wattch::Activity* activity);
+
+  unsigned access(uint64_t addr, bool is_store, uint64_t cycle) override;
+
+  Cache& cache() { return l1_; }
+  const Cache& cache() const { return l1_; }
+
+private:
+  Cache l1_;
+  BackingStore& next_;
+  wattch::Activity* activity_;
+};
+
+/// Abstract I-side port: the core fetches lines through this.  The
+/// leakage-control layer can interpose on it just like on the D-side
+/// (drowsy I-caches are part of the original drowsy-cache proposal).
+class FetchPort {
+public:
+  virtual ~FetchPort() = default;
+  /// Fetch the line containing @p pc; returns fetch latency in cycles.
+  virtual unsigned fetch(uint64_t pc, uint64_t cycle) = 0;
+};
+
+/// Plain L1 I-cache in front of the shared L2 (1-cycle hit, Table 2).
+class InstrPort final : public FetchPort {
+public:
+  InstrPort(const CacheConfig& l1icfg, BackingStore& next_level,
+            wattch::Activity* activity);
+
+  unsigned fetch(uint64_t pc, uint64_t cycle) override;
+
+  Cache& cache() { return l1i_; }
+
+private:
+  Cache l1i_;
+  BackingStore& next_;
+  wattch::Activity* activity_;
+};
+
+} // namespace sim

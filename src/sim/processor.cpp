@@ -1,0 +1,29 @@
+#include "sim/processor.h"
+
+namespace sim {
+
+ProcessorConfig ProcessorConfig::table2(unsigned l2_latency) {
+  ProcessorConfig cfg;
+  cfg.l2.hit_latency = l2_latency;
+  return cfg;
+}
+
+Processor::Processor(const ProcessorConfig& cfg)
+    : cfg_(cfg),
+      l2_(cfg.l2, cfg.memory_latency, &activity_),
+      iport_(cfg.l1i, l2_, &activity_) {}
+
+RunStats Processor::run(TraceSource& trace, DataPort& dport,
+                        uint64_t max_instructions) {
+  return run(trace, dport, iport_, max_instructions);
+}
+
+RunStats Processor::run(TraceSource& trace, DataPort& dport, FetchPort& fport,
+                        uint64_t max_instructions) {
+  OooCore core(cfg_.core, dport, fport, &activity_);
+  RunStats stats = core.run(trace, max_instructions);
+  activity_.cycles += stats.cycles;
+  return stats;
+}
+
+} // namespace sim

@@ -1,0 +1,60 @@
+// Processor assembly per the paper's Table 2 configuration.
+//
+// The Processor owns the shared pieces (L2 + memory, I-side, activity
+// counters); the D-side port is supplied by the caller so the same machine
+// can run with a plain L1 D-cache (baseline) or with a leakage-controlled
+// one (src/leakctl).  Each run() constructs a fresh core and predictor so
+// repeated experiments are independent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/core.h"
+#include "sim/hierarchy.h"
+
+namespace sim {
+
+struct ProcessorConfig {
+  CoreConfig core;
+  CacheConfig l1d{.size_bytes = 64 * 1024, .assoc = 2, .line_bytes = 64,
+                  .hit_latency = 2};
+  CacheConfig l1i{.size_bytes = 64 * 1024, .assoc = 2, .line_bytes = 64,
+                  .hit_latency = 1};
+  CacheConfig l2{.size_bytes = 2 * 1024 * 1024, .assoc = 2, .line_bytes = 64,
+                 .hit_latency = 11};
+  unsigned memory_latency = 100;
+  double clock_hz = 5.6e9; ///< 5600 MHz at 70 nm / 0.9 V
+
+  /// The paper's baseline (Table 2).  @p l2_latency is the study's main
+  /// sweep variable (5 / 8 / 11 / 17 cycles).
+  static ProcessorConfig table2(unsigned l2_latency = 11);
+};
+
+/// Owns the shared memory system; runs traces against caller-supplied
+/// D-side ports.
+class Processor {
+public:
+  explicit Processor(const ProcessorConfig& cfg);
+
+  /// Run @p max_instructions of @p trace with @p dport as the D-side.
+  RunStats run(TraceSource& trace, DataPort& dport, uint64_t max_instructions);
+
+  /// Same, but also replace the I-side (e.g. a leakage-controlled I-cache).
+  RunStats run(TraceSource& trace, DataPort& dport, FetchPort& fport,
+               uint64_t max_instructions);
+
+  const ProcessorConfig& config() const { return cfg_; }
+  L2System& l2() { return l2_; }
+  InstrPort& iport() { return iport_; }
+  wattch::Activity& activity() { return activity_; }
+  const wattch::Activity& activity() const { return activity_; }
+
+private:
+  ProcessorConfig cfg_;
+  wattch::Activity activity_;
+  L2System l2_;
+  InstrPort iport_;
+};
+
+} // namespace sim

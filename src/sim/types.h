@@ -1,0 +1,73 @@
+// Core instruction-stream types for the trace-driven simulator.
+//
+// The simulator is trace-driven: a workload generator (src/workload) emits
+// a stream of MicroOps with explicit dependency distances, memory addresses,
+// and branch outcomes; the out-of-order core model (src/sim/core.h) turns
+// the stream into cycles.  This mirrors how the paper's experiments consume
+// SimpleScalar's committed-instruction stream: only the 500 M committed
+// instructions matter, and their dependency/locality structure determines
+// ILP and cache behaviour.
+#pragma once
+
+#include <cstdint>
+
+namespace sim {
+
+/// Functional-unit classes of the simulated Alpha-21264-like core (Table 2).
+enum class OpClass : uint8_t {
+  int_alu,
+  int_mult, ///< shares the IntMult/Div unit
+  int_div,
+  fp_alu,
+  fp_mult, ///< shares the FPMult/Div unit
+  fp_div,
+  load,
+  store,
+  branch,
+};
+
+/// One committed instruction as the core model consumes it.
+struct MicroOp {
+  OpClass op = OpClass::int_alu;
+  uint64_t pc = 0;
+  /// Line-aligned-ish virtual address for loads/stores; 0 otherwise.
+  uint64_t mem_addr = 0;
+  /// Dependency distances: this op reads the results of the instructions
+  /// committed src*_dist positions earlier (0 = no register dependence).
+  uint16_t src1_dist = 0;
+  uint16_t src2_dist = 0;
+  /// Branch fields.
+  bool taken = false;
+  uint64_t target = 0;
+};
+
+/// Latency in cycles of each op class (Alpha-21264-like).
+constexpr unsigned op_latency(OpClass op) {
+  switch (op) {
+  case OpClass::int_alu:
+    return 1;
+  case OpClass::int_mult:
+    return 7;
+  case OpClass::int_div:
+    return 20;
+  case OpClass::fp_alu:
+    return 4;
+  case OpClass::fp_mult:
+    return 4;
+  case OpClass::fp_div:
+    return 12;
+  case OpClass::load:
+    return 0; // determined by the memory hierarchy
+  case OpClass::store:
+    return 1;
+  case OpClass::branch:
+    return 1;
+  }
+  return 1;
+}
+
+constexpr bool is_mem(OpClass op) {
+  return op == OpClass::load || op == OpClass::store;
+}
+
+} // namespace sim

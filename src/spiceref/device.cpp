@@ -1,0 +1,123 @@
+#include "spiceref/device.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "hotleakage/gate_leakage.h"
+
+namespace spiceref {
+namespace {
+
+using hotleakage::DeviceParams;
+using hotleakage::DeviceType;
+using hotleakage::TechParams;
+using hotleakage::kRoomTemperatureK;
+
+const DeviceParams& device(const TechParams& tech, DeviceType type) {
+  return type == DeviceType::nmos ? tech.nmos : tech.pmos;
+}
+
+/// Mobility with the standard power-law lattice-scattering temperature
+/// dependence.
+double mobility(const DeviceParams& dev, double temperature_k) {
+  return dev.mu0 * std::pow(temperature_k / kRoomTemperatureK, -1.5);
+}
+
+/// Body-effect-shifted, temperature-shifted threshold voltage.
+double vth_full(const TechParams& tech, DeviceType type, const Bias& bias,
+                const RefOverrides& ovr) {
+  if (ovr.vth_absolute >= 0.0) {
+    return ovr.vth_absolute;
+  }
+  const DeviceParams& dev = device(tech, type);
+  double vth = hotleakage::vth_at_temperature(dev, bias.temperature_k);
+  // Body effect: gamma * (sqrt(2 phiF + Vsb) - sqrt(2 phiF)).
+  constexpr double kGamma = 0.20;   // [V^0.5], typical for thin-oxide nodes
+  constexpr double kTwoPhiF = 0.65; // [V]
+  if (bias.vsb > 0.0) {
+    vth += kGamma * (std::sqrt(kTwoPhiF + bias.vsb) - std::sqrt(kTwoPhiF));
+  }
+  return vth;
+}
+
+} // namespace
+
+double reference_subthreshold(const TechParams& tech, DeviceType type,
+                              const Bias& bias, const RefOverrides& ovr) {
+  if (bias.temperature_k <= 0.0) {
+    throw std::invalid_argument("reference_subthreshold: T must be > 0 K");
+  }
+  const DeviceParams& dev = device(tech, type);
+  const double vt = hotleakage::thermal_voltage(bias.temperature_k);
+  const double vth = vth_full(tech, type, bias, ovr);
+  const double cox = hotleakage::oxide_capacitance(tech);
+  const double mu = mobility(dev, bias.temperature_k);
+
+  // DIBL expressed as an effective Vth reduction eta * Vds.  Match the
+  // architectural model's exponential fit at the reference point by setting
+  // eta from the fitted b: exp(b * (Vdd - Vdd0)) == exp(eta * Vds / (n vt))
+  // to first order around Vdd0.
+  const double eta = dev.dibl_b * dev.n_swing *
+                     hotleakage::thermal_voltage(kRoomTemperatureK);
+  const double overdrive = bias.vgs - vth + eta * (bias.vds - tech.vdd0);
+
+  // Same BSIM3 prefactor family as the architectural model; the difference
+  // is the mobility temperature law, the explicit Vds-based DIBL, and the
+  // body effect.  The architectural model's constants were fitted against
+  // this reference at the calibration point, so the two coincide there and
+  // the residual mismatch across sweeps is what Fig. 1 plots.
+  const double prefactor = mu * cox * ovr.w_over_l * vt * vt;
+  const double gate_term = std::exp((overdrive - dev.v_off) / (dev.n_swing * vt));
+  const double drain_term = 1.0 - std::exp(-bias.vds / vt);
+  return prefactor * gate_term * drain_term;
+}
+
+double reference_junction(const TechParams& tech, DeviceType type,
+                          const Bias& bias, const RefOverrides& ovr) {
+  (void)type;
+  // Reverse-biased drain junction: area ~ W * Ldrain; strong exponential
+  // temperature activation (Eg ~ 1.12 eV, generation-dominated => Eg/2).
+  constexpr double kJs300 = 2.0e-2; // [A/m^2] at 300 K, generation current
+  constexpr double kEgHalf = 0.56;  // [eV]
+  const double kT_ev = bias.temperature_k * 8.617333e-5;
+  const double kT300_ev = kRoomTemperatureK * 8.617333e-5;
+  const double area = ovr.w_over_l * tech.lgate * 2.5 * tech.lgate;
+  const double activation =
+      std::exp(kEgHalf / kT300_ev - kEgHalf / kT_ev);
+  const double bias_factor = 1.0 + 0.15 * bias.vds; // weak Vds dependence
+  return kJs300 * area * activation * bias_factor;
+}
+
+double reference_leakage(const TechParams& tech, DeviceType type,
+                         const Bias& bias, const RefOverrides& ovr) {
+  const double sub = reference_subthreshold(tech, type, bias, ovr);
+  const double junction = reference_junction(tech, type, bias, ovr);
+  hotleakage::OperatingPoint op{.temperature_k = bias.temperature_k,
+                                .vdd = bias.vds};
+  hotleakage::GateLeakOverrides glovr;
+  glovr.width_m = ovr.w_over_l * tech.lgate;
+  const double gate = hotleakage::gate_current(tech, op, glovr) * 0.1;
+  return sub + junction + gate;
+}
+
+double model_vs_reference_error(const TechParams& tech, DeviceType type,
+                                double vdd, double temperature_k,
+                                double w_over_l, double vth_absolute) {
+  const hotleakage::OperatingPoint op{.temperature_k = temperature_k,
+                                      .vdd = vdd};
+  hotleakage::DeviceOverrides movr;
+  movr.w_over_l = w_over_l;
+  movr.vth_absolute = vth_absolute;
+  const double model = hotleakage::subthreshold_current(tech, type, op, movr);
+
+  Bias bias{.vgs = 0.0, .vds = vdd, .vsb = 0.0, .temperature_k = temperature_k};
+  RefOverrides rovr{.w_over_l = w_over_l, .vth_absolute = vth_absolute};
+  const double ref = reference_leakage(tech, type, bias, rovr);
+  if (ref <= 0.0) {
+    return 0.0;
+  }
+  return std::fabs(model - ref) / ref;
+}
+
+} // namespace spiceref

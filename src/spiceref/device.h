@@ -1,0 +1,68 @@
+// Reference transistor-level leakage model ("spiceref").
+//
+// The paper validates its simple architectural unit-leakage equation against
+// transistor-level simulation (Cadence / AIM-SPICE with BSIM3/BSIM4
+// models) in Fig. 1, sweeping W/L, Vdd, temperature, and Vth.  We do not
+// have a SPICE deck or a proprietary process kit, so this library implements
+// an *independent, higher-fidelity* numerical device model to serve as the
+// reference curve:
+//
+//   * temperature-dependent mobility  mu(T) = mu0 * (T/300)^-1.5,
+//   * full subthreshold drain current with explicit Vds dependence and a
+//     DIBL term eta * Vds added to the gate overdrive,
+//   * body-effect threshold shift,
+//   * reverse-bias junction (diode) leakage floor with its own exponential
+//     temperature activation,
+//   * gate tunnelling.
+//
+// The two models agree closely over the normal W/L / Vdd / T ranges (the
+// architectural model's fitted constants were chosen against exactly this
+// kind of reference), and diverge when Vth is pushed beyond its normal
+// range, where mechanisms the simple model omits dominate — the behaviour
+// Fig. 1d reports.
+#pragma once
+
+#include "hotleakage/bsim3.h"
+#include "hotleakage/tech.h"
+
+namespace spiceref {
+
+/// Bias conditions for a reference evaluation.
+struct Bias {
+  double vgs = 0.0; ///< gate-source voltage [V] (0 for an off device)
+  double vds = 0.9; ///< drain-source voltage [V]
+  double vsb = 0.0; ///< source-body reverse bias [V]
+  double temperature_k = 300.0;
+};
+
+/// Geometry/threshold overrides matching hotleakage::DeviceOverrides.
+struct RefOverrides {
+  double w_over_l = 1.0;
+  double vth_absolute = -1.0; ///< if >= 0, overrides |Vth|
+};
+
+/// Reference off-state leakage current [A]: subthreshold + junction floor +
+/// gate tunnelling.
+double reference_leakage(const hotleakage::TechParams& tech,
+                         hotleakage::DeviceType type, const Bias& bias,
+                         const RefOverrides& ovr = {});
+
+/// Just the subthreshold component (for decomposition in tests).
+double reference_subthreshold(const hotleakage::TechParams& tech,
+                              hotleakage::DeviceType type, const Bias& bias,
+                              const RefOverrides& ovr = {});
+
+/// Just the junction-leakage floor component.
+double reference_junction(const hotleakage::TechParams& tech,
+                          hotleakage::DeviceType type, const Bias& bias,
+                          const RefOverrides& ovr = {});
+
+/// Relative error |model - ref| / ref between the architectural model
+/// (hotleakage::subthreshold_current evaluated at the matching operating
+/// point) and this reference, at the given sweep point.
+double model_vs_reference_error(const hotleakage::TechParams& tech,
+                                hotleakage::DeviceType type, double vdd,
+                                double temperature_k, double w_over_l,
+                                double vth_absolute = -1.0);
+
+} // namespace spiceref

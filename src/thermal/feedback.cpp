@@ -1,0 +1,74 @@
+#include "thermal/feedback.h"
+
+#include <cmath>
+
+namespace thermal {
+namespace {
+
+using hotleakage::CacheGeometry;
+
+const CacheGeometry kL1Geom{.lines = 1024, .line_bytes = 64, .tag_bits = 28,
+                            .assoc = 2};
+const CacheGeometry kL2Geom{.lines = 32768, .line_bytes = 64, .tag_bits = 17,
+                            .assoc = 2};
+
+} // namespace
+
+FeedbackResult run_leakage_thermal_loop(hotleakage::LeakageModel& model,
+                                        double core_dynamic_w,
+                                        double l2_dynamic_w,
+                                        const FeedbackConfig& cfg) {
+  CoreFloorplan fp = make_core_floorplan();
+  const double vdd = model.tech().vdd_nominal;
+
+  FeedbackResult result;
+  std::vector<double> power(fp.network.size(), 0.0);
+  double prev_max = fp.network.max_temperature_c();
+
+  for (int step = 0; step < cfg.max_steps; ++step) {
+    result.steps = step + 1;
+
+    // Re-evaluate leakage at each block's *current* temperature — the
+    // HotLeakage runtime-recalculation path.
+    model.set_operating_point(hotleakage::OperatingPoint::at_celsius(
+        fp.network.temperature_c(fp.l1i), vdd));
+    const double l1i_leak = model.structure_power(kL1Geom);
+    model.set_operating_point(hotleakage::OperatingPoint::at_celsius(
+        fp.network.temperature_c(fp.l1d), vdd));
+    const double l1d_leak =
+        model.structure_power(kL1Geom) * cfg.l1d_leakage_scale;
+    model.set_operating_point(hotleakage::OperatingPoint::at_celsius(
+        fp.network.temperature_c(fp.l2), vdd));
+    const double l2_leak = model.structure_power(kL2Geom);
+    // Core logic leakage: roughly one L1's worth of transistors, at the
+    // core's temperature.
+    model.set_operating_point(hotleakage::OperatingPoint::at_celsius(
+        fp.network.temperature_c(fp.core), vdd));
+    const double core_leak = model.structure_power(kL1Geom) * 1.5;
+
+    power[fp.core] = core_dynamic_w + core_leak;
+    power[fp.l1i] = 0.6 + l1i_leak; // small dynamic share in the caches
+    power[fp.l1d] = 0.9 + l1d_leak;
+    power[fp.l2] = l2_dynamic_w + l2_leak;
+
+    fp.network.step(power, cfg.dt);
+
+    const double max_c = fp.network.max_temperature_c();
+    result.final_core_c = fp.network.temperature_c(fp.core);
+    result.final_l1d_c = fp.network.temperature_c(fp.l1d);
+    result.final_l1d_leakage_w = l1d_leak;
+    result.final_total_leakage_w = l1i_leak + l1d_leak + l2_leak + core_leak;
+    if (max_c > cfg.runaway_c) {
+      result.runaway = true;
+      return result;
+    }
+    if (std::fabs(max_c - prev_max) < cfg.converge_eps_c && step > 10) {
+      result.converged = true;
+      return result;
+    }
+    prev_max = max_c;
+  }
+  return result;
+}
+
+} // namespace thermal

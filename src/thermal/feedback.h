@@ -1,0 +1,46 @@
+// Leakage-temperature feedback loop: the closed-loop simulation that the
+// Butts-Sohi fixed-unit-leakage model cannot express and HotLeakage can
+// (paper Secs. 1 and 3).
+//
+// Leakage raises temperature; temperature raises leakage exponentially.
+// Below a package-dependent power threshold the loop converges; above it,
+// it runs away — which is why leakage-control techniques (and DTM) matter
+// at 70 nm.  The simulator couples the thermal RC network to a
+// LeakageModel, re-evaluating leakage at every step, optionally with a
+// leakage-control technique shaving the L1D's contribution.
+#pragma once
+
+#include "hotleakage/model.h"
+#include "thermal/rc_network.h"
+
+namespace thermal {
+
+struct FeedbackConfig {
+  double dt = 1e-3;            ///< step size [s]
+  int max_steps = 2000;
+  double converge_eps_c = 1e-3;///< max temperature change to declare steady
+  double runaway_c = 140.0;    ///< declare thermal runaway above this
+  /// Fraction of L1D leakage left after a leakage-control technique
+  /// (1.0 = no control; e.g. turnoff x residual for a controlled cache).
+  double l1d_leakage_scale = 1.0;
+};
+
+struct FeedbackResult {
+  bool converged = false;
+  bool runaway = false;
+  int steps = 0;
+  double final_core_c = 0.0;
+  double final_l1d_c = 0.0;
+  double final_l1d_leakage_w = 0.0;
+  double final_total_leakage_w = 0.0;
+};
+
+/// Run the coupled loop on the Table 2 floorplan.  @p core_dynamic_w and
+/// @p l2_dynamic_w are the (fixed) dynamic powers; cache leakage comes
+/// from @p model re-evaluated at each block's temperature.
+FeedbackResult run_leakage_thermal_loop(hotleakage::LeakageModel& model,
+                                        double core_dynamic_w,
+                                        double l2_dynamic_w,
+                                        const FeedbackConfig& cfg = {});
+
+} // namespace thermal

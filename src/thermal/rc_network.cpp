@@ -1,0 +1,155 @@
+#include "thermal/rc_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace thermal {
+
+RcNetwork::RcNetwork(double ambient_c) : ambient_c_(ambient_c) {}
+
+std::size_t RcNetwork::add_block(Block block) {
+  if (block.capacitance <= 0.0) {
+    throw std::invalid_argument("add_block: capacitance must be positive");
+  }
+  blocks_.push_back(std::move(block));
+  return blocks_.size() - 1;
+}
+
+void RcNetwork::couple(std::size_t a, std::size_t b, double resistance) {
+  if (a >= blocks_.size() || b >= blocks_.size() || a == b) {
+    throw std::invalid_argument("couple: invalid block indices");
+  }
+  if (resistance <= 0.0) {
+    throw std::invalid_argument("couple: resistance must be positive");
+  }
+  couplings_.push_back({a, b, resistance});
+}
+
+std::vector<double> RcNetwork::flows(const std::vector<double>& power_w,
+                                     const std::vector<double>& temps) const {
+  std::vector<double> q(blocks_.size(), 0.0);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    q[i] += power_w[i];
+    if (blocks_[i].r_to_ambient > 0.0) {
+      q[i] -= (temps[i] - ambient_c_) / blocks_[i].r_to_ambient;
+    }
+  }
+  for (const Coupling& c : couplings_) {
+    const double flow = (temps[c.a] - temps[c.b]) / c.resistance;
+    q[c.a] -= flow;
+    q[c.b] += flow;
+  }
+  return q;
+}
+
+void RcNetwork::step(const std::vector<double>& power_w, double dt) {
+  if (power_w.size() != blocks_.size()) {
+    throw std::invalid_argument("step: power vector size mismatch");
+  }
+  if (dt <= 0.0) {
+    throw std::invalid_argument("step: dt must be positive");
+  }
+  // Stability: substep so that dt_sub << min(RC).
+  double min_rc = 1e9;
+  for (const Block& b : blocks_) {
+    if (b.r_to_ambient > 0.0) {
+      min_rc = std::min(min_rc, b.r_to_ambient * b.capacitance);
+    }
+  }
+  for (const Coupling& c : couplings_) {
+    min_rc = std::min(min_rc,
+                      c.resistance * std::min(blocks_[c.a].capacitance,
+                                              blocks_[c.b].capacitance));
+  }
+  const int substeps =
+      std::max(1, static_cast<int>(std::ceil(dt / (0.05 * min_rc))));
+  const double h = dt / substeps;
+
+  std::vector<double> temps(blocks_.size());
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    temps[i] = blocks_[i].temperature_c;
+  }
+  for (int s = 0; s < substeps; ++s) {
+    const std::vector<double> q = flows(power_w, temps);
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+      temps[i] += q[i] * h / blocks_[i].capacitance;
+    }
+  }
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    blocks_[i].temperature_c = temps[i];
+  }
+}
+
+std::vector<double>
+RcNetwork::steady_state(const std::vector<double>& power_w) const {
+  if (power_w.size() != blocks_.size()) {
+    throw std::invalid_argument("steady_state: power vector size mismatch");
+  }
+  // Gauss-Seidel relaxation on the flow-balance equations.
+  std::vector<double> temps(blocks_.size(), ambient_c_);
+  for (int iter = 0; iter < 20000; ++iter) {
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+      double conductance = 0.0;
+      double inflow = power_w[i];
+      if (blocks_[i].r_to_ambient > 0.0) {
+        conductance += 1.0 / blocks_[i].r_to_ambient;
+        inflow += ambient_c_ / blocks_[i].r_to_ambient;
+      }
+      for (const Coupling& c : couplings_) {
+        if (c.a == i) {
+          conductance += 1.0 / c.resistance;
+          inflow += temps[c.b] / c.resistance;
+        } else if (c.b == i) {
+          conductance += 1.0 / c.resistance;
+          inflow += temps[c.a] / c.resistance;
+        }
+      }
+      if (conductance <= 0.0) {
+        continue; // floating node: leave at ambient
+      }
+      const double next = inflow / conductance;
+      max_delta = std::max(max_delta, std::fabs(next - temps[i]));
+      temps[i] = next;
+    }
+    if (max_delta < 1e-9) {
+      break;
+    }
+  }
+  return temps;
+}
+
+double RcNetwork::max_temperature_c() const {
+  double t = ambient_c_;
+  for (const Block& b : blocks_) {
+    t = std::max(t, b.temperature_c);
+  }
+  return t;
+}
+
+CoreFloorplan make_core_floorplan(double ambient_c) {
+  CoreFloorplan fp{RcNetwork(ambient_c)};
+  // Capacitances ~ area x silicon volumetric heat capacity; resistances
+  // tuned so a ~30 W core settles near 100-110 C with this package —
+  // the operating band the paper evaluates at.
+  fp.core = fp.network.add_block(
+      {.name = "core", .capacitance = 8e-3, .r_to_ambient = 2.2,
+       .temperature_c = ambient_c});
+  fp.l1i = fp.network.add_block(
+      {.name = "l1i", .capacitance = 2e-3, .r_to_ambient = 6.0,
+       .temperature_c = ambient_c});
+  fp.l1d = fp.network.add_block(
+      {.name = "l1d", .capacitance = 2e-3, .r_to_ambient = 6.0,
+       .temperature_c = ambient_c});
+  fp.l2 = fp.network.add_block(
+      {.name = "l2", .capacitance = 24e-3, .r_to_ambient = 1.4,
+       .temperature_c = ambient_c});
+  fp.network.couple(fp.core, fp.l1i, 1.0);
+  fp.network.couple(fp.core, fp.l1d, 1.0);
+  fp.network.couple(fp.l1i, fp.l2, 2.5);
+  fp.network.couple(fp.l1d, fp.l2, 2.5);
+  return fp;
+}
+
+} // namespace thermal

@@ -1,0 +1,84 @@
+// Compact thermal-RC network (HotSpot-style substrate).
+//
+// HotLeakage's defining feature is recomputing leakage as temperature
+// changes at runtime (paper Secs. 1, 3).  To exercise that coupling the
+// way the group's companion work (Skadron et al., temperature-aware
+// microarchitecture) does, this library provides a small lumped thermal
+// model: blocks with heat capacity, thermal resistances between blocks and
+// to ambient, forward-Euler integration, and a convergence check.  It is
+// deliberately compact — a handful of architectural blocks, not a finite-
+// element solver — matching the granularity of the leakage model.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace thermal {
+
+/// One lumped thermal node.
+struct Block {
+  std::string name;
+  double capacitance = 1.0e-3; ///< [J/K]
+  double r_to_ambient = 5.0;   ///< [K/W]; <=0 means no ambient path
+  double temperature_c = 45.0; ///< state
+};
+
+/// Conductive coupling between two blocks.
+struct Coupling {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  double resistance = 2.0; ///< [K/W]
+};
+
+class RcNetwork {
+public:
+  explicit RcNetwork(double ambient_c = 45.0);
+
+  /// Add a block; returns its index.
+  std::size_t add_block(Block block);
+  /// Couple two existing blocks.
+  void couple(std::size_t a, std::size_t b, double resistance);
+
+  /// Advance the network by @p dt seconds with @p power_w[i] watts
+  /// injected into block i.  Internally substeps to stay stable.
+  void step(const std::vector<double>& power_w, double dt);
+
+  /// Steady-state temperatures for constant @p power_w (iterative solve).
+  std::vector<double> steady_state(const std::vector<double>& power_w) const;
+
+  double temperature_c(std::size_t block) const {
+    return blocks_.at(block).temperature_c;
+  }
+  void set_temperature_c(std::size_t block, double celsius) {
+    blocks_.at(block).temperature_c = celsius;
+  }
+  double ambient_c() const { return ambient_c_; }
+  std::size_t size() const { return blocks_.size(); }
+  const Block& block(std::size_t i) const { return blocks_.at(i); }
+
+  /// The hottest block right now.
+  double max_temperature_c() const;
+
+private:
+  /// Net heat flow into each block [W] at the current state.
+  std::vector<double> flows(const std::vector<double>& power_w,
+                            const std::vector<double>& temps) const;
+
+  double ambient_c_;
+  std::vector<Block> blocks_;
+  std::vector<Coupling> couplings_;
+};
+
+/// A ready-made floorplan for the Table 2 core: core logic, L1I, L1D, L2.
+/// Returns the network plus the block indices.
+struct CoreFloorplan {
+  RcNetwork network;
+  std::size_t core = 0;
+  std::size_t l1i = 0;
+  std::size_t l1d = 0;
+  std::size_t l2 = 0;
+};
+CoreFloorplan make_core_floorplan(double ambient_c = 45.0);
+
+} // namespace thermal

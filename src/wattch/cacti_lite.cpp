@@ -1,0 +1,213 @@
+#include "wattch/cacti_lite.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wattch {
+namespace {
+
+using hotleakage::TechParams;
+
+/// Gate capacitance of a unit (W/L = 1) transistor [F].
+double unit_gate_cap(const TechParams& tech) {
+  return hotleakage::oxide_capacitance(tech) * tech.lgate * tech.lgate;
+}
+
+/// Drain junction capacitance of a unit transistor [F] (~half the gate cap
+/// at these nodes, a standard first-order assumption).
+double unit_drain_cap(const TechParams& tech) {
+  return 0.5 * unit_gate_cap(tech);
+}
+
+/// Wire capacitance per cell pitch [F].  SRAM cell pitch is ~7-8 F (feature
+/// sizes) per side; metal cap ~0.2 fF/um.
+double wire_cap_per_cell(const TechParams& tech) {
+  const double pitch = 7.5 * tech.lgate;
+  return 0.2e-15 / 1.0e-6 * pitch;
+}
+
+double dyn_energy(double cap, double v_charge, double v_swing) {
+  return cap * v_charge * v_swing;
+}
+
+} // namespace
+
+ArrayOrganization data_array_org(const hotleakage::CacheGeometry& geom) {
+  ArrayOrganization org;
+  org.rows = geom.rows();
+  org.cols = geom.data_bits_per_line() * geom.assoc;
+  org.read_out_bits = geom.data_bits_per_line() * geom.assoc; // read all ways
+  // Keep subarrays near-square-ish: bank when rows exceed 512.
+  org.banks = org.rows > 512 ? org.rows / 512 : 1;
+  return org;
+}
+
+ArrayOrganization tag_array_org(const hotleakage::CacheGeometry& geom) {
+  ArrayOrganization org;
+  org.rows = geom.rows();
+  org.cols = geom.tag_bits * geom.assoc;
+  org.read_out_bits = org.cols;
+  org.banks = org.rows > 512 ? org.rows / 512 : 1;
+  return org;
+}
+
+ArrayEnergies array_read_energy(const TechParams& tech,
+                                const ArrayOrganization& org, double vdd) {
+  if (org.rows == 0 || org.cols == 0 || org.banks == 0) {
+    throw std::invalid_argument("array_read_energy: degenerate organization");
+  }
+  const double cg = unit_gate_cap(tech);
+  const double cd = unit_drain_cap(tech);
+  const double cw = wire_cap_per_cell(tech);
+  const double rows = static_cast<double>(org.rows) / org.banks;
+  const double cols = static_cast<double>(org.cols);
+
+  ArrayEnergies e;
+  // Decoder: log2(rows) address bits drive predecode NAND trees; roughly
+  // 4 gate loads per row of decode fan-out plus one wordline driver.
+  const double dec_cap = rows * (4.0 * 3.0 * cg) + std::log2(rows) * 20.0 * cg;
+  e.decode = dyn_energy(dec_cap, vdd, vdd);
+  // Wordline: two access-gate loads plus wire per cell across the row.
+  const double wl_cap = cols * (2.0 * 1.2 * cg + cw);
+  e.wordline = dyn_energy(wl_cap, vdd, vdd);
+  // Bitlines: every column's pair swings by the sense margin (~Vdd/10)
+  // during a read; precharge restores it.  Drain cap per cell plus wire.
+  const double bl_cap_per_col = rows * (1.2 * cd + cw);
+  const double v_sense = vdd * 0.10;
+  e.bitline = cols * dyn_energy(bl_cap_per_col, vdd, v_sense) * 2.0; // + precharge
+  // Sense amps fire on the sensed columns only.
+  const double sa_cap = 12.0 * cg;
+  e.senseamp = static_cast<double>(org.read_out_bits) * dyn_energy(sa_cap, vdd, vdd);
+  // Output drivers on the selected data, plus the H-tree routing that
+  // distributes address/data across banks — the term that makes a large
+  // banked L2 access several times more expensive than an L1 access even
+  // though its active subarray is the same size.
+  const double htree_span =
+      std::sqrt(static_cast<double>(org.rows) * cols); // cells per side
+  const double htree_cap = htree_span * cw * 4.0;      // addr+data trunks
+  e.output = static_cast<double>(org.read_out_bits) *
+                 dyn_energy(8.0 * cg + 64.0 * cw, vdd, vdd) +
+             static_cast<double>(org.banks) * dyn_energy(htree_cap, vdd, vdd) +
+             static_cast<double>(org.read_out_bits) *
+                 dyn_energy(htree_span * cw * 0.5, vdd, vdd);
+  return e;
+}
+
+ArrayEnergies array_write_energy(const TechParams& tech,
+                                 const ArrayOrganization& org, double vdd) {
+  ArrayEnergies e = array_read_energy(tech, org, vdd);
+  // Writes drive the written columns full swing instead of the sense margin.
+  const double cd = unit_drain_cap(tech);
+  const double cw = wire_cap_per_cell(tech);
+  const double rows = static_cast<double>(org.rows) / org.banks;
+  const double bl_cap_per_col = rows * (1.2 * cd + cw);
+  e.bitline = static_cast<double>(org.read_out_bits) *
+              dyn_energy(bl_cap_per_col, vdd, vdd);
+  e.senseamp = 0.0;
+  return e;
+}
+
+double line_transition_energy(const TechParams& tech,
+                              const hotleakage::CacheGeometry& geom,
+                              double delta_v) {
+  // Virtual rail capacitance: source/drain junctions of every cell on the
+  // line plus the rail wire.
+  const double cd = unit_drain_cap(tech);
+  const double cw = wire_cap_per_cell(tech);
+  const double cells = static_cast<double>(geom.data_bits_per_line());
+  const double rail_cap = cells * (2.0 * cd + cw);
+  return rail_cap * delta_v * delta_v;
+}
+
+namespace {
+
+/// FO4 inverter delay: the classic ~360 ps per micron of drawn gate length.
+double fo4_delay(const TechParams& tech) {
+  return 360e-12 * (tech.lgate / 1e-6);
+}
+
+/// Cell pitch (same 7.5 F assumption as the capacitance model).
+double cell_pitch(const TechParams& tech) { return 7.5 * tech.lgate; }
+
+/// Repeated global wire delay per metre (~220 ps/mm at these nodes).
+constexpr double kWireDelayPerMetre = 220e-12 / 1e-3;
+
+/// Subarrays limit bitline length to ~128 rows.
+constexpr double kMaxRowsPerBitline = 128.0;
+
+/// SRAM cell read current [A] (pull-down through the access device).
+constexpr double kCellReadCurrent = 50e-6;
+
+} // namespace
+
+ArrayTiming array_access_time(const TechParams& tech,
+                              const ArrayOrganization& org, double vdd) {
+  if (org.rows == 0 || org.cols == 0 || org.banks == 0) {
+    throw std::invalid_argument("array_access_time: degenerate organization");
+  }
+  const double fo4 = fo4_delay(tech);
+  const double pitch = cell_pitch(tech);
+  const double rows = static_cast<double>(org.rows) / org.banks;
+  const double cols = static_cast<double>(org.cols);
+
+  ArrayTiming t;
+  // Decoder: a predecode + final stage tree, ~half an FO4 per address bit
+  // plus two driver stages.
+  t.decode = (1.5 + 0.4 * std::log2(std::max(2.0, rows))) * fo4;
+  // Wordline: driver plus distributed-RC Elmore delay of the row wire.
+  const double wl_len = cols * pitch;
+  const double r_per_m = 0.4 / 1e-6; // ohm/m
+  const double c_per_m = 0.2e-15 / 1e-6;
+  t.wordline = 2.0 * fo4 + 0.5 * (r_per_m * wl_len) * (c_per_m * wl_len);
+  // Bitline: discharge to the sense margin through the cell, limited per
+  // subarray.
+  const double bl_rows = std::min(rows, kMaxRowsPerBitline);
+  const double cd = unit_drain_cap(tech);
+  const double cw = wire_cap_per_cell(tech);
+  const double c_bl = bl_rows * (1.2 * cd + cw);
+  t.bitline = c_bl * (0.10 * vdd) / kCellReadCurrent;
+  // Sense amplifier: a couple of gate delays.
+  t.senseamp = 1.5 * fo4;
+  // Output: route across the banked array (H-tree, there and back counts
+  // once — the return shares the pipeline with the next access).
+  const double bank_w = cols * pitch;
+  const double bank_h = rows * pitch;
+  // Single-bank arrays only drive half the array width to the edge;
+  // banked arrays pay the H-tree across the whole tile.
+  const double route = org.banks > 1
+      ? std::sqrt(static_cast<double>(org.banks) * bank_w * bank_h)
+      : 0.5 * bank_h;
+  t.output = 2.0 * fo4 + route * kWireDelayPerMetre;
+  return t;
+}
+
+unsigned cache_latency_cycles(const TechParams& tech,
+                              const hotleakage::CacheGeometry& geom,
+                              double vdd, double clock_hz) {
+  const ArrayOrganization data = data_array_org(geom);
+  const ArrayOrganization tag = tag_array_org(geom);
+  const double t_data = array_access_time(tech, data, vdd).total();
+  const double t_tag = array_access_time(tech, tag, vdd).total();
+  // Small caches probe tag and data in parallel; large (multi-bank)
+  // caches access tags first and only then the selected data bank, plus a
+  // cycle of request/reply queueing at the bank interface.
+  double total;
+  if (data.banks > 1) {
+    // Serial tag -> data, plus request/reply queueing at the bank
+    // interface (4 cycles at this pipeline depth).
+    total = t_tag + t_data + 4.0 / clock_hz;
+  } else {
+    total = std::max(t_tag, t_data);
+  }
+  const double cycles = total * clock_hz;
+  return std::max(1u, static_cast<unsigned>(std::ceil(cycles)));
+}
+
+double counter_tick_energy(const TechParams& tech, double vdd) {
+  // A 2-bit saturating counter: ~2 flops + increment logic, ~30 gate
+  // equivalents, ~25 % switching activity per tick.
+  const double cap = 30.0 * 4.0 * unit_gate_cap(tech) * 0.25;
+  return cap * vdd * vdd;
+}
+
+} // namespace wattch

@@ -1,0 +1,86 @@
+// CACTI-lite: analytic SRAM-array energy model (Wattch substrate).
+//
+// Wattch derives per-access capacitances from CACTI.  We reimplement the
+// first-order analytic decomposition — decoder, wordline, bitline, sense
+// amp, output drive — from the technology's oxide capacitance, gate
+// geometry, and per-cell wire pitch.  Absolute joules are approximate; the
+// experiments consume *ratios* (L2 access vs. L1 access vs. counter tick),
+// which this model gets right by construction.
+#pragma once
+
+#include <cstddef>
+
+#include "hotleakage/model.h"
+#include "hotleakage/tech.h"
+
+namespace wattch {
+
+/// Physical organization of one SRAM array.
+struct ArrayOrganization {
+  std::size_t rows = 512;        ///< wordlines (sets, before banking)
+  std::size_t cols = 1024;       ///< bitline pairs across all ways
+  std::size_t read_out_bits = 512; ///< bits actually sensed per access
+  std::size_t banks = 1;         ///< independent banks (divides rows)
+};
+
+/// Per-access energy decomposition [J].
+struct ArrayEnergies {
+  double decode = 0.0;
+  double wordline = 0.0;
+  double bitline = 0.0;
+  double senseamp = 0.0;
+  double output = 0.0;
+  double total() const {
+    return decode + wordline + bitline + senseamp + output;
+  }
+};
+
+/// Derive the array organization of a cache from its logical geometry:
+/// data array (all ways side by side) and tag array.
+ArrayOrganization data_array_org(const hotleakage::CacheGeometry& geom);
+ArrayOrganization tag_array_org(const hotleakage::CacheGeometry& geom);
+
+/// Per-access read energy of an array at @p vdd.
+ArrayEnergies array_read_energy(const hotleakage::TechParams& tech,
+                                const ArrayOrganization& org, double vdd);
+
+/// Per-access write energy (full bitline swing on written columns).
+ArrayEnergies array_write_energy(const hotleakage::TechParams& tech,
+                                 const ArrayOrganization& org, double vdd);
+
+/// Energy to switch one line between active and standby supply rails:
+/// charging/discharging the line's virtual rail capacitance through the
+/// sleep device.  @p delta_v is the rail voltage change.
+double line_transition_energy(const hotleakage::TechParams& tech,
+                              const hotleakage::CacheGeometry& geom,
+                              double delta_v);
+
+/// Energy of one decay-counter event (2-bit saturating counter increment
+/// or reset): a handful of gates switching.
+double counter_tick_energy(const hotleakage::TechParams& tech, double vdd);
+
+/// Access-time decomposition [s] — CACTI's other output.  The paper's L2
+/// sweep values (5 / 8 / 11 / 17 cycles) correspond to on-chip L2s of
+/// different sizes/distances at 5.6 GHz; this model closes that loop.
+struct ArrayTiming {
+  double decode = 0.0;
+  double wordline = 0.0;
+  double bitline = 0.0;
+  double senseamp = 0.0;
+  double output = 0.0;
+  double total() const {
+    return decode + wordline + bitline + senseamp + output;
+  }
+};
+
+/// First-order RC access time of an array at @p vdd.
+ArrayTiming array_access_time(const hotleakage::TechParams& tech,
+                              const ArrayOrganization& org, double vdd);
+
+/// Access latency of a cache (data + tag in parallel) in clock cycles at
+/// @p clock_hz, rounded up, minimum 1.
+unsigned cache_latency_cycles(const hotleakage::TechParams& tech,
+                              const hotleakage::CacheGeometry& geom,
+                              double vdd, double clock_hz);
+
+} // namespace wattch

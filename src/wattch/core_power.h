@@ -1,0 +1,57 @@
+// Per-structure core dynamic-energy model (Wattch's decomposition).
+//
+// Wattch attributes dynamic energy to each microarchitectural structure:
+// fetch/branch prediction, rename table, the RUU issue window (CAM insert +
+// wakeup broadcast), the LSQ, register file reads/writes, functional units,
+// result buses, and the unconditionally-switching clock tree and latch
+// overhead.  Each per-event energy below is derived from the CACTI-lite
+// array/CAM models at the Table 2 geometry, so they scale correctly with
+// technology and Vdd.
+#pragma once
+
+#include "hotleakage/tech.h"
+#include "wattch/cacti_lite.h"
+
+namespace wattch {
+
+/// Per-event energies [J] of the core structures.
+struct CoreEnergyParams {
+  double fetch_per_inst = 0.0;   ///< fetch queue + PC pipeline share
+  double bpred_access = 0.0;     ///< hybrid tables + BTB, per branch
+  double rename_per_inst = 0.0;  ///< map-table read + free-list update
+  double window_insert = 0.0;    ///< RUU entry write (CAM + payload)
+  double window_wakeup = 0.0;    ///< tag broadcast per completing op
+  double lsq_insert = 0.0;       ///< LSQ entry write + address CAM
+  double regfile_read = 0.0;     ///< per source operand
+  double regfile_write = 0.0;    ///< per result
+  double int_alu_op = 0.0;
+  double mult_op = 0.0;
+  double fp_op = 0.0;
+  double result_bus = 0.0;       ///< per produced result
+  double clock_per_cycle = 0.0;  ///< clock tree + latches, every cycle
+
+  /// Derive from geometry at the technology's nominal supply.
+  static CoreEnergyParams for_tech(const hotleakage::TechParams& tech);
+};
+
+/// Activity counts of the core structures for one run.
+struct CoreActivity {
+  unsigned long long fetched = 0;
+  unsigned long long branches = 0;
+  unsigned long long renamed = 0;
+  unsigned long long window_inserts = 0;
+  unsigned long long wakeups = 0;
+  unsigned long long lsq_inserts = 0;
+  unsigned long long regfile_reads = 0;
+  unsigned long long regfile_writes = 0;
+  unsigned long long int_alu_ops = 0;
+  unsigned long long mult_ops = 0;
+  unsigned long long fp_ops = 0;
+  unsigned long long results = 0;
+  unsigned long long cycles = 0;
+
+  double energy(const CoreEnergyParams& p) const;
+  CoreActivity& operator+=(const CoreActivity& other);
+};
+
+} // namespace wattch

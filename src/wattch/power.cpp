@@ -1,0 +1,80 @@
+#include "wattch/power.h"
+
+namespace wattch {
+
+PowerParams PowerParams::for_config(const hotleakage::TechParams& tech,
+                                    const hotleakage::CacheGeometry& l1d,
+                                    const hotleakage::CacheGeometry& l2) {
+  return for_config_at(tech, l1d, l2, tech.vdd_nominal);
+}
+
+PowerParams PowerParams::for_config_at(const hotleakage::TechParams& tech,
+                                       const hotleakage::CacheGeometry& l1d,
+                                       const hotleakage::CacheGeometry& l2,
+                                       double vdd) {
+  PowerParams p;
+  const ArrayOrganization l1_data = data_array_org(l1d);
+  const ArrayOrganization l1_tag = tag_array_org(l1d);
+  const ArrayOrganization l2_data = data_array_org(l2);
+  const ArrayOrganization l2_tag = tag_array_org(l2);
+
+  p.l1_tag_access = array_read_energy(tech, l1_tag, vdd).total();
+  p.l1_read = array_read_energy(tech, l1_data, vdd).total() + p.l1_tag_access;
+  p.l1_write = array_write_energy(tech, l1_data, vdd).total() + p.l1_tag_access;
+  p.l2_access = array_read_energy(tech, l2_data, vdd).total() +
+                array_read_energy(tech, l2_tag, vdd).total();
+  // Off-chip access: pad + bus + DRAM core share; dominated by I/O swing.
+  p.memory_access = p.l2_access * 8.0;
+  p.counter_tick = counter_tick_energy(tech, vdd);
+  // Drowsy rail swing: Vdd -> ~0.3 V and back.
+  p.line_transition = line_transition_energy(tech, l1d, vdd * 0.65);
+  p.drowsy_wake = p.line_transition;
+  p.core = CoreEnergyParams::for_tech(tech);
+  // The core model is built at the nominal supply; rescale quadratically.
+  const double v_scale =
+      (vdd * vdd) / (tech.vdd_nominal * tech.vdd_nominal);
+  p.core.fetch_per_inst *= v_scale;
+  p.core.bpred_access *= v_scale;
+  p.core.rename_per_inst *= v_scale;
+  p.core.window_insert *= v_scale;
+  p.core.window_wakeup *= v_scale;
+  p.core.lsq_insert *= v_scale;
+  p.core.regfile_read *= v_scale;
+  p.core.regfile_write *= v_scale;
+  p.core.int_alu_op *= v_scale;
+  p.core.mult_op *= v_scale;
+  p.core.fp_op *= v_scale;
+  p.core.result_bus *= v_scale;
+  p.core.clock_per_cycle *= v_scale;
+  return p;
+}
+
+double Activity::energy(const PowerParams& p) const {
+  double e = 0.0;
+  e += static_cast<double>(l1_reads) * p.l1_read;
+  e += static_cast<double>(l1_writes) * p.l1_write;
+  e += static_cast<double>(l1_tag_accesses) * p.l1_tag_access;
+  e += static_cast<double>(l2_accesses) * p.l2_access;
+  e += static_cast<double>(memory_accesses) * p.memory_access;
+  e += static_cast<double>(counter_ticks) * p.counter_tick;
+  e += static_cast<double>(line_transitions) * p.line_transition;
+  e += static_cast<double>(drowsy_wakes) * p.drowsy_wake;
+  e += core.energy(p.core);
+  return e;
+}
+
+Activity& Activity::operator+=(const Activity& other) {
+  l1_reads += other.l1_reads;
+  l1_writes += other.l1_writes;
+  l1_tag_accesses += other.l1_tag_accesses;
+  l2_accesses += other.l2_accesses;
+  memory_accesses += other.memory_accesses;
+  counter_ticks += other.counter_ticks;
+  line_transitions += other.line_transitions;
+  drowsy_wakes += other.drowsy_wakes;
+  cycles += other.cycles;
+  core += other.core;
+  return *this;
+}
+
+} // namespace wattch

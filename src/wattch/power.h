@@ -1,0 +1,66 @@
+// Per-event dynamic energy table for the simulated processor (Wattch role).
+//
+// Wattch attributes dynamic energy to microarchitectural events.  The
+// leakage-control experiments need the events enumerated in paper Sec. 2.3 /
+// Sec. 5.1: L1 accesses, L2 accesses (induced misses!), tag wake-ups
+// (drowsy), decay-counter activity, line mode transitions, and the cost of
+// extra runtime (charged at the core's average per-cycle dynamic energy).
+#pragma once
+
+#include "hotleakage/model.h"
+#include "wattch/cacti_lite.h"
+#include "wattch/core_power.h"
+
+namespace wattch {
+
+/// Per-event energies [J] for one processor configuration at one Vdd.
+struct PowerParams {
+  double l1_read = 0.0;
+  double l1_write = 0.0;
+  double l1_tag_access = 0.0;
+  double l2_access = 0.0;      ///< full read including tags
+  double memory_access = 0.0;  ///< off-chip, per access (pins + DRAM share)
+  double counter_tick = 0.0;   ///< one 2-bit decay counter increment/reset
+  double line_transition = 0.0;///< active <-> standby rail switch
+  double drowsy_wake = 0.0;    ///< restore full Vdd on one drowsy line
+  /// Per-structure core energies; together with the per-cycle clock floor
+  /// they price the extra runtime a technique induces (cost #4 in paper
+  /// Sec. 2.3).
+  CoreEnergyParams core;
+
+  /// Build the table from geometry at the technology's nominal Vdd.
+  static PowerParams for_config(const hotleakage::TechParams& tech,
+                                const hotleakage::CacheGeometry& l1d,
+                                const hotleakage::CacheGeometry& l2);
+
+  /// Same, at a scaled supply (DVS studies): every event energy follows
+  /// its own Vdd dependence (quadratic for switched capacitance).
+  static PowerParams for_config_at(const hotleakage::TechParams& tech,
+                                   const hotleakage::CacheGeometry& l1d,
+                                   const hotleakage::CacheGeometry& l2,
+                                   double vdd);
+};
+
+/// Activity counters for a run, with an energy roll-up against a
+/// PowerParams table.  Plain aggregate: the simulator increments fields
+/// directly.
+struct Activity {
+  unsigned long long l1_reads = 0;
+  unsigned long long l1_writes = 0;
+  unsigned long long l1_tag_accesses = 0;
+  unsigned long long l2_accesses = 0;
+  unsigned long long memory_accesses = 0;
+  unsigned long long counter_ticks = 0;
+  unsigned long long line_transitions = 0;
+  unsigned long long drowsy_wakes = 0;
+  unsigned long long cycles = 0;
+  /// Core-structure activity (fetch/rename/window/regfile/FUs/clock).
+  CoreActivity core;
+
+  /// Total dynamic energy [J] of the run under @p p.
+  double energy(const PowerParams& p) const;
+
+  Activity& operator+=(const Activity& other);
+};
+
+} // namespace wattch

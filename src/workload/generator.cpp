@@ -1,0 +1,168 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace workload {
+namespace {
+
+constexpr uint64_t kLineBytes = 64;
+constexpr uint64_t kDataBase = 0x10000000;
+constexpr uint64_t kCodeBase = 0x00400000;
+
+/// Stateless per-PC hash: branch behaviour (bias, randomness, target) must
+/// be a stable property of the static branch, or predictors and the BTB
+/// could never learn anything.
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+} // namespace
+
+Generator::Generator(const BenchmarkProfile& profile, uint64_t seed)
+    : profile_(profile),
+      rng_(seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL),
+      dormant_gap_(std::log(std::max(1.0, profile.dormant_gap_mean)) -
+                       0.5 * profile.dormant_gap_sigma *
+                           profile.dormant_gap_sigma,
+                   profile.dormant_gap_sigma),
+      dep_dist_(1.0 / std::max(1.5, profile.dep_mean)),
+      pc_(kCodeBase) {
+  recent_.assign(static_cast<std::size_t>(std::max(16, profile.hot_lines)), 0);
+  // Seed the recency ring with distinct fresh lines so early Zipf picks are
+  // well-defined.
+  for (std::size_t i = 0; i < recent_.size(); ++i) {
+    recent_[i] = next_fresh_line_++;
+  }
+  // Zipf CDF over stack distances [1, hot_lines].
+  zipf_cdf_.resize(recent_.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < zipf_cdf_.size(); ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), profile.zipf_alpha);
+    zipf_cdf_[i] = sum;
+  }
+  for (double& v : zipf_cdf_) {
+    v /= sum;
+  }
+}
+
+uint16_t Generator::dep_distance() {
+  const int d = 1 + dep_dist_(rng_);
+  return static_cast<uint16_t>(std::min(d, 900));
+}
+
+uint64_t Generator::pick_data_line() {
+  ++data_accesses_;
+  uint64_t line;
+  if (!dormant_.empty() && dormant_.top().due <= data_accesses_) {
+    line = dormant_.top().line;
+    dormant_.pop();
+  } else if (uniform_(rng_) < profile_.p_new) {
+    line = next_fresh_line_++ %
+           static_cast<uint64_t>(profile_.footprint_lines);
+  } else {
+    // Zipf pick over the recency ring: distance 1 = most recent.
+    const double u = uniform_(rng_);
+    const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    const std::size_t dist =
+        static_cast<std::size_t>(it - zipf_cdf_.begin()); // 0-based
+    const std::size_t idx =
+        (recent_head_ + recent_.size() - 1 - dist) % recent_.size();
+    line = recent_[idx];
+  }
+
+  // Update recency ring (approximate move-to-front: append).
+  recent_[recent_head_] = line;
+  recent_head_ = (recent_head_ + 1) % recent_.size();
+
+  // Possibly schedule a dormant return.
+  if (uniform_(rng_) < profile_.p_dormant_schedule) {
+    const double gap = std::max(8.0, dormant_gap_(rng_));
+    dormant_.push({data_accesses_ + static_cast<uint64_t>(gap), line});
+  }
+  return line;
+}
+
+uint64_t Generator::next_pc(bool taken, uint64_t target) {
+  const uint64_t cur = pc_;
+  pc_ = taken ? target : pc_ + 4;
+  return cur;
+}
+
+bool Generator::next(sim::MicroOp& op) {
+  op = sim::MicroOp{};
+  const double r = uniform_(rng_);
+  const BenchmarkProfile& p = profile_;
+
+  double acc = p.f_load;
+  if (r < acc) {
+    op.op = sim::OpClass::load;
+  } else if (r < (acc += p.f_store)) {
+    op.op = sim::OpClass::store;
+  } else if (r < (acc += p.f_branch)) {
+    op.op = sim::OpClass::branch;
+  } else if (r < (acc += p.f_mul)) {
+    op.op = sim::OpClass::int_mult;
+  } else if (r < (acc += p.f_div)) {
+    op.op = sim::OpClass::int_div;
+  } else if (r < (acc += p.f_fp)) {
+    op.op = sim::OpClass::fp_alu;
+  } else {
+    op.op = sim::OpClass::int_alu;
+  }
+
+  op.src1_dist = dep_distance();
+  if (uniform_(rng_) < p.dep_second_prob) {
+    op.src2_dist = dep_distance();
+  }
+
+  bool taken = false;
+  uint64_t target = 0;
+  if (op.op == sim::OpClass::branch) {
+    // Static properties of the branch at the *current* PC.
+    const uint64_t h = splitmix64(pc_);
+    const bool random_branch =
+        static_cast<double>(h % 10000) < p.br_random_frac * 10000.0;
+    const bool pc_direction =
+        static_cast<double>((h >> 16) % 10000) < p.br_taken_bias * 10000.0;
+    if (random_branch) {
+      taken = uniform_(rng_) < 0.5; // data-dependent, unlearnable
+    } else {
+      // Strongly biased toward the branch's static direction.
+      taken = uniform_(rng_) < 0.97 ? pc_direction : !pc_direction;
+    }
+    // Fixed target per static branch.  Targets are skewed toward a hot
+    // region (inner loops) so the dynamic branch-site working set matches
+    // real programs: a handful of hot branches dominate even in
+    // large-code benchmarks like gcc.
+    const uint64_t hot_lines_code =
+        std::max<uint64_t>(1, static_cast<uint64_t>(p.code_lines) / 16);
+    const bool to_hot = ((h >> 8) % 100) < 90;
+    const uint64_t line =
+        to_hot ? (h >> 32) % hot_lines_code
+               : (h >> 32) % static_cast<uint64_t>(p.code_lines);
+    target = kCodeBase + line * kLineBytes + ((h >> 52) % 16) * 4;
+    op.taken = taken;
+    op.target = target;
+  }
+
+  op.pc = next_pc(taken, target);
+  // Keep the sequential walk inside the code footprint.
+  const uint64_t code_end =
+      kCodeBase + static_cast<uint64_t>(p.code_lines) * kLineBytes;
+  if (pc_ >= code_end) {
+    pc_ = kCodeBase;
+  }
+
+  if (sim::is_mem(op.op)) {
+    const uint64_t line = pick_data_line();
+    const uint64_t offset = (static_cast<uint64_t>(uniform_(rng_) * 8.0)) * 8;
+    op.mem_addr = kDataBase + line * kLineBytes + offset;
+  }
+  return true;
+}
+
+} // namespace workload

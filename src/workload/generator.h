@@ -1,0 +1,70 @@
+// Deterministic synthetic trace generator (sim::TraceSource implementation).
+//
+// Mechanics per committed instruction:
+//   * op class drawn from the profile's mix;
+//   * register dependency distances drawn geometrically (ILP knob);
+//   * PCs walk a code footprint with loop-back branches (I-side locality);
+//   * branch outcomes are a mix of biased-predictable and data-random
+//     (misprediction knob);
+//   * data addresses come from a three-way line-generation model:
+//       1. due *dormant* lines (scheduled lognormal reuse gaps) — the knob
+//          that positions each benchmark's optimal decay interval,
+//       2. *hot* reuse via a Zipf-distributed recency-stack pick,
+//       3. *fresh* lines (cold misses / streaming, dead-on-eviction data).
+//
+// Everything is seeded; the same (profile, seed, n) prefix is bit-identical
+// across runs, so baseline and technique runs see the same stream.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <random>
+#include <vector>
+
+#include "sim/core.h"
+#include "workload/profile.h"
+
+namespace workload {
+
+class Generator final : public sim::TraceSource {
+public:
+  explicit Generator(const BenchmarkProfile& profile, uint64_t seed = 1);
+
+  bool next(sim::MicroOp& op) override;
+
+  const BenchmarkProfile& profile() const { return profile_; }
+  uint64_t data_accesses() const { return data_accesses_; }
+
+private:
+  uint64_t pick_data_line();
+  uint64_t next_pc(bool taken, uint64_t target);
+  uint16_t dep_distance();
+
+  BenchmarkProfile profile_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+  std::lognormal_distribution<double> dormant_gap_;
+  std::geometric_distribution<int> dep_dist_;
+
+  // Data-side state.
+  struct DormantEntry {
+    uint64_t due;  ///< data-access count at which the line returns
+    uint64_t line;
+    bool operator>(const DormantEntry& o) const { return due > o.due; }
+  };
+  std::priority_queue<DormantEntry, std::vector<DormantEntry>,
+                      std::greater<DormantEntry>>
+      dormant_;
+  std::vector<uint64_t> recent_; ///< recency ring of hot lines
+  std::size_t recent_head_ = 0;
+  uint64_t next_fresh_line_ = 0;
+  uint64_t data_accesses_ = 0;
+
+  // Code-side state.
+  uint64_t pc_ = 0x400000;
+
+  // Zipf sampling over the recency stack (precomputed CDF).
+  std::vector<double> zipf_cdf_;
+};
+
+} // namespace workload

@@ -1,0 +1,111 @@
+#include "workload/tracefile.h"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace workload {
+namespace {
+
+constexpr char kMagic[8] = {'H', 'L', 'C', 'C', 'T', 'R', 'C', '1'};
+constexpr std::size_t kRecordBytes = 30;
+
+void pack(const sim::MicroOp& op, unsigned char* buf) {
+  buf[0] = static_cast<unsigned char>(op.op);
+  std::memcpy(buf + 1, &op.pc, 8);
+  std::memcpy(buf + 9, &op.mem_addr, 8);
+  std::memcpy(buf + 17, &op.src1_dist, 2);
+  std::memcpy(buf + 19, &op.src2_dist, 2);
+  buf[21] = op.taken ? 1 : 0;
+  std::memcpy(buf + 22, &op.target, 8);
+}
+
+void unpack(const unsigned char* buf, sim::MicroOp& op) {
+  op = sim::MicroOp{};
+  op.op = static_cast<sim::OpClass>(buf[0]);
+  std::memcpy(&op.pc, buf + 1, 8);
+  std::memcpy(&op.mem_addr, buf + 9, 8);
+  std::memcpy(&op.src1_dist, buf + 17, 2);
+  std::memcpy(&op.src2_dist, buf + 19, 2);
+  op.taken = buf[21] != 0;
+  std::memcpy(&op.target, buf + 22, 8);
+}
+
+} // namespace
+
+uint64_t write_trace(const std::string& path, sim::TraceSource& source,
+                     uint64_t count) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("write_trace: cannot open " + path);
+  }
+  // Header with a placeholder count, fixed up at the end.
+  uint64_t written = 0;
+  if (std::fwrite(kMagic, 1, 8, f) != 8 ||
+      std::fwrite(&written, 8, 1, f) != 1) {
+    std::fclose(f);
+    throw std::runtime_error("write_trace: header write failed");
+  }
+  sim::MicroOp op;
+  std::array<unsigned char, kRecordBytes> buf{};
+  while (written < count && source.next(op)) {
+    pack(op, buf.data());
+    if (std::fwrite(buf.data(), 1, kRecordBytes, f) != kRecordBytes) {
+      std::fclose(f);
+      throw std::runtime_error("write_trace: record write failed");
+    }
+    ++written;
+  }
+  if (std::fseek(f, 8, SEEK_SET) != 0 ||
+      std::fwrite(&written, 8, 1, f) != 1 || std::fclose(f) != 0) {
+    throw std::runtime_error("write_trace: finalize failed");
+  }
+  return written;
+}
+
+TraceFileReader::TraceFileReader(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("TraceFileReader: cannot open " + path);
+  }
+  char magic[8];
+  if (std::fread(magic, 1, 8, file_) != 8 ||
+      std::memcmp(magic, kMagic, 8) != 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw std::runtime_error("TraceFileReader: bad magic in " + path);
+  }
+  if (std::fread(&total_, 8, 1, file_) != 1) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw std::runtime_error("TraceFileReader: truncated header in " + path);
+  }
+}
+
+TraceFileReader::~TraceFileReader() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+bool TraceFileReader::next(sim::MicroOp& op) {
+  if (read_ >= total_) {
+    return false;
+  }
+  unsigned char buf[kRecordBytes];
+  if (std::fread(buf, 1, kRecordBytes, file_) != kRecordBytes) {
+    return false; // truncated file: stop cleanly
+  }
+  unpack(buf, op);
+  ++read_;
+  return true;
+}
+
+void TraceFileReader::rewind() {
+  if (std::fseek(file_, 16, SEEK_SET) != 0) {
+    throw std::runtime_error("TraceFileReader: rewind failed");
+  }
+  read_ = 0;
+}
+
+} // namespace workload

@@ -1,0 +1,50 @@
+// Binary trace capture and replay (SimpleScalar EIO-style).
+//
+// The synthetic generator is deterministic, but experiments sometimes want
+// a fixed artifact: capture a generator's (or any TraceSource's) stream to
+// a compact binary file once, then replay it — byte-identical — across
+// machines, tool versions, or external consumers.
+//
+// Format: 16-byte header ("HLCCTRC1" magic + record count), then one
+// packed 30-byte record per committed instruction.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "sim/core.h"
+
+namespace workload {
+
+/// Write @p count instructions from @p source to @p path.  Returns the
+/// number actually written (the source may end early).  Throws
+/// std::runtime_error on I/O failure.
+uint64_t write_trace(const std::string& path, sim::TraceSource& source,
+                     uint64_t count);
+
+/// Replays a trace file.  Construction validates the header; next()
+/// streams records without loading the file into memory.
+class TraceFileReader final : public sim::TraceSource {
+public:
+  explicit TraceFileReader(const std::string& path);
+  ~TraceFileReader() override;
+
+  TraceFileReader(const TraceFileReader&) = delete;
+  TraceFileReader& operator=(const TraceFileReader&) = delete;
+
+  bool next(sim::MicroOp& op) override;
+
+  uint64_t total_records() const { return total_; }
+  uint64_t records_read() const { return read_; }
+  /// Restart from the first record.
+  void rewind();
+
+private:
+  std::FILE* file_ = nullptr;
+  uint64_t total_ = 0;
+  uint64_t read_ = 0;
+};
+
+} // namespace workload

@@ -1,0 +1,159 @@
+// Kaxiras per-line adaptive intervals and Zhou adaptive mode control.
+#include <gtest/gtest.h>
+
+#include "leakctl/adaptive_modes.h"
+#include "sim/processor.h"
+
+namespace leakctl {
+namespace {
+
+struct Fixture {
+  explicit Fixture(TechniqueParams tech = TechniqueParams::gated_vss()) {
+    sim::ProcessorConfig pcfg = sim::ProcessorConfig::table2(11);
+    cfg.cache = {.size_bytes = 1024, .assoc = 2, .line_bytes = 64,
+                 .hit_latency = 2};
+    cfg.technique = tech;
+    cfg.technique.decay_tags = false; // adaptive schemes need awake tags
+    cfg.decay_interval = 4096;
+    l2 = std::make_unique<sim::L2System>(pcfg.l2, pcfg.memory_latency,
+                                         nullptr);
+    cc = std::make_unique<ControlledCache>(cfg, *l2, nullptr);
+  }
+  uint64_t addr(uint64_t set, uint64_t tag) const {
+    return (tag * 8 + set) * 64;
+  }
+  ControlledCacheConfig cfg;
+  std::unique_ptr<sim::L2System> l2;
+  std::unique_ptr<ControlledCache> cc;
+};
+
+TEST(PerLine, PromotionOnInducedMiss) {
+  Fixture f;
+  PerLineAdaptiveController ctl;
+  ctl.attach(*f.cc);
+  // Touch a line with a gap just above the interval: each re-touch is an
+  // induced miss, promoting the line to a longer threshold.
+  EXPECT_EQ(f.cc->line_decay_threshold(0), 4u);
+  EXPECT_EQ(f.cc->line_decay_threshold(1), 4u);
+  uint64_t cycle = 0;
+  f.cc->access(f.addr(0, 1), false, cycle);
+  cycle += 6000;
+  f.cc->access(f.addr(0, 1), false, cycle);
+  EXPECT_GT(ctl.promotions(), 0ull);
+  // Whichever way of set 0 held the line got promoted.
+  EXPECT_TRUE(f.cc->line_decay_threshold(0) == 8u ||
+              f.cc->line_decay_threshold(1) == 8u);
+  // After promotion the same 6000-cycle gap no longer decays the line.
+  cycle += 6000;
+  const unsigned lat = f.cc->access(f.addr(0, 1), false, cycle);
+  EXPECT_EQ(lat, 2u); // plain hit now
+}
+
+TEST(PerLine, PromotionSaturatesAtMaxShift) {
+  Fixture f;
+  PerLineAdaptiveConfig pcfg;
+  pcfg.max_shift = 2;
+  pcfg.forget_window_cycles = 100'000'000; // no forgetting in this test
+  PerLineAdaptiveController ctl(pcfg);
+  ctl.attach(*f.cc);
+  uint64_t cycle = 0;
+  for (int i = 0; i < 12; ++i) {
+    f.cc->access(f.addr(0, 1), false, cycle);
+    cycle += 70'000; // always longer than even the longest threshold
+  }
+  EXPECT_LE(f.cc->line_decay_threshold(0), 4u << 2);
+}
+
+TEST(PerLine, ForgettingDemotes) {
+  Fixture f;
+  PerLineAdaptiveConfig pcfg;
+  pcfg.forget_window_cycles = 50'000;
+  PerLineAdaptiveController ctl(pcfg);
+  ctl.attach(*f.cc);
+  uint64_t cycle = 0;
+  f.cc->access(f.addr(0, 1), false, cycle);
+  cycle = 6000;
+  f.cc->access(f.addr(0, 1), false, cycle); // induced -> promote to 8
+  EXPECT_TRUE(f.cc->line_decay_threshold(0) == 8u ||
+              f.cc->line_decay_threshold(1) == 8u);
+  // Cross a forget window: demoted back to 4.
+  f.cc->access(f.addr(1, 1), false, 120'000);
+  EXPECT_EQ(f.cc->line_decay_threshold(0), 4u);
+  EXPECT_EQ(f.cc->line_decay_threshold(1), 4u);
+  EXPECT_GT(ctl.demotions(), 0ull);
+}
+
+TEST(Amc, RaisesIntervalWhenSleepMissesDominate) {
+  Fixture f;
+  AmcConfig acfg;
+  acfg.window_cycles = 50'000;
+  acfg.target_ratio = 0.05;
+  AdaptiveModeControl ctl(acfg);
+  ctl.attach(*f.cc);
+  // Manufacture many induced misses and few true misses.
+  uint64_t cycle = 0;
+  for (int i = 0; i < 10; ++i) {
+    f.cc->access(f.addr(0, 1), false, cycle);
+    cycle += 6000;
+  }
+  // Cross the window boundary.
+  f.cc->access(f.addr(0, 1), false, 61'000);
+  EXPECT_GT(f.cc->decay_interval(), 4096ull);
+  EXPECT_GT(ctl.ups(), 0ull);
+}
+
+TEST(Amc, LowersIntervalWhenSleepMissesRare) {
+  Fixture f;
+  AmcConfig acfg;
+  acfg.window_cycles = 20'000;
+  acfg.target_ratio = 0.5;
+  AdaptiveModeControl ctl(acfg);
+  ctl.attach(*f.cc);
+  // Many true (cold) misses, no induced.
+  uint64_t cycle = 0;
+  for (uint64_t t = 1; t <= 12; ++t) {
+    f.cc->access(f.addr(t % 8, t + 1), false, cycle);
+    cycle += 100;
+  }
+  f.cc->access(f.addr(0, 99), false, 25'000);
+  EXPECT_LT(f.cc->decay_interval(), 4096ull);
+  EXPECT_GT(ctl.downs(), 0ull);
+}
+
+TEST(Amc, NoSignalNoAdjustment) {
+  Fixture f;
+  AmcConfig acfg;
+  acfg.window_cycles = 10'000;
+  AdaptiveModeControl ctl(acfg);
+  ctl.attach(*f.cc);
+  // A couple of accesses only: below the signal floor.
+  f.cc->access(f.addr(0, 1), false, 100);
+  f.cc->access(f.addr(0, 1), false, 11'000);
+  EXPECT_EQ(f.cc->decay_interval(), 4096ull);
+  EXPECT_EQ(ctl.adjustments(), 0ull);
+}
+
+TEST(Amc, RespectsBounds) {
+  Fixture f;
+  AmcConfig acfg;
+  acfg.window_cycles = 10'000;
+  acfg.target_ratio = 0.5;
+  acfg.min_interval = 2048;
+  AdaptiveModeControl ctl(acfg);
+  ctl.attach(*f.cc);
+  uint64_t cycle = 0;
+  for (int w = 0; w < 8; ++w) {
+    // 12 true misses per window.
+    for (uint64_t t = 1; t <= 12; ++t) {
+      f.cc->access(f.addr(t % 8, 100 + static_cast<uint64_t>(w) * 16 + t),
+                   false, cycle);
+      cycle += 100;
+    }
+    cycle = (w + 1) * 10'000 + 100;
+    f.cc->access(f.addr(0, 1), false, cycle);
+  }
+  EXPECT_GE(f.cc->decay_interval(), 2048ull);
+}
+
+} // namespace
+} // namespace leakctl

@@ -1,0 +1,94 @@
+// BackingStore abstraction: memory backend and decay stacked at L2.
+#include <gtest/gtest.h>
+
+#include "leakctl/controlled_cache.h"
+#include "sim/processor.h"
+#include "workload/generator.h"
+
+namespace {
+
+TEST(MemoryBackend, FixedLatencyAndCounting) {
+  wattch::Activity act;
+  sim::MemoryBackend mem(100, &act);
+  EXPECT_EQ(mem.access(0x1000, false, 5), 100u);
+  EXPECT_EQ(mem.access(0x2000, true, 6), 100u);
+  mem.writeback(0x3000, 7);
+  EXPECT_EQ(act.memory_accesses, 3ull);
+}
+
+TEST(MemoryBackend, NullActivityAllowed) {
+  sim::MemoryBackend mem(100, nullptr);
+  EXPECT_EQ(mem.access(0x1000, false, 5), 100u);
+  EXPECT_NO_THROW(mem.writeback(0x1000, 6));
+}
+
+TEST(BackingStore, ControlledCacheServesAsL2) {
+  // L1 (plain) -> controlled L2 -> memory: an induced L2 miss costs the
+  // memory latency at the L1's miss path.
+  const sim::ProcessorConfig pcfg = sim::ProcessorConfig::table2(11);
+  sim::MemoryBackend memory(pcfg.memory_latency, nullptr);
+  leakctl::ControlledCacheConfig l2cfg;
+  l2cfg.cache = pcfg.l2;
+  l2cfg.technique = leakctl::TechniqueParams::gated_vss();
+  l2cfg.decay_interval = 4096;
+  leakctl::ControlledCache l2(l2cfg, memory, nullptr);
+  sim::BaselineDataPort l1(pcfg.l1d, l2, nullptr);
+
+  // Cold miss: L1 (2) + L2 lookup (11) + memory (100).
+  EXPECT_EQ(l1.access(0x100000, false, 10), 2u + 11u + 100u);
+  // Hot: L1 hit.
+  EXPECT_EQ(l1.access(0x100000, false, 20), 2u);
+  // Force the line out of L1 but not out of (awake) L2.
+  const uint64_t stride = 512 * 64;
+  l1.access(0x100000 + stride, false, 30);
+  l1.access(0x100000 + 2 * stride, false, 40);
+  EXPECT_EQ(l1.access(0x100000, false, 50), 2u + 11u); // L2 hit
+  // Idle past the L2 decay interval: the L2 line is destroyed, so the next
+  // L1 miss goes all the way to memory (an induced L2 miss).
+  l1.access(0x100000 + stride, false, 20'000); // evict from L1 again
+  l1.access(0x100000 + 2 * stride, false, 20'010);
+  const unsigned lat = l1.access(0x100000, false, 20'020);
+  EXPECT_EQ(lat, 2u + 11u + 100u);
+  EXPECT_GE(l2.stats().induced_misses, 1ull);
+}
+
+TEST(BackingStore, WritebackIntoControlledL2KeepsData) {
+  const sim::ProcessorConfig pcfg = sim::ProcessorConfig::table2(11);
+  sim::MemoryBackend memory(pcfg.memory_latency, nullptr);
+  leakctl::ControlledCacheConfig l2cfg;
+  l2cfg.cache = pcfg.l2;
+  l2cfg.technique = leakctl::TechniqueParams::drowsy();
+  l2cfg.decay_interval = 1 << 20; // effectively no decay in this test
+  leakctl::ControlledCache l2(l2cfg, memory, nullptr);
+  sim::BaselineDataPort l1(pcfg.l1d, l2, nullptr);
+
+  l1.access(0x100000, true, 10); // dirty in L1
+  const uint64_t stride = 512 * 64;
+  l1.access(0x100000 + stride, false, 20);
+  l1.access(0x100000 + 2 * stride, false, 30); // dirty victim -> L2
+  // The written-back line is an L2 hit afterwards.
+  EXPECT_EQ(l1.access(0x100000, false, 40), 2u + 11u);
+}
+
+TEST(BackingStore, EndToEndRunWithControlledL2) {
+  const sim::ProcessorConfig pcfg = sim::ProcessorConfig::table2(11);
+  wattch::Activity act;
+  sim::MemoryBackend memory(pcfg.memory_latency, &act);
+  leakctl::ControlledCacheConfig l2cfg;
+  l2cfg.cache = pcfg.l2;
+  l2cfg.technique = leakctl::TechniqueParams::gated_vss();
+  l2cfg.decay_interval = 65536;
+  leakctl::ControlledCache l2(l2cfg, memory, nullptr);
+  sim::BaselineDataPort dport(pcfg.l1d, l2, &act);
+  sim::InstrPort iport(pcfg.l1i, l2, &act);
+  sim::OooCore core(pcfg.core, dport, iport, &act);
+  workload::Generator gen(workload::profile_by_name("twolf"), 1);
+  const sim::RunStats st = core.run(gen, 150'000);
+  l2.finalize(st.cycles);
+  EXPECT_EQ(st.instructions, 150'000ull);
+  EXPECT_GT(l2.stats().accesses(), 0ull);
+  // Most of a 2 MB L2 is idle at any moment: high turnoff.
+  EXPECT_GT(l2.stats().turnoff_ratio(), 0.5);
+}
+
+} // namespace

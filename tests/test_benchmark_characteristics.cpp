@@ -1,0 +1,101 @@
+// Per-benchmark characteristics of the synthetic SPECint2000 suite on the
+// Table 2 machine (parameterized): every profile must land in a plausible
+// band for IPC, L1D miss rate, and branch misprediction, and the suite's
+// internal orderings (mcf worst, gzip best, ...) must hold.  These pin the
+// workload calibration that Table 3 and the figures depend on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "sim/processor.h"
+#include "workload/generator.h"
+
+namespace {
+
+struct BenchStats {
+  double ipc = 0.0;
+  double l1d_miss = 0.0;
+  double mispredict = 0.0;
+};
+
+const BenchStats& stats_for(const std::string& name) {
+  static std::map<std::string, BenchStats> cache;
+  auto it = cache.find(name);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  const sim::ProcessorConfig cfg = sim::ProcessorConfig::table2(11);
+  sim::Processor proc(cfg);
+  sim::BaselineDataPort dport(cfg.l1d, proc.l2(), nullptr);
+  workload::Generator gen(workload::profile_by_name(name), 1);
+  const sim::RunStats run = proc.run(gen, dport, 1'000'000);
+  BenchStats s;
+  s.ipc = run.ipc();
+  s.l1d_miss = dport.cache().stats().miss_rate();
+  s.mispredict = run.branch.mispredict_rate();
+  return cache.emplace(name, s).first->second;
+}
+
+class BenchmarkBands : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BenchmarkBands, InPlausibleRanges) {
+  const BenchStats& s = stats_for(GetParam());
+  EXPECT_GT(s.ipc, 0.15) << GetParam();
+  EXPECT_LT(s.ipc, 2.5) << GetParam();
+  EXPECT_GT(s.l1d_miss, 0.001) << GetParam();
+  EXPECT_LT(s.l1d_miss, 0.30) << GetParam();
+  EXPECT_GT(s.mispredict, 0.02) << GetParam();
+  EXPECT_LT(s.mispredict, 0.20) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkBands,
+                         ::testing::Values("gcc", "gzip", "parser", "vortex",
+                                           "gap", "perl", "twolf", "bzip2",
+                                           "vpr", "mcf", "crafty"));
+
+TEST(BenchmarkOrdering, McfIsTheMemoryBoundOutlier) {
+  const BenchStats& mcf = stats_for("mcf");
+  for (const auto& p : workload::spec2000_profiles()) {
+    if (p.name == "mcf") continue;
+    const BenchStats& other = stats_for(std::string(p.name));
+    EXPECT_LT(mcf.ipc, other.ipc) << p.name;
+    EXPECT_GT(mcf.l1d_miss, other.l1d_miss) << p.name;
+  }
+}
+
+TEST(BenchmarkOrdering, LowMissBenchmarksBelowTwoPercent) {
+  // vortex and crafty are the published low-miss-rate SPECint members.
+  EXPECT_LT(stats_for("vortex").l1d_miss, 0.02);
+  EXPECT_LT(stats_for("crafty").l1d_miss, 0.02);
+}
+
+TEST(BenchmarkOrdering, PredictableVsUnpredictableBranches) {
+  // vortex (4 % random branches) must mispredict less than twolf (14 %).
+  EXPECT_LT(stats_for("vortex").mispredict, stats_for("twolf").mispredict);
+}
+
+TEST(BenchmarkOrdering, IlpRichBenchmarksLead) {
+  // gzip and bzip2 (long dependency distances) top the IPC table's upper
+  // half; both must beat the suite median.
+  std::vector<double> ipcs;
+  for (const auto& p : workload::spec2000_profiles()) {
+    ipcs.push_back(stats_for(std::string(p.name)).ipc);
+  }
+  std::sort(ipcs.begin(), ipcs.end());
+  const double median = ipcs[ipcs.size() / 2];
+  EXPECT_GT(stats_for("gzip").ipc, median);
+  EXPECT_GE(stats_for("bzip2").ipc, median);
+}
+
+TEST(BenchmarkOrdering, SuiteAverageIpcInBand) {
+  double sum = 0.0;
+  for (const auto& p : workload::spec2000_profiles()) {
+    sum += stats_for(std::string(p.name)).ipc;
+  }
+  const double avg = sum / 11.0;
+  EXPECT_GT(avg, 0.5);
+  EXPECT_LT(avg, 1.5);
+}
+
+} // namespace

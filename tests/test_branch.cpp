@@ -1,0 +1,124 @@
+// Hybrid predictor (bimod + GAg + chooser) and BTB.
+#include <gtest/gtest.h>
+
+#include "sim/branch.h"
+
+namespace sim {
+namespace {
+
+TEST(SatCounter, Saturates) {
+  SatCounter2 c;
+  for (int i = 0; i < 10; ++i) c.update(true);
+  EXPECT_TRUE(c.taken());
+  EXPECT_EQ(c.raw(), 3);
+  for (int i = 0; i < 10; ++i) c.update(false);
+  EXPECT_FALSE(c.taken());
+  EXPECT_EQ(c.raw(), 0);
+}
+
+TEST(SatCounter, Hysteresis) {
+  SatCounter2 c; // starts weakly taken (2)
+  c.update(false);
+  EXPECT_FALSE(c.taken()); // 1
+  c.update(true);
+  EXPECT_TRUE(c.taken()); // 2
+}
+
+TEST(Hybrid, LearnsAlwaysTaken) {
+  HybridPredictor p;
+  const uint64_t pc = 0x400100;
+  for (int i = 0; i < 100; ++i) p.update(pc, true);
+  EXPECT_TRUE(p.predict(pc));
+  // After warmup, accuracy should be near-perfect.
+  unsigned long long wrong_before = p.stats().direction_mispredicts;
+  for (int i = 0; i < 100; ++i) p.update(pc, true);
+  EXPECT_EQ(p.stats().direction_mispredicts, wrong_before);
+}
+
+TEST(Hybrid, LearnsAlternatingViaHistory) {
+  // Bimod cannot learn T/N/T/N, but the 12-bit GAg can; the chooser should
+  // migrate to it.
+  HybridPredictor p;
+  const uint64_t pc = 0x400200;
+  bool outcome = false;
+  for (int i = 0; i < 2000; ++i) {
+    p.update(pc, outcome);
+    outcome = !outcome;
+  }
+  // Measure accuracy over the next 200.
+  unsigned long long wrong_before = p.stats().direction_mispredicts;
+  for (int i = 0; i < 200; ++i) {
+    p.update(pc, outcome);
+    outcome = !outcome;
+  }
+  const unsigned long long wrong =
+      p.stats().direction_mispredicts - wrong_before;
+  EXPECT_LT(wrong, 20ull); // >90 % on a learnable pattern
+}
+
+TEST(Hybrid, RandomBranchNearChance) {
+  HybridPredictor p;
+  const uint64_t pc = 0x400300;
+  uint64_t x = 88172645463325252ull;
+  unsigned long long wrong = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+    const bool outcome = (x & 1) != 0;
+    const unsigned long long before = p.stats().direction_mispredicts;
+    p.update(pc, outcome);
+    wrong += p.stats().direction_mispredicts - before;
+  }
+  const double rate = static_cast<double>(wrong) / n;
+  EXPECT_GT(rate, 0.35);
+  EXPECT_LT(rate, 0.65);
+}
+
+TEST(Hybrid, StatsCount) {
+  HybridPredictor p;
+  for (int i = 0; i < 7; ++i) p.update(0x1000 + 4 * i, true);
+  EXPECT_EQ(p.stats().branches, 7ull);
+}
+
+TEST(Btb, MissThenHit) {
+  Btb btb;
+  uint64_t target = 0;
+  EXPECT_FALSE(btb.lookup(0x400000, target));
+  btb.update(0x400000, 0x400abc);
+  EXPECT_TRUE(btb.lookup(0x400000, target));
+  EXPECT_EQ(target, 0x400abcull);
+}
+
+TEST(Btb, UpdateOverwritesTarget) {
+  Btb btb;
+  btb.update(0x400000, 0x1);
+  btb.update(0x400000, 0x2);
+  uint64_t target = 0;
+  EXPECT_TRUE(btb.lookup(0x400000, target));
+  EXPECT_EQ(target, 0x2ull);
+}
+
+TEST(Btb, TwoWaysPerSet) {
+  Btb btb;
+  // Two PCs mapping to the same set (1 K entries, 512 sets, stride 512*4).
+  const uint64_t a = 0x400000;
+  const uint64_t b = a + 512 * 4;
+  btb.update(a, 0xa);
+  btb.update(b, 0xb);
+  uint64_t t = 0;
+  EXPECT_TRUE(btb.lookup(a, t));
+  EXPECT_EQ(t, 0xaull);
+  EXPECT_TRUE(btb.lookup(b, t));
+  EXPECT_EQ(t, 0xbull);
+  // A third conflicting entry evicts one of them, not both.
+  const uint64_t c = a + 2 * 512 * 4;
+  btb.update(c, 0xc);
+  int resident = 0;
+  resident += btb.lookup(a, t) ? 1 : 0;
+  resident += btb.lookup(b, t) ? 1 : 0;
+  EXPECT_TRUE(btb.lookup(c, t));
+  EXPECT_EQ(resident, 1);
+}
+
+} // namespace
+} // namespace sim

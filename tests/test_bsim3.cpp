@@ -1,0 +1,149 @@
+// Subthreshold-leakage equation (paper Eq. 2): functional dependences the
+// Fig. 1 validation relies on, plus error handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hotleakage/bsim3.h"
+
+namespace hotleakage {
+namespace {
+
+const TechParams& t70() { return tech_params(TechNode::nm70); }
+
+TEST(Bsim3, UnitLeakageMagnitude70nm) {
+  // Tens of nA per off transistor at nominal conditions — the ITRS-2001
+  // high-leakage regime the paper targets.
+  const OperatingPoint op{.temperature_k = 383.15, .vdd = 0.9};
+  const double in = unit_leakage(t70(), DeviceType::nmos, op);
+  EXPECT_GT(in, 1e-8);
+  EXPECT_LT(in, 5e-6);
+}
+
+TEST(Bsim3, LinearInAspectRatio) {
+  // Fig. 1a: leakage is exactly proportional to W/L.
+  const OperatingPoint op{.temperature_k = 300.0, .vdd = 0.9};
+  const double base = subthreshold_current(t70(), DeviceType::nmos, op,
+                                           {.w_over_l = 1.0});
+  for (double wl : {0.5, 2.0, 4.0, 10.0}) {
+    const double i = subthreshold_current(t70(), DeviceType::nmos, op,
+                                          {.w_over_l = wl});
+    EXPECT_NEAR(i / base, wl, 1e-9 * wl);
+  }
+}
+
+TEST(Bsim3, IncreasesWithVdd) {
+  // Fig. 1b: DIBL makes leakage grow with supply voltage.
+  const double t = 300.0;
+  double prev = 0.0;
+  for (double vdd : {0.5, 0.7, 0.9, 1.1}) {
+    const double i = subthreshold_current(
+        t70(), DeviceType::nmos, {.temperature_k = t, .vdd = vdd});
+    EXPECT_GT(i, prev);
+    prev = i;
+  }
+}
+
+TEST(Bsim3, ExponentialInTemperature) {
+  // Fig. 1c: strong superlinear growth with temperature.
+  const double i300 = unit_leakage(t70(), DeviceType::nmos,
+                                   {.temperature_k = 300.0, .vdd = 0.9});
+  const double i383 = unit_leakage(t70(), DeviceType::nmos,
+                                   {.temperature_k = 383.15, .vdd = 0.9});
+  EXPECT_GT(i383 / i300, 5.0);   // order-of-magnitude class growth
+  EXPECT_LT(i383 / i300, 100.0); // but not absurd
+}
+
+TEST(Bsim3, ExponentialDecayInVth) {
+  // Fig. 1d: each +60..120 mV of Vth cuts leakage by ~10x.
+  const OperatingPoint op{.temperature_k = 300.0, .vdd = 0.9};
+  const double lo = subthreshold_current(t70(), DeviceType::nmos, op,
+                                         {.vth_absolute = 0.2});
+  const double hi = subthreshold_current(t70(), DeviceType::nmos, op,
+                                         {.vth_absolute = 0.3});
+  const double decade_mv =
+      100.0 / std::log10(lo / hi); // mV of Vth per decade of leakage
+  EXPECT_GT(decade_mv, 50.0);
+  EXPECT_LT(decade_mv, 130.0);
+}
+
+TEST(Bsim3, PmosLeaksLessThanNmos) {
+  const OperatingPoint op{.temperature_k = 383.15, .vdd = 0.9};
+  EXPECT_LT(unit_leakage(t70(), DeviceType::pmos, op),
+            unit_leakage(t70(), DeviceType::nmos, op));
+}
+
+TEST(Bsim3, ZeroVddYieldsZero) {
+  const double i = subthreshold_current(t70(), DeviceType::nmos,
+                                        {.temperature_k = 300.0, .vdd = 0.0});
+  EXPECT_DOUBLE_EQ(i, 0.0); // drain term (1 - e^0) = 0
+}
+
+TEST(Bsim3, RejectsBadInputs) {
+  EXPECT_THROW(subthreshold_current(t70(), DeviceType::nmos,
+                                    {.temperature_k = 0.0, .vdd = 0.9}),
+               std::invalid_argument);
+  EXPECT_THROW(subthreshold_current(t70(), DeviceType::nmos,
+                                    {.temperature_k = 300.0, .vdd = -0.1}),
+               std::invalid_argument);
+  EXPECT_THROW(subthreshold_current(t70(), DeviceType::nmos,
+                                    {.temperature_k = 300.0, .vdd = 0.9},
+                                    {.w_over_l = 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Bsim3, VthDeltaOverride) {
+  // RBB-style Vth manipulation reduces leakage exponentially.
+  const OperatingPoint op{.temperature_k = 300.0, .vdd = 0.9};
+  const double base = subthreshold_current(t70(), DeviceType::nmos, op);
+  const double raised = subthreshold_current(t70(), DeviceType::nmos, op,
+                                             {.vth_delta = 0.1});
+  EXPECT_LT(raised, base / 5.0);
+}
+
+TEST(Bsim3, EffectiveVthTracksTemperatureAndOverride) {
+  const OperatingPoint hot{.temperature_k = 383.15, .vdd = 0.9};
+  const OperatingPoint cold{.temperature_k = 300.0, .vdd = 0.9};
+  EXPECT_LT(effective_vth(t70(), DeviceType::nmos, hot),
+            effective_vth(t70(), DeviceType::nmos, cold));
+  EXPECT_DOUBLE_EQ(
+      effective_vth(t70(), DeviceType::nmos, cold, {.vth_absolute = 0.42}),
+      0.42);
+}
+
+TEST(Bsim3, OlderNodesLeakLess) {
+  // At each node's own nominal point, leakage per transistor rises sharply
+  // with scaling — the trend motivating the paper.
+  double prev = 1e9;
+  for (TechNode node : {TechNode::nm70, TechNode::nm100, TechNode::nm130,
+                        TechNode::nm180}) {
+    const TechParams& t = tech_params(node);
+    const double i = unit_leakage(
+        t, DeviceType::nmos, {.temperature_k = 383.15, .vdd = t.vdd_nominal});
+    EXPECT_LT(i, prev);
+    prev = i;
+  }
+}
+
+// Parameterized sweep: monotone decrease of leakage with Vth at several
+// temperatures (property-style, used by the Fig. 1d bench too).
+class Bsim3VthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(Bsim3VthSweep, MonotoneInVth) {
+  const double temp = GetParam();
+  double prev = 1e9;
+  for (double vth = 0.10; vth <= 0.45; vth += 0.05) {
+    const double i =
+        subthreshold_current(t70(), DeviceType::nmos,
+                             {.temperature_k = temp, .vdd = 0.9},
+                             {.vth_absolute = vth});
+    EXPECT_LT(i, prev) << "vth=" << vth << " T=" << temp;
+    prev = i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, Bsim3VthSweep,
+                         ::testing::Values(300.0, 330.0, 358.15, 383.15));
+
+} // namespace
+} // namespace hotleakage

@@ -1,0 +1,168 @@
+// Set-associative cache: hits, LRU, write-back, invalidation.
+#include <gtest/gtest.h>
+
+#include "sim/cache.h"
+
+namespace sim {
+namespace {
+
+CacheConfig small_cfg() {
+  // 4 sets x 2 ways x 64 B lines = 512 B, easy to reason about.
+  return {.size_bytes = 512, .assoc = 2, .line_bytes = 64, .hit_latency = 2};
+}
+
+uint64_t addr_of(uint64_t set, uint64_t tag, const CacheConfig& cfg) {
+  return (tag * cfg.sets() + set) * cfg.line_bytes;
+}
+
+TEST(Cache, GeometryValidation) {
+  EXPECT_NO_THROW(Cache{small_cfg()});
+  CacheConfig bad = small_cfg();
+  bad.line_bytes = 48; // not a power of two
+  EXPECT_THROW(Cache{bad}, std::invalid_argument);
+  bad = small_cfg();
+  bad.assoc = 3; // lines % assoc != 0
+  EXPECT_THROW(Cache{bad}, std::invalid_argument);
+  bad = small_cfg();
+  bad.assoc = 0;
+  EXPECT_THROW(Cache{bad}, std::invalid_argument);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(small_cfg());
+  const uint64_t a = addr_of(1, 7, c.config());
+  EXPECT_FALSE(c.access(a, false, 10).hit);
+  EXPECT_TRUE(c.access(a, false, 11).hit);
+  EXPECT_EQ(c.stats().reads, 2ull);
+  EXPECT_EQ(c.stats().read_misses, 1ull);
+}
+
+TEST(Cache, SameSetDifferentTags) {
+  Cache c(small_cfg());
+  const uint64_t a = addr_of(2, 1, c.config());
+  const uint64_t b = addr_of(2, 2, c.config());
+  c.access(a, false, 1);
+  c.access(b, false, 2);
+  EXPECT_TRUE(c.access(a, false, 3).hit); // both fit in 2 ways
+  EXPECT_TRUE(c.access(b, false, 4).hit);
+}
+
+TEST(Cache, LruEviction) {
+  Cache c(small_cfg());
+  const uint64_t a = addr_of(0, 1, c.config());
+  const uint64_t b = addr_of(0, 2, c.config());
+  const uint64_t d = addr_of(0, 3, c.config());
+  c.access(a, false, 1);
+  c.access(b, false, 2);
+  c.access(a, false, 3); // a MRU, b LRU
+  c.access(d, false, 4); // evicts b
+  EXPECT_TRUE(c.access(a, false, 5).hit);
+  EXPECT_FALSE(c.probe(b));
+  EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, DirtyEvictionProducesWriteback) {
+  Cache c(small_cfg());
+  const uint64_t a = addr_of(0, 1, c.config());
+  c.access(a, true, 1); // write-allocate, dirty
+  c.access(addr_of(0, 2, c.config()), false, 2);
+  const Cache::AccessResult r = c.access(addr_of(0, 3, c.config()), false, 3);
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(r.writeback_addr, a);
+  EXPECT_EQ(c.stats().writebacks, 1ull);
+}
+
+TEST(Cache, CleanEvictionNoWriteback) {
+  Cache c(small_cfg());
+  c.access(addr_of(0, 1, c.config()), false, 1);
+  c.access(addr_of(0, 2, c.config()), false, 2);
+  const Cache::AccessResult r = c.access(addr_of(0, 3, c.config()), false, 3);
+  EXPECT_FALSE(r.writeback);
+}
+
+TEST(Cache, WriteHitSetsDirty) {
+  Cache c(small_cfg());
+  const uint64_t a = addr_of(1, 4, c.config());
+  const Cache::AccessResult fill = c.access(a, false, 1);
+  EXPECT_FALSE(c.line(fill.set, fill.way).dirty);
+  c.access(a, true, 2);
+  EXPECT_TRUE(c.line(fill.set, fill.way).dirty);
+}
+
+TEST(Cache, ProbeDoesNotDisturbState) {
+  Cache c(small_cfg());
+  const uint64_t a = addr_of(0, 1, c.config());
+  const uint64_t b = addr_of(0, 2, c.config());
+  c.access(a, false, 1);
+  c.access(b, false, 2); // a is LRU
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(c.probe(a)); // probing must not refresh LRU
+  }
+  c.access(addr_of(0, 3, c.config()), false, 3);
+  EXPECT_FALSE(c.probe(a)); // a was still LRU and got evicted
+}
+
+TEST(Cache, InvalidateReportsDirty) {
+  Cache c(small_cfg());
+  const uint64_t a = addr_of(3, 9, c.config());
+  const Cache::AccessResult r = c.access(a, true, 1);
+  EXPECT_TRUE(c.invalidate(r.set, r.way));
+  EXPECT_FALSE(c.probe(a));
+  EXPECT_EQ(c.stats().invalidation_writebacks, 1ull);
+  // Second invalidation is a no-op.
+  EXPECT_FALSE(c.invalidate(r.set, r.way));
+}
+
+TEST(Cache, InvalidWayIsPreferredVictim) {
+  Cache c(small_cfg());
+  const uint64_t a = addr_of(0, 1, c.config());
+  const uint64_t b = addr_of(0, 2, c.config());
+  const Cache::AccessResult ra = c.access(a, false, 1);
+  c.access(b, false, 2);
+  c.invalidate(ra.set, ra.way);
+  const Cache::AccessResult rc = c.access(addr_of(0, 3, c.config()), false, 3);
+  EXPECT_EQ(rc.way, ra.way); // fills the invalidated slot
+  EXPECT_TRUE(c.probe(b));   // the valid line survives
+}
+
+TEST(Cache, LastAccessCycleTracked) {
+  Cache c(small_cfg());
+  const uint64_t a = addr_of(2, 5, c.config());
+  const Cache::AccessResult r = c.access(a, false, 42);
+  EXPECT_EQ(c.line(r.set, r.way).last_access_cycle, 42ull);
+  c.access(a, false, 99);
+  EXPECT_EQ(c.line(r.set, r.way).last_access_cycle, 99ull);
+}
+
+TEST(Cache, LineAddrRoundTrip) {
+  Cache c(small_cfg());
+  const uint64_t a = addr_of(3, 17, c.config());
+  const Cache::AccessResult r = c.access(a, false, 1);
+  EXPECT_EQ(c.line_addr(r.set, r.way), a);
+}
+
+TEST(Cache, MissRateAccounting) {
+  Cache c(small_cfg());
+  c.access(addr_of(0, 1, c.config()), false, 1);
+  c.access(addr_of(0, 1, c.config()), false, 2);
+  c.access(addr_of(0, 1, c.config()), true, 3);
+  c.access(addr_of(1, 1, c.config()), true, 4);
+  EXPECT_EQ(c.stats().accesses(), 4ull);
+  EXPECT_EQ(c.stats().misses(), 2ull);
+  EXPECT_DOUBLE_EQ(c.stats().miss_rate(), 0.5);
+  c.reset_stats();
+  EXPECT_EQ(c.stats().accesses(), 0ull);
+}
+
+TEST(Cache, Table2Geometries) {
+  // The paper's caches must construct cleanly.
+  const CacheConfig l1{.size_bytes = 64 * 1024, .assoc = 2, .line_bytes = 64,
+                       .hit_latency = 2};
+  const CacheConfig l2{.size_bytes = 2 * 1024 * 1024, .assoc = 2,
+                       .line_bytes = 64, .hit_latency = 11};
+  EXPECT_NO_THROW(Cache{l1});
+  EXPECT_NO_THROW(Cache{l2});
+}
+
+} // namespace
+} // namespace sim

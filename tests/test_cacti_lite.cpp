@@ -1,0 +1,152 @@
+// CACTI-lite array energy model.
+#include <gtest/gtest.h>
+
+#include "wattch/cacti_lite.h"
+
+namespace wattch {
+namespace {
+
+using hotleakage::CacheGeometry;
+using hotleakage::TechNode;
+using hotleakage::tech_params;
+
+const hotleakage::TechParams& t70() { return tech_params(TechNode::nm70); }
+
+CacheGeometry l1_geom() {
+  return {.lines = 1024, .line_bytes = 64, .tag_bits = 28, .assoc = 2};
+}
+CacheGeometry l2_geom() {
+  return {.lines = 32768, .line_bytes = 64, .tag_bits = 17, .assoc = 2};
+}
+
+TEST(CactiLite, Organizations) {
+  const ArrayOrganization d = data_array_org(l1_geom());
+  EXPECT_EQ(d.rows, 512u);
+  EXPECT_EQ(d.cols, 1024u);
+  const ArrayOrganization t = tag_array_org(l1_geom());
+  EXPECT_EQ(t.cols, 56u);
+  const ArrayOrganization l2 = data_array_org(l2_geom());
+  EXPECT_GT(l2.banks, 1u); // large arrays are banked
+}
+
+TEST(CactiLite, ReadEnergyComponentsPositive) {
+  const ArrayEnergies e =
+      array_read_energy(t70(), data_array_org(l1_geom()), 0.9);
+  EXPECT_GT(e.decode, 0.0);
+  EXPECT_GT(e.wordline, 0.0);
+  EXPECT_GT(e.bitline, 0.0);
+  EXPECT_GT(e.senseamp, 0.0);
+  EXPECT_GT(e.output, 0.0);
+  EXPECT_DOUBLE_EQ(e.total(), e.decode + e.wordline + e.bitline + e.senseamp +
+                                  e.output);
+}
+
+TEST(CactiLite, L1ReadMagnitude) {
+  // Tens of pJ for a 64 KB read at 0.9 V / 70 nm.
+  const double e = array_read_energy(t70(), data_array_org(l1_geom()), 0.9).total();
+  EXPECT_GT(e, 1e-12);
+  EXPECT_LT(e, 1e-9);
+}
+
+TEST(CactiLite, L2CostsSeveralTimesL1) {
+  // The ratio the induced-miss energy cost hinges on.
+  const double l1 = array_read_energy(t70(), data_array_org(l1_geom()), 0.9).total();
+  const double l2 = array_read_energy(t70(), data_array_org(l2_geom()), 0.9).total();
+  EXPECT_GT(l2 / l1, 2.0);
+  EXPECT_LT(l2 / l1, 30.0);
+}
+
+TEST(CactiLite, WriteFullSwingCostsMoreBitlineEnergy) {
+  const ArrayOrganization org = data_array_org(l1_geom());
+  const ArrayEnergies r = array_read_energy(t70(), org, 0.9);
+  const ArrayEnergies w = array_write_energy(t70(), org, 0.9);
+  EXPECT_GT(w.bitline, r.bitline);
+  EXPECT_DOUBLE_EQ(w.senseamp, 0.0);
+}
+
+TEST(CactiLite, EnergyQuadraticInVdd) {
+  const ArrayOrganization org = data_array_org(l1_geom());
+  const double e9 = array_read_energy(t70(), org, 0.9).total();
+  const double e45 = array_read_energy(t70(), org, 0.45).total();
+  EXPECT_NEAR(e9 / e45, 4.0, 0.2);
+}
+
+TEST(CactiLite, TagAccessMuchCheaperThanData) {
+  const double data = array_read_energy(t70(), data_array_org(l1_geom()), 0.9).total();
+  const double tag = array_read_energy(t70(), tag_array_org(l1_geom()), 0.9).total();
+  EXPECT_LT(tag, 0.3 * data);
+}
+
+TEST(CactiLite, TransitionEnergyScalesWithSwing) {
+  const double small = line_transition_energy(t70(), l1_geom(), 0.3);
+  const double large = line_transition_energy(t70(), l1_geom(), 0.6);
+  EXPECT_NEAR(large / small, 4.0, 1e-6);
+}
+
+TEST(CactiLite, CounterTickTiny) {
+  // Decay-counter energy must be orders below an L1 access, or cost #1
+  // would negate the technique.
+  const double tick = counter_tick_energy(t70(), 0.9);
+  const double l1 = array_read_energy(t70(), data_array_org(l1_geom()), 0.9).total();
+  EXPECT_GT(tick, 0.0);
+  EXPECT_LT(tick, 1e-3 * l1);
+}
+
+TEST(CactiLite, RejectsDegenerateOrg) {
+  ArrayOrganization bad;
+  bad.rows = 0;
+  EXPECT_THROW(array_read_energy(t70(), bad, 0.9), std::invalid_argument);
+  EXPECT_THROW(array_access_time(t70(), bad, 0.9), std::invalid_argument);
+}
+
+TEST(CactiTiming, ComponentsPositive) {
+  const ArrayTiming t = array_access_time(t70(), data_array_org(l1_geom()), 0.9);
+  EXPECT_GT(t.decode, 0.0);
+  EXPECT_GT(t.wordline, 0.0);
+  EXPECT_GT(t.bitline, 0.0);
+  EXPECT_GT(t.senseamp, 0.0);
+  EXPECT_GT(t.output, 0.0);
+  EXPECT_DOUBLE_EQ(t.total(),
+                   t.decode + t.wordline + t.bitline + t.senseamp + t.output);
+}
+
+TEST(CactiTiming, Table2LatenciesEmerge) {
+  // The paper's configuration values drop out of the geometry: a 64 KB L1
+  // is a 2-cycle cache and a 2 MB L2 an ~11-cycle cache at 5.6 GHz/0.9 V.
+  EXPECT_EQ(cache_latency_cycles(t70(), l1_geom(), 0.9, 5.6e9), 2u);
+  const unsigned l2 = cache_latency_cycles(t70(), l2_geom(), 0.9, 5.6e9);
+  EXPECT_GE(l2, 10u);
+  EXPECT_LE(l2, 12u);
+}
+
+TEST(CactiTiming, MonotoneInCacheSize) {
+  const CacheGeometry small{.lines = 8192, .line_bytes = 64, .tag_bits = 19,
+                            .assoc = 2}; // 512 KB
+  const CacheGeometry large{.lines = 65536, .line_bytes = 64, .tag_bits = 16,
+                            .assoc = 2}; // 4 MB
+  const unsigned s = cache_latency_cycles(t70(), small, 0.9, 5.6e9);
+  const unsigned m = cache_latency_cycles(t70(), l2_geom(), 0.9, 5.6e9);
+  const unsigned l = cache_latency_cycles(t70(), large, 0.9, 5.6e9);
+  EXPECT_LE(s, m);
+  EXPECT_LE(m, l);
+  EXPECT_GT(s, cache_latency_cycles(t70(), l1_geom(), 0.9, 5.6e9));
+}
+
+TEST(CactiTiming, LowerVddIsSlower) {
+  const ArrayOrganization org = data_array_org(l1_geom());
+  EXPECT_GT(array_access_time(t70(), org, 0.6).bitline,
+            array_access_time(t70(), org, 0.9).bitline * 0.6);
+  // Bitline time scales with the sense margin ~ Vdd.
+  EXPECT_LT(array_access_time(t70(), org, 0.6).bitline,
+            array_access_time(t70(), org, 0.9).bitline);
+}
+
+TEST(CactiTiming, SlowerClockFewerCycles) {
+  const unsigned fast = cache_latency_cycles(t70(), l2_geom(), 0.9, 5.6e9);
+  const unsigned slow = cache_latency_cycles(t70(), l2_geom(), 0.9, 1.0e9);
+  EXPECT_LT(slow, fast);
+  EXPECT_GE(slow, 1u);
+}
+
+} // namespace
+} // namespace wattch

@@ -1,0 +1,99 @@
+// Cell library: structure of the built-in cells.
+#include <gtest/gtest.h>
+
+#include "hotleakage/cell.h"
+
+namespace hotleakage {
+namespace {
+
+const TechParams& t70() { return tech_params(TechNode::nm70); }
+
+TEST(Cells, InverterStructure) {
+  const Cell c = cells::inverter(t70());
+  EXPECT_TRUE(c.is_gate);
+  EXPECT_EQ(c.n_inputs, 1);
+  EXPECT_EQ(c.n_nmos, 1);
+  EXPECT_EQ(c.n_pmos, 1);
+  // Complementary: exactly one network off per input value.
+  for (uint32_t in : {0u, 1u}) {
+    EXPECT_NE(c.pdn.conducts(in, DeviceType::nmos),
+              c.pun.conducts(in, DeviceType::pmos));
+  }
+}
+
+TEST(Cells, Nand2TruthTable) {
+  // The paper's worked example (Fig. 2): PDN off for 3 of 4 combos.
+  const Cell c = cells::nand2(t70());
+  int pdn_off = 0;
+  int pun_off = 0;
+  for (uint32_t in = 0; in < 4; ++in) {
+    const bool pdn_on = c.pdn.conducts(in, DeviceType::nmos);
+    const bool pun_on = c.pun.conducts(in, DeviceType::pmos);
+    EXPECT_NE(pdn_on, pun_on) << "combo " << in; // complementary
+    pdn_off += pdn_on ? 0 : 1;
+    pun_off += pun_on ? 0 : 1;
+  }
+  EXPECT_EQ(pdn_off, 3);
+  EXPECT_EQ(pun_off, 1); // only X=1,Y=1
+}
+
+TEST(Cells, Nand3TruthTable) {
+  const Cell c = cells::nand3(t70());
+  int pun_off = 0;
+  for (uint32_t in = 0; in < 8; ++in) {
+    if (!c.pun.conducts(in, DeviceType::pmos)) {
+      ++pun_off;
+      EXPECT_EQ(in, 7u); // all-high is the only PUN-off combo
+    }
+  }
+  EXPECT_EQ(pun_off, 1);
+}
+
+TEST(Cells, Nor2TruthTable) {
+  const Cell c = cells::nor2(t70());
+  int pdn_off = 0;
+  for (uint32_t in = 0; in < 4; ++in) {
+    EXPECT_NE(c.pdn.conducts(in, DeviceType::nmos),
+              c.pun.conducts(in, DeviceType::pmos));
+    if (!c.pdn.conducts(in, DeviceType::nmos)) {
+      ++pdn_off;
+      EXPECT_EQ(in, 0u); // NOR PDN only off when both inputs low
+    }
+  }
+  EXPECT_EQ(pdn_off, 1);
+}
+
+TEST(Cells, Sram6tStructure) {
+  const Cell c = cells::sram6t(t70());
+  EXPECT_FALSE(c.is_gate);
+  EXPECT_EQ(c.n_nmos + c.n_pmos, 6);
+  ASSERT_EQ(c.states.size(), 2u); // storing 0 / storing 1
+  // Symmetric cell: both states leak through the same path set.
+  ASSERT_EQ(c.states[0].paths.size(), c.states[1].paths.size());
+  EXPECT_EQ(c.states[0].paths.size(), 3u); // pull-down, pull-up, access
+}
+
+TEST(Cells, SenseAmpIdleStacked) {
+  const Cell c = cells::sense_amp(t70());
+  ASSERT_FALSE(c.states.empty());
+  bool has_stack = false;
+  for (const LeakPath& p : c.states[0].paths) {
+    if (p.stack_depth > 1) {
+      has_stack = true;
+    }
+  }
+  EXPECT_TRUE(has_stack); // disabled footer stacks the NMOS pair
+}
+
+TEST(Cells, GateWidthsPositiveAndScaleWithNode) {
+  for (TechNode node : kAllNodes) {
+    const TechParams& t = tech_params(node);
+    EXPECT_GT(cells::sram6t(t).total_gate_width, 0.0);
+    EXPECT_GT(cells::nand2(t).total_gate_width, 0.0);
+  }
+  EXPECT_LT(cells::sram6t(tech_params(TechNode::nm70)).total_gate_width,
+            cells::sram6t(tech_params(TechNode::nm180)).total_gate_width);
+}
+
+} // namespace
+} // namespace hotleakage

@@ -1,0 +1,240 @@
+// ControlledCache: access classification, latencies, residency accounting.
+#include <gtest/gtest.h>
+
+#include "leakctl/controlled_cache.h"
+#include "sim/processor.h"
+
+namespace leakctl {
+namespace {
+
+struct Fixture {
+  explicit Fixture(TechniqueParams tech = TechniqueParams::drowsy(),
+                   uint64_t interval = 4096,
+                   DecayPolicy policy = DecayPolicy::noaccess) {
+    sim::ProcessorConfig pcfg = sim::ProcessorConfig::table2(11);
+    // Small cache so decay is easy to exercise: 8 sets x 2 ways.
+    cfg.cache = {.size_bytes = 1024, .assoc = 2, .line_bytes = 64,
+                 .hit_latency = 2};
+    cfg.technique = tech;
+    cfg.policy = policy;
+    cfg.decay_interval = interval;
+    l2 = std::make_unique<sim::L2System>(pcfg.l2, pcfg.memory_latency,
+                                         &activity);
+    cc = std::make_unique<ControlledCache>(cfg, *l2, &activity);
+  }
+
+  uint64_t addr(uint64_t set, uint64_t tag) const {
+    return (tag * 8 + set) * 64;
+  }
+
+  ControlledCacheConfig cfg;
+  wattch::Activity activity;
+  std::unique_ptr<sim::L2System> l2;
+  std::unique_ptr<ControlledCache> cc;
+};
+
+TEST(ControlledCache, ActiveHitNormalLatency) {
+  Fixture f;
+  f.cc->access(f.addr(0, 1), false, 10); // cold fill
+  EXPECT_EQ(f.cc->access(f.addr(0, 1), false, 20), 2u);
+  EXPECT_EQ(f.cc->stats().hits, 1ull);
+}
+
+TEST(ControlledCache, DrowsySlowHit) {
+  Fixture f(TechniqueParams::drowsy());
+  f.cc->access(f.addr(0, 1), false, 10);
+  // Let the line decay (interval 4096), then access: slow hit with the
+  // decayed-tags wake penalty (2 + 3).
+  const unsigned lat = f.cc->access(f.addr(0, 1), false, 10000);
+  EXPECT_EQ(lat, 5u);
+  EXPECT_EQ(f.cc->stats().slow_hits, 1ull);
+  EXPECT_EQ(f.cc->stats().induced_misses, 0ull);
+  EXPECT_EQ(f.cc->stats().wakes, 1ull);
+}
+
+TEST(ControlledCache, DrowsyAwakeTagsCheaperSlowHit) {
+  TechniqueParams t = TechniqueParams::drowsy();
+  t.decay_tags = false;
+  Fixture f(t);
+  f.cc->access(f.addr(0, 1), false, 10);
+  const unsigned lat = f.cc->access(f.addr(0, 1), false, 10000);
+  EXPECT_EQ(lat, 3u); // 2 + wake_extra_tags_awake(1)
+}
+
+TEST(ControlledCache, GatedInducedMissGoesToL2) {
+  Fixture f(TechniqueParams::gated_vss());
+  f.cc->access(f.addr(0, 1), false, 10);
+  // Decay destroys the line; re-access must fetch from L2 (hit: filled at
+  // cold-miss time): 2 + 11.
+  const unsigned lat = f.cc->access(f.addr(0, 1), false, 10000);
+  EXPECT_EQ(lat, 13u);
+  EXPECT_EQ(f.cc->stats().induced_misses, 1ull);
+  EXPECT_EQ(f.cc->stats().slow_hits, 0ull);
+}
+
+TEST(ControlledCache, GatedDirtyDecayWritesBack) {
+  Fixture f(TechniqueParams::gated_vss());
+  f.cc->access(f.addr(0, 1), true, 10); // dirty
+  f.cc->access(f.addr(1, 1), false, 10000); // trigger decay sweep
+  EXPECT_EQ(f.cc->stats().decay_writebacks, 1ull);
+  // The data survived in L2: induced miss still returns it at L2 latency.
+  EXPECT_EQ(f.cc->access(f.addr(0, 1), false, 10010), 13u);
+}
+
+TEST(ControlledCache, DrowsyTrueMissTagWakePenalty) {
+  Fixture f(TechniqueParams::drowsy());
+  f.cc->access(f.addr(0, 1), false, 10);
+  // After decay, a *different* tag in the same set: true miss, but the
+  // drowsy tags must wake first: 2 + 3 + L2(11 hit? no: cold -> +100 mem).
+  const unsigned lat = f.cc->access(f.addr(0, 2), false, 10000);
+  EXPECT_EQ(lat, 2u + 3u + 11u + 100u);
+  EXPECT_EQ(f.cc->stats().true_misses_on_standby_set, 1ull);
+}
+
+TEST(ControlledCache, GatedTrueMissNoPenalty) {
+  // The Sec. 5.1 asymmetry: gated-Vss starts the L2 access immediately.
+  Fixture f(TechniqueParams::gated_vss());
+  f.cc->access(f.addr(0, 1), false, 10);
+  const unsigned lat = f.cc->access(f.addr(0, 2), false, 10000);
+  EXPECT_EQ(lat, 2u + 11u + 100u);
+  EXPECT_EQ(f.cc->stats().true_misses_on_standby_set, 1ull);
+}
+
+TEST(ControlledCache, GatedGhostStaleAfterFill) {
+  Fixture f(TechniqueParams::gated_vss());
+  f.cc->access(f.addr(0, 1), false, 10);
+  f.cc->access(f.addr(0, 2), false, 20);
+  // Both lines of set 0 decay.
+  f.cc->access(f.addr(1, 9), false, 10000);
+  // Two fills into set 0 (different tags): ghosts go stale.
+  f.cc->access(f.addr(0, 3), false, 10010);
+  f.cc->access(f.addr(0, 4), false, 10020);
+  // Re-access of tag 1: LRU would have evicted it anyway -> true miss.
+  f.cc->access(f.addr(0, 1), false, 10030);
+  EXPECT_EQ(f.cc->stats().induced_misses, 0ull);
+  EXPECT_GE(f.cc->stats().true_misses, 4ull);
+}
+
+TEST(ControlledCache, ResidencyIntegralsCloseAtFinalize) {
+  Fixture f(TechniqueParams::drowsy());
+  f.cc->access(f.addr(0, 1), false, 0);
+  f.cc->finalize(100000);
+  const ControlStats& s = f.cc->stats();
+  // Every line contributes exactly end_cycle line-cycles, plus the settle
+  // overlap we deliberately double-count at each decay event.
+  const unsigned long long total = s.data_active_cycles + s.data_standby_cycles;
+  const unsigned long long expected = 16ull * 100000ull;
+  EXPECT_GE(total, expected);
+  EXPECT_LE(total, expected + s.decays * 3);
+  EXPECT_GT(s.data_standby_cycles, 0ull);
+}
+
+TEST(ControlledCache, TurnoffRatioHighForIdleCache) {
+  Fixture f(TechniqueParams::drowsy());
+  f.cc->access(f.addr(0, 1), false, 0);
+  f.cc->finalize(1000000);
+  EXPECT_GT(f.cc->stats().turnoff_ratio(), 0.95);
+}
+
+TEST(ControlledCache, TurnoffZeroForHotCache) {
+  Fixture f(TechniqueParams::drowsy());
+  // Touch every line continuously, faster than the interval.
+  uint64_t cycle = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (uint64_t set = 0; set < 8; ++set) {
+      for (uint64_t tag = 1; tag <= 2; ++tag) {
+        f.cc->access(f.addr(set, tag), false, cycle);
+        cycle += 50; // 16 lines x 50 = 800 cycles per round << 4096
+      }
+    }
+  }
+  f.cc->finalize(cycle);
+  EXPECT_LT(f.cc->stats().turnoff_ratio(), 0.05);
+  EXPECT_EQ(f.cc->stats().decays, 0ull);
+}
+
+TEST(ControlledCache, TagsAlwaysActiveWhenNotDecayed) {
+  TechniqueParams t = TechniqueParams::drowsy();
+  t.decay_tags = false;
+  Fixture f(t);
+  f.cc->access(f.addr(0, 1), false, 0);
+  f.cc->finalize(50000);
+  EXPECT_EQ(f.cc->stats().tag_standby_cycles, 0ull);
+  EXPECT_EQ(f.cc->stats().tag_active_cycles, 16ull * 50000ull);
+}
+
+TEST(ControlledCache, CounterTicksReachActivity) {
+  Fixture f;
+  f.cc->access(f.addr(0, 1), false, 0);
+  f.cc->finalize(100000);
+  EXPECT_GT(f.cc->stats().counter_ticks, 0ull);
+  EXPECT_EQ(f.activity.counter_ticks, f.cc->stats().counter_ticks);
+}
+
+TEST(ControlledCache, TransitionsCounted) {
+  Fixture f(TechniqueParams::drowsy());
+  f.cc->access(f.addr(0, 1), false, 0);
+  f.cc->access(f.addr(0, 1), false, 10000); // decay + wake
+  f.cc->finalize(20000);
+  EXPECT_GE(f.cc->stats().decays, 1ull);
+  EXPECT_GE(f.cc->stats().wakes, 1ull);
+  EXPECT_EQ(f.activity.line_transitions,
+            f.cc->stats().decays + f.cc->stats().wakes);
+}
+
+TEST(ControlledCache, AccessAfterFinalizeThrows) {
+  Fixture f;
+  f.cc->finalize(100);
+  EXPECT_THROW(f.cc->access(f.addr(0, 1), false, 200), std::logic_error);
+}
+
+TEST(ControlledCache, FinalizeIdempotent) {
+  Fixture f;
+  f.cc->access(f.addr(0, 1), false, 0);
+  f.cc->finalize(1000);
+  const unsigned long long a = f.cc->stats().data_active_cycles;
+  f.cc->finalize(5000);
+  EXPECT_EQ(f.cc->stats().data_active_cycles, a);
+}
+
+TEST(ControlledCache, SimplePolicyDecaysHotLines) {
+  // Under the simple policy even continuously-touched lines decay every
+  // interval — more savings, more slow hits (the drowsy paper trade-off).
+  Fixture noaccess(TechniqueParams::drowsy(), 4096, DecayPolicy::noaccess);
+  Fixture simple(TechniqueParams::drowsy(), 4096, DecayPolicy::simple);
+  for (Fixture* f : {&noaccess, &simple}) {
+    uint64_t cycle = 0;
+    for (int i = 0; i < 3000; ++i) {
+      (*f).cc->access((*f).addr(0, 1), false, cycle);
+      cycle += 100;
+    }
+    (*f).cc->finalize(cycle);
+  }
+  EXPECT_EQ(noaccess.cc->stats().slow_hits, 0ull);
+  EXPECT_GT(simple.cc->stats().slow_hits, 50ull);
+}
+
+TEST(ControlledCache, WindowHookFires) {
+  Fixture f;
+  int fired = 0;
+  f.cc->set_window_hook(1000, [&](ControlledCache&, uint64_t) { ++fired; });
+  f.cc->access(f.addr(0, 1), false, 5500);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(ControlledCache, DrainInducedEvents) {
+  Fixture f(TechniqueParams::drowsy());
+  f.cc->access(f.addr(0, 1), false, 10);
+  f.cc->access(f.addr(0, 1), false, 10000); // slow hit
+  EXPECT_EQ(f.cc->drain_induced_events(), 1ull);
+  EXPECT_EQ(f.cc->drain_induced_events(), 0ull);
+}
+
+TEST(ControlledCache, SetDecayIntervalReanchors) {
+  Fixture f;
+  f.cc->set_decay_interval(16384);
+  EXPECT_EQ(f.cc->decay_interval(), 16384ull);
+}
+
+} // namespace
+} // namespace leakctl

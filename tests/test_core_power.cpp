@@ -1,0 +1,117 @@
+// Per-structure Wattch core-energy model.
+#include <gtest/gtest.h>
+
+#include "sim/processor.h"
+#include "wattch/core_power.h"
+#include "workload/generator.h"
+
+namespace wattch {
+namespace {
+
+using hotleakage::TechNode;
+using hotleakage::tech_params;
+
+TEST(CorePower, AllEnergiesPositive) {
+  const CoreEnergyParams p =
+      CoreEnergyParams::for_tech(tech_params(TechNode::nm70));
+  EXPECT_GT(p.fetch_per_inst, 0.0);
+  EXPECT_GT(p.bpred_access, 0.0);
+  EXPECT_GT(p.rename_per_inst, 0.0);
+  EXPECT_GT(p.window_insert, 0.0);
+  EXPECT_GT(p.window_wakeup, 0.0);
+  EXPECT_GT(p.lsq_insert, 0.0);
+  EXPECT_GT(p.regfile_read, 0.0);
+  EXPECT_GT(p.regfile_write, 0.0);
+  EXPECT_GT(p.int_alu_op, 0.0);
+  EXPECT_GT(p.result_bus, 0.0);
+  EXPECT_GT(p.clock_per_cycle, 0.0);
+}
+
+TEST(CorePower, RelativeMagnitudes) {
+  const CoreEnergyParams p =
+      CoreEnergyParams::for_tech(tech_params(TechNode::nm70));
+  EXPECT_GT(p.mult_op, p.int_alu_op);     // multiplier >> ALU
+  EXPECT_GT(p.clock_per_cycle, p.window_insert); // clock dominates
+  EXPECT_GT(p.regfile_write, 0.5 * p.regfile_read);
+}
+
+TEST(CorePower, ScalesWithTechnology) {
+  const CoreEnergyParams p70 =
+      CoreEnergyParams::for_tech(tech_params(TechNode::nm70));
+  const CoreEnergyParams p180 =
+      CoreEnergyParams::for_tech(tech_params(TechNode::nm180));
+  // Older node: bigger devices, higher supply -> more energy per event.
+  EXPECT_GT(p180.clock_per_cycle, p70.clock_per_cycle);
+  EXPECT_GT(p180.int_alu_op, p70.int_alu_op);
+}
+
+TEST(CorePower, ActivityEnergyLinearAndAdditive) {
+  const CoreEnergyParams p =
+      CoreEnergyParams::for_tech(tech_params(TechNode::nm70));
+  CoreActivity a;
+  a.fetched = 100;
+  a.cycles = 50;
+  const double e1 = a.energy(p);
+  CoreActivity b = a;
+  b += a;
+  EXPECT_NEAR(b.energy(p), 2.0 * e1, 1e-18);
+  EXPECT_EQ(b.fetched, 200ull);
+  EXPECT_EQ(b.cycles, 100ull);
+}
+
+TEST(CorePower, SimulationPopulatesCounters) {
+  sim::ProcessorConfig cfg = sim::ProcessorConfig::table2(11);
+  sim::Processor proc(cfg);
+  sim::BaselineDataPort dport(cfg.l1d, proc.l2(), &proc.activity());
+  workload::Generator gen(workload::profile_by_name("gcc"), 1);
+  const sim::RunStats st = proc.run(gen, dport, 50'000);
+
+  const CoreActivity& c = proc.activity().core;
+  EXPECT_EQ(c.fetched, st.instructions);
+  EXPECT_EQ(c.renamed, st.instructions);
+  EXPECT_EQ(c.window_inserts, st.instructions);
+  EXPECT_EQ(c.lsq_inserts, st.loads + st.stores);
+  EXPECT_EQ(c.branches, st.branch.branches);
+  EXPECT_GT(c.regfile_reads, st.instructions / 2); // ~1.5 operands/inst
+  EXPECT_GT(c.regfile_writes, 0ull);
+  EXPECT_EQ(c.cycles, st.cycles);
+  // Decomposition covers every instruction exactly once.
+  EXPECT_EQ(c.int_alu_ops + c.mult_ops + c.fp_ops, st.instructions);
+}
+
+TEST(CorePower, PerCycleEnergyInCalibratedBand) {
+  // The net-savings accounting was validated against ~0.5-0.9 nJ/cycle of
+  // core dynamic energy; drifting far outside this band would silently
+  // re-weight every figure.
+  sim::ProcessorConfig cfg = sim::ProcessorConfig::table2(11);
+  sim::Processor proc(cfg);
+  sim::BaselineDataPort dport(cfg.l1d, proc.l2(), &proc.activity());
+  workload::Generator gen(workload::profile_by_name("gzip"), 1);
+  const sim::RunStats st = proc.run(gen, dport, 100'000);
+  const CoreEnergyParams p =
+      CoreEnergyParams::for_tech(tech_params(TechNode::nm70));
+  const double nj_per_cycle =
+      proc.activity().core.energy(p) / static_cast<double>(st.cycles) * 1e9;
+  EXPECT_GT(nj_per_cycle, 0.4);
+  EXPECT_LT(nj_per_cycle, 1.2);
+}
+
+TEST(CorePower, ClockFloorDominatesWhenStalled) {
+  // A low-IPC (memory-bound) run spends relatively more of its energy in
+  // the unconditional clock term than a high-IPC run.
+  const CoreEnergyParams p =
+      CoreEnergyParams::for_tech(tech_params(TechNode::nm70));
+  auto clock_share = [&](const char* bench) {
+    sim::ProcessorConfig cfg = sim::ProcessorConfig::table2(11);
+    sim::Processor proc(cfg);
+    sim::BaselineDataPort dport(cfg.l1d, proc.l2(), &proc.activity());
+    workload::Generator gen(workload::profile_by_name(bench), 1);
+    proc.run(gen, dport, 100'000);
+    const CoreActivity& c = proc.activity().core;
+    return static_cast<double>(c.cycles) * p.clock_per_cycle / c.energy(p);
+  };
+  EXPECT_GT(clock_share("mcf"), clock_share("gzip"));
+}
+
+} // namespace
+} // namespace wattch

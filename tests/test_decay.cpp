@@ -1,0 +1,165 @@
+// Decay-counter machinery: hierarchical-counter semantics (paper Sec. 2.3).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "leakctl/decay.h"
+
+namespace leakctl {
+namespace {
+
+struct DecayEvent {
+  std::size_t line;
+  uint64_t cycle;
+};
+
+std::vector<DecayEvent> advance_collect(DecayCounters& d, uint64_t cycle) {
+  std::vector<DecayEvent> events;
+  d.advance(cycle, [&](std::size_t line, uint64_t at) {
+    events.push_back({line, at});
+  });
+  return events;
+}
+
+TEST(Decay, ValidatesArguments) {
+  EXPECT_THROW(DecayCounters(0, 4096, DecayPolicy::noaccess),
+               std::invalid_argument);
+  EXPECT_THROW(DecayCounters(4, 2, DecayPolicy::noaccess),
+               std::invalid_argument);
+}
+
+TEST(Decay, NoaccessDecaysAfterFullInterval) {
+  // Interval 4096 => epoch 1024.  A line never accessed decays at the 4th
+  // epoch boundary (cycle 4096).
+  DecayCounters d(4, 4096, DecayPolicy::noaccess);
+  EXPECT_TRUE(advance_collect(d, 4095).empty());
+  const auto events = advance_collect(d, 4096);
+  EXPECT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].cycle, 4096ull);
+}
+
+TEST(Decay, AccessResetsCounter) {
+  DecayCounters d(2, 4096, DecayPolicy::noaccess);
+  advance_collect(d, 3000); // both counters partly advanced
+  d.on_access(0);
+  // Line 1 decays at 4096; line 0 was reset at 3000 and survives until its
+  // own 4 epochs elapse (first boundary after 3000 is 3072; decay at
+  // 3072 + 3 * 1024 = 6144).
+  auto events = advance_collect(d, 4096);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].line, 1u);
+  events = advance_collect(d, 6144);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].line, 0u);
+  EXPECT_EQ(events[0].cycle, 6144ull);
+}
+
+TEST(Decay, DecayedFlagTracksState) {
+  DecayCounters d(1, 4096, DecayPolicy::noaccess);
+  EXPECT_FALSE(d.decayed(0));
+  advance_collect(d, 4096);
+  EXPECT_TRUE(d.decayed(0));
+  d.on_access(0);
+  EXPECT_FALSE(d.decayed(0));
+}
+
+TEST(Decay, DecayedLineDoesNotReDecay) {
+  DecayCounters d(1, 4096, DecayPolicy::noaccess);
+  advance_collect(d, 4096);
+  EXPECT_TRUE(advance_collect(d, 40960).empty());
+}
+
+TEST(Decay, QuantizationWindow) {
+  // A line accessed at cycle a decays between a + 3/4 I and a + I + epoch.
+  const uint64_t interval = 4096;
+  for (uint64_t a : {100ull, 1000ull, 1024ull, 1500ull, 4000ull}) {
+    DecayCounters d(1, interval, DecayPolicy::noaccess);
+    advance_collect(d, a); // move time forward
+    d.on_access(0);
+    const auto events = advance_collect(d, a + 2 * interval);
+    ASSERT_EQ(events.size(), 1u) << "a=" << a;
+    const uint64_t idle = events[0].cycle - a;
+    EXPECT_GE(idle, interval * 3 / 4) << "a=" << a;
+    EXPECT_LE(idle, interval + interval / 4) << "a=" << a;
+  }
+}
+
+TEST(Decay, SimplePolicyDecaysEverythingEveryInterval) {
+  DecayCounters d(8, 4096, DecayPolicy::simple);
+  // Access some lines right before the interval boundary: simple ignores
+  // access history.
+  advance_collect(d, 4000);
+  d.on_access(0);
+  d.on_access(5);
+  const auto events = advance_collect(d, 4096);
+  EXPECT_EQ(events.size(), 8u);
+}
+
+TEST(Decay, SimplePolicyReawakensOnAccess) {
+  DecayCounters d(2, 4096, DecayPolicy::simple);
+  advance_collect(d, 4096);
+  EXPECT_TRUE(d.decayed(0));
+  d.on_access(0);
+  EXPECT_FALSE(d.decayed(0));
+  const auto events = advance_collect(d, 8192);
+  ASSERT_EQ(events.size(), 1u); // only the reawakened line decays again
+  EXPECT_EQ(events[0].line, 0u);
+}
+
+TEST(Decay, CounterTicksAccumulate) {
+  DecayCounters d(4, 4096, DecayPolicy::noaccess);
+  advance_collect(d, 1024); // one epoch, 4 active lines tick
+  EXPECT_EQ(d.counter_ticks(), 4ull);
+  advance_collect(d, 2048);
+  EXPECT_EQ(d.counter_ticks(), 8ull);
+  // After decay, dormant lines stop ticking.
+  advance_collect(d, 4096);
+  const unsigned long long at_decay = d.counter_ticks();
+  advance_collect(d, 8192);
+  EXPECT_EQ(d.counter_ticks(), at_decay);
+}
+
+TEST(Decay, SetIntervalTakesEffect) {
+  DecayCounters d(1, 4096, DecayPolicy::noaccess);
+  advance_collect(d, 1024);
+  d.set_interval(16384);
+  EXPECT_EQ(d.interval(), 16384ull);
+  // With the longer epoch (4096), decay needs 3 more epochs from the last
+  // boundary at 1024: 1024 + 3 * 4096 = 13312.
+  const auto events = advance_collect(d, 13312);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(advance_collect(d, 60000).empty());
+}
+
+TEST(Decay, SetIntervalValidation) {
+  DecayCounters d(1, 4096, DecayPolicy::noaccess);
+  EXPECT_THROW(d.set_interval(2), std::invalid_argument);
+}
+
+TEST(Decay, AdvanceIsIdempotentForPastCycles) {
+  DecayCounters d(2, 4096, DecayPolicy::noaccess);
+  advance_collect(d, 5000);
+  EXPECT_TRUE(advance_collect(d, 4000).empty());
+  EXPECT_TRUE(advance_collect(d, 5000).empty());
+}
+
+// Property sweep: for any interval, a never-accessed line decays exactly
+// once, at exactly the interval.
+class DecayIntervalSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DecayIntervalSweep, DecayAtInterval) {
+  const uint64_t interval = GetParam();
+  DecayCounters d(3, interval, DecayPolicy::noaccess);
+  const auto events = advance_collect(d, 10 * interval);
+  ASSERT_EQ(events.size(), 3u);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.cycle, interval);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DecayIntervalSweep,
+                         ::testing::Values(1024, 2048, 4096, 8192, 16384,
+                                           32768, 65536));
+
+} // namespace
+} // namespace leakctl

@@ -1,0 +1,85 @@
+// DVS interaction with leakage control (harness vdd knob).
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace {
+
+harness::ExperimentConfig cfg_at_vdd(double vdd,
+                                     const leakctl::TechniqueParams& tech) {
+  harness::ExperimentConfig cfg;
+  cfg.vdd = vdd;
+  cfg.technique = tech;
+  cfg.instructions = 150'000;
+  cfg.variation = false;
+  return cfg;
+}
+
+TEST(Dvs, LowerVddLowersAbsoluteLeakage) {
+  const auto& gcc = workload::profile_by_name("gcc");
+  const auto hi = harness::run_experiment(
+      gcc, cfg_at_vdd(0.9, leakctl::TechniqueParams::drowsy()));
+  const auto lo = harness::run_experiment(
+      gcc, cfg_at_vdd(0.7, leakctl::TechniqueParams::drowsy()));
+  EXPECT_LT(lo.energy.baseline_leakage_j, hi.energy.baseline_leakage_j);
+}
+
+TEST(Dvs, TimingIsVoltageIndependent) {
+  // Cycle counts don't change with Vdd (everything scales together); only
+  // the energy accounting does.
+  const auto& vpr = workload::profile_by_name("vpr");
+  const auto hi = harness::run_experiment(
+      vpr, cfg_at_vdd(0.9, leakctl::TechniqueParams::gated_vss()));
+  const auto lo = harness::run_experiment(
+      vpr, cfg_at_vdd(0.7, leakctl::TechniqueParams::gated_vss()));
+  EXPECT_EQ(hi.tech_run.cycles, lo.tech_run.cycles);
+  EXPECT_DOUBLE_EQ(hi.energy.perf_loss_frac, lo.energy.perf_loss_frac);
+}
+
+TEST(Dvs, DrowsyAdvantageCollapsesTowardRetentionVoltage) {
+  // Drowsy saves the gap between operating and retention supply; gated
+  // disconnects entirely.  Scaling Vdd down must hurt drowsy's relative
+  // savings while leaving gated's nearly flat.
+  const auto& gcc = workload::profile_by_name("gcc");
+  const double d_hi =
+      harness::run_experiment(
+          gcc, cfg_at_vdd(0.9, leakctl::TechniqueParams::drowsy()))
+          .energy.net_savings_frac;
+  const double d_lo =
+      harness::run_experiment(
+          gcc, cfg_at_vdd(0.65, leakctl::TechniqueParams::drowsy()))
+          .energy.net_savings_frac;
+  const double g_hi =
+      harness::run_experiment(
+          gcc, cfg_at_vdd(0.9, leakctl::TechniqueParams::gated_vss()))
+          .energy.net_savings_frac;
+  const double g_lo =
+      harness::run_experiment(
+          gcc, cfg_at_vdd(0.65, leakctl::TechniqueParams::gated_vss()))
+          .energy.net_savings_frac;
+  EXPECT_LT(d_lo, d_hi - 0.03); // drowsy clearly degrades
+  EXPECT_NEAR(g_lo, g_hi, 0.03); // gated nearly flat
+}
+
+TEST(Dvs, NegativeVddMeansNominal) {
+  const auto& gap = workload::profile_by_name("gap");
+  const auto def = harness::run_experiment(
+      gap, cfg_at_vdd(-1.0, leakctl::TechniqueParams::drowsy()));
+  const auto nom = harness::run_experiment(
+      gap, cfg_at_vdd(0.9, leakctl::TechniqueParams::drowsy()));
+  EXPECT_DOUBLE_EQ(def.energy.net_savings_frac, nom.energy.net_savings_frac);
+}
+
+TEST(Dvs, PowerParamsScaleQuadratically) {
+  const auto& tech = hotleakage::tech_params(hotleakage::TechNode::nm70);
+  const hotleakage::CacheGeometry l1{.lines = 1024, .line_bytes = 64,
+                                     .tag_bits = 28, .assoc = 2};
+  const hotleakage::CacheGeometry l2{.lines = 32768, .line_bytes = 64,
+                                     .tag_bits = 17, .assoc = 2};
+  const auto p9 = wattch::PowerParams::for_config_at(tech, l1, l2, 0.9);
+  const auto p45 = wattch::PowerParams::for_config_at(tech, l1, l2, 0.45);
+  EXPECT_NEAR(p9.l1_read / p45.l1_read, 4.0, 0.2);
+  EXPECT_NEAR(p9.core.clock_per_cycle / p45.core.clock_per_cycle, 4.0, 0.01);
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+// Net energy-savings accounting (paper Sec. 2.3 cost model).
+#include <gtest/gtest.h>
+
+#include "leakctl/energy.h"
+
+namespace leakctl {
+namespace {
+
+using hotleakage::CacheGeometry;
+using hotleakage::LeakageModel;
+using hotleakage::TechNode;
+
+struct EnergyFixture {
+  EnergyFixture() : model(TechNode::nm70, hotleakage::VariationConfig{.enabled = false}) {
+    model.set_operating_point(hotleakage::OperatingPoint::at_celsius(85, 0.9));
+    geom = geometry_of(sim::CacheConfig{.size_bytes = 64 * 1024, .assoc = 2,
+                                        .line_bytes = 64, .hit_latency = 2});
+    const CacheGeometry l2geom = geometry_of(
+        sim::CacheConfig{.size_bytes = 2 * 1024 * 1024, .assoc = 2,
+                         .line_bytes = 64, .hit_latency = 11});
+    power = wattch::PowerParams::for_config(model.tech(), geom, l2geom);
+  }
+
+  /// A synthetic run pair: baseline 1M cycles, technique @p tech_cycles,
+  /// with @p standby_frac of line-cycles in standby.
+  RunPair make_runs(double standby_frac, uint64_t tech_cycles = 1'000'000,
+                    uint64_t extra_l2 = 0) const {
+    RunPair r;
+    r.base_run.cycles = 1'000'000;
+    r.base_run.instructions = 1'500'000;
+    r.tech_run.cycles = tech_cycles;
+    r.tech_run.instructions = 1'500'000;
+    r.base_activity.cycles = r.base_run.cycles;
+    r.base_activity.core.cycles = r.base_run.cycles;
+    r.tech_activity.cycles = r.tech_run.cycles;
+    r.tech_activity.core.cycles = r.tech_run.cycles;
+    r.tech_activity.l2_accesses = extra_l2;
+    const unsigned long long total =
+        static_cast<unsigned long long>(geom.lines) * tech_cycles;
+    r.control.data_standby_cycles =
+        static_cast<unsigned long long>(standby_frac * total);
+    r.control.data_active_cycles = total - r.control.data_standby_cycles;
+    r.control.tag_standby_cycles = r.control.data_standby_cycles;
+    r.control.tag_active_cycles = r.control.data_active_cycles;
+    return r;
+  }
+
+  LeakageModel model;
+  CacheGeometry geom;
+  wattch::PowerParams power;
+};
+
+TEST(Energy, NoStandbyNoSavings) {
+  EnergyFixture s;
+  const RunPair runs = s.make_runs(0.0);
+  const EnergyBreakdown e =
+      compute_energy(s.model, s.geom, s.power, TechniqueParams::drowsy(),
+                     runs, 5.6e9);
+  EXPECT_NEAR(e.gross_savings_j, 0.0, 1e-9);
+  EXPECT_LT(e.net_savings_frac, 0.0); // pays hardware cost for nothing
+}
+
+TEST(Energy, FullStandbyApproachesStandbyRatio) {
+  EnergyFixture s;
+  const RunPair runs = s.make_runs(1.0);
+  const EnergyBreakdown e =
+      compute_energy(s.model, s.geom, s.power, TechniqueParams::gated_vss(),
+                     runs, 5.6e9);
+  // Everything except edge logic and the gated residual is saved.
+  EXPECT_GT(e.net_savings_frac, 0.75);
+  EXPECT_LT(e.net_savings_frac, 1.0);
+}
+
+TEST(Energy, GatedSavesMoreLeakageThanDrowsyAtSameTurnoff) {
+  EnergyFixture s;
+  const RunPair runs = s.make_runs(0.7);
+  const EnergyBreakdown drowsy =
+      compute_energy(s.model, s.geom, s.power, TechniqueParams::drowsy(),
+                     runs, 5.6e9);
+  const EnergyBreakdown gated =
+      compute_energy(s.model, s.geom, s.power, TechniqueParams::gated_vss(),
+                     runs, 5.6e9);
+  EXPECT_LT(gated.technique_leakage_j, drowsy.technique_leakage_j);
+  EXPECT_GT(gated.net_savings_frac, drowsy.net_savings_frac);
+}
+
+TEST(Energy, ExtraRuntimeCostsSavings) {
+  EnergyFixture s;
+  const EnergyBreakdown fast = compute_energy(
+      s.model, s.geom, s.power, TechniqueParams::drowsy(),
+      s.make_runs(0.7, 1'000'000), 5.6e9);
+  const EnergyBreakdown slow = compute_energy(
+      s.model, s.geom, s.power, TechniqueParams::drowsy(),
+      s.make_runs(0.7, 1'020'000), 5.6e9);
+  EXPECT_GT(slow.extra_dynamic_j, fast.extra_dynamic_j);
+  EXPECT_LT(slow.net_savings_frac, fast.net_savings_frac);
+  EXPECT_NEAR(slow.perf_loss_frac, 0.02, 1e-9);
+}
+
+TEST(Energy, ExtraL2AccessesCostSavings) {
+  EnergyFixture s;
+  const EnergyBreakdown none = compute_energy(
+      s.model, s.geom, s.power, TechniqueParams::gated_vss(),
+      s.make_runs(0.7, 1'000'000, 0), 5.6e9);
+  const EnergyBreakdown many = compute_energy(
+      s.model, s.geom, s.power, TechniqueParams::gated_vss(),
+      s.make_runs(0.7, 1'000'000, 50'000), 5.6e9);
+  EXPECT_LT(many.net_savings_frac, none.net_savings_frac);
+}
+
+TEST(Energy, HigherTemperatureHigherBaseline) {
+  EnergyFixture s;
+  // Give the technique run a fixed dynamic cost (2 % more cycles): the
+  // cost stays constant while the leakage pie grows with temperature, so
+  // the net fraction must rise (paper Sec. 5.2).
+  const RunPair runs = s.make_runs(0.7, 1'020'000);
+  const EnergyBreakdown cool =
+      compute_energy(s.model, s.geom, s.power, TechniqueParams::drowsy(),
+                     runs, 5.6e9);
+  s.model.set_operating_point(hotleakage::OperatingPoint::at_celsius(110, 0.9));
+  const EnergyBreakdown hot =
+      compute_energy(s.model, s.geom, s.power, TechniqueParams::drowsy(),
+                     runs, 5.6e9);
+  EXPECT_GT(hot.baseline_leakage_j, 1.5 * cool.baseline_leakage_j);
+  // Same dynamic costs but a bigger leakage pie: net fraction rises
+  // (paper Sec. 5.2).
+  EXPECT_GT(hot.net_savings_frac, cool.net_savings_frac);
+}
+
+TEST(Energy, DecayHardwareChargedAgainstSavings) {
+  EnergyFixture s;
+  const RunPair runs = s.make_runs(0.7);
+  const EnergyBreakdown e =
+      compute_energy(s.model, s.geom, s.power, TechniqueParams::drowsy(),
+                     runs, 5.6e9);
+  EXPECT_GT(e.decay_hw_leakage_j, 0.0);
+  EXPECT_NEAR(e.net_savings_j,
+              e.gross_savings_j - e.decay_hw_leakage_j - e.extra_dynamic_j,
+              1e-12);
+}
+
+TEST(Energy, GeometryOfCacheConfig) {
+  const CacheGeometry g = geometry_of(
+      sim::CacheConfig{.size_bytes = 64 * 1024, .assoc = 2, .line_bytes = 64,
+                       .hit_latency = 2},
+      40);
+  EXPECT_EQ(g.lines, 1024u);
+  EXPECT_EQ(g.assoc, 2u);
+  EXPECT_EQ(g.line_bytes, 64u);
+  // 40 - 6 (offset) - 9 (index) = 25 tag bits + 3 state bits.
+  EXPECT_EQ(g.tag_bits, 28u);
+}
+
+TEST(Energy, RejectsBadClock) {
+  EnergyFixture s;
+  EXPECT_THROW(compute_energy(s.model, s.geom, s.power,
+                              TechniqueParams::drowsy(), s.make_runs(0.5),
+                              0.0),
+               std::invalid_argument);
+}
+
+TEST(Energy, TurnoffRatioPropagated) {
+  EnergyFixture s;
+  const RunPair runs = s.make_runs(0.6);
+  const EnergyBreakdown e =
+      compute_energy(s.model, s.geom, s.power, TechniqueParams::drowsy(),
+                     runs, 5.6e9);
+  EXPECT_NEAR(e.turnoff_ratio, 0.6, 1e-6);
+}
+
+} // namespace
+} // namespace leakctl

@@ -1,0 +1,148 @@
+// Experiment harness: run pairing, memoization, sweeps, averages.
+// Uses small instruction counts to stay fast; level checks are loose.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace harness {
+namespace {
+
+ExperimentConfig quick_config() {
+  ExperimentConfig cfg;
+  cfg.instructions = 150'000;
+  cfg.variation = false; // skip the Monte Carlo for speed
+  return cfg;
+}
+
+TEST(Experiment, ProducesConsistentResult) {
+  const ExperimentResult r =
+      run_experiment(workload::profile_by_name("gcc"), quick_config());
+  EXPECT_EQ(r.benchmark, "gcc");
+  EXPECT_EQ(r.base_run.instructions, 150'000ull);
+  EXPECT_EQ(r.tech_run.instructions, 150'000ull);
+  EXPECT_GT(r.tech_run.cycles, r.base_run.cycles); // techniques cost time
+  EXPECT_GT(r.energy.baseline_leakage_j, 0.0);
+  EXPECT_GT(r.energy.net_savings_frac, 0.0);
+  EXPECT_LT(r.energy.net_savings_frac, 1.0);
+  EXPECT_GT(r.energy.turnoff_ratio, 0.0);
+  EXPECT_GT(r.base_l1d_miss_rate, 0.0);
+}
+
+TEST(Experiment, Deterministic) {
+  clear_baseline_cache();
+  const ExperimentConfig cfg = quick_config();
+  const ExperimentResult a =
+      run_experiment(workload::profile_by_name("twolf"), cfg);
+  const ExperimentResult b =
+      run_experiment(workload::profile_by_name("twolf"), cfg);
+  EXPECT_DOUBLE_EQ(a.energy.net_savings_frac, b.energy.net_savings_frac);
+  EXPECT_EQ(a.tech_run.cycles, b.tech_run.cycles);
+}
+
+TEST(Experiment, BaselineSharedAcrossTechniques) {
+  ExperimentConfig cfg = quick_config();
+  cfg.technique = leakctl::TechniqueParams::drowsy();
+  const ExperimentResult d =
+      run_experiment(workload::profile_by_name("vpr"), cfg);
+  cfg.technique = leakctl::TechniqueParams::gated_vss();
+  const ExperimentResult g =
+      run_experiment(workload::profile_by_name("vpr"), cfg);
+  EXPECT_EQ(d.base_run.cycles, g.base_run.cycles);
+}
+
+TEST(Experiment, DrowsyVsGatedClassification) {
+  ExperimentConfig cfg = quick_config();
+  cfg.technique = leakctl::TechniqueParams::drowsy();
+  const ExperimentResult d =
+      run_experiment(workload::profile_by_name("gzip"), cfg);
+  EXPECT_GT(d.control.slow_hits, 0ull);
+  EXPECT_EQ(d.control.induced_misses, 0ull);
+  cfg.technique = leakctl::TechniqueParams::gated_vss();
+  const ExperimentResult g =
+      run_experiment(workload::profile_by_name("gzip"), cfg);
+  EXPECT_EQ(g.control.slow_hits, 0ull);
+  EXPECT_GT(g.control.induced_misses, 0ull);
+}
+
+TEST(Experiment, TemperatureRaisesSavings) {
+  ExperimentConfig cfg = quick_config();
+  cfg.temperature_c = 85.0;
+  const ExperimentResult cool =
+      run_experiment(workload::profile_by_name("parser"), cfg);
+  cfg.temperature_c = 110.0;
+  const ExperimentResult hot =
+      run_experiment(workload::profile_by_name("parser"), cfg);
+  EXPECT_GT(hot.energy.net_savings_frac, cool.energy.net_savings_frac);
+  // Identical timing: temperature only affects the energy model.
+  EXPECT_EQ(hot.tech_run.cycles, cool.tech_run.cycles);
+}
+
+TEST(Experiment, SuiteCoversAllBenchmarks) {
+  ExperimentConfig cfg = quick_config();
+  cfg.instructions = 60'000;
+  const std::vector<ExperimentResult> suite = run_suite(cfg);
+  ASSERT_EQ(suite.size(), 11u);
+  EXPECT_EQ(suite.front().benchmark, "gcc");
+  EXPECT_EQ(suite.back().benchmark, "crafty");
+}
+
+TEST(Experiment, AveragesComputed) {
+  std::vector<ExperimentResult> fake(2);
+  fake[0].energy.net_savings_frac = 0.4;
+  fake[1].energy.net_savings_frac = 0.6;
+  fake[0].energy.perf_loss_frac = 0.01;
+  fake[1].energy.perf_loss_frac = 0.03;
+  fake[0].energy.turnoff_ratio = 0.5;
+  fake[1].energy.turnoff_ratio = 0.7;
+  const SuiteAverages avg = averages(fake);
+  EXPECT_DOUBLE_EQ(avg.net_savings, 0.5);
+  EXPECT_DOUBLE_EQ(avg.perf_loss, 0.02);
+  EXPECT_DOUBLE_EQ(avg.turnoff, 0.6);
+  EXPECT_DOUBLE_EQ(averages({}).net_savings, 0.0);
+}
+
+TEST(Experiment, IntervalSweepFindsBest) {
+  ExperimentConfig cfg = quick_config();
+  cfg.technique = leakctl::TechniqueParams::gated_vss();
+  const std::vector<uint64_t> grid = {2048, 8192, 32768};
+  const IntervalSweepResult sweep =
+      best_interval_sweep(workload::profile_by_name("twolf"), cfg, grid);
+  ASSERT_EQ(sweep.sweep.size(), 3u);
+  EXPECT_NE(sweep.best_interval, 0ull);
+  for (const ExperimentResult& r : sweep.sweep) {
+    EXPECT_LE(r.energy.net_savings_frac, sweep.best.energy.net_savings_frac);
+  }
+}
+
+TEST(Experiment, PaperIntervalGrid) {
+  const std::vector<uint64_t> grid = paper_interval_grid();
+  ASSERT_EQ(grid.size(), 7u);
+  EXPECT_EQ(grid.front(), 1024ull);
+  EXPECT_EQ(grid.back(), 65536ull);
+}
+
+TEST(Experiment, AdaptiveFeedbackRuns) {
+  ExperimentConfig cfg = quick_config();
+  cfg.technique = leakctl::TechniqueParams::gated_vss();
+  cfg.adaptive_feedback = true;
+  cfg.feedback.window_cycles = 20000;
+  const ExperimentResult r =
+      run_experiment(workload::profile_by_name("gcc"), cfg);
+  // Feedback keeps the tags awake.
+  EXPECT_EQ(r.control.tag_standby_cycles, 0ull);
+  EXPECT_GT(r.energy.net_savings_frac, 0.0);
+}
+
+TEST(Experiment, LongerDecayIntervalLowersTurnoff) {
+  ExperimentConfig cfg = quick_config();
+  cfg.decay_interval = 1024;
+  const ExperimentResult fast =
+      run_experiment(workload::profile_by_name("gap"), cfg);
+  cfg.decay_interval = 65536;
+  const ExperimentResult slow =
+      run_experiment(workload::profile_by_name("gap"), cfg);
+  EXPECT_GT(fast.energy.turnoff_ratio, slow.energy.turnoff_ratio);
+}
+
+} // namespace
+} // namespace harness

@@ -1,0 +1,93 @@
+// Gate-tunnelling model and GIDL penalty (paper Sec. 3.2).
+#include <gtest/gtest.h>
+
+#include "hotleakage/gate_leakage.h"
+
+namespace hotleakage {
+namespace {
+
+const TechParams& t70() { return tech_params(TechNode::nm70); }
+
+TEST(GateLeak, CalibrationPoint) {
+  // 40 nA/um at tox = 1.2 nm, Vdd = 0.9 V, 300 K (paper Sec. 3.2).
+  const OperatingPoint op{.temperature_k = 300.0, .vdd = 0.9};
+  EXPECT_NEAR(gate_current_density(t70(), op), 40e-9 / 1e-6, 1e-6);
+}
+
+TEST(GateLeak, ZeroAtThickOxideNodes) {
+  const OperatingPoint op{.temperature_k = 300.0, .vdd = 2.0};
+  EXPECT_DOUBLE_EQ(gate_current_density(tech_params(TechNode::nm180), op), 0.0);
+  EXPECT_DOUBLE_EQ(gate_current(tech_params(TechNode::nm130), op), 0.0);
+}
+
+TEST(GateLeak, StrongToxDependence) {
+  // Thinning the oxide by 0.1 nm should raise gate leakage substantially.
+  const OperatingPoint op{.temperature_k = 300.0, .vdd = 0.9};
+  const double nominal = gate_current_density(t70(), op);
+  const double thinner =
+      gate_current_density(t70(), op, {.tox = t70().tox - 0.1e-9});
+  const double thicker =
+      gate_current_density(t70(), op, {.tox = t70().tox + 0.1e-9});
+  EXPECT_GT(thinner / nominal, 2.0);
+  EXPECT_LT(thicker / nominal, 0.5);
+}
+
+TEST(GateLeak, StrongVddDependence) {
+  const OperatingPoint lo{.temperature_k = 300.0, .vdd = 0.45};
+  const OperatingPoint hi{.temperature_k = 300.0, .vdd = 0.9};
+  const double ratio =
+      gate_current_density(t70(), hi) / gate_current_density(t70(), lo);
+  EXPECT_GT(ratio, 8.0); // ~(2)^3.5
+}
+
+TEST(GateLeak, WeakTemperatureDependence) {
+  // Paper: "weakly dependent on the temperature".
+  const OperatingPoint cold{.temperature_k = 300.0, .vdd = 0.9};
+  const OperatingPoint hot{.temperature_k = 383.15, .vdd = 0.9};
+  const double ratio =
+      gate_current_density(t70(), hot) / gate_current_density(t70(), cold);
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 1.3);
+}
+
+TEST(GateLeak, ZeroVddZeroCurrent) {
+  const OperatingPoint op{.temperature_k = 300.0, .vdd = 0.0};
+  EXPECT_DOUBLE_EQ(gate_current_density(t70(), op), 0.0);
+}
+
+TEST(GateLeak, CurrentScalesWithWidth) {
+  const OperatingPoint op{.temperature_k = 300.0, .vdd = 0.9};
+  const double w1 = gate_current(t70(), op, {.width_m = 1e-6});
+  const double w2 = gate_current(t70(), op, {.width_m = 2e-6});
+  EXPECT_NEAR(w2 / w1, 2.0, 1e-9);
+}
+
+TEST(GateLeak, RejectsNegativeVdd) {
+  EXPECT_THROW(
+      gate_current_density(t70(), {.temperature_k = 300.0, .vdd = -0.5}),
+      std::invalid_argument);
+}
+
+TEST(Gidl, UnityAtZeroBias) {
+  EXPECT_DOUBLE_EQ(gidl_penalty_factor(t70(), 0.0), 1.0);
+}
+
+TEST(Gidl, GrowsWithBias) {
+  double prev = 1.0;
+  for (double vbb : {-0.2, -0.4, -0.6}) {
+    const double f = gidl_penalty_factor(t70(), vbb);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(Gidl, WorseAtThinnerOxide) {
+  // The paper drops RBB from the study because GIDL limits it at future
+  // nodes: the penalty must grow as oxides thin.
+  const double f70 = gidl_penalty_factor(t70(), -0.4);
+  const double f180 = gidl_penalty_factor(tech_params(TechNode::nm180), -0.4);
+  EXPECT_GT(f70, f180);
+}
+
+} // namespace
+} // namespace hotleakage

@@ -1,0 +1,111 @@
+// Memory-hierarchy plumbing: L1 -> L2 -> memory latencies and activity.
+#include <gtest/gtest.h>
+
+#include "sim/hierarchy.h"
+#include "sim/processor.h"
+
+namespace sim {
+namespace {
+
+struct Fixture {
+  wattch::Activity activity;
+  ProcessorConfig cfg = ProcessorConfig::table2(11);
+  L2System l2{cfg.l2, cfg.memory_latency, &activity};
+  BaselineDataPort dport{cfg.l1d, l2, &activity};
+  InstrPort iport{cfg.l1i, l2, &activity};
+};
+
+TEST(Hierarchy, L1HitLatency) {
+  Fixture f;
+  f.dport.access(0x1000, false, 1); // cold miss
+  EXPECT_EQ(f.dport.access(0x1000, false, 2), 2u);
+}
+
+TEST(Hierarchy, L1MissL2HitLatency) {
+  Fixture f;
+  f.dport.access(0x1000, false, 1); // fills L2 and L1
+  // Evict from L1 (2-way, 512 sets -> same-set stride is 512*64).
+  const uint64_t stride = 512 * 64;
+  f.dport.access(0x1000 + stride, false, 2);
+  f.dport.access(0x1000 + 2 * stride, false, 3);
+  // 0x1000 now out of L1 but still in L2: 2 + 11.
+  EXPECT_EQ(f.dport.access(0x1000, false, 4), 13u);
+}
+
+TEST(Hierarchy, ColdMissGoesToMemory) {
+  Fixture f;
+  EXPECT_EQ(f.dport.access(0x900000, false, 1), 2u + 11u + 100u);
+}
+
+TEST(Hierarchy, IFetchLatencies) {
+  Fixture f;
+  EXPECT_EQ(f.iport.fetch(0x400000, 1), 1u + 11u + 100u); // cold
+  EXPECT_EQ(f.iport.fetch(0x400000, 2), 1u);              // hit
+}
+
+TEST(Hierarchy, ActivityCountsAccesses) {
+  Fixture f;
+  f.dport.access(0x1000, false, 1);
+  f.dport.access(0x1000, true, 2);
+  EXPECT_EQ(f.activity.l1_reads, 1ull);
+  EXPECT_EQ(f.activity.l1_writes, 1ull);
+  EXPECT_EQ(f.activity.l2_accesses, 1ull);     // only the miss
+  EXPECT_EQ(f.activity.memory_accesses, 1ull); // cold L2 miss
+}
+
+TEST(Hierarchy, WritebackUpdatesL2) {
+  Fixture f;
+  f.l2.writeback(0x5000, 1);
+  EXPECT_EQ(f.activity.l2_accesses, 1ull);
+  // Line is now resident in L2: a later access is an L2 hit.
+  EXPECT_EQ(f.l2.access(0x5000, false, 2), 11u);
+}
+
+TEST(Hierarchy, DirtyL1VictimWrittenToL2) {
+  Fixture f;
+  const uint64_t stride = 512 * 64;
+  f.dport.access(0x1000, true, 1); // dirty line
+  f.dport.access(0x1000 + stride, false, 2);
+  f.dport.access(0x1000 + 2 * stride, false, 3); // evicts dirty 0x1000
+  // Writeback keeps L2 coherent: re-fetch is an L2 hit, not memory.
+  EXPECT_EQ(f.dport.access(0x1000, false, 4), 13u);
+}
+
+TEST(Hierarchy, NullActivityAllowed) {
+  ProcessorConfig cfg = ProcessorConfig::table2(5);
+  L2System l2(cfg.l2, cfg.memory_latency, nullptr);
+  BaselineDataPort dport(cfg.l1d, l2, nullptr);
+  EXPECT_NO_THROW(dport.access(0x1234, false, 1));
+}
+
+TEST(Hierarchy, L2LatencyConfigurable) {
+  for (unsigned lat : {5u, 8u, 11u, 17u}) {
+    ProcessorConfig cfg = ProcessorConfig::table2(lat);
+    L2System l2(cfg.l2, cfg.memory_latency, nullptr);
+    BaselineDataPort dport(cfg.l1d, l2, nullptr);
+    dport.access(0x1000, false, 1);
+    const uint64_t stride = 512 * 64;
+    dport.access(0x1000 + stride, false, 2);
+    dport.access(0x1000 + 2 * stride, false, 3);
+    EXPECT_EQ(dport.access(0x1000, false, 4), 2u + lat);
+  }
+}
+
+TEST(Hierarchy, Table2Defaults) {
+  const ProcessorConfig cfg = ProcessorConfig::table2();
+  EXPECT_EQ(cfg.l1d.size_bytes, 64u * 1024u);
+  EXPECT_EQ(cfg.l1d.assoc, 2u);
+  EXPECT_EQ(cfg.l1d.line_bytes, 64u);
+  EXPECT_EQ(cfg.l1d.hit_latency, 2u);
+  EXPECT_EQ(cfg.l1i.hit_latency, 1u);
+  EXPECT_EQ(cfg.l2.size_bytes, 2u * 1024u * 1024u);
+  EXPECT_EQ(cfg.l2.hit_latency, 11u);
+  EXPECT_EQ(cfg.memory_latency, 100u);
+  EXPECT_EQ(cfg.core.ruu_size, 80u);
+  EXPECT_EQ(cfg.core.lsq_size, 40u);
+  EXPECT_EQ(cfg.core.issue_width, 4u);
+  EXPECT_DOUBLE_EQ(cfg.clock_hz, 5.6e9);
+}
+
+} // namespace
+} // namespace sim

@@ -1,0 +1,164 @@
+// Full-stack integration: the paper's headline claims at reduced scale.
+// These use 400k-instruction runs; levels are checked loosely, signs and
+// orderings strictly.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace harness {
+namespace {
+
+ExperimentConfig cfg_with(unsigned l2, const leakctl::TechniqueParams& tech,
+                          double temp_c = 110.0) {
+  ExperimentConfig cfg;
+  cfg.l2_latency = l2;
+  cfg.technique = tech;
+  cfg.temperature_c = temp_c;
+  cfg.instructions = 400'000;
+  cfg.variation = false;
+  return cfg;
+}
+
+double avg_savings(unsigned l2, const leakctl::TechniqueParams& tech,
+                   double temp = 110.0) {
+  return averages(run_suite(cfg_with(l2, tech, temp))).net_savings;
+}
+
+double avg_perf_loss(unsigned l2, const leakctl::TechniqueParams& tech) {
+  return averages(run_suite(cfg_with(l2, tech))).perf_loss;
+}
+
+TEST(Integration, GatedSuperiorAtFastL2) {
+  // Paper Sec. 5.1: at a 5-cycle L2, gated-Vss beats drowsy in both energy
+  // and performance.
+  const auto drowsy = run_suite(cfg_with(5, leakctl::TechniqueParams::drowsy()));
+  const auto gated =
+      run_suite(cfg_with(5, leakctl::TechniqueParams::gated_vss()));
+  const SuiteAverages ad = averages(drowsy);
+  const SuiteAverages ag = averages(gated);
+  EXPECT_GT(ag.net_savings, ad.net_savings);
+  EXPECT_LT(ag.perf_loss, ad.perf_loss);
+  // "Almost uniformly superior": gated wins savings on >= 9/11 benchmarks.
+  int gated_wins = 0;
+  for (std::size_t i = 0; i < drowsy.size(); ++i) {
+    if (gated[i].energy.net_savings_frac > drowsy[i].energy.net_savings_frac) {
+      ++gated_wins;
+    }
+  }
+  EXPECT_GE(gated_wins, 9);
+}
+
+TEST(Integration, DrowsySuperiorAtSlowL2) {
+  // Paper Sec. 5.1: at 17 cycles drowsy becomes clearly superior on
+  // average.
+  EXPECT_GT(avg_savings(17, leakctl::TechniqueParams::drowsy()),
+            avg_savings(17, leakctl::TechniqueParams::gated_vss()));
+  EXPECT_LT(avg_perf_loss(17, leakctl::TechniqueParams::drowsy()),
+            avg_perf_loss(17, leakctl::TechniqueParams::gated_vss()));
+}
+
+TEST(Integration, MixedAtElevenCycles) {
+  // Paper Sec. 5.1: at 11 cycles the picture is unclear — neither
+  // technique dominates.  Encoded robustly: drowsy wins outright on at
+  // least one benchmark, is within two points on several more, and gated
+  // still wins clearly (>2 points) on others.
+  const auto drowsy =
+      run_suite(cfg_with(11, leakctl::TechniqueParams::drowsy()));
+  const auto gated =
+      run_suite(cfg_with(11, leakctl::TechniqueParams::gated_vss()));
+  int drowsy_wins = 0;
+  int contested = 0; // drowsy within 2 points or better
+  int gated_clear = 0;
+  for (std::size_t i = 0; i < drowsy.size(); ++i) {
+    const double d = drowsy[i].energy.net_savings_frac;
+    const double g = gated[i].energy.net_savings_frac;
+    if (d > g) ++drowsy_wins;
+    if (d > g - 0.02) ++contested;
+    if (g > d + 0.02) ++gated_clear;
+  }
+  EXPECT_GE(drowsy_wins, 1);
+  EXPECT_GE(contested, 3);
+  EXPECT_GE(gated_clear, 3);
+  EXPECT_LE(drowsy_wins, 9);
+}
+
+TEST(Integration, GatedPerfLossGrowsWithL2Latency) {
+  const double p5 = avg_perf_loss(5, leakctl::TechniqueParams::gated_vss());
+  const double p11 = avg_perf_loss(11, leakctl::TechniqueParams::gated_vss());
+  const double p17 = avg_perf_loss(17, leakctl::TechniqueParams::gated_vss());
+  EXPECT_LT(p5, p11);
+  EXPECT_LT(p11, p17);
+}
+
+TEST(Integration, DrowsyPerfLossInsensitiveToL2Latency) {
+  const double p5 = avg_perf_loss(5, leakctl::TechniqueParams::drowsy());
+  const double p17 = avg_perf_loss(17, leakctl::TechniqueParams::drowsy());
+  EXPECT_NEAR(p5, p17, 0.01);
+}
+
+TEST(Integration, TemperatureRaisesSavingsForBoth) {
+  // Paper Sec. 5.2 (Figs. 7 vs 8).
+  EXPECT_GT(avg_savings(11, leakctl::TechniqueParams::drowsy(), 110.0),
+            avg_savings(11, leakctl::TechniqueParams::drowsy(), 85.0));
+  EXPECT_GT(avg_savings(11, leakctl::TechniqueParams::gated_vss(), 110.0),
+            avg_savings(11, leakctl::TechniqueParams::gated_vss(), 85.0));
+}
+
+TEST(Integration, OracleIntervalsHelpGatedMoreThanDrowsy) {
+  // Paper Sec. 5.4: adaptivity primarily benefits gated-Vss.
+  ExperimentConfig cfg = cfg_with(11, leakctl::TechniqueParams::gated_vss(),
+                                  85.0);
+  cfg.instructions = 250'000;
+  const std::vector<uint64_t> grid = {2048, 8192, 32768};
+  double gated_gain = 0.0;
+  double drowsy_gain = 0.0;
+  for (const char* name : {"gcc", "gzip", "mcf"}) {
+    const auto& prof = workload::profile_by_name(name);
+    cfg.technique = leakctl::TechniqueParams::gated_vss();
+    cfg.decay_interval = 4096;
+    const double g_fixed =
+        run_experiment(prof, cfg).energy.net_savings_frac;
+    const double g_best =
+        best_interval_sweep(prof, cfg, grid).best.energy.net_savings_frac;
+    gated_gain += g_best - g_fixed;
+    cfg.technique = leakctl::TechniqueParams::drowsy();
+    const double d_fixed =
+        run_experiment(prof, cfg).energy.net_savings_frac;
+    const double d_best =
+        best_interval_sweep(prof, cfg, grid).best.energy.net_savings_frac;
+    drowsy_gain += d_best - d_fixed;
+  }
+  EXPECT_GT(gated_gain, drowsy_gain);
+  EXPECT_GT(gated_gain, 0.0);
+}
+
+TEST(Integration, RbbWorseThanDrowsyAt70nm) {
+  // GIDL-limited RBB residual leakage exceeds drowsy's: with comparable
+  // latency penalties its net savings must come out lower (the reason the
+  // paper drops RBB from the headline comparison).
+  ExperimentConfig cfg = cfg_with(11, leakctl::TechniqueParams::rbb());
+  const ExperimentResult rbb =
+      run_experiment(workload::profile_by_name("gcc"), cfg);
+  cfg.technique = leakctl::TechniqueParams::drowsy();
+  const ExperimentResult drowsy =
+      run_experiment(workload::profile_by_name("gcc"), cfg);
+  EXPECT_LT(rbb.energy.net_savings_frac, drowsy.energy.net_savings_frac);
+}
+
+TEST(Integration, SimplePolicySavesMoreLosesMore) {
+  // Drowsy paper trade-off, reproduced under our noaccess-vs-simple
+  // switch: simple has a higher turnoff ratio but a larger performance
+  // loss.
+  ExperimentConfig cfg = cfg_with(11, leakctl::TechniqueParams::drowsy());
+  cfg.policy = leakctl::DecayPolicy::noaccess;
+  const ExperimentResult noaccess =
+      run_experiment(workload::profile_by_name("gzip"), cfg);
+  cfg.policy = leakctl::DecayPolicy::simple;
+  const ExperimentResult simple =
+      run_experiment(workload::profile_by_name("gzip"), cfg);
+  EXPECT_GT(simple.energy.turnoff_ratio, noaccess.energy.turnoff_ratio);
+  EXPECT_GT(simple.energy.perf_loss_frac, noaccess.energy.perf_loss_frac);
+}
+
+} // namespace
+} // namespace harness

@@ -1,0 +1,143 @@
+// Double-k_design model (paper Eqs. 3-8) including the NAND2 worked example.
+#include <gtest/gtest.h>
+
+#include "hotleakage/kdesign.h"
+
+namespace hotleakage {
+namespace {
+
+const TechParams& t70() { return tech_params(TechNode::nm70); }
+const OperatingPoint kOp{.temperature_k = 383.15, .vdd = 0.9};
+
+TEST(KDesign, InverterKFactors) {
+  // Single devices, W/L folded into k: kn = wl_n / 2, kp = wl_p / 2
+  // (each network off for exactly half the input combinations).
+  const Cell inv = cells::inverter(t70());
+  const KDesign k = compute_kdesign(t70(), inv, kOp);
+  EXPECT_NEAR(k.kn, 1.5 / 2.0, 1e-9);
+  EXPECT_NEAR(k.kp, 3.0 / 2.0, 1e-9);
+}
+
+TEST(KDesign, Nand2MatchesPaperFormula) {
+  // Eqs. 7-8 with N = 4: kn = (I1n + I2n + I3n) / (4 * 2 * In),
+  // kp = I1p / (4 * 2 * Ip).  With leaf width 2*1.5 = 3 for NMOS and the
+  // stack factor sf: I(0,0) = 3*In/sf, I(0,1) = I(1,0) = 3*In.
+  const Cell nand = cells::nand2(t70());
+  const KDesign k = compute_kdesign(t70(), nand, kOp);
+  const double sf = stack_factor(t70(), kOp);
+  const double expected_kn = (3.0 / sf + 3.0 + 3.0) / (4.0 * 2.0);
+  const double expected_kp = (2.0 * 3.0) / (4.0 * 2.0); // both PMOS leak at 1,1
+  EXPECT_NEAR(k.kn, expected_kn, 1e-9);
+  EXPECT_NEAR(k.kp, expected_kp, 1e-9);
+}
+
+TEST(KDesign, IndependentOfVth) {
+  // Paper: "kn and kp are independent of threshold voltage".  Vth scales
+  // In and the per-combo currents identically, so k is unchanged.
+  const Cell nand = cells::nand2(t70());
+  TechParams warped = t70();
+  warped.nmos.vth0 += 0.05;
+  warped.pmos.vth0 += 0.05;
+  const KDesign k1 = compute_kdesign(t70(), nand, kOp);
+  const KDesign k2 = compute_kdesign(warped, nand, kOp);
+  EXPECT_NEAR(k1.kn, k2.kn, 1e-9);
+  EXPECT_NEAR(k1.kp, k2.kp, 1e-9);
+}
+
+TEST(KDesign, TemperatureTrend) {
+  // Through the stack factor, kn grows mildly with temperature (stacked
+  // combos leak relatively more when hot).
+  const Cell nand = cells::nand2(t70());
+  const KDesign cold =
+      compute_kdesign(t70(), nand, {.temperature_k = 300.0, .vdd = 0.9});
+  const KDesign hot =
+      compute_kdesign(t70(), nand, {.temperature_k = 383.15, .vdd = 0.9});
+  EXPECT_GT(hot.kn, cold.kn);
+  EXPECT_DOUBLE_EQ(hot.kp, cold.kp); // parallel PUN has no stack
+}
+
+TEST(KDesign, ExplicitPathCells) {
+  const Cell sram = cells::sram6t(t70());
+  const KDesign k = compute_kdesign(t70(), sram, kOp);
+  EXPECT_GT(k.kn, 0.0);
+  EXPECT_GT(k.kp, 0.0);
+  // 4 NMOS of which pull-down (2.0) + access (1.2) leak per state:
+  // kn = (2.0 + 1.2) / 4.
+  EXPECT_NEAR(k.kn, (2.0 + 1.2) / 4.0, 1e-9);
+  EXPECT_NEAR(k.kp, 1.0 / 2.0, 1e-9);
+}
+
+TEST(CellLeakage, SramMagnitude) {
+  const CellLeakage leak = cell_leakage(t70(), cells::sram6t(t70()), kOp);
+  // ~1 uA subthreshold per cell at 110 C in the high-leak 70 nm corner;
+  // gate leakage present but an order smaller.
+  EXPECT_GT(leak.subthreshold, 1e-7);
+  EXPECT_LT(leak.subthreshold, 1e-5);
+  EXPECT_GT(leak.gate, 0.0);
+  EXPECT_LT(leak.gate, leak.subthreshold);
+  EXPECT_DOUBLE_EQ(leak.total(), leak.subthreshold + leak.gate);
+}
+
+TEST(StaticPower, Equation4) {
+  // P = Vdd * N * I_cell, linear in N.
+  const Cell sram = cells::sram6t(t70());
+  const double p1 = static_power(t70(), sram, kOp, 1000.0);
+  const double p2 = static_power(t70(), sram, kOp, 2000.0);
+  EXPECT_NEAR(p2 / p1, 2.0, 1e-9);
+  const double i = cell_leakage(t70(), sram, kOp).total();
+  EXPECT_NEAR(p1, kOp.vdd * 1000.0 * i, 1e-15);
+}
+
+TEST(StaticPower, RejectsNegativeCount) {
+  EXPECT_THROW(static_power(t70(), cells::sram6t(t70()), kOp, -1.0),
+               std::invalid_argument);
+}
+
+TEST(KDesign, RejectsDegenerateCell) {
+  Cell empty;
+  empty.name = "empty";
+  EXPECT_THROW(compute_kdesign(t70(), empty, kOp), std::invalid_argument);
+}
+
+// Property sweep: for every built-in gate cell and a grid of operating
+// points, the k factors stay in (0, 2] and cell leakage stays positive.
+struct KCase {
+  const char* cell;
+  double temperature;
+  double vdd;
+};
+
+class KDesignSweep : public ::testing::TestWithParam<KCase> {};
+
+TEST_P(KDesignSweep, FactorsBounded) {
+  const KCase c = GetParam();
+  const Cell cell = [&] {
+    const std::string name = c.cell;
+    if (name == "inverter") return cells::inverter(t70());
+    if (name == "nand2") return cells::nand2(t70());
+    if (name == "nand3") return cells::nand3(t70());
+    if (name == "nor2") return cells::nor2(t70());
+    if (name == "sram6t") return cells::sram6t(t70());
+    return cells::sense_amp(t70());
+  }();
+  const OperatingPoint op{.temperature_k = c.temperature, .vdd = c.vdd};
+  const KDesign k = compute_kdesign(t70(), cell, op);
+  EXPECT_GT(k.kn, 0.0);
+  EXPECT_LE(k.kn, 4.0);
+  EXPECT_GT(k.kp, 0.0);
+  EXPECT_LE(k.kp, 4.0);
+  EXPECT_GT(cell_leakage(t70(), cell, op).total(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KDesignSweep,
+    ::testing::Values(KCase{"inverter", 300.0, 0.9}, KCase{"nand2", 300.0, 0.9},
+                      KCase{"nand3", 358.15, 0.9}, KCase{"nor2", 383.15, 0.9},
+                      KCase{"sram6t", 383.15, 0.9},
+                      KCase{"sense_amp", 383.15, 0.9},
+                      KCase{"nand2", 383.15, 0.7}, KCase{"sram6t", 300.0, 1.0},
+                      KCase{"nor2", 330.0, 0.8},
+                      KCase{"sense_amp", 300.0, 0.6}));
+
+} // namespace
+} // namespace hotleakage

@@ -1,0 +1,171 @@
+// LeakageModel: structure-level power, standby modes, DVS/thermal hooks.
+#include <gtest/gtest.h>
+
+#include "hotleakage/model.h"
+
+namespace hotleakage {
+namespace {
+
+CacheGeometry l1d_geometry() {
+  return {.lines = 1024, .line_bytes = 64, .tag_bits = 28, .assoc = 2};
+}
+
+LeakageModel model_novar() {
+  return LeakageModel(TechNode::nm70, VariationConfig{.enabled = false});
+}
+
+TEST(Model, StructurePowerMagnitude) {
+  LeakageModel m = model_novar();
+  m.set_operating_point(OperatingPoint::at_celsius(110.0, 0.9));
+  const double p = m.structure_power(l1d_geometry());
+  // A 64 KB L1 at 110 C in the 70 nm high-leak corner: hundreds of mW.
+  EXPECT_GT(p, 0.1);
+  EXPECT_LT(p, 2.0);
+}
+
+TEST(Model, TemperatureRaisesLeakageExponentially) {
+  LeakageModel m = model_novar();
+  const CacheGeometry g = l1d_geometry();
+  m.set_operating_point(OperatingPoint::at_celsius(85.0, 0.9));
+  const double p85 = m.structure_power(g);
+  m.set_operating_point(OperatingPoint::at_celsius(110.0, 0.9));
+  const double p110 = m.structure_power(g);
+  // Paper Sec. 5.2: leakage is exponentially temperature dependent.
+  EXPECT_GT(p110 / p85, 1.5);
+  EXPECT_LT(p110 / p85, 4.0);
+}
+
+TEST(Model, DvsReducesLeakage) {
+  LeakageModel m = model_novar();
+  const CacheGeometry g = l1d_geometry();
+  m.set_operating_point({.temperature_k = 383.15, .vdd = 0.9});
+  const double p_high = m.structure_power(g);
+  m.set_operating_point({.temperature_k = 383.15, .vdd = 0.7});
+  const double p_low = m.structure_power(g);
+  EXPECT_LT(p_low, p_high);
+}
+
+TEST(Model, StandbyRatiosMatchTechniqueCharacter) {
+  LeakageModel m = model_novar();
+  m.set_operating_point(OperatingPoint::at_celsius(110.0, 0.9));
+  const double drowsy = m.standby_ratio(StandbyMode::drowsy);
+  const double gated = m.standby_ratio(StandbyMode::gated);
+  const double rbb = m.standby_ratio(StandbyMode::rbb);
+  // Paper Sec. 2: gated-Vss "almost entirely eliminates" leakage; drowsy
+  // and RBB leave a non-trivial residue.
+  EXPECT_LT(gated, 0.01);
+  EXPECT_GT(drowsy, 0.03);
+  EXPECT_LT(drowsy, 0.25);
+  EXPECT_GT(rbb, drowsy); // GIDL-limited at 70 nm
+  EXPECT_LT(rbb, 0.5);
+  EXPECT_DOUBLE_EQ(m.standby_ratio(StandbyMode::active), 1.0);
+}
+
+TEST(Model, GatedBeatsDrowsyResidualAtAllTemperatures) {
+  LeakageModel m = model_novar();
+  for (double celsius : {27.0, 60.0, 85.0, 110.0}) {
+    m.set_operating_point(OperatingPoint::at_celsius(celsius, 0.9));
+    EXPECT_LT(m.standby_ratio(StandbyMode::gated),
+              m.standby_ratio(StandbyMode::drowsy))
+        << "at " << celsius << " C";
+  }
+}
+
+TEST(Model, TagPowerSmallerThanDataPower) {
+  LeakageModel m = model_novar();
+  const CacheGeometry g = l1d_geometry();
+  const double data = m.data_line_power(g, StandbyMode::active);
+  const double tag = m.tag_line_power(g, StandbyMode::active);
+  EXPECT_LT(tag, data);
+  // Tags are 28 bits vs 512 data bits.
+  EXPECT_NEAR(tag / data, 28.0 / 512.0, 0.01);
+}
+
+TEST(Model, TagsAreNontrivialShareOfLineLeakage) {
+  // Paper Sec. 5.3: tags account for 5-10 % of cache leakage energy.
+  LeakageModel m = model_novar();
+  const CacheGeometry g = l1d_geometry();
+  const double data = m.data_line_power(g, StandbyMode::active);
+  const double tag = m.tag_line_power(g, StandbyMode::active);
+  const double share = tag / (tag + data);
+  EXPECT_GT(share, 0.03);
+  EXPECT_LT(share, 0.12);
+}
+
+TEST(Model, EdgeLogicPositiveButMinorityShare) {
+  LeakageModel m = model_novar();
+  const CacheGeometry g = l1d_geometry();
+  const double edge = m.edge_logic_power(g);
+  const double total = m.structure_power(g);
+  EXPECT_GT(edge, 0.0);
+  EXPECT_LT(edge / total, 0.25);
+}
+
+TEST(Model, DecayHardwareIsSmallOverhead) {
+  // Cost #2 of Sec. 2.3 must not swamp the savings.
+  LeakageModel m = model_novar();
+  const CacheGeometry g = l1d_geometry();
+  EXPECT_LT(m.decay_hardware_power(g), 0.05 * m.structure_power(g));
+}
+
+TEST(Model, RegisterFilePower) {
+  LeakageModel m = model_novar();
+  const double p = m.register_file_power(80, 64);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, m.structure_power(l1d_geometry())); // much smaller than L1
+  EXPECT_GT(m.register_file_power(160, 64), p);
+}
+
+TEST(Model, VariationScalesPowerUp) {
+  LeakageModel plain = model_novar();
+  LeakageModel varied(TechNode::nm70, VariationConfig{.enabled = true});
+  const OperatingPoint op = OperatingPoint::at_celsius(110.0, 0.9);
+  plain.set_operating_point(op);
+  varied.set_operating_point(op);
+  EXPECT_GT(varied.variation_factor(), 1.0);
+  EXPECT_GT(varied.structure_power(l1d_geometry()),
+            plain.structure_power(l1d_geometry()));
+}
+
+TEST(Model, RejectsNonPositiveTemperature) {
+  LeakageModel m = model_novar();
+  EXPECT_THROW(m.set_operating_point({.temperature_k = 0.0, .vdd = 0.9}),
+               std::invalid_argument);
+}
+
+TEST(Model, GeometryHelpers) {
+  const CacheGeometry g = l1d_geometry();
+  EXPECT_EQ(g.rows(), 512u);
+  EXPECT_EQ(g.data_bits_per_line(), 512u);
+}
+
+// Standby-ratio sweep across temperature x mode (property-style).
+struct RatioCase {
+  StandbyMode mode;
+  double celsius;
+};
+
+class StandbyRatioSweep : public ::testing::TestWithParam<RatioCase> {};
+
+TEST_P(StandbyRatioSweep, RatioInUnitInterval) {
+  LeakageModel m = model_novar();
+  m.set_operating_point(OperatingPoint::at_celsius(GetParam().celsius, 0.9));
+  const double r = m.standby_ratio(GetParam().mode);
+  EXPECT_GT(r, 0.0);
+  EXPECT_LE(r, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StandbyRatioSweep,
+    ::testing::Values(RatioCase{StandbyMode::drowsy, 27.0},
+                      RatioCase{StandbyMode::drowsy, 85.0},
+                      RatioCase{StandbyMode::drowsy, 110.0},
+                      RatioCase{StandbyMode::gated, 27.0},
+                      RatioCase{StandbyMode::gated, 85.0},
+                      RatioCase{StandbyMode::gated, 110.0},
+                      RatioCase{StandbyMode::rbb, 27.0},
+                      RatioCase{StandbyMode::rbb, 85.0},
+                      RatioCase{StandbyMode::rbb, 110.0}));
+
+} // namespace
+} // namespace hotleakage

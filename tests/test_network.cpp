@@ -1,0 +1,111 @@
+// Series/parallel network evaluator: conduction logic, off-leakage
+// composition, and the stack effect.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "hotleakage/network.h"
+
+namespace hotleakage {
+namespace {
+
+const TechParams& t70() { return tech_params(TechNode::nm70); }
+
+Network nmos_leaf(int input, double wl = 1.0) {
+  return Network::leaf({.input = input, .w_over_l = wl});
+}
+
+TEST(Network, LeafConduction) {
+  const Network n = nmos_leaf(0);
+  EXPECT_TRUE(n.conducts(0b1, DeviceType::nmos));  // gate high, NMOS on
+  EXPECT_FALSE(n.conducts(0b0, DeviceType::nmos)); // gate low, NMOS off
+  EXPECT_FALSE(n.conducts(0b1, DeviceType::pmos)); // gate high, PMOS off
+  EXPECT_TRUE(n.conducts(0b0, DeviceType::pmos));
+}
+
+TEST(Network, NegatedLeaf) {
+  const Network n = Network::leaf({.input = 0, .w_over_l = 1.0, .negated = true});
+  EXPECT_FALSE(n.conducts(0b1, DeviceType::nmos));
+  EXPECT_TRUE(n.conducts(0b0, DeviceType::nmos));
+}
+
+TEST(Network, SeriesConduction) {
+  const Network n = Network::series({nmos_leaf(0), nmos_leaf(1)});
+  EXPECT_TRUE(n.conducts(0b11, DeviceType::nmos));
+  EXPECT_FALSE(n.conducts(0b01, DeviceType::nmos));
+  EXPECT_FALSE(n.conducts(0b10, DeviceType::nmos));
+  EXPECT_FALSE(n.conducts(0b00, DeviceType::nmos));
+}
+
+TEST(Network, ParallelConduction) {
+  const Network n = Network::parallel({nmos_leaf(0), nmos_leaf(1)});
+  EXPECT_TRUE(n.conducts(0b11, DeviceType::nmos));
+  EXPECT_TRUE(n.conducts(0b01, DeviceType::nmos));
+  EXPECT_TRUE(n.conducts(0b10, DeviceType::nmos));
+  EXPECT_FALSE(n.conducts(0b00, DeviceType::nmos));
+}
+
+TEST(Network, LeafOffLeakageScalesWithWidth) {
+  const Network n = nmos_leaf(0, 3.0);
+  EXPECT_DOUBLE_EQ(n.off_leakage(0b0, DeviceType::nmos, 1e-8, 5.0), 3e-8);
+}
+
+TEST(Network, ParallelOffLeakageAdds) {
+  const Network n = Network::parallel({nmos_leaf(0, 1.0), nmos_leaf(1, 2.0)});
+  EXPECT_DOUBLE_EQ(n.off_leakage(0b00, DeviceType::nmos, 1e-8, 5.0), 3e-8);
+}
+
+TEST(Network, SeriesStackEffect) {
+  // Two series off devices: attenuated once by the stack factor.
+  const Network n = Network::series({nmos_leaf(0), nmos_leaf(1)});
+  const double both_off = n.off_leakage(0b00, DeviceType::nmos, 1e-8, 5.0);
+  EXPECT_DOUBLE_EQ(both_off, 1e-8 / 5.0);
+  // One off, one on: no attenuation — the off device limits alone.
+  const double one_off = n.off_leakage(0b10, DeviceType::nmos, 1e-8, 5.0);
+  EXPECT_DOUBLE_EQ(one_off, 1e-8);
+}
+
+TEST(Network, TripleStack) {
+  const Network n =
+      Network::series({nmos_leaf(0), nmos_leaf(1), nmos_leaf(2)});
+  const double all_off = n.off_leakage(0b000, DeviceType::nmos, 1e-8, 4.0);
+  EXPECT_DOUBLE_EQ(all_off, 1e-8 / 16.0);
+}
+
+TEST(Network, SeriesOfParallel) {
+  // ((a || b) series c): off when c off, or both a and b off.
+  const Network n = Network::series(
+      {Network::parallel({nmos_leaf(0), nmos_leaf(1)}), nmos_leaf(2)});
+  EXPECT_TRUE(n.conducts(0b101, DeviceType::nmos));
+  EXPECT_FALSE(n.conducts(0b011, DeviceType::nmos)); // c off
+  // c on, a+b off: leakage is the parallel sum, no stack discount.
+  EXPECT_DOUBLE_EQ(n.off_leakage(0b100, DeviceType::nmos, 1e-8, 5.0), 2e-8);
+  // everything off: min(parallel sum, leaf) / stack once = 1e-8 / 5.
+  EXPECT_DOUBLE_EQ(n.off_leakage(0b000, DeviceType::nmos, 1e-8, 5.0),
+                   1e-8 / 5.0);
+}
+
+TEST(Network, DeviceCount) {
+  const Network n = Network::series(
+      {Network::parallel({nmos_leaf(0), nmos_leaf(1)}), nmos_leaf(2)});
+  EXPECT_EQ(n.device_count(), 3);
+}
+
+TEST(Network, EmptyCompositesRejected) {
+  EXPECT_THROW(Network::series({}), std::invalid_argument);
+  EXPECT_THROW(Network::parallel({}), std::invalid_argument);
+}
+
+TEST(StackFactor, ReasonableRangeAndTemperatureTrend) {
+  const OperatingPoint cold{.temperature_k = 300.0, .vdd = 0.9};
+  const OperatingPoint hot{.temperature_k = 383.15, .vdd = 0.9};
+  const double sf_cold = stack_factor(t70(), cold);
+  const double sf_hot = stack_factor(t70(), hot);
+  EXPECT_GT(sf_cold, 2.0);
+  EXPECT_LT(sf_cold, 15.0);
+  EXPECT_LT(sf_hot, sf_cold); // stack benefit erodes when hot
+  EXPECT_GE(sf_hot, 1.5);
+}
+
+} // namespace
+} // namespace hotleakage

@@ -1,0 +1,93 @@
+// HotLeakage command-line-style configuration (paper Sec. 3.4).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hotleakage/options.h"
+
+namespace hotleakage {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<std::string> v;
+  for (const char* a : args) v.emplace_back(a);
+  return parse_options(v);
+}
+
+TEST(Options, DefaultsAreThePapersSetup) {
+  const Options o = parse({});
+  EXPECT_EQ(o.node, TechNode::nm70);
+  EXPECT_DOUBLE_EQ(o.temperature_c, 110.0);
+  EXPECT_DOUBLE_EQ(o.resolved_vdd(), 0.9); // node nominal
+  EXPECT_TRUE(o.variation.enabled);
+}
+
+TEST(Options, TechSelection) {
+  EXPECT_EQ(parse({"tech=130"}).node, TechNode::nm130);
+  EXPECT_EQ(parse({"tech=180nm"}).node, TechNode::nm180);
+  EXPECT_DOUBLE_EQ(parse({"tech=130"}).resolved_vdd(), 1.5);
+}
+
+TEST(Options, NumericKeys) {
+  const Options o = parse({"temp=85", "vdd=0.8", "samples=64", "seed=7",
+                           "sigma-scale=0.5"});
+  EXPECT_DOUBLE_EQ(o.temperature_c, 85.0);
+  EXPECT_DOUBLE_EQ(o.resolved_vdd(), 0.8);
+  EXPECT_EQ(o.variation.samples, 64);
+  EXPECT_EQ(o.variation.seed, 7ull);
+  EXPECT_DOUBLE_EQ(o.variation.sigma_scale, 0.5);
+}
+
+TEST(Options, StandbyKnobs) {
+  const Options o = parse({"drowsy-vdd-ratio=1.8", "footer-vth=0.4",
+                           "rbb-bias=0.5", "rbb-vth-shift=0.15"});
+  EXPECT_DOUBLE_EQ(o.standby.drowsy_vdd_over_vth, 1.8);
+  EXPECT_DOUBLE_EQ(o.standby.gated_footer_vth, 0.4);
+  EXPECT_DOUBLE_EQ(o.standby.rbb_bias, 0.5);
+  EXPECT_DOUBLE_EQ(o.standby.rbb_vth_shift, 0.15);
+}
+
+TEST(Options, VariationToggle) {
+  EXPECT_FALSE(parse({"variation=off"}).variation.enabled);
+  EXPECT_TRUE(parse({"variation=on"}).variation.enabled);
+  EXPECT_FALSE(parse({"variation=0"}).variation.enabled);
+}
+
+TEST(Options, Rejections) {
+  EXPECT_THROW(parse({"bogus=1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"temp"}), std::invalid_argument);
+  EXPECT_THROW(parse({"temp=warm"}), std::invalid_argument);
+  EXPECT_THROW(parse({"tech=45"}), std::invalid_argument);
+  EXPECT_THROW(parse({"samples=0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"samples=many"}), std::invalid_argument);
+  EXPECT_THROW(parse({"variation=maybe"}), std::invalid_argument);
+  EXPECT_THROW(parse({"vdd=-1"}), std::invalid_argument);
+}
+
+TEST(Options, BuildProducesConfiguredModel) {
+  const Options o = parse({"tech=70", "temp=85", "variation=off"});
+  const LeakageModel model = o.build();
+  EXPECT_NEAR(model.operating_point().temperature_k, 85.0 + 273.15, 1e-9);
+  EXPECT_DOUBLE_EQ(model.variation_factor(), 1.0);
+}
+
+TEST(Options, BuildRespectsStandbyKnobs) {
+  // A higher drowsy retention voltage leaves more residual leakage.
+  const LeakageModel lo = parse({"variation=off"}).build();
+  const LeakageModel hi =
+      parse({"variation=off", "drowsy-vdd-ratio=2.5"}).build();
+  EXPECT_GT(hi.standby_ratio(StandbyMode::drowsy),
+            lo.standby_ratio(StandbyMode::drowsy));
+}
+
+TEST(Options, HelpMentionsEveryKey) {
+  const std::string help = options_help();
+  for (const char* key : {"tech", "temp", "vdd", "variation", "samples",
+                          "seed", "sigma-scale", "drowsy-vdd-ratio",
+                          "footer-vth", "rbb-bias", "rbb-vth-shift"}) {
+    EXPECT_NE(help.find(key), std::string::npos) << key;
+  }
+}
+
+} // namespace
+} // namespace hotleakage

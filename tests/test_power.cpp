@@ -1,0 +1,103 @@
+// PowerParams table and Activity energy roll-up.
+#include <gtest/gtest.h>
+
+#include "wattch/power.h"
+
+namespace wattch {
+namespace {
+
+using hotleakage::CacheGeometry;
+using hotleakage::TechNode;
+using hotleakage::tech_params;
+
+PowerParams params() {
+  const CacheGeometry l1{.lines = 1024, .line_bytes = 64, .tag_bits = 28,
+                         .assoc = 2};
+  const CacheGeometry l2{.lines = 32768, .line_bytes = 64, .tag_bits = 17,
+                         .assoc = 2};
+  return PowerParams::for_config(tech_params(TechNode::nm70), l1, l2);
+}
+
+TEST(Power, EventOrdering) {
+  const PowerParams p = params();
+  // tag < L1 read < L2 access < memory; counter tick tiny.
+  EXPECT_LT(p.l1_tag_access, p.l1_read);
+  EXPECT_LT(p.l1_read, p.l2_access);
+  EXPECT_LT(p.l2_access, p.memory_access);
+  EXPECT_LT(p.counter_tick, p.l1_tag_access);
+  EXPECT_GT(p.l1_write, 0.0);
+  EXPECT_GT(p.line_transition, 0.0);
+  // The unconditional clock floor alone dwarfs a single cache access.
+  EXPECT_GT(p.core.clock_per_cycle, p.l1_read);
+}
+
+TEST(Power, ActivityEnergyLinear) {
+  const PowerParams p = params();
+  Activity a;
+  a.l1_reads = 10;
+  const double e10 = a.energy(p);
+  a.l1_reads = 20;
+  const double e20 = a.energy(p);
+  EXPECT_NEAR(e20, 2.0 * e10, 1e-18);
+}
+
+TEST(Power, ActivityEnergySumsAllTerms) {
+  const PowerParams p = params();
+  Activity a;
+  a.l1_reads = 1;
+  a.l1_writes = 1;
+  a.l1_tag_accesses = 1;
+  a.l2_accesses = 1;
+  a.memory_accesses = 1;
+  a.counter_ticks = 1;
+  a.line_transitions = 1;
+  a.drowsy_wakes = 1;
+  a.cycles = 1;
+  a.core.cycles = 1;
+  const double expected = p.l1_read + p.l1_write + p.l1_tag_access +
+                          p.l2_access + p.memory_access + p.counter_tick +
+                          p.line_transition + p.drowsy_wake +
+                          p.core.clock_per_cycle;
+  EXPECT_NEAR(a.energy(p), expected, 1e-18);
+}
+
+TEST(Power, EmptyActivityZeroEnergy) {
+  EXPECT_DOUBLE_EQ(Activity{}.energy(params()), 0.0);
+}
+
+TEST(Power, ActivityAccumulation) {
+  Activity a;
+  a.l1_reads = 5;
+  a.cycles = 100;
+  Activity b;
+  b.l1_reads = 3;
+  b.l2_accesses = 7;
+  a += b;
+  EXPECT_EQ(a.l1_reads, 8ull);
+  EXPECT_EQ(a.l2_accesses, 7ull);
+  EXPECT_EQ(a.cycles, 100ull);
+}
+
+TEST(Power, RuntimeCostCalibration) {
+  // One percent of extra runtime on a ~2M-cycle run must cost the same
+  // order as ~10 % of the L1's leakage energy at 85 C — the balance that
+  // makes the paper's net-savings arithmetic work (Sec. 5.4: 0.85 % less
+  // performance loss buys ~10 points of savings).  Extra runtime costs at
+  // least the clock floor plus the re-executed work; the floor alone is
+  // the conservative bound checked here (with a 2x work allowance).
+  const PowerParams p = params();
+  const double extra_runtime_j =
+      0.01 * 2.0e6 * p.core.clock_per_cycle * 2.0;
+  hotleakage::LeakageModel m(TechNode::nm70,
+                             hotleakage::VariationConfig{.enabled = false});
+  m.set_operating_point(hotleakage::OperatingPoint::at_celsius(85.0, 0.9));
+  const CacheGeometry l1{.lines = 1024, .line_bytes = 64, .tag_bits = 28,
+                         .assoc = 2};
+  const double leak_j = m.structure_power(l1) * (2.0e6 / 5.6e9);
+  const double weight = extra_runtime_j / leak_j;
+  EXPECT_GT(weight, 0.03);
+  EXPECT_LT(weight, 0.40);
+}
+
+} // namespace
+} // namespace wattch

@@ -1,0 +1,168 @@
+// Cross-module property tests: invariants that must hold over parameter
+// grids (parameterized gtest sweeps).
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "spiceref/device.h"
+
+namespace {
+
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using harness::run_experiment;
+
+// ---------------------------------------------------------------------------
+// Property: for every benchmark, the technique run can never be faster than
+// the baseline, turnoff is in [0, 1], and the access classification is
+// complete (hits + slow hits + induced + true == all D-accesses).
+// ---------------------------------------------------------------------------
+struct BenchTechCase {
+  const char* bench;
+  bool gated;
+};
+
+class RunInvariants : public ::testing::TestWithParam<BenchTechCase> {};
+
+TEST_P(RunInvariants, Hold) {
+  const BenchTechCase c = GetParam();
+  ExperimentConfig cfg;
+  cfg.instructions = 120'000;
+  cfg.variation = false;
+  cfg.technique = c.gated ? leakctl::TechniqueParams::gated_vss()
+                          : leakctl::TechniqueParams::drowsy();
+  const ExperimentResult r =
+      run_experiment(workload::profile_by_name(c.bench), cfg);
+
+  EXPECT_GE(r.tech_run.cycles, r.base_run.cycles);
+  EXPECT_GE(r.energy.turnoff_ratio, 0.0);
+  EXPECT_LE(r.energy.turnoff_ratio, 1.0);
+  EXPECT_EQ(r.control.accesses(),
+            r.tech_run.loads + r.tech_run.stores);
+  if (c.gated) {
+    EXPECT_EQ(r.control.slow_hits, 0ull);
+  } else {
+    EXPECT_EQ(r.control.induced_misses, 0ull);
+  }
+  // Wakes can never exceed decays (every standby period started once),
+  // though lines still off at the end need no wake.
+  EXPECT_LE(r.control.wakes, r.control.decays);
+  // Net savings can never exceed the gross ceiling.
+  EXPECT_LE(r.energy.net_savings_j, r.energy.gross_savings_j);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, RunInvariants,
+    ::testing::Values(BenchTechCase{"gcc", false}, BenchTechCase{"gcc", true},
+                      BenchTechCase{"gzip", false},
+                      BenchTechCase{"gzip", true},
+                      BenchTechCase{"parser", true},
+                      BenchTechCase{"vortex", false},
+                      BenchTechCase{"gap", true},
+                      BenchTechCase{"perl", false},
+                      BenchTechCase{"twolf", true},
+                      BenchTechCase{"bzip2", false},
+                      BenchTechCase{"vpr", true},
+                      BenchTechCase{"mcf", false},
+                      BenchTechCase{"mcf", true},
+                      BenchTechCase{"crafty", false}));
+
+// ---------------------------------------------------------------------------
+// Property: longer decay intervals monotonically reduce both the turnoff
+// ratio and the number of induced events (fewer premature deactivations).
+// ---------------------------------------------------------------------------
+class IntervalMonotonicity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(IntervalMonotonicity, TurnoffAndInducedShrink) {
+  ExperimentConfig cfg;
+  cfg.instructions = 150'000;
+  cfg.variation = false;
+  cfg.technique = leakctl::TechniqueParams::gated_vss();
+  double prev_turnoff = 1.1;
+  unsigned long long prev_induced = ~0ull;
+  for (uint64_t interval : {2048ull, 8192ull, 32768ull}) {
+    cfg.decay_interval = interval;
+    const ExperimentResult r =
+        run_experiment(workload::profile_by_name(GetParam()), cfg);
+    EXPECT_LT(r.energy.turnoff_ratio, prev_turnoff) << interval;
+    EXPECT_LE(r.control.induced_misses, prev_induced) << interval;
+    prev_turnoff = r.energy.turnoff_ratio;
+    prev_induced = r.control.induced_misses;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, IntervalMonotonicity,
+                         ::testing::Values("gcc", "gzip", "twolf", "mcf"));
+
+// ---------------------------------------------------------------------------
+// Property: the architectural model and the SPICE reference agree within a
+// fixed band over the whole (Vdd x T) operating grid at nominal Vth.
+// ---------------------------------------------------------------------------
+struct OpGridCase {
+  double vdd;
+  double temperature;
+};
+
+class ModelRefAgreement : public ::testing::TestWithParam<OpGridCase> {};
+
+TEST_P(ModelRefAgreement, WithinBand) {
+  const OpGridCase c = GetParam();
+  const double err = spiceref::model_vs_reference_error(
+      hotleakage::tech_params(hotleakage::TechNode::nm70),
+      hotleakage::DeviceType::nmos, c.vdd, c.temperature, 1.0);
+  EXPECT_LT(err, 0.6) << "vdd=" << c.vdd << " T=" << c.temperature;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelRefAgreement,
+    ::testing::Values(OpGridCase{0.7, 300.0}, OpGridCase{0.8, 300.0},
+                      OpGridCase{0.9, 300.0}, OpGridCase{1.0, 300.0},
+                      OpGridCase{0.7, 358.15}, OpGridCase{0.9, 358.15},
+                      OpGridCase{0.8, 383.15}, OpGridCase{0.9, 383.15},
+                      OpGridCase{1.0, 383.15}));
+
+// ---------------------------------------------------------------------------
+// Property: leakage power of every structure is strictly increasing in
+// temperature across the whole range (the HotLeakage raison d'etre).
+// ---------------------------------------------------------------------------
+class LeakageTemperatureMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeakageTemperatureMonotone, StructurePower) {
+  hotleakage::LeakageModel m(hotleakage::TechNode::nm70,
+                             hotleakage::VariationConfig{.enabled = false});
+  const hotleakage::CacheGeometry g{.lines = 1024, .line_bytes = 64,
+                                    .tag_bits = 28, .assoc = 2};
+  const double celsius = static_cast<double>(GetParam());
+  m.set_operating_point(hotleakage::OperatingPoint::at_celsius(celsius, 0.9));
+  const double p1 = m.structure_power(g);
+  m.set_operating_point(
+      hotleakage::OperatingPoint::at_celsius(celsius + 10.0, 0.9));
+  const double p2 = m.structure_power(g);
+  EXPECT_GT(p2, p1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Celsius, LeakageTemperatureMonotone,
+                         ::testing::Values(20, 40, 60, 80, 100, 120));
+
+// ---------------------------------------------------------------------------
+// Property: determinism across the whole stack — same config, same result,
+// for every benchmark.
+// ---------------------------------------------------------------------------
+class Determinism : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Determinism, RunTwiceBitIdentical) {
+  ExperimentConfig cfg;
+  cfg.instructions = 80'000;
+  cfg.variation = true; // include the Monte Carlo path
+  const ExperimentResult a =
+      run_experiment(workload::profile_by_name(GetParam()), cfg);
+  const ExperimentResult b =
+      run_experiment(workload::profile_by_name(GetParam()), cfg);
+  EXPECT_EQ(a.tech_run.cycles, b.tech_run.cycles);
+  EXPECT_DOUBLE_EQ(a.energy.net_savings_frac, b.energy.net_savings_frac);
+  EXPECT_DOUBLE_EQ(a.energy.baseline_leakage_j, b.energy.baseline_leakage_j);
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, Determinism,
+                         ::testing::Values("gcc", "vortex", "mcf", "bzip2"));
+
+} // namespace

@@ -1,0 +1,109 @@
+// Regression pins: loose level bands around the headline numbers so that
+// refactors of the physics, power, or workload layers cannot silently
+// re-weight the study.  Shapes are asserted exactly in
+// test_integration.cpp; these bands guard absolute levels.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "wattch/cacti_lite.h"
+
+namespace {
+
+harness::ExperimentConfig cfg_at(unsigned l2, double temp) {
+  harness::ExperimentConfig cfg;
+  cfg.l2_latency = l2;
+  cfg.temperature_c = temp;
+  cfg.instructions = 400'000;
+  cfg.variation = false;
+  return cfg;
+}
+
+TEST(RegressionBands, GatedAtFastL2) {
+  harness::ExperimentConfig cfg = cfg_at(5, 110.0);
+  cfg.technique = leakctl::TechniqueParams::gated_vss();
+  const harness::SuiteAverages avg =
+      harness::averages(harness::run_suite(cfg));
+  EXPECT_GT(avg.net_savings, 0.70);
+  EXPECT_LT(avg.net_savings, 0.95);
+  EXPECT_LT(avg.perf_loss, 0.02);
+}
+
+TEST(RegressionBands, DrowsyAtFastL2) {
+  harness::ExperimentConfig cfg = cfg_at(5, 110.0);
+  cfg.technique = leakctl::TechniqueParams::drowsy();
+  const harness::SuiteAverages avg =
+      harness::averages(harness::run_suite(cfg));
+  EXPECT_GT(avg.net_savings, 0.60);
+  EXPECT_LT(avg.net_savings, 0.90);
+  EXPECT_GT(avg.perf_loss, 0.005);
+  EXPECT_LT(avg.perf_loss, 0.03);
+}
+
+TEST(RegressionBands, GatedPerfLossAtSlowL2) {
+  harness::ExperimentConfig cfg = cfg_at(17, 110.0);
+  cfg.technique = leakctl::TechniqueParams::gated_vss();
+  const harness::SuiteAverages avg =
+      harness::averages(harness::run_suite(cfg));
+  EXPECT_GT(avg.perf_loss, 0.015);
+  EXPECT_LT(avg.perf_loss, 0.06);
+}
+
+TEST(RegressionBands, TurnoffRatioBand) {
+  harness::ExperimentConfig cfg = cfg_at(11, 85.0);
+  cfg.technique = leakctl::TechniqueParams::drowsy();
+  const harness::SuiteAverages avg =
+      harness::averages(harness::run_suite(cfg));
+  EXPECT_GT(avg.turnoff, 0.80);
+  EXPECT_LT(avg.turnoff, 0.98);
+}
+
+TEST(RegressionBands, L1LeakagePowerBand) {
+  // 64 KB at 110 C, no variation: hundreds of mW at the 70 nm high-leak
+  // corner (the ITRS regime the paper targets).
+  hotleakage::LeakageModel m(hotleakage::TechNode::nm70,
+                             hotleakage::VariationConfig{.enabled = false});
+  m.set_operating_point(hotleakage::OperatingPoint::at_celsius(110, 0.9));
+  const hotleakage::CacheGeometry g{.lines = 1024, .line_bytes = 64,
+                                    .tag_bits = 28, .assoc = 2};
+  const double p = m.structure_power(g);
+  EXPECT_GT(p, 0.3);
+  EXPECT_LT(p, 1.2);
+}
+
+TEST(RegressionBands, StandbyResiduals) {
+  hotleakage::LeakageModel m(hotleakage::TechNode::nm70,
+                             hotleakage::VariationConfig{.enabled = false});
+  m.set_operating_point(hotleakage::OperatingPoint::at_celsius(110, 0.9));
+  const double drowsy = m.standby_ratio(hotleakage::StandbyMode::drowsy);
+  const double gated = m.standby_ratio(hotleakage::StandbyMode::gated);
+  EXPECT_GT(drowsy, 0.05);
+  EXPECT_LT(drowsy, 0.15); // drowsy paper: ~6-12x reduction
+  EXPECT_LT(gated, 0.01);  // "almost entirely eliminates"
+}
+
+TEST(RegressionBands, Table2LatencyPins) {
+  const auto& tech = hotleakage::tech_params(hotleakage::TechNode::nm70);
+  const hotleakage::CacheGeometry l1{.lines = 1024, .line_bytes = 64,
+                                     .tag_bits = 28, .assoc = 2};
+  const hotleakage::CacheGeometry l2{.lines = 32768, .line_bytes = 64,
+                                     .tag_bits = 17, .assoc = 2};
+  EXPECT_EQ(wattch::cache_latency_cycles(tech, l1, 0.9, 5.6e9), 2u);
+  const unsigned l2_cycles = wattch::cache_latency_cycles(tech, l2, 0.9, 5.6e9);
+  EXPECT_GE(l2_cycles, 10u);
+  EXPECT_LE(l2_cycles, 12u);
+}
+
+TEST(RegressionBands, BaselineIpcBands) {
+  // Per-benchmark IPC pins (wide): mcf is the memory-bound outlier, gzip
+  // the ILP-rich one.
+  harness::ExperimentConfig cfg = cfg_at(11, 110.0);
+  const harness::ExperimentResult mcf =
+      harness::run_experiment(workload::profile_by_name("mcf"), cfg);
+  const harness::ExperimentResult gzip =
+      harness::run_experiment(workload::profile_by_name("gzip"), cfg);
+  EXPECT_LT(mcf.base_run.ipc(), 0.6);
+  EXPECT_GT(gzip.base_run.ipc(), 0.9);
+  EXPECT_GT(mcf.base_l1d_miss_rate, 3.0 * gzip.base_l1d_miss_rate);
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+// Figure/table renderers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/report.h"
+
+namespace harness {
+namespace {
+
+std::vector<Series> fake_series() {
+  Series d{"drowsy", {}};
+  Series g{"gated-vss", {}};
+  for (const char* name : {"gcc", "mcf"}) {
+    ExperimentResult rd;
+    rd.benchmark = name;
+    rd.energy.net_savings_frac = 0.42;
+    rd.energy.perf_loss_frac = 0.013;
+    d.results.push_back(rd);
+    ExperimentResult rg = rd;
+    rg.energy.net_savings_frac = 0.55;
+    rg.energy.perf_loss_frac = 0.007;
+    g.results.push_back(rg);
+  }
+  return {d, g};
+}
+
+TEST(Report, SavingsFigureContainsRowsAndAverage) {
+  std::ostringstream os;
+  print_savings_figure(os, "Figure 8", fake_series());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Figure 8"), std::string::npos);
+  EXPECT_NE(out.find("gcc"), std::string::npos);
+  EXPECT_NE(out.find("mcf"), std::string::npos);
+  EXPECT_NE(out.find("AVG"), std::string::npos);
+  EXPECT_NE(out.find("42.00%"), std::string::npos);
+  EXPECT_NE(out.find("55.00%"), std::string::npos);
+  EXPECT_NE(out.find("drowsy"), std::string::npos);
+  EXPECT_NE(out.find("gated-vss"), std::string::npos);
+}
+
+TEST(Report, PerfFigureUsesPerfLoss) {
+  std::ostringstream os;
+  print_perf_figure(os, "Figure 9", fake_series());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("1.30%"), std::string::npos);
+  EXPECT_NE(out.find("0.70%"), std::string::npos);
+}
+
+TEST(Report, BestIntervalTable) {
+  std::ostringstream os;
+  print_best_interval_table(
+      os, "Table 3",
+      {{"gcc", 1024, 2048}, {"gzip", 2048, 65536}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Table 3"), std::string::npos);
+  EXPECT_NE(out.find("1k"), std::string::npos);
+  EXPECT_NE(out.find("64k"), std::string::npos);
+}
+
+TEST(Report, FormatInterval) {
+  EXPECT_EQ(format_interval(1024), "1k");
+  EXPECT_EQ(format_interval(65536), "64k");
+  EXPECT_EQ(format_interval(1000), "1000");
+}
+
+TEST(Report, DetailDump) {
+  ExperimentResult r;
+  r.benchmark = "vpr";
+  r.config.technique = leakctl::TechniqueParams::gated_vss();
+  r.config.decay_interval = 8192;
+  r.energy.net_savings_frac = 0.5;
+  std::ostringstream os;
+  print_result_detail(os, r);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("vpr"), std::string::npos);
+  EXPECT_NE(out.find("gated-vss"), std::string::npos);
+  EXPECT_NE(out.find("8k"), std::string::npos);
+}
+
+TEST(Report, EmptySeriesSafe) {
+  std::ostringstream os;
+  EXPECT_NO_THROW(print_savings_figure(os, "empty", {}));
+}
+
+} // namespace
+} // namespace harness

@@ -1,0 +1,110 @@
+// Reference device model and the Fig. 1 validation methodology.
+#include <gtest/gtest.h>
+
+#include "spiceref/device.h"
+
+namespace spiceref {
+namespace {
+
+using hotleakage::DeviceType;
+using hotleakage::TechNode;
+using hotleakage::tech_params;
+
+const hotleakage::TechParams& t70() { return tech_params(TechNode::nm70); }
+
+TEST(SpiceRef, AgreesAtCalibrationPoint) {
+  // Fig. 1: the architectural model "perfectly matches" the reference at
+  // the calibration point.
+  const double err =
+      model_vs_reference_error(t70(), DeviceType::nmos, 0.9, 300.0, 1.0);
+  EXPECT_LT(err, 0.05);
+}
+
+TEST(SpiceRef, WlSweepAgreement) {
+  // Fig. 1a: both models are linear in W/L, so agreement holds across the
+  // sweep.
+  for (double wl : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+    const double err =
+        model_vs_reference_error(t70(), DeviceType::nmos, 0.9, 300.0, wl);
+    EXPECT_LT(err, 0.05) << "W/L=" << wl;
+  }
+}
+
+TEST(SpiceRef, VddSweepAgreement) {
+  // Fig. 1b: DIBL representations differ (exponential fit vs eta*Vds), but
+  // stay within a modest band over the operating range.
+  for (double vdd : {0.6, 0.7, 0.8, 0.9, 1.0}) {
+    const double err =
+        model_vs_reference_error(t70(), DeviceType::nmos, vdd, 300.0, 1.0);
+    EXPECT_LT(err, 0.30) << "Vdd=" << vdd;
+  }
+}
+
+TEST(SpiceRef, TemperatureSweepAgreement) {
+  // Fig. 1c: the mobility temperature law is the main divergence; both
+  // models share the dominant exponential terms.
+  for (double t : {300.0, 330.0, 358.15, 383.15}) {
+    const double err =
+        model_vs_reference_error(t70(), DeviceType::nmos, 0.9, t, 1.0);
+    EXPECT_LT(err, 0.55) << "T=" << t;
+  }
+}
+
+TEST(SpiceRef, HighVthDivergence) {
+  // Fig. 1d: beyond the normal Vth range the simple model diverges from
+  // the reference, whose junction/gate floors dominate.
+  const double err_normal =
+      model_vs_reference_error(t70(), DeviceType::nmos, 0.9, 300.0, 1.0, 0.19);
+  const double err_high =
+      model_vs_reference_error(t70(), DeviceType::nmos, 0.9, 300.0, 1.0, 0.45);
+  EXPECT_LT(err_normal, 0.05);
+  EXPECT_GT(err_high, 0.5);
+}
+
+TEST(SpiceRef, LeakageFloorDominatesAtHighVth) {
+  // At Vth far above nominal, the subthreshold component collapses but the
+  // reference total floors on the junction + gate-tunnelling terms the
+  // simple model omits — the Fig. 1d divergence mechanism.
+  Bias bias{.vgs = 0.0, .vds = 0.9, .vsb = 0.0, .temperature_k = 300.0};
+  RefOverrides high_vth{.w_over_l = 1.0, .vth_absolute = 0.6};
+  const double sub = reference_subthreshold(t70(), DeviceType::nmos, bias,
+                                            high_vth);
+  const double total =
+      reference_leakage(t70(), DeviceType::nmos, bias, high_vth);
+  EXPECT_GT(total - sub, sub); // floor >> remaining subthreshold
+  EXPECT_GT(reference_junction(t70(), DeviceType::nmos, bias, high_vth), 0.0);
+}
+
+TEST(SpiceRef, JunctionActivatesWithTemperature) {
+  Bias cold{.vgs = 0.0, .vds = 0.9, .vsb = 0.0, .temperature_k = 300.0};
+  Bias hot = cold;
+  hot.temperature_k = 383.15;
+  const double jc = reference_junction(t70(), DeviceType::nmos, cold);
+  const double jh = reference_junction(t70(), DeviceType::nmos, hot);
+  EXPECT_GT(jh / jc, 10.0); // strongly activated
+}
+
+TEST(SpiceRef, BodyBiasReducesSubthreshold) {
+  Bias none{.vgs = 0.0, .vds = 0.9, .vsb = 0.0, .temperature_k = 300.0};
+  Bias rbb = none;
+  rbb.vsb = 0.4;
+  const double i0 = reference_subthreshold(t70(), DeviceType::nmos, none);
+  const double i1 = reference_subthreshold(t70(), DeviceType::nmos, rbb);
+  EXPECT_LT(i1, i0 / 2.0);
+}
+
+TEST(SpiceRef, VdsDependence) {
+  Bias lo{.vgs = 0.0, .vds = 0.5, .vsb = 0.0, .temperature_k = 300.0};
+  Bias hi{.vgs = 0.0, .vds = 1.0, .vsb = 0.0, .temperature_k = 300.0};
+  EXPECT_GT(reference_subthreshold(t70(), DeviceType::nmos, hi),
+            reference_subthreshold(t70(), DeviceType::nmos, lo));
+}
+
+TEST(SpiceRef, RejectsBadTemperature) {
+  Bias bad{.vgs = 0.0, .vds = 0.9, .vsb = 0.0, .temperature_k = -1.0};
+  EXPECT_THROW(reference_subthreshold(t70(), DeviceType::nmos, bad),
+               std::invalid_argument);
+}
+
+} // namespace
+} // namespace spiceref

@@ -1,0 +1,113 @@
+// Technology-table invariants and the paper's stated constants.
+#include <gtest/gtest.h>
+
+#include "hotleakage/tech.h"
+
+namespace hotleakage {
+namespace {
+
+TEST(Tech, AllNodesHaveTables) {
+  for (TechNode node : kAllNodes) {
+    const TechParams& t = tech_params(node);
+    EXPECT_EQ(t.node, node);
+  }
+}
+
+TEST(Tech, PaperVdd0PerNode) {
+  // Paper Sec. 3.1.1: Vdd0 = 2.0 / 1.5 / 1.2 / 1.0 V.
+  EXPECT_DOUBLE_EQ(tech_params(TechNode::nm180).vdd0, 2.0);
+  EXPECT_DOUBLE_EQ(tech_params(TechNode::nm130).vdd0, 1.5);
+  EXPECT_DOUBLE_EQ(tech_params(TechNode::nm100).vdd0, 1.2);
+  EXPECT_DOUBLE_EQ(tech_params(TechNode::nm70).vdd0, 1.0);
+}
+
+TEST(Tech, Paper70nmThresholds) {
+  // Paper Sec. 2.3: 0.190 V N-type, 0.213 V P-type at 70 nm.
+  const TechParams& t = tech_params(TechNode::nm70);
+  EXPECT_DOUBLE_EQ(t.nmos.vth0, 0.190);
+  EXPECT_DOUBLE_EQ(t.pmos.vth0, 0.213);
+}
+
+TEST(Tech, Paper70nmOperatingPoint) {
+  // Paper Sec. 4.1: 0.9 V and 5600 MHz at 70 nm.
+  const TechParams& t = tech_params(TechNode::nm70);
+  EXPECT_DOUBLE_EQ(t.vdd_nominal, 0.9);
+  EXPECT_DOUBLE_EQ(t.freq_hz, 5.6e9);
+}
+
+TEST(Tech, PaperVariationSigmas) {
+  // Paper Sec. 2.3 (from Nassif): L 47 %, tox 16 %, Vdd 10 %, Vth 13 %.
+  const VariationSigmas& s = tech_params(TechNode::nm70).sigmas;
+  EXPECT_DOUBLE_EQ(s.length3, 0.47);
+  EXPECT_DOUBLE_EQ(s.tox3, 0.16);
+  EXPECT_DOUBLE_EQ(s.vdd3, 0.10);
+  EXPECT_DOUBLE_EQ(s.vth3, 0.13);
+}
+
+TEST(Tech, ScalingMonotonicity) {
+  // Feature size, oxide, and thresholds shrink with newer nodes.
+  const TechParams* prev = nullptr;
+  for (TechNode node : {TechNode::nm180, TechNode::nm130, TechNode::nm100,
+                        TechNode::nm70}) {
+    const TechParams& t = tech_params(node);
+    if (prev != nullptr) {
+      EXPECT_LT(t.lgate, prev->lgate);
+      EXPECT_LT(t.tox, prev->tox);
+      EXPECT_LT(t.nmos.vth0, prev->nmos.vth0);
+      EXPECT_LT(t.vdd0, prev->vdd0);
+      EXPECT_GT(t.freq_hz, prev->freq_hz);
+      // Short-channel control worsens: stronger DIBL at smaller nodes.
+      EXPECT_GT(t.nmos.dibl_b, prev->nmos.dibl_b);
+    }
+    prev = &t;
+  }
+}
+
+TEST(Tech, GateLeakageOnlyAtSmallNodes) {
+  EXPECT_EQ(tech_params(TechNode::nm180).gate_leak_density, 0.0);
+  EXPECT_EQ(tech_params(TechNode::nm130).gate_leak_density, 0.0);
+  EXPECT_GT(tech_params(TechNode::nm100).gate_leak_density, 0.0);
+  EXPECT_GT(tech_params(TechNode::nm70).gate_leak_density, 0.0);
+}
+
+TEST(Tech, ThermalVoltage) {
+  // kT/q ~ 25.85 mV at 300 K, scales linearly.
+  EXPECT_NEAR(thermal_voltage(300.0), 0.02585, 1e-4);
+  EXPECT_NEAR(thermal_voltage(600.0) / thermal_voltage(300.0), 2.0, 1e-12);
+}
+
+TEST(Tech, VthDropsWithTemperature) {
+  const TechParams& t = tech_params(TechNode::nm70);
+  const double v300 = vth_at_temperature(t.nmos, 300.0);
+  const double v383 = vth_at_temperature(t.nmos, 383.15);
+  EXPECT_DOUBLE_EQ(v300, t.nmos.vth0);
+  EXPECT_LT(v383, v300);
+  EXPECT_NEAR(v300 - v383, t.nmos.vth_tc * 83.15, 1e-9);
+}
+
+TEST(Tech, VthFloorsAtExtremeTemperature) {
+  const TechParams& t = tech_params(TechNode::nm70);
+  EXPECT_GT(vth_at_temperature(t.nmos, 2000.0), 0.0);
+}
+
+TEST(Tech, OxideCapacitance) {
+  const TechParams& t = tech_params(TechNode::nm70);
+  // eps_ox / 1.2 nm ~ 0.029 F/m^2.
+  EXPECT_NEAR(oxide_capacitance(t), 0.0288, 0.001);
+}
+
+TEST(Tech, NodeNames) {
+  EXPECT_EQ(to_string(TechNode::nm70), "70nm");
+  EXPECT_EQ(to_string(TechNode::nm180), "180nm");
+}
+
+TEST(Tech, MobilityOrdering) {
+  // NMOS mobility always exceeds PMOS.
+  for (TechNode node : kAllNodes) {
+    const TechParams& t = tech_params(node);
+    EXPECT_GT(t.nmos.mu0, t.pmos.mu0);
+  }
+}
+
+} // namespace
+} // namespace hotleakage

@@ -1,0 +1,66 @@
+// Technique descriptors: Table 1 settle times and Sec. 2 semantics.
+#include <gtest/gtest.h>
+
+#include "leakctl/technique.h"
+
+namespace leakctl {
+namespace {
+
+TEST(Technique, DrowsyIsStatePreserving) {
+  const TechniqueParams t = TechniqueParams::drowsy();
+  EXPECT_TRUE(t.state_preserving);
+  EXPECT_EQ(t.mode, hotleakage::StandbyMode::drowsy);
+  EXPECT_TRUE(t.decay_tags);
+}
+
+TEST(Technique, GatedIsNot) {
+  const TechniqueParams t = TechniqueParams::gated_vss();
+  EXPECT_FALSE(t.state_preserving);
+  EXPECT_EQ(t.mode, hotleakage::StandbyMode::gated);
+}
+
+TEST(Technique, Table1SettlingTimes) {
+  // Table 1: low->high 3 / 3; high->low 3 (drowsy) / 30 (gated).
+  const TechniqueParams d = TechniqueParams::drowsy();
+  const TechniqueParams g = TechniqueParams::gated_vss();
+  EXPECT_EQ(d.settle_to_high, 3u);
+  EXPECT_EQ(g.settle_to_high, 3u);
+  EXPECT_EQ(d.settle_to_low, 3u);
+  EXPECT_EQ(g.settle_to_low, 30u);
+}
+
+TEST(Technique, DrowsyTagWakePenalties) {
+  // Paper Sec. 2.3: a drowsy access with decayed tags takes at least three
+  // extra cycles; with awake tags only the 1-2 cycle data wake.
+  const TechniqueParams d = TechniqueParams::drowsy();
+  EXPECT_EQ(d.wake_extra_tags_decayed, 3u);
+  EXPECT_LT(d.wake_extra_tags_awake, d.wake_extra_tags_decayed);
+  EXPECT_EQ(d.true_miss_extra_tags_decayed, 3u);
+}
+
+TEST(Technique, GatedPaysNothingOnAccessPath) {
+  // Standby gated ways are known misses: no wake on the access path, no
+  // tag-wake penalty on true misses (Sec. 5.1).
+  const TechniqueParams g = TechniqueParams::gated_vss();
+  EXPECT_EQ(g.wake_extra_tags_decayed, 0u);
+  EXPECT_EQ(g.true_miss_extra_tags_decayed, 0u);
+}
+
+TEST(Technique, RbbIsStatePreservingButSlow) {
+  const TechniqueParams r = TechniqueParams::rbb();
+  EXPECT_TRUE(r.state_preserving);
+  EXPECT_EQ(r.mode, hotleakage::StandbyMode::rbb);
+  // Body-bias settling is slower than a drowsy rail swing.
+  EXPECT_GT(r.settle_to_low, TechniqueParams::drowsy().settle_to_low);
+  EXPECT_GT(r.wake_extra_tags_decayed,
+            TechniqueParams::drowsy().wake_extra_tags_decayed);
+}
+
+TEST(Technique, Names) {
+  EXPECT_EQ(TechniqueParams::drowsy().name, "drowsy");
+  EXPECT_EQ(TechniqueParams::gated_vss().name, "gated-vss");
+  EXPECT_EQ(TechniqueParams::rbb().name, "rbb");
+}
+
+} // namespace
+} // namespace leakctl

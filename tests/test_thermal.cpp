@@ -1,0 +1,135 @@
+// Thermal RC network and the leakage-temperature feedback loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "thermal/feedback.h"
+#include "thermal/rc_network.h"
+
+namespace thermal {
+namespace {
+
+TEST(RcNetwork, NoPowerStaysAtAmbient) {
+  RcNetwork net(45.0);
+  const std::size_t b = net.add_block(
+      {.name = "b", .capacitance = 1e-3, .r_to_ambient = 3.0,
+       .temperature_c = 45.0});
+  net.step({0.0}, 1.0);
+  EXPECT_NEAR(net.temperature_c(b), 45.0, 1e-9);
+}
+
+TEST(RcNetwork, SingleBlockSteadyState) {
+  // T_ss = T_amb + P * R.
+  RcNetwork net(45.0);
+  net.add_block({.name = "b", .capacitance = 1e-3, .r_to_ambient = 3.0,
+                 .temperature_c = 45.0});
+  const std::vector<double> t = net.steady_state({10.0});
+  EXPECT_NEAR(t[0], 45.0 + 30.0, 1e-6);
+}
+
+TEST(RcNetwork, StepConvergesToSteadyState) {
+  RcNetwork net(45.0);
+  const std::size_t b = net.add_block(
+      {.name = "b", .capacitance = 1e-3, .r_to_ambient = 3.0,
+       .temperature_c = 45.0});
+  for (int i = 0; i < 200; ++i) {
+    net.step({10.0}, 1e-3);
+  }
+  EXPECT_NEAR(net.temperature_c(b), 75.0, 0.5);
+}
+
+TEST(RcNetwork, ExponentialApproach) {
+  // After one time constant (RC), ~63 % of the step is covered.
+  RcNetwork net(0.0);
+  const std::size_t b = net.add_block(
+      {.name = "b", .capacitance = 1e-3, .r_to_ambient = 3.0,
+       .temperature_c = 0.0});
+  net.step({10.0}, 3.0e-3); // dt = RC
+  EXPECT_NEAR(net.temperature_c(b), 30.0 * (1.0 - std::exp(-1.0)), 0.5);
+}
+
+TEST(RcNetwork, CouplingSpreadsHeat) {
+  RcNetwork net(45.0);
+  const std::size_t hot = net.add_block(
+      {.name = "hot", .capacitance = 1e-3, .r_to_ambient = 3.0,
+       .temperature_c = 45.0});
+  const std::size_t cold = net.add_block(
+      {.name = "cold", .capacitance = 1e-3, .r_to_ambient = 3.0,
+       .temperature_c = 45.0});
+  net.couple(hot, cold, 1.0);
+  const std::vector<double> t = net.steady_state({10.0, 0.0});
+  EXPECT_GT(t[hot], t[cold]);
+  EXPECT_GT(t[cold], 45.0 + 1.0); // heat leaked across the coupling
+}
+
+TEST(RcNetwork, Validation) {
+  RcNetwork net(45.0);
+  EXPECT_THROW(net.add_block({.name = "bad", .capacitance = 0.0}),
+               std::invalid_argument);
+  net.add_block({.name = "a"});
+  net.add_block({.name = "b"});
+  EXPECT_THROW(net.couple(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(net.couple(0, 5, 1.0), std::invalid_argument);
+  EXPECT_THROW(net.couple(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(net.step({1.0}, 1e-3), std::invalid_argument); // size mismatch
+  EXPECT_THROW(net.step({1.0, 1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(Floorplan, CoreHotterThanCachesUnderCoreLoad) {
+  CoreFloorplan fp = make_core_floorplan(45.0);
+  std::vector<double> power(fp.network.size(), 0.0);
+  power[fp.core] = 35.0;
+  power[fp.l2] = 4.0;
+  const std::vector<double> t = fp.network.steady_state(power);
+  EXPECT_GT(t[fp.core], t[fp.l1d]);
+  EXPECT_GT(t[fp.l1d], 45.0);
+  // A 35 W core should land near the paper's evaluation band.
+  EXPECT_GT(t[fp.core], 78.0);
+  EXPECT_LT(t[fp.core], 120.0);
+}
+
+TEST(Feedback, ConvergesAtModeratePower) {
+  hotleakage::LeakageModel model(hotleakage::TechNode::nm70,
+                                 hotleakage::VariationConfig{.enabled = false});
+  const FeedbackResult r = run_leakage_thermal_loop(model, 25.0, 3.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(r.runaway);
+  EXPECT_GT(r.final_core_c, 60.0);
+  EXPECT_LT(r.final_core_c, 120.0);
+  EXPECT_GT(r.final_total_leakage_w, 1.0);
+}
+
+TEST(Feedback, RunsAwayAtExtremePower) {
+  hotleakage::LeakageModel model(hotleakage::TechNode::nm70,
+                                 hotleakage::VariationConfig{.enabled = false});
+  const FeedbackResult r = run_leakage_thermal_loop(model, 200.0, 10.0);
+  EXPECT_TRUE(r.runaway);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Feedback, HotterMeansMoreLeakage) {
+  hotleakage::LeakageModel model(hotleakage::TechNode::nm70,
+                                 hotleakage::VariationConfig{.enabled = false});
+  const FeedbackResult cool = run_leakage_thermal_loop(model, 15.0, 2.0);
+  const FeedbackResult hot = run_leakage_thermal_loop(model, 35.0, 4.0);
+  EXPECT_GT(hot.final_core_c, cool.final_core_c);
+  EXPECT_GT(hot.final_total_leakage_w, cool.final_total_leakage_w);
+}
+
+TEST(Feedback, LeakageControlCoolsTheCache) {
+  // Shaving 90 % of the L1D leakage (a gated cache at high turnoff) must
+  // lower its temperature and its final leakage power.
+  hotleakage::LeakageModel model(hotleakage::TechNode::nm70,
+                                 hotleakage::VariationConfig{.enabled = false});
+  FeedbackConfig plain;
+  FeedbackConfig controlled;
+  controlled.l1d_leakage_scale = 0.1;
+  const FeedbackResult a = run_leakage_thermal_loop(model, 28.0, 3.0, plain);
+  const FeedbackResult b =
+      run_leakage_thermal_loop(model, 28.0, 3.0, controlled);
+  EXPECT_LT(b.final_l1d_leakage_w, a.final_l1d_leakage_w);
+  EXPECT_LT(b.final_l1d_c, a.final_l1d_c);
+}
+
+} // namespace
+} // namespace thermal

@@ -1,0 +1,124 @@
+// Trace capture and replay.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "sim/processor.h"
+#include "workload/generator.h"
+#include "workload/tracefile.h"
+
+namespace workload {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+struct FileGuard {
+  explicit FileGuard(std::string p) : path(std::move(p)) {}
+  ~FileGuard() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(TraceFile, RoundTripBitExact) {
+  const std::string path = temp_path("hlcc_roundtrip.trc");
+  FileGuard guard(path);
+  Generator gen(profile_by_name("gcc"), 7);
+  const uint64_t n = write_trace(path, gen, 20'000);
+  EXPECT_EQ(n, 20'000ull);
+
+  Generator ref(profile_by_name("gcc"), 7);
+  TraceFileReader reader(path);
+  EXPECT_EQ(reader.total_records(), 20'000ull);
+  sim::MicroOp a, b;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(reader.next(a));
+    ASSERT_TRUE(ref.next(b));
+    ASSERT_EQ(static_cast<int>(a.op), static_cast<int>(b.op)) << i;
+    ASSERT_EQ(a.pc, b.pc) << i;
+    ASSERT_EQ(a.mem_addr, b.mem_addr) << i;
+    ASSERT_EQ(a.src1_dist, b.src1_dist) << i;
+    ASSERT_EQ(a.src2_dist, b.src2_dist) << i;
+    ASSERT_EQ(a.taken, b.taken) << i;
+    ASSERT_EQ(a.target, b.target) << i;
+  }
+  EXPECT_FALSE(reader.next(a)); // exhausted
+}
+
+TEST(TraceFile, RewindReplays) {
+  const std::string path = temp_path("hlcc_rewind.trc");
+  FileGuard guard(path);
+  Generator gen(profile_by_name("mcf"), 3);
+  write_trace(path, gen, 1'000);
+
+  TraceFileReader reader(path);
+  sim::MicroOp first, again, cur;
+  ASSERT_TRUE(reader.next(first));
+  while (reader.next(cur)) {
+  }
+  EXPECT_EQ(reader.records_read(), 1'000ull);
+  reader.rewind();
+  ASSERT_TRUE(reader.next(again));
+  EXPECT_EQ(first.pc, again.pc);
+  EXPECT_EQ(first.mem_addr, again.mem_addr);
+}
+
+TEST(TraceFile, ShortSourceWritesFewer) {
+  // A source that ends early: count reflects reality.
+  class TwoOps final : public sim::TraceSource {
+  public:
+    bool next(sim::MicroOp& op) override {
+      if (n_ >= 2) return false;
+      op = sim::MicroOp{};
+      op.pc = 0x1000 + 4 * n_++;
+      return true;
+    }
+
+  private:
+    int n_ = 0;
+  } source;
+  const std::string path = temp_path("hlcc_short.trc");
+  FileGuard guard(path);
+  EXPECT_EQ(write_trace(path, source, 100), 2ull);
+  TraceFileReader reader(path);
+  EXPECT_EQ(reader.total_records(), 2ull);
+}
+
+TEST(TraceFile, RejectsMissingAndCorrupt) {
+  EXPECT_THROW(TraceFileReader{"/nonexistent/path.trc"}, std::runtime_error);
+
+  const std::string path = temp_path("hlcc_corrupt.trc");
+  FileGuard guard(path);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("NOTATRACE_______", f);
+  std::fclose(f);
+  EXPECT_THROW(TraceFileReader{path}, std::runtime_error);
+}
+
+TEST(TraceFile, ReplayDrivesIdenticalSimulation) {
+  // Replaying a captured trace must give bit-identical simulation results.
+  const std::string path = temp_path("hlcc_sim.trc");
+  FileGuard guard(path);
+  Generator gen(profile_by_name("twolf"), 5);
+  write_trace(path, gen, 50'000);
+
+  auto run = [](sim::TraceSource& src) {
+    sim::ProcessorConfig cfg = sim::ProcessorConfig::table2(11);
+    sim::Processor proc(cfg);
+    sim::BaselineDataPort dport(cfg.l1d, proc.l2(), nullptr);
+    return proc.run(src, dport, 50'000);
+  };
+  Generator fresh(profile_by_name("twolf"), 5);
+  const sim::RunStats from_gen = run(fresh);
+  TraceFileReader reader(path);
+  const sim::RunStats from_file = run(reader);
+  EXPECT_EQ(from_gen.cycles, from_file.cycles);
+  EXPECT_EQ(from_gen.loads, from_file.loads);
+  EXPECT_EQ(from_gen.branch.direction_mispredicts,
+            from_file.branch.direction_mispredicts);
+}
+
+} // namespace
+} // namespace workload

@@ -1,0 +1,100 @@
+// Inter-die parameter variation (paper Sec. 3.3).
+#include <gtest/gtest.h>
+
+#include "hotleakage/variation.h"
+
+namespace hotleakage {
+namespace {
+
+const TechParams& t70() { return tech_params(TechNode::nm70); }
+const OperatingPoint kOp{.temperature_k = 383.15, .vdd = 0.9};
+
+TEST(Variation, Deterministic) {
+  const VariationResult a = interdie_variation(t70(), DeviceType::nmos, kOp);
+  const VariationResult b = interdie_variation(t70(), DeviceType::nmos, kOp);
+  EXPECT_DOUBLE_EQ(a.mean_factor, b.mean_factor);
+  EXPECT_DOUBLE_EQ(a.stddev_factor, b.stddev_factor);
+}
+
+TEST(Variation, MeanExceedsNominal) {
+  // Leakage is convex in the varied parameters, so Jensen's inequality
+  // makes the variation-aware mean exceed the nominal value — the reason
+  // ignoring variation underestimates leakage.
+  const VariationResult r = interdie_variation(t70(), DeviceType::nmos, kOp);
+  EXPECT_GT(r.mean_factor, 1.0);
+  EXPECT_LT(r.mean_factor, 3.0); // but not wildly
+}
+
+TEST(Variation, SpreadBracketsNominal) {
+  const VariationResult r = interdie_variation(t70(), DeviceType::nmos, kOp);
+  EXPECT_LT(r.min_factor, 1.0);
+  EXPECT_GT(r.max_factor, 1.0);
+  EXPECT_GT(r.stddev_factor, 0.0);
+}
+
+TEST(Variation, DisabledIsIdentity) {
+  VariationConfig cfg;
+  cfg.enabled = false;
+  EXPECT_DOUBLE_EQ(variation_scale(t70(), kOp, cfg), 1.0);
+  const VariationResult r =
+      interdie_variation(t70(), DeviceType::nmos, kOp, cfg);
+  EXPECT_DOUBLE_EQ(r.mean_factor, 1.0);
+}
+
+TEST(Variation, ZeroSigmaIsNearIdentity) {
+  VariationConfig cfg;
+  cfg.sigma_scale = 0.0;
+  const VariationResult r =
+      interdie_variation(t70(), DeviceType::nmos, kOp, cfg);
+  EXPECT_NEAR(r.mean_factor, 1.0, 1e-9);
+  EXPECT_NEAR(r.stddev_factor, 0.0, 1e-9);
+}
+
+TEST(Variation, LargerSigmaLargerMean) {
+  VariationConfig half;
+  half.sigma_scale = 0.5;
+  VariationConfig full;
+  const double m_half =
+      interdie_variation(t70(), DeviceType::nmos, kOp, half).mean_factor;
+  const double m_full =
+      interdie_variation(t70(), DeviceType::nmos, kOp, full).mean_factor;
+  EXPECT_GT(m_full, m_half);
+}
+
+TEST(Variation, SampleCountConvergence) {
+  // Doubling samples should not move the mean dramatically (law of large
+  // numbers sanity check).
+  VariationConfig a;
+  a.samples = 256;
+  VariationConfig b;
+  b.samples = 4096;
+  const double ma =
+      interdie_variation(t70(), DeviceType::nmos, kOp, a).mean_factor;
+  const double mb =
+      interdie_variation(t70(), DeviceType::nmos, kOp, b).mean_factor;
+  EXPECT_NEAR(ma, mb, 0.25 * mb);
+}
+
+TEST(Variation, ScaleAveragesPolarities) {
+  const double s = variation_scale(t70(), kOp);
+  const double n =
+      interdie_variation(t70(), DeviceType::nmos, kOp).mean_factor;
+  const double p =
+      interdie_variation(t70(), DeviceType::pmos, kOp).mean_factor;
+  EXPECT_NEAR(s, 0.5 * (n + p), 1e-12);
+}
+
+TEST(Variation, SeedChangesSamplesNotRegime) {
+  VariationConfig s1;
+  VariationConfig s2;
+  s2.seed = 123456;
+  const double m1 =
+      interdie_variation(t70(), DeviceType::nmos, kOp, s1).mean_factor;
+  const double m2 =
+      interdie_variation(t70(), DeviceType::nmos, kOp, s2).mean_factor;
+  EXPECT_NE(m1, m2);
+  EXPECT_NEAR(m1, m2, 0.3 * m1);
+}
+
+} // namespace
+} // namespace hotleakage
