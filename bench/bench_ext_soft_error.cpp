@@ -1,0 +1,108 @@
+// Extension: soft errors in standby — the reliability price of
+// state preservation.
+//
+// The paper's drowsy-vs-gated comparison assumes a drowsy line at ~1.5x Vt
+// actually keeps its data.  At that supply the cell's critical charge has
+// collapsed and the upset rate is exponentially higher (the
+// hotleakage::cells::sram_seu_scale hook), so "state preserving" needs
+// parity or ECC to be a guarantee rather than a tendency.  This sweep runs
+// the suite under both techniques and all three protection schemes and
+// reports the figure the paper cannot: net savings *under a reliability
+// constraint* (zero data corruptions).
+#include <iostream>
+
+#include "bench/common.h"
+
+namespace {
+
+const char* protection_name(faults::Protection p) {
+  switch (p) {
+  case faults::Protection::none:
+    return "none";
+  case faults::Protection::parity:
+    return "parity";
+  case faults::Protection::secded:
+    return "secded";
+  }
+  return "?";
+}
+
+struct Cell {
+  std::string label;
+  harness::SuiteAverages avg;
+  unsigned long long injected = 0;
+  unsigned long long corruptions = 0;
+};
+
+} // namespace
+
+int main() {
+  harness::ExperimentConfig cfg = bench::base_config(11, 110.0);
+  cfg.faults.enabled = true;
+  cfg.faults.standby_rate_per_bit_cycle = 1e-10; // raw, at nominal Vdd/300 K
+  cfg.faults.seed = 7;
+
+  std::vector<Cell> cells;
+  std::vector<harness::Series> detail;
+  for (const leakctl::TechniqueParams& tech :
+       {leakctl::TechniqueParams::drowsy(),
+        leakctl::TechniqueParams::gated_vss()}) {
+    for (const faults::Protection prot :
+         {faults::Protection::none, faults::Protection::parity,
+          faults::Protection::secded}) {
+      cfg.technique = tech;
+      cfg.faults.protection = prot;
+      Cell cell;
+      cell.label =
+          std::string(tech.name) + " + " + protection_name(prot);
+      harness::Series series{cell.label, harness::run_suite(cfg)};
+      cell.avg = harness::averages(series.results);
+      for (const harness::ExperimentResult& r : series.results) {
+        cell.injected += r.control.faults_injected;
+        cell.corruptions += r.control.corruptions();
+      }
+      cells.push_back(cell);
+      detail.push_back(std::move(series));
+    }
+  }
+
+  harness::print_reliability_table(
+      std::cout, "Extension: standby soft errors (70nm, 110C, L2=11)",
+      detail);
+
+  std::printf("== suite summary ==\n");
+  std::printf("%-22s %9s %9s %8s %8s %10s\n", "configuration", "injected",
+              "corrupt", "net%", "perf%", "reliable?");
+  for (const Cell& c : cells) {
+    std::printf("%-22s %9llu %9llu %7.1f%% %7.2f%% %10s\n", c.label.c_str(),
+                c.injected, c.corruptions, c.avg.net_savings * 100.0,
+                c.avg.perf_loss * 100.0,
+                c.corruptions == 0 ? "yes" : "NO");
+  }
+
+  const Cell* best = nullptr;
+  for (const Cell& c : cells) {
+    if (c.corruptions == 0 &&
+        (best == nullptr || c.avg.net_savings > best->avg.net_savings)) {
+      best = &c;
+    }
+  }
+  if (best != nullptr) {
+    std::printf("\nbest reliable configuration: %s (%.1f%% net savings)\n",
+                best->label.c_str(), best->avg.net_savings * 100.0);
+  }
+  // cells[] is drowsy x {none,parity,secded} then gated x {...}.
+  if (cells[2].corruptions > 0 && cells[0].corruptions > 0) {
+    std::printf("\nGated-Vss is immune by construction (no standby state). "
+                "SECDED cuts drowsy corruption %.0fx (%llu -> %llu) but "
+                "cannot zero it: long standby spans still accumulate "
+                "double-bit words.\n",
+                static_cast<double>(cells[0].corruptions) /
+                    static_cast<double>(cells[2].corruptions),
+                cells[0].corruptions, cells[2].corruptions);
+  } else {
+    std::printf("\nGated-Vss is immune by construction (no standby state); "
+                "at this rate SECDED holds drowsy at zero corruptions.\n");
+  }
+  return 0;
+}

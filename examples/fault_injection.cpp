@@ -1,0 +1,94 @@
+// fault_injection — what does "state-preserving" cost once state
+// preservation must be guaranteed?
+//
+//   ./examples/fault_injection [benchmark] [instructions]
+//
+// Drowsy standby holds cells at ~1.5x Vt, where the soft-error rate is
+// exponentially higher; gated-Vss destroys the state up front and so has
+// nothing left to corrupt.  This demo runs one benchmark under both
+// techniques with no protection, parity, and SECDED ECC, and reports net
+// leakage savings next to the corruption counts — the drowsy-vs-gated
+// comparison under a reliability constraint (zero corruptions).
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+namespace {
+
+const char* protection_name(faults::Protection p) {
+  switch (p) {
+  case faults::Protection::none:
+    return "none";
+  case faults::Protection::parity:
+    return "parity";
+  case faults::Protection::secded:
+    return "secded";
+  }
+  return "?";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const std::string benchmark = argc > 1 ? argv[1] : "gcc";
+  const uint64_t instructions =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 300'000;
+
+  harness::ExperimentConfig cfg;
+  cfg.instructions = instructions;
+  cfg.variation = false;
+  cfg.faults.enabled = true;
+  // Raw per-bit-cycle upset probability at nominal Vdd / 300 K; the
+  // harness scales it up at the drowsy retention voltage.  Exaggerated vs.
+  // terrestrial SER so a short demo run shows the mechanics.
+  cfg.faults.standby_rate_per_bit_cycle = 2e-9;
+  cfg.faults.seed = 42;
+
+  const workload::BenchmarkProfile& profile =
+      workload::profile_by_name(benchmark);
+
+  std::printf("== soft errors in standby: %s, %llu instructions ==\n\n",
+              benchmark.c_str(),
+              static_cast<unsigned long long>(instructions));
+  std::printf("%-10s %-8s %9s %9s %9s %9s %9s %7s\n", "technique", "prot",
+              "injected", "detected", "corrected", "recovered", "corrupt",
+              "net%");
+
+  double best_reliable_savings = -1.0;
+  std::string best_reliable;
+  for (const leakctl::TechniqueParams& tech :
+       {leakctl::TechniqueParams::drowsy(),
+        leakctl::TechniqueParams::gated_vss()}) {
+    for (const faults::Protection prot :
+         {faults::Protection::none, faults::Protection::parity,
+          faults::Protection::secded}) {
+      cfg.technique = tech;
+      cfg.faults.protection = prot;
+      const harness::ExperimentResult r =
+          harness::run_experiment(profile, cfg);
+      const leakctl::ControlStats& c = r.control;
+      std::printf("%-10s %-8s %9llu %9llu %9llu %9llu %9llu %6.1f%%\n",
+                  std::string(tech.name).c_str(), protection_name(prot),
+                  c.faults_injected, c.fault_detections, c.fault_corrections,
+                  c.fault_recoveries, c.corruptions(),
+                  r.energy.net_savings_frac * 100.0);
+      if (c.corruptions() == 0 &&
+          r.energy.net_savings_frac > best_reliable_savings) {
+        best_reliable_savings = r.energy.net_savings_frac;
+        best_reliable = std::string(tech.name) + " + " +
+                        protection_name(prot);
+      }
+    }
+  }
+
+  std::printf("\nbest net savings with zero corruptions: %s (%.1f%%)\n",
+              best_reliable.c_str(), best_reliable_savings * 100.0);
+  std::printf("Drowsy's raw advantage shrinks once its state must be "
+              "protected; gated-Vss pays nothing because its standby holds "
+              "no state.\n");
+  return 0;
+}

@@ -11,6 +11,7 @@
 // operating point.
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -18,24 +19,10 @@
 #include "hotleakage/kdesign.h"
 #include "hotleakage/options.h"
 
-int main(int argc, char** argv) {
-  std::vector<std::string> args;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--help") == 0 ||
-        std::strcmp(argv[i], "-h") == 0) {
-      std::fputs(hotleakage::options_help().c_str(), stdout);
-      return 0;
-    }
-    args.emplace_back(argv[i]);
-  }
+namespace {
 
-  hotleakage::Options opts;
-  try {
-    opts = hotleakage::parse_options(args);
-  } catch (const std::invalid_argument& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return 1;
-  }
+int run(const std::vector<std::string>& args) {
+  const hotleakage::Options opts = hotleakage::parse_options(args);
 
   using namespace hotleakage;
   const TechParams& tech = tech_params(opts.node);
@@ -86,4 +73,29 @@ int main(int argc, char** argv) {
                 model.variation_factor());
   }
   return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      std::fputs(hotleakage::options_help().c_str(), stdout);
+      return 0;
+    }
+    args.emplace_back(argv[i]);
+  }
+  // Malformed options must exit cleanly with a diagnostic, never reach
+  // std::terminate: this binary is driven from scripts.
+  try {
+    return run(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "error: unknown failure\n");
+    return 1;
+  }
 }

@@ -1,0 +1,107 @@
+#include "faults/fault_injector.h"
+
+#include <cmath>
+#include <vector>
+
+namespace faults {
+namespace {
+
+// Counter-based splitmix64: a keyed hash, not a stateful stream, so draw
+// ordering is the only thing that matters for reproducibility.
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t mix(uint64_t seed, uint64_t line, uint64_t ordinal, uint64_t salt) {
+  return splitmix64(splitmix64(seed ^ (line * 0xd1342543de82ef95ull)) ^
+                    splitmix64(ordinal ^ (salt * 0x2545f4914f6cdd1dull)));
+}
+
+double uniform01(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+/// Inverse-CDF Poisson draw; @p mean is small in practice (flips per line
+/// event), so the linear scan terminates quickly.  Capped at @p max_k.
+unsigned poisson(double mean, double u, unsigned max_k) {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  double p = std::exp(-mean);
+  double cdf = p;
+  unsigned k = 0;
+  while (u > cdf && k < max_k) {
+    ++k;
+    p *= mean / static_cast<double>(k);
+    cdf += p;
+    if (p < 1e-300) { // numeric floor: the tail carries no mass
+      break;
+    }
+  }
+  return k;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& cfg, std::size_t line_bits)
+    : cfg_(cfg), line_bits_(line_bits),
+      words_((line_bits + 63) / 64) {}
+
+WordFlipSummary FaultInjector::draw_standby(std::size_t line_index,
+                                            uint64_t span_cycles) {
+  return draw(cfg_.standby_rate_per_bit_cycle, line_index, span_cycles);
+}
+
+WordFlipSummary FaultInjector::draw_active(std::size_t line_index,
+                                           uint64_t span_cycles) {
+  return draw(cfg_.active_rate_per_bit_cycle, line_index, span_cycles);
+}
+
+WordFlipSummary FaultInjector::draw(double rate, std::size_t line_index,
+                                    uint64_t span_cycles) {
+  WordFlipSummary s;
+  if (!cfg_.enabled || rate <= 0.0 || span_cycles == 0) {
+    return s;
+  }
+  ++checks_;
+  const uint64_t ordinal = draw_ordinal_++;
+  const double mean =
+      rate * static_cast<double>(line_bits_) * static_cast<double>(span_cycles);
+  const double u = uniform01(mix(cfg_.seed, line_index, ordinal, /*salt=*/1));
+  const unsigned flips =
+      poisson(mean, u, static_cast<unsigned>(line_bits_));
+  if (flips == 0) {
+    return s;
+  }
+  s.total_flips = flips;
+  injected_ += flips;
+
+  // Scatter the flips over the protection words; only the per-word counts
+  // matter for classification.
+  std::vector<unsigned> word_count(words_, 0);
+  for (unsigned i = 0; i < flips; ++i) {
+    const uint64_t h = mix(cfg_.seed, line_index, ordinal, /*salt=*/2 + i);
+    word_count[h % words_]++;
+  }
+  for (const unsigned c : word_count) {
+    if (c == 0) {
+      continue;
+    }
+    if (c == 1) {
+      s.words_single++;
+    } else if (c == 2) {
+      s.words_double++;
+    } else {
+      s.words_multi++;
+    }
+    if (c % 2 == 1) {
+      s.words_odd++;
+    }
+  }
+  return s;
+}
+
+} // namespace faults

@@ -1,0 +1,70 @@
+// Deterministic soft-error (SEU) injection for standby cache lines.
+//
+// The paper's drowsy mode holds cells at ~1.5x Vt, where the critical
+// charge — and with it the soft-error immunity — collapses; gated-Vss
+// destroys state outright, so it has nothing left to corrupt.  This
+// injector materializes that asymmetry: bit flips arrive as a Poisson
+// process over per-line standby-residency bit-cycles (and optionally
+// active bit-cycles at a much lower rate), drawn lazily at the moment a
+// line's contents are consumed (slow hit or dirty-victim writeback).
+//
+// Determinism: draws use a counter-based splitmix64 generator keyed on
+// (seed, line index, per-line draw ordinal), so the same seed and the same
+// access stream reproduce byte-identical fault histories — the property
+// the replay tests pin down.  No global RNG state is shared with anything
+// else in the simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "faults/protection.h"
+
+namespace faults {
+
+/// Fault-model configuration.  Rates are *effective* per-bit-cycle upset
+/// probabilities at the operating point; the harness derives them from a
+/// raw rate via hotleakage::cells::sram_seu_scale (Vdd/temperature
+/// scaling).
+struct FaultConfig {
+  bool enabled = false;
+  /// Upset probability per bit per cycle spent in (state-preserving)
+  /// standby.
+  double standby_rate_per_bit_cycle = 0.0;
+  /// Upset probability per bit per cycle spent fully active (default 0:
+  /// full-Vdd cells are treated as robust).
+  double active_rate_per_bit_cycle = 0.0;
+  Protection protection = Protection::none;
+  uint64_t seed = 1;
+};
+
+class FaultInjector {
+public:
+  FaultInjector(const FaultConfig& cfg, std::size_t line_bits);
+
+  /// Draw the flips accumulated by @p line_index over @p span_cycles of
+  /// standby residency and summarize their distribution over protection
+  /// words.  Each call consumes one deterministic draw ordinal.
+  WordFlipSummary draw_standby(std::size_t line_index, uint64_t span_cycles);
+  /// Same for active residency (active_rate_per_bit_cycle).
+  WordFlipSummary draw_active(std::size_t line_index, uint64_t span_cycles);
+
+  /// Total bit flips materialized so far.
+  unsigned long long injected() const { return injected_; }
+  /// Draws with a nonzero span examined so far.
+  unsigned long long checks() const { return checks_; }
+
+  const FaultConfig& config() const { return cfg_; }
+
+private:
+  WordFlipSummary draw(double rate, std::size_t line_index,
+                       uint64_t span_cycles);
+
+  FaultConfig cfg_;
+  std::size_t line_bits_;
+  std::size_t words_;
+  uint64_t draw_ordinal_ = 0;
+  unsigned long long injected_ = 0;
+  unsigned long long checks_ = 0;
+};
+
+} // namespace faults

@@ -1,0 +1,61 @@
+#include "faults/protection.h"
+
+namespace faults {
+
+ProtectionParams ProtectionParams::for_scheme(Protection p) {
+  ProtectionParams prot;
+  prot.scheme = p;
+  switch (p) {
+  case Protection::none:
+    break;
+  case Protection::parity:
+    // One parity bit per 64-bit word; the check overlaps the data read, so
+    // no latency cost, only the XOR-tree energy.
+    prot.check_bits_per_word = 1;
+    prot.check_latency = 0;
+    prot.check_energy_factor = 0.02;
+    break;
+  case Protection::secded:
+    // Hamming (72,64): 8 check bits per word.  Syndrome generation sits on
+    // the read path (1 cycle); a correction re-cycles through the shifter.
+    prot.check_bits_per_word = 8;
+    prot.check_latency = 1;
+    prot.correction_latency = 3;
+    prot.check_energy_factor = 0.10;
+    prot.correction_energy_factor = 0.30;
+    break;
+  }
+  return prot;
+}
+
+Outcome classify(const ProtectionParams& prot, const WordFlipSummary& flips,
+                 bool dirty) {
+  if (flips.total_flips == 0) {
+    return Outcome::clean;
+  }
+  switch (prot.scheme) {
+  case Protection::none:
+    return Outcome::corruption_silent;
+  case Protection::parity:
+    if (flips.words_odd > 0) {
+      return dirty ? Outcome::corruption_detected : Outcome::recovered;
+    }
+    // Every flipped word took an even number of hits: parity is blind.
+    return Outcome::corruption_silent;
+  case Protection::secded:
+    if (flips.words_double > 0) {
+      // DED raises the uncorrectable-error flag for the whole line; the
+      // refetch (if clean) also wipes any miscorrected >=3-flip word.
+      return dirty ? Outcome::corruption_detected : Outcome::recovered;
+    }
+    if (flips.words_multi > 0) {
+      // A >=3-flip word aliases to a valid single-error syndrome: SECDED
+      // "corrects" the wrong bit and the bad data escapes.
+      return Outcome::corruption_silent;
+    }
+    return Outcome::corrected;
+  }
+  return Outcome::corruption_silent;
+}
+
+} // namespace faults

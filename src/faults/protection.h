@@ -1,0 +1,79 @@
+// Soft-error protection schemes for SRAM arrays (extension; see the
+// reliability axis of Bai et al., "Power-Performance Trade-offs in
+// Nanometer-Scale Multi-Level Caches Considering Total Leakage").
+//
+// A drowsy line at ~1.5x Vt has sharply degraded noise margins: "state
+// preserving" is only a statistical statement unless the array carries
+// detection/correction bits.  Three schemes are modeled, all at the usual
+// 64-bit protection-word granularity:
+//
+//   * none    — flips are consumed silently;
+//   * parity  — one check bit per word; detects odd flip counts.  A
+//               detected error is *recoverable* only if a clean copy
+//               exists below (clean line => refetch from L2);
+//   * SECDED  — Hamming (72,64): corrects single-bit flips in place at a
+//               latency penalty, detects double flips (recoverable like
+//               parity), and is defeated (possible miscorrection) by
+//               triple flips.
+//
+// The scheme's costs — check-bit storage leakage, per-access check energy
+// and latency, correction latency — are priced in leakctl/energy.cpp.
+#pragma once
+
+#include <cstddef>
+
+namespace faults {
+
+enum class Protection { none, parity, secded };
+
+/// How the flips of one line event distribute over its protection words;
+/// sufficient statistics for outcome classification.
+struct WordFlipSummary {
+  unsigned total_flips = 0;
+  unsigned words_single = 0; ///< words with exactly one flip
+  unsigned words_double = 0; ///< words with exactly two flips
+  unsigned words_multi = 0;  ///< words with three or more flips
+  unsigned words_odd = 0;    ///< words with an odd flip count
+};
+
+/// What happened when a (possibly) faulty line was consumed.
+enum class Outcome {
+  clean,               ///< no flips
+  corrected,           ///< SECDED fixed every flipped word in place
+  recovered,           ///< detected on a clean line: refetch from below
+  corruption_detected, ///< detected on a dirty line: data is lost
+  corruption_silent,   ///< undetected (or miscorrected) wrong data consumed
+};
+
+/// Cost/geometry knobs of one protection scheme.
+struct ProtectionParams {
+  Protection scheme = Protection::none;
+  std::size_t word_bits = 64;         ///< protection granularity
+  std::size_t check_bits_per_word = 0;
+  unsigned check_latency = 0;      ///< cycles added to every L1 access
+  unsigned correction_latency = 0; ///< extra cycles on a SECDED correction
+  /// Per-access check energy as a fraction of one L1 read (encode on
+  /// writes, decode/syndrome on reads).
+  double check_energy_factor = 0.0;
+  /// Energy of one in-place correction, as a fraction of one L1 read.
+  double correction_energy_factor = 0.0;
+
+  static ProtectionParams for_scheme(Protection p);
+
+  std::size_t words_per_line(std::size_t line_bits) const {
+    return (line_bits + word_bits - 1) / word_bits;
+  }
+  std::size_t check_bits_per_line(std::size_t line_bits) const {
+    return words_per_line(line_bits) * check_bits_per_word;
+  }
+};
+
+/// Classify one line event.  @p dirty decides whether a detected error is
+/// recoverable (clean => a valid copy exists in L2).  Precedence when words
+/// disagree: a detectable word forces the whole-line detect path (a refetch
+/// also wipes any silently corrupt word); only an event whose *worst* word
+/// is undetectable goes silent.
+Outcome classify(const ProtectionParams& prot, const WordFlipSummary& flips,
+                 bool dirty);
+
+} // namespace faults

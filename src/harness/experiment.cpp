@@ -1,12 +1,23 @@
 #include "harness/experiment.h"
 
+#include <algorithm>
 #include <map>
+#include <stdexcept>
+#include <string>
 #include <tuple>
 
 #include "workload/generator.h"
 
 namespace harness {
 namespace {
+
+/// Lowest supply at which a drowsy cell still holds state: the retention
+/// voltage the paper's drowsy circuit targets (~1.5x the larger Vth).
+/// Operating the array below it makes every mode non-state-preserving.
+double retention_floor_v(const hotleakage::TechParams& tech) {
+  return hotleakage::StandbyParams{}.drowsy_vdd_over_vth *
+         std::max(tech.nmos.vth0, tech.pmos.vth0);
+}
 
 struct BaselineKey {
   std::string benchmark;
@@ -50,8 +61,46 @@ const BaselineRecord& baseline_for(const workload::BenchmarkProfile& profile,
 
 void clear_baseline_cache() { baseline_cache().clear(); }
 
+void ExperimentConfig::validate() const {
+  if (instructions == 0) {
+    throw std::invalid_argument(
+        "ExperimentConfig::instructions must be nonzero");
+  }
+  if (l2_latency == 0) {
+    throw std::invalid_argument("ExperimentConfig::l2_latency must be nonzero");
+  }
+  if (decay_interval == 0 || decay_interval % 4 != 0) {
+    throw std::invalid_argument(
+        "ExperimentConfig::decay_interval must be a nonzero multiple of 4 "
+        "(the epoch quantization), got " +
+        std::to_string(decay_interval));
+  }
+  const hotleakage::TechParams& tech =
+      hotleakage::tech_params(hotleakage::TechNode::nm70);
+  const double floor_v = retention_floor_v(tech);
+  if (vdd > 0.0 && vdd < floor_v) {
+    throw std::invalid_argument(
+        "ExperimentConfig::vdd = " + std::to_string(vdd) +
+        " V is below the 70 nm retention floor of " + std::to_string(floor_v) +
+        " V (cells cannot hold state)");
+  }
+  if (faults.standby_rate_per_bit_cycle < 0.0 ||
+      faults.standby_rate_per_bit_cycle > 1.0) {
+    throw std::invalid_argument(
+        "ExperimentConfig::faults.standby_rate_per_bit_cycle must be a "
+        "probability in [0, 1]");
+  }
+  if (faults.active_rate_per_bit_cycle < 0.0 ||
+      faults.active_rate_per_bit_cycle > 1.0) {
+    throw std::invalid_argument(
+        "ExperimentConfig::faults.active_rate_per_bit_cycle must be a "
+        "probability in [0, 1]");
+  }
+}
+
 ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
                                 const ExperimentConfig& cfg) {
+  cfg.validate();
   ExperimentResult result;
   result.benchmark = std::string(profile.name);
   result.config = cfg;
@@ -68,6 +117,27 @@ ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
   ccfg.technique = cfg.technique;
   ccfg.policy = cfg.policy;
   ccfg.decay_interval = cfg.decay_interval;
+  if (cfg.faults.enabled) {
+    // Scale the raw upset rates to the operating point.  Standby cells sit
+    // at the technique's retention voltage: the drowsy supply for drowsy,
+    // the full (possibly DVS-lowered) rail for RBB; gated-Vss standby
+    // holds no state, so its standby rate is never consulted.
+    const hotleakage::TechParams& ftech =
+        hotleakage::tech_params(hotleakage::TechNode::nm70);
+    const double vdd_op = cfg.vdd > 0.0 ? cfg.vdd : ftech.vdd_nominal;
+    const double temp_k = cfg.temperature_c + 273.15;
+    const double standby_vdd =
+        cfg.technique.mode == hotleakage::StandbyMode::drowsy
+            ? retention_floor_v(ftech)
+            : vdd_op;
+    ccfg.faults = cfg.faults;
+    ccfg.faults.standby_rate_per_bit_cycle =
+        cfg.faults.standby_rate_per_bit_cycle *
+        hotleakage::cells::sram_seu_scale(ftech, standby_vdd, temp_k);
+    ccfg.faults.active_rate_per_bit_cycle =
+        cfg.faults.active_rate_per_bit_cycle *
+        hotleakage::cells::sram_seu_scale(ftech, vdd_op, temp_k);
+  }
   ExperimentConfig::AdaptiveScheme scheme = cfg.adaptive;
   if (cfg.adaptive_feedback &&
       scheme == ExperimentConfig::AdaptiveScheme::none) {
@@ -122,7 +192,7 @@ ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
   // voltage-independent, so only the seconds-per-cycle change.
   const double clock_hz = pcfg.clock_hz * (vdd / model.tech().vdd_nominal);
   result.energy = leakctl::compute_energy(model, geom, power, ccfg.technique,
-                                          runs, clock_hz);
+                                          runs, clock_hz, ccfg.faults);
   return result;
 }
 

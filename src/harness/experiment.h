@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_injector.h"
 #include "leakctl/adaptive.h"
 #include "leakctl/adaptive_modes.h"
 #include "leakctl/energy.h"
@@ -45,6 +46,16 @@ struct ExperimentConfig {
   AdaptiveScheme adaptive = AdaptiveScheme::none;
   leakctl::AmcConfig amc;
   leakctl::PerLineAdaptiveConfig per_line;
+
+  /// Soft-error injection and protection.  The rates here are *raw* (at
+  /// the node's nominal supply and 300 K); run_experiment scales them to
+  /// the technique's retention voltage and the experiment temperature via
+  /// hotleakage::cells::sram_seu_scale before handing them to the cache.
+  faults::FaultConfig faults;
+
+  /// Reject nonsense configurations with a std::invalid_argument naming
+  /// the offending field.  Called at the top of run_experiment.
+  void validate() const;
 };
 
 struct ExperimentResult {

@@ -59,6 +59,29 @@ void print_best_interval_table(std::ostream& os, const std::string& title,
   os << '\n';
 }
 
+void print_reliability_table(std::ostream& os, const std::string& title,
+                             const std::vector<Series>& series) {
+  os << "== " << title << " ==\n";
+  for (const Series& s : series) {
+    os << "-- " << s.label << " --\n";
+    os << std::left << std::setw(10) << "benchmark" << std::right
+       << std::setw(10) << "injected" << std::setw(10) << "detected"
+       << std::setw(11) << "corrected" << std::setw(11) << "recovered"
+       << std::setw(10) << "corrupt" << std::setw(9) << "net%" << '\n';
+    for (const ExperimentResult& r : s.results) {
+      const leakctl::ControlStats& c = r.control;
+      os << std::left << std::setw(10) << r.benchmark << std::right
+         << std::setw(10) << c.faults_injected << std::setw(10)
+         << c.fault_detections << std::setw(11) << c.fault_corrections
+         << std::setw(11) << c.fault_recoveries << std::setw(10)
+         << c.corruptions() << std::setw(8) << std::fixed
+         << std::setprecision(1) << r.energy.net_savings_frac * 100.0 << "%"
+         << '\n';
+    }
+  }
+  os << '\n';
+}
+
 void print_result_detail(std::ostream& os, const ExperimentResult& r) {
   os << std::fixed << std::setprecision(3);
   os << r.benchmark << " [" << r.config.technique.name
@@ -74,6 +97,18 @@ void print_result_detail(std::ostream& os, const ExperimentResult& r) {
      << "  hits/slow/ind/true  " << r.control.hits << "/" << r.control.slow_hits
      << "/" << r.control.induced_misses << "/" << r.control.true_misses
      << "\n";
+  if (r.config.faults.enabled) {
+    os << "  faults inj/det/corr/rec  " << r.control.faults_injected << "/"
+       << r.control.fault_detections << "/" << r.control.fault_corrections
+       << "/" << r.control.fault_recoveries << "\n"
+       << "  corruptions     " << r.control.corruptions() << " ("
+       << r.control.fault_corruptions_detected << " detected, "
+       << r.control.fault_corruptions_silent << " silent)\n"
+       << "  protection cost " << (r.energy.protection_leakage_j +
+                                   r.energy.protection_dynamic_j) *
+                                      1e3
+       << " mJ\n";
+  }
 }
 
 std::string format_interval(uint64_t cycles) {

@@ -33,6 +33,12 @@ struct BestIntervalRow {
 void print_best_interval_table(std::ostream& os, const std::string& title,
                                const std::vector<BestIntervalRow>& rows);
 
+/// Reliability columns for fault-injection sweeps: injected flips,
+/// detections, corrections, recoveries, corruptions, and net savings per
+/// benchmark for each labelled series.
+void print_reliability_table(std::ostream& os, const std::string& title,
+                             const std::vector<Series>& series);
+
 /// Free-form detail dump of one result (debugging / examples).
 void print_result_detail(std::ostream& os, const ExperimentResult& r);
 

@@ -1,5 +1,8 @@
 #include "hotleakage/cell.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace hotleakage::cells {
 namespace {
 
@@ -122,6 +125,22 @@ Cell sense_amp(const TechParams& tech) {
   c.states = {idle};
   c.total_gate_width = gate_width(tech, 4 * 2.0 + 3 * 2.0);
   return c;
+}
+
+double sram_seu_scale(const TechParams& tech, double vdd,
+                      double temperature_k) {
+  // Qcrit/Qs slope in the Hazucha-Svensson exponent, expressed per unit of
+  // normalized supply: a cell at 1/3 of nominal Vdd (the 70 nm drowsy
+  // retention point) is ~50x more upset-prone, matching the order of
+  // magnitude reported for reduced-Vdd retention SRAM.
+  constexpr double kQcritSlope = 6.0;
+  // Weak thermal acceleration of the collected charge, per kelvin.
+  constexpr double kThermal = 1.0e-3;
+  const double v = std::max(vdd, 0.0);
+  const double dv = 1.0 - v / tech.vdd_nominal;
+  const double thermal =
+      std::max(0.0, 1.0 + kThermal * (temperature_k - kRoomTemperatureK));
+  return std::exp(kQcritSlope * dv) * thermal;
 }
 
 } // namespace hotleakage::cells

@@ -65,6 +65,19 @@ Cell sram6t(const TechParams& tech);
 /// Latch-style sense amplifier (idle, equalized state).
 Cell sense_amp(const TechParams& tech);
 
+/// Soft-error susceptibility of the 6T cell at (@p vdd, @p temperature_k),
+/// as a multiplier on the raw SER measured at (vdd_nominal, 300 K).
+///
+/// The critical charge a particle strike must deposit scales with the
+/// stored-node voltage, Qcrit ~ Cnode * Vdd, and the SER follows the
+/// Hazucha-Svensson empirical law SER ~ exp(-Qcrit / Qs) — so lowering the
+/// supply to the drowsy retention level (~1.5x Vt) raises the upset rate
+/// exponentially.  Temperature adds a weak linear acceleration (junction
+/// collection efficiency rises with T).  This is the hook the fault
+/// injector uses to price "state preservation" honestly.
+double sram_seu_scale(const TechParams& tech, double vdd,
+                      double temperature_k);
+
 } // namespace cells
 
 } // namespace hotleakage

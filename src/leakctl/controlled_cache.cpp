@@ -13,7 +13,12 @@ ControlledCache::ControlledCache(const ControlledCacheConfig& cfg,
       next_(next_level),
       activity_(activity),
       decay_(cfg.cache.lines(), cfg.decay_interval, cfg.policy),
-      ctl_(cfg.cache.lines()) {}
+      prot_(faults::ProtectionParams::for_scheme(cfg.faults.protection)),
+      ctl_(cfg.cache.lines()) {
+  if (cfg.faults.enabled) {
+    injector_.emplace(cfg.faults, cfg.cache.line_bytes * 8);
+  }
+}
 
 void ControlledCache::deactivate(std::size_t index, uint64_t boundary_cycle) {
   LineCtl& ln = ctl_[index];
@@ -66,6 +71,7 @@ void ControlledCache::wake(std::size_t index, uint64_t cycle) {
   }
   ln.standby = false;
   ln.event_cycle = cycle;
+  ln.fault_check_cycle = cycle;
   ln.ghost_fresh = false;
   stats_.wakes++;
   if (activity_ != nullptr) {
@@ -94,6 +100,55 @@ void ControlledCache::note_fill(std::size_t set, std::size_t filled_way,
   (void)filled_way;
 }
 
+unsigned ControlledCache::consume_faults(std::size_t index, uint64_t span,
+                                         bool standby_span, bool dirty,
+                                         uint64_t addr, uint64_t cycle,
+                                         bool on_critical_path) {
+  if (!injector_ || span == 0) {
+    return 0;
+  }
+  // Gated-Vss standby holds no state: nothing to corrupt (the data was
+  // already written back / invalidated at deactivation).
+  if (standby_span && !cfg_.technique.state_preserving) {
+    return 0;
+  }
+  const faults::WordFlipSummary flips =
+      standby_span ? injector_->draw_standby(index, span)
+                   : injector_->draw_active(index, span);
+  stats_.fault_checks = injector_->checks();
+  stats_.faults_injected = injector_->injected();
+  if (flips.total_flips == 0) {
+    return 0;
+  }
+  unsigned extra = 0;
+  switch (faults::classify(prot_, flips, dirty)) {
+  case faults::Outcome::clean:
+    break;
+  case faults::Outcome::corrected:
+    stats_.fault_corrections += flips.words_single;
+    extra = prot_.correction_latency;
+    break;
+  case faults::Outcome::recovered: {
+    // Detected error, clean line: the L2 copy is authoritative.  Refetch
+    // it — an induced-miss-style recovery on the critical path.
+    stats_.fault_detections++;
+    stats_.fault_recoveries++;
+    extra = next_.access(addr, /*is_store=*/false, cycle);
+    break;
+  }
+  case faults::Outcome::corruption_detected:
+    // Detected but the only up-to-date copy was the flipped one: report
+    // an uncorrectable error (machine-check territory).
+    stats_.fault_detections++;
+    stats_.fault_corruptions_detected++;
+    break;
+  case faults::Outcome::corruption_silent:
+    stats_.fault_corruptions_silent++;
+    break;
+  }
+  return on_critical_path ? extra : 0;
+}
+
 unsigned ControlledCache::access(uint64_t addr, bool is_store,
                                  uint64_t cycle) {
   if (finalized_) {
@@ -118,13 +173,18 @@ unsigned ControlledCache::access(uint64_t addr, bool is_store,
   const uint64_t tag = cache_.tag_of(addr);
   const TechniqueParams& tech = cfg_.technique;
   unsigned latency = cfg_.cache.hit_latency;
+  if (injector_) {
+    latency += prot_.check_latency; // syndrome/parity check on every access
+  }
 
   // Pre-classify against the standby state *before* the cache mutates.
   int hit_way = -1;
+  bool pre_dirty = false;
   for (std::size_t w = 0; w < cfg_.cache.assoc; ++w) {
     const sim::Cache::Line& ln = cache_.line(set, w);
     if (ln.valid && ln.tag == tag) {
       hit_way = static_cast<int>(w);
+      pre_dirty = ln.dirty;
       break;
     }
   }
@@ -156,9 +216,25 @@ unsigned ControlledCache::access(uint64_t addr, bool is_store,
       }
       latency += tech.decay_tags ? tech.wake_extra_tags_decayed
                                  : tech.wake_extra_tags_awake;
+      const uint64_t standby_span =
+          cycle > ctl_[idx].event_cycle ? cycle - ctl_[idx].event_cycle : 0;
       wake(idx, cycle);
+      // The line's contents sat at the retention voltage for the whole
+      // standby span: check them as they are consumed.
+      latency += consume_faults(idx, standby_span, /*standby_span=*/true,
+                                pre_dirty, addr, cycle,
+                                /*on_critical_path=*/true);
     } else {
       stats_.hits++;
+      if (injector_ && cfg_.faults.active_rate_per_bit_cycle > 0.0) {
+        const uint64_t active_span =
+            cycle > ctl_[idx].fault_check_cycle
+                ? cycle - ctl_[idx].fault_check_cycle
+                : 0;
+        latency += consume_faults(idx, active_span, /*standby_span=*/false,
+                                  pre_dirty, addr, cycle,
+                                  /*on_critical_path=*/true);
+      }
     }
   } else {
     // Miss path.
@@ -179,6 +255,17 @@ unsigned ControlledCache::access(uint64_t addr, bool is_store,
       }
     }
     if (r.writeback) {
+      // A dirty victim's data is read out for the writeback; if it sat in
+      // (state-preserving) standby, its flips travel with it — off the
+      // critical path, but corruption all the same.
+      if (injector_) {
+        const uint64_t since = was_standby ? ctl_[idx].event_cycle
+                                           : ctl_[idx].fault_check_cycle;
+        const uint64_t victim_span = cycle > since ? cycle - since : 0;
+        consume_faults(idx, victim_span, /*standby_span=*/was_standby,
+                       /*dirty=*/true, r.writeback_addr, cycle,
+                       /*on_critical_path=*/false);
+      }
       next_.writeback(r.writeback_addr, cycle);
     }
     latency += next_.access(addr, /*is_store=*/false, cycle);
@@ -189,6 +276,7 @@ unsigned ControlledCache::access(uint64_t addr, bool is_store,
   }
 
   decay_.on_access(idx);
+  ctl_[idx].fault_check_cycle = cycle;
   ctl_[idx].ghost_fresh = false;
   return latency;
 }

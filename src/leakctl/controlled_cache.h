@@ -24,8 +24,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
+#include "faults/fault_injector.h"
 #include "leakctl/decay.h"
 #include "leakctl/technique.h"
 #include "sim/hierarchy.h"
@@ -37,6 +39,11 @@ struct ControlledCacheConfig {
   TechniqueParams technique = TechniqueParams::drowsy();
   DecayPolicy policy = DecayPolicy::noaccess;
   uint64_t decay_interval = 4096;
+  /// Soft-error injection + protection (disabled by default).  Rates are
+  /// effective per-bit-cycle probabilities at the operating point; standby
+  /// faults only apply to state-preserving techniques (gated-Vss standby
+  /// holds no state to corrupt).
+  faults::FaultConfig faults;
 };
 
 /// Access classification and residency statistics for one run.
@@ -55,6 +62,20 @@ struct ControlStats {
   unsigned long long data_standby_cycles = 0;
   unsigned long long tag_active_cycles = 0;
   unsigned long long tag_standby_cycles = 0;
+
+  /// Soft-error bookkeeping (all zero when fault injection is off).
+  unsigned long long faults_injected = 0;   ///< bit flips materialized
+  unsigned long long fault_checks = 0;      ///< residency spans examined
+  unsigned long long fault_detections = 0;  ///< parity / SECDED-DED raises
+  unsigned long long fault_corrections = 0; ///< SECDED words fixed in place
+  unsigned long long fault_recoveries = 0;  ///< clean-line refetches from L2
+  unsigned long long fault_corruptions_detected = 0; ///< detected, dirty: lost
+  unsigned long long fault_corruptions_silent = 0;   ///< consumed undetected
+
+  /// All data-corruption events, detected or not.
+  unsigned long long corruptions() const {
+    return fault_corruptions_detected + fault_corruptions_silent;
+  }
 
   unsigned long long accesses() const {
     return hits + slow_hits + induced_misses + true_misses;
@@ -127,6 +148,7 @@ public:
 private:
   struct LineCtl {
     uint64_t event_cycle = 0;   ///< activation time (active) / decay time
+    uint64_t fault_check_cycle = 0; ///< last active-residency fault draw
     uint64_t ghost_tag = 0;     ///< tag at deactivation (gated-Vss)
     bool ghost_fresh = false;   ///< no fill into the set since deactivation
     bool standby = false;
@@ -139,12 +161,21 @@ private:
   void wake(std::size_t index, uint64_t cycle);
   bool any_standby_in_set(std::size_t set) const;
   void note_fill(std::size_t set, std::size_t filled_way, uint64_t cycle);
+  /// Draw and classify the faults @p index accumulated over @p span cycles
+  /// (standby or active residency); returns the extra latency charged on
+  /// the critical path (@p on_critical_path false suppresses it, e.g. for
+  /// victim writebacks).  @p addr is the line's address for the refetch.
+  unsigned consume_faults(std::size_t index, uint64_t span, bool standby_span,
+                          bool dirty, uint64_t addr, uint64_t cycle,
+                          bool on_critical_path);
 
   ControlledCacheConfig cfg_;
   sim::Cache cache_;
   sim::BackingStore& next_;
   wattch::Activity* activity_;
   DecayCounters decay_;
+  std::optional<faults::FaultInjector> injector_;
+  faults::ProtectionParams prot_;
   std::vector<LineCtl> ctl_;
   ControlStats stats_;
   uint64_t max_cycle_ = 0;

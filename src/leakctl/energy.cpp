@@ -24,7 +24,8 @@ EnergyBreakdown compute_energy(const hotleakage::LeakageModel& model,
                                const hotleakage::CacheGeometry& geom,
                                const wattch::PowerParams& power,
                                const TechniqueParams& technique,
-                               const RunPair& runs, double clock_hz) {
+                               const RunPair& runs, double clock_hz,
+                               const faults::FaultConfig& fault_cfg) {
   if (clock_hz <= 0.0) {
     throw std::invalid_argument("compute_energy: clock must be positive");
   }
@@ -58,9 +59,30 @@ EnergyBreakdown compute_energy(const hotleakage::LeakageModel& model,
   const double dyn_base = runs.base_activity.energy(power);
   e.extra_dynamic_j = dyn_tech - dyn_base;
 
+  if (fault_cfg.enabled && fault_cfg.protection != faults::Protection::none) {
+    const faults::ProtectionParams prot =
+        faults::ProtectionParams::for_scheme(fault_cfg.protection);
+    const double check_bits = static_cast<double>(
+        prot.check_bits_per_line(geom.data_bits_per_line()));
+    // Check bits live in the data array and follow its standby mode.
+    const double p_check_active =
+        model.sram_power(check_bits, StandbyMode::active);
+    const double p_check_standby = model.sram_power(check_bits, technique.mode);
+    e.protection_leakage_j =
+        (p_check_active * static_cast<double>(c.data_active_cycles) +
+         p_check_standby * static_cast<double>(c.data_standby_cycles)) *
+        dt;
+    e.protection_dynamic_j =
+        static_cast<double>(c.accesses()) * prot.check_energy_factor *
+            power.l1_read +
+        static_cast<double>(c.fault_corrections) *
+            prot.correction_energy_factor * power.l1_read;
+  }
+
   e.gross_savings_j = e.baseline_leakage_j - e.technique_leakage_j;
-  e.net_savings_j =
-      e.gross_savings_j - e.decay_hw_leakage_j - e.extra_dynamic_j;
+  e.net_savings_j = e.gross_savings_j - e.decay_hw_leakage_j -
+                    e.extra_dynamic_j - e.protection_leakage_j -
+                    e.protection_dynamic_j;
   e.net_savings_frac =
       e.baseline_leakage_j > 0.0 ? e.net_savings_j / e.baseline_leakage_j : 0.0;
   e.perf_loss_frac =

@@ -36,6 +36,11 @@ struct EnergyBreakdown {
   double technique_leakage_j = 0.0; ///< residual leakage, technique run
   double decay_hw_leakage_j = 0.0;  ///< cost #2
   double extra_dynamic_j = 0.0;     ///< costs #1, #3, #4 (activity delta)
+  /// Reliability costs (zero unless fault protection is configured): the
+  /// check-bit cells leak alongside the data array in whatever mode the
+  /// line is in, and every access pays the encode/check energy.
+  double protection_leakage_j = 0.0;
+  double protection_dynamic_j = 0.0;
   double gross_savings_j = 0.0;
   double net_savings_j = 0.0;
 
@@ -47,11 +52,15 @@ struct EnergyBreakdown {
 
 /// Compute the breakdown for one benchmark run pair.
 /// @p model must already be at the experiment's operating point.
+/// @p fault_cfg prices the protection scheme's storage leakage and
+/// per-access energy against the net savings; the default (disabled)
+/// config adds nothing.
 EnergyBreakdown compute_energy(const hotleakage::LeakageModel& model,
                                const hotleakage::CacheGeometry& geom,
                                const wattch::PowerParams& power,
                                const TechniqueParams& technique,
-                               const RunPair& runs, double clock_hz);
+                               const RunPair& runs, double clock_hz,
+                               const faults::FaultConfig& fault_cfg = {});
 
 /// The L1 D-cache geometry corresponding to a sim::CacheConfig.
 hotleakage::CacheGeometry geometry_of(const sim::CacheConfig& cfg,

@@ -80,6 +80,32 @@ TraceFileReader::TraceFileReader(const std::string& path) {
     file_ = nullptr;
     throw std::runtime_error("TraceFileReader: truncated header in " + path);
   }
+  // Cross-check the promised record count against the actual file size so
+  // a truncated or tampered file fails loudly at open, not mid-replay.
+  const long data_start = std::ftell(file_);
+  if (data_start != 16 || std::fseek(file_, 0, SEEK_END) != 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw std::runtime_error("TraceFileReader: seek failed in " + path);
+  }
+  const long size = std::ftell(file_);
+  const long long expected =
+      16 + static_cast<long long>(total_) * static_cast<long long>(kRecordBytes);
+  if (size < 0 || static_cast<long long>(size) != expected) {
+    const std::string detail =
+        "header promises " + std::to_string(total_) + " records (" +
+        std::to_string(expected) + " bytes) but the file has " +
+        std::to_string(size) + " bytes";
+    std::fclose(file_);
+    file_ = nullptr;
+    throw std::runtime_error("TraceFileReader: corrupt " + path + ": " +
+                             detail);
+  }
+  if (std::fseek(file_, data_start, SEEK_SET) != 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw std::runtime_error("TraceFileReader: seek failed in " + path);
+  }
 }
 
 TraceFileReader::~TraceFileReader() {
@@ -94,7 +120,12 @@ bool TraceFileReader::next(sim::MicroOp& op) {
   }
   unsigned char buf[kRecordBytes];
   if (std::fread(buf, 1, kRecordBytes, file_) != kRecordBytes) {
-    return false; // truncated file: stop cleanly
+    // The size was validated at open, so a short read means the file
+    // changed (or the medium failed) under us: never silently end the
+    // trace early — a shortened instruction stream corrupts experiments.
+    throw std::runtime_error(
+        "TraceFileReader: short read at record " + std::to_string(read_) +
+        " of " + std::to_string(total_) + " (file truncated mid-stream?)");
   }
   unpack(buf, op);
   ++read_;

@@ -24,8 +24,12 @@ namespace workload {
 uint64_t write_trace(const std::string& path, sim::TraceSource& source,
                      uint64_t count);
 
-/// Replays a trace file.  Construction validates the header; next()
-/// streams records without loading the file into memory.
+/// Replays a trace file.  Construction validates the header *and* checks
+/// the promised record count against the actual file size, so truncated or
+/// tampered captures fail loudly at open; next() streams records without
+/// loading the file into memory and throws std::runtime_error on a short
+/// read (a file shrinking mid-replay) rather than silently ending the
+/// trace.
 class TraceFileReader final : public sim::TraceSource {
 public:
   explicit TraceFileReader(const std::string& path);

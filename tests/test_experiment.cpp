@@ -2,6 +2,9 @@
 // Uses small instruction counts to stay fast; level checks are loose.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "harness/experiment.h"
 
 namespace harness {
@@ -142,6 +145,95 @@ TEST(Experiment, LongerDecayIntervalLowersTurnoff) {
   const ExperimentResult slow =
       run_experiment(workload::profile_by_name("gap"), cfg);
   EXPECT_GT(fast.energy.turnoff_ratio, slow.energy.turnoff_ratio);
+}
+
+TEST(ExperimentValidate, AcceptsDefaults) {
+  EXPECT_NO_THROW(ExperimentConfig{}.validate());
+  EXPECT_NO_THROW(quick_config().validate());
+}
+
+TEST(ExperimentValidate, RejectsZeroInstructions) {
+  ExperimentConfig cfg = quick_config();
+  cfg.instructions = 0;
+  EXPECT_THROW(
+      {
+        try {
+          cfg.validate();
+        } catch (const std::invalid_argument& e) {
+          EXPECT_NE(std::string(e.what()).find("instructions"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::invalid_argument);
+  EXPECT_THROW(run_experiment(workload::profile_by_name("gcc"), cfg),
+               std::invalid_argument);
+}
+
+TEST(ExperimentValidate, RejectsZeroL2Latency) {
+  ExperimentConfig cfg = quick_config();
+  cfg.l2_latency = 0;
+  EXPECT_THROW(
+      {
+        try {
+          cfg.validate();
+        } catch (const std::invalid_argument& e) {
+          EXPECT_NE(std::string(e.what()).find("l2_latency"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::invalid_argument);
+}
+
+TEST(ExperimentValidate, RejectsBadDecayInterval) {
+  ExperimentConfig cfg = quick_config();
+  cfg.decay_interval = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.decay_interval = 4095; // not a multiple of 4
+  EXPECT_THROW(
+      {
+        try {
+          cfg.validate();
+        } catch (const std::invalid_argument& e) {
+          EXPECT_NE(std::string(e.what()).find("decay_interval"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::invalid_argument);
+  cfg.decay_interval = 4096;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ExperimentValidate, RejectsVddBelowRetentionFloor) {
+  ExperimentConfig cfg = quick_config();
+  cfg.vdd = 0.1; // below ~0.32 V: cells cannot hold state
+  EXPECT_THROW(
+      {
+        try {
+          cfg.validate();
+        } catch (const std::invalid_argument& e) {
+          EXPECT_NE(std::string(e.what()).find("vdd"), std::string::npos);
+          EXPECT_NE(std::string(e.what()).find("retention"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::invalid_argument);
+  cfg.vdd = 0.7; // a legitimate DVS point
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.vdd = -1.0; // "use the nominal" sentinel stays legal
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ExperimentValidate, RejectsNonProbabilityFaultRates) {
+  ExperimentConfig cfg = quick_config();
+  cfg.faults.standby_rate_per_bit_cycle = -1e-9;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.faults.standby_rate_per_bit_cycle = 0.0;
+  cfg.faults.active_rate_per_bit_cycle = 2.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
 } // namespace

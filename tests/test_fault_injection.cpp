@@ -1,0 +1,165 @@
+// End-to-end fault injection through the experiment harness: injection
+// under drowsy standby, parity/ECC recovery accounting, gated-Vss
+// immunity, and byte-identical deterministic replay.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace harness {
+namespace {
+
+ExperimentConfig fault_config(double raw_rate, faults::Protection prot,
+                              uint64_t seed = 11) {
+  ExperimentConfig cfg;
+  cfg.instructions = 150'000;
+  cfg.variation = false;
+  cfg.faults.enabled = true;
+  cfg.faults.standby_rate_per_bit_cycle = raw_rate;
+  cfg.faults.protection = prot;
+  cfg.faults.seed = seed;
+  return cfg;
+}
+
+void expect_same_stats(const leakctl::ControlStats& a,
+                       const leakctl::ControlStats& b) {
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.slow_hits, b.slow_hits);
+  EXPECT_EQ(a.induced_misses, b.induced_misses);
+  EXPECT_EQ(a.true_misses, b.true_misses);
+  EXPECT_EQ(a.data_active_cycles, b.data_active_cycles);
+  EXPECT_EQ(a.data_standby_cycles, b.data_standby_cycles);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.fault_checks, b.fault_checks);
+  EXPECT_EQ(a.fault_detections, b.fault_detections);
+  EXPECT_EQ(a.fault_corrections, b.fault_corrections);
+  EXPECT_EQ(a.fault_recoveries, b.fault_recoveries);
+  EXPECT_EQ(a.fault_corruptions_detected, b.fault_corruptions_detected);
+  EXPECT_EQ(a.fault_corruptions_silent, b.fault_corruptions_silent);
+}
+
+TEST(FaultInjection, DrowsyStandbyInjects) {
+  const ExperimentResult r = run_experiment(
+      workload::profile_by_name("gcc"),
+      fault_config(1e-8, faults::Protection::parity));
+  EXPECT_GT(r.control.fault_checks, 0ull);
+  EXPECT_GT(r.control.faults_injected, 0ull);
+}
+
+TEST(FaultInjection, ParityRecoversEveryCleanDetection) {
+  // The acceptance identity: every detected error is either recovered
+  // (clean line, L2 refetch) or a detected corruption (dirty line); parity
+  // has no in-place correction.
+  const ExperimentResult r = run_experiment(
+      workload::profile_by_name("twolf"),
+      fault_config(1e-8, faults::Protection::parity));
+  const leakctl::ControlStats& c = r.control;
+  EXPECT_GT(c.fault_detections, 0ull);
+  EXPECT_GT(c.fault_recoveries, 0ull);
+  EXPECT_EQ(c.fault_detections,
+            c.fault_recoveries + c.fault_corruptions_detected);
+  EXPECT_EQ(c.fault_corrections, 0ull);
+}
+
+TEST(FaultInjection, UnprotectedFlipsAreSilent) {
+  const ExperimentResult r = run_experiment(
+      workload::profile_by_name("twolf"),
+      fault_config(1e-8, faults::Protection::none));
+  const leakctl::ControlStats& c = r.control;
+  EXPECT_GT(c.faults_injected, 0ull);
+  EXPECT_EQ(c.fault_detections, 0ull);
+  EXPECT_EQ(c.fault_recoveries, 0ull);
+  EXPECT_EQ(c.fault_corruptions_detected, 0ull);
+  EXPECT_GT(c.fault_corruptions_silent, 0ull);
+}
+
+TEST(FaultInjection, SecdedCorrectsSingleBitFlips) {
+  // At a rate where every faulty event is a single-bit flip, SECDED must
+  // drive corruption to zero while still logging corrections.
+  const ExperimentResult r = run_experiment(
+      workload::profile_by_name("gcc"),
+      fault_config(2e-11, faults::Protection::secded));
+  const leakctl::ControlStats& c = r.control;
+  EXPECT_GT(c.faults_injected, 0ull);
+  EXPECT_GT(c.fault_corrections, 0ull);
+  EXPECT_EQ(c.corruptions(), 0ull);
+}
+
+TEST(FaultInjection, GatedVssStandbyIsImmune) {
+  // Same seed and rate as the drowsy runs: gated-Vss standby holds no
+  // state, so no standby faults can ever materialize.
+  ExperimentConfig cfg = fault_config(1e-8, faults::Protection::none);
+  cfg.technique = leakctl::TechniqueParams::gated_vss();
+  const ExperimentResult r =
+      run_experiment(workload::profile_by_name("gcc"), cfg);
+  EXPECT_GT(r.control.induced_misses, 0ull); // it did decay lines
+  EXPECT_EQ(r.control.faults_injected, 0ull);
+  EXPECT_EQ(r.control.fault_checks, 0ull);
+  EXPECT_EQ(r.control.corruptions(), 0ull);
+}
+
+TEST(FaultInjection, ZeroRateInjectsNothing) {
+  const ExperimentResult r = run_experiment(
+      workload::profile_by_name("gcc"),
+      fault_config(0.0, faults::Protection::parity));
+  EXPECT_EQ(r.control.faults_injected, 0ull);
+  EXPECT_EQ(r.control.fault_checks, 0ull);
+  EXPECT_EQ(r.control.corruptions(), 0ull);
+}
+
+TEST(FaultInjection, DeterministicReplay) {
+  // Same seed + config => identical classification, fault and corruption
+  // counts, and timing across two fresh runs.
+  const ExperimentConfig cfg =
+      fault_config(1e-8, faults::Protection::parity, 1234);
+  clear_baseline_cache();
+  const ExperimentResult a =
+      run_experiment(workload::profile_by_name("vpr"), cfg);
+  clear_baseline_cache();
+  const ExperimentResult b =
+      run_experiment(workload::profile_by_name("vpr"), cfg);
+  expect_same_stats(a.control, b.control);
+  EXPECT_EQ(a.tech_run.cycles, b.tech_run.cycles);
+  EXPECT_DOUBLE_EQ(a.energy.net_savings_frac, b.energy.net_savings_frac);
+}
+
+TEST(FaultInjection, SeedChangesFaultHistory) {
+  const ExperimentResult a = run_experiment(
+      workload::profile_by_name("vpr"),
+      fault_config(1e-8, faults::Protection::parity, 1));
+  const ExperimentResult b = run_experiment(
+      workload::profile_by_name("vpr"),
+      fault_config(1e-8, faults::Protection::parity, 2));
+  EXPECT_NE(a.control.faults_injected, b.control.faults_injected);
+}
+
+TEST(FaultInjection, ProtectionCostsAreCharged) {
+  const ExperimentResult none = run_experiment(
+      workload::profile_by_name("gcc"),
+      fault_config(1e-9, faults::Protection::none));
+  const ExperimentResult secded = run_experiment(
+      workload::profile_by_name("gcc"),
+      fault_config(1e-9, faults::Protection::secded));
+  EXPECT_EQ(none.energy.protection_leakage_j, 0.0);
+  EXPECT_EQ(none.energy.protection_dynamic_j, 0.0);
+  EXPECT_GT(secded.energy.protection_leakage_j, 0.0);
+  EXPECT_GT(secded.energy.protection_dynamic_j, 0.0);
+  // ECC's storage, energy, and latency must show up as lower net savings.
+  EXPECT_LT(secded.energy.net_savings_frac, none.energy.net_savings_frac);
+  // The 1-cycle syndrome check sits on every access: runtime grows.
+  EXPECT_GE(secded.tech_run.cycles, none.tech_run.cycles);
+}
+
+TEST(FaultInjection, DisabledByDefault) {
+  ExperimentConfig cfg;
+  cfg.instructions = 60'000;
+  cfg.variation = false;
+  const ExperimentResult r =
+      run_experiment(workload::profile_by_name("gcc"), cfg);
+  EXPECT_EQ(r.control.faults_injected, 0ull);
+  EXPECT_EQ(r.control.fault_checks, 0ull);
+  EXPECT_EQ(r.energy.protection_leakage_j, 0.0);
+  EXPECT_EQ(r.energy.protection_dynamic_j, 0.0);
+}
+
+} // namespace
+} // namespace harness

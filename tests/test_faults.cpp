@@ -1,0 +1,178 @@
+// Fault-injection building blocks: deterministic draws, Poisson sanity,
+// protection-outcome classification, and the SEU Vdd/temperature hook.
+#include <gtest/gtest.h>
+
+#include "faults/fault_injector.h"
+#include "faults/protection.h"
+#include "hotleakage/tech.h"
+#include "hotleakage/cell.h"
+
+namespace faults {
+namespace {
+
+FaultConfig enabled_config(double rate, uint64_t seed = 9) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.standby_rate_per_bit_cycle = rate;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(FaultInjector, DisabledNeverDraws) {
+  FaultConfig cfg;
+  cfg.standby_rate_per_bit_cycle = 1e-3; // ignored: not enabled
+  FaultInjector inj(cfg, 512);
+  const WordFlipSummary s = inj.draw_standby(3, 100'000);
+  EXPECT_EQ(s.total_flips, 0u);
+  EXPECT_EQ(inj.injected(), 0ull);
+  EXPECT_EQ(inj.checks(), 0ull);
+}
+
+TEST(FaultInjector, ZeroRateNeverDraws) {
+  FaultInjector inj(enabled_config(0.0), 512);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(inj.draw_standby(i, 1'000'000).total_flips, 0u);
+  }
+  EXPECT_EQ(inj.injected(), 0ull);
+}
+
+TEST(FaultInjector, DeterministicAcrossInstances) {
+  FaultInjector a(enabled_config(1e-6, 77), 512);
+  FaultInjector b(enabled_config(1e-6, 77), 512);
+  for (int i = 0; i < 500; ++i) {
+    const WordFlipSummary sa = a.draw_standby(i % 32, 10'000 + i);
+    const WordFlipSummary sb = b.draw_standby(i % 32, 10'000 + i);
+    ASSERT_EQ(sa.total_flips, sb.total_flips) << i;
+    ASSERT_EQ(sa.words_single, sb.words_single) << i;
+    ASSERT_EQ(sa.words_double, sb.words_double) << i;
+    ASSERT_EQ(sa.words_multi, sb.words_multi) << i;
+    ASSERT_EQ(sa.words_odd, sb.words_odd) << i;
+  }
+  EXPECT_EQ(a.injected(), b.injected());
+  EXPECT_GT(a.injected(), 0ull);
+}
+
+TEST(FaultInjector, SeedChangesTheDrawSequence) {
+  FaultInjector a(enabled_config(1e-6, 1), 512);
+  FaultInjector b(enabled_config(1e-6, 2), 512);
+  unsigned long long diffs = 0;
+  for (int i = 0; i < 500; ++i) {
+    const unsigned fa = a.draw_standby(i % 32, 20'000).total_flips;
+    const unsigned fb = b.draw_standby(i % 32, 20'000).total_flips;
+    diffs += fa != fb;
+  }
+  EXPECT_GT(diffs, 0ull);
+}
+
+TEST(FaultInjector, MeanTracksRateTimesExposure) {
+  // ~Poisson with mean = rate * bits * span; check the empirical mean over
+  // many draws lands within a loose band.
+  const double rate = 1e-7;
+  const uint64_t span = 50'000;
+  const std::size_t bits = 512;
+  FaultInjector inj(enabled_config(rate, 5), bits);
+  const int n = 4000;
+  unsigned long long total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += inj.draw_standby(i % 64, span).total_flips;
+  }
+  const double expected = rate * bits * static_cast<double>(span);
+  const double mean = static_cast<double>(total) / n;
+  EXPECT_GT(mean, expected * 0.8);
+  EXPECT_LT(mean, expected * 1.2);
+}
+
+TEST(FaultInjector, WordSummaryIsConsistent) {
+  FaultInjector inj(enabled_config(5e-6, 3), 512);
+  for (int i = 0; i < 300; ++i) {
+    const WordFlipSummary s = inj.draw_standby(i % 16, 30'000);
+    // Singles + doubles + multi cover every flipped word; flips cover at
+    // least one per flipped word and odd words must be flipped words.
+    const unsigned flipped_words =
+        s.words_single + s.words_double + s.words_multi;
+    EXPECT_LE(flipped_words, s.total_flips);
+    EXPECT_LE(s.words_odd, flipped_words);
+    EXPECT_GE(s.total_flips,
+              s.words_single + 2 * s.words_double + 3 * s.words_multi);
+  }
+}
+
+TEST(Protection, CheckBitGeometry) {
+  const ProtectionParams none = ProtectionParams::for_scheme(Protection::none);
+  EXPECT_EQ(none.check_bits_per_line(512), 0u);
+  const ProtectionParams parity =
+      ProtectionParams::for_scheme(Protection::parity);
+  EXPECT_EQ(parity.check_bits_per_line(512), 8u); // 1 bit x 8 words
+  const ProtectionParams secded =
+      ProtectionParams::for_scheme(Protection::secded);
+  EXPECT_EQ(secded.check_bits_per_line(512), 64u); // 8 bits x 8 words
+  EXPECT_GT(secded.check_latency, 0u);
+  EXPECT_GT(secded.correction_latency, 0u);
+}
+
+TEST(Protection, ClassifyNone) {
+  const ProtectionParams prot = ProtectionParams::for_scheme(Protection::none);
+  EXPECT_EQ(classify(prot, {}, false), Outcome::clean);
+  WordFlipSummary one{.total_flips = 1, .words_single = 1, .words_odd = 1};
+  EXPECT_EQ(classify(prot, one, false), Outcome::corruption_silent);
+  EXPECT_EQ(classify(prot, one, true), Outcome::corruption_silent);
+}
+
+TEST(Protection, ClassifyParity) {
+  const ProtectionParams prot =
+      ProtectionParams::for_scheme(Protection::parity);
+  WordFlipSummary odd{.total_flips = 1, .words_single = 1, .words_odd = 1};
+  EXPECT_EQ(classify(prot, odd, /*dirty=*/false), Outcome::recovered);
+  EXPECT_EQ(classify(prot, odd, /*dirty=*/true), Outcome::corruption_detected);
+  // Two flips in one word: parity is blind.
+  WordFlipSummary even{.total_flips = 2, .words_double = 1};
+  EXPECT_EQ(classify(prot, even, false), Outcome::corruption_silent);
+}
+
+TEST(Protection, ClassifySecded) {
+  const ProtectionParams prot =
+      ProtectionParams::for_scheme(Protection::secded);
+  WordFlipSummary single{.total_flips = 1, .words_single = 1, .words_odd = 1};
+  EXPECT_EQ(classify(prot, single, false), Outcome::corrected);
+  EXPECT_EQ(classify(prot, single, true), Outcome::corrected);
+  WordFlipSummary dbl{.total_flips = 2, .words_double = 1};
+  EXPECT_EQ(classify(prot, dbl, /*dirty=*/false), Outcome::recovered);
+  EXPECT_EQ(classify(prot, dbl, /*dirty=*/true), Outcome::corruption_detected);
+  WordFlipSummary triple{.total_flips = 3, .words_multi = 1, .words_odd = 1};
+  EXPECT_EQ(classify(prot, triple, false), Outcome::corruption_silent);
+  // A double-flip word forces the detect path even next to a multi word:
+  // the refetch wipes the miscorrected word too.
+  WordFlipSummary mixed{.total_flips = 5, .words_double = 1, .words_multi = 1,
+                        .words_odd = 1};
+  EXPECT_EQ(classify(prot, mixed, false), Outcome::recovered);
+}
+
+TEST(SeuScale, NominalIsUnity) {
+  const hotleakage::TechParams& tech =
+      hotleakage::tech_params(hotleakage::TechNode::nm70);
+  EXPECT_NEAR(hotleakage::cells::sram_seu_scale(tech, tech.vdd_nominal, 300.0),
+              1.0, 1e-9);
+}
+
+TEST(SeuScale, LowerVddRaisesRateExponentially) {
+  const hotleakage::TechParams& tech =
+      hotleakage::tech_params(hotleakage::TechNode::nm70);
+  const double nominal =
+      hotleakage::cells::sram_seu_scale(tech, tech.vdd_nominal, 300.0);
+  const double drowsy = hotleakage::cells::sram_seu_scale(tech, 0.32, 300.0);
+  EXPECT_GT(drowsy, nominal * 10.0); // an order of magnitude or more
+  const double half = hotleakage::cells::sram_seu_scale(tech, 0.5, 300.0);
+  EXPECT_GT(drowsy, half);
+  EXPECT_GT(half, nominal);
+}
+
+TEST(SeuScale, TemperatureAccelerates) {
+  const hotleakage::TechParams& tech =
+      hotleakage::tech_params(hotleakage::TechNode::nm70);
+  const double cool = hotleakage::cells::sram_seu_scale(tech, 0.32, 300.0);
+  const double hot = hotleakage::cells::sram_seu_scale(tech, 0.32, 383.0);
+  EXPECT_GT(hot, cool);
+}
+
+} // namespace
+} // namespace faults

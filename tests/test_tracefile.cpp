@@ -97,6 +97,68 @@ TEST(TraceFile, RejectsMissingAndCorrupt) {
   EXPECT_THROW(TraceFileReader{path}, std::runtime_error);
 }
 
+TEST(TraceFile, RejectsTruncatedFileAtOpen) {
+  // The header promises N records; chopping the file must fail loudly at
+  // construction, not silently end the trace mid-replay.
+  const std::string path = temp_path("hlcc_truncated.trc");
+  FileGuard guard(path);
+  Generator gen(profile_by_name("gcc"), 2);
+  write_trace(path, gen, 1'000);
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 17); // mid-record chop
+  try {
+    TraceFileReader reader(path);
+    FAIL() << "expected truncated file to be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("1000 records"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceFile, RejectsBitFlippedRecordCount) {
+  // A flipped bit in the header count desynchronizes count and size.
+  const std::string path = temp_path("hlcc_bitflip.trc");
+  FileGuard guard(path);
+  Generator gen(profile_by_name("mcf"), 4);
+  write_trace(path, gen, 500);
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 8, SEEK_SET), 0); // first byte of the count
+  int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, 8, SEEK_SET), 0);
+  std::fputc(byte ^ 0x04, f); // 500 -> 496 or 504
+  std::fclose(f);
+  EXPECT_THROW(TraceFileReader{path}, std::runtime_error);
+}
+
+TEST(TraceFile, ThrowsOnMidStreamShortRead) {
+  // The file passes validation at open, then shrinks under the reader:
+  // next() must throw instead of ending the trace early.
+  const std::string path = temp_path("hlcc_shrink.trc");
+  FileGuard guard(path);
+  Generator gen(profile_by_name("gcc"), 6);
+  // Larger than any stdio read-ahead buffer, so the reader must go back
+  // to the (shrunk) file mid-stream.
+  const uint64_t n = 10'000;
+  write_trace(path, gen, n);
+  TraceFileReader reader(path);
+  sim::MicroOp op;
+  ASSERT_TRUE(reader.next(op));
+  std::filesystem::resize_file(path, 16 + 10 * 30); // keep only 10 records
+  bool threw = false;
+  try {
+    while (reader.next(op)) {
+    }
+  } catch (const std::runtime_error& e) {
+    threw = true;
+    EXPECT_NE(std::string(e.what()).find("short read"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_LT(reader.records_read(), n);
+}
+
 TEST(TraceFile, ReplayDrivesIdenticalSimulation) {
   // Replaying a captured trace must give bit-identical simulation results.
   const std::string path = temp_path("hlcc_sim.trc");
