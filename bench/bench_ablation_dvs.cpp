@@ -5,7 +5,10 @@
 // quadratically, so both the savings pie and the technique costs move.
 // This sweep shows the net savings of both techniques across supply
 // points — the kind of study a fixed-unit-leakage model cannot run.
+//
+// All 4 supplies x 2 techniques x 11 benchmarks run as one 88-cell sweep.
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.h"
 
@@ -16,16 +19,35 @@ int main() {
               "gated-vss");
   std::printf("%8s %10s | %9s %8s | %9s %8s\n", "", "", "savings", "loss",
               "savings", "loss");
-  for (double vdd : {0.9, 0.8, 0.7, 0.6}) {
-    harness::ExperimentConfig cfg = bench::base_config(11, 110.0);
-    cfg.vdd = vdd;
-    cfg.technique = leakctl::TechniqueParams::drowsy();
-    const auto d = harness::averages(harness::run_suite(cfg));
-    cfg.technique = leakctl::TechniqueParams::gated_vss();
-    const auto g = harness::averages(harness::run_suite(cfg));
-    std::printf("%8.2f %10.2f | %8.2f%% %7.2f%% | %8.2f%% %7.2f%%\n", vdd,
-                5.6 * vdd / 0.9, d.net_savings * 100.0, d.perf_loss * 100.0,
-                g.net_savings * 100.0, g.perf_loss * 100.0);
+  const std::vector<double> supplies = {0.9, 0.8, 0.7, 0.6};
+
+  harness::SweepRunner runner(bench::sweep_options("ablation-dvs"));
+  // Row-major submission: per supply, drowsy suite then gated suite.
+  for (const double vdd : supplies) {
+    for (const auto& tech : {leakctl::TechniqueParams::drowsy(),
+                             leakctl::TechniqueParams::gated_vss()}) {
+      const harness::ExperimentConfig cfg =
+          bench::base_builder(11, 110.0).vdd(vdd).technique(tech).build();
+      for (const auto& prof : workload::spec2000_profiles()) {
+        runner.submit(prof, cfg);
+      }
+    }
+  }
+  std::vector<harness::ExperimentResult> all = runner.run();
+
+  const std::size_t n = workload::spec2000_profiles().size();
+  auto slice = [&](std::size_t block) {
+    return harness::SuiteResult(std::vector<harness::ExperimentResult>(
+        all.begin() + static_cast<std::ptrdiff_t>(block * n),
+        all.begin() + static_cast<std::ptrdiff_t>((block + 1) * n)));
+  };
+  for (std::size_t v = 0; v < supplies.size(); ++v) {
+    const harness::SuiteResult d = slice(2 * v);
+    const harness::SuiteResult g = slice(2 * v + 1);
+    std::printf("%8.2f %10.2f | %8.2f%% %7.2f%% | %8.2f%% %7.2f%%\n",
+                supplies[v], 5.6 * supplies[v] / 0.9,
+                d.mean_net_savings() * 100.0, d.mean_slowdown() * 100.0,
+                g.mean_net_savings() * 100.0, g.mean_slowdown() * 100.0);
   }
   std::printf("\nAs Vdd scales down toward the drowsy retention voltage "
               "(~0.32 V), drowsy's standby advantage collapses — the gap "

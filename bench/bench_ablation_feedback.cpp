@@ -3,6 +3,10 @@
 // [31]) keeps tags awake and retunes the interval from the observed
 // induced-miss rate; it should recover a good share of the oracle's gain
 // for gated-Vss.
+//
+// One flat sweep: per benchmark, a fixed cell, a feedback cell, and the
+// 7-interval oracle grid — 99 cells across the worker pool.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/common.h"
@@ -13,29 +17,49 @@ int main() {
   std::printf("%-10s %12s %14s %12s\n", "benchmark", "fixed 4k",
               "feedback", "oracle");
   const std::vector<uint64_t> grid = harness::paper_interval_grid();
+  using Scheme = harness::ExperimentConfig::AdaptiveScheme;
+  const harness::ExperimentConfig fixed_cfg =
+      bench::base_builder(11, 85.0)
+          .technique(leakctl::TechniqueParams::gated_vss())
+          .build();
+
+  harness::SweepRunner runner(bench::sweep_options("ablation-feedback"));
+  std::vector<std::size_t> fixed_idx;
+  std::vector<std::size_t> fb_idx;
+  std::vector<std::vector<std::size_t>> oracle_idx;
+  for (const auto& prof : workload::spec2000_profiles()) {
+    fixed_idx.push_back(runner.submit(prof, fixed_cfg));
+    harness::ExperimentConfig fb_cfg = fixed_cfg;
+    fb_cfg.adaptive = Scheme::feedback;
+    fb_idx.push_back(runner.submit(prof, fb_cfg));
+    std::vector<std::size_t> cells;
+    for (const uint64_t interval : grid) {
+      harness::ExperimentConfig cell = fixed_cfg;
+      cell.decay_interval = interval;
+      cells.push_back(runner.submit(prof, cell));
+    }
+    oracle_idx.push_back(std::move(cells));
+  }
+  const std::vector<harness::ExperimentResult> results = runner.run();
+
   double sum_fixed = 0.0;
   double sum_fb = 0.0;
   double sum_oracle = 0.0;
-  for (const auto& prof : workload::spec2000_profiles()) {
-    harness::ExperimentConfig cfg = bench::base_config(11, 85.0);
-    cfg.technique = leakctl::TechniqueParams::gated_vss();
-    const double fixed =
-        harness::run_experiment(prof, cfg).energy.net_savings_frac;
-
-    cfg.adaptive_feedback = true;
-    const double feedback =
-        harness::run_experiment(prof, cfg).energy.net_savings_frac;
-    cfg.adaptive_feedback = false;
-
-    const double oracle = harness::best_interval_sweep(prof, cfg, grid)
-                              .best.energy.net_savings_frac;
-    std::printf("%-10s %11.2f%% %13.2f%% %11.2f%%\n", prof.name.data(),
+  const auto& profiles = workload::spec2000_profiles();
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    const double fixed = results[fixed_idx[p]].energy.net_savings_frac;
+    const double feedback = results[fb_idx[p]].energy.net_savings_frac;
+    double oracle = results[oracle_idx[p].front()].energy.net_savings_frac;
+    for (const std::size_t i : oracle_idx[p]) {
+      oracle = std::max(oracle, results[i].energy.net_savings_frac);
+    }
+    std::printf("%-10s %11.2f%% %13.2f%% %11.2f%%\n", profiles[p].name.data(),
                 fixed * 100.0, feedback * 100.0, oracle * 100.0);
     sum_fixed += fixed;
     sum_fb += feedback;
     sum_oracle += oracle;
   }
-  const double n = 11.0;
+  const double n = static_cast<double>(profiles.size());
   std::printf("%-10s %11.2f%% %13.2f%% %11.2f%%\n", "AVG",
               sum_fixed / n * 100.0, sum_fb / n * 100.0,
               sum_oracle / n * 100.0);

@@ -11,19 +11,18 @@ namespace {
 
 void run(const leakctl::TechniqueParams& tech, leakctl::DecayPolicy policy,
          const char* label) {
-  harness::ExperimentConfig cfg = bench::base_config(11, 110.0);
-  cfg.technique = tech;
-  cfg.policy = policy;
-  const auto suite = harness::run_suite(cfg);
-  const auto avg = harness::averages(suite);
+  const harness::SuiteResult suite = harness::run_suite(
+      bench::base_builder(11, 110.0).technique(tech).policy(policy).build(),
+      bench::sweep_options("ablation-policy"));
   unsigned long long standby_events = 0;
   for (const auto& r : suite) {
     standby_events += r.control.slow_hits + r.control.induced_misses;
   }
   std::printf("%-10s %-9s savings %6.2f %%  perf loss %5.2f %%  turnoff "
               "%5.1f %%  standby events %llu\n",
-              tech.name.data(), label, avg.net_savings * 100.0,
-              avg.perf_loss * 100.0, avg.turnoff * 100.0, standby_events);
+              tech.name.data(), label, suite.mean_net_savings() * 100.0,
+              suite.mean_slowdown() * 100.0, suite.mean_turnoff() * 100.0,
+              standby_events);
 }
 
 } // namespace

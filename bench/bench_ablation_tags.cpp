@@ -13,12 +13,13 @@ namespace {
 
 void run(leakctl::TechniqueParams tech, bool decay_tags) {
   tech.decay_tags = decay_tags;
-  harness::ExperimentConfig cfg = bench::base_config(11, 110.0);
-  cfg.technique = tech;
-  const auto avg = harness::averages(harness::run_suite(cfg));
+  const harness::SuiteResult suite = harness::run_suite(
+      bench::base_builder(11, 110.0).technique(tech).build(),
+      bench::sweep_options("ablation-tags"));
   std::printf("%-10s tags %-7s savings %6.2f %%  perf loss %5.2f %%\n",
               tech.name.data(), decay_tags ? "decayed" : "awake",
-              avg.net_savings * 100.0, avg.perf_loss * 100.0);
+              suite.mean_net_savings() * 100.0,
+              suite.mean_slowdown() * 100.0);
 }
 
 } // namespace

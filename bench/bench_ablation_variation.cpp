@@ -19,18 +19,19 @@ int main() {
               rn.mean_factor, rn.min_factor, rn.max_factor, rn.stddev_factor);
 
   for (bool variation : {false, true}) {
-    harness::ExperimentConfig cfg = bench::base_config(11, 110.0);
-    cfg.variation = variation;
-    cfg.technique = leakctl::TechniqueParams::gated_vss();
-    const auto suite = harness::run_suite(cfg);
-    const auto avg = harness::averages(suite);
+    const harness::SuiteResult suite = harness::run_suite(
+        bench::base_builder(11, 110.0)
+            .technique(leakctl::TechniqueParams::gated_vss())
+            .variation(variation)
+            .build(),
+        bench::sweep_options("ablation-variation"));
     double base_leak_mj = 0.0;
     for (const auto& r : suite) {
       base_leak_mj += r.energy.baseline_leakage_j * 1e3;
     }
     std::printf("variation %-3s  gated-vss savings %6.2f %%  suite baseline "
                 "leakage %7.3f mJ\n",
-                variation ? "on" : "off", avg.net_savings * 100.0,
+                variation ? "on" : "off", suite.mean_net_savings() * 100.0,
                 base_leak_mj);
   }
   return 0;

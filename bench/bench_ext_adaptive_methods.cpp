@@ -2,47 +2,66 @@
 // to head for gated-Vss — the formal feedback controller [31], Zhou et
 // al.'s adaptive mode control [33], and Kaxiras et al.'s per-line
 // intervals [19] — against the fixed interval and the oracle.
+//
+// Per benchmark: 4 scheme cells + the 7-interval oracle grid, all in one
+// flat 121-cell sweep.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/common.h"
-
-namespace {
-
-double run_scheme(const workload::BenchmarkProfile& prof,
-                  harness::ExperimentConfig cfg,
-                  harness::ExperimentConfig::AdaptiveScheme scheme) {
-  cfg.adaptive = scheme;
-  return harness::run_experiment(prof, cfg).energy.net_savings_frac;
-}
-
-} // namespace
 
 int main() {
   std::printf("== Extension: adaptive methods (gated-Vss, 85C, L2=11) ==\n");
   std::printf("%-10s %9s %10s %8s %10s %9s\n", "benchmark", "fixed",
               "feedback", "AMC", "per-line", "oracle");
   const std::vector<uint64_t> grid = harness::paper_interval_grid();
-  double sums[5] = {0, 0, 0, 0, 0};
   using Scheme = harness::ExperimentConfig::AdaptiveScheme;
+  const std::vector<Scheme> schemes = {Scheme::none, Scheme::feedback,
+                                       Scheme::amc, Scheme::per_line};
+  const harness::ExperimentConfig base =
+      bench::base_builder(11, 85.0)
+          .technique(leakctl::TechniqueParams::gated_vss())
+          .build();
+
+  harness::SweepRunner runner(bench::sweep_options("ext-adaptive"));
+  // Per profile: one cell per scheme, then the oracle interval grid.
   for (const auto& prof : workload::spec2000_profiles()) {
-    harness::ExperimentConfig cfg = bench::base_config(11, 85.0);
-    cfg.technique = leakctl::TechniqueParams::gated_vss();
-    const double fixed = run_scheme(prof, cfg, Scheme::none);
-    const double feedback = run_scheme(prof, cfg, Scheme::feedback);
-    const double amc = run_scheme(prof, cfg, Scheme::amc);
-    const double per_line = run_scheme(prof, cfg, Scheme::per_line);
-    const double oracle = harness::best_interval_sweep(prof, cfg, grid)
-                              .best.energy.net_savings_frac;
-    std::printf("%-10s %8.2f%% %9.2f%% %7.2f%% %9.2f%% %8.2f%%\n",
-                prof.name.data(), fixed * 100, feedback * 100, amc * 100,
-                per_line * 100, oracle * 100);
-    sums[0] += fixed;
-    sums[1] += feedback;
-    sums[2] += amc;
-    sums[3] += per_line;
-    sums[4] += oracle;
+    for (const Scheme scheme : schemes) {
+      harness::ExperimentConfig cfg = base;
+      cfg.adaptive = scheme;
+      runner.submit(prof, cfg);
+    }
+    for (const uint64_t interval : grid) {
+      harness::ExperimentConfig cfg = base;
+      cfg.decay_interval = interval;
+      runner.submit(prof, cfg);
+    }
   }
-  const double n = 11.0;
+  const std::vector<harness::ExperimentResult> results = runner.run();
+
+  const std::size_t per_profile = schemes.size() + grid.size();
+  const auto& profiles = workload::spec2000_profiles();
+  double sums[5] = {0, 0, 0, 0, 0};
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    const std::size_t off = p * per_profile;
+    double vals[5];
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      vals[s] = results[off + s].energy.net_savings_frac;
+    }
+    double oracle = results[off + schemes.size()].energy.net_savings_frac;
+    for (std::size_t k = 0; k < grid.size(); ++k) {
+      oracle = std::max(
+          oracle, results[off + schemes.size() + k].energy.net_savings_frac);
+    }
+    vals[4] = oracle;
+    std::printf("%-10s %8.2f%% %9.2f%% %7.2f%% %9.2f%% %8.2f%%\n",
+                profiles[p].name.data(), vals[0] * 100, vals[1] * 100,
+                vals[2] * 100, vals[3] * 100, vals[4] * 100);
+    for (int i = 0; i < 5; ++i) {
+      sums[i] += vals[i];
+    }
+  }
+  const double n = static_cast<double>(profiles.size());
   std::printf("%-10s %8.2f%% %9.2f%% %7.2f%% %9.2f%% %8.2f%%\n", "AVG",
               sums[0] / n * 100, sums[1] / n * 100, sums[2] / n * 100,
               sums[3] / n * 100, sums[4] / n * 100);

@@ -5,6 +5,10 @@
 // writebacks) and fetch stalls are harder to hide than load latency, so
 // the drowsy/gated trade-off shifts: induced fetch misses stall the front
 // end directly.
+//
+// The benchmark x technique grid runs through harness::sweep_map — the
+// generic lane of the sweep engine for cells that are not run_experiment
+// calls.
 #include <cstdio>
 
 #include "bench/common.h"
@@ -14,9 +18,9 @@
 namespace {
 
 struct Row {
-  double perf_loss;
-  double turnoff;
-  unsigned long long standby_events;
+  double perf_loss = 0.0;
+  double turnoff = 0.0;
+  unsigned long long standby_events = 0;
 };
 
 Row run(const workload::BenchmarkProfile& prof,
@@ -53,6 +57,11 @@ Row run(const workload::BenchmarkProfile& prof,
   return row;
 }
 
+struct Cell {
+  workload::BenchmarkProfile profile;
+  leakctl::TechniqueParams tech;
+};
+
 } // namespace
 
 int main() {
@@ -63,11 +72,22 @@ int main() {
               "gated-Vss I-cache");
   std::printf("%-10s | %8s %7s %6s | %8s %7s %6s\n", "benchmark", "turnoff",
               "loss", "events", "turnoff", "loss", "events");
+
+  std::vector<Cell> cells;
   for (const auto& prof : workload::spec2000_profiles()) {
-    const Row d = run(prof, leakctl::TechniqueParams::drowsy(), insts);
-    const Row g = run(prof, leakctl::TechniqueParams::gated_vss(), insts);
+    cells.push_back({prof, leakctl::TechniqueParams::drowsy()});
+    cells.push_back({prof, leakctl::TechniqueParams::gated_vss()});
+  }
+  const std::vector<Row> rows = harness::sweep_map(
+      cells, [&](const Cell& c) { return run(c.profile, c.tech, insts); },
+      bench::sweep_options("ext-icache"));
+
+  const auto& profiles = workload::spec2000_profiles();
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    const Row& d = rows[2 * p];
+    const Row& g = rows[2 * p + 1];
     std::printf("%-10s | %7.1f%% %6.2f%% %6llu | %7.1f%% %6.2f%% %6llu\n",
-                prof.name.data(), d.turnoff * 100, d.perf_loss * 100,
+                profiles[p].name.data(), d.turnoff * 100, d.perf_loss * 100,
                 d.standby_events, g.turnoff * 100, g.perf_loss * 100,
                 g.standby_events);
   }

@@ -6,7 +6,8 @@
 // absolute stakes much larger.  This bench runs the whole machine with a
 // gated-Vss L2 (the BackingStore abstraction lets the controlled cache
 // stack at any level) and reports turnoff, performance, and the gross L2
-// leakage reclaimed.
+// leakage reclaimed.  The benchmark x interval grid runs through
+// harness::sweep_map.
 #include <cstdio>
 
 #include "bench/common.h"
@@ -57,6 +58,11 @@ Row run(const workload::BenchmarkProfile& prof, uint64_t interval,
   return row;
 }
 
+struct Cell {
+  workload::BenchmarkProfile profile;
+  uint64_t interval = 0;
+};
+
 } // namespace
 
 int main() {
@@ -65,22 +71,30 @@ int main() {
   model.set_operating_point(hotleakage::OperatingPoint::at_celsius(110, 0.9));
   const double gated_residual =
       model.standby_ratio(hotleakage::StandbyMode::gated);
+  const std::vector<uint64_t> intervals = {65536, 262144, 1048576};
+
+  std::vector<Cell> cells;
+  for (const auto& prof : workload::spec2000_profiles()) {
+    for (const uint64_t interval : intervals) {
+      cells.push_back({prof, interval});
+    }
+  }
+  const std::vector<Row> rows = harness::sweep_map(
+      cells, [&](const Cell& c) { return run(c.profile, c.interval, insts); },
+      bench::sweep_options("ext-l2"));
 
   std::printf("== Extension: gated-Vss decay on the 2 MB L2 (110C) ==\n");
   std::printf("%-10s %9s | %8s %7s %8s %11s\n", "benchmark", "interval",
               "turnoff", "loss", "induced", "gross save");
-  for (const auto& prof : workload::spec2000_profiles()) {
-    bool first = true;
-    for (uint64_t interval : {65536ull, 262144ull, 1048576ull}) {
-      const Row r = run(prof, interval, insts);
-      const double save = r.turnoff * (1.0 - gated_residual);
-      std::printf("%-10s %8lluk | %7.1f%% %6.2f%% %8llu %10.1f%%\n",
-                  first ? prof.name.data() : "",
-                  static_cast<unsigned long long>(interval / 1024),
-                  r.turnoff * 100.0, r.perf_loss * 100.0, r.induced,
-                  save * 100.0);
-      first = false;
-    }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Row& r = rows[i];
+    const double save = r.turnoff * (1.0 - gated_residual);
+    const bool first = i % intervals.size() == 0;
+    std::printf("%-10s %8lluk | %7.1f%% %6.2f%% %8llu %10.1f%%\n",
+                first ? cells[i].profile.name.data() : "",
+                static_cast<unsigned long long>(cells[i].interval / 1024),
+                r.turnoff * 100.0, r.perf_loss * 100.0, r.induced,
+                save * 100.0);
   }
   std::printf("(gross save: fraction of L2 leakage reclaimed; the 2 MB L2 "
               "leaks ~%.1f W at 110 C, an order above the L1)\n",

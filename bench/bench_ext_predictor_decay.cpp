@@ -1,35 +1,57 @@
 // Extension: decay applied to the branch predictor and BTB (Hu et al.,
 // paper reference [17]) — per-benchmark turnoff ratio, gross predictor
 // leakage savings, and the misprediction cost, over an interval sweep.
+// The benchmark x interval grid runs through harness::sweep_map; the
+// LeakageModel is shared read-only across workers (all evaluation is
+// const after set_operating_point).
 #include <cstdio>
 
 #include "bench/common.h"
 #include "leakctl/predictor_decay.h"
 
+namespace {
+
+struct Cell {
+  workload::BenchmarkProfile profile;
+  uint64_t interval = 0;
+};
+
+} // namespace
+
 int main() {
   const uint64_t insts = bench::instructions();
   hotleakage::LeakageModel model(hotleakage::TechNode::nm70);
   model.set_operating_point(hotleakage::OperatingPoint::at_celsius(110, 0.9));
+  const std::vector<uint64_t> intervals = {16384, 65536, 262144};
+
+  std::vector<Cell> cells;
+  for (const auto& prof : workload::spec2000_profiles()) {
+    for (const uint64_t interval : intervals) {
+      cells.push_back({prof, interval});
+    }
+  }
+  const auto rows = harness::sweep_map(
+      cells,
+      [&](const Cell& c) {
+        leakctl::PredictorDecayConfig cfg;
+        cfg.decay_interval = c.interval;
+        return leakctl::run_predictor_decay_experiment(c.profile, cfg, model,
+                                                       insts, 1.5);
+      },
+      bench::sweep_options("ext-predictor"));
 
   std::printf("== Extension: branch predictor + BTB decay (gated rows) ==\n");
   std::printf("%-10s %9s | %10s %9s %12s\n", "benchmark", "interval",
               "mispred", "turnoff", "gross save");
-  for (const auto& prof : workload::spec2000_profiles()) {
-    bool first = true;
-    for (uint64_t interval : {16384ull, 65536ull, 262144ull}) {
-      leakctl::PredictorDecayConfig cfg;
-      cfg.decay_interval = interval;
-      const auto r = leakctl::run_predictor_decay_experiment(
-          prof, cfg, model, insts, 1.5);
-      std::printf("%-10s %8lluk | %5.2f%% (%+.2f) %8.1f%% %11.1f%%\n",
-                  first ? prof.name.data() : "",
-                  static_cast<unsigned long long>(interval / 1024),
-                  r.decayed_mispredict_rate * 100.0,
-                  (r.decayed_mispredict_rate - r.plain_mispredict_rate) *
-                      100.0,
-                  r.turnoff_ratio * 100.0, r.gross_leakage_savings * 100.0);
-      first = false;
-    }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& r = rows[i];
+    const bool first = i % intervals.size() == 0;
+    std::printf("%-10s %8lluk | %5.2f%% (%+.2f) %8.1f%% %11.1f%%\n",
+                first ? cells[i].profile.name.data() : "",
+                static_cast<unsigned long long>(cells[i].interval / 1024),
+                r.decayed_mispredict_rate * 100.0,
+                (r.decayed_mispredict_rate - r.plain_mispredict_rate) * 100.0,
+                r.turnoff_ratio * 100.0, r.gross_leakage_savings * 100.0);
   }
   std::printf("(mispred column: decayed rate, with delta vs the plain "
               "predictor in parentheses)\n");

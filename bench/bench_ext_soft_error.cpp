@@ -6,9 +6,9 @@
 // collapsed and the upset rate is exponentially higher (the
 // hotleakage::cells::sram_seu_scale hook), so "state preserving" needs
 // parity or ECC to be a guarantee rather than a tendency.  This sweep runs
-// the suite under both techniques and all three protection schemes and
-// reports the figure the paper cannot: net savings *under a reliability
-// constraint* (zero data corruptions).
+// the suite under both techniques and all three protection schemes — one
+// flat 66-cell sweep — and reports the figure the paper cannot: net
+// savings *under a reliability constraint* (zero data corruptions).
 #include <iostream>
 
 #include "bench/common.h"
@@ -29,7 +29,7 @@ const char* protection_name(faults::Protection p) {
 
 struct Cell {
   std::string label;
-  harness::SuiteAverages avg;
+  harness::SuiteResult suite;
   unsigned long long injected = 0;
   unsigned long long corruptions = 0;
 };
@@ -37,33 +37,50 @@ struct Cell {
 } // namespace
 
 int main() {
-  harness::ExperimentConfig cfg = bench::base_config(11, 110.0);
-  cfg.faults.enabled = true;
-  cfg.faults.standby_rate_per_bit_cycle = 1e-10; // raw, at nominal Vdd/300 K
-  cfg.faults.seed = 7;
+  faults::FaultConfig fault_base;
+  fault_base.enabled = true;
+  fault_base.standby_rate_per_bit_cycle = 1e-10; // raw, at nominal Vdd/300 K
+  fault_base.seed = 7;
 
-  std::vector<Cell> cells;
-  std::vector<harness::Series> detail;
+  // Submit all technique x protection suites into one runner.
+  harness::SweepRunner runner(bench::sweep_options("ext-soft-error"));
+  std::vector<std::string> labels;
   for (const leakctl::TechniqueParams& tech :
        {leakctl::TechniqueParams::drowsy(),
         leakctl::TechniqueParams::gated_vss()}) {
     for (const faults::Protection prot :
          {faults::Protection::none, faults::Protection::parity,
           faults::Protection::secded}) {
-      cfg.technique = tech;
-      cfg.faults.protection = prot;
-      Cell cell;
-      cell.label =
-          std::string(tech.name) + " + " + protection_name(prot);
-      harness::Series series{cell.label, harness::run_suite(cfg)};
-      cell.avg = harness::averages(series.results);
-      for (const harness::ExperimentResult& r : series.results) {
-        cell.injected += r.control.faults_injected;
-        cell.corruptions += r.control.corruptions();
+      faults::FaultConfig fcfg = fault_base;
+      fcfg.protection = prot;
+      const harness::ExperimentConfig cfg = bench::base_builder(11, 110.0)
+                                                .technique(tech)
+                                                .faults(fcfg)
+                                                .build();
+      for (const auto& prof : workload::spec2000_profiles()) {
+        runner.submit(prof, cfg);
       }
-      cells.push_back(cell);
-      detail.push_back(std::move(series));
+      labels.push_back(std::string(tech.name) + " + " +
+                       protection_name(prot));
     }
+  }
+  std::vector<harness::ExperimentResult> all = runner.run();
+
+  const std::size_t n = workload::spec2000_profiles().size();
+  std::vector<Cell> cells;
+  std::vector<harness::Series> detail;
+  for (std::size_t block = 0; block < labels.size(); ++block) {
+    Cell cell;
+    cell.label = labels[block];
+    cell.suite = harness::SuiteResult(std::vector<harness::ExperimentResult>(
+        all.begin() + static_cast<std::ptrdiff_t>(block * n),
+        all.begin() + static_cast<std::ptrdiff_t>((block + 1) * n)));
+    for (const harness::ExperimentResult& r : cell.suite) {
+      cell.injected += r.control.faults_injected;
+      cell.corruptions += r.control.corruptions();
+    }
+    detail.push_back(harness::Series{cell.label, cell.suite});
+    cells.push_back(std::move(cell));
   }
 
   harness::print_reliability_table(
@@ -75,21 +92,23 @@ int main() {
               "corrupt", "net%", "perf%", "reliable?");
   for (const Cell& c : cells) {
     std::printf("%-22s %9llu %9llu %7.1f%% %7.2f%% %10s\n", c.label.c_str(),
-                c.injected, c.corruptions, c.avg.net_savings * 100.0,
-                c.avg.perf_loss * 100.0,
+                c.injected, c.corruptions,
+                c.suite.mean_net_savings() * 100.0,
+                c.suite.mean_slowdown() * 100.0,
                 c.corruptions == 0 ? "yes" : "NO");
   }
 
   const Cell* best = nullptr;
   for (const Cell& c : cells) {
     if (c.corruptions == 0 &&
-        (best == nullptr || c.avg.net_savings > best->avg.net_savings)) {
+        (best == nullptr ||
+         c.suite.mean_net_savings() > best->suite.mean_net_savings())) {
       best = &c;
     }
   }
   if (best != nullptr) {
     std::printf("\nbest reliable configuration: %s (%.1f%% net savings)\n",
-                best->label.c_str(), best->avg.net_savings * 100.0);
+                best->label.c_str(), best->suite.mean_net_savings() * 100.0);
   }
   // cells[] is drowsy x {none,parity,secded} then gated x {...}.
   if (cells[2].corruptions > 0 && cells[0].corruptions > 0) {

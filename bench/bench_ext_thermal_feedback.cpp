@@ -5,9 +5,13 @@
 // loop with the thermal-RC substrate: leakage heats the die, heat raises
 // leakage, and the system either converges or runs away.  Leakage control
 // on the L1D shifts the equilibrium down — a cooling benefit on top of the
-// energy benefit the main experiments measure.
+// energy benefit the main experiments measure.  Each operating point is
+// an independent fixed-point iteration, so the sweeps run through
+// harness::sweep_map (every cell builds its own LeakageModel).
 #include <cstdio>
+#include <vector>
 
+#include "bench/common.h"
 #include "thermal/feedback.h"
 
 int main() {
@@ -15,13 +19,20 @@ int main() {
               "floorplan) ==\n");
   std::printf("%-10s %10s %10s %12s %12s %10s\n", "Pdyn[W]", "core[C]",
               "L1D[C]", "leakL1D[W]", "leakTot[W]", "status");
-  for (double pdyn : {10.0, 20.0, 30.0, 40.0, 60.0, 120.0}) {
-    hotleakage::LeakageModel model(
-        hotleakage::TechNode::nm70,
-        hotleakage::VariationConfig{.enabled = false});
-    const thermal::FeedbackResult r =
-        thermal::run_leakage_thermal_loop(model, pdyn, pdyn / 8.0);
-    std::printf("%-10.0f %10.1f %10.1f %12.2f %12.2f %10s\n", pdyn,
+  const std::vector<double> pdyn_points = {10.0, 20.0, 30.0,
+                                           40.0, 60.0, 120.0};
+  const auto loops = harness::sweep_map(
+      pdyn_points,
+      [](double pdyn) {
+        hotleakage::LeakageModel model(
+            hotleakage::TechNode::nm70,
+            hotleakage::VariationConfig{.enabled = false});
+        return thermal::run_leakage_thermal_loop(model, pdyn, pdyn / 8.0);
+      },
+      bench::sweep_options("ext-thermal"));
+  for (std::size_t i = 0; i < pdyn_points.size(); ++i) {
+    const thermal::FeedbackResult& r = loops[i];
+    std::printf("%-10.0f %10.1f %10.1f %12.2f %12.2f %10s\n", pdyn_points[i],
                 r.final_core_c, r.final_l1d_c, r.final_l1d_leakage_w,
                 r.final_total_leakage_w,
                 r.runaway ? "RUNAWAY" : (r.converged ? "steady" : "limit"));
@@ -29,17 +40,23 @@ int main() {
 
   std::printf("\nwith leakage control on the L1D (gated-Vss at 90%% "
               "turnoff), Pdyn=40 W:\n");
-  for (double scale : {1.0, 0.5, 0.1}) {
-    hotleakage::LeakageModel model(
-        hotleakage::TechNode::nm70,
-        hotleakage::VariationConfig{.enabled = false});
-    thermal::FeedbackConfig cfg;
-    cfg.l1d_leakage_scale = scale;
-    const thermal::FeedbackResult r =
-        thermal::run_leakage_thermal_loop(model, 40.0, 5.0, cfg);
+  const std::vector<double> scales = {1.0, 0.5, 0.1};
+  const auto controlled = harness::sweep_map(
+      scales,
+      [](double scale) {
+        hotleakage::LeakageModel model(
+            hotleakage::TechNode::nm70,
+            hotleakage::VariationConfig{.enabled = false});
+        thermal::FeedbackConfig cfg;
+        cfg.l1d_leakage_scale = scale;
+        return thermal::run_leakage_thermal_loop(model, 40.0, 5.0, cfg);
+      },
+      bench::sweep_options("ext-thermal-ctl"));
+  for (std::size_t i = 0; i < scales.size(); ++i) {
     std::printf("  L1D leakage scale %.1f: L1D %.1f C, %.2f W of L1D "
                 "leakage\n",
-                scale, r.final_l1d_c, r.final_l1d_leakage_w);
+                scales[i], controlled[i].final_l1d_c,
+                controlled[i].final_l1d_leakage_w);
   }
   std::printf("\nNote the compounding: controlling leakage lowers "
               "temperature, which lowers leakage again — the coupling only "

@@ -6,7 +6,7 @@
 #include "bench/common.h"
 
 int main() {
-  auto [drowsy, gated] = bench::run_both(bench::base_config(17, 110.0));
+  auto [drowsy, gated] = bench::run_both(bench::base_config(17, 110.0), "fig10-11");
   harness::print_savings_figure(
       std::cout, "Figure 10: net leakage savings @110C, L2=17 cycles",
       {drowsy, gated});

@@ -2,23 +2,31 @@
 // performance loss when each benchmark runs at its own best decay interval
 // (the oracle for adaptive schemes, Sec. 5.4).  Also prints the comparison
 // with the fixed-interval run: adaptivity primarily benefits gated-Vss.
+//
+// Runs on the sweep engine as two flat benchmark x interval grids (one
+// per technique) plus the fixed-interval suite pair.
 #include <iostream>
 
 #include "bench/common.h"
 
 int main() {
-  harness::ExperimentConfig cfg = bench::base_config(11, 85.0);
   const std::vector<uint64_t> grid = harness::paper_interval_grid();
 
   harness::Series drowsy{"drowsy", {}};
   harness::Series gated{"gated-vss", {}};
-  for (const auto& prof : workload::spec2000_profiles()) {
-    cfg.technique = leakctl::TechniqueParams::drowsy();
-    drowsy.results.push_back(
-        harness::best_interval_sweep(prof, cfg, grid).best);
-    cfg.technique = leakctl::TechniqueParams::gated_vss();
-    gated.results.push_back(
-        harness::best_interval_sweep(prof, cfg, grid).best);
+  for (auto& sweep : harness::best_interval_sweeps_all(
+           bench::base_builder(11, 85.0)
+               .technique(leakctl::TechniqueParams::drowsy())
+               .build(),
+           grid, bench::sweep_options("fig12-13 drowsy oracle"))) {
+    drowsy.results.push_back(std::move(sweep.best));
+  }
+  for (auto& sweep : harness::best_interval_sweeps_all(
+           bench::base_builder(11, 85.0)
+               .technique(leakctl::TechniqueParams::gated_vss())
+               .build(),
+           grid, bench::sweep_options("fig12-13 gated oracle"))) {
+    gated.results.push_back(std::move(sweep.best));
   }
 
   harness::print_savings_figure(
@@ -32,17 +40,16 @@ int main() {
       {drowsy, gated});
 
   // Sec. 5.4 comparison against the fixed default interval.
-  auto [drowsy_fixed, gated_fixed] = bench::run_both(bench::base_config(11, 85.0));
-  const auto db = harness::averages(drowsy.results);
-  const auto gb = harness::averages(gated.results);
-  const auto df = harness::averages(drowsy_fixed.results);
-  const auto gf = harness::averages(gated_fixed.results);
+  auto [drowsy_fixed, gated_fixed] =
+      bench::run_both(bench::base_config(11, 85.0), "fig12-13 fixed");
   std::cout << "adaptivity benefit (avg savings, avg perf loss):\n";
-  std::cout << "  gated-vss: " << gf.net_savings * 100 << "% -> "
-            << gb.net_savings * 100 << "%,  " << gf.perf_loss * 100
-            << "% -> " << gb.perf_loss * 100 << "%\n";
-  std::cout << "  drowsy:    " << df.net_savings * 100 << "% -> "
-            << db.net_savings * 100 << "%,  " << df.perf_loss * 100
-            << "% -> " << db.perf_loss * 100 << "%\n";
+  std::cout << "  gated-vss: " << gated_fixed.results.mean_net_savings() * 100
+            << "% -> " << gated.results.mean_net_savings() * 100 << "%,  "
+            << gated_fixed.results.mean_slowdown() * 100 << "% -> "
+            << gated.results.mean_slowdown() * 100 << "%\n";
+  std::cout << "  drowsy:    " << drowsy_fixed.results.mean_net_savings() * 100
+            << "% -> " << drowsy.results.mean_net_savings() * 100 << "%,  "
+            << drowsy_fixed.results.mean_slowdown() * 100 << "% -> "
+            << drowsy.results.mean_slowdown() * 100 << "%\n";
   return 0;
 }

@@ -6,7 +6,7 @@
 #include "bench/common.h"
 
 int main() {
-  auto [drowsy, gated] = bench::run_both(bench::base_config(5, 110.0));
+  auto [drowsy, gated] = bench::run_both(bench::base_config(5, 110.0), "fig3-4");
   harness::print_savings_figure(
       std::cout, "Figure 3: net leakage savings @110C, L2=5 cycles",
       {drowsy, gated});

@@ -6,7 +6,7 @@
 #include "bench/common.h"
 
 int main() {
-  auto [drowsy, gated] = bench::run_both(bench::base_config(8, 110.0));
+  auto [drowsy, gated] = bench::run_both(bench::base_config(8, 110.0), "fig5-6");
   harness::print_savings_figure(
       std::cout, "Figure 5: net leakage savings @110C, L2=8 cycles",
       {drowsy, gated});

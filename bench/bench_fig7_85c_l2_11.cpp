@@ -5,7 +5,7 @@
 #include "bench/common.h"
 
 int main() {
-  auto [drowsy, gated] = bench::run_both(bench::base_config(11, 85.0));
+  auto [drowsy, gated] = bench::run_both(bench::base_config(11, 85.0), "fig7");
   harness::print_savings_figure(
       std::cout, "Figure 7: net leakage savings @85C, L2=11 cycles",
       {drowsy, gated});

@@ -7,7 +7,7 @@
 #include "bench/common.h"
 
 int main() {
-  auto [drowsy, gated] = bench::run_both(bench::base_config(11, 110.0));
+  auto [drowsy, gated] = bench::run_both(bench::base_config(11, 110.0), "fig8-9");
   harness::print_savings_figure(
       std::cout, "Figure 8: net leakage savings @110C, L2=11 cycles",
       {drowsy, gated});

@@ -41,15 +41,27 @@ int main() {
               static_cast<unsigned long long>(insts));
   std::printf("%-10s %6s %10s %10s %10s\n", "benchmark", "IPC", "L1D miss",
               "L1I miss", "br mispred");
-  for (const auto& prof : workload::spec2000_profiles()) {
-    sim::Processor proc(cfg);
-    sim::BaselineDataPort dport(cfg.l1d, proc.l2(), &proc.activity());
-    workload::Generator gen(prof, 1);
-    const sim::RunStats st = proc.run(gen, dport, insts);
-    std::printf("%-10s %6.2f %9.2f%% %9.2f%% %9.2f%%\n", prof.name.data(),
-                st.ipc(), dport.cache().stats().miss_rate() * 100.0,
-                proc.iport().cache().stats().miss_rate() * 100.0,
-                st.branch.mispredict_rate() * 100.0);
+  struct Row {
+    double ipc, l1d_miss, l1i_miss, mispredict;
+  };
+  const auto& profiles = workload::spec2000_profiles();
+  const auto rows = harness::sweep_map(
+      profiles,
+      [&](const workload::BenchmarkProfile& prof) {
+        sim::Processor proc(cfg);
+        sim::BaselineDataPort dport(cfg.l1d, proc.l2(), &proc.activity());
+        workload::Generator gen(prof, 1);
+        const sim::RunStats st = proc.run(gen, dport, insts);
+        return Row{st.ipc(), dport.cache().stats().miss_rate(),
+                   proc.iport().cache().stats().miss_rate(),
+                   st.branch.mispredict_rate()};
+      },
+      bench::sweep_options("table2"));
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    std::printf("%-10s %6.2f %9.2f%% %9.2f%% %9.2f%%\n",
+                profiles[i].name.data(), rows[i].ipc,
+                rows[i].l1d_miss * 100.0, rows[i].l1i_miss * 100.0,
+                rows[i].mispredict * 100.0);
   }
   return 0;
 }

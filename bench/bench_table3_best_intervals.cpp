@@ -1,25 +1,32 @@
 // Table 3: best decay interval per benchmark for drowsy and gated-Vss
 // (85 C, 11-cycle L2).  The paper's qualitative properties: gated-Vss's
 // best intervals are longer and spread much more widely than drowsy's.
+//
+// Runs on the sweep engine as two flat benchmark x interval grids.
 #include <iostream>
 
 #include "bench/common.h"
 
 int main() {
-  harness::ExperimentConfig cfg = bench::base_config(11, 85.0);
   const std::vector<uint64_t> grid = harness::paper_interval_grid();
 
+  const auto drowsy_sweeps = harness::best_interval_sweeps_all(
+      bench::base_builder(11, 85.0)
+          .technique(leakctl::TechniqueParams::drowsy())
+          .build(),
+      grid, bench::sweep_options("table3 drowsy"));
+  const auto gated_sweeps = harness::best_interval_sweeps_all(
+      bench::base_builder(11, 85.0)
+          .technique(leakctl::TechniqueParams::gated_vss())
+          .build(),
+      grid, bench::sweep_options("table3 gated"));
+
   std::vector<harness::BestIntervalRow> rows;
-  for (const auto& prof : workload::spec2000_profiles()) {
-    harness::BestIntervalRow row;
-    row.benchmark = std::string(prof.name);
-    cfg.technique = leakctl::TechniqueParams::drowsy();
-    row.drowsy_interval =
-        harness::best_interval_sweep(prof, cfg, grid).best_interval;
-    cfg.technique = leakctl::TechniqueParams::gated_vss();
-    row.gated_interval =
-        harness::best_interval_sweep(prof, cfg, grid).best_interval;
-    rows.push_back(row);
+  const auto& profiles = workload::spec2000_profiles();
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    rows.push_back({std::string(profiles[i].name),
+                    drowsy_sweeps[i].best_interval,
+                    gated_sweeps[i].best_interval});
   }
   harness::print_best_interval_table(std::cout, "Table 3: best decay intervals",
                                      rows);

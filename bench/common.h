@@ -1,17 +1,22 @@
 // Shared plumbing for the figure/table regeneration binaries.
 //
-// Each bench binary regenerates one table or figure from the paper.  The
-// default run length keeps the whole `for b in build/bench/*` sweep under a
-// few minutes; set HLCC_INSTRUCTIONS to raise fidelity (the paper simulated
-// 500 M committed instructions per benchmark).
+// Each bench binary regenerates one table or figure from the paper.  All
+// of them run on the harness::SweepRunner engine: independent
+// (benchmark, config) cells fan out across HLCC_THREADS workers (default:
+// all cores) with a live progress/ETA line on stderr.  The default run
+// length keeps the whole `for b in build/bench/*` sweep short; set
+// HLCC_INSTRUCTIONS to raise fidelity (the paper simulated 500 M
+// committed instructions per benchmark).
 #pragma once
 
 #include <cstdint>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 
 namespace bench {
 
@@ -26,23 +31,53 @@ inline uint64_t instructions(uint64_t fallback = 600'000) {
   return fallback;
 }
 
+/// Engine options for a bench sweep: default thread count, progress on.
+inline harness::SweepOptions sweep_options(std::string label) {
+  harness::SweepOptions opts;
+  opts.progress = true;
+  opts.label = std::move(label);
+  return opts;
+}
+
+/// Baseline experiment builder shared by the figure benches; chain
+/// further setters before passing it to the harness.
+inline harness::ExperimentConfig::Builder base_builder(unsigned l2_latency,
+                                                       double temperature_c) {
+  return harness::ExperimentConfig::make()
+      .l2_latency(l2_latency)
+      .temperature(temperature_c)
+      .instructions(instructions());
+}
+
 /// Baseline experiment config shared by the figure benches.
 inline harness::ExperimentConfig base_config(unsigned l2_latency,
                                              double temperature_c) {
-  harness::ExperimentConfig cfg;
-  cfg.l2_latency = l2_latency;
-  cfg.temperature_c = temperature_c;
-  cfg.instructions = instructions();
-  return cfg;
+  return base_builder(l2_latency, temperature_c).build();
 }
 
-/// Run drowsy + gated suites for one configuration.
+/// Run drowsy + gated suites for one configuration as a single 22-cell
+/// sweep (both techniques' cells share one pool and one baseline cache).
 inline std::pair<harness::Series, harness::Series>
-run_both(harness::ExperimentConfig cfg) {
+run_both(harness::ExperimentConfig cfg, const std::string& label = "bench") {
+  harness::SweepRunner runner(sweep_options(label));
   cfg.technique = leakctl::TechniqueParams::drowsy();
-  harness::Series drowsy{"drowsy", harness::run_suite(cfg)};
+  for (const workload::BenchmarkProfile& p : workload::spec2000_profiles()) {
+    runner.submit(p, cfg);
+  }
   cfg.technique = leakctl::TechniqueParams::gated_vss();
-  harness::Series gated{"gated-vss", harness::run_suite(cfg)};
+  for (const workload::BenchmarkProfile& p : workload::spec2000_profiles()) {
+    runner.submit(p, cfg);
+  }
+  std::vector<harness::ExperimentResult> all = runner.run();
+  const std::size_t n = all.size() / 2;
+  harness::Series drowsy{"drowsy", {}};
+  harness::Series gated{"gated-vss", {}};
+  for (std::size_t i = 0; i < n; ++i) {
+    drowsy.results.push_back(std::move(all[i]));
+  }
+  for (std::size_t i = n; i < all.size(); ++i) {
+    gated.results.push_back(std::move(all[i]));
+  }
   return {std::move(drowsy), std::move(gated)};
 }
 

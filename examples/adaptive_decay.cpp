@@ -21,16 +21,18 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  harness::ExperimentConfig cfg;
-  cfg.l2_latency = 11;
-  cfg.temperature_c = 85.0;
-  cfg.instructions = 800'000;
-  cfg.technique = leakctl::TechniqueParams::gated_vss();
+  const harness::ExperimentConfig cfg =
+      harness::ExperimentConfig::make()
+          .l2_latency(11)
+          .temperature(85.0)
+          .instructions(800'000)
+          .technique(leakctl::TechniqueParams::gated_vss())
+          .decay_interval(4096)
+          .build();
 
   std::printf("adaptive decay on %s (gated-Vss, 85 C, L2=11)\n\n", bench);
 
   // 1. Fixed default interval.
-  cfg.decay_interval = 4096;
   const auto fixed = harness::run_experiment(*profile, cfg);
   std::printf("fixed 4k interval:   savings %6.2f %%, perf loss %5.2f %%, "
               "induced misses %llu\n",
@@ -40,14 +42,14 @@ int main(int argc, char** argv) {
 
   // 2. Runtime feedback controller (tags stay awake so induced misses are
   //    observable).
-  cfg.adaptive_feedback = true;
-  const auto feedback = harness::run_experiment(*profile, cfg);
+  harness::ExperimentConfig fb_cfg = cfg;
+  fb_cfg.adaptive = harness::ExperimentConfig::AdaptiveScheme::feedback;
+  const auto feedback = harness::run_experiment(*profile, fb_cfg);
   std::printf("feedback control:    savings %6.2f %%, perf loss %5.2f %%, "
               "induced misses %llu\n",
               feedback.energy.net_savings_frac * 100.0,
               feedback.energy.perf_loss_frac * 100.0,
               feedback.control.induced_misses);
-  cfg.adaptive_feedback = false;
 
   // 3. Oracle: sweep the paper's interval grid and keep the best.
   const auto sweep = harness::best_interval_sweep(

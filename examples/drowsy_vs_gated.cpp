@@ -1,5 +1,6 @@
 // The paper's headline experiment on one benchmark: drowsy vs gated-Vss
-// on the L1 D-cache, swept over L2 latency.
+// on the L1 D-cache, swept over L2 latency.  The 4x2 grid goes through
+// harness::SweepRunner, so the cells run in parallel (HLCC_THREADS).
 //
 // Usage: ./examples/drowsy_vs_gated [benchmark] [instructions]
 //   benchmark    one of gcc gzip parser vortex gap perl twolf bzip2 vpr
@@ -8,9 +9,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
-#include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 
 int main(int argc, char** argv) {
   const char* bench = argc > 1 ? argv[1] : "gcc";
@@ -25,21 +27,33 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const std::vector<unsigned> l2_lats = {5, 8, 11, 17};
+  harness::SweepRunner runner;
+  for (const unsigned l2 : l2_lats) {
+    runner.submit(*profile, harness::ExperimentConfig::make()
+                                .l2_latency(l2)
+                                .instructions(insts)
+                                .technique(leakctl::TechniqueParams::drowsy())
+                                .build());
+    runner.submit(*profile,
+                  harness::ExperimentConfig::make()
+                      .l2_latency(l2)
+                      .instructions(insts)
+                      .technique(leakctl::TechniqueParams::gated_vss())
+                      .build());
+  }
+  const std::vector<harness::ExperimentResult> results = runner.run();
+
   std::printf("drowsy vs gated-Vss on %s (%llu instructions, 110 C, "
               "noaccess decay @4k cycles)\n\n",
               bench, static_cast<unsigned long long>(insts));
   std::printf("%-8s %18s %18s\n", "L2 lat", "drowsy", "gated-vss");
   std::printf("%-8s %9s %8s %9s %8s\n", "", "savings", "loss", "savings",
               "loss");
-  for (unsigned l2 : {5u, 8u, 11u, 17u}) {
-    harness::ExperimentConfig cfg;
-    cfg.l2_latency = l2;
-    cfg.instructions = insts;
-    cfg.technique = leakctl::TechniqueParams::drowsy();
-    const auto d = harness::run_experiment(*profile, cfg);
-    cfg.technique = leakctl::TechniqueParams::gated_vss();
-    const auto g = harness::run_experiment(*profile, cfg);
-    std::printf("%-8u %8.2f%% %7.2f%% %8.2f%% %7.2f%%\n", l2,
+  for (std::size_t i = 0; i < l2_lats.size(); ++i) {
+    const auto& d = results[2 * i];
+    const auto& g = results[2 * i + 1];
+    std::printf("%-8u %8.2f%% %7.2f%% %8.2f%% %7.2f%%\n", l2_lats[i],
                 d.energy.net_savings_frac * 100.0,
                 d.energy.perf_loss_frac * 100.0,
                 g.energy.net_savings_frac * 100.0,
@@ -47,11 +61,12 @@ int main(int argc, char** argv) {
   }
 
   // Full detail at the baseline latency.
-  harness::ExperimentConfig cfg;
-  cfg.instructions = insts;
-  cfg.technique = leakctl::TechniqueParams::gated_vss();
   std::printf("\ndetail at L2=11 (gated-vss):\n");
-  harness::print_result_detail(std::cout,
-                               harness::run_experiment(*profile, cfg));
+  harness::print_result_detail(
+      std::cout,
+      harness::run_experiment(
+          *profile, harness::ExperimentConfig::make()
+                        .instructions(insts)
+                        .technique(leakctl::TechniqueParams::gated_vss())));
   return 0;
 }

@@ -38,15 +38,18 @@ int main(int argc, char** argv) {
   const uint64_t instructions =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 300'000;
 
-  harness::ExperimentConfig cfg;
-  cfg.instructions = instructions;
-  cfg.variation = false;
-  cfg.faults.enabled = true;
   // Raw per-bit-cycle upset probability at nominal Vdd / 300 K; the
   // harness scales it up at the drowsy retention voltage.  Exaggerated vs.
   // terrestrial SER so a short demo run shows the mechanics.
-  cfg.faults.standby_rate_per_bit_cycle = 2e-9;
-  cfg.faults.seed = 42;
+  faults::FaultConfig fault_cfg;
+  fault_cfg.enabled = true;
+  fault_cfg.standby_rate_per_bit_cycle = 2e-9;
+  fault_cfg.seed = 42;
+  const harness::ExperimentConfig base = harness::ExperimentConfig::make()
+                                             .instructions(instructions)
+                                             .variation(false)
+                                             .faults(fault_cfg)
+                                             .build();
 
   const workload::BenchmarkProfile& profile =
       workload::profile_by_name(benchmark);
@@ -66,6 +69,7 @@ int main(int argc, char** argv) {
     for (const faults::Protection prot :
          {faults::Protection::none, faults::Protection::parity,
           faults::Protection::secded}) {
+      harness::ExperimentConfig cfg = base;
       cfg.technique = tech;
       cfg.faults.protection = prot;
       const harness::ExperimentResult r =

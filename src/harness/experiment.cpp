@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <tuple>
 
+#include "harness/sweep.h"
 #include "workload/generator.h"
 
 namespace harness {
@@ -33,33 +36,64 @@ struct BaselineRecord {
   double l1d_miss_rate = 0.0;
 };
 
-std::map<BaselineKey, BaselineRecord>& baseline_cache() {
-  static std::map<BaselineKey, BaselineRecord> cache;
+/// One cache slot.  The map hands out shared_ptrs under the mutex; the
+/// (expensive) baseline simulation itself runs *outside* the lock, under
+/// the slot's once_flag, so concurrent sweep cells that need the same
+/// baseline block on each other instead of duplicating the run, while
+/// cells with different keys proceed in parallel.
+struct BaselineSlot {
+  std::once_flag once;
+  BaselineRecord rec;
+};
+
+std::mutex& baseline_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<BaselineKey, std::shared_ptr<BaselineSlot>>& baseline_cache() {
+  static std::map<BaselineKey, std::shared_ptr<BaselineSlot>> cache;
   return cache;
 }
 
-const BaselineRecord& baseline_for(const workload::BenchmarkProfile& profile,
-                                   const ExperimentConfig& cfg) {
-  const BaselineKey key{std::string(profile.name), cfg.l2_latency,
-                        cfg.instructions, cfg.seed};
-  auto it = baseline_cache().find(key);
-  if (it != baseline_cache().end()) {
-    return it->second;
+std::shared_ptr<BaselineSlot> baseline_for(
+    const workload::BenchmarkProfile& profile, const ExperimentConfig& cfg) {
+  BaselineKey key{std::string(profile.name), cfg.l2_latency,
+                  cfg.instructions, cfg.seed};
+  std::shared_ptr<BaselineSlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(baseline_mutex());
+    std::shared_ptr<BaselineSlot>& entry = baseline_cache()[std::move(key)];
+    if (!entry) {
+      entry = std::make_shared<BaselineSlot>();
+    }
+    slot = entry;
   }
-  const sim::ProcessorConfig pcfg = sim::ProcessorConfig::table2(cfg.l2_latency);
-  sim::Processor proc(pcfg);
-  sim::BaselineDataPort dport(pcfg.l1d, proc.l2(), &proc.activity());
-  workload::Generator gen(profile, cfg.seed);
-  BaselineRecord rec;
-  rec.run = proc.run(gen, dport, cfg.instructions);
-  rec.activity = proc.activity();
-  rec.l1d_miss_rate = dport.cache().stats().miss_rate();
-  return baseline_cache().emplace(key, std::move(rec)).first->second;
+  std::call_once(slot->once, [&] {
+    const sim::ProcessorConfig pcfg =
+        sim::ProcessorConfig::table2(cfg.l2_latency);
+    sim::Processor proc(pcfg);
+    sim::BaselineDataPort dport(pcfg.l1d, proc.l2(), &proc.activity());
+    workload::Generator gen(profile, cfg.seed);
+    slot->rec.run = proc.run(gen, dport, cfg.instructions);
+    slot->rec.activity = proc.activity();
+    slot->rec.l1d_miss_rate = dport.cache().stats().miss_rate();
+  });
+  return slot;
 }
 
 } // namespace
 
-void clear_baseline_cache() { baseline_cache().clear(); }
+void clear_baseline_cache() {
+  std::lock_guard<std::mutex> lock(baseline_mutex());
+  // In-flight experiments keep their slots alive via shared_ptr.
+  baseline_cache().clear();
+}
+
+std::size_t baseline_cache_size() {
+  std::lock_guard<std::mutex> lock(baseline_mutex());
+  return baseline_cache().size();
+}
 
 void ExperimentConfig::validate() const {
   if (instructions == 0) {
@@ -74,6 +108,14 @@ void ExperimentConfig::validate() const {
         "ExperimentConfig::decay_interval must be a nonzero multiple of 4 "
         "(the epoch quantization), got " +
         std::to_string(decay_interval));
+  }
+  if (adaptive_feedback && adaptive != AdaptiveScheme::none &&
+      adaptive != AdaptiveScheme::feedback) {
+    throw std::invalid_argument(
+        "ExperimentConfig::adaptive_feedback contradicts "
+        "ExperimentConfig::adaptive: the legacy flag requests "
+        "AdaptiveScheme::feedback but `adaptive` selects a different "
+        "scheme; set only ExperimentConfig::adaptive");
   }
   const hotleakage::TechParams& tech =
       hotleakage::tech_params(hotleakage::TechNode::nm70);
@@ -105,7 +147,8 @@ ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
   result.benchmark = std::string(profile.name);
   result.config = cfg;
 
-  const BaselineRecord& base = baseline_for(profile, cfg);
+  const std::shared_ptr<BaselineSlot> slot = baseline_for(profile, cfg);
+  const BaselineRecord& base = slot->rec;
   result.base_run = base.run;
   result.base_l1d_miss_rate = base.l1d_miss_rate;
 
@@ -138,11 +181,7 @@ ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
         cfg.faults.active_rate_per_bit_cycle *
         hotleakage::cells::sram_seu_scale(ftech, vdd_op, temp_k);
   }
-  ExperimentConfig::AdaptiveScheme scheme = cfg.adaptive;
-  if (cfg.adaptive_feedback &&
-      scheme == ExperimentConfig::AdaptiveScheme::none) {
-    scheme = ExperimentConfig::AdaptiveScheme::feedback;
-  }
+  const ExperimentConfig::AdaptiveScheme scheme = cfg.effective_adaptive();
   if (scheme != ExperimentConfig::AdaptiveScheme::none) {
     // All adaptive schemes observe induced misses through the tags, which
     // must therefore stay awake (paper Sec. 5.4).
@@ -196,27 +235,59 @@ ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
   return result;
 }
 
-std::vector<ExperimentResult> run_suite(const ExperimentConfig& cfg) {
-  std::vector<ExperimentResult> results;
-  results.reserve(workload::spec2000_profiles().size());
-  for (const workload::BenchmarkProfile& p : workload::spec2000_profiles()) {
-    results.push_back(run_experiment(p, cfg));
+const ExperimentResult* SuiteResult::find(std::string_view benchmark) const {
+  for (const ExperimentResult& r : results_) {
+    if (r.benchmark == benchmark) {
+      return &r;
+    }
   }
-  return results;
+  return nullptr;
+}
+
+const ExperimentResult& SuiteResult::at(std::string_view benchmark) const {
+  const ExperimentResult* r = find(benchmark);
+  if (r == nullptr) {
+    throw std::out_of_range("SuiteResult::at: no benchmark named '" +
+                            std::string(benchmark) + "' in this suite");
+  }
+  return *r;
+}
+
+double SuiteResult::mean_net_savings() const {
+  return averages().net_savings;
+}
+
+double SuiteResult::mean_slowdown() const { return averages().perf_loss; }
+
+double SuiteResult::mean_turnoff() const { return averages().turnoff; }
+
+SuiteAverages SuiteResult::averages() const {
+  return harness::averages(results_);
+}
+
+SuiteAverages averages(const SuiteResult& suite) { return suite.averages(); }
+
+SuiteResult run_suite(const ExperimentConfig& cfg) {
+  return run_suite(cfg, SweepOptions{}); // engine-backed, quiet
 }
 
 IntervalSweepResult best_interval_sweep(
     const workload::BenchmarkProfile& profile, ExperimentConfig cfg,
     const std::vector<uint64_t>& intervals) {
-  IntervalSweepResult out;
-  bool first = true;
+  SweepRunner runner;
   for (const uint64_t interval : intervals) {
     cfg.decay_interval = interval;
-    ExperimentResult r = run_experiment(profile, cfg);
-    if (first || r.energy.net_savings_frac > out.best.energy.net_savings_frac) {
+    runner.submit(profile, cfg);
+  }
+  std::vector<ExperimentResult> results = runner.run();
+
+  IntervalSweepResult out;
+  for (std::size_t k = 0; k < intervals.size(); ++k) {
+    ExperimentResult& r = results[k];
+    if (k == 0 ||
+        r.energy.net_savings_frac > out.best.energy.net_savings_frac) {
       out.best = r;
-      out.best_interval = interval;
-      first = false;
+      out.best_interval = intervals[k];
     }
     out.sweep.push_back(std::move(r));
   }

@@ -4,12 +4,15 @@
 // Every technique run is paired with a baseline run (no leakage control) of
 // the *same* instruction stream on the *same* machine configuration; the
 // baseline is memoized because it does not depend on the technique,
-// interval, or temperature.
+// interval, or temperature.  The memo is mutex-guarded and populated at
+// most once per key, so concurrent run_experiment calls (see
+// harness/sweep.h) share baselines instead of recomputing them.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "faults/fault_injector.h"
@@ -33,17 +36,22 @@ struct ExperimentConfig {
   uint64_t instructions = 2'000'000;
   uint64_t seed = 1;
   bool variation = true;          ///< inter-die Monte Carlo on
-  /// Runtime feedback control of the interval (implies awake tags).
-  /// Equivalent to adaptive = AdaptiveScheme::feedback.
-  bool adaptive_feedback = false;
-  leakctl::FeedbackConfig feedback;
 
   /// Which runtime adaptive scheme to run, if any (all imply awake tags):
   /// the formal feedback controller [31], Zhou et al.'s adaptive mode
   /// control [33], or Kaxiras et al.'s per-line intervals [19] — the three
-  /// methods the paper lists in Sec. 5.4.
+  /// methods the paper lists in Sec. 5.4.  This field is the single
+  /// source of truth; see effective_adaptive().
   enum class AdaptiveScheme { none, feedback, amc, per_line };
   AdaptiveScheme adaptive = AdaptiveScheme::none;
+
+  /// Legacy alias for `adaptive = AdaptiveScheme::feedback`, kept for
+  /// source compatibility with pre-sweep-engine callers.  Setting it
+  /// alongside a *different* adaptive scheme is contradictory and
+  /// rejected by validate().  New code should set `adaptive` directly.
+  bool adaptive_feedback = false;
+
+  leakctl::FeedbackConfig feedback;
   leakctl::AmcConfig amc;
   leakctl::PerLineAdaptiveConfig per_line;
 
@@ -53,10 +61,106 @@ struct ExperimentConfig {
   /// hotleakage::cells::sram_seu_scale before handing them to the cache.
   faults::FaultConfig faults;
 
+  /// The adaptive scheme after folding in the legacy adaptive_feedback
+  /// flag — the one place the two fields are reconciled.
+  AdaptiveScheme effective_adaptive() const {
+    if (adaptive != AdaptiveScheme::none) {
+      return adaptive;
+    }
+    return adaptive_feedback ? AdaptiveScheme::feedback : AdaptiveScheme::none;
+  }
+
   /// Reject nonsense configurations with a std::invalid_argument naming
   /// the offending field.  Called at the top of run_experiment.
   void validate() const;
+
+  class Builder;
+  /// Chainable construction:
+  ///   auto cfg = ExperimentConfig::make()
+  ///                  .l2_latency(8).temperature(85)
+  ///                  .technique(leakctl::TechniqueParams::gated_vss())
+  ///                  .build();
+  /// build() (and the implicit conversion) validate the result, so a
+  /// nonsense chain fails at construction rather than mid-sweep.  The
+  /// plain struct stays fully usable for existing code.
+  static Builder make();
 };
+
+class ExperimentConfig::Builder {
+public:
+  Builder& l2_latency(unsigned cycles) {
+    cfg_.l2_latency = cycles;
+    return *this;
+  }
+  Builder& temperature(double celsius) {
+    cfg_.temperature_c = celsius;
+    return *this;
+  }
+  Builder& vdd(double volts) {
+    cfg_.vdd = volts;
+    return *this;
+  }
+  Builder& technique(leakctl::TechniqueParams t) {
+    cfg_.technique = t;
+    return *this;
+  }
+  Builder& policy(leakctl::DecayPolicy p) {
+    cfg_.policy = p;
+    return *this;
+  }
+  Builder& decay_interval(uint64_t cycles) {
+    cfg_.decay_interval = cycles;
+    return *this;
+  }
+  Builder& instructions(uint64_t count) {
+    cfg_.instructions = count;
+    return *this;
+  }
+  Builder& seed(uint64_t s) {
+    cfg_.seed = s;
+    return *this;
+  }
+  Builder& variation(bool enabled) {
+    cfg_.variation = enabled;
+    return *this;
+  }
+  Builder& adaptive(AdaptiveScheme scheme) {
+    cfg_.adaptive = scheme;
+    return *this;
+  }
+  /// Configure and enable the feedback controller in one step.
+  Builder& feedback(leakctl::FeedbackConfig f) {
+    cfg_.feedback = f;
+    cfg_.adaptive = AdaptiveScheme::feedback;
+    return *this;
+  }
+  Builder& amc(leakctl::AmcConfig a) {
+    cfg_.amc = a;
+    cfg_.adaptive = AdaptiveScheme::amc;
+    return *this;
+  }
+  Builder& per_line(leakctl::PerLineAdaptiveConfig p) {
+    cfg_.per_line = p;
+    cfg_.adaptive = AdaptiveScheme::per_line;
+    return *this;
+  }
+  Builder& faults(faults::FaultConfig f) {
+    cfg_.faults = f;
+    return *this;
+  }
+
+  /// Validate and return the finished config.
+  ExperimentConfig build() const {
+    cfg_.validate();
+    return cfg_;
+  }
+  operator ExperimentConfig() const { return build(); } // NOLINT(google-explicit-constructor)
+
+private:
+  ExperimentConfig cfg_;
+};
+
+inline ExperimentConfig::Builder ExperimentConfig::make() { return {}; }
 
 struct ExperimentResult {
   std::string benchmark;
@@ -72,12 +176,68 @@ struct ExperimentResult {
 ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
                                 const ExperimentConfig& cfg);
 
-/// Run the full 11-benchmark suite for one configuration.
-std::vector<ExperimentResult> run_suite(const ExperimentConfig& cfg);
+/// Average of net savings / perf loss over a suite (the figures' AVG bar).
+struct SuiteAverages {
+  double net_savings = 0.0;
+  double perf_loss = 0.0;
+  double turnoff = 0.0;
+};
+SuiteAverages averages(const std::vector<ExperimentResult>& results);
+
+/// A whole-suite run with named accessors, so callers stop re-aggregating
+/// raw result vectors by hand.  Behaves as a container of
+/// ExperimentResult (indexing, iteration, push_back) for compatibility
+/// with figure-rendering code that walks rows.
+class SuiteResult {
+public:
+  SuiteResult() = default;
+  explicit SuiteResult(std::vector<ExperimentResult> results)
+      : results_(std::move(results)) {}
+
+  // --- container surface (benchmark order) ---
+  std::size_t size() const { return results_.size(); }
+  bool empty() const { return results_.empty(); }
+  const ExperimentResult& operator[](std::size_t i) const {
+    return results_[i];
+  }
+  ExperimentResult& operator[](std::size_t i) { return results_[i]; }
+  auto begin() const { return results_.begin(); }
+  auto end() const { return results_.end(); }
+  auto begin() { return results_.begin(); }
+  auto end() { return results_.end(); }
+  const ExperimentResult& front() const { return results_.front(); }
+  const ExperimentResult& back() const { return results_.back(); }
+  void push_back(ExperimentResult r) { results_.push_back(std::move(r)); }
+  const std::vector<ExperimentResult>& results() const { return results_; }
+
+  // --- named accessors ---
+  /// Per-benchmark lookup; nullptr when the suite has no such benchmark.
+  const ExperimentResult* find(std::string_view benchmark) const;
+  /// Per-benchmark lookup; throws std::out_of_range naming the benchmark.
+  const ExperimentResult& at(std::string_view benchmark) const;
+  /// Mean net leakage savings fraction (the figures' AVG bar).
+  double mean_net_savings() const;
+  /// Mean performance loss fraction (a.k.a. slowdown).
+  double mean_slowdown() const;
+  /// Mean standby-residency (turnoff) ratio.
+  double mean_turnoff() const;
+  SuiteAverages averages() const;
+
+private:
+  std::vector<ExperimentResult> results_;
+};
+
+SuiteAverages averages(const SuiteResult& suite);
+
+/// Run the full 11-benchmark suite for one configuration on the sweep
+/// engine (quiet; see harness/sweep.h for an overload with progress and
+/// thread-count options).
+SuiteResult run_suite(const ExperimentConfig& cfg);
 
 /// Sweep decay intervals for one benchmark and return the interval with
 /// the highest net savings (the Figs. 12-13 / Table 3 oracle), along with
-/// the result at that interval and the whole sweep.
+/// the result at that interval and the whole sweep.  Engine-backed: the
+/// intervals run concurrently, results stay in grid order.
 struct IntervalSweepResult {
   uint64_t best_interval = 0;
   ExperimentResult best;
@@ -90,15 +250,11 @@ IntervalSweepResult best_interval_sweep(
 /// The paper's interval grid {1k, 2k, ..., 64k}.
 std::vector<uint64_t> paper_interval_grid();
 
-/// Average of net savings / perf loss over a suite (the figures' AVG bar).
-struct SuiteAverages {
-  double net_savings = 0.0;
-  double perf_loss = 0.0;
-  double turnoff = 0.0;
-};
-SuiteAverages averages(const std::vector<ExperimentResult>& results);
-
 /// Clear the memoized baselines (tests use this to bound memory).
 void clear_baseline_cache();
+
+/// Number of distinct baseline keys currently memoized (tests assert the
+/// once-per-key guarantee through this).
+std::size_t baseline_cache_size();
 
 } // namespace harness

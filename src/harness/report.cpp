@@ -27,8 +27,8 @@ void print_metric_figure(std::ostream& os, const std::string& title,
   }
   os << std::left << std::setw(10) << "AVG";
   for (const Series& s : series) {
-    const SuiteAverages avg = averages(s.results);
-    const double v = savings ? avg.net_savings : avg.perf_loss;
+    const double v =
+        savings ? s.results.mean_net_savings() : s.results.mean_slowdown();
     os << std::right << std::setw(11) << v * 100.0 << '%';
   }
   os << "\n\n";

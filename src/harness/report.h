@@ -11,9 +11,11 @@
 namespace harness {
 
 /// One labelled series (e.g. "drowsy", "gated-vss") over the benchmarks.
+/// Holds a SuiteResult so renderers use its named accessors instead of
+/// re-aggregating raw vectors.
 struct Series {
   std::string label;
-  std::vector<ExperimentResult> results; ///< same benchmark order
+  SuiteResult results; ///< same benchmark order
 };
 
 /// Figure 3/5/7/8/10/12-style: net leakage savings per benchmark + AVG.

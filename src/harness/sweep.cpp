@@ -1,0 +1,234 @@
+#include "harness/sweep.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "workload/generator.h"
+
+namespace harness {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// HLCC_PROGRESS: unset = live line only on a terminal, "0" = fully
+/// quiet, anything else = live line even when stderr is redirected.
+enum class ProgressEnv { dflt, off, forced };
+
+ProgressEnv progress_env() {
+  const char* env = std::getenv("HLCC_PROGRESS");
+  if (env == nullptr) {
+    return ProgressEnv::dflt;
+  }
+  return std::string_view(env) == "0" ? ProgressEnv::off
+                                      : ProgressEnv::forced;
+}
+
+/// Serializes the cells/sec + ETA line on stderr.  All workers funnel
+/// through tick(); the live line is throttled and terminal-gated, the
+/// final summary is printed once by finish().
+class ProgressReporter {
+public:
+  ProgressReporter(const SweepOptions& opts, std::size_t total,
+                   unsigned threads)
+      : total_(total), threads_(threads), label_(opts.label),
+        start_(Clock::now()) {
+    const ProgressEnv env = progress_env();
+    enabled_ = opts.progress && env != ProgressEnv::off;
+    live_ = enabled_ &&
+            (env == ProgressEnv::forced || isatty(STDERR_FILENO) != 0);
+  }
+
+  void tick() {
+    if (!enabled_) {
+      done_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const std::size_t done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (!live_) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    const Clock::time_point now = Clock::now();
+    if (done < total_ && now - last_print_ < std::chrono::milliseconds(100)) {
+      return;
+    }
+    last_print_ = now;
+    const double secs = elapsed_s(now);
+    const double rate = secs > 0.0 ? static_cast<double>(done) / secs : 0.0;
+    const double eta = rate > 0.0
+                           ? static_cast<double>(total_ - done) / rate
+                           : 0.0;
+    std::fprintf(stderr, "\r[%s] %zu/%zu cells | %.1f cells/s | ETA %.0f s ",
+                 label_.c_str(), done, total_, rate, eta);
+    if (done == total_) {
+      std::fprintf(stderr, "\n");
+    }
+    std::fflush(stderr);
+  }
+
+  /// One-line throughput summary (also lands in redirected CI logs).
+  void finish() const {
+    if (!enabled_) {
+      return;
+    }
+    const double secs = elapsed_s(Clock::now());
+    const double rate = secs > 0.0 ? static_cast<double>(total_) / secs : 0.0;
+    std::fprintf(stderr,
+                 "[%s] %zu cells in %.2f s on %u thread%s (%.1f cells/s)\n",
+                 label_.c_str(), total_, secs, threads_,
+                 threads_ == 1 ? "" : "s", rate);
+  }
+
+private:
+  double elapsed_s(Clock::time_point now) const {
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  std::size_t total_;
+  unsigned threads_;
+  std::string label_;
+  Clock::time_point start_;
+  bool enabled_ = false;
+  bool live_ = false;
+  std::atomic<std::size_t> done_{0};
+  std::mutex mu_;
+  Clock::time_point last_print_ = start_;
+};
+
+} // namespace
+
+unsigned resolve_thread_count(unsigned requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  if (const char* env = std::getenv("HLCC_THREADS")) {
+    const unsigned long v = std::strtoul(env, nullptr, 10);
+    if (v > 0) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void parallel_for_indexed(std::size_t count,
+                          const std::function<void(std::size_t)>& body,
+                          const SweepOptions& opts) {
+  if (count == 0) {
+    return;
+  }
+  const unsigned threads = static_cast<unsigned>(std::min<std::size_t>(
+      resolve_thread_count(opts.threads), count));
+  ProgressReporter progress(opts, count, threads);
+  std::vector<std::exception_ptr> errors(count);
+
+  if (threads == 1) {
+    // Inline serial path: the reference the parallel path must match.
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      progress.tick();
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) {
+          return;
+        }
+        try {
+          body(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+        progress.tick();
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  progress.finish();
+  for (const std::exception_ptr& e : errors) {
+    if (e) {
+      std::rethrow_exception(e); // lowest index: what the serial loop threw
+    }
+  }
+}
+
+std::size_t SweepRunner::submit(const workload::BenchmarkProfile& profile,
+                                const ExperimentConfig& cfg) {
+  cells_.push_back(SweepCell{profile, cfg});
+  return cells_.size() - 1;
+}
+
+std::vector<ExperimentResult> SweepRunner::run() {
+  std::vector<SweepCell> cells = std::move(cells_);
+  cells_.clear();
+  std::vector<ExperimentResult> results(cells.size());
+  parallel_for_indexed(
+      cells.size(),
+      [&](std::size_t i) {
+        results[i] = run_experiment(cells[i].profile, cells[i].config);
+      },
+      opts_);
+  return results;
+}
+
+SuiteResult run_suite(const ExperimentConfig& cfg, const SweepOptions& opts) {
+  SweepRunner runner(opts);
+  for (const workload::BenchmarkProfile& p : workload::spec2000_profiles()) {
+    runner.submit(p, cfg);
+  }
+  return SuiteResult(runner.run());
+}
+
+std::vector<IntervalSweepResult> best_interval_sweeps_all(
+    const ExperimentConfig& cfg, const std::vector<uint64_t>& intervals,
+    const SweepOptions& opts) {
+  const auto& profiles = workload::spec2000_profiles();
+  SweepRunner runner(opts);
+  for (const workload::BenchmarkProfile& p : profiles) {
+    for (const uint64_t interval : intervals) {
+      ExperimentConfig cell = cfg;
+      cell.decay_interval = interval;
+      runner.submit(p, cell);
+    }
+  }
+  std::vector<ExperimentResult> flat = runner.run();
+
+  std::vector<IntervalSweepResult> out(profiles.size());
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    IntervalSweepResult& sweep = out[p];
+    for (std::size_t k = 0; k < intervals.size(); ++k) {
+      ExperimentResult& r = flat[p * intervals.size() + k];
+      // Same tie-break as the serial sweep: first strictly-better wins.
+      if (k == 0 ||
+          r.energy.net_savings_frac > sweep.best.energy.net_savings_frac) {
+        sweep.best = r;
+        sweep.best_interval = intervals[k];
+      }
+      sweep.sweep.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+} // namespace harness

@@ -1,0 +1,122 @@
+// Parallel sweep engine for the experiment harness.
+//
+// The paper's evaluation is a large Cartesian grid — benchmarks x
+// {drowsy, gated-Vss} x decay intervals x L2 latencies x temperatures —
+// and every cell is an independent pair of simulations.  SweepRunner fans
+// the cells out across a thread pool and hands the results back in
+// *submission order*, so a parallel sweep is a drop-in replacement for
+// the serial loop it replaces: same results, same order, byte for byte.
+//
+// Determinism contract: run_experiment is a pure function of its
+// (profile, config) cell — every RNG is locally seeded, and the only
+// cross-cell state, the memoized baseline cache, is populated exactly
+// once per key under a mutex (see experiment.cpp).  The engine therefore
+// guarantees results identical to the serial path at any thread count.
+//
+// Thread count: SweepOptions::threads if nonzero, else the HLCC_THREADS
+// environment variable, else std::thread::hardware_concurrency().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace harness {
+
+/// Execution knobs shared by the engine's entry points.
+struct SweepOptions {
+  /// Worker threads; 0 defers to HLCC_THREADS, then hardware_concurrency.
+  unsigned threads = 0;
+  /// Progress/throughput reporter on stderr: live cells-completed /
+  /// cells-per-second / ETA line while a terminal is attached, plus one
+  /// final throughput summary.  HLCC_PROGRESS=0 force-disables, =1
+  /// force-enables the live line even without a terminal.
+  bool progress = false;
+  /// Tag for the progress lines (e.g. the figure being regenerated).
+  std::string label = "sweep";
+};
+
+/// The thread count an options struct resolves to (>= 1).
+unsigned resolve_thread_count(unsigned requested);
+
+/// Run body(0..count-1) across the pool.  Each index runs exactly once;
+/// the call returns when all have finished.  Exceptions thrown by the
+/// body are captured and the one from the lowest index is rethrown after
+/// the pool drains (matching what the serial loop would have thrown
+/// first).  With a resolved thread count of 1 the bodies run inline on
+/// the calling thread.
+void parallel_for_indexed(std::size_t count,
+                          const std::function<void(std::size_t)>& body,
+                          const SweepOptions& opts = {});
+
+/// Deterministic parallel map: out[i] = fn(items[i]), in order.  The
+/// generic escape hatch for sweeps whose cells are not run_experiment
+/// calls (I-cache / L2 / predictor-decay studies).  Accepts any
+/// random-access container (vector, array, ...).
+template <typename Container, typename Fn>
+auto sweep_map(const Container& items, Fn&& fn, const SweepOptions& opts = {})
+    -> std::vector<decltype(fn(*std::begin(items)))> {
+  std::vector<decltype(fn(*std::begin(items)))> out(std::size(items));
+  parallel_for_indexed(
+      std::size(items),
+      [&](std::size_t i) {
+        out[i] = fn(*(std::begin(items) + static_cast<std::ptrdiff_t>(i)));
+      },
+      opts);
+  return out;
+}
+
+/// One cell of a sweep: a benchmark plus a full experiment configuration.
+struct SweepCell {
+  workload::BenchmarkProfile profile; ///< by value; profiles are small PODs
+  ExperimentConfig config;
+};
+
+/// Fans independent (benchmark, ExperimentConfig) cells across a worker
+/// pool.  Usage:
+///
+///   SweepRunner runner({.threads = 0, .progress = true, .label = "fig3"});
+///   for (...) runner.submit(profile, cfg);
+///   std::vector<ExperimentResult> results = runner.run();
+///
+/// run() executes every pending cell and returns results in submission
+/// order regardless of completion order, then resets the runner for
+/// reuse.  A cell that throws (e.g. ExperimentConfig::validate) aborts
+/// the sweep after the pool drains, rethrowing the lowest-index error.
+class SweepRunner {
+public:
+  explicit SweepRunner(SweepOptions opts = {}) : opts_(std::move(opts)) {}
+
+  /// Queue one cell; returns its index into the run() result vector.
+  std::size_t submit(const workload::BenchmarkProfile& profile,
+                     const ExperimentConfig& cfg);
+
+  /// Cells queued since construction or the last run().
+  std::size_t pending() const { return cells_.size(); }
+
+  const SweepOptions& options() const { return opts_; }
+
+  /// Execute all pending cells; results land in submission order.
+  std::vector<ExperimentResult> run();
+
+private:
+  SweepOptions opts_;
+  std::vector<SweepCell> cells_;
+};
+
+/// run_suite with explicit engine options (progress label, thread count).
+SuiteResult run_suite(const ExperimentConfig& cfg, const SweepOptions& opts);
+
+/// Oracle interval sweeps for *all* SPECint benchmarks as one flat
+/// benchmark x interval grid — better load balance than per-benchmark
+/// sweeps and the workhorse of the Figs. 12-13 / Table 3 binaries.
+/// Returned in spec2000_profiles() order.
+std::vector<IntervalSweepResult> best_interval_sweeps_all(
+    const ExperimentConfig& cfg, const std::vector<uint64_t>& intervals,
+    const SweepOptions& opts = {});
+
+} // namespace harness

@@ -83,10 +83,17 @@ TEST(Experiment, TemperatureRaisesSavings) {
 TEST(Experiment, SuiteCoversAllBenchmarks) {
   ExperimentConfig cfg = quick_config();
   cfg.instructions = 60'000;
-  const std::vector<ExperimentResult> suite = run_suite(cfg);
+  const SuiteResult suite = run_suite(cfg);
   ASSERT_EQ(suite.size(), 11u);
   EXPECT_EQ(suite.front().benchmark, "gcc");
   EXPECT_EQ(suite.back().benchmark, "crafty");
+  // Named accessors: per-benchmark lookup and suite-level means.
+  EXPECT_EQ(suite.at("mcf").benchmark, "mcf");
+  ASSERT_NE(suite.find("twolf"), nullptr);
+  EXPECT_EQ(suite.find("nonesuch"), nullptr);
+  EXPECT_THROW(suite.at("nonesuch"), std::out_of_range);
+  EXPECT_DOUBLE_EQ(suite.mean_net_savings(), averages(suite).net_savings);
+  EXPECT_DOUBLE_EQ(suite.mean_slowdown(), averages(suite).perf_loss);
 }
 
 TEST(Experiment, AveragesComputed) {
@@ -101,7 +108,8 @@ TEST(Experiment, AveragesComputed) {
   EXPECT_DOUBLE_EQ(avg.net_savings, 0.5);
   EXPECT_DOUBLE_EQ(avg.perf_loss, 0.02);
   EXPECT_DOUBLE_EQ(avg.turnoff, 0.6);
-  EXPECT_DOUBLE_EQ(averages({}).net_savings, 0.0);
+  EXPECT_DOUBLE_EQ(averages(std::vector<ExperimentResult>{}).net_savings, 0.0);
+  EXPECT_DOUBLE_EQ(SuiteResult{}.mean_net_savings(), 0.0);
 }
 
 TEST(Experiment, IntervalSweepFindsBest) {
@@ -127,13 +135,42 @@ TEST(Experiment, PaperIntervalGrid) {
 TEST(Experiment, AdaptiveFeedbackRuns) {
   ExperimentConfig cfg = quick_config();
   cfg.technique = leakctl::TechniqueParams::gated_vss();
-  cfg.adaptive_feedback = true;
+  cfg.adaptive = ExperimentConfig::AdaptiveScheme::feedback;
   cfg.feedback.window_cycles = 20000;
   const ExperimentResult r =
       run_experiment(workload::profile_by_name("gcc"), cfg);
   // Feedback keeps the tags awake.
   EXPECT_EQ(r.control.tag_standby_cycles, 0ull);
   EXPECT_GT(r.energy.net_savings_frac, 0.0);
+}
+
+TEST(Experiment, LegacyAdaptiveFeedbackFlagStillSelectsFeedback) {
+  ExperimentConfig cfg = quick_config();
+  cfg.adaptive_feedback = true;
+  EXPECT_EQ(cfg.effective_adaptive(), ExperimentConfig::AdaptiveScheme::feedback);
+  cfg.adaptive = ExperimentConfig::AdaptiveScheme::feedback; // redundant, legal
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.adaptive_feedback = false;
+  cfg.adaptive = ExperimentConfig::AdaptiveScheme::amc;
+  EXPECT_EQ(cfg.effective_adaptive(), ExperimentConfig::AdaptiveScheme::amc);
+}
+
+TEST(ExperimentValidate, RejectsContradictoryAdaptiveSettings) {
+  ExperimentConfig cfg = quick_config();
+  cfg.adaptive_feedback = true;
+  cfg.adaptive = ExperimentConfig::AdaptiveScheme::amc;
+  EXPECT_THROW(
+      {
+        try {
+          cfg.validate();
+        } catch (const std::invalid_argument& e) {
+          const std::string what = e.what();
+          EXPECT_NE(what.find("adaptive_feedback"), std::string::npos);
+          EXPECT_NE(what.find("adaptive"), std::string::npos);
+          throw;
+        }
+      },
+      std::invalid_argument);
 }
 
 TEST(Experiment, LongerDecayIntervalLowersTurnoff) {

@@ -1,0 +1,219 @@
+// Sweep engine: parallel execution must be bit-identical to the serial
+// path, deterministic across thread counts, and must share one baseline
+// run per key across workers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/sweep.h"
+
+namespace harness {
+namespace {
+
+ExperimentConfig quick_config() {
+  return ExperimentConfig::make().instructions(120'000).variation(false);
+}
+
+std::vector<ExperimentResult> run_cells(unsigned threads) {
+  SweepRunner runner(SweepOptions{.threads = threads});
+  for (const char* name : {"gcc", "mcf", "twolf", "gzip"}) {
+    ExperimentConfig cfg = quick_config();
+    cfg.technique = leakctl::TechniqueParams::drowsy();
+    runner.submit(workload::profile_by_name(name), cfg);
+    cfg.technique = leakctl::TechniqueParams::gated_vss();
+    runner.submit(workload::profile_by_name(name), cfg);
+  }
+  return runner.run();
+}
+
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.benchmark, b.benchmark);
+  EXPECT_EQ(a.base_run.cycles, b.base_run.cycles);
+  EXPECT_EQ(a.tech_run.cycles, b.tech_run.cycles);
+  EXPECT_EQ(a.base_run.instructions, b.base_run.instructions);
+  EXPECT_EQ(a.control.induced_misses, b.control.induced_misses);
+  EXPECT_EQ(a.control.slow_hits, b.control.slow_hits);
+  EXPECT_EQ(a.control.decays, b.control.decays);
+  EXPECT_EQ(a.control.wakes, b.control.wakes);
+  EXPECT_DOUBLE_EQ(a.energy.baseline_leakage_j, b.energy.baseline_leakage_j);
+  EXPECT_DOUBLE_EQ(a.energy.technique_leakage_j,
+                   b.energy.technique_leakage_j);
+  EXPECT_DOUBLE_EQ(a.energy.extra_dynamic_j, b.energy.extra_dynamic_j);
+  EXPECT_DOUBLE_EQ(a.energy.net_savings_j, b.energy.net_savings_j);
+  EXPECT_DOUBLE_EQ(a.energy.net_savings_frac, b.energy.net_savings_frac);
+  EXPECT_DOUBLE_EQ(a.energy.perf_loss_frac, b.energy.perf_loss_frac);
+  EXPECT_DOUBLE_EQ(a.energy.turnoff_ratio, b.energy.turnoff_ratio);
+  EXPECT_DOUBLE_EQ(a.base_l1d_miss_rate, b.base_l1d_miss_rate);
+}
+
+TEST(Sweep, ParallelMatchesSerialBitIdentical) {
+  clear_baseline_cache();
+  const std::vector<ExperimentResult> serial = run_cells(1);
+  clear_baseline_cache();
+  const std::vector<ExperimentResult> parallel = run_cells(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+TEST(Sweep, DeterministicAcrossRepeatedParallelRuns) {
+  clear_baseline_cache();
+  const std::vector<ExperimentResult> a = run_cells(3);
+  const std::vector<ExperimentResult> b = run_cells(3); // warm cache
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_identical(a[i], b[i]);
+  }
+}
+
+TEST(Sweep, ResultsInSubmissionOrder) {
+  SweepRunner runner(SweepOptions{.threads = 4});
+  const std::vector<const char*> names = {"vpr", "gcc", "crafty", "parser"};
+  for (const char* name : names) {
+    runner.submit(workload::profile_by_name(name), quick_config());
+  }
+  EXPECT_EQ(runner.pending(), names.size());
+  const std::vector<ExperimentResult> results = runner.run();
+  ASSERT_EQ(results.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(results[i].benchmark, names[i]);
+  }
+  EXPECT_EQ(runner.pending(), 0u); // run() drains the queue
+}
+
+TEST(Sweep, BaselineSimulatedOncePerKeyUnderContention) {
+  clear_baseline_cache();
+  ASSERT_EQ(baseline_cache_size(), 0u);
+  // 8 cells, all sharing one baseline key (same benchmark, same machine).
+  SweepRunner runner(SweepOptions{.threads = 4});
+  for (int i = 0; i < 8; ++i) {
+    ExperimentConfig cfg = quick_config();
+    cfg.decay_interval = 1024u << i; // vary a non-baseline field
+    runner.submit(workload::profile_by_name("gap"), cfg);
+  }
+  const auto results = runner.run();
+  EXPECT_EQ(baseline_cache_size(), 1u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.base_run.cycles, results.front().base_run.cycles);
+  }
+}
+
+TEST(Sweep, ParallelForCoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for_indexed(
+      kCount, [&](std::size_t i) { hits[i].fetch_add(1); },
+      SweepOptions{.threads = 8});
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Sweep, LowestIndexExceptionWins) {
+  const auto run = [](unsigned threads) {
+    parallel_for_indexed(
+        16,
+        [](std::size_t i) {
+          if (i == 3 || i == 11) {
+            throw std::runtime_error("boom " + std::to_string(i));
+          }
+        },
+        SweepOptions{.threads = threads});
+  };
+  EXPECT_THROW(run(1), std::runtime_error);
+  try {
+    run(4);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 3");
+  }
+}
+
+TEST(Sweep, SweepMapPreservesOrder) {
+  std::vector<int> items(64);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i] = static_cast<int>(i);
+  }
+  const std::vector<int> squares = sweep_map(
+      items, [](int v) { return v * v; }, SweepOptions{.threads = 4});
+  ASSERT_EQ(squares.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(squares[i], items[i] * items[i]);
+  }
+}
+
+TEST(Sweep, ResolveThreadCount) {
+  EXPECT_EQ(resolve_thread_count(3), 3u);
+  EXPECT_GE(resolve_thread_count(0), 1u);
+
+  ::setenv("HLCC_THREADS", "5", 1);
+  EXPECT_EQ(resolve_thread_count(0), 5u);
+  EXPECT_EQ(resolve_thread_count(2), 2u); // explicit beats env
+
+  ::setenv("HLCC_THREADS", "0", 1); // nonsense falls back to hardware
+  EXPECT_GE(resolve_thread_count(0), 1u);
+  ::setenv("HLCC_THREADS", "garbage", 1);
+  EXPECT_GE(resolve_thread_count(0), 1u);
+  ::unsetenv("HLCC_THREADS");
+}
+
+TEST(Sweep, RunSuiteMatchesSerialSuite) {
+  clear_baseline_cache();
+  ExperimentConfig cfg = quick_config();
+  cfg.instructions = 60'000;
+  const SuiteResult serial = run_suite(cfg, SweepOptions{.threads = 1});
+  clear_baseline_cache();
+  const SuiteResult parallel = run_suite(cfg, SweepOptions{.threads = 4});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_identical(serial[i], parallel[i]);
+  }
+  EXPECT_DOUBLE_EQ(serial.mean_net_savings(), parallel.mean_net_savings());
+  EXPECT_DOUBLE_EQ(serial.mean_slowdown(), parallel.mean_slowdown());
+}
+
+TEST(Sweep, BuilderProducesSameConfigAsStruct) {
+  ExperimentConfig by_hand;
+  by_hand.l2_latency = 8;
+  by_hand.temperature_c = 85.0;
+  by_hand.instructions = 250'000;
+  by_hand.technique = leakctl::TechniqueParams::gated_vss();
+  by_hand.decay_interval = 8192;
+  by_hand.variation = false;
+  by_hand.adaptive = ExperimentConfig::AdaptiveScheme::feedback;
+
+  const ExperimentConfig built =
+      ExperimentConfig::make()
+          .l2_latency(8)
+          .temperature(85.0)
+          .instructions(250'000)
+          .technique(leakctl::TechniqueParams::gated_vss())
+          .decay_interval(8192)
+          .variation(false)
+          .adaptive(ExperimentConfig::AdaptiveScheme::feedback)
+          .build();
+
+  EXPECT_EQ(built.l2_latency, by_hand.l2_latency);
+  EXPECT_DOUBLE_EQ(built.temperature_c, by_hand.temperature_c);
+  EXPECT_EQ(built.instructions, by_hand.instructions);
+  EXPECT_EQ(built.technique.mode, by_hand.technique.mode);
+  EXPECT_EQ(built.decay_interval, by_hand.decay_interval);
+  EXPECT_EQ(built.variation, by_hand.variation);
+  EXPECT_EQ(built.adaptive, by_hand.adaptive);
+}
+
+TEST(Sweep, BuilderValidatesOnBuild) {
+  EXPECT_THROW(ExperimentConfig::make().instructions(0).build(),
+               std::invalid_argument);
+  // Implicit conversion also validates.
+  const auto use = [](const ExperimentConfig& cfg) { return cfg.l2_latency; };
+  EXPECT_THROW(use(ExperimentConfig::make().l2_latency(0)),
+               std::invalid_argument);
+}
+
+} // namespace
+} // namespace harness
