@@ -12,7 +12,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
   std::printf("== Ablation: leakage control under DVS (110C, L2=11, "
               "interval 4k) ==\n");
   std::printf("%8s %10s | %18s | %18s\n", "Vdd[V]", "f[GHz]", "drowsy",
@@ -41,18 +42,25 @@ int main() {
         all.begin() + static_cast<std::ptrdiff_t>(block * n),
         all.begin() + static_cast<std::ptrdiff_t>((block + 1) * n)));
   };
+  std::vector<harness::Series> series;
   for (std::size_t v = 0; v < supplies.size(); ++v) {
-    const harness::SuiteResult d = slice(2 * v);
-    const harness::SuiteResult g = slice(2 * v + 1);
+    harness::SuiteResult d = slice(2 * v);
+    harness::SuiteResult g = slice(2 * v + 1);
     std::printf("%8.2f %10.2f | %8.2f%% %7.2f%% | %8.2f%% %7.2f%%\n",
                 supplies[v], 5.6 * supplies[v] / 0.9,
                 d.mean_net_savings() * 100.0, d.mean_slowdown() * 100.0,
                 g.mean_net_savings() * 100.0, g.mean_slowdown() * 100.0);
+    char label[32];
+    std::snprintf(label, sizeof(label), "drowsy@%.2fV", supplies[v]);
+    series.push_back({label, std::move(d)});
+    std::snprintf(label, sizeof(label), "gated-vss@%.2fV", supplies[v]);
+    series.push_back({label, std::move(g)});
   }
   std::printf("\nAs Vdd scales down toward the drowsy retention voltage "
               "(~0.32 V), drowsy's standby advantage collapses — the gap "
               "between operating and retention supply is what it saves.  "
               "Gated-Vss disconnects the rail entirely, so its savings are "
               "supply-independent: DVS widens gated-Vss's lead.\n");
+  bench::write_reports(report, "ablation: DVS supply sweep", series);
   return 0;
 }

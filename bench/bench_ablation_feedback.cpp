@@ -11,7 +11,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
   std::printf("== Ablation: adaptivity (fixed vs feedback vs oracle), "
               "85C, L2=11, gated-vss ==\n");
   std::printf("%-10s %12s %14s %12s\n", "benchmark", "fixed 4k",
@@ -45,14 +46,24 @@ int main() {
   double sum_fixed = 0.0;
   double sum_fb = 0.0;
   double sum_oracle = 0.0;
+  harness::Series fixed_series{"gated-vss/fixed-4k", {}};
+  harness::Series fb_series{"gated-vss/feedback", {}};
+  harness::Series oracle_series{"gated-vss/oracle", {}};
   const auto& profiles = workload::spec2000_profiles();
   for (std::size_t p = 0; p < profiles.size(); ++p) {
     const double fixed = results[fixed_idx[p]].energy.net_savings_frac;
     const double feedback = results[fb_idx[p]].energy.net_savings_frac;
-    double oracle = results[oracle_idx[p].front()].energy.net_savings_frac;
+    std::size_t best = oracle_idx[p].front();
     for (const std::size_t i : oracle_idx[p]) {
-      oracle = std::max(oracle, results[i].energy.net_savings_frac);
+      if (results[i].energy.net_savings_frac >
+          results[best].energy.net_savings_frac) {
+        best = i;
+      }
     }
+    const double oracle = results[best].energy.net_savings_frac;
+    fixed_series.results.push_back(results[fixed_idx[p]]);
+    fb_series.results.push_back(results[fb_idx[p]]);
+    oracle_series.results.push_back(results[best]);
     std::printf("%-10s %11.2f%% %13.2f%% %11.2f%%\n", profiles[p].name.data(),
                 fixed * 100.0, feedback * 100.0, oracle * 100.0);
     sum_fixed += fixed;
@@ -63,5 +74,7 @@ int main() {
   std::printf("%-10s %11.2f%% %13.2f%% %11.2f%%\n", "AVG",
               sum_fixed / n * 100.0, sum_fb / n * 100.0,
               sum_oracle / n * 100.0);
+  bench::write_reports(report, "ablation: adaptivity (fixed/feedback/oracle)",
+                       {fixed_series, fb_series, oracle_series});
   return 0;
 }

@@ -9,9 +9,9 @@
 
 namespace {
 
-void run(const leakctl::TechniqueParams& tech, leakctl::DecayPolicy policy,
-         const char* label) {
-  const harness::SuiteResult suite = harness::run_suite(
+harness::Series run(const leakctl::TechniqueParams& tech,
+                    leakctl::DecayPolicy policy, const char* label) {
+  harness::SuiteResult suite = harness::run_suite(
       bench::base_builder(11, 110.0).technique(tech).policy(policy).build(),
       bench::sweep_options("ablation-policy"));
   unsigned long long standby_events = 0;
@@ -23,20 +23,24 @@ void run(const leakctl::TechniqueParams& tech, leakctl::DecayPolicy policy,
               tech.name.data(), label, suite.mean_net_savings() * 100.0,
               suite.mean_slowdown() * 100.0, suite.mean_turnoff() * 100.0,
               standby_events);
+  return {std::string(tech.name) + "/" + label, std::move(suite)};
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
   std::printf("== Ablation: decay policy (noaccess vs simple), 110C, "
               "L2=11 ==\n");
-  run(leakctl::TechniqueParams::drowsy(), leakctl::DecayPolicy::noaccess,
-      "noaccess");
-  run(leakctl::TechniqueParams::drowsy(), leakctl::DecayPolicy::simple,
-      "simple");
-  run(leakctl::TechniqueParams::gated_vss(), leakctl::DecayPolicy::noaccess,
-      "noaccess");
-  run(leakctl::TechniqueParams::gated_vss(), leakctl::DecayPolicy::simple,
-      "simple");
+  std::vector<harness::Series> series;
+  series.push_back(run(leakctl::TechniqueParams::drowsy(),
+                       leakctl::DecayPolicy::noaccess, "noaccess"));
+  series.push_back(run(leakctl::TechniqueParams::drowsy(),
+                       leakctl::DecayPolicy::simple, "simple"));
+  series.push_back(run(leakctl::TechniqueParams::gated_vss(),
+                       leakctl::DecayPolicy::noaccess, "noaccess"));
+  series.push_back(run(leakctl::TechniqueParams::gated_vss(),
+                       leakctl::DecayPolicy::simple, "simple"));
+  bench::write_reports(report, "ablation: decay policy", series);
   return 0;
 }

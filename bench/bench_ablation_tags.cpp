@@ -11,24 +11,30 @@
 
 namespace {
 
-void run(leakctl::TechniqueParams tech, bool decay_tags) {
+harness::Series run(leakctl::TechniqueParams tech, bool decay_tags) {
   tech.decay_tags = decay_tags;
-  const harness::SuiteResult suite = harness::run_suite(
+  harness::SuiteResult suite = harness::run_suite(
       bench::base_builder(11, 110.0).technique(tech).build(),
       bench::sweep_options("ablation-tags"));
   std::printf("%-10s tags %-7s savings %6.2f %%  perf loss %5.2f %%\n",
               tech.name.data(), decay_tags ? "decayed" : "awake",
               suite.mean_net_savings() * 100.0,
               suite.mean_slowdown() * 100.0);
+  return {std::string(tech.name) + (decay_tags ? "/tags-decayed"
+                                               : "/tags-awake"),
+          std::move(suite)};
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
   std::printf("== Ablation: tag decay (Sec. 5.3), 110C, L2=11 ==\n");
-  run(leakctl::TechniqueParams::drowsy(), true);
-  run(leakctl::TechniqueParams::drowsy(), false);
-  run(leakctl::TechniqueParams::gated_vss(), true);
-  run(leakctl::TechniqueParams::gated_vss(), false);
+  std::vector<harness::Series> series;
+  series.push_back(run(leakctl::TechniqueParams::drowsy(), true));
+  series.push_back(run(leakctl::TechniqueParams::drowsy(), false));
+  series.push_back(run(leakctl::TechniqueParams::gated_vss(), true));
+  series.push_back(run(leakctl::TechniqueParams::gated_vss(), false));
+  bench::write_reports(report, "ablation: tag decay", series);
   return 0;
 }

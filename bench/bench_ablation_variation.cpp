@@ -7,7 +7,8 @@
 #include "bench/common.h"
 #include "hotleakage/variation.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
   std::printf("== Ablation: inter-die variation, 110C, L2=11 ==\n");
   const auto& tech70 = hotleakage::tech_params(hotleakage::TechNode::nm70);
   const hotleakage::OperatingPoint op =
@@ -18,8 +19,9 @@ int main() {
               "sigma %.3f) over Monte-Carlo dies\n",
               rn.mean_factor, rn.min_factor, rn.max_factor, rn.stddev_factor);
 
+  std::vector<harness::Series> series;
   for (bool variation : {false, true}) {
-    const harness::SuiteResult suite = harness::run_suite(
+    harness::SuiteResult suite = harness::run_suite(
         bench::base_builder(11, 110.0)
             .technique(leakctl::TechniqueParams::gated_vss())
             .variation(variation)
@@ -33,6 +35,10 @@ int main() {
                 "leakage %7.3f mJ\n",
                 variation ? "on" : "off", suite.mean_net_savings() * 100.0,
                 base_leak_mj);
+    series.push_back({variation ? "gated-vss/variation-on"
+                                : "gated-vss/variation-off",
+                      std::move(suite)});
   }
+  bench::write_reports(report, "ablation: inter-die variation", series);
   return 0;
 }

@@ -64,7 +64,8 @@ struct Cell {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
   const uint64_t insts = bench::instructions();
   std::printf("== Extension: L1 I-cache decay (110C-equivalent machine, "
               "L2=11, interval 4k) ==\n");
@@ -91,5 +92,6 @@ int main() {
                 d.standby_events, g.turnoff * 100, g.perf_loss * 100,
                 g.standby_events);
   }
+  bench::write_reports(report, "ext: L1 I-cache decay");
   return 0;
 }

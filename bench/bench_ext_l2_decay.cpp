@@ -65,7 +65,8 @@ struct Cell {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
   const uint64_t insts = bench::instructions();
   hotleakage::LeakageModel model(hotleakage::TechNode::nm70);
   model.set_operating_point(hotleakage::OperatingPoint::at_celsius(110, 0.9));
@@ -101,5 +102,6 @@ int main() {
               model.structure_power(hotleakage::CacheGeometry{
                   .lines = 32768, .line_bytes = 64, .tag_bits = 17,
                   .assoc = 2}));
+  bench::write_reports(report, "ext: gated-Vss L2 decay");
   return 0;
 }

@@ -18,7 +18,8 @@ struct Cell {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
   const uint64_t insts = bench::instructions();
   hotleakage::LeakageModel model(hotleakage::TechNode::nm70);
   model.set_operating_point(hotleakage::OperatingPoint::at_celsius(110, 0.9));
@@ -55,5 +56,6 @@ int main() {
   }
   std::printf("(mispred column: decayed rate, with delta vs the plain "
               "predictor in parentheses)\n");
+  bench::write_reports(report, "ext: predictor + BTB decay");
   return 0;
 }

@@ -36,7 +36,8 @@ struct Cell {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
   faults::FaultConfig fault_base;
   fault_base.enabled = true;
   fault_base.standby_rate_per_bit_cycle = 1e-10; // raw, at nominal Vdd/300 K
@@ -123,5 +124,6 @@ int main() {
     std::printf("\nGated-Vss is immune by construction (no standby state); "
                 "at this rate SECDED holds drowsy at zero corruptions.\n");
   }
+  bench::write_reports(report, "ext: standby soft errors", detail);
   return 0;
 }

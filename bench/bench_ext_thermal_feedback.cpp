@@ -14,7 +14,8 @@
 #include "bench/common.h"
 #include "thermal/feedback.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
   std::printf("== Extension: leakage-temperature feedback (70nm, Table 2 "
               "floorplan) ==\n");
   std::printf("%-10s %10s %10s %12s %12s %10s\n", "Pdyn[W]", "core[C]",
@@ -61,5 +62,6 @@ int main() {
   std::printf("\nNote the compounding: controlling leakage lowers "
               "temperature, which lowers leakage again — the coupling only "
               "a runtime-recalculating model captures.\n");
+  bench::write_reports(report, "ext: leakage-thermal feedback");
   return 0;
 }

@@ -5,7 +5,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
   auto [drowsy, gated] = bench::run_both(bench::base_config(17, 110.0), "fig10-11");
   harness::print_savings_figure(
       std::cout, "Figure 10: net leakage savings @110C, L2=17 cycles",
@@ -13,5 +14,6 @@ int main() {
   harness::print_perf_figure(
       std::cout, "Figure 11: performance loss, L2=17 cycles",
       {drowsy, gated});
+  bench::write_reports(report, "fig10-11: 110C, L2=17", {drowsy, gated});
   return 0;
 }

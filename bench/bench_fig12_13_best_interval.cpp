@@ -9,7 +9,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
   const std::vector<uint64_t> grid = harness::paper_interval_grid();
 
   harness::Series drowsy{"drowsy", {}};
@@ -51,5 +52,11 @@ int main() {
             << "% -> " << drowsy.results.mean_net_savings() * 100 << "%,  "
             << drowsy_fixed.results.mean_slowdown() * 100 << "% -> "
             << drowsy.results.mean_slowdown() * 100 << "%\n";
+  drowsy.label = "drowsy-oracle";
+  gated.label = "gated-vss-oracle";
+  drowsy_fixed.label = "drowsy-fixed";
+  gated_fixed.label = "gated-vss-fixed";
+  bench::write_reports(report, "fig12-13: 85C, L2=11, oracle intervals",
+                       {drowsy, gated, drowsy_fixed, gated_fixed});
   return 0;
 }

@@ -6,6 +6,7 @@
 // (a)-(c) and divergence beyond the normal Vth range in (d).
 #include <cstdio>
 
+#include "bench/common.h"
 #include "hotleakage/bsim3.h"
 #include "spiceref/device.h"
 
@@ -23,7 +24,8 @@ void row(double x, const char* unit, double model, double ref) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
   const hotleakage::TechParams& tech =
       hotleakage::tech_params(TechNode::nm70);
 
@@ -78,5 +80,6 @@ int main() {
   std::printf("note: (d) diverges beyond the nominal Vth (0.19 V) where the "
               "junction/gate floor the simple model omits dominates — the "
               "paper's Fig. 1d caveat.\n");
+  bench::write_reports(report, "fig1: unit leakage model vs reference");
   return 0;
 }

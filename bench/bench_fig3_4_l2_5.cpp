@@ -5,12 +5,14 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
   auto [drowsy, gated] = bench::run_both(bench::base_config(5, 110.0), "fig3-4");
   harness::print_savings_figure(
       std::cout, "Figure 3: net leakage savings @110C, L2=5 cycles",
       {drowsy, gated});
   harness::print_perf_figure(
       std::cout, "Figure 4: performance loss, L2=5 cycles", {drowsy, gated});
+  bench::write_reports(report, "fig3-4: 110C, L2=5", {drowsy, gated});
   return 0;
 }

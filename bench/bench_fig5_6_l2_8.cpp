@@ -5,12 +5,14 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
   auto [drowsy, gated] = bench::run_both(bench::base_config(8, 110.0), "fig5-6");
   harness::print_savings_figure(
       std::cout, "Figure 5: net leakage savings @110C, L2=8 cycles",
       {drowsy, gated});
   harness::print_perf_figure(
       std::cout, "Figure 6: performance loss, L2=8 cycles", {drowsy, gated});
+  bench::write_reports(report, "fig5-6: 110C, L2=8", {drowsy, gated});
   return 0;
 }

@@ -4,7 +4,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
   auto [drowsy, gated] = bench::run_both(bench::base_config(11, 85.0), "fig7");
   harness::print_savings_figure(
       std::cout, "Figure 7: net leakage savings @85C, L2=11 cycles",
@@ -14,5 +15,6 @@ int main() {
   std::cout << "turnoff ratio (avg): drowsy "
             << static_cast<int>(d.turnoff * 100) << " %, gated-vss "
             << static_cast<int>(g.turnoff * 100) << " %\n";
+  bench::write_reports(report, "fig7: 85C, L2=11", {drowsy, gated});
   return 0;
 }

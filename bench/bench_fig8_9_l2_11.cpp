@@ -6,7 +6,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
   auto [drowsy, gated] = bench::run_both(bench::base_config(11, 110.0), "fig8-9");
   harness::print_savings_figure(
       std::cout, "Figure 8: net leakage savings @110C, L2=11 cycles",
@@ -23,5 +24,6 @@ int main() {
   }
   std::cout << "benchmarks where drowsy wins on savings: " << drowsy_wins
             << "/" << drowsy.results.size() << "\n";
+  bench::write_reports(report, "fig8-9: 110C, L2=11", {drowsy, gated});
   return 0;
 }

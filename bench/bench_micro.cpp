@@ -1,8 +1,16 @@
 // Google-benchmark micro-benchmarks of the hot paths: leakage-model
 // recomputation (the cost of DVS/thermal tracking), cache access, decay
 // machinery, trace generation, and the full controlled access path.
+//
+// `bench_micro --json <path>` emits the canonical machine-readable run:
+// the micro rows, a quick drowsy/gated suite (net savings, slowdown),
+// the metrics registry (phase timings, sweep throughput), and run
+// metadata, in one schema-1 document.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench/common.h"
 #include "hotleakage/kdesign.h"
 #include "hotleakage/model.h"
 #include "leakctl/controlled_cache.h"
@@ -99,6 +107,81 @@ void BM_EndToEndSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSimulation);
 
+/// Console reporter that also collects every run for the JSON export.
+class CollectingReporter : public benchmark::ConsoleReporter {
+public:
+  struct Row {
+    std::string name;
+    long long iterations = 0;
+    double real_time = 0.0;
+    double cpu_time = 0.0;
+    std::string time_unit;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      rows_.push_back({run.benchmark_name(), run.iterations,
+                       run.GetAdjustedRealTime(), run.GetAdjustedCPUTime(),
+                       benchmark::GetTimeUnitString(run.time_unit)});
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+private:
+  std::vector<Row> rows_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!report.requested()) {
+    return 0;
+  }
+
+  // The canonical JSON also carries the paper-level numbers: a quick
+  // drowsy/gated suite at the Fig. 8/9 operating point feeds the series
+  // section with per-benchmark net savings and slowdown, and populates
+  // the phase timers the micro rows cannot.
+  auto [drowsy, gated] = bench::run_both(bench::base_config(11, 110.0),
+                                         "micro-suite");
+  const std::vector<harness::Series> series = {drowsy, gated};
+  harness::json::Value doc =
+      harness::suite_report("micro: hot paths + quick suite", series);
+  harness::json::Value micro = harness::json::Value::array();
+  for (const CollectingReporter::Row& row : reporter.rows()) {
+    harness::json::Value r;
+    r["name"] = row.name;
+    r["iterations"] = row.iterations;
+    r["real_time"] = row.real_time;
+    r["cpu_time"] = row.cpu_time;
+    r["time_unit"] = row.time_unit;
+    micro.push_back(std::move(r));
+  }
+  doc["micro"] = std::move(micro);
+  try {
+    if (!report.json_path.empty()) {
+      harness::write_json_file(report.json_path, doc);
+      std::fprintf(stderr, "[report] wrote JSON to %s\n",
+                   report.json_path.c_str());
+    }
+    if (!report.csv_path.empty()) {
+      harness::write_csv_file(report.csv_path, series);
+      std::fprintf(stderr, "[report] wrote CSV to %s\n",
+                   report.csv_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "report export failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/common.h"
 #include "leakctl/controlled_cache.h"
 #include "sim/processor.h"
 
@@ -38,7 +39,8 @@ void report(const TechniqueParams& tech) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report_opts = bench::parse_cli(argc, argv);
   std::printf("== Table 1: settling time (cycles) ==\n");
   std::printf("%-24s %8s %12s\n", "", "Drowsy", "Gated-Vss");
   const TechniqueParams d = TechniqueParams::drowsy();
@@ -51,5 +53,6 @@ int main() {
   report(d);
   report(g);
   report(TechniqueParams::rbb());
+  bench::write_reports(report_opts, "table1: settling times");
   return 0;
 }

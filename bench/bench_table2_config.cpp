@@ -7,7 +7,8 @@
 #include "sim/processor.h"
 #include "workload/generator.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
   const sim::ProcessorConfig cfg = sim::ProcessorConfig::table2(11);
   std::printf("== Table 2: simulated processor microarchitecture ==\n");
   std::printf("Instruction window   %u-RUU, %u-LSQ\n", cfg.core.ruu_size,
@@ -63,5 +64,6 @@ int main() {
                 rows[i].l1d_miss * 100.0, rows[i].l1i_miss * 100.0,
                 rows[i].mispredict * 100.0);
   }
+  bench::write_reports(report, "table2: machine config + baseline sanity");
   return 0;
 }

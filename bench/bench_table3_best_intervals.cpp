@@ -7,7 +7,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
   const std::vector<uint64_t> grid = harness::paper_interval_grid();
 
   const auto drowsy_sweeps = harness::best_interval_sweeps_all(
@@ -42,5 +43,16 @@ int main() {
             << harness::format_interval(dmax) << ", gated-vss "
             << harness::format_interval(gmin) << ".."
             << harness::format_interval(gmax) << "\n";
+
+  // Export the best-interval cells (the table's winners carry their
+  // decay_interval in the per-benchmark config block).
+  harness::Series drowsy_best{"drowsy-best", {}};
+  harness::Series gated_best{"gated-vss-best", {}};
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    drowsy_best.results.push_back(drowsy_sweeps[i].best);
+    gated_best.results.push_back(gated_sweeps[i].best);
+  }
+  bench::write_reports(report, "table3: best decay intervals",
+                       {drowsy_best, gated_best});
   return 0;
 }

@@ -9,16 +9,50 @@
 // committed instructions per benchmark).
 #pragma once
 
+// Machine-readable results: every bench binary accepts
+//   --json <path>   full suite report (schema 1; also via HLCC_JSON env)
+//   --csv <path>    per-benchmark rows
+// parsed by parse_cli below and emitted through harness::write_reports.
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 #include <utility>
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/report_json.h"
 #include "harness/sweep.h"
 
 namespace bench {
+
+/// Strip --json/--csv from argv (exiting with a usage error on a missing
+/// path) and resolve the HLCC_JSON default.  Call first in every main().
+inline harness::ReportOptions parse_cli(int& argc, char** argv) {
+  try {
+    return harness::parse_report_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    std::fprintf(stderr, "usage: %s [--json <path>] [--csv <path>]\n",
+                 argv[0]);
+    std::exit(2);
+  }
+}
+
+/// Emit the requested reports for a figure/table run.  Benches whose
+/// output is not a Series grid pass {} and still export run metadata and
+/// the metrics registry (phase timings, sweep throughput).
+inline void write_reports(const harness::ReportOptions& opts,
+                          const std::string& title,
+                          const std::vector<harness::Series>& series = {}) {
+  try {
+    harness::write_reports(opts, title, series);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "report export failed: %s\n", e.what());
+    std::exit(1);
+  }
+}
 
 /// Instructions per run: HLCC_INSTRUCTIONS env var or the default.
 inline uint64_t instructions(uint64_t fallback = 600'000) {

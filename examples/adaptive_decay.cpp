@@ -10,8 +10,10 @@
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/report_json.h"
 
 int main(int argc, char** argv) {
+  const harness::ReportOptions report = harness::parse_report_cli(argc, argv);
   const char* bench = argc > 1 ? argv[1] : "gzip";
   const workload::BenchmarkProfile* profile = nullptr;
   try {
@@ -70,5 +72,14 @@ int main(int argc, char** argv) {
                 r.energy.perf_loss_frac * 100.0,
                 r.energy.turnoff_ratio * 100.0);
   }
+  harness::Series fixed_series{"fixed-4k", {}};
+  fixed_series.results.push_back(fixed);
+  harness::Series fb_series{"feedback", {}};
+  fb_series.results.push_back(feedback);
+  harness::Series oracle_series{"oracle", {}};
+  oracle_series.results.push_back(sweep.best);
+  harness::write_reports(report,
+                         std::string("example: adaptive decay on ") + bench,
+                         {fixed_series, fb_series, oracle_series});
   return 0;
 }

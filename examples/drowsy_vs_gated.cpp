@@ -3,6 +3,7 @@
 // harness::SweepRunner, so the cells run in parallel (HLCC_THREADS).
 //
 // Usage: ./examples/drowsy_vs_gated [benchmark] [instructions]
+//                                    [--json <path>] [--csv <path>]
 //   benchmark    one of gcc gzip parser vortex gap perl twolf bzip2 vpr
 //                mcf crafty          (default: gcc)
 //   instructions committed instructions to simulate (default: 500000)
@@ -12,9 +13,11 @@
 #include <vector>
 
 #include "harness/report.h"
+#include "harness/report_json.h"
 #include "harness/sweep.h"
 
 int main(int argc, char** argv) {
+  const harness::ReportOptions report = harness::parse_report_cli(argc, argv);
   const char* bench = argc > 1 ? argv[1] : "gcc";
   const uint64_t insts =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 500'000;
@@ -44,6 +47,13 @@ int main(int argc, char** argv) {
   }
   const std::vector<harness::ExperimentResult> results = runner.run();
 
+  harness::Series drowsy{"drowsy", {}};
+  harness::Series gated{"gated-vss", {}};
+  for (std::size_t i = 0; i < l2_lats.size(); ++i) {
+    drowsy.results.push_back(results[2 * i]);
+    gated.results.push_back(results[2 * i + 1]);
+  }
+
   std::printf("drowsy vs gated-Vss on %s (%llu instructions, 110 C, "
               "noaccess decay @4k cycles)\n\n",
               bench, static_cast<unsigned long long>(insts));
@@ -68,5 +78,8 @@ int main(int argc, char** argv) {
           *profile, harness::ExperimentConfig::make()
                         .instructions(insts)
                         .technique(leakctl::TechniqueParams::gated_vss())));
+  harness::write_reports(report, std::string("example: drowsy vs gated on ") +
+                                     bench,
+                         {drowsy, gated});
   return 0;
 }

@@ -8,6 +8,7 @@
 // every millisecond — a miniature of the DTM studies the paper cites.
 #include <cstdio>
 
+#include "harness/report_json.h"
 #include "hotleakage/model.h"
 
 namespace {
@@ -27,7 +28,8 @@ struct ThermalRc {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = harness::parse_report_cli(argc, argv);
   using namespace hotleakage;
   const CacheGeometry l1d{.lines = 1024, .line_bytes = 64, .tag_bits = 28,
                           .assoc = 2};
@@ -71,5 +73,6 @@ int main() {
   std::printf("\nNote how leakage tracks the temperature exponentially and "
               "collapses under the DVS throttle: exactly the coupling "
               "HotLeakage was built to expose.\n");
+  harness::write_reports(report, "example: DVS thermal tracking", {});
   return 0;
 }

@@ -1,7 +1,7 @@
 // fault_injection — what does "state-preserving" cost once state
 // preservation must be guaranteed?
 //
-//   ./examples/fault_injection [benchmark] [instructions]
+//   ./examples/fault_injection [benchmark] [instructions] [--json <path>]
 //
 // Drowsy standby holds cells at ~1.5x Vt, where the soft-error rate is
 // exponentially higher; gated-Vss destroys the state up front and so has
@@ -16,6 +16,7 @@
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/report_json.h"
 
 namespace {
 
@@ -34,6 +35,7 @@ const char* protection_name(faults::Protection p) {
 } // namespace
 
 int main(int argc, char** argv) {
+  const harness::ReportOptions report = harness::parse_report_cli(argc, argv);
   const std::string benchmark = argc > 1 ? argv[1] : "gcc";
   const uint64_t instructions =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 300'000;
@@ -63,6 +65,7 @@ int main(int argc, char** argv) {
 
   double best_reliable_savings = -1.0;
   std::string best_reliable;
+  std::vector<harness::Series> series;
   for (const leakctl::TechniqueParams& tech :
        {leakctl::TechniqueParams::drowsy(),
         leakctl::TechniqueParams::gated_vss()}) {
@@ -86,6 +89,10 @@ int main(int argc, char** argv) {
         best_reliable = std::string(tech.name) + " + " +
                         protection_name(prot);
       }
+      harness::Series s{std::string(tech.name) + "/" + protection_name(prot),
+                        {}};
+      s.results.push_back(r);
+      series.push_back(std::move(s));
     }
   }
 
@@ -94,5 +101,8 @@ int main(int argc, char** argv) {
   std::printf("Drowsy's raw advantage shrinks once its state must be "
               "protected; gated-Vss pays nothing because its standby holds "
               "no state.\n");
+  harness::write_reports(
+      report, std::string("example: fault injection on ") + benchmark,
+      series);
   return 0;
 }

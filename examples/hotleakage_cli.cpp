@@ -15,13 +15,15 @@
 #include <string>
 #include <vector>
 
+#include "harness/report_json.h"
 #include "hotleakage/gate_leakage.h"
 #include "hotleakage/kdesign.h"
 #include "hotleakage/options.h"
 
 namespace {
 
-int run(const std::vector<std::string>& args) {
+int run(const std::vector<std::string>& args,
+        const harness::ReportOptions& report) {
   const hotleakage::Options opts = hotleakage::parse_options(args);
 
   using namespace hotleakage;
@@ -72,12 +74,20 @@ int run(const std::vector<std::string>& args) {
     std::printf("\ninter-die variation factor: %.3fx\n",
                 model.variation_factor());
   }
+  harness::write_reports(report, "example: hotleakage cli", {});
   return 0;
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
+  harness::ReportOptions report;
+  try {
+    report = harness::parse_report_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 ||
@@ -90,7 +100,7 @@ int main(int argc, char** argv) {
   // Malformed options must exit cleanly with a diagnostic, never reach
   // std::terminate: this binary is driven from scripts.
   try {
-    return run(args);
+    return run(args, report);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -5,12 +5,14 @@
 //      (temperature / DVS) — the model recomputes currents on the fly.
 //   3. Compare the standby modes of the three leakage-control techniques.
 //
-// Build & run:  ./examples/quickstart
+// Build & run:  ./examples/quickstart [--json <path>]
 #include <cstdio>
 
+#include "harness/report_json.h"
 #include "hotleakage/model.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = harness::parse_report_cli(argc, argv);
   using namespace hotleakage;
 
   // A 64 KB, 2-way, 64 B-line L1 data cache (the paper's Table 2 L1D).
@@ -44,5 +46,6 @@ int main() {
 
   std::printf("\ninter-die variation factor at this point: %.2fx\n",
               model.variation_factor());
+  harness::write_reports(report, "example: quickstart", {});
   return 0;
 }

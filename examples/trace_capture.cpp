@@ -3,9 +3,11 @@
 // bit-identical simulation.
 //
 // Usage: ./examples/trace_capture [benchmark] [instructions] [path]
+//                                 [--json <path>]
 #include <cstdio>
 #include <cstdlib>
 
+#include "harness/report_json.h"
 #include "sim/processor.h"
 #include "workload/generator.h"
 #include "workload/tracefile.h"
@@ -22,6 +24,7 @@ sim::RunStats simulate(sim::TraceSource& source, uint64_t insts) {
 } // namespace
 
 int main(int argc, char** argv) {
+  const harness::ReportOptions report = harness::parse_report_cli(argc, argv);
   const char* bench = argc > 1 ? argv[1] : "gcc";
   const uint64_t insts =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200'000;
@@ -57,5 +60,6 @@ int main(int argc, char** argv) {
                   ? "bit-identical: yes\n"
                   : "bit-identical: NO (bug!)\n");
   std::remove(path);
+  harness::write_reports(report, "example: trace capture/replay", {});
   return live.cycles == replay.cycles ? 0 : 1;
 }

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate a --json suite report (schema version 1).
+
+Usage: check_report_schema.py REPORT.json [REPORT2.json ...]
+
+Stdlib only, so it runs anywhere CI has a python3.  Checks the contract
+documented in DESIGN.md: the schema stamp, run metadata, per-series
+benchmark rows (net savings, slowdown, config hash), and the metrics
+snapshot with its phase timers.  Exits non-zero naming the first
+violation.
+"""
+
+import json
+import re
+import sys
+
+HASH_RE = re.compile(r"^0x[0-9a-f]{16}$")
+
+
+class SchemaError(Exception):
+    pass
+
+
+def require(cond, where, what):
+    if not cond:
+        raise SchemaError(f"{where}: {what}")
+
+
+def check_number(obj, key, where):
+    require(key in obj, where, f"missing '{key}'")
+    require(isinstance(obj[key], (int, float)) and not isinstance(obj[key], bool),
+            where, f"'{key}' must be a number, got {type(obj[key]).__name__}")
+
+
+def check_benchmark_row(row, where):
+    require(isinstance(row, dict), where, "benchmark row must be an object")
+    require(isinstance(row.get("benchmark"), str) and row["benchmark"],
+            where, "missing benchmark name")
+    for key in ("net_savings_frac", "perf_loss_frac", "turnoff_ratio"):
+        check_number(row, key, where)
+    config = row.get("config")
+    require(isinstance(config, dict), where, "missing 'config'")
+    require(HASH_RE.match(config.get("hash", "")) is not None, where,
+            f"config.hash must be 0x + 16 hex digits, got {config.get('hash')!r}")
+    control = row.get("control")
+    require(isinstance(control, dict), where, "missing 'control'")
+    for key in ("hits", "slow_hits", "induced_misses", "true_misses",
+                "faults_injected", "corruptions"):
+        check_number(control, key, f"{where}.control")
+
+
+def check_report(doc, path):
+    require(isinstance(doc, dict), path, "top level must be an object")
+    require(doc.get("schema") == 1, path,
+            f"schema must be 1, got {doc.get('schema')!r}")
+    require(doc.get("kind") == "suite_report", path,
+            f"kind must be 'suite_report', got {doc.get('kind')!r}")
+    require(isinstance(doc.get("title"), str) and doc["title"], path,
+            "missing title")
+
+    meta = doc.get("metadata")
+    require(isinstance(meta, dict), path, "missing 'metadata'")
+    require(isinstance(meta.get("git_describe"), str), f"{path}.metadata",
+            "missing git_describe")
+    check_number(meta, "threads", f"{path}.metadata")
+    check_number(meta, "hardware_concurrency", f"{path}.metadata")
+
+    series = doc.get("series")
+    require(isinstance(series, list), path, "'series' must be an array")
+    for i, s in enumerate(series):
+        where = f"{path}.series[{i}]"
+        require(isinstance(s, dict), where, "series entry must be an object")
+        require(isinstance(s.get("label"), str) and s["label"], where,
+                "missing label")
+        averages = s.get("averages")
+        require(isinstance(averages, dict), where, "missing 'averages'")
+        for key in ("net_savings_frac", "perf_loss_frac", "turnoff_ratio"):
+            check_number(averages, key, f"{where}.averages")
+        benchmarks = s.get("benchmarks")
+        require(isinstance(benchmarks, list), where,
+                "'benchmarks' must be an array")
+        for j, row in enumerate(benchmarks):
+            check_benchmark_row(row, f"{where}.benchmarks[{j}]")
+
+    metrics = doc.get("metrics")
+    require(isinstance(metrics, dict), path, "missing 'metrics'")
+    for section in ("counters", "gauges", "timers"):
+        require(isinstance(metrics.get(section), dict), f"{path}.metrics",
+                f"missing '{section}'")
+    for name, stat in metrics["timers"].items():
+        where = f"{path}.metrics.timers[{name}]"
+        require(isinstance(stat, dict), where, "timer must be an object")
+        check_number(stat, "total_s", where)
+        check_number(stat, "count", where)
+
+    # A report produced by an actual run must carry phase timings; an
+    # empty-series metadata-only export is exempt.
+    if any(s.get("benchmarks") for s in series):
+        require("phase.experiment" in metrics["timers"] or
+                "phase.simulation" in metrics["timers"],
+                f"{path}.metrics.timers",
+                "report with results is missing phase timings")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+            check_report(doc, path)
+        except (OSError, json.JSONDecodeError, SchemaError) as e:
+            print(f"schema check FAILED: {e}", file=sys.stderr)
+            return 1
+        print(f"schema check OK: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

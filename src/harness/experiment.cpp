@@ -8,6 +8,7 @@
 #include <string>
 #include <tuple>
 
+#include "harness/metrics.h"
 #include "harness/sweep.h"
 #include "workload/generator.h"
 
@@ -66,10 +67,14 @@ std::shared_ptr<BaselineSlot> baseline_for(
     std::shared_ptr<BaselineSlot>& entry = baseline_cache()[std::move(key)];
     if (!entry) {
       entry = std::make_shared<BaselineSlot>();
+      metrics::count("baseline_cache.miss");
+    } else {
+      metrics::count("baseline_cache.hit");
     }
     slot = entry;
   }
   std::call_once(slot->once, [&] {
+    metrics::ScopedTimer timer("phase.baseline_sim");
     const sim::ProcessorConfig pcfg =
         sim::ProcessorConfig::table2(cfg.l2_latency);
     sim::Processor proc(pcfg);
@@ -143,6 +148,8 @@ void ExperimentConfig::validate() const {
 ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
                                 const ExperimentConfig& cfg) {
   cfg.validate();
+  metrics::ScopedTimer experiment_timer("phase.experiment");
+  metrics::count("experiments.run");
   ExperimentResult result;
   result.benchmark = std::string(profile.name);
   result.config = cfg;
@@ -205,11 +212,15 @@ ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
     break;
   }
   workload::Generator gen(profile, cfg.seed);
-  result.tech_run = proc.run(gen, dport, cfg.instructions);
+  {
+    metrics::ScopedTimer sim_timer("phase.simulation");
+    result.tech_run = proc.run(gen, dport, cfg.instructions);
+  }
   dport.finalize(result.tech_run.cycles);
   result.control = dport.stats();
 
   // Energy accounting at the experiment's operating point.
+  metrics::ScopedTimer leakage_timer("phase.leakage_model");
   hotleakage::VariationConfig vcfg;
   vcfg.enabled = cfg.variation;
   hotleakage::LeakageModel model(hotleakage::TechNode::nm70, vcfg);

@@ -1,0 +1,489 @@
+#include "harness/json_writer.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace harness::json {
+namespace {
+
+[[noreturn]] void type_error(const char* want, const Value& v) {
+  const char* got = v.is_null()     ? "null"
+                    : v.is_bool()   ? "bool"
+                    : v.is_number() ? "number"
+                    : v.is_string() ? "string"
+                    : v.is_array()  ? "array"
+                                    : "object";
+  throw std::runtime_error(std::string("json: expected ") + want + ", have " +
+                           got);
+}
+
+/// Largest double magnitude below which every integer is exact.
+constexpr double kMaxExactInt = 9007199254740992.0; // 2^53
+
+void write_number(std::ostream& os, double d) {
+  if (!std::isfinite(d)) {
+    os << "null"; // NaN/Inf policy: degrade to null (see header)
+    return;
+  }
+  char buf[32];
+  if (d == std::floor(d) && std::fabs(d) < kMaxExactInt) {
+    const auto [ptr, ec] = std::to_chars(
+        buf, buf + sizeof(buf), static_cast<long long>(d));
+    os.write(buf, ptr - buf);
+    return;
+  }
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  os.write(buf, ptr - buf);
+}
+
+class Parser {
+public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing garbage after document");
+    }
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    switch (peek()) {
+    case '{':
+      return parse_object();
+    case '[':
+      return parse_array();
+    case '"':
+      return Value(parse_string());
+    case 't':
+      if (consume_literal("true")) {
+        return Value(true);
+      }
+      fail("bad literal");
+    case 'f':
+      if (consume_literal("false")) {
+        return Value(false);
+      }
+      fail("bad literal");
+    case 'n':
+      if (consume_literal("null")) {
+        return Value(nullptr);
+      }
+      fail("bad literal");
+    default:
+      return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value(std::move(obj));
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("unterminated escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': append_unicode_escape(out); break;
+      default: fail("unknown escape sequence");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+    }
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("bad hex digit in \\u escape");
+      }
+    }
+    return code;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    unsigned code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // Surrogate pair.
+      if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        fail("unpaired high surrogate");
+      }
+      pos_ += 2;
+      const unsigned low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) {
+        fail("bad low surrogate");
+      }
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired low surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double d = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, d);
+    if (ec != std::errc{} || ptr != text_.data() + pos_ || pos_ == start) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool Value::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&v_)) {
+    return *b;
+  }
+  type_error("bool", *this);
+}
+
+double Value::as_double() const {
+  if (const double* d = std::get_if<double>(&v_)) {
+    return *d;
+  }
+  type_error("number", *this);
+}
+
+const std::string& Value::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&v_)) {
+    return *s;
+  }
+  type_error("string", *this);
+}
+
+const Array& Value::as_array() const {
+  if (const Array* a = std::get_if<Array>(&v_)) {
+    return *a;
+  }
+  type_error("array", *this);
+}
+
+const Object& Value::as_object() const {
+  if (const Object* o = std::get_if<Object>(&v_)) {
+    return *o;
+  }
+  type_error("object", *this);
+}
+
+Value& Value::operator[](std::string_view key) {
+  if (is_null()) {
+    v_ = Object{};
+  }
+  Object* obj = std::get_if<Object>(&v_);
+  if (obj == nullptr) {
+    type_error("object", *this);
+  }
+  for (auto& [k, v] : *obj) {
+    if (k == key) {
+      return v;
+    }
+  }
+  obj->emplace_back(std::string(key), Value());
+  return obj->back().second;
+}
+
+const Value& Value::at(std::string_view key) const {
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) {
+      return v;
+    }
+  }
+  throw std::runtime_error("json: no member named '" + std::string(key) + "'");
+}
+
+bool Value::contains(std::string_view key) const {
+  if (!is_object()) {
+    return false;
+  }
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const Value& Value::at(std::size_t i) const {
+  const Array& arr = as_array();
+  if (i >= arr.size()) {
+    throw std::runtime_error("json: array index " + std::to_string(i) +
+                             " out of range (size " +
+                             std::to_string(arr.size()) + ")");
+  }
+  return arr[i];
+}
+
+void Value::push_back(Value v) {
+  if (is_null()) {
+    v_ = Array{};
+  }
+  Array* arr = std::get_if<Array>(&v_);
+  if (arr == nullptr) {
+    type_error("array", *this);
+  }
+  arr->push_back(std::move(v));
+}
+
+std::size_t Value::size() const {
+  if (const Array* a = std::get_if<Array>(&v_)) {
+    return a->size();
+  }
+  if (const Object* o = std::get_if<Object>(&v_)) {
+    return o->size();
+  }
+  return 0;
+}
+
+void escape_string(std::string_view s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+    case '"': out += "\\\""; break;
+    case '\\': out += "\\\\"; break;
+    case '\b': out += "\\b"; break;
+    case '\f': out += "\\f"; break;
+    case '\n': out += "\\n"; break;
+    case '\r': out += "\\r"; break;
+    case '\t': out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(c)));
+        out += buf;
+      } else {
+        out.push_back(c); // UTF-8 bytes pass through verbatim
+      }
+    }
+  }
+  out.push_back('"');
+}
+
+void Value::write_impl(std::ostream& os, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent >= 0) {
+      os.put('\n');
+      for (int i = 0; i < indent * d; ++i) {
+        os.put(' ');
+      }
+    }
+  };
+  if (is_null()) {
+    os << "null";
+  } else if (const bool* b = std::get_if<bool>(&v_)) {
+    os << (*b ? "true" : "false");
+  } else if (const double* d = std::get_if<double>(&v_)) {
+    write_number(os, *d);
+  } else if (const std::string* s = std::get_if<std::string>(&v_)) {
+    std::string esc;
+    escape_string(*s, esc);
+    os << esc;
+  } else if (const Array* arr = std::get_if<Array>(&v_)) {
+    if (arr->empty()) {
+      os << "[]";
+      return;
+    }
+    os.put('[');
+    bool first = true;
+    for (const Value& v : *arr) {
+      if (!first) {
+        os.put(',');
+      }
+      first = false;
+      newline(depth + 1);
+      v.write_impl(os, indent, depth + 1);
+    }
+    newline(depth);
+    os.put(']');
+  } else {
+    const Object& obj = std::get<Object>(v_);
+    if (obj.empty()) {
+      os << "{}";
+      return;
+    }
+    os.put('{');
+    bool first = true;
+    for (const auto& [k, v] : obj) {
+      if (!first) {
+        os.put(',');
+      }
+      first = false;
+      newline(depth + 1);
+      std::string esc;
+      escape_string(k, esc);
+      os << esc << (indent >= 0 ? ": " : ":");
+      v.write_impl(os, indent, depth + 1);
+    }
+    newline(depth);
+    os.put('}');
+  }
+}
+
+void Value::write(std::ostream& os, int indent) const {
+  write_impl(os, indent, 0);
+}
+
+std::string Value::dump(int indent) const {
+  std::ostringstream os;
+  write(os, indent);
+  return os.str();
+}
+
+Value Value::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+} // namespace harness::json

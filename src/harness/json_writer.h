@@ -1,0 +1,104 @@
+// Dependency-free JSON document model: build a tree of Values, dump it
+// as RFC 8259 text, parse it back.  This is the substrate for the
+// machine-readable result export (see harness/report_json.h) and is kept
+// deliberately small — no allocator tricks, no SAX interface, just a
+// tagged union with an order-preserving object.
+//
+// Policies:
+//  - Objects preserve insertion order, so a dumped report is stable and
+//    diffable across runs.
+//  - Numbers are doubles.  Integral values with magnitude below 2^53 are
+//    printed without a decimal point; everything else uses the shortest
+//    round-trippable representation (std::to_chars).
+//  - JSON has no NaN/Infinity: non-finite numbers serialize as null (the
+//    same policy as Python's json with allow_nan=False would *reject*;
+//    we degrade to null so a single bad metric cannot sink a report).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace harness::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// Insertion-ordered object (linear key lookup; report objects are small).
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {} // NOLINT(google-explicit-constructor)
+  Value(bool b) : v_(b) {}               // NOLINT(google-explicit-constructor)
+  Value(double d) : v_(d) {}             // NOLINT(google-explicit-constructor)
+  // One constructor per standard integer width so uint64_t / size_t /
+  // unsigned long long all convert without ambiguity.
+  Value(int i) : v_(static_cast<double>(i)) {}                // NOLINT
+  Value(unsigned u) : v_(static_cast<double>(u)) {}           // NOLINT
+  Value(long i) : v_(static_cast<double>(i)) {}               // NOLINT
+  Value(unsigned long u) : v_(static_cast<double>(u)) {}      // NOLINT
+  Value(long long i) : v_(static_cast<double>(i)) {}          // NOLINT
+  Value(unsigned long long u) : v_(static_cast<double>(u)) {} // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}      // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}        // NOLINT
+  Value(std::string_view s) : v_(std::string(s)) {} // NOLINT
+  Value(Array a) : v_(std::move(a)) {}              // NOLINT
+  Value(Object o) : v_(std::move(o)) {}             // NOLINT
+
+  static Value array() { return Value(Array{}); }
+  static Value object() { return Value(Object{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object field access.  operator[] inserts (making this an object if
+  /// null); at() throws std::runtime_error when the key is missing.
+  Value& operator[](std::string_view key);
+  const Value& at(std::string_view key) const;
+  bool contains(std::string_view key) const;
+
+  /// Array element access (at() throws std::runtime_error out of range).
+  const Value& at(std::size_t i) const;
+  void push_back(Value v);
+
+  /// Elements of an array / members of an object / 0 for scalars.
+  std::size_t size() const;
+
+  /// Serialize.  indent < 0: compact one-liner; indent >= 0: pretty-print
+  /// with that many spaces per level.
+  std::string dump(int indent = -1) const;
+  void write(std::ostream& os, int indent = -1) const;
+
+  /// Parse a complete JSON document; throws std::runtime_error naming the
+  /// byte offset on malformed input (including trailing garbage).
+  static Value parse(std::string_view text);
+
+private:
+  void write_impl(std::ostream& os, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Append @p s to @p out as a quoted JSON string with all mandatory
+/// escapes (quote, backslash, control characters).
+void escape_string(std::string_view s, std::string& out);
+
+} // namespace harness::json

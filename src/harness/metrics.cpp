@@ -1,0 +1,92 @@
+#include "harness/metrics.h"
+
+namespace harness::metrics {
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::count(std::string_view name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    it->second += delta;
+  } else {
+    counters_.emplace(std::string(name), delta);
+  }
+}
+
+void Registry::set_gauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    it->second = value;
+  } else {
+    gauges_.emplace(std::string(name), value);
+  }
+}
+
+void Registry::record_time(std::string_view name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(std::string(name), TimerStat{}).first;
+  }
+  it->second.total_s += seconds;
+  it->second.count += 1;
+}
+
+uint64_t Registry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+double Registry::gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second : 0.0;
+}
+
+TimerStat Registry::timer(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = timers_.find(name);
+  return it != timers_.end() ? it->second : TimerStat{};
+}
+
+std::map<std::string, uint64_t> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::map<std::string, double> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+std::map<std::string, TimerStat> Registry::timers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {timers_.begin(), timers_.end()};
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  timers_.clear();
+}
+
+void count(std::string_view name, uint64_t delta) {
+  Registry::global().count(name, delta);
+}
+
+void set_gauge(std::string_view name, double value) {
+  Registry::global().set_gauge(name, value);
+}
+
+void record_time(std::string_view name, double seconds) {
+  Registry::global().record_time(name, seconds);
+}
+
+} // namespace harness::metrics

@@ -1,0 +1,104 @@
+// Process-wide observability registry: counters, gauges, and accumulated
+// phase timers, all thread-safe, feeding the JSON result export.
+//
+// The harness instruments itself through this registry — run_experiment
+// times its simulation / leakage-model phases, the baseline memo counts
+// hits and misses, and the sweep engine reports cells/sec, queue depth,
+// and worker utilization.  Bench binaries snapshot the registry into
+// their --json reports (see harness/report_json.h).
+//
+// Counters and timers accumulate; gauges hold the last value set.  All
+// operations take one mutex — the instrumented phases are milliseconds to
+// seconds long, so contention is negligible next to the work being timed.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace harness::metrics {
+
+/// Accumulated wall-clock for one named phase.
+struct TimerStat {
+  double total_s = 0.0;
+  uint64_t count = 0; ///< completed spans
+};
+
+class Registry {
+public:
+  /// The process-wide registry every instrumented site reports to.
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  void count(std::string_view name, uint64_t delta = 1);
+  void set_gauge(std::string_view name, double value);
+  void record_time(std::string_view name, double seconds);
+
+  /// Point lookups (0 / empty TimerStat when the name is absent).
+  uint64_t counter(std::string_view name) const;
+  double gauge(std::string_view name) const;
+  TimerStat timer(std::string_view name) const;
+
+  /// Snapshots (sorted by name — JSON reports are diffable).
+  std::map<std::string, uint64_t> counters() const;
+  std::map<std::string, double> gauges() const;
+  std::map<std::string, TimerStat> timers() const;
+
+  /// Drop everything (tests; also the start of a fresh report window).
+  void reset();
+
+private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, TimerStat, std::less<>> timers_;
+};
+
+/// Convenience forwarding to Registry::global().
+void count(std::string_view name, uint64_t delta = 1);
+void set_gauge(std::string_view name, double value);
+void record_time(std::string_view name, double seconds);
+
+/// RAII phase timer: records the elapsed wall-clock under @p name when it
+/// leaves scope (or at stop(), whichever comes first).
+///
+///   { metrics::ScopedTimer t("phase.simulation"); proc.run(...); }
+class ScopedTimer {
+public:
+  explicit ScopedTimer(std::string name, Registry* registry = nullptr)
+      : name_(std::move(name)),
+        registry_(registry != nullptr ? registry : &Registry::global()),
+        start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { stop(); }
+
+  /// Record now instead of at scope exit; idempotent.
+  void stop() {
+    if (stopped_) {
+      return;
+    }
+    stopped_ = true;
+    registry_->record_time(name_, elapsed_s());
+  }
+
+  double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+private:
+  std::string name_;
+  Registry* registry_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+};
+
+} // namespace harness::metrics

@@ -1,0 +1,360 @@
+#include "harness/report_json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <thread>
+
+#include "harness/sweep.h"
+
+#ifndef HLCC_GIT_DESCRIBE
+#define HLCC_GIT_DESCRIBE "unknown"
+#endif
+
+namespace harness {
+namespace {
+
+const char* standby_mode_name(hotleakage::StandbyMode mode) {
+  switch (mode) {
+  case hotleakage::StandbyMode::active: return "active";
+  case hotleakage::StandbyMode::drowsy: return "drowsy";
+  case hotleakage::StandbyMode::gated: return "gated";
+  case hotleakage::StandbyMode::rbb: return "rbb";
+  }
+  return "?";
+}
+
+const char* policy_name(leakctl::DecayPolicy policy) {
+  switch (policy) {
+  case leakctl::DecayPolicy::noaccess: return "noaccess";
+  case leakctl::DecayPolicy::simple: return "simple";
+  }
+  return "?";
+}
+
+const char* adaptive_name(ExperimentConfig::AdaptiveScheme scheme) {
+  switch (scheme) {
+  case ExperimentConfig::AdaptiveScheme::none: return "none";
+  case ExperimentConfig::AdaptiveScheme::feedback: return "feedback";
+  case ExperimentConfig::AdaptiveScheme::amc: return "amc";
+  case ExperimentConfig::AdaptiveScheme::per_line: return "per_line";
+  }
+  return "?";
+}
+
+const char* protection_name(faults::Protection p) {
+  switch (p) {
+  case faults::Protection::none: return "none";
+  case faults::Protection::parity: return "parity";
+  case faults::Protection::secded: return "secded";
+  }
+  return "?";
+}
+
+/// Config serialization *without* the hash field — the form the hash is
+/// computed over.
+json::Value config_body(const ExperimentConfig& cfg) {
+  json::Value v = json::Value::object();
+  v["l2_latency"] = cfg.l2_latency;
+  v["temperature_c"] = cfg.temperature_c;
+  v["vdd"] = cfg.vdd;
+  json::Value tech = json::Value::object();
+  tech["name"] = cfg.technique.name;
+  tech["mode"] = standby_mode_name(cfg.technique.mode);
+  tech["state_preserving"] = cfg.technique.state_preserving;
+  tech["decay_tags"] = cfg.technique.decay_tags;
+  v["technique"] = std::move(tech);
+  v["policy"] = policy_name(cfg.policy);
+  v["decay_interval"] = cfg.decay_interval;
+  v["instructions"] = cfg.instructions;
+  v["seed"] = cfg.seed;
+  v["variation"] = cfg.variation;
+  v["adaptive"] = adaptive_name(cfg.effective_adaptive());
+  json::Value faults = json::Value::object();
+  faults["enabled"] = cfg.faults.enabled;
+  faults["standby_rate_per_bit_cycle"] = cfg.faults.standby_rate_per_bit_cycle;
+  faults["active_rate_per_bit_cycle"] = cfg.faults.active_rate_per_bit_cycle;
+  faults["protection"] = protection_name(cfg.faults.protection);
+  faults["seed"] = cfg.faults.seed;
+  v["faults"] = std::move(faults);
+  return v;
+}
+
+std::string hex64(uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+} // namespace
+
+std::string git_describe() { return HLCC_GIT_DESCRIBE; }
+
+uint64_t config_hash(const ExperimentConfig& cfg) {
+  const std::string canonical = config_body(cfg).dump();
+  uint64_t h = 0xcbf29ce484222325ull; // FNV-1a 64
+  for (const char c : canonical) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+json::Value to_json(const sim::RunStats& run) {
+  json::Value v = json::Value::object();
+  v["instructions"] = run.instructions;
+  v["cycles"] = run.cycles;
+  v["loads"] = run.loads;
+  v["stores"] = run.stores;
+  v["ipc"] = run.ipc();
+  v["branches"] = run.branch.branches;
+  v["branch_mispredicts"] = run.branch.direction_mispredicts;
+  v["btb_misses"] = run.branch.btb_misses;
+  return v;
+}
+
+json::Value to_json(const leakctl::ControlStats& control) {
+  json::Value v = json::Value::object();
+  control.for_each_field(
+      [&v](const char* name, const unsigned long long& value) {
+        v[name] = value;
+      });
+  v["turnoff_ratio"] = control.turnoff_ratio();
+  v["corruptions"] = control.corruptions();
+  return v;
+}
+
+leakctl::ControlStats control_stats_from_json(const json::Value& v) {
+  leakctl::ControlStats control;
+  control.for_each_field([&v](const char* name, unsigned long long& value) {
+    value = static_cast<unsigned long long>(v.at(name).as_double());
+  });
+  return control;
+}
+
+json::Value to_json(const leakctl::EnergyBreakdown& energy) {
+  json::Value v = json::Value::object();
+  v["baseline_leakage_j"] = energy.baseline_leakage_j;
+  v["technique_leakage_j"] = energy.technique_leakage_j;
+  v["decay_hw_leakage_j"] = energy.decay_hw_leakage_j;
+  v["extra_dynamic_j"] = energy.extra_dynamic_j;
+  v["protection_leakage_j"] = energy.protection_leakage_j;
+  v["protection_dynamic_j"] = energy.protection_dynamic_j;
+  v["gross_savings_j"] = energy.gross_savings_j;
+  v["net_savings_j"] = energy.net_savings_j;
+  v["net_savings_frac"] = energy.net_savings_frac;
+  v["perf_loss_frac"] = energy.perf_loss_frac;
+  v["turnoff_ratio"] = energy.turnoff_ratio;
+  return v;
+}
+
+json::Value to_json(const ExperimentConfig& cfg) {
+  json::Value v = config_body(cfg);
+  v["hash"] = hex64(config_hash(cfg));
+  return v;
+}
+
+json::Value to_json(const ExperimentResult& result) {
+  json::Value v = json::Value::object();
+  v["benchmark"] = result.benchmark;
+  v["net_savings_frac"] = result.energy.net_savings_frac;
+  v["perf_loss_frac"] = result.energy.perf_loss_frac;
+  v["turnoff_ratio"] = result.energy.turnoff_ratio;
+  v["base_l1d_miss_rate"] = result.base_l1d_miss_rate;
+  v["config"] = to_json(result.config);
+  v["energy"] = to_json(result.energy);
+  v["base_run"] = to_json(result.base_run);
+  v["tech_run"] = to_json(result.tech_run);
+  v["control"] = to_json(result.control);
+  return v;
+}
+
+json::Value to_json(const SuiteResult& suite) {
+  json::Value v = json::Value::object();
+  json::Value avg = json::Value::object();
+  avg["net_savings_frac"] = suite.mean_net_savings();
+  avg["perf_loss_frac"] = suite.mean_slowdown();
+  avg["turnoff_ratio"] = suite.mean_turnoff();
+  v["averages"] = std::move(avg);
+  json::Value rows = json::Value::array();
+  for (const ExperimentResult& r : suite) {
+    rows.push_back(to_json(r));
+  }
+  v["benchmarks"] = std::move(rows);
+  return v;
+}
+
+json::Value to_json(const Series& series) {
+  json::Value v = to_json(series.results);
+  // Label leads; rebuild so it prints first.
+  json::Value out = json::Value::object();
+  out["label"] = series.label;
+  out["averages"] = v.at("averages");
+  out["benchmarks"] = v.at("benchmarks");
+  return out;
+}
+
+json::Value metrics_json(const metrics::Registry& registry) {
+  json::Value v = json::Value::object();
+  json::Value counters = json::Value::object();
+  for (const auto& [name, value] : registry.counters()) {
+    counters[name] = value;
+  }
+  v["counters"] = std::move(counters);
+  json::Value gauges = json::Value::object();
+  for (const auto& [name, value] : registry.gauges()) {
+    gauges[name] = value;
+  }
+  v["gauges"] = std::move(gauges);
+  json::Value timers = json::Value::object();
+  for (const auto& [name, stat] : registry.timers()) {
+    json::Value t = json::Value::object();
+    t["total_s"] = stat.total_s;
+    t["count"] = stat.count;
+    timers[name] = std::move(t);
+  }
+  v["timers"] = std::move(timers);
+  return v;
+}
+
+json::Value run_metadata() {
+  json::Value v = json::Value::object();
+  v["generator"] = "hotleakage_cc";
+  v["git_describe"] = git_describe();
+  unsigned threads = 0;
+  try {
+    threads = resolve_thread_count(0);
+  } catch (const std::invalid_argument&) {
+    // A junk HLCC_THREADS fails the sweep itself with a clear error; the
+    // metadata block just reports 0 rather than masking that failure.
+  }
+  v["threads"] = threads;
+  v["hardware_concurrency"] = std::thread::hardware_concurrency();
+  if (const char* env = std::getenv("HLCC_INSTRUCTIONS")) {
+    v["hlcc_instructions_env"] = env;
+  } else {
+    v["hlcc_instructions_env"] = nullptr;
+  }
+  return v;
+}
+
+json::Value suite_report(const std::string& title,
+                         const std::vector<Series>& series) {
+  json::Value doc = json::Value::object();
+  doc["schema"] = kReportSchemaVersion;
+  doc["kind"] = "suite_report";
+  doc["title"] = title;
+  doc["metadata"] = run_metadata();
+  json::Value all = json::Value::array();
+  for (const Series& s : series) {
+    all.push_back(to_json(s));
+  }
+  doc["series"] = std::move(all);
+  doc["metrics"] = metrics_json();
+  return doc;
+}
+
+void write_json_file(const std::string& path, const json::Value& doc) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  doc.write(os, /*indent=*/2);
+  os << '\n';
+  if (!os.flush()) {
+    throw std::runtime_error("write to '" + path + "' failed");
+  }
+}
+
+void write_csv(std::ostream& os, const std::vector<Series>& series) {
+  os << "series,benchmark,technique,l2_latency,temperature_c,decay_interval,"
+        "config_hash,net_savings_frac,perf_loss_frac,turnoff_ratio,"
+        "hits,slow_hits,induced_misses,true_misses,"
+        "faults_injected,corruptions\n";
+  std::ostringstream row;
+  row.precision(17);
+  for (const Series& s : series) {
+    for (const ExperimentResult& r : s.results) {
+      row.str("");
+      row << s.label << ',' << r.benchmark << ',' << r.config.technique.name
+          << ',' << r.config.l2_latency << ',' << r.config.temperature_c
+          << ',' << r.config.decay_interval << ','
+          << hex64(config_hash(r.config)) << ',' << r.energy.net_savings_frac
+          << ',' << r.energy.perf_loss_frac << ',' << r.energy.turnoff_ratio
+          << ',' << r.control.hits << ',' << r.control.slow_hits << ','
+          << r.control.induced_misses << ',' << r.control.true_misses << ','
+          << r.control.faults_injected << ',' << r.control.corruptions()
+          << '\n';
+      os << row.str();
+    }
+  }
+}
+
+void write_csv_file(const std::string& path,
+                    const std::vector<Series>& series) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  write_csv(os, series);
+  if (!os.flush()) {
+    throw std::runtime_error("write to '" + path + "' failed");
+  }
+}
+
+ReportOptions parse_report_cli(int& argc, char** argv) {
+  ReportOptions opts;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string* dest = nullptr;
+    std::string_view flag;
+    if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+      dest = &opts.json_path;
+      flag = "--json";
+    } else if (arg == "--csv" || arg.rfind("--csv=", 0) == 0) {
+      dest = &opts.csv_path;
+      flag = "--csv";
+    }
+    if (dest == nullptr) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (arg.size() > flag.size()) { // --flag=path form
+      *dest = std::string(arg.substr(flag.size() + 1));
+    } else if (i + 1 < argc) {
+      *dest = argv[++i];
+    }
+    if (dest->empty()) {
+      throw std::invalid_argument(std::string(flag) +
+                                  " requires a file path argument");
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  if (opts.json_path.empty()) {
+    if (const char* env = std::getenv("HLCC_JSON")) {
+      opts.json_path = env;
+    }
+  }
+  return opts;
+}
+
+void write_reports(const ReportOptions& opts, const std::string& title,
+                   const std::vector<Series>& series) {
+  if (!opts.json_path.empty()) {
+    write_json_file(opts.json_path, suite_report(title, series));
+    std::fprintf(stderr, "[report] wrote JSON to %s\n",
+                 opts.json_path.c_str());
+  }
+  if (!opts.csv_path.empty()) {
+    write_csv_file(opts.csv_path, series);
+    std::fprintf(stderr, "[report] wrote CSV to %s\n", opts.csv_path.c_str());
+  }
+}
+
+} // namespace harness

@@ -1,0 +1,97 @@
+// Machine-readable result export (schema version 1).
+//
+// Turns the harness's result structures — SuiteResult, ExperimentResult,
+// ControlStats, EnergyBreakdown — into a json::Value document carrying
+// run metadata (config hash, thread count, git describe) and a snapshot
+// of the metrics registry (phase timers, sweep throughput), so CI, the
+// perf trajectory, and regression tooling can consume and diff a run
+// instead of scraping aligned text.
+//
+// Every bench binary and example shares the same CLI surface on top of
+// this layer:
+//   --json <path>   write the suite report as JSON (HLCC_JSON env is the
+//                   default when the flag is absent)
+//   --csv <path>    write the per-benchmark rows as CSV
+// parse_report_cli strips those flags out of argv so binaries with their
+// own positional arguments keep working unchanged.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/json_writer.h"
+#include "harness/metrics.h"
+#include "harness/report.h"
+
+namespace harness {
+
+/// Version stamp of the JSON document layout ("schema" root field).
+inline constexpr int kReportSchemaVersion = 1;
+
+/// `git describe` of the build, baked in at configure time ("unknown"
+/// outside a git checkout).
+std::string git_describe();
+
+/// FNV-1a over the canonical serialized form of a config — the identity
+/// of an experiment cell across runs and machines.
+uint64_t config_hash(const ExperimentConfig& cfg);
+
+json::Value to_json(const sim::RunStats& run);
+json::Value to_json(const leakctl::ControlStats& control);
+json::Value to_json(const leakctl::EnergyBreakdown& energy);
+json::Value to_json(const ExperimentConfig& cfg);
+json::Value to_json(const ExperimentResult& result);
+json::Value to_json(const Series& series);
+json::Value to_json(const SuiteResult& suite);
+
+/// Parse side of to_json(ControlStats): rebuild the struct from a report
+/// document.  Throws std::runtime_error on a missing field.
+leakctl::ControlStats control_stats_from_json(const json::Value& v);
+
+/// Snapshot of a metrics registry: {"counters": {...}, "gauges": {...},
+/// "timers": {name: {"total_s": t, "count": n}}}.
+json::Value metrics_json(const metrics::Registry& registry =
+                             metrics::Registry::global());
+
+/// Run metadata: schema version, git describe, resolved thread count,
+/// hardware concurrency, HLCC_INSTRUCTIONS.
+json::Value run_metadata();
+
+/// The full report document every --json run emits:
+/// {schema, kind, title, metadata, series: [...], metrics}.
+json::Value suite_report(const std::string& title,
+                         const std::vector<Series>& series);
+
+/// Write @p doc to @p path (pretty-printed, trailing newline); throws
+/// std::runtime_error when the file cannot be written.
+void write_json_file(const std::string& path, const json::Value& doc);
+
+/// One CSV row per (series, benchmark): identity, energy fractions, and
+/// the access/fault counters.
+void write_csv(std::ostream& os, const std::vector<Series>& series);
+void write_csv_file(const std::string& path,
+                    const std::vector<Series>& series);
+
+/// Where a run should export its results, resolved from the CLI and the
+/// HLCC_JSON environment variable.
+struct ReportOptions {
+  std::string json_path;
+  std::string csv_path;
+  bool requested() const { return !json_path.empty() || !csv_path.empty(); }
+};
+
+/// Extract --json/--csv (both "--json p" and "--json=p" forms) from
+/// argv, compacting it in place; all other arguments pass through
+/// untouched for the binary's own parsing.  When no --json flag is
+/// given, the HLCC_JSON environment variable supplies the path.  Throws
+/// std::invalid_argument when a flag is missing its path.
+ReportOptions parse_report_cli(int& argc, char** argv);
+
+/// Emit the suite report to every requested destination (no-op when none
+/// was requested).
+void write_reports(const ReportOptions& opts, const std::string& title,
+                   const std::vector<Series>& series);
+
+} // namespace harness

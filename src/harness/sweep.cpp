@@ -3,13 +3,19 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <chrono>
+#include <limits>
+#include <string_view>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
+#include "harness/metrics.h"
 #include "workload/generator.h"
 
 namespace harness {
@@ -109,10 +115,24 @@ unsigned resolve_thread_count(unsigned requested) {
     return requested;
   }
   if (const char* env = std::getenv("HLCC_THREADS")) {
-    const unsigned long v = std::strtoul(env, nullptr, 10);
-    if (v > 0) {
-      return static_cast<unsigned>(v);
+    // Strict parse: junk ("abc", "3x", ""), zero, and negatives are
+    // configuration errors, not an invitation to silently fall back to
+    // the hardware default.
+    const std::string_view text(env);
+    bool all_digits = !text.empty();
+    for (const char c : text) {
+      all_digits = all_digits && std::isdigit(static_cast<unsigned char>(c));
     }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (!all_digits || errno == ERANGE || v == 0 ||
+        v > std::numeric_limits<unsigned>::max()) {
+      throw std::invalid_argument(
+          "HLCC_THREADS must be a positive integer thread count, got \"" +
+          std::string(text) + "\"");
+    }
+    return static_cast<unsigned>(v);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
@@ -129,40 +149,71 @@ void parallel_for_indexed(std::size_t count,
   ProgressReporter progress(opts, count, threads);
   std::vector<std::exception_ptr> errors(count);
 
+  // Observability: the registry receives the pool shape up front and the
+  // throughput numbers after the drain, so a --json report carries the
+  // same cells/sec the progress line shows.
+  metrics::set_gauge("sweep.queue_depth", static_cast<double>(count));
+  metrics::set_gauge("sweep.threads", threads);
+  metrics::count("sweep.cells", count);
+  const Clock::time_point sweep_start = Clock::now();
+  std::vector<double> worker_busy_s(threads, 0.0);
+
   if (threads == 1) {
     // Inline serial path: the reference the parallel path must match.
     for (std::size_t i = 0; i < count; ++i) {
+      metrics::ScopedTimer cell_timer("phase.sweep_cell");
       try {
         body(i);
       } catch (...) {
         errors[i] = std::current_exception();
       }
+      cell_timer.stop();
+      worker_busy_s[0] += cell_timer.elapsed_s();
       progress.tick();
     }
   } else {
     std::atomic<std::size_t> next{0};
-    auto worker = [&] {
+    auto worker = [&](unsigned worker_id) {
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count) {
           return;
         }
+        metrics::ScopedTimer cell_timer("phase.sweep_cell");
         try {
           body(i);
         } catch (...) {
           errors[i] = std::current_exception();
         }
+        cell_timer.stop();
+        worker_busy_s[worker_id] += cell_timer.elapsed_s();
         progress.tick();
       }
     };
     std::vector<std::thread> pool;
     pool.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) {
-      pool.emplace_back(worker);
+      pool.emplace_back(worker, t);
     }
     for (std::thread& t : pool) {
       t.join();
     }
+  }
+
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - sweep_start).count();
+  metrics::record_time("phase.sweep", wall_s);
+  if (wall_s > 0.0) {
+    metrics::set_gauge("sweep.cells_per_sec",
+                       static_cast<double>(count) / wall_s);
+    double busy_total = 0.0;
+    for (unsigned t = 0; t < threads; ++t) {
+      busy_total += worker_busy_s[t];
+      metrics::set_gauge("sweep.worker." + std::to_string(t) + ".utilization",
+                         worker_busy_s[t] / wall_s);
+    }
+    metrics::set_gauge("sweep.worker_utilization",
+                       busy_total / (wall_s * threads));
   }
 
   progress.finish();

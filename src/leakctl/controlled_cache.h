@@ -85,6 +85,39 @@ struct ControlStats {
     const unsigned long long total = data_active_cycles + data_standby_cycles;
     return total ? static_cast<double>(data_standby_cycles) / total : 0.0;
   }
+
+  /// Visit every counter as a (name, value) pair, in declaration order.
+  /// The single source of truth for serialization: the JSON export, the
+  /// parse side, and the field-by-field regression tests all iterate this
+  /// list, so a new counter added here is automatically round-tripped.
+  template <typename F> void for_each_field(F&& f) const {
+    const_cast<ControlStats*>(this)->for_each_field(
+        [&f](const char* name, unsigned long long& v) {
+          f(name, static_cast<const unsigned long long&>(v));
+        });
+  }
+  template <typename F> void for_each_field(F&& f) {
+    f("hits", hits);
+    f("slow_hits", slow_hits);
+    f("induced_misses", induced_misses);
+    f("true_misses", true_misses);
+    f("true_misses_on_standby_set", true_misses_on_standby_set);
+    f("decays", decays);
+    f("wakes", wakes);
+    f("decay_writebacks", decay_writebacks);
+    f("counter_ticks", counter_ticks);
+    f("data_active_cycles", data_active_cycles);
+    f("data_standby_cycles", data_standby_cycles);
+    f("tag_active_cycles", tag_active_cycles);
+    f("tag_standby_cycles", tag_standby_cycles);
+    f("faults_injected", faults_injected);
+    f("fault_checks", fault_checks);
+    f("fault_detections", fault_detections);
+    f("fault_corrections", fault_corrections);
+    f("fault_recoveries", fault_recoveries);
+    f("fault_corruptions_detected", fault_corruptions_detected);
+    f("fault_corruptions_silent", fault_corruptions_silent);
+  }
 };
 
 class ControlledCache final : public sim::DataPort,

@@ -1,0 +1,207 @@
+// The JSON substrate of the result export: exact escape text, the
+// NaN/Inf->null policy, number formatting, parser error reporting, and
+// serialize -> parse -> compare round trips on randomized documents and
+// randomized ControlStats (through the report layer's converters).
+#include <cmath>
+#include <limits>
+#include <random>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "harness/json_writer.h"
+#include "harness/report_json.h"
+
+namespace {
+
+using harness::json::Value;
+
+TEST(JsonWriter, ScalarDump) {
+  EXPECT_EQ(Value().dump(), "null");
+  EXPECT_EQ(Value(nullptr).dump(), "null");
+  EXPECT_EQ(Value(true).dump(), "true");
+  EXPECT_EQ(Value(false).dump(), "false");
+  EXPECT_EQ(Value("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Value(0).dump(), "0");
+  EXPECT_EQ(Value(-17).dump(), "-17");
+}
+
+TEST(JsonWriter, IntegralDoublesPrintWithoutDecimalPoint) {
+  EXPECT_EQ(Value(4096.0).dump(), "4096");
+  EXPECT_EQ(Value(-3.0).dump(), "-3");
+  EXPECT_EQ(Value(uint64_t{1} << 52).dump(), "4503599627370496");
+  // Beyond 2^53 the integer path is unsafe; any round-trippable form is
+  // fine, but it must parse back to the same double.
+  const double big = 1e300;
+  EXPECT_EQ(Value::parse(Value(big).dump()).as_double(), big);
+}
+
+TEST(JsonWriter, FractionalRoundTrip) {
+  for (const double d : {0.1, -2.5, 3.14159265358979, 1e-12, 6.02e23}) {
+    EXPECT_EQ(Value::parse(Value(d).dump()).as_double(), d);
+  }
+}
+
+TEST(JsonWriter, NanAndInfSerializeAsNull) {
+  EXPECT_EQ(Value(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Value(-std::numeric_limits<double>::infinity()).dump(), "null");
+  // ...including inside containers.
+  Value obj = Value::object();
+  obj["x"] = std::nan("");
+  EXPECT_EQ(obj.dump(), "{\"x\":null}");
+}
+
+TEST(JsonWriter, EscapeHandling) {
+  EXPECT_EQ(Value("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Value("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(Value("tab\there").dump(), "\"tab\\there\"");
+  EXPECT_EQ(Value("line\nfeed").dump(), "\"line\\nfeed\"");
+  EXPECT_EQ(Value(std::string("nul\0byte", 8)).dump(), "\"nul\\u0000byte\"");
+  EXPECT_EQ(Value("\x01\x1f").dump(), "\"\\u0001\\u001f\"");
+  // Escaped text must parse back to the original bytes.
+  const std::string nasty("quote\" back\\ tab\t nl\n nul\0 ctl\x02 end", 33);
+  EXPECT_EQ(Value::parse(Value(nasty).dump()).as_string(), nasty);
+}
+
+TEST(JsonWriter, ParseUnicodeEscapes) {
+  EXPECT_EQ(Value::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Value::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");     // é
+  EXPECT_EQ(Value::parse("\"\\u20ac\"").as_string(), "\xe2\x82\xac"); // €
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Value::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonWriter, ParseErrorsCarryByteOffset) {
+  EXPECT_THROW(Value::parse(""), std::runtime_error);
+  EXPECT_THROW(Value::parse("{\"a\": 1,}"), std::runtime_error);
+  EXPECT_THROW(Value::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(Value::parse("\"bad \\q escape\""), std::runtime_error);
+  EXPECT_THROW(Value::parse("[1, 2] trailing"), std::runtime_error);
+  EXPECT_THROW(Value::parse("{1: 2}"), std::runtime_error);
+  try {
+    Value::parse("[1, 2, oops]");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("at byte"), std::string::npos);
+  }
+}
+
+TEST(JsonWriter, ObjectPreservesInsertionOrder) {
+  Value v = Value::object();
+  v["zebra"] = 1;
+  v["apple"] = 2;
+  v["mango"] = 3;
+  EXPECT_EQ(v.dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+  const Value back = Value::parse(v.dump());
+  EXPECT_EQ(back.as_object()[0].first, "zebra");
+  EXPECT_EQ(back.as_object()[2].first, "mango");
+}
+
+TEST(JsonWriter, PrettyPrint) {
+  Value v = Value::object();
+  v["a"] = Value::array();
+  v["a"].push_back(1);
+  v["a"].push_back(2);
+  EXPECT_EQ(v.dump(2), "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+}
+
+// --- randomized round trips ---
+
+Value random_value(std::mt19937_64& rng, int depth) {
+  std::uniform_int_distribution<int> kind(0, depth > 0 ? 5 : 3);
+  switch (kind(rng)) {
+  case 0:
+    return Value(nullptr);
+  case 1:
+    return Value(std::bernoulli_distribution(0.5)(rng));
+  case 2: {
+    if (std::bernoulli_distribution(0.5)(rng)) {
+      return Value(std::uniform_int_distribution<long long>(-1'000'000'000,
+                                                            1'000'000'000)(rng));
+    }
+    return Value(std::uniform_real_distribution<double>(-1e6, 1e6)(rng));
+  }
+  case 3: {
+    std::string s;
+    const std::size_t len = std::uniform_int_distribution<std::size_t>(0, 24)(rng);
+    for (std::size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>(
+          std::uniform_int_distribution<int>(0, 127)(rng)));
+    }
+    return Value(std::move(s));
+  }
+  case 4: {
+    Value arr = Value::array();
+    const std::size_t len = std::uniform_int_distribution<std::size_t>(0, 4)(rng);
+    for (std::size_t i = 0; i < len; ++i) {
+      arr.push_back(random_value(rng, depth - 1));
+    }
+    return arr;
+  }
+  default: {
+    Value obj = Value::object();
+    const std::size_t len = std::uniform_int_distribution<std::size_t>(0, 4)(rng);
+    for (std::size_t i = 0; i < len; ++i) {
+      obj["k" + std::to_string(i)] = random_value(rng, depth - 1);
+    }
+    return obj;
+  }
+  }
+}
+
+// Structural equality via the canonical dump: insertion order is
+// preserved and number formatting is deterministic, so equal documents
+// dump to equal text.
+TEST(JsonWriter, RandomizedDocumentRoundTrip) {
+  std::mt19937_64 rng(0xC0FFEEULL);
+  for (int i = 0; i < 200; ++i) {
+    const Value v = random_value(rng, 3);
+    const std::string text = v.dump();
+    const Value back = Value::parse(text);
+    EXPECT_EQ(back.dump(), text) << "iteration " << i;
+    // Pretty-printed form parses to the same document too.
+    EXPECT_EQ(Value::parse(v.dump(2)).dump(), text) << "iteration " << i;
+  }
+}
+
+TEST(JsonWriter, RandomizedControlStatsRoundTrip) {
+  std::mt19937_64 rng(20260806ULL);
+  std::uniform_int_distribution<unsigned long long> dist(
+      0, 1ull << 48); // well inside the exact-double range
+  for (int i = 0; i < 100; ++i) {
+    leakctl::ControlStats stats;
+    stats.for_each_field(
+        [&](const char*, unsigned long long& v) { v = dist(rng); });
+    const Value doc = Value::parse(harness::to_json(stats).dump());
+    const leakctl::ControlStats back = harness::control_stats_from_json(doc);
+    stats.for_each_field([&](const char* name, unsigned long long& v) {
+      unsigned long long got = 0;
+      back.for_each_field([&](const char* n, const unsigned long long& bv) {
+        if (std::string_view(n) == name) {
+          got = bv;
+        }
+      });
+      EXPECT_EQ(got, v) << "field " << name << " iteration " << i;
+    });
+    // Derived fields ride along in the serialized form.
+    EXPECT_DOUBLE_EQ(doc.at("turnoff_ratio").as_double(),
+                     stats.turnoff_ratio());
+    EXPECT_EQ(doc.at("corruptions").as_double(),
+              static_cast<double>(stats.corruptions()));
+  }
+}
+
+TEST(JsonWriter, ControlStatsFromJsonMissingFieldThrows) {
+  Value doc = harness::to_json(leakctl::ControlStats{});
+  Value broken = Value::object();
+  for (const auto& [k, v] : doc.as_object()) {
+    if (k != "hits") {
+      broken[k] = v;
+    }
+  }
+  EXPECT_THROW(harness::control_stats_from_json(broken), std::runtime_error);
+}
+
+} // namespace

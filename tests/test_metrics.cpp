@@ -1,0 +1,183 @@
+// The metrics registry and its integration with the experiment driver:
+// counter/gauge/timer semantics, ScopedTimer, thread safety, and the
+// regression pinning the serialized ControlStats of a --json report to
+// the in-process stats() accessor, field by field, for one drowsy and
+// one gated-Vss configuration.
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/metrics.h"
+#include "harness/report_json.h"
+
+namespace {
+
+using harness::metrics::Registry;
+using harness::metrics::ScopedTimer;
+
+TEST(Metrics, CountersAccumulate) {
+  Registry reg;
+  EXPECT_EQ(reg.counter("x"), 0u);
+  reg.count("x");
+  reg.count("x", 4);
+  reg.count("y");
+  EXPECT_EQ(reg.counter("x"), 5u);
+  EXPECT_EQ(reg.counter("y"), 1u);
+  const auto snap = reg.counters();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.at("x"), 5u);
+}
+
+TEST(Metrics, GaugesHoldLastValue) {
+  Registry reg;
+  EXPECT_EQ(reg.gauge("depth"), 0.0);
+  reg.set_gauge("depth", 7.0);
+  reg.set_gauge("depth", 3.5);
+  EXPECT_EQ(reg.gauge("depth"), 3.5);
+}
+
+TEST(Metrics, TimersAccumulateSpans) {
+  Registry reg;
+  reg.record_time("phase.a", 0.25);
+  reg.record_time("phase.a", 0.75);
+  const auto stat = reg.timer("phase.a");
+  EXPECT_DOUBLE_EQ(stat.total_s, 1.0);
+  EXPECT_EQ(stat.count, 2u);
+  EXPECT_EQ(reg.timer("absent").count, 0u);
+}
+
+TEST(Metrics, ScopedTimerRecordsOnScopeExit) {
+  Registry reg;
+  {
+    ScopedTimer t("span", &reg);
+  }
+  EXPECT_EQ(reg.timer("span").count, 1u);
+  EXPECT_GE(reg.timer("span").total_s, 0.0);
+}
+
+TEST(Metrics, ScopedTimerStopIsIdempotent) {
+  Registry reg;
+  {
+    ScopedTimer t("span", &reg);
+    t.stop();
+    t.stop();
+  } // destructor must not record a second span
+  EXPECT_EQ(reg.timer("span").count, 1u);
+}
+
+TEST(Metrics, ResetDropsEverything) {
+  Registry reg;
+  reg.count("c");
+  reg.set_gauge("g", 1.0);
+  reg.record_time("t", 0.1);
+  reg.reset();
+  EXPECT_TRUE(reg.counters().empty());
+  EXPECT_TRUE(reg.gauges().empty());
+  EXPECT_TRUE(reg.timers().empty());
+}
+
+TEST(Metrics, ConcurrentCountsDoNotDrop) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.count("shared");
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(reg.counter("shared"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+// --- the --json-vs-stats() regression (one drowsy, one gated config) ---
+
+void expect_serialized_control_matches(const harness::ExperimentConfig& cfg) {
+  const harness::ExperimentResult result =
+      harness::run_experiment(workload::profile_by_name("gcc"), cfg);
+
+  // Serialize exactly the way a --json run does, through text.
+  harness::Series series{"test", {}};
+  series.results.push_back(result);
+  const harness::json::Value doc = harness::json::Value::parse(
+      harness::suite_report("regression", {series}).dump(2));
+
+  const harness::json::Value& row =
+      doc.at("series").at(0).at("benchmarks").at(0);
+  const leakctl::ControlStats parsed =
+      harness::control_stats_from_json(row.at("control"));
+
+  result.control.for_each_field(
+      [&](const char* name, const unsigned long long& want) {
+        unsigned long long got = 0;
+        parsed.for_each_field(
+            [&](const char* n, const unsigned long long& v) {
+              if (std::string_view(n) == name) {
+                got = v;
+              }
+            });
+        EXPECT_EQ(got, want) << "ControlStats field " << name;
+      });
+  EXPECT_DOUBLE_EQ(row.at("control").at("turnoff_ratio").as_double(),
+                   result.control.turnoff_ratio());
+  EXPECT_EQ(row.at("benchmark").as_string(), "gcc");
+  const std::string& hash = row.at("config").at("hash").as_string();
+  EXPECT_EQ(hash.size(), 18u); // "0x" + 16 hex digits
+  EXPECT_EQ(hash.substr(0, 2), "0x");
+  // The hash is the config's identity: recomputing it from the result's
+  // config must reproduce the serialized string.
+  char expect[19];
+  std::snprintf(expect, sizeof(expect), "0x%016llx",
+                static_cast<unsigned long long>(
+                    harness::config_hash(result.config)));
+  EXPECT_EQ(hash, expect);
+}
+
+TEST(MetricsIntegration, SerializedControlStatsMatchDrowsy) {
+  faults::FaultConfig fcfg;
+  fcfg.enabled = true;
+  fcfg.standby_rate_per_bit_cycle = 2e-9; // exaggerated: nonzero counters
+  fcfg.seed = 3;
+  expect_serialized_control_matches(
+      harness::ExperimentConfig::make()
+          .instructions(120'000)
+          .technique(leakctl::TechniqueParams::drowsy())
+          .faults(fcfg)
+          .build());
+}
+
+TEST(MetricsIntegration, SerializedControlStatsMatchGated) {
+  expect_serialized_control_matches(
+      harness::ExperimentConfig::make()
+          .instructions(120'000)
+          .technique(leakctl::TechniqueParams::gated_vss())
+          .build());
+}
+
+TEST(MetricsIntegration, RunExperimentPopulatesPhaseTimers) {
+  Registry& reg = Registry::global();
+  reg.reset();
+  (void)harness::run_experiment(
+      workload::profile_by_name("gzip"),
+      harness::ExperimentConfig::make().instructions(60'000).build());
+  EXPECT_GE(reg.timer("phase.experiment").count, 1u);
+  EXPECT_GE(reg.timer("phase.simulation").count, 1u);
+  EXPECT_GE(reg.timer("phase.leakage_model").count, 1u);
+  EXPECT_GE(reg.counter("experiments.run"), 1u);
+  // The report snapshot carries the same names.
+  const harness::json::Value m = harness::metrics_json(reg);
+  EXPECT_TRUE(m.at("timers").contains("phase.experiment"));
+  EXPECT_TRUE(m.at("timers").contains("phase.simulation"));
+}
+
+} // namespace

@@ -83,5 +83,81 @@ TEST(Report, EmptySeriesSafe) {
   EXPECT_NO_THROW(print_savings_figure(os, "empty", {}));
 }
 
+// --- golden snapshots -------------------------------------------------
+// The renderers' exact text is an interface: scripts grep it, and the
+// figure tables are diffed against the paper.  These snapshots pin every
+// byte (alignment, rounding, trailing blank line) on a fixed
+// 3-benchmark fixture; a formatting change must update them consciously.
+
+std::vector<Series> golden_series() {
+  struct Row {
+    const char* name;
+    double d_savings, d_loss, g_savings, g_loss;
+  };
+  // Values chosen to exercise rounding (x.xx5 never lands on a half-ulp)
+  // and column width (one 2-digit, one fractional-only percentage).
+  const Row rows[] = {
+      {"gcc", 0.2512, 0.0123, 0.5500, 0.0075},
+      {"mcf", 0.3001, 0.0250, 0.6250, 0.0110},
+      {"twolf", 0.1875, 0.0050, 0.4000, 0.0020},
+  };
+  Series d{"drowsy", {}};
+  Series g{"gated-vss", {}};
+  for (const Row& row : rows) {
+    ExperimentResult rd;
+    rd.benchmark = row.name;
+    rd.energy.net_savings_frac = row.d_savings;
+    rd.energy.perf_loss_frac = row.d_loss;
+    d.results.push_back(rd);
+    ExperimentResult rg;
+    rg.benchmark = row.name;
+    rg.energy.net_savings_frac = row.g_savings;
+    rg.energy.perf_loss_frac = row.g_loss;
+    g.results.push_back(rg);
+  }
+  return {d, g};
+}
+
+TEST(ReportGolden, SavingsFigureExactText) {
+  std::ostringstream os;
+  print_savings_figure(os, "Golden Fig", golden_series());
+  const std::string expected = "== Golden Fig ==\n"
+                               "benchmark       drowsy   gated-vss\n"
+                               "gcc             25.12%      55.00%\n"
+                               "mcf             30.01%      62.50%\n"
+                               "twolf           18.75%      40.00%\n"
+                               "AVG             24.63%      52.50%\n"
+                               "\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(ReportGolden, PerfFigureExactText) {
+  std::ostringstream os;
+  print_perf_figure(os, "Golden Perf", golden_series());
+  const std::string expected = "== Golden Perf ==\n"
+                               "benchmark       drowsy   gated-vss\n"
+                               "gcc              1.23%       0.75%\n"
+                               "mcf              2.50%       1.10%\n"
+                               "twolf            0.50%       0.20%\n"
+                               "AVG              1.41%       0.68%\n"
+                               "\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(ReportGolden, BestIntervalTableExactText) {
+  std::ostringstream os;
+  print_best_interval_table(os, "Golden Table 3",
+                            {{"gcc", 1024, 8192},
+                             {"mcf", 524288, 65536},
+                             {"twolf", 2048, 1000}});
+  const std::string expected = "== Golden Table 3 ==\n"
+                               "benchmark     drowsy   gated-vss\n"
+                               "gcc               1k          8k\n"
+                               "mcf             512k         64k\n"
+                               "twolf             2k        1000\n"
+                               "\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
 } // namespace
 } // namespace harness

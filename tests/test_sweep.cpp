@@ -147,17 +147,29 @@ TEST(Sweep, SweepMapPreservesOrder) {
 }
 
 TEST(Sweep, ResolveThreadCount) {
+  ::unsetenv("HLCC_THREADS");
   EXPECT_EQ(resolve_thread_count(3), 3u);
   EXPECT_GE(resolve_thread_count(0), 1u);
 
   ::setenv("HLCC_THREADS", "5", 1);
   EXPECT_EQ(resolve_thread_count(0), 5u);
   EXPECT_EQ(resolve_thread_count(2), 2u); // explicit beats env
+  ::unsetenv("HLCC_THREADS");
+}
 
-  ::setenv("HLCC_THREADS", "0", 1); // nonsense falls back to hardware
-  EXPECT_GE(resolve_thread_count(0), 1u);
-  ::setenv("HLCC_THREADS", "garbage", 1);
-  EXPECT_GE(resolve_thread_count(0), 1u);
+TEST(Sweep, ResolveThreadCountRejectsJunkEnv) {
+  // A malformed HLCC_THREADS must be a loud error, not a silent fallback
+  // to hardware concurrency: the user asked for a specific thread count
+  // and did not get it.
+  for (const char* junk : {"abc", "garbage", "0", "-3", "5x", "", " 4",
+                           "99999999999999999999"}) {
+    ::setenv("HLCC_THREADS", junk, 1);
+    EXPECT_THROW(resolve_thread_count(0), std::invalid_argument)
+        << "HLCC_THREADS=\"" << junk << "\"";
+    // An explicit request never consults the env, junk or not.
+    EXPECT_EQ(resolve_thread_count(2), 2u)
+        << "HLCC_THREADS=\"" << junk << "\"";
+  }
   ::unsetenv("HLCC_THREADS");
 }
 
