@@ -66,6 +66,58 @@ void BM_CacheAccess(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheAccess);
 
+/// Fixed-latency backing store: decay-stress isolates the controlled-cache
+/// hot path (decay advance + classification) from L2 modeling cost.
+class FixedLatencyStore final : public sim::BackingStore {
+public:
+  unsigned access(uint64_t, bool, uint64_t) override { return 20; }
+  void writeback(uint64_t, uint64_t) override {}
+};
+
+/// Decay-stress: small decay intervals x large caches, the regime where
+/// the epoch tick dominates (paper Figs. 12-13 sweep intervals down to
+/// 512 cycles).  Cycles advance 32 per access, so at interval 512 an epoch
+/// boundary lands every 4 accesses; the address walk covers 4x the cache,
+/// so lines decay and re-fill continuously.  The `event` arg selects the
+/// timing-wheel engine (1) or the retained naive-scan reference (0) —
+/// their ratio is the recorded speedup (scripts/record_bench.py).
+void BM_DecayStress(benchmark::State& state) {
+  const uint64_t interval = static_cast<uint64_t>(state.range(0));
+  const std::size_t size_kb = static_cast<std::size_t>(state.range(1));
+  const bool event_engine = state.range(2) != 0;
+  FixedLatencyStore store;
+  leakctl::ControlledCacheConfig ccfg;
+  ccfg.cache = {.size_bytes = size_kb * 1024, .assoc = 2, .line_bytes = 64,
+                .hit_latency = 2};
+  ccfg.technique = leakctl::TechniqueParams::drowsy();
+  ccfg.policy = leakctl::DecayPolicy::noaccess;
+  ccfg.decay_interval = interval;
+  ccfg.decay_engine =
+      event_engine ? leakctl::DecayEngine::event : leakctl::DecayEngine::reference;
+  leakctl::ControlledCache cc(ccfg, store, nullptr);
+  const uint64_t addr_mask = size_kb * 1024 * 4 - 1;
+  uint64_t addr = 0;
+  uint64_t cycle = 0;
+  for (auto _ : state) {
+    addr = (addr + 64) & addr_mask;
+    cycle += 32;
+    benchmark::DoNotOptimize(cc.access(addr, false, cycle));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecayStress)
+    ->ArgNames({"interval", "kb", "event"})
+    ->Args({512, 64, 1})
+    ->Args({512, 64, 0})
+    ->Args({512, 1024, 1})
+    ->Args({512, 1024, 0})
+    ->Args({4096, 64, 1})
+    ->Args({4096, 64, 0})
+    ->Args({4096, 1024, 1})
+    ->Args({4096, 1024, 0})
+    ->Args({65536, 64, 1})
+    ->Args({65536, 64, 0});
+
 void BM_GeneratorNext(benchmark::State& state) {
   workload::Generator gen(workload::profile_by_name("gcc"), 1);
   sim::MicroOp op;

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Record the decay-stress micro-benchmark suite into BENCH_5.json.
+
+Runs ``bench_micro --benchmark_filter=BM_DecayStress --json`` (the schema-1
+report whose ``micro`` section carries the per-benchmark rows), converts
+each row to accesses/second, and writes a small machine-readable summary:
+
+    {
+      "schema": 1,
+      "suite": "decay-stress",
+      "git": "<git describe --always --dirty>",
+      "config_hash": "<fnv1a of the scenario names>",
+      "scenarios": [{"name": ..., "accesses_per_sec": ...}, ...],
+      "speedups": {"interval:512/kb:64": 6.9, ...}   # event vs reference
+    }
+
+``--baseline BENCH_5.json`` additionally compares the freshly measured
+event-vs-reference *speedups* (machine-independent, unlike raw
+throughput) against the committed baseline with a generous regression
+gate (default 2x) and exits nonzero on a regression.
+
+CI usage (see .github/workflows/ci.yml):
+    python3 scripts/record_bench.py --bench ./build/bench/bench_micro \
+        --out BENCH_5.ci.json --baseline BENCH_5.json --gate 2.0
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+UNIT_TO_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+STRESS_ROW = re.compile(r"^BM_DecayStress/(?P<scenario>.+)/event:(?P<event>[01])$")
+
+
+def fnv1a(text):
+    h = 0xCBF29CE484222325
+    for b in text.encode():
+        h = ((h ^ b) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return "%016x" % h
+
+
+def git_describe(repo_root):
+    try:
+        return subprocess.check_output(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=repo_root, text=True, stderr=subprocess.DEVNULL).strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def run_bench(bench, min_time):
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = tmp.name
+    env = dict(os.environ)
+    # The --json export also runs the quick drowsy/gated suite; keep it
+    # short — only the micro rows feed this recording.
+    env.setdefault("HLCC_INSTRUCTIONS", "60000")
+    env.setdefault("HLCC_PROGRESS", "0")
+    cmd = [bench,
+           "--benchmark_filter=BM_DecayStress",
+           "--benchmark_min_time=%g" % min_time,
+           "--json", tmp_path]
+    subprocess.check_call(cmd, env=env, stdout=subprocess.DEVNULL)
+    with open(tmp_path) as f:
+        doc = json.load(f)
+    os.unlink(tmp_path)
+    return doc
+
+
+def extract(doc):
+    """micro rows -> ({row name: accesses/sec}, {scenario: speedup})."""
+    throughput = {}
+    for row in doc.get("micro", []):
+        m = STRESS_ROW.match(row["name"])
+        if not m:
+            continue
+        per_iter = row["real_time"] * UNIT_TO_SECONDS[row["time_unit"]]
+        if per_iter <= 0:
+            continue
+        throughput[row["name"]] = 1.0 / per_iter  # one access per iteration
+    speedups = {}
+    for name, aps in throughput.items():
+        m = STRESS_ROW.match(name)
+        if m.group("event") != "1":
+            continue
+        ref = throughput.get("BM_DecayStress/%s/event:0" % m.group("scenario"))
+        if ref:
+            speedups[m.group("scenario")] = aps / ref
+    return throughput, speedups
+
+
+def compare(baseline_path, speedups, gate):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    failures = []
+    for scenario, base_speedup in sorted(baseline.get("speedups", {}).items()):
+        new = speedups.get(scenario)
+        if new is None:
+            failures.append("scenario %s missing from this run" % scenario)
+            continue
+        floor = base_speedup / gate
+        status = "ok" if new >= floor else "REGRESSION"
+        print("  %-24s baseline %6.2fx  now %6.2fx  floor %6.2fx  %s"
+              % (scenario, base_speedup, new, floor, status))
+        if new < floor:
+            failures.append(
+                "%s: speedup %.2fx fell below %.2fx (baseline %.2fx / gate %g)"
+                % (scenario, new, floor, base_speedup, gate))
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", default="build/bench/bench_micro",
+                    help="path to the bench_micro binary")
+    ap.add_argument("--out", default="BENCH_5.json",
+                    help="output JSON path")
+    ap.add_argument("--baseline", default=None,
+                    help="committed BENCH_5.json to gate against")
+    ap.add_argument("--gate", type=float, default=2.0,
+                    help="allowed speedup regression factor (default 2x)")
+    ap.add_argument("--min-time", type=float, default=0.5,
+                    help="benchmark_min_time per scenario, seconds")
+    args = ap.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    doc = run_bench(args.bench, args.min_time)
+    throughput, speedups = extract(doc)
+    if not throughput:
+        print("record_bench: no BM_DecayStress rows in the bench output",
+              file=sys.stderr)
+        return 1
+
+    out = {
+        "schema": 1,
+        "suite": "decay-stress",
+        "git": git_describe(repo_root),
+        "config_hash": fnv1a("\n".join(sorted(throughput))),
+        "scenarios": [
+            {"name": name, "accesses_per_sec": round(aps, 1)}
+            for name, aps in sorted(throughput.items())
+        ],
+        "speedups": {k: round(v, 3) for k, v in sorted(speedups.items())},
+    }
+    with open(args.out, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("wrote %s (%d scenarios, git %s)"
+          % (args.out, len(out["scenarios"]), out["git"]))
+    for scenario, ratio in sorted(speedups.items()):
+        print("  %-24s event/reference speedup %.2fx" % (scenario, ratio))
+
+    if args.baseline:
+        print("gating against %s (%.gx regression allowance):"
+              % (args.baseline, args.gate))
+        failures = compare(args.baseline, speedups, args.gate)
+        if failures:
+            for f in failures:
+                print("record_bench: " + f, file=sys.stderr)
+            return 1
+        print("gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -114,6 +114,16 @@ void ExperimentConfig::validate() const {
         "(the epoch quantization), got " +
         std::to_string(decay_interval));
   }
+  // The cache geometries this experiment will instantiate (Table 2 at the
+  // requested L2 latency) must be coherent before they reach the hot path:
+  // sim::CacheConfig::validate() names the offending field instead of
+  // letting a zero-set geometry surface as a divide deep in the simulator.
+  {
+    const sim::ProcessorConfig pcfg = sim::ProcessorConfig::table2(l2_latency);
+    pcfg.l1d.validate();
+    pcfg.l1i.validate();
+    pcfg.l2.validate();
+  }
   if (adaptive_feedback && adaptive != AdaptiveScheme::none &&
       adaptive != AdaptiveScheme::feedback) {
     throw std::invalid_argument(

@@ -12,67 +12,74 @@ ControlledCache::ControlledCache(const ControlledCacheConfig& cfg,
       cache_(cfg.cache),
       next_(next_level),
       activity_(activity),
-      decay_(cfg.cache.lines(), cfg.decay_interval, cfg.policy),
+      decay_(cfg.cache.lines(), cfg.decay_interval, cfg.policy,
+             cfg.decay_engine),
       prot_(faults::ProtectionParams::for_scheme(cfg.faults.protection)),
-      ctl_(cfg.cache.lines()) {
+      event_cycle_(cfg.cache.lines(), 0),
+      standby_(cfg.cache.lines(), 0),
+      standby_in_set_(cfg.cache.sets(), 0),
+      fault_check_cycle_(cfg.cache.lines(), 0),
+      ghost_tag_(cfg.cache.lines(), 0),
+      ghost_fresh_(cfg.cache.lines(), 0) {
   if (cfg.faults.enabled) {
     injector_.emplace(cfg.faults, cfg.cache.line_bytes * 8);
   }
 }
 
 void ControlledCache::deactivate(std::size_t index, uint64_t boundary_cycle) {
-  LineCtl& ln = ctl_[index];
-  if (ln.standby) {
+  if (standby_[index]) {
     return;
   }
-  const uint64_t active_span =
-      boundary_cycle > ln.event_cycle ? boundary_cycle - ln.event_cycle : 0;
+  const uint64_t active_span = boundary_cycle > event_cycle_[index]
+                                   ? boundary_cycle - event_cycle_[index]
+                                   : 0;
   // The settle period still leaks at the full rate (Table 1: 30 cycles for
   // gated-Vss — why it suffers at short intervals).
   stats_.data_active_cycles += active_span + cfg_.technique.settle_to_low;
   if (cfg_.technique.decay_tags) {
     stats_.tag_active_cycles += active_span + cfg_.technique.settle_to_low;
   }
-  ln.standby = true;
-  ln.event_cycle = boundary_cycle + cfg_.technique.settle_to_low;
+  standby_[index] = 1;
+  event_cycle_[index] = boundary_cycle + cfg_.technique.settle_to_low;
+  const std::size_t set = index / cfg_.cache.assoc;
+  ++standby_in_set_[set];
   stats_.decays++;
   if (activity_ != nullptr) {
     activity_->line_transitions++;
   }
 
   if (!cfg_.technique.state_preserving) {
-    const std::size_t set = index / cfg_.cache.assoc;
     const std::size_t way = index % cfg_.cache.assoc;
     const sim::Cache::Line& line = cache_.line(set, way);
     if (line.valid) {
-      ln.ghost_tag = line.tag;
-      ln.ghost_fresh = true;
+      ghost_tag_[index] = line.tag;
+      ghost_fresh_[index] = 1;
       const uint64_t wb_addr = cache_.line_addr(set, way);
       if (cache_.invalidate(set, way)) {
         stats_.decay_writebacks++;
         next_.writeback(wb_addr, boundary_cycle);
       }
     } else {
-      ln.ghost_fresh = false;
+      ghost_fresh_[index] = 0;
     }
   }
 }
 
 void ControlledCache::wake(std::size_t index, uint64_t cycle) {
-  LineCtl& ln = ctl_[index];
-  if (!ln.standby) {
+  if (!standby_[index]) {
     return;
   }
   const uint64_t standby_span =
-      cycle > ln.event_cycle ? cycle - ln.event_cycle : 0;
+      cycle > event_cycle_[index] ? cycle - event_cycle_[index] : 0;
   stats_.data_standby_cycles += standby_span;
   if (cfg_.technique.decay_tags) {
     stats_.tag_standby_cycles += standby_span;
   }
-  ln.standby = false;
-  ln.event_cycle = cycle;
-  ln.fault_check_cycle = cycle;
-  ln.ghost_fresh = false;
+  standby_[index] = 0;
+  --standby_in_set_[index / cfg_.cache.assoc];
+  event_cycle_[index] = cycle;
+  fault_check_cycle_[index] = cycle;
+  ghost_fresh_[index] = 0;
   stats_.wakes++;
   if (activity_ != nullptr) {
     activity_->line_transitions++;
@@ -80,24 +87,19 @@ void ControlledCache::wake(std::size_t index, uint64_t cycle) {
   }
 }
 
-bool ControlledCache::any_standby_in_set(std::size_t set) const {
-  for (std::size_t w = 0; w < cfg_.cache.assoc; ++w) {
-    if (ctl_[line_index(set, w)].standby) {
-      return true;
-    }
-  }
-  return false;
-}
-
 void ControlledCache::note_fill(std::size_t set, std::size_t filled_way,
                                 uint64_t cycle) {
   (void)cycle;
+  (void)filled_way;
+  if (cfg_.technique.state_preserving) {
+    return; // ghosts exist only for gated-Vss
+  }
   // A fill into the set means LRU would by now have evicted any line that
   // had been idle long enough to decay: their ghosts go stale.
+  const std::size_t base = line_index(set, 0);
   for (std::size_t w = 0; w < cfg_.cache.assoc; ++w) {
-    ctl_[line_index(set, w)].ghost_fresh = false;
+    ghost_fresh_[base + w] = 0;
   }
-  (void)filled_way;
 }
 
 unsigned ControlledCache::consume_faults(std::size_t index, uint64_t span,
@@ -172,39 +174,42 @@ unsigned ControlledCache::access(uint64_t addr, bool is_store,
   const std::size_t set = cache_.set_index(addr);
   const uint64_t tag = cache_.tag_of(addr);
   const TechniqueParams& tech = cfg_.technique;
+  const std::size_t assoc = cfg_.cache.assoc;
+  const std::size_t base = set * assoc;
   unsigned latency = cfg_.cache.hit_latency;
   if (injector_) {
     latency += prot_.check_latency; // syndrome/parity check on every access
   }
 
   // Pre-classify against the standby state *before* the cache mutates.
+  // One pass over the ways covers both the tag match and the ghost scan;
+  // the standby question is answered by the per-set count maintained at
+  // wake/deactivate time.  A ghost can only matter on a miss, so a
+  // provisional match found before a later way hits is simply unused.
+  const bool set_has_standby = standby_in_set_[set] != 0;
+  const bool scan_ghosts = !tech.state_preserving && set_has_standby;
   int hit_way = -1;
   bool pre_dirty = false;
-  for (std::size_t w = 0; w < cfg_.cache.assoc; ++w) {
+  bool induced = false;
+  std::size_t induced_line = 0;
+  for (std::size_t w = 0; w < assoc; ++w) {
     const sim::Cache::Line& ln = cache_.line(set, w);
     if (ln.valid && ln.tag == tag) {
       hit_way = static_cast<int>(w);
       pre_dirty = ln.dirty;
       break;
     }
-  }
-  const bool set_has_standby = any_standby_in_set(set);
-  bool induced = false;
-  std::size_t induced_line = 0;
-  if (hit_way < 0 && !tech.state_preserving) {
-    for (std::size_t w = 0; w < cfg_.cache.assoc; ++w) {
-      const LineCtl& ln = ctl_[line_index(set, w)];
-      if (ln.standby && ln.ghost_fresh && ln.ghost_tag == tag) {
-        induced = true;
-        induced_line = line_index(set, w);
-        break;
-      }
+    if (scan_ghosts && !induced && standby_[base + w] &&
+        ghost_fresh_[base + w] && ghost_tag_[base + w] == tag) {
+      induced = true;
+      induced_line = base + w;
     }
   }
+  (void)hit_way;
 
   const sim::Cache::AccessResult r = cache_.access(addr, is_store, cycle);
-  const std::size_t idx = line_index(r.set, r.way);
-  const bool was_standby = ctl_[idx].standby;
+  const std::size_t idx = base + r.way;
+  const bool was_standby = standby_[idx] != 0;
 
   if (r.hit) {
     if (was_standby) {
@@ -217,7 +222,7 @@ unsigned ControlledCache::access(uint64_t addr, bool is_store,
       latency += tech.decay_tags ? tech.wake_extra_tags_decayed
                                  : tech.wake_extra_tags_awake;
       const uint64_t standby_span =
-          cycle > ctl_[idx].event_cycle ? cycle - ctl_[idx].event_cycle : 0;
+          cycle > event_cycle_[idx] ? cycle - event_cycle_[idx] : 0;
       wake(idx, cycle);
       // The line's contents sat at the retention voltage for the whole
       // standby span: check them as they are consumed.
@@ -227,10 +232,9 @@ unsigned ControlledCache::access(uint64_t addr, bool is_store,
     } else {
       stats_.hits++;
       if (injector_ && cfg_.faults.active_rate_per_bit_cycle > 0.0) {
-        const uint64_t active_span =
-            cycle > ctl_[idx].fault_check_cycle
-                ? cycle - ctl_[idx].fault_check_cycle
-                : 0;
+        const uint64_t active_span = cycle > fault_check_cycle_[idx]
+                                         ? cycle - fault_check_cycle_[idx]
+                                         : 0;
         latency += consume_faults(idx, active_span, /*standby_span=*/false,
                                   pre_dirty, addr, cycle,
                                   /*on_critical_path=*/true);
@@ -259,8 +263,8 @@ unsigned ControlledCache::access(uint64_t addr, bool is_store,
       // (state-preserving) standby, its flips travel with it — off the
       // critical path, but corruption all the same.
       if (injector_) {
-        const uint64_t since = was_standby ? ctl_[idx].event_cycle
-                                           : ctl_[idx].fault_check_cycle;
+        const uint64_t since =
+            was_standby ? event_cycle_[idx] : fault_check_cycle_[idx];
         const uint64_t victim_span = cycle > since ? cycle - since : 0;
         consume_faults(idx, victim_span, /*standby_span=*/was_standby,
                        /*dirty=*/true, r.writeback_addr, cycle,
@@ -276,8 +280,12 @@ unsigned ControlledCache::access(uint64_t addr, bool is_store,
   }
 
   decay_.on_access(idx);
-  ctl_[idx].fault_check_cycle = cycle;
-  ctl_[idx].ghost_fresh = false;
+  if (injector_) {
+    fault_check_cycle_[idx] = cycle;
+  }
+  if (!tech.state_preserving) {
+    ghost_fresh_[idx] = 0;
+  }
   return latency;
 }
 
@@ -288,11 +296,10 @@ void ControlledCache::finalize(uint64_t end_cycle) {
   max_cycle_ = std::max(max_cycle_, end_cycle);
   decay_.advance(max_cycle_,
                  [this](std::size_t idx, uint64_t at) { deactivate(idx, at); });
-  for (std::size_t i = 0; i < ctl_.size(); ++i) {
-    const LineCtl& ln = ctl_[i];
+  for (std::size_t i = 0; i < event_cycle_.size(); ++i) {
     const uint64_t span =
-        max_cycle_ > ln.event_cycle ? max_cycle_ - ln.event_cycle : 0;
-    if (ln.standby) {
+        max_cycle_ > event_cycle_[i] ? max_cycle_ - event_cycle_[i] : 0;
+    if (standby_[i]) {
       stats_.data_standby_cycles += span;
       if (cfg_.technique.decay_tags) {
         stats_.tag_standby_cycles += span;
@@ -307,7 +314,7 @@ void ControlledCache::finalize(uint64_t end_cycle) {
   if (!cfg_.technique.decay_tags) {
     // Tags never decayed: active for the whole run.
     stats_.tag_active_cycles =
-        static_cast<unsigned long long>(ctl_.size()) * max_cycle_;
+        static_cast<unsigned long long>(event_cycle_.size()) * max_cycle_;
     stats_.tag_standby_cycles = 0;
   }
   stats_.counter_ticks = decay_.counter_ticks();

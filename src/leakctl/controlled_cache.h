@@ -39,6 +39,10 @@ struct ControlledCacheConfig {
   TechniqueParams technique = TechniqueParams::drowsy();
   DecayPolicy policy = DecayPolicy::noaccess;
   uint64_t decay_interval = 4096;
+  /// Decay implementation: the event-driven timing wheel (default) or the
+  /// naive per-epoch scan kept as the equivalence/benchmark oracle.  Both
+  /// produce bit-identical statistics (see tests/test_decay_equivalence).
+  DecayEngine decay_engine = DecayEngine::event;
   /// Soft-error injection + protection (disabled by default).  Rates are
   /// effective per-bit-cycle probabilities at the operating point; standby
   /// faults only apply to state-preserving techniques (gated-Vss standby
@@ -176,23 +180,22 @@ public:
   uint16_t line_decay_threshold(std::size_t line_index) const {
     return decay_.line_threshold(line_index);
   }
-  std::size_t lines() const { return ctl_.size(); }
+  std::size_t lines() const { return event_cycle_.size(); }
 
 private:
-  struct LineCtl {
-    uint64_t event_cycle = 0;   ///< activation time (active) / decay time
-    uint64_t fault_check_cycle = 0; ///< last active-residency fault draw
-    uint64_t ghost_tag = 0;     ///< tag at deactivation (gated-Vss)
-    bool ghost_fresh = false;   ///< no fill into the set since deactivation
-    bool standby = false;
-  };
-
+  // Per-line control state lives in parallel arrays split by access
+  // temperature rather than in one struct: the hot pair (standby flag +
+  // residency event cycle) is touched on every access, while the ghost
+  // and fault fields are only read on the gated-Vss miss path or when
+  // fault injection is on — keeping them out of the hot cache lines.
   std::size_t line_index(std::size_t set, std::size_t way) const {
     return set * cfg_.cache.assoc + way;
   }
   void deactivate(std::size_t index, uint64_t boundary_cycle);
   void wake(std::size_t index, uint64_t cycle);
-  bool any_standby_in_set(std::size_t set) const;
+  bool any_standby_in_set(std::size_t set) const {
+    return standby_in_set_[set] != 0;
+  }
   void note_fill(std::size_t set, std::size_t filled_way, uint64_t cycle);
   /// Draw and classify the faults @p index accumulated over @p span cycles
   /// (standby or active residency); returns the extra latency charged on
@@ -209,7 +212,14 @@ private:
   DecayCounters decay_;
   std::optional<faults::FaultInjector> injector_;
   faults::ProtectionParams prot_;
-  std::vector<LineCtl> ctl_;
+  // Hot per-line state (every access):
+  std::vector<uint64_t> event_cycle_; ///< activation time (active) / decay time
+  std::vector<uint8_t> standby_;
+  std::vector<uint32_t> standby_in_set_; ///< per-set standby-way count
+  // Cold per-line state (gated-Vss miss path / fault injection only):
+  std::vector<uint64_t> fault_check_cycle_; ///< last active-residency draw
+  std::vector<uint64_t> ghost_tag_;  ///< tag at deactivation (gated-Vss)
+  std::vector<uint8_t> ghost_fresh_; ///< no fill into the set since decay
   ControlStats stats_;
   uint64_t max_cycle_ = 0;
   unsigned long long induced_events_window_ = 0;

@@ -1,22 +1,68 @@
 #include "leakctl/decay.h"
 
+#include <limits>
 #include <stdexcept>
 
 namespace leakctl {
+namespace {
+
+std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+} // namespace
 
 DecayCounters::DecayCounters(std::size_t lines, uint64_t decay_interval,
-                             DecayPolicy policy)
-    : policy_(policy), interval_(decay_interval) {
+                             DecayPolicy policy, DecayEngine engine)
+    : policy_(policy), engine_(engine), interval_(decay_interval) {
   if (lines == 0) {
     throw std::invalid_argument("DecayCounters: zero lines");
+  }
+  if (lines > std::numeric_limits<uint32_t>::max()) {
+    throw std::invalid_argument("DecayCounters: too many lines");
   }
   if (decay_interval < 4) {
     throw std::invalid_argument("DecayCounters: interval must be >= 4 cycles");
   }
-  counters_.assign(lines, 0);
   threshold_.assign(lines, 4);
   active_.assign(lines, 1);
+  active_count_ = lines;
   next_epoch_ = epoch_length();
+  if (engine_ == DecayEngine::reference) {
+    counters_.assign(lines, 0);
+    return;
+  }
+  // Every line starts active with a zeroed counter: all deadlines are the
+  // default threshold (noaccess) or the first full interval (simple) —
+  // epoch 4 either way.  Populate in index order so the first boundary
+  // pops them in the same order the reference scan would.
+  reset_epoch_.assign(lines, 0);
+  deadline_.assign(lines, 4);
+  grow_wheel(/*min_span=*/8); // re-slots the initial deadlines, in order
+}
+
+void DecayCounters::schedule(std::size_t line, uint64_t deadline_epoch) {
+  wheel_[deadline_epoch & wheel_mask_].push_back(static_cast<uint32_t>(line));
+}
+
+void DecayCounters::grow_wheel(std::size_t min_span) {
+  const std::size_t capacity = next_pow2(min_span);
+  if (!wheel_.empty() && capacity <= wheel_.size()) {
+    return;
+  }
+  wheel_.assign(capacity, {});
+  wheel_mask_ = capacity - 1;
+  // Re-slot every live deadline; stale entries are simply dropped (a live
+  // line always has an entry at its current deadline's slot).
+  for (std::size_t i = 0; i < deadline_.size(); ++i) {
+    if (active_[i]) {
+      schedule(i, deadline_[i]);
+    }
+  }
 }
 
 void DecayCounters::set_line_threshold(std::size_t line, uint16_t epochs) {
@@ -24,21 +70,63 @@ void DecayCounters::set_line_threshold(std::size_t line, uint16_t epochs) {
     throw std::invalid_argument("set_line_threshold: epochs must be >= 1");
   }
   threshold_[line] = epochs;
+  if (engine_ == DecayEngine::reference) {
+    return;
+  }
+  // Deadlines can now reach epochs ahead of the current epoch; the wheel
+  // must keep distinct live deadlines in distinct slots.
+  if (static_cast<std::size_t>(epochs) + 2 > wheel_.size()) {
+    grow_wheel(static_cast<std::size_t>(epochs) + 2);
+  }
+  if (policy_ != DecayPolicy::noaccess || !active_[line]) {
+    return; // simple ignores thresholds; inactive lines pick it up on wake
+  }
+  // The partial count survives a threshold change (reference semantics):
+  // the line deactivates once `epochs` boundaries have passed since its
+  // last reset — at the very next boundary if that is already overdue.
+  const uint64_t deadline =
+      std::max(epoch_index_ + 1, reset_epoch_[line] + epochs);
+  if (deadline != deadline_[line]) {
+    deadline_[line] = deadline;
+    schedule(line, deadline);
+  }
 }
 
 void DecayCounters::on_access(std::size_t line) {
-  counters_[line] = 0;
-  active_[line] = 1;
+  if (engine_ == DecayEngine::reference) {
+    if (!active_[line]) {
+      active_[line] = 1;
+      ++active_count_;
+    }
+    counters_[line] = 0;
+    return;
+  }
+  if (!active_[line]) {
+    active_[line] = 1;
+    ++active_count_;
+  }
+  reset_epoch_[line] = epoch_index_;
+  const uint64_t deadline = deadline_after_access(line);
+  // Repeated accesses inside one epoch leave the deadline unchanged: the
+  // line is already scheduled in that bucket, so no wheel traffic.
+  if (deadline != deadline_[line]) {
+    deadline_[line] = deadline;
+    schedule(line, deadline);
+  }
 }
 
 void DecayCounters::set_interval(uint64_t decay_interval) {
   if (decay_interval < 4) {
     throw std::invalid_argument("DecayCounters: interval must be >= 4 cycles");
   }
-  // Re-anchor the next epoch boundary without moving time backwards.
-  const uint64_t last_boundary = next_epoch_ - epoch_length();
+  // Re-anchor at the last *completed* boundary, tracked explicitly: before
+  // any boundary has been processed that anchor is cycle 0, so shrinking
+  // or growing the interval mid-epoch can never push the next boundary
+  // before the previous one (the old `next_epoch_ - epoch_length()`
+  // reconstruction got this wrong when the two intervals disagreed about
+  // the epoch in flight).
   interval_ = decay_interval;
-  next_epoch_ = last_boundary + epoch_length();
+  next_epoch_ = last_boundary_ + epoch_length();
 }
 
 } // namespace leakctl

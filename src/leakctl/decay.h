@@ -8,8 +8,29 @@
 //
 // The `simple` policy (from the drowsy paper) keeps no per-line history:
 // every full interval, all lines are deactivated unconditionally.
+//
+// Two engines implement those semantics:
+//
+//  * DecayEngine::event (default) — the formulation is lazily evaluable: a
+//    line accessed at epoch E with threshold t deactivates at exactly epoch
+//    E + t (noaccess), or at the next full-interval boundary (simple), so
+//    its deadline is known the moment it is touched.  Lines are bucketed in
+//    a timing wheel keyed by deadline epoch; an epoch boundary pops one
+//    bucket and costs O(lines actually decaying), not O(cache size).
+//    Stale wheel entries (a line re-accessed after being scheduled) are
+//    skipped at pop time by checking the line's current deadline.
+//
+//  * DecayEngine::reference — the original O(lines)-per-epoch scan,
+//    retained verbatim as the oracle for the equivalence tests
+//    (tests/test_decay_equivalence.cpp) and as the baseline the decay
+//    -stress micro-benchmarks measure the event engine against.
+//
+// Both engines report identical decay cycles, counter_ticks, and decayed()
+// state for any access stream; the equivalence suite enforces this.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -17,13 +38,21 @@
 
 namespace leakctl {
 
+/// Which implementation of the decay semantics to run (see file comment).
+enum class DecayEngine {
+  event,     ///< timing-wheel, O(decaying lines) per epoch (default)
+  reference, ///< naive full scan per epoch (test / benchmark oracle)
+};
+
 class DecayCounters {
 public:
-  DecayCounters(std::size_t lines, uint64_t decay_interval, DecayPolicy policy);
+  DecayCounters(std::size_t lines, uint64_t decay_interval, DecayPolicy policy,
+                DecayEngine engine = DecayEngine::event);
 
   /// Advance the global counter to @p cycle, invoking
   /// @p on_decay(line_index, epoch_boundary_cycle) for every line that
-  /// deactivates.  Idempotent for non-increasing cycles.
+  /// deactivates.  Within one boundary, lines are reported in ascending
+  /// index order (both engines).  Idempotent for non-increasing cycles.
   template <typename F> void advance(uint64_t cycle, F&& on_decay) {
     while (next_epoch_ <= cycle) {
       tick_epoch(on_decay);
@@ -38,13 +67,17 @@ public:
   bool decayed(std::size_t line) const { return !active_[line]; }
 
   /// Change the decay interval (adaptive schemes); takes effect for the
-  /// next epoch.  Interval must be >= 4 cycles.
+  /// next epoch, re-anchored at the last *completed* epoch boundary (which
+  /// is cycle 0 before any boundary has been processed).  Interval must be
+  /// >= 4 cycles.
   void set_interval(uint64_t decay_interval);
   uint64_t interval() const { return interval_; }
 
   /// Per-line decay threshold in epochs (Kaxiras-style per-line adaptive
   /// intervals: "an array of bits to select from multiple possible decay
-  /// intervals").  Default 4 epochs = one full interval.
+  /// intervals").  Default 4 epochs = one full interval.  The line's
+  /// partial idle time is kept: shrinking the threshold below the epochs
+  /// already accumulated deactivates the line at the next boundary.
   void set_line_threshold(std::size_t line, uint16_t epochs);
   uint16_t line_threshold(std::size_t line) const { return threshold_[line]; }
 
@@ -52,11 +85,61 @@ public:
   unsigned long long counter_ticks() const { return counter_ticks_; }
 
   std::size_t lines() const { return active_.size(); }
+  DecayEngine engine() const { return engine_; }
 
 private:
   template <typename F> void tick_epoch(F&& on_decay) {
     const uint64_t boundary = next_epoch_;
     ++epoch_index_;
+    last_boundary_ = boundary;
+    next_epoch_ = boundary + epoch_length();
+    if (engine_ == DecayEngine::event) {
+      tick_epoch_event(boundary, on_decay);
+    } else {
+      tick_epoch_reference(boundary, on_decay);
+    }
+  }
+
+  template <typename F>
+  void tick_epoch_event(uint64_t boundary, F&& on_decay) {
+    const bool pop = policy_ == DecayPolicy::noaccess || epoch_index_ % 4 == 0;
+    if (policy_ == DecayPolicy::noaccess) {
+      // Every active line's local counter ticks once per epoch, including
+      // the tick that deactivates it — one add instead of one scan.
+      counter_ticks_ += active_count_;
+    }
+    if (!pop) {
+      return;
+    }
+    std::vector<uint32_t>& bucket = wheel_[epoch_index_ & wheel_mask_];
+    if (bucket.empty()) {
+      return;
+    }
+    due_.clear();
+    for (const uint32_t idx : bucket) {
+      // Entries are left in place when a line is rescheduled; an entry is
+      // live only if the line still holds this exact deadline.
+      if (active_[idx] && deadline_[idx] == epoch_index_) {
+        due_.push_back(idx);
+      }
+    }
+    bucket.clear();
+    // Match the reference scan's ascending-index callback order: the
+    // deactivation writebacks it triggers reach the next level in a
+    // defined order, which the bit-identical-stats guarantee depends on.
+    std::sort(due_.begin(), due_.end());
+    for (const uint32_t idx : due_) {
+      if (!active_[idx]) {
+        continue; // duplicate wheel entry, already deactivated above
+      }
+      active_[idx] = 0;
+      --active_count_;
+      on_decay(static_cast<std::size_t>(idx), boundary);
+    }
+  }
+
+  template <typename F>
+  void tick_epoch_reference(uint64_t boundary, F&& on_decay) {
     if (policy_ == DecayPolicy::noaccess) {
       for (std::size_t i = 0; i < counters_.size(); ++i) {
         if (!active_[i]) {
@@ -65,6 +148,7 @@ private:
         ++counter_ticks_;
         if (counters_[i] + 1 >= threshold_[i]) {
           active_[i] = 0;
+          --active_count_;
           on_decay(i, boundary);
         } else {
           ++counters_[i];
@@ -75,24 +159,49 @@ private:
         for (std::size_t i = 0; i < counters_.size(); ++i) {
           if (active_[i]) {
             active_[i] = 0;
+            --active_count_;
             on_decay(i, boundary);
           }
         }
       }
     }
-    next_epoch_ += epoch_length();
   }
 
   uint64_t epoch_length() const { return interval_ / 4; }
+  /// The epoch index at which a line touched *now* will deactivate.
+  uint64_t deadline_after_access(std::size_t line) const {
+    if (policy_ == DecayPolicy::noaccess) {
+      return epoch_index_ + threshold_[line];
+    }
+    // simple: the next full-interval boundary strictly after this epoch.
+    return epoch_index_ - epoch_index_ % 4 + 4;
+  }
+  void schedule(std::size_t line, uint64_t deadline_epoch);
+  void grow_wheel(std::size_t min_span);
 
   DecayPolicy policy_;
+  DecayEngine engine_;
   uint64_t interval_;
   uint64_t next_epoch_;
+  uint64_t last_boundary_ = 0;
   uint64_t epoch_index_ = 0;
-  std::vector<uint16_t> counters_;
   std::vector<uint16_t> threshold_;
   std::vector<uint8_t> active_;
+  std::size_t active_count_ = 0;
   unsigned long long counter_ticks_ = 0;
+
+  // --- reference engine state ---
+  std::vector<uint16_t> counters_;
+
+  // --- event engine state ---
+  std::vector<uint64_t> deadline_;    ///< per-line deactivation epoch
+  std::vector<uint64_t> reset_epoch_; ///< epoch of the last counter reset
+  /// Timing wheel: slot (deadline & wheel_mask_) holds the lines due at
+  /// that deadline epoch.  Capacity exceeds the largest threshold, so two
+  /// live deadlines can never share a slot.
+  std::vector<std::vector<uint32_t>> wheel_;
+  uint64_t wheel_mask_ = 0;
+  std::vector<uint32_t> due_; ///< scratch for one boundary's pops
 };
 
 } // namespace leakctl

@@ -1,19 +1,61 @@
 #include "sim/cache.h"
 
+#include <string>
+
 namespace sim {
 namespace {
 
 bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
 
+unsigned log2_exact(std::size_t v) {
+  unsigned s = 0;
+  while ((std::size_t{1} << s) < v) {
+    ++s;
+  }
+  return s;
+}
+
 } // namespace
 
-Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
-  if (cfg.line_bytes == 0 || cfg.assoc == 0 ||
-      cfg.size_bytes % cfg.line_bytes != 0 || cfg.lines() % cfg.assoc != 0 ||
-      !is_pow2(cfg.line_bytes) || !is_pow2(cfg.sets())) {
-    throw std::invalid_argument("Cache: inconsistent geometry");
+void CacheConfig::validate() const {
+  if (line_bytes == 0) {
+    throw std::invalid_argument("CacheConfig: line_bytes must be nonzero");
   }
+  if (assoc == 0) {
+    throw std::invalid_argument("CacheConfig: assoc must be nonzero");
+  }
+  if (size_bytes == 0) {
+    throw std::invalid_argument("CacheConfig: size_bytes must be nonzero");
+  }
+  if (size_bytes % line_bytes != 0) {
+    throw std::invalid_argument(
+        "CacheConfig: size_bytes (" + std::to_string(size_bytes) +
+        ") must be a multiple of line_bytes (" + std::to_string(line_bytes) +
+        ")");
+  }
+  if (lines() % assoc != 0) {
+    throw std::invalid_argument(
+        "CacheConfig: " + std::to_string(lines()) + " lines (size_bytes / " +
+        "line_bytes) not divisible by assoc " + std::to_string(assoc));
+  }
+  if (sets() == 0) {
+    throw std::invalid_argument(
+        "CacheConfig: geometry yields zero sets (size_bytes " +
+        std::to_string(size_bytes) + ", line_bytes " +
+        std::to_string(line_bytes) + ", assoc " + std::to_string(assoc) + ")");
+  }
+}
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  cfg.validate();
   lines_.resize(cfg.lines());
+  sets_ = cfg.sets();
+  pow2_ = is_pow2(cfg.line_bytes) && is_pow2(sets_);
+  if (pow2_) {
+    line_shift_ = log2_exact(cfg.line_bytes);
+    tag_shift_ = line_shift_ + log2_exact(sets_);
+    set_mask_ = sets_ - 1;
+  }
 }
 
 Cache::AccessResult Cache::access(uint64_t addr, bool is_write,
@@ -89,7 +131,7 @@ bool Cache::invalidate(std::size_t set, std::size_t way) {
 
 uint64_t Cache::line_addr(std::size_t set, std::size_t way) const {
   const Line& ln = line(set, way);
-  return (ln.tag * cfg_.sets() + set) * cfg_.line_bytes;
+  return (ln.tag * sets_ + set) * cfg_.line_bytes;
 }
 
 } // namespace sim

@@ -4,8 +4,13 @@
 // per-line state (tag, valid, dirty, last-access cycle) so the
 // leakage-control layer (src/leakctl) can deactivate lines, invalidate them
 // (gated-Vss), and account active/standby residency.
+//
+// Address decomposition is precomputed at construction: power-of-two
+// line sizes and set counts (every paper configuration) take a shift/mask
+// fast path; other geometries are accepted and fall back to div/mod.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -23,6 +28,13 @@ struct CacheConfig {
 
   std::size_t lines() const { return size_bytes / line_bytes; }
   std::size_t sets() const { return lines() / assoc; }
+
+  /// Reject inconsistent geometries with a std::invalid_argument naming
+  /// the offending field.  Checked by the Cache constructor and by
+  /// harness::ExperimentConfig::validate(); call it anywhere a geometry
+  /// crosses an API boundary (an unchecked `sets()` of zero would
+  /// otherwise surface as a division by zero deep in the hot path).
+  void validate() const;
 };
 
 /// Aggregate statistics.
@@ -80,18 +92,26 @@ public:
   void reset_stats() { stats_ = {}; }
 
   const Line& line(std::size_t set, std::size_t way) const {
-    return lines_.at(set * cfg_.assoc + way);
+    assert(set < sets_ && way < cfg_.assoc);
+    return lines_[set * cfg_.assoc + way];
   }
   std::size_t set_index(uint64_t addr) const {
-    return (addr / cfg_.line_bytes) % cfg_.sets();
+    if (pow2_) {
+      return static_cast<std::size_t>((addr >> line_shift_) & set_mask_);
+    }
+    return static_cast<std::size_t>((addr / cfg_.line_bytes) % sets_);
   }
   uint64_t tag_of(uint64_t addr) const {
-    return (addr / cfg_.line_bytes) / cfg_.sets();
+    if (pow2_) {
+      return addr >> tag_shift_;
+    }
+    return (addr / cfg_.line_bytes) / sets_;
   }
   uint64_t line_addr(std::size_t set, std::size_t way) const;
 
 private:
   Line& line_mut(std::size_t set, std::size_t way) {
+    assert(set < sets_ && way < cfg_.assoc);
     return lines_[set * cfg_.assoc + way];
   }
 
@@ -99,6 +119,13 @@ private:
   CacheStats stats_;
   std::vector<Line> lines_;
   uint32_t lru_clock_ = 0;
+  // Precomputed decomposition (constructor): hot-path set_index/tag_of
+  // must not divide.
+  std::size_t sets_ = 1;
+  bool pow2_ = false;
+  unsigned line_shift_ = 0;
+  unsigned tag_shift_ = 0; ///< line_shift_ + log2(sets)
+  uint64_t set_mask_ = 0;
 };
 
 } // namespace sim

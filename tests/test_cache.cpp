@@ -18,7 +18,7 @@ uint64_t addr_of(uint64_t set, uint64_t tag, const CacheConfig& cfg) {
 TEST(Cache, GeometryValidation) {
   EXPECT_NO_THROW(Cache{small_cfg()});
   CacheConfig bad = small_cfg();
-  bad.line_bytes = 48; // not a power of two
+  bad.line_bytes = 48; // 512 % 48 != 0
   EXPECT_THROW(Cache{bad}, std::invalid_argument);
   bad = small_cfg();
   bad.assoc = 3; // lines % assoc != 0
@@ -26,6 +26,62 @@ TEST(Cache, GeometryValidation) {
   bad = small_cfg();
   bad.assoc = 0;
   EXPECT_THROW(Cache{bad}, std::invalid_argument);
+}
+
+TEST(Cache, GeometryValidationNamesTheOffendingField) {
+  const auto message_of = [](CacheConfig cfg) -> std::string {
+    try {
+      cfg.validate();
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  CacheConfig bad = small_cfg();
+  bad.line_bytes = 0;
+  EXPECT_NE(message_of(bad).find("line_bytes"), std::string::npos);
+  bad = small_cfg();
+  bad.assoc = 0;
+  EXPECT_NE(message_of(bad).find("assoc"), std::string::npos);
+  bad = small_cfg();
+  bad.size_bytes = 0;
+  EXPECT_NE(message_of(bad).find("size_bytes"), std::string::npos);
+  bad = small_cfg();
+  bad.assoc = 3;
+  EXPECT_NE(message_of(bad).find("assoc"), std::string::npos);
+  bad = small_cfg();
+  bad.size_bytes = 500; // not a multiple of 64
+  EXPECT_NE(message_of(bad).find("multiple of line_bytes"),
+            std::string::npos);
+  // lines < assoc would otherwise yield sets() == 0 and a silent mod-by-
+  // zero on the first access.
+  bad = small_cfg();
+  bad.size_bytes = 64;
+  bad.assoc = 2;
+  EXPECT_FALSE(message_of(bad).empty());
+}
+
+TEST(Cache, NonPowerOfTwoGeometryFallsBackToDivMod) {
+  // 3 sets x 2 ways x 64 B lines: sets() is not a power of two, so the
+  // shift/mask fast path does not apply; the div/mod fallback must still
+  // behave like a correct set-associative cache.
+  const CacheConfig cfg{.size_bytes = 384, .assoc = 2, .line_bytes = 64,
+                        .hit_latency = 2};
+  EXPECT_NO_THROW(cfg.validate());
+  Cache c(cfg);
+  EXPECT_EQ(c.config().sets(), 3u);
+  const uint64_t a = addr_of(2, 5, cfg);
+  EXPECT_EQ(c.set_index(a), 2u);
+  EXPECT_EQ(c.tag_of(a), 5ull);
+  EXPECT_FALSE(c.access(a, false, 1).hit);
+  EXPECT_TRUE(c.access(a, false, 2).hit);
+  const uint64_t b = addr_of(2, 6, cfg);
+  const uint64_t d = addr_of(2, 7, cfg);
+  c.access(b, false, 3);
+  c.access(d, false, 4); // evicts a (LRU)
+  EXPECT_FALSE(c.probe(a));
+  EXPECT_TRUE(c.probe(b));
+  EXPECT_TRUE(c.probe(d));
 }
 
 TEST(Cache, ColdMissThenHit) {

@@ -136,6 +136,62 @@ TEST(Decay, SetIntervalValidation) {
   EXPECT_THROW(d.set_interval(2), std::invalid_argument);
 }
 
+// set_interval re-anchoring (ISSUE 5 satellite): the next boundary must be
+// the last *completed* boundary plus the new epoch length — cycle 0 when
+// no boundary has been processed yet — for grows and shrinks alike, on
+// both engines.
+class DecaySetIntervalAnchor : public ::testing::TestWithParam<DecayEngine> {
+protected:
+  static std::vector<DecayEvent> collect(DecayCounters& d, uint64_t cycle) {
+    return advance_collect(d, cycle);
+  }
+};
+
+TEST_P(DecaySetIntervalAnchor, GrowAtCycleZero) {
+  DecayCounters d(1, 4096, DecayPolicy::noaccess, GetParam());
+  d.set_interval(16384); // anchor 0: boundaries at 4096, 8192, ...
+  EXPECT_TRUE(collect(d, 16383).empty());
+  const auto events = collect(d, 16384);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].cycle, 16384ull);
+}
+
+TEST_P(DecaySetIntervalAnchor, ShrinkAtCycleZero) {
+  DecayCounters d(1, 65536, DecayPolicy::noaccess, GetParam());
+  d.set_interval(512); // anchor 0: boundaries at 128, 256, ...
+  EXPECT_TRUE(collect(d, 511).empty());
+  const auto events = collect(d, 512);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].cycle, 512ull);
+}
+
+TEST_P(DecaySetIntervalAnchor, ShrinkMidEpoch) {
+  // Interval 16384 (epoch 4096): one boundary at 4096, then time moves to
+  // mid-epoch before the shrink.  The new epoch length (1024) must anchor
+  // at 4096, so the remaining three ticks land at 5120, 6144, 7168.
+  DecayCounters d(1, 16384, DecayPolicy::noaccess, GetParam());
+  EXPECT_TRUE(collect(d, 5000).empty()); // boundary 4096 processed
+  d.set_interval(4096);
+  const auto events = collect(d, 7168);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].cycle, 7168ull);
+}
+
+TEST_P(DecaySetIntervalAnchor, GrowMidEpoch) {
+  DecayCounters d(1, 4096, DecayPolicy::noaccess, GetParam());
+  EXPECT_TRUE(collect(d, 1500).empty()); // boundary 1024 processed
+  d.set_interval(16384);                 // anchor 1024; next tick 5120
+  EXPECT_TRUE(collect(d, 5119).empty());
+  // Three more epochs of 4096 from 1024: decay at 1024 + 3 * 4096.
+  const auto events = collect(d, 13312);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].cycle, 13312ull);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, DecaySetIntervalAnchor,
+                         ::testing::Values(DecayEngine::event,
+                                           DecayEngine::reference));
+
 TEST(Decay, AdvanceIsIdempotentForPastCycles) {
   DecayCounters d(2, 4096, DecayPolicy::noaccess);
   advance_collect(d, 5000);
