@@ -10,14 +10,23 @@
 #pragma once
 
 // Machine-readable results: every bench binary accepts
-//   --json <path>   full suite report (schema 1; also via HLCC_JSON env)
+//   --json <path>   full suite report (schema 2; also via HLCC_JSON env)
 //   --csv <path>    per-benchmark rows
 // parsed by parse_cli below and emitted through harness::write_reports.
+//
+// Resilience knobs (all environment-driven, resolved by the engine):
+//   HLCC_RESUME=<journal>   checkpoint each cell to <journal> and skip
+//                           cells already completed there (kill/resume)
+//   HLCC_CELL_TIMEOUT=<s>   per-cell cooperative watchdog budget
+//   HLCC_RETRIES=<n>        attempt budget for transiently failing cells
+//   HLCC_FAIL_FAST=0        degrade gracefully on cell failures instead
+//                           of aborting the sweep (see sweep_options)
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "harness/experiment.h"
@@ -66,10 +75,25 @@ inline uint64_t instructions(uint64_t fallback = 600'000) {
 }
 
 /// Engine options for a bench sweep: default thread count, progress on.
+/// HLCC_FAIL_FAST=0 switches the sweep to graceful degradation — failed
+/// cells become placeholder rows whose schema-2 "cell" record carries
+/// the error, and every other cell's result is still produced (the
+/// series' cells.complete flag flips to false).  Any other value (or
+/// unset) keeps the abort-on-first-error default; junk is rejected.
 inline harness::SweepOptions sweep_options(std::string label) {
   harness::SweepOptions opts;
   opts.progress = true;
   opts.label = std::move(label);
+  if (const char* env = std::getenv("HLCC_FAIL_FAST")) {
+    const std::string_view text(env);
+    if (text == "0") {
+      opts.fail_fast = false;
+    } else if (text != "1") {
+      std::fprintf(stderr, "HLCC_FAIL_FAST must be 0 or 1, got \"%s\"\n",
+                   env);
+      std::exit(2);
+    }
+  }
   return opts;
 }
 

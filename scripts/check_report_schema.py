@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
-"""Validate a --json suite report (schema version 1).
+"""Validate a --json suite report (schema versions 1 and 2).
 
 Usage: check_report_schema.py REPORT.json [REPORT2.json ...]
 
 Stdlib only, so it runs anywhere CI has a python3.  Checks the contract
 documented in DESIGN.md: the schema stamp, run metadata, per-series
 benchmark rows (net savings, slowdown, config hash), and the metrics
-snapshot with its phase timers.  Exits non-zero naming the first
-violation.
+snapshot with its phase timers.  Schema-2 reports additionally carry a
+per-row "cell" execution record (status / error taxonomy / attempts /
+duration / resumed) and a per-series "cells" rollup whose "complete"
+flag distinguishes a partial (fail_fast=false) sweep from a clean one;
+both are validated.  Exits non-zero naming the first violation.
 """
 
 import json
@@ -15,6 +18,9 @@ import re
 import sys
 
 HASH_RE = re.compile(r"^0x[0-9a-f]{16}$")
+CELL_STATUSES = {"ok", "failed", "timed_out"}
+CELL_ERROR_KINDS = {"none", "config_invalid", "trace_io", "sim_invariant",
+                    "timeout", "unknown"}
 
 
 class SchemaError(Exception):
@@ -32,10 +38,51 @@ def check_number(obj, key, where):
             where, f"'{key}' must be a number, got {type(obj[key]).__name__}")
 
 
-def check_benchmark_row(row, where):
+def check_cell(cell, where):
+    require(isinstance(cell, dict), where, "'cell' must be an object")
+    require(cell.get("status") in CELL_STATUSES, where,
+            f"cell.status must be one of {sorted(CELL_STATUSES)}, "
+            f"got {cell.get('status')!r}")
+    require(cell.get("error_kind") in CELL_ERROR_KINDS, where,
+            f"cell.error_kind must be one of {sorted(CELL_ERROR_KINDS)}, "
+            f"got {cell.get('error_kind')!r}")
+    require(isinstance(cell.get("error"), str), where,
+            "cell.error must be a string")
+    check_number(cell, "attempts", where)
+    require(cell["attempts"] >= 1, where, "cell.attempts must be >= 1")
+    check_number(cell, "duration_s", where)
+    require(isinstance(cell.get("resumed"), bool), where,
+            "cell.resumed must be a boolean")
+    if cell["status"] == "ok":
+        require(cell["error_kind"] == "none", where,
+                "an ok cell must have error_kind 'none'")
+    else:
+        require(cell["error_kind"] != "none", where,
+                "a non-ok cell must name its error_kind")
+
+
+def check_cells_rollup(cells, nrows, where):
+    require(isinstance(cells, dict), where, "'cells' must be an object")
+    for key in ("total", "ok", "failed", "timed_out", "resumed", "retried"):
+        check_number(cells, key, where)
+    require(isinstance(cells.get("complete"), bool), where,
+            "cells.complete must be a boolean")
+    require(cells["total"] == nrows, where,
+            f"cells.total is {cells['total']} but the series has "
+            f"{nrows} benchmark rows")
+    require(cells["ok"] + cells["failed"] + cells["timed_out"]
+            == cells["total"], where, "cell status counts must sum to total")
+    require(cells["complete"] == (cells["ok"] == cells["total"]), where,
+            "cells.complete must equal (ok == total)")
+
+
+def check_benchmark_row(row, where, schema):
     require(isinstance(row, dict), where, "benchmark row must be an object")
     require(isinstance(row.get("benchmark"), str) and row["benchmark"],
             where, "missing benchmark name")
+    if schema >= 2:
+        require("cell" in row, where, "schema-2 row is missing 'cell'")
+        check_cell(row["cell"], f"{where}.cell")
     for key in ("net_savings_frac", "perf_loss_frac", "turnoff_ratio"):
         check_number(row, key, where)
     config = row.get("config")
@@ -51,8 +98,9 @@ def check_benchmark_row(row, where):
 
 def check_report(doc, path):
     require(isinstance(doc, dict), path, "top level must be an object")
-    require(doc.get("schema") == 1, path,
-            f"schema must be 1, got {doc.get('schema')!r}")
+    schema = doc.get("schema")
+    require(schema in (1, 2), path,
+            f"schema must be 1 or 2, got {schema!r}")
     require(doc.get("kind") == "suite_report", path,
             f"kind must be 'suite_report', got {doc.get('kind')!r}")
     require(isinstance(doc.get("title"), str) and doc["title"], path,
@@ -79,8 +127,11 @@ def check_report(doc, path):
         benchmarks = s.get("benchmarks")
         require(isinstance(benchmarks, list), where,
                 "'benchmarks' must be an array")
+        if schema >= 2:
+            require("cells" in s, where, "schema-2 series is missing 'cells'")
+            check_cells_rollup(s["cells"], len(benchmarks), f"{where}.cells")
         for j, row in enumerate(benchmarks):
-            check_benchmark_row(row, f"{where}.benchmarks[{j}]")
+            check_benchmark_row(row, f"{where}.benchmarks[{j}]", schema)
 
     metrics = doc.get("metrics")
     require(isinstance(metrics, dict), path, "missing 'metrics'")

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Diff two --json suite reports on their deterministic payload.
+
+Usage: diff_reports.py CLEAN.json RESUMED.json
+
+The resilience contract (DESIGN.md "Sweep resilience") is that a sweep
+killed mid-run and resumed from its checkpoint journal produces results
+bit-identical to an uninterrupted run.  This script enforces exactly
+that: it compares every simulated quantity of every benchmark row —
+energy breakdown, run stats, control stats, config hash — and fails on
+the first difference, while masking the fields that legitimately differ
+between the two runs:
+
+  - metadata (git describe, thread counts, timestamps of the runner)
+  - metrics (wall-clock timers, throughput gauges, retry/resume counters)
+  - each row's cell.duration_s / cell.resumed / cell.attempts (execution
+    history, not simulation output)
+  - each series' cells.resumed / cells.retried rollup counts
+
+Stdlib only.  Exits 0 when the payloads match, 1 with a path-qualified
+message when they do not, 2 on usage/IO errors.
+"""
+
+import json
+import sys
+
+# Execution-history fields: legitimately run-dependent.
+VOLATILE_CELL_FIELDS = {"duration_s", "resumed", "attempts"}
+VOLATILE_ROLLUP_FIELDS = {"resumed", "retried"}
+VOLATILE_TOP_LEVEL = {"metadata", "metrics"}
+
+
+def strip_volatile(doc):
+    """Return a copy of a suite report with run-dependent fields removed."""
+    if not isinstance(doc, dict):
+        raise ValueError("report top level must be an object")
+    out = {k: v for k, v in doc.items() if k not in VOLATILE_TOP_LEVEL}
+    for series in out.get("series", []):
+        cells = series.get("cells")
+        if isinstance(cells, dict):
+            for key in VOLATILE_ROLLUP_FIELDS:
+                cells.pop(key, None)
+        for row in series.get("benchmarks", []):
+            cell = row.get("cell")
+            if isinstance(cell, dict):
+                for key in VOLATILE_CELL_FIELDS:
+                    cell.pop(key, None)
+    return out
+
+
+def first_difference(a, b, path="$"):
+    """Depth-first search for the first mismatch; None when equal."""
+    if type(a) is not type(b):
+        return "%s: type %s != %s" % (path, type(a).__name__,
+                                      type(b).__name__)
+    if isinstance(a, dict):
+        for key in a:
+            if key not in b:
+                return "%s: key %r only in first report" % (path, key)
+        for key in b:
+            if key not in a:
+                return "%s: key %r only in second report" % (path, key)
+        for key in a:
+            diff = first_difference(a[key], b[key], "%s.%s" % (path, key))
+            if diff:
+                return diff
+        return None
+    if isinstance(a, list):
+        if len(a) != len(b):
+            return "%s: length %d != %d" % (path, len(a), len(b))
+        for i, (x, y) in enumerate(zip(a, b)):
+            diff = first_difference(x, y, "%s[%d]" % (path, i))
+            if diff:
+                return diff
+        return None
+    # Scalars: exact equality, floats included — the JSON writer emits
+    # shortest-round-trip doubles, so bit-identical runs compare equal.
+    if a != b:
+        return "%s: %r != %r" % (path, a, b)
+    return None
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        print("diff_reports: cannot read %s: %s" % (path, e),
+              file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        print("diff_reports: %s is not valid JSON: %s" % (path, e),
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    a_path, b_path = argv[1], argv[2]
+    try:
+        a = strip_volatile(load(a_path))
+        b = strip_volatile(load(b_path))
+    except ValueError as e:
+        print("diff_reports: %s" % e, file=sys.stderr)
+        return 2
+    diff = first_difference(a, b)
+    if diff:
+        print("reports differ: %s" % diff, file=sys.stderr)
+        print("  first:  %s" % a_path, file=sys.stderr)
+        print("  second: %s" % b_path, file=sys.stderr)
+        return 1
+    print("reports match on the deterministic payload: %s == %s"
+          % (a_path, b_path))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

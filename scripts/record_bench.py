@@ -52,7 +52,17 @@ def git_describe(repo_root):
         return "unknown"
 
 
+class BenchError(Exception):
+    """A benchmark run that cannot produce a usable report."""
+
+
 def run_bench(bench, min_time):
+    if not os.path.exists(bench):
+        raise BenchError(
+            "bench binary not found: %s (build it, or point --bench at it)"
+            % bench)
+    if not os.access(bench, os.X_OK):
+        raise BenchError("bench binary is not executable: %s" % bench)
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         tmp_path = tmp.name
     env = dict(os.environ)
@@ -64,10 +74,27 @@ def run_bench(bench, min_time):
            "--benchmark_filter=BM_DecayStress",
            "--benchmark_min_time=%g" % min_time,
            "--json", tmp_path]
-    subprocess.check_call(cmd, env=env, stdout=subprocess.DEVNULL)
-    with open(tmp_path) as f:
-        doc = json.load(f)
-    os.unlink(tmp_path)
+    try:
+        try:
+            subprocess.check_call(cmd, env=env, stdout=subprocess.DEVNULL)
+        except OSError as e:
+            raise BenchError("cannot run %s: %s" % (bench, e))
+        except subprocess.CalledProcessError as e:
+            raise BenchError("%s exited with status %d" % (bench, e.returncode))
+        try:
+            with open(tmp_path) as f:
+                doc = json.load(f)
+        except json.JSONDecodeError as e:
+            raise BenchError("%s wrote invalid JSON: %s" % (bench, e))
+        except OSError as e:
+            raise BenchError("cannot read bench report: %s" % e)
+    finally:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+    if not isinstance(doc, dict):
+        raise BenchError("%s wrote a non-object JSON report" % bench)
     return doc
 
 
@@ -94,8 +121,16 @@ def extract(doc):
 
 
 def compare(baseline_path, speedups, gate):
-    with open(baseline_path) as f:
-        baseline = json.load(f)
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except OSError as e:
+        raise BenchError("cannot read baseline: %s" % e)
+    except json.JSONDecodeError as e:
+        raise BenchError("baseline %s is not valid JSON: %s"
+                         % (baseline_path, e))
+    if not isinstance(baseline, dict):
+        raise BenchError("baseline %s is not a JSON object" % baseline_path)
     failures = []
     for scenario, base_speedup in sorted(baseline.get("speedups", {}).items()):
         new = speedups.get(scenario)
@@ -128,7 +163,11 @@ def main():
     args = ap.parse_args()
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    doc = run_bench(args.bench, args.min_time)
+    try:
+        doc = run_bench(args.bench, args.min_time)
+    except BenchError as e:
+        print("record_bench: %s" % e, file=sys.stderr)
+        return 1
     throughput, speedups = extract(doc)
     if not throughput:
         print("record_bench: no BM_DecayStress rows in the bench output",
@@ -146,9 +185,14 @@ def main():
         ],
         "speedups": {k: round(v, 3) for k, v in sorted(speedups.items())},
     }
-    with open(args.out, "w") as f:
-        json.dump(out, f, indent=2, sort_keys=True)
-        f.write("\n")
+    try:
+        with open(args.out, "w") as f:
+            json.dump(out, f, indent=2, sort_keys=True)
+            f.write("\n")
+    except OSError as e:
+        print("record_bench: cannot write %s: %s" % (args.out, e),
+              file=sys.stderr)
+        return 1
     print("wrote %s (%d scenarios, git %s)"
           % (args.out, len(out["scenarios"]), out["git"]))
     for scenario, ratio in sorted(speedups.items()):
@@ -157,7 +201,11 @@ def main():
     if args.baseline:
         print("gating against %s (%.gx regression allowance):"
               % (args.baseline, args.gate))
-        failures = compare(args.baseline, speedups, args.gate)
+        try:
+            failures = compare(args.baseline, speedups, args.gate)
+        except BenchError as e:
+            print("record_bench: %s" % e, file=sys.stderr)
+            return 1
         if failures:
             for f in failures:
                 print("record_bench: " + f, file=sys.stderr)

@@ -1,0 +1,94 @@
+#include "harness/cell.h"
+
+#include <ios>
+#include <stdexcept>
+
+#include "sim/cancellation.h"
+#include "workload/tracefile.h"
+
+namespace harness {
+
+const char* to_string(CellStatus status) {
+  switch (status) {
+  case CellStatus::ok: return "ok";
+  case CellStatus::failed: return "failed";
+  case CellStatus::timed_out: return "timed_out";
+  }
+  return "?";
+}
+
+const char* to_string(CellErrorKind kind) {
+  switch (kind) {
+  case CellErrorKind::none: return "none";
+  case CellErrorKind::config_invalid: return "config_invalid";
+  case CellErrorKind::trace_io: return "trace_io";
+  case CellErrorKind::sim_invariant: return "sim_invariant";
+  case CellErrorKind::timeout: return "timeout";
+  case CellErrorKind::unknown: return "unknown";
+  }
+  return "?";
+}
+
+CellStatus cell_status_from_name(std::string_view name) {
+  for (const CellStatus s :
+       {CellStatus::ok, CellStatus::failed, CellStatus::timed_out}) {
+    if (name == to_string(s)) {
+      return s;
+    }
+  }
+  throw std::invalid_argument("unknown cell status name \"" +
+                              std::string(name) + "\"");
+}
+
+CellErrorKind cell_error_kind_from_name(std::string_view name) {
+  for (const CellErrorKind k :
+       {CellErrorKind::none, CellErrorKind::config_invalid,
+        CellErrorKind::trace_io, CellErrorKind::sim_invariant,
+        CellErrorKind::timeout, CellErrorKind::unknown}) {
+    if (name == to_string(k)) {
+      return k;
+    }
+  }
+  throw std::invalid_argument("unknown cell error kind name \"" +
+                              std::string(name) + "\"");
+}
+
+CellErrorKind classify_cell_error(const std::exception_ptr& error) noexcept {
+  if (!error) {
+    return CellErrorKind::none;
+  }
+  try {
+    std::rethrow_exception(error);
+  } catch (const sim::CancelledError&) {
+    return CellErrorKind::timeout;
+  } catch (const workload::TraceError&) {
+    return CellErrorKind::trace_io;
+  } catch (const std::ios_base::failure&) {
+    return CellErrorKind::trace_io;
+  } catch (const std::invalid_argument&) {
+    return CellErrorKind::config_invalid;
+  } catch (const std::logic_error&) {
+    return CellErrorKind::sim_invariant;
+  } catch (...) {
+    return CellErrorKind::unknown;
+  }
+}
+
+std::string describe_cell_error(const std::exception_ptr& error) {
+  if (!error) {
+    return {};
+  }
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "(non-std::exception payload)";
+  }
+}
+
+bool cell_error_retryable(CellErrorKind kind) {
+  return kind == CellErrorKind::trace_io || kind == CellErrorKind::unknown;
+}
+
+} // namespace harness

@@ -1,0 +1,86 @@
+// Per-cell outcome types for the fault-isolated sweep engine.
+//
+// A production-scale sweep is thousands of independent cells; one bad
+// cell must not discard the rest.  Instead of an in-flight rethrow, each
+// cell's execution is summarized as a CellInfo (status, structured error
+// kind, attempt count, duration) and, for value-returning entry points,
+// a CellResult<T> pairing that summary with the cell's value and the
+// original exception payload (so fail-fast callers can rethrow it with
+// its concrete type intact).
+//
+// The error taxonomy mirrors how an operator triages a failed grid:
+//   config_invalid — the cell could never run (ExperimentConfig /
+//                    CacheConfig validation); retrying is pointless.
+//   trace_io       — workload trace capture/replay I/O; transient on
+//                    shared filesystems, so worth retrying.
+//   sim_invariant  — a violated internal invariant (std::logic_error);
+//                    deterministic, never retried.
+//   timeout        — the cooperative watchdog cancelled the cell
+//                    (sim::CancelledError); re-running would hang again.
+//   unknown        — anything else; treated as possibly transient.
+#pragma once
+
+#include <exception>
+#include <string>
+#include <string_view>
+
+namespace harness {
+
+enum class CellStatus { ok, failed, timed_out };
+
+enum class CellErrorKind {
+  none,
+  config_invalid,
+  trace_io,
+  sim_invariant,
+  timeout,
+  unknown,
+};
+
+/// Stable names used by the JSON report and the checkpoint journal.
+const char* to_string(CellStatus status);
+const char* to_string(CellErrorKind kind);
+/// Inverse mappings (journal load); throw std::invalid_argument on an
+/// unrecognized name.
+CellStatus cell_status_from_name(std::string_view name);
+CellErrorKind cell_error_kind_from_name(std::string_view name);
+
+/// How one cell's execution went — embedded in ExperimentResult (so
+/// schema-2 reports carry per-row status) and recorded in the journal.
+struct CellInfo {
+  CellStatus status = CellStatus::ok;
+  CellErrorKind error_kind = CellErrorKind::none;
+  std::string error;      ///< final attempt's message; empty when ok
+  unsigned attempts = 1;  ///< total tries, including the successful one
+  double duration_s = 0.0; ///< wall clock summed over attempts (no backoff)
+  bool resumed = false;   ///< satisfied from a checkpoint journal
+  bool ok() const { return status == CellStatus::ok; }
+};
+
+/// One cell's outcome: summary + value (meaningful when ok()) + the
+/// original exception payload (non-null when !ok(), preserving the
+/// thrown type for fail-fast rethrow even for non-std::exception
+/// payloads).
+template <typename T>
+struct CellResult {
+  CellInfo info;
+  T value{};
+  std::exception_ptr exception;
+
+  bool ok() const { return info.ok(); }
+  CellStatus status() const { return info.status; }
+  const std::string& error() const { return info.error; }
+};
+
+/// Map a thrown payload onto the taxonomy (none when @p error is null).
+CellErrorKind classify_cell_error(const std::exception_ptr& error) noexcept;
+
+/// Human-readable message for a thrown payload: what() for
+/// std::exception, a placeholder for anything else.
+std::string describe_cell_error(const std::exception_ptr& error);
+
+/// Whether the retry policy applies to a failure of @p kind
+/// (trace_io and unknown: possibly transient; the rest: deterministic).
+bool cell_error_retryable(CellErrorKind kind);
+
+} // namespace harness

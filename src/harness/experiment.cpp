@@ -58,7 +58,8 @@ std::map<BaselineKey, std::shared_ptr<BaselineSlot>>& baseline_cache() {
 }
 
 std::shared_ptr<BaselineSlot> baseline_for(
-    const workload::BenchmarkProfile& profile, const ExperimentConfig& cfg) {
+    const workload::BenchmarkProfile& profile, const ExperimentConfig& cfg,
+    const sim::CancellationToken* cancel) {
   BaselineKey key{std::string(profile.name), cfg.l2_latency,
                   cfg.instructions, cfg.seed};
   std::shared_ptr<BaselineSlot> slot;
@@ -79,8 +80,10 @@ std::shared_ptr<BaselineSlot> baseline_for(
         sim::ProcessorConfig::table2(cfg.l2_latency);
     sim::Processor proc(pcfg);
     sim::BaselineDataPort dport(pcfg.l1d, proc.l2(), &proc.activity());
+    // A cancelled baseline unwinds out of call_once without setting the
+    // flag, so the next cell needing this key recomputes it.
     workload::Generator gen(profile, cfg.seed);
-    slot->rec.run = proc.run(gen, dport, cfg.instructions);
+    slot->rec.run = proc.run(gen, dport, cfg.instructions, cancel);
     slot->rec.activity = proc.activity();
     slot->rec.l1d_miss_rate = dport.cache().stats().miss_rate();
   });
@@ -157,6 +160,12 @@ void ExperimentConfig::validate() const {
 
 ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
                                 const ExperimentConfig& cfg) {
+  return run_experiment(profile, cfg, nullptr);
+}
+
+ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
+                                const ExperimentConfig& cfg,
+                                const sim::CancellationToken* cancel) {
   cfg.validate();
   metrics::ScopedTimer experiment_timer("phase.experiment");
   metrics::count("experiments.run");
@@ -164,7 +173,7 @@ ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
   result.benchmark = std::string(profile.name);
   result.config = cfg;
 
-  const std::shared_ptr<BaselineSlot> slot = baseline_for(profile, cfg);
+  const std::shared_ptr<BaselineSlot> slot = baseline_for(profile, cfg, cancel);
   const BaselineRecord& base = slot->rec;
   result.base_run = base.run;
   result.base_l1d_miss_rate = base.l1d_miss_rate;
@@ -224,7 +233,7 @@ ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
   workload::Generator gen(profile, cfg.seed);
   {
     metrics::ScopedTimer sim_timer("phase.simulation");
-    result.tech_run = proc.run(gen, dport, cfg.instructions);
+    result.tech_run = proc.run(gen, dport, cfg.instructions, cancel);
   }
   dport.finalize(result.tech_run.cycles);
   result.control = dport.stats();

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "faults/fault_injector.h"
+#include "harness/cell.h"
 #include "leakctl/adaptive.h"
 #include "leakctl/adaptive_modes.h"
 #include "leakctl/energy.h"
@@ -170,9 +171,19 @@ struct ExperimentResult {
   sim::RunStats tech_run;
   leakctl::ControlStats control;
   double base_l1d_miss_rate = 0.0;
+  /// How this cell executed under the sweep engine (status, attempts,
+  /// duration, resumed-from-journal).  Defaults to a clean first-try ok
+  /// for results produced outside the engine, so direct run_experiment
+  /// callers are unaffected.
+  CellInfo cell;
 };
 
-/// Run one cell.
+/// Run one cell.  @p cancel, when non-null, is polled at epoch
+/// boundaries by both the baseline and technique simulations; the sweep
+/// engine's watchdog uses it to time out hung cells cooperatively.
+ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
+                                const ExperimentConfig& cfg,
+                                const sim::CancellationToken* cancel);
 ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
                                 const ExperimentConfig& cfg);
 

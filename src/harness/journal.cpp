@@ -1,0 +1,125 @@
+#include "harness/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace harness {
+
+std::string cell_journal_key(uint64_t config_hash,
+                             std::string_view benchmark) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(config_hash));
+  return std::string(buf) + ":" + std::string(benchmark);
+}
+
+SweepJournal::SweepJournal(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("SweepJournal: cannot open '" + path_ +
+                             "' for appending: " + std::strerror(errno));
+  }
+  // A SIGKILL mid-write leaves a torn, unterminated final line.  Close
+  // it off before appending, so the resume's fresh records start on
+  // their own line instead of fusing with the torn one.
+  const off_t size = ::lseek(fd_, 0, SEEK_END);
+  char last = '\n';
+  if (size > 0 && ::pread(fd_, &last, 1, size - 1) == 1 && last != '\n') {
+    if (::write(fd_, "\n", 1) != 1) {
+      throw std::runtime_error("SweepJournal: cannot repair torn tail of '" +
+                               path_ + "': " + std::strerror(errno));
+    }
+  }
+}
+
+SweepJournal::~SweepJournal() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void SweepJournal::append(const JournalRecord& rec) {
+  json::Value line = json::Value::object();
+  line["v"] = 1;
+  line["key"] = rec.key;
+  line["status"] = to_string(rec.info.status);
+  line["error_kind"] = to_string(rec.info.error_kind);
+  line["error"] = rec.info.error;
+  line["attempts"] = rec.info.attempts;
+  line["duration_s"] = rec.info.duration_s;
+  line["result"] = rec.result;
+  const std::string text = line.dump() + "\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // One write() per record keeps the only possible corruption a torn
+  // tail; the fsync makes the record durable before the cell is
+  // considered checkpointed.
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n = ::write(fd_, text.data() + off, text.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw std::runtime_error("SweepJournal: write to '" + path_ +
+                               "' failed: " + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    throw std::runtime_error("SweepJournal: fsync of '" + path_ +
+                             "' failed: " + std::strerror(errno));
+  }
+}
+
+std::map<std::string, JournalRecord> SweepJournal::load(
+    const std::string& path) {
+  std::map<std::string, JournalRecord> records;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return records; // no journal yet: nothing completed
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    JournalRecord rec;
+    try {
+      const json::Value v = json::Value::parse(line);
+      if (!v.is_object() || !v.contains("v") ||
+          v.at("v").as_double() != 1.0) {
+        throw std::runtime_error("unsupported journal record version");
+      }
+      rec.key = v.at("key").as_string();
+      rec.info.status = cell_status_from_name(v.at("status").as_string());
+      rec.info.error_kind =
+          cell_error_kind_from_name(v.at("error_kind").as_string());
+      rec.info.error = v.at("error").as_string();
+      rec.info.attempts = static_cast<unsigned>(v.at("attempts").as_double());
+      rec.info.duration_s = v.at("duration_s").as_double();
+      rec.result = v.contains("result") ? v.at("result") : json::Value();
+    } catch (const std::exception& e) {
+      // A malformed line is a torn write (the tail of a killed run, or
+      // the newline-repaired scar of one mid-file after a resume).
+      // Records are self-contained lines, so skip it and keep reading:
+      // records appended after a repaired tear must still count.
+      std::fprintf(stderr, "[journal] %s:%zu: skipping malformed record (%s)\n",
+                   path.c_str(), line_no, e.what());
+      continue;
+    }
+    records[rec.key] = std::move(rec); // later records win
+  }
+  return records;
+}
+
+} // namespace harness

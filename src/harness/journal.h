@@ -1,0 +1,76 @@
+// Crash-safe checkpoint journal for sweep runs.
+//
+// A production-scale sweep is hours of work; a crash, OOM kill, or
+// pre-empted node must not discard the cells that already finished.  As
+// each cell completes, the engine appends one self-contained JSONL
+// record — keyed by the cell's identity (config FNV hash + benchmark
+// name) and carrying the full serialized result — and fsyncs it, so the
+// journal survives SIGKILL at any instant with at most the in-flight
+// record torn.  A sweep restarted with the same journal
+// (SweepOptions::journal_path or HLCC_RESUME=<path>) loads it, skips
+// every cell with an ok record, and reconstructs those cells' results
+// bit-identically from the journal (the JSON writer emits
+// shortest-round-trip doubles, so deserialization is exact).
+//
+// Record layout (one compact JSON object per line):
+//   {"v": 1, "key": "0x<confighash>:<benchmark>", "status": "ok",
+//    "error_kind": "none", "error": "", "attempts": 1,
+//    "duration_s": 0.42, "result": {<ExperimentResult row JSON>}}
+//
+// Load policy: the file is read line by line; a malformed line — the
+// torn tail of a killed run, or the newline-terminated scar it leaves
+// mid-file once a resume has appended past it — is skipped with a
+// warning, never fatal.  Later records win when a key repeats (a failed
+// cell re-run on resume appends a fresh record).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "harness/cell.h"
+#include "harness/json_writer.h"
+
+namespace harness {
+
+/// One journal line, decoded.
+struct JournalRecord {
+  std::string key;
+  CellInfo info;      ///< status / error / attempts / duration
+  json::Value result; ///< serialized row for ok records; null otherwise
+};
+
+/// Thread-safe append-only writer + tolerant reader for the journal.
+class SweepJournal {
+public:
+  /// Open @p path for appending (creating it if needed), terminating a
+  /// torn final line first so fresh records never fuse with it; throws
+  /// std::runtime_error when the file cannot be opened.
+  explicit SweepJournal(std::string path);
+  ~SweepJournal();
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
+
+  /// Serialize @p rec as one line, append it, fsync.  Thread-safe; a
+  /// write failure throws std::runtime_error (the sweep must not keep
+  /// pretending its checkpoints are durable).
+  void append(const JournalRecord& rec);
+
+  const std::string& path() const { return path_; }
+
+  /// Decode every intact record of @p path (empty map when the file
+  /// does not exist).  Never throws on torn or malformed lines — the
+  /// intact records are the checkpoint.
+  static std::map<std::string, JournalRecord> load(const std::string& path);
+
+private:
+  std::string path_;
+  int fd_ = -1;
+  std::mutex mu_;
+};
+
+/// The journal identity of a cell: "0x<16-hex config hash>:<benchmark>".
+std::string cell_journal_key(uint64_t config_hash, std::string_view benchmark);
+
+} // namespace harness

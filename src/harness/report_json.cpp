@@ -73,6 +73,43 @@ json::Value config_body(const ExperimentConfig& cfg) {
   v["seed"] = cfg.seed;
   v["variation"] = cfg.variation;
   v["adaptive"] = adaptive_name(cfg.effective_adaptive());
+  // The *active* adaptive scheme's parameters are part of the cell's
+  // identity (bench_ablation_feedback sweeps them); inactive sub-configs
+  // cannot affect the result, so they stay out of the canonical form and
+  // two configs differing only in dormant knobs hash the same.
+  switch (cfg.effective_adaptive()) {
+  case ExperimentConfig::AdaptiveScheme::none:
+    break;
+  case ExperimentConfig::AdaptiveScheme::feedback: {
+    json::Value fb = json::Value::object();
+    fb["window_cycles"] = cfg.feedback.window_cycles;
+    fb["target_rate"] = cfg.feedback.target_rate;
+    fb["deadband"] = cfg.feedback.deadband;
+    fb["min_interval"] = cfg.feedback.min_interval;
+    fb["max_interval"] = cfg.feedback.max_interval;
+    fb["gain"] = cfg.feedback.gain;
+    v["feedback"] = std::move(fb);
+    break;
+  }
+  case ExperimentConfig::AdaptiveScheme::amc: {
+    json::Value amc = json::Value::object();
+    amc["window_cycles"] = cfg.amc.window_cycles;
+    amc["target_ratio"] = cfg.amc.target_ratio;
+    amc["band"] = cfg.amc.band;
+    amc["min_interval"] = cfg.amc.min_interval;
+    amc["max_interval"] = cfg.amc.max_interval;
+    v["amc"] = std::move(amc);
+    break;
+  }
+  case ExperimentConfig::AdaptiveScheme::per_line: {
+    json::Value pl = json::Value::object();
+    pl["min_shift"] = cfg.per_line.min_shift;
+    pl["max_shift"] = cfg.per_line.max_shift;
+    pl["forget_window_cycles"] = cfg.per_line.forget_window_cycles;
+    v["per_line"] = std::move(pl);
+    break;
+  }
+  }
   json::Value faults = json::Value::object();
   faults["enabled"] = cfg.faults.enabled;
   faults["standby_rate_per_bit_cycle"] = cfg.faults.standby_rate_per_bit_cycle;
@@ -117,6 +154,21 @@ json::Value to_json(const sim::RunStats& run) {
   return v;
 }
 
+sim::RunStats run_stats_from_json(const json::Value& v) {
+  sim::RunStats run;
+  run.instructions = static_cast<uint64_t>(v.at("instructions").as_double());
+  run.cycles = static_cast<uint64_t>(v.at("cycles").as_double());
+  run.loads = static_cast<uint64_t>(v.at("loads").as_double());
+  run.stores = static_cast<uint64_t>(v.at("stores").as_double());
+  run.branch.branches =
+      static_cast<unsigned long long>(v.at("branches").as_double());
+  run.branch.direction_mispredicts = static_cast<unsigned long long>(
+      v.at("branch_mispredicts").as_double());
+  run.branch.btb_misses =
+      static_cast<unsigned long long>(v.at("btb_misses").as_double());
+  return run; // "ipc" is derived, not state
+}
+
 json::Value to_json(const leakctl::ControlStats& control) {
   json::Value v = json::Value::object();
   control.for_each_field(
@@ -152,6 +204,44 @@ json::Value to_json(const leakctl::EnergyBreakdown& energy) {
   return v;
 }
 
+leakctl::EnergyBreakdown energy_from_json(const json::Value& v) {
+  leakctl::EnergyBreakdown energy;
+  energy.baseline_leakage_j = v.at("baseline_leakage_j").as_double();
+  energy.technique_leakage_j = v.at("technique_leakage_j").as_double();
+  energy.decay_hw_leakage_j = v.at("decay_hw_leakage_j").as_double();
+  energy.extra_dynamic_j = v.at("extra_dynamic_j").as_double();
+  energy.protection_leakage_j = v.at("protection_leakage_j").as_double();
+  energy.protection_dynamic_j = v.at("protection_dynamic_j").as_double();
+  energy.gross_savings_j = v.at("gross_savings_j").as_double();
+  energy.net_savings_j = v.at("net_savings_j").as_double();
+  energy.net_savings_frac = v.at("net_savings_frac").as_double();
+  energy.perf_loss_frac = v.at("perf_loss_frac").as_double();
+  energy.turnoff_ratio = v.at("turnoff_ratio").as_double();
+  return energy;
+}
+
+json::Value to_json(const CellInfo& cell) {
+  json::Value v = json::Value::object();
+  v["status"] = to_string(cell.status);
+  v["error_kind"] = to_string(cell.error_kind);
+  v["error"] = cell.error;
+  v["attempts"] = cell.attempts;
+  v["duration_s"] = cell.duration_s;
+  v["resumed"] = cell.resumed;
+  return v;
+}
+
+CellInfo cell_info_from_json(const json::Value& v) {
+  CellInfo info;
+  info.status = cell_status_from_name(v.at("status").as_string());
+  info.error_kind = cell_error_kind_from_name(v.at("error_kind").as_string());
+  info.error = v.at("error").as_string();
+  info.attempts = static_cast<unsigned>(v.at("attempts").as_double());
+  info.duration_s = v.at("duration_s").as_double();
+  info.resumed = v.at("resumed").as_bool();
+  return info;
+}
+
 json::Value to_json(const ExperimentConfig& cfg) {
   json::Value v = config_body(cfg);
   v["hash"] = hex64(config_hash(cfg));
@@ -161,6 +251,7 @@ json::Value to_json(const ExperimentConfig& cfg) {
 json::Value to_json(const ExperimentResult& result) {
   json::Value v = json::Value::object();
   v["benchmark"] = result.benchmark;
+  v["cell"] = to_json(result.cell);
   v["net_savings_frac"] = result.energy.net_savings_frac;
   v["perf_loss_frac"] = result.energy.perf_loss_frac;
   v["turnoff_ratio"] = result.energy.turnoff_ratio;
@@ -173,6 +264,36 @@ json::Value to_json(const ExperimentResult& result) {
   return v;
 }
 
+namespace {
+
+/// Schema-2 execution rollup: how many cells landed in each status, how
+/// many were restored from a journal or needed retries, and whether the
+/// suite is complete — the one field a consumer must check before
+/// treating a partial (fail_fast=false) sweep as the full grid.
+json::Value cells_summary(const std::vector<ExperimentResult>& results) {
+  std::size_t ok = 0, failed = 0, timed_out = 0, resumed = 0, retried = 0;
+  for (const ExperimentResult& r : results) {
+    switch (r.cell.status) {
+    case CellStatus::ok: ++ok; break;
+    case CellStatus::failed: ++failed; break;
+    case CellStatus::timed_out: ++timed_out; break;
+    }
+    resumed += r.cell.resumed ? 1 : 0;
+    retried += r.cell.attempts > 1 ? 1 : 0;
+  }
+  json::Value v = json::Value::object();
+  v["total"] = results.size();
+  v["ok"] = ok;
+  v["failed"] = failed;
+  v["timed_out"] = timed_out;
+  v["resumed"] = resumed;
+  v["retried"] = retried;
+  v["complete"] = ok == results.size();
+  return v;
+}
+
+} // namespace
+
 json::Value to_json(const SuiteResult& suite) {
   json::Value v = json::Value::object();
   json::Value avg = json::Value::object();
@@ -180,6 +301,7 @@ json::Value to_json(const SuiteResult& suite) {
   avg["perf_loss_frac"] = suite.mean_slowdown();
   avg["turnoff_ratio"] = suite.mean_turnoff();
   v["averages"] = std::move(avg);
+  v["cells"] = cells_summary(suite.results());
   json::Value rows = json::Value::array();
   for (const ExperimentResult& r : suite) {
     rows.push_back(to_json(r));
@@ -194,6 +316,7 @@ json::Value to_json(const Series& series) {
   json::Value out = json::Value::object();
   out["label"] = series.label;
   out["averages"] = v.at("averages");
+  out["cells"] = v.at("cells");
   out["benchmarks"] = v.at("benchmarks");
   return out;
 }
@@ -274,7 +397,7 @@ void write_csv(std::ostream& os, const std::vector<Series>& series) {
   os << "series,benchmark,technique,l2_latency,temperature_c,decay_interval,"
         "config_hash,net_savings_frac,perf_loss_frac,turnoff_ratio,"
         "hits,slow_hits,induced_misses,true_misses,"
-        "faults_injected,corruptions\n";
+        "faults_injected,corruptions,cell_status,cell_attempts\n";
   std::ostringstream row;
   row.precision(17);
   for (const Series& s : series) {
@@ -288,6 +411,7 @@ void write_csv(std::ostream& os, const std::vector<Series>& series) {
           << ',' << r.control.hits << ',' << r.control.slow_hits << ','
           << r.control.induced_misses << ',' << r.control.true_misses << ','
           << r.control.faults_injected << ',' << r.control.corruptions()
+          << ',' << to_string(r.cell.status) << ',' << r.cell.attempts
           << '\n';
       os << row.str();
     }

@@ -1,4 +1,4 @@
-// Machine-readable result export (schema version 1).
+// Machine-readable result export (schema version 2).
 //
 // Turns the harness's result structures — SuiteResult, ExperimentResult,
 // ControlStats, EnergyBreakdown — into a json::Value document carrying
@@ -28,7 +28,13 @@
 namespace harness {
 
 /// Version stamp of the JSON document layout ("schema" root field).
-inline constexpr int kReportSchemaVersion = 1;
+/// History:
+///   1 — initial export: metadata + series/benchmarks rows + metrics.
+///   2 — resilience: every row carries a "cell" execution record
+///       (status, error taxonomy, attempts, duration, resumed), and
+///       series/suite levels gain a "cells" rollup with a "complete"
+///       flag so consumers can tell a partial sweep from a clean one.
+inline constexpr int kReportSchemaVersion = 2;
 
 /// `git describe` of the build, baked in at configure time ("unknown"
 /// outside a git checkout).
@@ -41,14 +47,22 @@ uint64_t config_hash(const ExperimentConfig& cfg);
 json::Value to_json(const sim::RunStats& run);
 json::Value to_json(const leakctl::ControlStats& control);
 json::Value to_json(const leakctl::EnergyBreakdown& energy);
+json::Value to_json(const CellInfo& cell);
 json::Value to_json(const ExperimentConfig& cfg);
 json::Value to_json(const ExperimentResult& result);
 json::Value to_json(const Series& series);
 json::Value to_json(const SuiteResult& suite);
 
-/// Parse side of to_json(ControlStats): rebuild the struct from a report
-/// document.  Throws std::runtime_error on a missing field.
+/// Parse sides of the serializers above: rebuild the structs from a
+/// report (or journal) document.  Exact inverses — the JSON writer emits
+/// shortest-round-trip doubles, so serialize/parse is the identity on
+/// every field — which is what lets a resumed sweep reconstruct
+/// journaled cells bit-identically.  All throw std::runtime_error on a
+/// missing field.
 leakctl::ControlStats control_stats_from_json(const json::Value& v);
+sim::RunStats run_stats_from_json(const json::Value& v);
+leakctl::EnergyBreakdown energy_from_json(const json::Value& v);
+CellInfo cell_info_from_json(const json::Value& v);
 
 /// Snapshot of a metrics registry: {"counters": {...}, "gauges": {...},
 /// "timers": {name: {"total_s": t, "count": n}}}.

@@ -6,16 +6,20 @@
 #include <cctype>
 #include <cerrno>
 #include <chrono>
-#include <limits>
-#include <string_view>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <limits>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
 
+#include "harness/journal.h"
 #include "harness/metrics.h"
+#include "harness/report_json.h"
 #include "workload/generator.h"
 
 namespace harness {
@@ -108,6 +112,126 @@ private:
   Clock::time_point last_print_ = start_;
 };
 
+/// The cooperative timeout enforcer: one slot per worker holds the
+/// token and deadline of that worker's in-flight attempt, and a single
+/// scanner thread cancels any token past its deadline.  The simulation
+/// notices at its next epoch boundary and unwinds with CancelledError —
+/// the worker thread survives to take the next cell.
+class Watchdog {
+public:
+  Watchdog(double timeout_s, unsigned workers)
+      : timeout_(std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(timeout_s))),
+        slots_(workers) {
+    // Scan at a fraction of the budget so overshoot stays small, but
+    // never busy-spin on microscopic timeouts.
+    const auto poll = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(timeout_s / 8.0));
+    poll_ = std::max<Clock::duration>(poll, std::chrono::milliseconds(5));
+    poll_ = std::min<Clock::duration>(poll_, std::chrono::milliseconds(500));
+    scanner_ = std::thread([this] { scan_loop(); });
+  }
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    scanner_.join();
+  }
+
+  void arm(unsigned worker, sim::CancellationToken* token) {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_[worker].token = token;
+    slots_[worker].deadline = Clock::now() + timeout_;
+  }
+
+  void disarm(unsigned worker) {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_[worker].token = nullptr;
+  }
+
+private:
+  struct Slot {
+    sim::CancellationToken* token = nullptr;
+    Clock::time_point deadline;
+  };
+
+  void scan_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, poll_);
+      const Clock::time_point now = Clock::now();
+      for (Slot& slot : slots_) {
+        if (slot.token != nullptr && now >= slot.deadline) {
+          slot.token->cancel();
+          metrics::count("sweep.watchdog_cancels");
+        }
+      }
+    }
+  }
+
+  Clock::duration timeout_;
+  Clock::duration poll_;
+  std::vector<Slot> slots_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread scanner_;
+};
+
+/// One worker's fault-isolated attempt loop for cell @p i.
+void execute_cell(
+    std::size_t i, unsigned worker_id,
+    const std::function<void(std::size_t, const sim::CancellationToken&)>&
+        body,
+    unsigned max_attempts, const RetryPolicy& retry, Watchdog* watchdog,
+    CellRun& out, double& worker_busy_s) {
+  double duration_s = 0.0;
+  for (unsigned attempt = 1;; ++attempt) {
+    sim::CancellationToken token;
+    if (watchdog != nullptr) {
+      watchdog->arm(worker_id, &token);
+    }
+    std::exception_ptr error;
+    metrics::ScopedTimer cell_timer("phase.sweep_cell");
+    try {
+      body(i, token);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    cell_timer.stop();
+    if (watchdog != nullptr) {
+      watchdog->disarm(worker_id);
+    }
+    duration_s += cell_timer.elapsed_s();
+    worker_busy_s += cell_timer.elapsed_s();
+
+    if (!error) {
+      out.info.status = CellStatus::ok;
+      out.info.error_kind = CellErrorKind::none;
+      out.info.attempts = attempt;
+      break;
+    }
+    const CellErrorKind kind = classify_cell_error(error);
+    if (cell_error_retryable(kind) && attempt < max_attempts) {
+      metrics::count("sweep.retries");
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(retry_backoff_ms(retry, attempt + 1)));
+      continue;
+    }
+    out.info.status = kind == CellErrorKind::timeout ? CellStatus::timed_out
+                                                     : CellStatus::failed;
+    out.info.error_kind = kind;
+    out.info.error = describe_cell_error(error);
+    out.info.attempts = attempt;
+    out.exception = error;
+    break;
+  }
+  out.info.duration_s = duration_s;
+}
+
 } // namespace
 
 unsigned resolve_thread_count(unsigned requested) {
@@ -138,16 +262,90 @@ unsigned resolve_thread_count(unsigned requested) {
   return hw > 0 ? hw : 1;
 }
 
-void parallel_for_indexed(std::size_t count,
-                          const std::function<void(std::size_t)>& body,
-                          const SweepOptions& opts) {
+unsigned resolve_max_attempts(const RetryPolicy& retry) {
+  if (retry.max_attempts > 0) {
+    return retry.max_attempts;
+  }
+  if (const char* env = std::getenv("HLCC_RETRIES")) {
+    const std::string_view text(env);
+    bool all_digits = !text.empty();
+    for (const char c : text) {
+      all_digits = all_digits && std::isdigit(static_cast<unsigned char>(c));
+    }
+    errno = 0;
+    const unsigned long v = std::strtoul(env, nullptr, 10);
+    if (!all_digits || errno == ERANGE || v == 0 ||
+        v > std::numeric_limits<unsigned>::max()) {
+      throw std::invalid_argument(
+          "HLCC_RETRIES must be a positive integer attempt budget, got \"" +
+          std::string(text) + "\"");
+    }
+    return static_cast<unsigned>(v);
+  }
+  return 1;
+}
+
+double resolve_cell_timeout_s(double requested) {
+  if (requested < 0.0) {
+    throw std::invalid_argument(
+        "SweepOptions::cell_timeout_s must be >= 0, got " +
+        std::to_string(requested));
+  }
+  if (requested > 0.0) {
+    return requested;
+  }
+  if (const char* env = std::getenv("HLCC_CELL_TIMEOUT")) {
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end == env || *end != '\0' || errno == ERANGE || !(v > 0.0)) {
+      throw std::invalid_argument(
+          "HLCC_CELL_TIMEOUT must be a positive number of seconds, got \"" +
+          std::string(env) + "\"");
+    }
+    return v;
+  }
+  return 0.0;
+}
+
+std::string resolve_journal_path(const std::string& requested) {
+  if (!requested.empty()) {
+    return requested;
+  }
+  if (const char* env = std::getenv("HLCC_RESUME")) {
+    return env;
+  }
+  return {};
+}
+
+unsigned retry_backoff_ms(const RetryPolicy& retry, unsigned next_attempt) {
+  // Deterministic capped exponential: 1x base before attempt 2, 2x
+  // before attempt 3, 4x before attempt 4, ...
+  if (next_attempt <= 2) {
+    return std::min(retry.base_backoff_ms, retry.max_backoff_ms);
+  }
+  const unsigned shift = std::min(next_attempt - 2, 31u);
+  const unsigned long long scaled =
+      static_cast<unsigned long long>(retry.base_backoff_ms) << shift;
+  return static_cast<unsigned>(
+      std::min<unsigned long long>(scaled, retry.max_backoff_ms));
+}
+
+std::vector<CellRun> parallel_for_cells(
+    std::size_t count,
+    const std::function<void(std::size_t, const sim::CancellationToken&)>&
+        body,
+    const SweepOptions& opts,
+    const std::function<void(std::size_t, const CellRun&)>& on_cell_done) {
+  std::vector<CellRun> runs(count);
   if (count == 0) {
-    return;
+    return runs;
   }
   const unsigned threads = static_cast<unsigned>(std::min<std::size_t>(
       resolve_thread_count(opts.threads), count));
+  const unsigned max_attempts = resolve_max_attempts(opts.retry);
+  const double timeout_s = resolve_cell_timeout_s(opts.cell_timeout_s);
   ProgressReporter progress(opts, count, threads);
-  std::vector<std::exception_ptr> errors(count);
 
   // Observability: the registry receives the pool shape up front and the
   // throughput numbers after the drain, so a --json report carries the
@@ -158,18 +356,24 @@ void parallel_for_indexed(std::size_t count,
   const Clock::time_point sweep_start = Clock::now();
   std::vector<double> worker_busy_s(threads, 0.0);
 
+  std::unique_ptr<Watchdog> watchdog;
+  if (timeout_s > 0.0) {
+    watchdog = std::make_unique<Watchdog>(timeout_s, threads);
+  }
+
+  const auto run_one = [&](std::size_t i, unsigned worker_id) {
+    execute_cell(i, worker_id, body, max_attempts, opts.retry,
+                 watchdog.get(), runs[i], worker_busy_s[worker_id]);
+    if (on_cell_done) {
+      on_cell_done(i, runs[i]);
+    }
+    progress.tick();
+  };
+
   if (threads == 1) {
     // Inline serial path: the reference the parallel path must match.
     for (std::size_t i = 0; i < count; ++i) {
-      metrics::ScopedTimer cell_timer("phase.sweep_cell");
-      try {
-        body(i);
-      } catch (...) {
-        errors[i] = std::current_exception();
-      }
-      cell_timer.stop();
-      worker_busy_s[0] += cell_timer.elapsed_s();
-      progress.tick();
+      run_one(i, 0);
     }
   } else {
     std::atomic<std::size_t> next{0};
@@ -179,15 +383,7 @@ void parallel_for_indexed(std::size_t count,
         if (i >= count) {
           return;
         }
-        metrics::ScopedTimer cell_timer("phase.sweep_cell");
-        try {
-          body(i);
-        } catch (...) {
-          errors[i] = std::current_exception();
-        }
-        cell_timer.stop();
-        worker_busy_s[worker_id] += cell_timer.elapsed_s();
-        progress.tick();
+        run_one(i, worker_id);
       }
     };
     std::vector<std::thread> pool;
@@ -216,10 +412,39 @@ void parallel_for_indexed(std::size_t count,
                        busy_total / (wall_s * threads));
   }
 
+  std::size_t ok = 0, failed = 0, timed_out = 0;
+  for (const CellRun& run : runs) {
+    switch (run.info.status) {
+    case CellStatus::ok: ++ok; break;
+    case CellStatus::failed: ++failed; break;
+    case CellStatus::timed_out: ++timed_out; break;
+    }
+  }
+  metrics::count("sweep.cells_ok", ok);
+  if (failed > 0) {
+    metrics::count("sweep.cells_failed", failed);
+  }
+  if (timed_out > 0) {
+    metrics::count("sweep.cells_timeout", timed_out);
+  }
+
   progress.finish();
-  for (const std::exception_ptr& e : errors) {
-    if (e) {
-      std::rethrow_exception(e); // lowest index: what the serial loop threw
+  return runs;
+}
+
+void parallel_for_indexed(std::size_t count,
+                          const std::function<void(std::size_t)>& body,
+                          const SweepOptions& opts) {
+  const std::vector<CellRun> runs = parallel_for_cells(
+      count,
+      [&body](std::size_t i, const sim::CancellationToken&) { body(i); },
+      opts);
+  for (const CellRun& run : runs) {
+    if (run.exception) {
+      // Lowest index: what the serial loop would have thrown first.
+      // rethrow_exception preserves the payload's concrete type, so
+      // even non-std::exception throws survive the pool drain.
+      std::rethrow_exception(run.exception);
     }
   }
 }
@@ -230,16 +455,138 @@ std::size_t SweepRunner::submit(const workload::BenchmarkProfile& profile,
   return cells_.size() - 1;
 }
 
-std::vector<ExperimentResult> SweepRunner::run() {
+namespace {
+
+/// Rebuild the deterministic payload of a journaled result.  The config
+/// and benchmark come from the *submitted* cell (the key proves they
+/// match); only the simulated outputs are deserialized.
+ExperimentResult result_from_journal(const JournalRecord& rec,
+                                     const SweepCell& cell) {
+  ExperimentResult r;
+  r.benchmark = std::string(cell.profile.name);
+  r.config = cell.config;
+  if (rec.result.at("benchmark").as_string() != r.benchmark) {
+    throw std::runtime_error("journal record benchmark mismatch");
+  }
+  r.energy = energy_from_json(rec.result.at("energy"));
+  r.base_run = run_stats_from_json(rec.result.at("base_run"));
+  r.tech_run = run_stats_from_json(rec.result.at("tech_run"));
+  r.control = control_stats_from_json(rec.result.at("control"));
+  r.base_l1d_miss_rate = rec.result.at("base_l1d_miss_rate").as_double();
+  r.cell = rec.info;
+  r.cell.resumed = true;
+  return r;
+}
+
+} // namespace
+
+std::vector<CellResult<ExperimentResult>> SweepRunner::run_cells() {
   std::vector<SweepCell> cells = std::move(cells_);
   cells_.clear();
-  std::vector<ExperimentResult> results(cells.size());
-  parallel_for_indexed(
-      cells.size(),
-      [&](std::size_t i) {
-        results[i] = run_experiment(cells[i].profile, cells[i].config);
-      },
-      opts_);
+  std::vector<CellResult<ExperimentResult>> out(cells.size());
+
+  // --- resume: satisfy cells already completed in the journal ---
+  const std::string journal_path = resolve_journal_path(opts_.journal_path);
+  std::vector<std::string> keys(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    keys[i] =
+        cell_journal_key(config_hash(cells[i].config), cells[i].profile.name);
+  }
+  std::vector<std::size_t> todo;
+  todo.reserve(cells.size());
+  std::size_t resumed = 0;
+  if (!journal_path.empty()) {
+    const std::map<std::string, JournalRecord> completed =
+        SweepJournal::load(journal_path);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const auto it = completed.find(keys[i]);
+      bool restored = false;
+      if (it != completed.end() && it->second.info.ok()) {
+        try {
+          out[i].value = result_from_journal(it->second, cells[i]);
+          out[i].info = out[i].value.cell;
+          restored = true;
+          ++resumed;
+        } catch (const std::exception& e) {
+          std::fprintf(stderr,
+                       "[journal] %s: re-running %s (unusable record: %s)\n",
+                       journal_path.c_str(), keys[i].c_str(), e.what());
+        }
+      }
+      if (!restored) {
+        todo.push_back(i);
+      }
+    }
+    if (resumed > 0) {
+      metrics::count("sweep.cells_resumed", resumed);
+      std::fprintf(stderr, "[%s] resumed %zu/%zu cells from %s\n",
+                   opts_.label.c_str(), resumed, cells.size(),
+                   journal_path.c_str());
+    }
+  } else {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      todo.push_back(i);
+    }
+  }
+
+  // --- execute the remainder with per-cell fault isolation ---
+  std::unique_ptr<SweepJournal> journal;
+  if (!journal_path.empty()) {
+    journal = std::make_unique<SweepJournal>(journal_path);
+  }
+  const auto body = [&](std::size_t j, const sim::CancellationToken& token) {
+    const std::size_t i = todo[j];
+    out[i].value = run_experiment(cells[i].profile, cells[i].config, &token);
+  };
+  // Checkpoint from the worker as each cell settles, so a kill at any
+  // instant preserves every finished cell.
+  const auto on_done = [&](std::size_t j, const CellRun& run) {
+    const std::size_t i = todo[j];
+    out[i].value.cell = run.info;
+    if (journal) {
+      JournalRecord rec;
+      rec.key = keys[i];
+      rec.info = run.info;
+      if (run.info.ok()) {
+        rec.result = to_json(out[i].value);
+      }
+      journal->append(rec);
+    }
+  };
+  const std::vector<CellRun> runs =
+      parallel_for_cells(todo.size(), body, opts_, on_done);
+
+  for (std::size_t j = 0; j < todo.size(); ++j) {
+    const std::size_t i = todo[j];
+    out[i].info = runs[j].info;
+    out[i].exception = runs[j].exception;
+    if (!runs[j].info.ok()) {
+      // Placeholder value: identity + status, zeroed measurements.
+      out[i].value = ExperimentResult{};
+      out[i].value.benchmark = std::string(cells[i].profile.name);
+      out[i].value.config = cells[i].config;
+    }
+    out[i].value.cell = out[i].info;
+  }
+  return out;
+}
+
+std::vector<ExperimentResult> SweepRunner::run() {
+  std::vector<CellResult<ExperimentResult>> cells = run_cells();
+  if (opts_.fail_fast) {
+    for (const CellResult<ExperimentResult>& cell : cells) {
+      if (cell.exception) {
+        // Lowest submission index, original type — the serial loop's
+        // first throw.
+        std::rethrow_exception(cell.exception);
+      }
+    }
+  }
+  std::vector<ExperimentResult> results;
+  results.reserve(cells.size());
+  for (CellResult<ExperimentResult>& cell : cells) {
+    results.push_back(std::move(cell.value));
+  }
   return results;
 }
 

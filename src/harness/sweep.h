@@ -13,19 +13,51 @@
 // once per key under a mutex (see experiment.cpp).  The engine therefore
 // guarantees results identical to the serial path at any thread count.
 //
+// Resilience layer (see DESIGN.md "Sweep resilience"): production-scale
+// grids are hours long, so the engine also provides
+//  - per-cell fault isolation: run_cells()/parallel_for_cells record
+//    each cell's outcome (CellInfo: status + error taxonomy + attempts +
+//    duration) instead of aborting the sweep; the legacy abort-on-first-
+//    error behavior is retained behind SweepOptions::fail_fast (default
+//    on, so existing callers are unchanged);
+//  - capped-exponential retry for transiently failing cells
+//    (deterministic schedule; attempt counts surface in metrics and the
+//    schema-2 report);
+//  - a cooperative watchdog: cells poll a sim::CancellationToken at
+//    epoch boundaries, so a hung or over-budget cell times out cleanly
+//    without killing its worker thread;
+//  - a crash-safe checkpoint journal (harness/journal.h): completed
+//    cells are fsync'd to an append-only JSONL file, and a killed sweep
+//    restarted with HLCC_RESUME=<journal> skips them, reproducing the
+//    uninterrupted run's results bit-identically.
+//
 // Thread count: SweepOptions::threads if nonzero, else the HLCC_THREADS
 // environment variable, else std::thread::hardware_concurrency().
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <iterator>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "harness/cell.h"
 #include "harness/experiment.h"
+#include "sim/cancellation.h"
 
 namespace harness {
+
+/// Retry schedule for transiently failing cells.  The backoff before
+/// attempt N+1 is min(base_backoff_ms * 2^(N-1), max_backoff_ms) — a
+/// deterministic schedule (no jitter) so reruns are reproducible.
+struct RetryPolicy {
+  /// Total tries per cell; 0 defers to HLCC_RETRIES, then 1 (no retry).
+  unsigned max_attempts = 0;
+  unsigned base_backoff_ms = 25;
+  unsigned max_backoff_ms = 1000;
+};
 
 /// Execution knobs shared by the engine's entry points.
 struct SweepOptions {
@@ -38,17 +70,76 @@ struct SweepOptions {
   bool progress = false;
   /// Tag for the progress lines (e.g. the figure being regenerated).
   std::string label = "sweep";
+  /// When true (default), the value-returning entry points (run(),
+  /// run_suite, sweep_map, parallel_for_indexed) abort after the pool
+  /// drains by rethrowing the lowest-index error with its original type
+  /// — the pre-resilience behavior.  When false they degrade
+  /// gracefully: failed cells come back as placeholder results whose
+  /// CellInfo carries the status/error, and every other cell's result
+  /// is returned.
+  bool fail_fast = true;
+  /// Retry schedule for cells whose failure is classified retryable.
+  RetryPolicy retry{};
+  /// Cooperative per-cell wall-clock budget in seconds; a cell past it
+  /// is cancelled at its next epoch boundary and reported as timed_out.
+  /// 0 defers to HLCC_CELL_TIMEOUT, then no timeout.
+  double cell_timeout_s = 0.0;
+  /// Checkpoint journal path (see harness/journal.h).  Empty defers to
+  /// HLCC_RESUME, then no journal.  When set, SweepRunner appends each
+  /// completed cell and skips cells already completed in the file.
+  std::string journal_path{};
 };
 
 /// The thread count an options struct resolves to (>= 1).
 unsigned resolve_thread_count(unsigned requested);
 
-/// Run body(0..count-1) across the pool.  Each index runs exactly once;
-/// the call returns when all have finished.  Exceptions thrown by the
-/// body are captured and the one from the lowest index is rethrown after
-/// the pool drains (matching what the serial loop would have thrown
-/// first).  With a resolved thread count of 1 the bodies run inline on
-/// the calling thread.
+/// The attempt budget a retry policy resolves to (>= 1): the explicit
+/// max_attempts, else a strictly-positive-integer HLCC_RETRIES, else 1.
+unsigned resolve_max_attempts(const RetryPolicy& retry);
+
+/// The cell timeout an options struct resolves to: the explicit value,
+/// else a positive HLCC_CELL_TIMEOUT (seconds, fractional ok), else 0
+/// (disabled).  Junk in the env variable throws std::invalid_argument.
+double resolve_cell_timeout_s(double requested);
+
+/// The journal path an options struct resolves to: the explicit path,
+/// else HLCC_RESUME, else empty (journaling disabled).
+std::string resolve_journal_path(const std::string& requested);
+
+/// Backoff before retry attempt @p next_attempt (2, 3, ...), in ms.
+unsigned retry_backoff_ms(const RetryPolicy& retry, unsigned next_attempt);
+
+/// One cell's execution record from the fault-isolated loop: the
+/// summary plus the original exception payload (for fail-fast rethrow
+/// with the thrown type intact — even non-std::exception payloads).
+struct CellRun {
+  CellInfo info;
+  std::exception_ptr exception;
+};
+
+/// Run body(0..count-1, token) across the pool with per-cell fault
+/// isolation: every cell runs (and is retried / timed out per @p opts)
+/// regardless of other cells' failures, and the outcome of each —
+/// status, error taxonomy, attempts, duration — is returned by index.
+/// Never throws for cell failures; the CellRun is the error channel.
+/// The token passed to the body is armed by the watchdog when
+/// opts.cell_timeout_s resolves nonzero; bodies that can hang should
+/// poll it (run_experiment does, at simulation epoch boundaries).
+std::vector<CellRun> parallel_for_cells(
+    std::size_t count,
+    const std::function<void(std::size_t, const sim::CancellationToken&)>&
+        body,
+    const SweepOptions& opts = {},
+    const std::function<void(std::size_t, const CellRun&)>& on_cell_done =
+        nullptr);
+
+/// Run body(0..count-1) across the pool.  Each index runs exactly once
+/// per attempt budget; the call returns when all have finished.
+/// Exceptions thrown by the body are captured and the one from the
+/// lowest index is rethrown — with its original type, whatever it is —
+/// after the pool drains (matching what the serial loop would have
+/// thrown first).  With a resolved thread count of 1 the bodies run
+/// inline on the calling thread.
 void parallel_for_indexed(std::size_t count,
                           const std::function<void(std::size_t)>& body,
                           const SweepOptions& opts = {});
@@ -56,7 +147,9 @@ void parallel_for_indexed(std::size_t count,
 /// Deterministic parallel map: out[i] = fn(items[i]), in order.  The
 /// generic escape hatch for sweeps whose cells are not run_experiment
 /// calls (I-cache / L2 / predictor-decay studies).  Accepts any
-/// random-access container (vector, array, ...).
+/// random-access container (vector, array, ...).  Fail-fast: the
+/// lowest-index exception is rethrown after the drain with its original
+/// type; use sweep_map_cells for per-item fault isolation.
 template <typename Container, typename Fn>
 auto sweep_map(const Container& items, Fn&& fn, const SweepOptions& opts = {})
     -> std::vector<decltype(fn(*std::begin(items)))> {
@@ -67,6 +160,30 @@ auto sweep_map(const Container& items, Fn&& fn, const SweepOptions& opts = {})
         out[i] = fn(*(std::begin(items) + static_cast<std::ptrdiff_t>(i)));
       },
       opts);
+  return out;
+}
+
+/// Fault-isolated parallel map: every item is attempted (with retries
+/// and timeouts per @p opts) and comes back as a CellResult carrying
+/// either its value or its failure summary.  Never throws for item
+/// failures.
+template <typename Container, typename Fn>
+auto sweep_map_cells(const Container& items, Fn&& fn,
+                     const SweepOptions& opts = {})
+    -> std::vector<CellResult<decltype(fn(*std::begin(items)))>> {
+  using Value = decltype(fn(*std::begin(items)));
+  std::vector<CellResult<Value>> out(std::size(items));
+  const std::vector<CellRun> runs = parallel_for_cells(
+      std::size(items),
+      [&](std::size_t i, const sim::CancellationToken&) {
+        out[i].value =
+            fn(*(std::begin(items) + static_cast<std::ptrdiff_t>(i)));
+      },
+      opts);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    out[i].info = runs[i].info;
+    out[i].exception = runs[i].exception;
+  }
   return out;
 }
 
@@ -85,8 +202,12 @@ struct SweepCell {
 ///
 /// run() executes every pending cell and returns results in submission
 /// order regardless of completion order, then resets the runner for
-/// reuse.  A cell that throws (e.g. ExperimentConfig::validate) aborts
-/// the sweep after the pool drains, rethrowing the lowest-index error.
+/// reuse.  With fail_fast (the default) a cell that throws (e.g.
+/// ExperimentConfig::validate) aborts the sweep after the pool drains,
+/// rethrowing the lowest-index error; with fail_fast=false failed cells
+/// become placeholder results whose CellInfo carries the error.
+/// run_cells() is the fully fault-isolated form.  Both checkpoint to /
+/// resume from the journal when one is configured.
 class SweepRunner {
 public:
   explicit SweepRunner(SweepOptions opts = {}) : opts_(std::move(opts)) {}
@@ -102,6 +223,12 @@ public:
 
   /// Execute all pending cells; results land in submission order.
   std::vector<ExperimentResult> run();
+
+  /// Fault-isolated execution: every cell's outcome in submission
+  /// order.  Never throws for cell failures (the CellResult is the
+  /// error channel); cells completed in a configured journal are
+  /// skipped and restored bit-identically with info.resumed set.
+  std::vector<CellResult<ExperimentResult>> run_cells();
 
 private:
   SweepOptions opts_;

@@ -1,0 +1,59 @@
+// Cooperative cancellation for long simulations.
+//
+// A hung or over-budget sweep cell cannot be killed from outside without
+// taking its worker thread (and the process's determinism guarantees)
+// with it.  Instead the simulation loop polls a CancellationToken at
+// epoch boundaries (every kCancelPollInterval committed instructions in
+// OooCore::run) and unwinds with CancelledError when the owner — the
+// sweep engine's watchdog — has flagged it.  The token is a single
+// relaxed atomic: the poll costs one predictable branch per epoch and is
+// safe to read from the simulation thread while the watchdog writes it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace sim {
+
+/// Thrown out of the simulation loop when its token is cancelled; the
+/// sweep engine classifies it as a cell timeout.
+class CancelledError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+class CancellationToken {
+public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Request cancellation; safe from any thread, idempotent.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Rearm for another attempt.  Only call while no simulation is
+  /// polling this token.
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+  /// Throw CancelledError (tagged with @p where) if cancelled.
+  void poll(const char* where) const {
+    if (cancelled()) {
+      throw CancelledError(std::string("cancelled during ") + where);
+    }
+  }
+
+private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Committed instructions between cancellation polls in the core loop —
+/// the simulation's epoch granularity for cooperative timeouts.
+inline constexpr uint64_t kCancelPollInterval = 4096;
+
+} // namespace sim

@@ -1,6 +1,7 @@
 #include "sim/core.h"
 
 #include <algorithm>
+#include <string>
 
 namespace sim {
 
@@ -66,7 +67,8 @@ uint64_t OooCore::schedule_issue(OpClass op, uint64_t earliest) {
   return cycle;
 }
 
-RunStats OooCore::run(TraceSource& trace, uint64_t max_instructions) {
+RunStats OooCore::run(TraceSource& trace, uint64_t max_instructions,
+                      const CancellationToken* cancel) {
   RunStats stats;
   MicroOp op;
 
@@ -81,6 +83,14 @@ RunStats OooCore::run(TraceSource& trace, uint64_t max_instructions) {
   const std::size_t lsq_ring_size = lsq_ring_.size();
 
   for (uint64_t i = 0; i < max_instructions && trace.next(op); ++i) {
+    // ---- Cooperative cancellation (epoch boundary) ----
+    if (cancel != nullptr && (i & (kCancelPollInterval - 1)) == 0 &&
+        cancel->cancelled()) {
+      throw CancelledError("simulation cancelled after " + std::to_string(i) +
+                           " of " + std::to_string(max_instructions) +
+                           " instructions");
+    }
+
     // ---- Fetch ----
     if (fetch_cycle < redirect_cycle) {
       fetch_cycle = redirect_cycle;

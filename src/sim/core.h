@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "sim/branch.h"
+#include "sim/cancellation.h"
 #include "sim/hierarchy.h"
 #include "sim/types.h"
 
@@ -71,7 +72,13 @@ public:
           wattch::Activity* activity = nullptr);
 
   /// Run at most @p max_instructions from @p trace; returns the stats.
-  RunStats run(TraceSource& trace, uint64_t max_instructions);
+  /// When @p cancel is non-null it is polled every kCancelPollInterval
+  /// committed instructions (the loop's epoch boundary); a cancelled
+  /// token unwinds the run with sim::CancelledError, which is how the
+  /// sweep engine's watchdog times out a hung or over-budget cell
+  /// without killing the worker thread.
+  RunStats run(TraceSource& trace, uint64_t max_instructions,
+               const CancellationToken* cancel = nullptr);
 
 private:
   /// Earliest cycle >= @p earliest with a free issue slot and a free unit

@@ -14,14 +14,16 @@ Processor::Processor(const ProcessorConfig& cfg)
       iport_(cfg.l1i, l2_, &activity_) {}
 
 RunStats Processor::run(TraceSource& trace, DataPort& dport,
-                        uint64_t max_instructions) {
-  return run(trace, dport, iport_, max_instructions);
+                        uint64_t max_instructions,
+                        const CancellationToken* cancel) {
+  return run(trace, dport, iport_, max_instructions, cancel);
 }
 
 RunStats Processor::run(TraceSource& trace, DataPort& dport, FetchPort& fport,
-                        uint64_t max_instructions) {
+                        uint64_t max_instructions,
+                        const CancellationToken* cancel) {
   OooCore core(cfg_.core, dport, fport, &activity_);
-  RunStats stats = core.run(trace, max_instructions);
+  RunStats stats = core.run(trace, max_instructions, cancel);
   activity_.cycles += stats.cycles;
   return stats;
 }

@@ -38,11 +38,16 @@ public:
   explicit Processor(const ProcessorConfig& cfg);
 
   /// Run @p max_instructions of @p trace with @p dport as the D-side.
-  RunStats run(TraceSource& trace, DataPort& dport, uint64_t max_instructions);
+  /// @p cancel, when non-null, is polled at epoch boundaries by the core
+  /// loop; a cancelled token aborts the run with sim::CancelledError
+  /// (see sim/cancellation.h).
+  RunStats run(TraceSource& trace, DataPort& dport, uint64_t max_instructions,
+               const CancellationToken* cancel = nullptr);
 
   /// Same, but also replace the I-side (e.g. a leakage-controlled I-cache).
   RunStats run(TraceSource& trace, DataPort& dport, FetchPort& fport,
-               uint64_t max_instructions);
+               uint64_t max_instructions,
+               const CancellationToken* cancel = nullptr);
 
   const ProcessorConfig& config() const { return cfg_; }
   L2System& l2() { return l2_; }

@@ -37,14 +37,14 @@ uint64_t write_trace(const std::string& path, sim::TraceSource& source,
                      uint64_t count) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
-    throw std::runtime_error("write_trace: cannot open " + path);
+    throw TraceError("write_trace: cannot open " + path);
   }
   // Header with a placeholder count, fixed up at the end.
   uint64_t written = 0;
   if (std::fwrite(kMagic, 1, 8, f) != 8 ||
       std::fwrite(&written, 8, 1, f) != 1) {
     std::fclose(f);
-    throw std::runtime_error("write_trace: header write failed");
+    throw TraceError("write_trace: header write failed");
   }
   sim::MicroOp op;
   std::array<unsigned char, kRecordBytes> buf{};
@@ -52,13 +52,13 @@ uint64_t write_trace(const std::string& path, sim::TraceSource& source,
     pack(op, buf.data());
     if (std::fwrite(buf.data(), 1, kRecordBytes, f) != kRecordBytes) {
       std::fclose(f);
-      throw std::runtime_error("write_trace: record write failed");
+      throw TraceError("write_trace: record write failed");
     }
     ++written;
   }
   if (std::fseek(f, 8, SEEK_SET) != 0 ||
       std::fwrite(&written, 8, 1, f) != 1 || std::fclose(f) != 0) {
-    throw std::runtime_error("write_trace: finalize failed");
+    throw TraceError("write_trace: finalize failed");
   }
   return written;
 }
@@ -66,19 +66,19 @@ uint64_t write_trace(const std::string& path, sim::TraceSource& source,
 TraceFileReader::TraceFileReader(const std::string& path) {
   file_ = std::fopen(path.c_str(), "rb");
   if (file_ == nullptr) {
-    throw std::runtime_error("TraceFileReader: cannot open " + path);
+    throw TraceError("TraceFileReader: cannot open " + path);
   }
   char magic[8];
   if (std::fread(magic, 1, 8, file_) != 8 ||
       std::memcmp(magic, kMagic, 8) != 0) {
     std::fclose(file_);
     file_ = nullptr;
-    throw std::runtime_error("TraceFileReader: bad magic in " + path);
+    throw TraceError("TraceFileReader: bad magic in " + path);
   }
   if (std::fread(&total_, 8, 1, file_) != 1) {
     std::fclose(file_);
     file_ = nullptr;
-    throw std::runtime_error("TraceFileReader: truncated header in " + path);
+    throw TraceError("TraceFileReader: truncated header in " + path);
   }
   // Cross-check the promised record count against the actual file size so
   // a truncated or tampered file fails loudly at open, not mid-replay.
@@ -86,7 +86,7 @@ TraceFileReader::TraceFileReader(const std::string& path) {
   if (data_start != 16 || std::fseek(file_, 0, SEEK_END) != 0) {
     std::fclose(file_);
     file_ = nullptr;
-    throw std::runtime_error("TraceFileReader: seek failed in " + path);
+    throw TraceError("TraceFileReader: seek failed in " + path);
   }
   const long size = std::ftell(file_);
   const long long expected =
@@ -98,13 +98,13 @@ TraceFileReader::TraceFileReader(const std::string& path) {
         std::to_string(size) + " bytes";
     std::fclose(file_);
     file_ = nullptr;
-    throw std::runtime_error("TraceFileReader: corrupt " + path + ": " +
+    throw TraceError("TraceFileReader: corrupt " + path + ": " +
                              detail);
   }
   if (std::fseek(file_, data_start, SEEK_SET) != 0) {
     std::fclose(file_);
     file_ = nullptr;
-    throw std::runtime_error("TraceFileReader: seek failed in " + path);
+    throw TraceError("TraceFileReader: seek failed in " + path);
   }
 }
 
@@ -123,7 +123,7 @@ bool TraceFileReader::next(sim::MicroOp& op) {
     // The size was validated at open, so a short read means the file
     // changed (or the medium failed) under us: never silently end the
     // trace early — a shortened instruction stream corrupts experiments.
-    throw std::runtime_error(
+    throw TraceError(
         "TraceFileReader: short read at record " + std::to_string(read_) +
         " of " + std::to_string(total_) + " (file truncated mid-stream?)");
   }
@@ -134,7 +134,7 @@ bool TraceFileReader::next(sim::MicroOp& op) {
 
 void TraceFileReader::rewind() {
   if (std::fseek(file_, 16, SEEK_SET) != 0) {
-    throw std::runtime_error("TraceFileReader: rewind failed");
+    throw TraceError("TraceFileReader: rewind failed");
   }
   read_ = 0;
 }

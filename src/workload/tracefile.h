@@ -12,11 +12,21 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "sim/core.h"
 
 namespace workload {
+
+/// Trace capture/replay failure (open, short read, corrupt header...).
+/// Distinct from plain std::runtime_error so the sweep engine's error
+/// taxonomy can classify it as trace_io — the one failure class that is
+/// plausibly transient (shared filesystems) and therefore retried.
+class TraceError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Write @p count instructions from @p source to @p path.  Returns the
 /// number actually written (the source may end early).  Throws

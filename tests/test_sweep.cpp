@@ -133,6 +133,42 @@ TEST(Sweep, LowestIndexExceptionWins) {
   }
 }
 
+TEST(Sweep, PoolDrainPreservesThrownType) {
+  // The fail-fast rethrow must deliver the *original* exception object,
+  // not a flattened std::runtime_error: callers dispatch on type (and
+  // on payload fields) to distinguish a bad config from a bad trace.
+  struct CustomSweepFault {
+    int index;
+  };
+  for (const unsigned threads : {1u, 4u}) {
+    try {
+      parallel_for_indexed(
+          8,
+          [](std::size_t i) {
+            if (i == 2) {
+              throw CustomSweepFault{static_cast<int>(i)};
+            }
+          },
+          SweepOptions{.threads = threads});
+      FAIL() << "expected CustomSweepFault at " << threads << " threads";
+    } catch (const CustomSweepFault& f) {
+      EXPECT_EQ(f.index, 2);
+    }
+  }
+  // sweep_map drains through the same pool: same guarantee.
+  const std::vector<int> items = {0, 1, 2, 3};
+  EXPECT_THROW(sweep_map(
+                   items,
+                   [](int v) {
+                     if (v == 1) {
+                       throw CustomSweepFault{v};
+                     }
+                     return v;
+                   },
+                   SweepOptions{.threads = 2}),
+               CustomSweepFault);
+}
+
 TEST(Sweep, SweepMapPreservesOrder) {
   std::vector<int> items(64);
   for (std::size_t i = 0; i < items.size(); ++i) {

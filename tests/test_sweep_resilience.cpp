@@ -1,0 +1,574 @@
+// Resilience layer of the sweep engine: per-cell fault isolation with
+// the error taxonomy, deterministic retry, the cooperative watchdog, and
+// the crash-safe checkpoint journal — including kill/resume runs that
+// must reproduce an uninterrupted sweep bit-identically from a journal
+// truncated at arbitrary byte offsets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/journal.h"
+#include "harness/metrics.h"
+#include "harness/report_json.h"
+#include "harness/sweep.h"
+#include "sim/cancellation.h"
+#include "workload/tracefile.h"
+
+namespace harness {
+namespace {
+
+ExperimentConfig quick_config() {
+  return ExperimentConfig::make().instructions(60'000).variation(false);
+}
+
+/// A config that fails ExperimentConfig::validate deterministically
+/// (decay_interval must be a multiple of 4).
+ExperimentConfig broken_config() {
+  ExperimentConfig cfg = quick_config();
+  cfg.decay_interval = 3;
+  return cfg;
+}
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << text;
+  ASSERT_TRUE(os.flush()) << path;
+}
+
+/// Bit-identity on the deterministic payload (execution metadata —
+/// duration, resumed — is legitimately run-dependent).
+void expect_payload_identical(const ExperimentResult& a,
+                              const ExperimentResult& b) {
+  EXPECT_EQ(a.benchmark, b.benchmark);
+  EXPECT_EQ(config_hash(a.config), config_hash(b.config));
+  EXPECT_EQ(a.base_run.cycles, b.base_run.cycles);
+  EXPECT_EQ(a.base_run.instructions, b.base_run.instructions);
+  EXPECT_EQ(a.base_run.branch.direction_mispredicts,
+            b.base_run.branch.direction_mispredicts);
+  EXPECT_EQ(a.tech_run.cycles, b.tech_run.cycles);
+  EXPECT_EQ(a.control.hits, b.control.hits);
+  EXPECT_EQ(a.control.induced_misses, b.control.induced_misses);
+  EXPECT_EQ(a.control.decays, b.control.decays);
+  EXPECT_EQ(a.control.wakes, b.control.wakes);
+  // Exact == on doubles, not near-equality: the journal must round-trip
+  // every bit.
+  EXPECT_EQ(a.energy.baseline_leakage_j, b.energy.baseline_leakage_j);
+  EXPECT_EQ(a.energy.technique_leakage_j, b.energy.technique_leakage_j);
+  EXPECT_EQ(a.energy.extra_dynamic_j, b.energy.extra_dynamic_j);
+  EXPECT_EQ(a.energy.net_savings_j, b.energy.net_savings_j);
+  EXPECT_EQ(a.energy.net_savings_frac, b.energy.net_savings_frac);
+  EXPECT_EQ(a.energy.perf_loss_frac, b.energy.perf_loss_frac);
+  EXPECT_EQ(a.energy.turnoff_ratio, b.energy.turnoff_ratio);
+  EXPECT_EQ(a.base_l1d_miss_rate, b.base_l1d_miss_rate);
+}
+
+// --- fault isolation --------------------------------------------------
+
+const std::vector<const char*> kGridNames = {"gcc", "mcf", "twolf",
+                                             "gzip", "vpr"};
+
+SweepRunner grid_runner(SweepOptions opts,
+                        const std::vector<std::size_t>& broken) {
+  SweepRunner runner(std::move(opts));
+  for (std::size_t i = 0; i < kGridNames.size(); ++i) {
+    bool is_broken = false;
+    for (const std::size_t b : broken) {
+      is_broken = is_broken || b == i;
+    }
+    runner.submit(workload::profile_by_name(kGridNames[i]),
+                  is_broken ? broken_config() : quick_config());
+  }
+  return runner;
+}
+
+TEST(SweepResilience, FaultIsolationFirstMiddleLast) {
+  // Failures at the first, middle, and last cells must not cost any
+  // other cell its result — the acceptance case for fail_fast=false.
+  const std::vector<std::size_t> broken = {0, 2, kGridNames.size() - 1};
+  for (const unsigned threads : {1u, 3u}) {
+    SweepRunner clean = grid_runner(SweepOptions{.threads = threads}, {});
+    const std::vector<ExperimentResult> want = clean.run();
+
+    SweepRunner faulty =
+        grid_runner(SweepOptions{.threads = threads}, broken);
+    const std::vector<CellResult<ExperimentResult>> got = faulty.run_cells();
+    ASSERT_EQ(got.size(), kGridNames.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      bool is_broken = false;
+      for (const std::size_t b : broken) {
+        is_broken = is_broken || b == i;
+      }
+      if (is_broken) {
+        EXPECT_EQ(got[i].status(), CellStatus::failed) << "cell " << i;
+        EXPECT_EQ(got[i].info.error_kind, CellErrorKind::config_invalid);
+        EXPECT_NE(got[i].error().find("decay_interval"), std::string::npos);
+        EXPECT_TRUE(got[i].exception != nullptr);
+        EXPECT_EQ(got[i].info.attempts, 1u); // config errors never retry
+      } else {
+        EXPECT_TRUE(got[i].ok()) << "cell " << i << ": " << got[i].error();
+        expect_payload_identical(got[i].value, want[i]);
+      }
+    }
+  }
+}
+
+TEST(SweepResilience, FailFastOffReturnsPlaceholdersInOrder) {
+  SweepOptions opts;
+  opts.threads = 2;
+  opts.fail_fast = false;
+  SweepRunner runner = grid_runner(std::move(opts), {1});
+  const std::vector<ExperimentResult> results = runner.run(); // must not throw
+  ASSERT_EQ(results.size(), kGridNames.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].benchmark, kGridNames[i]);
+    EXPECT_EQ(results[i].cell.status,
+              i == 1 ? CellStatus::failed : CellStatus::ok);
+  }
+  // The placeholder row carries identity but zeroed measurements.
+  EXPECT_EQ(results[1].tech_run.cycles, 0u);
+  EXPECT_EQ(results[1].cell.error_kind, CellErrorKind::config_invalid);
+}
+
+TEST(SweepResilience, FailFastDefaultRethrowsOriginalType) {
+  SweepRunner runner = grid_runner(SweepOptions{.threads = 3}, {1});
+  EXPECT_EQ(runner.options().fail_fast, true); // unchanged legacy default
+  EXPECT_THROW(runner.run(), std::invalid_argument);
+}
+
+// --- retry ------------------------------------------------------------
+
+TEST(SweepResilience, TransientFailuresRetryWithAttemptCounts) {
+  metrics::Registry& reg = metrics::Registry::global();
+  const uint64_t retries_before = reg.counter("sweep.retries");
+  std::vector<std::atomic<int>> calls(3);
+  SweepOptions opts;
+  opts.threads = 2;
+  opts.retry.max_attempts = 3;
+  opts.retry.base_backoff_ms = 1; // keep the test fast
+  const std::vector<CellRun> runs = parallel_for_cells(
+      calls.size(),
+      [&](std::size_t i, const sim::CancellationToken&) {
+        const int call = calls[i].fetch_add(1) + 1;
+        if (i == 1 && call < 3) {
+          throw workload::TraceError("simulated transient trace failure");
+        }
+      },
+      opts);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_TRUE(runs[0].info.ok());
+  EXPECT_EQ(runs[0].info.attempts, 1u);
+  EXPECT_TRUE(runs[1].info.ok()); // third attempt succeeded
+  EXPECT_EQ(runs[1].info.attempts, 3u);
+  EXPECT_EQ(calls[1].load(), 3);
+  EXPECT_EQ(reg.counter("sweep.retries"), retries_before + 2);
+}
+
+TEST(SweepResilience, ExhaustedRetriesReportTheFinalError) {
+  SweepOptions opts;
+  opts.retry.max_attempts = 2;
+  opts.retry.base_backoff_ms = 1;
+  const std::vector<CellRun> runs = parallel_for_cells(
+      1,
+      [](std::size_t, const sim::CancellationToken&) {
+        throw workload::TraceError("still broken");
+      },
+      opts);
+  EXPECT_EQ(runs[0].info.status, CellStatus::failed);
+  EXPECT_EQ(runs[0].info.error_kind, CellErrorKind::trace_io);
+  EXPECT_EQ(runs[0].info.attempts, 2u);
+  EXPECT_EQ(runs[0].info.error, "still broken");
+}
+
+TEST(SweepResilience, ConfigAndInvariantErrorsNeverRetry) {
+  SweepOptions opts;
+  opts.retry.max_attempts = 5;
+  opts.retry.base_backoff_ms = 1;
+  std::atomic<int> calls{0};
+  const std::vector<CellRun> runs = parallel_for_cells(
+      2,
+      [&](std::size_t i, const sim::CancellationToken&) {
+        calls.fetch_add(1);
+        if (i == 0) {
+          throw std::invalid_argument("bad knob");
+        }
+        throw std::logic_error("invariant violated");
+      },
+      opts);
+  EXPECT_EQ(runs[0].info.error_kind, CellErrorKind::config_invalid);
+  EXPECT_EQ(runs[1].info.error_kind, CellErrorKind::sim_invariant);
+  EXPECT_EQ(runs[0].info.attempts, 1u);
+  EXPECT_EQ(runs[1].info.attempts, 1u);
+  EXPECT_EQ(calls.load(), 2); // a deterministic error reruns nothing
+}
+
+TEST(SweepResilience, BackoffScheduleIsDeterministicAndCapped) {
+  const RetryPolicy policy{.max_attempts = 8,
+                           .base_backoff_ms = 25,
+                           .max_backoff_ms = 1000};
+  EXPECT_EQ(retry_backoff_ms(policy, 2), 25u);
+  EXPECT_EQ(retry_backoff_ms(policy, 3), 50u);
+  EXPECT_EQ(retry_backoff_ms(policy, 4), 100u);
+  EXPECT_EQ(retry_backoff_ms(policy, 7), 800u);
+  EXPECT_EQ(retry_backoff_ms(policy, 8), 1000u);  // capped
+  EXPECT_EQ(retry_backoff_ms(policy, 60), 1000u); // shift stays defined
+}
+
+// --- watchdog timeout -------------------------------------------------
+
+TEST(SweepResilience, WatchdogTimesOutOverdueCellWithoutRetry) {
+  SweepOptions opts;
+  opts.threads = 2;
+  opts.cell_timeout_s = 0.05;
+  opts.retry.max_attempts = 3; // must NOT apply to timeouts
+  std::atomic<int> slow_calls{0};
+  const std::vector<CellRun> runs = parallel_for_cells(
+      2,
+      [&](std::size_t i, const sim::CancellationToken& token) {
+        if (i == 0) {
+          return; // fast cell: unaffected by its neighbor's overrun
+        }
+        slow_calls.fetch_add(1);
+        for (;;) { // simulated hang, polling like OooCore::run does
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          token.poll("test cell");
+        }
+      },
+      opts);
+  EXPECT_TRUE(runs[0].info.ok());
+  EXPECT_EQ(runs[1].info.status, CellStatus::timed_out);
+  EXPECT_EQ(runs[1].info.error_kind, CellErrorKind::timeout);
+  EXPECT_EQ(runs[1].info.attempts, 1u);
+  EXPECT_EQ(slow_calls.load(), 1);
+  EXPECT_NE(runs[1].info.error.find("cancelled"), std::string::npos);
+}
+
+TEST(SweepResilience, CancelledTokenUnwindsRunExperiment) {
+  sim::CancellationToken token;
+  token.cancel();
+  EXPECT_THROW(run_experiment(workload::profile_by_name("gcc"),
+                              quick_config(), &token),
+               sim::CancelledError);
+}
+
+// --- knob resolution --------------------------------------------------
+
+TEST(SweepResilience, ResolveMaxAttempts) {
+  ::unsetenv("HLCC_RETRIES");
+  EXPECT_EQ(resolve_max_attempts(RetryPolicy{}), 1u);
+  EXPECT_EQ(resolve_max_attempts(RetryPolicy{.max_attempts = 4}), 4u);
+  ::setenv("HLCC_RETRIES", "3", 1);
+  EXPECT_EQ(resolve_max_attempts(RetryPolicy{}), 3u);
+  EXPECT_EQ(resolve_max_attempts(RetryPolicy{.max_attempts = 2}), 2u);
+  for (const char* junk : {"abc", "0", "-1", "2x", ""}) {
+    ::setenv("HLCC_RETRIES", junk, 1);
+    EXPECT_THROW(resolve_max_attempts(RetryPolicy{}), std::invalid_argument)
+        << "HLCC_RETRIES=\"" << junk << "\"";
+  }
+  ::unsetenv("HLCC_RETRIES");
+}
+
+TEST(SweepResilience, ResolveCellTimeout) {
+  ::unsetenv("HLCC_CELL_TIMEOUT");
+  EXPECT_EQ(resolve_cell_timeout_s(0.0), 0.0);
+  EXPECT_EQ(resolve_cell_timeout_s(2.5), 2.5);
+  EXPECT_THROW(resolve_cell_timeout_s(-1.0), std::invalid_argument);
+  ::setenv("HLCC_CELL_TIMEOUT", "0.5", 1);
+  EXPECT_EQ(resolve_cell_timeout_s(0.0), 0.5);
+  EXPECT_EQ(resolve_cell_timeout_s(3.0), 3.0); // explicit beats env
+  for (const char* junk : {"abc", "0", "-2", "1.5s", ""}) {
+    ::setenv("HLCC_CELL_TIMEOUT", junk, 1);
+    EXPECT_THROW(resolve_cell_timeout_s(0.0), std::invalid_argument)
+        << "HLCC_CELL_TIMEOUT=\"" << junk << "\"";
+  }
+  ::unsetenv("HLCC_CELL_TIMEOUT");
+}
+
+TEST(SweepResilience, ResolveJournalPath) {
+  ::unsetenv("HLCC_RESUME");
+  EXPECT_EQ(resolve_journal_path(""), "");
+  EXPECT_EQ(resolve_journal_path("/tmp/j.jsonl"), "/tmp/j.jsonl");
+  ::setenv("HLCC_RESUME", "/tmp/env.jsonl", 1);
+  EXPECT_EQ(resolve_journal_path(""), "/tmp/env.jsonl");
+  EXPECT_EQ(resolve_journal_path("/tmp/j.jsonl"), "/tmp/j.jsonl");
+  ::unsetenv("HLCC_RESUME");
+}
+
+// --- journal ----------------------------------------------------------
+
+TEST(SweepJournal, KeyFormat) {
+  EXPECT_EQ(cell_journal_key(0xabcu, "gcc"), "0x0000000000000abc:gcc");
+  EXPECT_EQ(cell_journal_key(~0ull, "mcf"), "0xffffffffffffffff:mcf");
+}
+
+TEST(SweepJournal, AppendLoadRoundTripLaterRecordsWin) {
+  const std::string path = temp_path("hlcc_journal_roundtrip.jsonl");
+  {
+    SweepJournal journal(path);
+    JournalRecord ok;
+    ok.key = "0x0000000000000001:gcc";
+    ok.info.attempts = 2;
+    ok.info.duration_s = 0.25;
+    ok.result = json::Value::object();
+    ok.result["benchmark"] = "gcc";
+    journal.append(ok);
+
+    JournalRecord failed;
+    failed.key = "0x0000000000000002:mcf";
+    failed.info.status = CellStatus::failed;
+    failed.info.error_kind = CellErrorKind::trace_io;
+    failed.info.error = "short read";
+    journal.append(failed);
+
+    JournalRecord retried = failed; // same key, later outcome
+    retried.info.status = CellStatus::ok;
+    retried.info.error_kind = CellErrorKind::none;
+    retried.info.error.clear();
+    retried.info.attempts = 3;
+    journal.append(retried);
+  }
+  const auto records = SweepJournal::load(path);
+  ASSERT_EQ(records.size(), 2u);
+  const JournalRecord& gcc = records.at("0x0000000000000001:gcc");
+  EXPECT_TRUE(gcc.info.ok());
+  EXPECT_EQ(gcc.info.attempts, 2u);
+  EXPECT_EQ(gcc.info.duration_s, 0.25);
+  EXPECT_EQ(gcc.result.at("benchmark").as_string(), "gcc");
+  const JournalRecord& mcf = records.at("0x0000000000000002:mcf");
+  EXPECT_TRUE(mcf.info.ok()) << "later record must win";
+  EXPECT_EQ(mcf.info.attempts, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournal, LoadToleratesTruncationAtEveryByteOffset) {
+  const std::string path = temp_path("hlcc_journal_full.jsonl");
+  {
+    SweepJournal journal(path);
+    for (int i = 0; i < 3; ++i) {
+      JournalRecord rec;
+      rec.key = cell_journal_key(static_cast<uint64_t>(i), "gcc");
+      rec.info.duration_s = 0.5 * i;
+      rec.result = json::Value::object();
+      rec.result["i"] = i;
+      journal.append(rec);
+    }
+  }
+  const std::string full = read_file(path);
+  ASSERT_FALSE(full.empty());
+  const std::string cut = temp_path("hlcc_journal_cut.jsonl");
+  std::size_t last_count = 0;
+  for (std::size_t offset = 0; offset <= full.size(); ++offset) {
+    write_file(cut, full.substr(0, offset));
+    const auto records = SweepJournal::load(cut); // must never throw
+    EXPECT_GE(records.size(), last_count) << "offset " << offset;
+    EXPECT_LE(records.size(), 3u) << "offset " << offset;
+    if (offset == full.size()) {
+      EXPECT_EQ(records.size(), 3u); // every record, once intact
+    }
+    last_count = records.size() > last_count ? records.size() : last_count;
+  }
+  std::remove(path.c_str());
+  std::remove(cut.c_str());
+}
+
+TEST(SweepJournal, ReopenRepairsTornTailAndKeepsLaterAppends) {
+  const std::string path = temp_path("hlcc_journal_torn.jsonl");
+  {
+    SweepJournal journal(path);
+    JournalRecord rec;
+    rec.key = "0x0000000000000001:gcc";
+    journal.append(rec);
+  }
+  // Simulate SIGKILL mid-write: a torn, unterminated second line.
+  std::ofstream(path, std::ios::binary | std::ios::app)
+      << "{\"v\":1,\"key\":\"0x00000000000000";
+  {
+    SweepJournal journal(path); // must terminate the torn line first
+    JournalRecord rec;
+    rec.key = "0x0000000000000002:mcf";
+    journal.append(rec);
+  }
+  const auto records = SweepJournal::load(path);
+  ASSERT_EQ(records.size(), 2u); // torn line skipped, both appends intact
+  EXPECT_TRUE(records.count("0x0000000000000001:gcc"));
+  EXPECT_TRUE(records.count("0x0000000000000002:mcf"));
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournal, ResultSerializationRoundTripsExactly) {
+  // The resume path reconstructs results from journal JSON *text*; every
+  // field must survive the double round-trip bit for bit.
+  const ExperimentResult want =
+      run_experiment(workload::profile_by_name("parser"), quick_config());
+  const json::Value doc = json::Value::parse(to_json(want).dump());
+  ExperimentResult got;
+  got.benchmark = doc.at("benchmark").as_string();
+  got.config = want.config;
+  got.energy = energy_from_json(doc.at("energy"));
+  got.base_run = run_stats_from_json(doc.at("base_run"));
+  got.tech_run = run_stats_from_json(doc.at("tech_run"));
+  got.control = control_stats_from_json(doc.at("control"));
+  got.base_l1d_miss_rate = doc.at("base_l1d_miss_rate").as_double();
+  expect_payload_identical(got, want);
+  EXPECT_EQ(got.base_run.loads, want.base_run.loads);
+  EXPECT_EQ(got.tech_run.branch.btb_misses, want.tech_run.branch.btb_misses);
+  EXPECT_EQ(got.energy.gross_savings_j, want.energy.gross_savings_j);
+  // CellInfo round-trips through the report row too.
+  const CellInfo cell = cell_info_from_json(doc.at("cell"));
+  EXPECT_EQ(cell.status, want.cell.status);
+  EXPECT_EQ(cell.attempts, want.cell.attempts);
+}
+
+// --- kill / resume ----------------------------------------------------
+
+TEST(SweepResilience, ResumeFromTruncatedJournalIsBitIdentical) {
+  // Reference: an uninterrupted run (no journal).
+  SweepRunner reference = grid_runner(SweepOptions{.threads = 2}, {});
+  const std::vector<ExperimentResult> want = reference.run();
+
+  // A complete journal from one clean journaled run.
+  const std::string full_path = temp_path("hlcc_resume_full.jsonl");
+  {
+    SweepOptions opts;
+    opts.threads = 2;
+    opts.journal_path = full_path;
+    SweepRunner runner = grid_runner(std::move(opts), {});
+    const std::vector<ExperimentResult> journaled = runner.run();
+    ASSERT_EQ(journaled.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      expect_payload_identical(journaled[i], want[i]);
+    }
+  }
+  const std::string full = read_file(full_path);
+  ASSERT_FALSE(full.empty());
+
+  // Kill at several instants (journal truncated at arbitrary offsets,
+  // including mid-record), resume at 1 and N threads: the final results
+  // must be bit-identical to the uninterrupted run every time.
+  metrics::Registry& reg = metrics::Registry::global();
+  const std::string cut = temp_path("hlcc_resume_cut.jsonl");
+  for (const unsigned threads : {1u, 3u}) {
+    for (const double frac : {0.0, 0.3, 0.5, 0.8, 1.0}) {
+      const auto offset =
+          static_cast<std::size_t>(static_cast<double>(full.size()) * frac);
+      write_file(cut, full.substr(0, offset));
+      const uint64_t resumed_before = reg.counter("sweep.cells_resumed");
+      const uint64_t ran_before = reg.counter("experiments.run");
+
+      SweepOptions opts;
+      opts.threads = threads;
+      opts.journal_path = cut;
+      SweepRunner runner = grid_runner(std::move(opts), {});
+      const std::vector<CellResult<ExperimentResult>> got =
+          runner.run_cells();
+      ASSERT_EQ(got.size(), want.size());
+      std::size_t restored = 0;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_TRUE(got[i].ok()) << "cell " << i << ": " << got[i].error();
+        expect_payload_identical(got[i].value, want[i]);
+        restored += got[i].info.resumed ? 1 : 0;
+      }
+      // The journal's intact prefix is exactly what gets skipped.
+      EXPECT_EQ(reg.counter("sweep.cells_resumed") - resumed_before,
+                restored);
+      EXPECT_EQ(reg.counter("experiments.run") - ran_before,
+                want.size() - restored);
+      if (frac == 1.0) {
+        EXPECT_EQ(restored, want.size()) << "full journal must skip all";
+      }
+    }
+  }
+  std::remove(full_path.c_str());
+  std::remove(cut.c_str());
+}
+
+TEST(SweepResilience, ResumeRerunsFailedAndUnusableRecords) {
+  // A journal may hold non-ok records (a cell that failed last run) and
+  // ok records whose payload cannot be decoded (version skew).  Neither
+  // may be trusted on resume: both cells must re-run.
+  const std::string path = temp_path("hlcc_resume_failed.jsonl");
+  {
+    // Complete journal for the whole grid first.
+    SweepOptions opts;
+    opts.threads = 2;
+    opts.journal_path = path;
+    SweepRunner runner = grid_runner(std::move(opts), {});
+    (void)runner.run();
+  }
+  {
+    // Overwrite two cells' records (later records win): one failed, one
+    // ok-but-undecodable.
+    SweepJournal journal(path);
+    JournalRecord failed;
+    failed.key =
+        cell_journal_key(config_hash(quick_config()), kGridNames[1]);
+    failed.info.status = CellStatus::failed;
+    failed.info.error_kind = CellErrorKind::unknown;
+    failed.info.error = "died last run";
+    journal.append(failed);
+    JournalRecord unusable;
+    unusable.key =
+        cell_journal_key(config_hash(quick_config()), kGridNames[3]);
+    unusable.result = json::Value::object(); // ok status, empty payload
+    journal.append(unusable);
+  }
+  metrics::Registry& reg = metrics::Registry::global();
+  const uint64_t ran_before = reg.counter("experiments.run");
+  SweepOptions opts;
+  opts.threads = 2;
+  opts.journal_path = path;
+  SweepRunner runner = grid_runner(std::move(opts), {});
+  const std::vector<CellResult<ExperimentResult>> got = runner.run_cells();
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(got[i].ok()) << "cell " << i;
+    EXPECT_EQ(got[i].info.resumed, i != 1 && i != 3) << "cell " << i;
+  }
+  EXPECT_EQ(reg.counter("experiments.run") - ran_before, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(SweepResilience, SchemaTwoReportCarriesCellRollup) {
+  SweepOptions opts;
+  opts.threads = 2;
+  opts.fail_fast = false;
+  SweepRunner runner = grid_runner(std::move(opts), {2});
+  std::vector<ExperimentResult> results = runner.run();
+  const Series series{"resilience", SuiteResult(std::move(results))};
+  const json::Value doc = suite_report("partial sweep", {series});
+  EXPECT_EQ(doc.at("schema").as_double(), 2.0);
+  const json::Value& s = doc.at("series").at(0);
+  EXPECT_EQ(s.at("cells").at("total").as_double(),
+            static_cast<double>(kGridNames.size()));
+  EXPECT_EQ(s.at("cells").at("failed").as_double(), 1.0);
+  EXPECT_EQ(s.at("cells").at("complete").as_bool(), false);
+  const json::Value& bad_row = s.at("benchmarks").at(2);
+  EXPECT_EQ(bad_row.at("cell").at("status").as_string(), "failed");
+  EXPECT_EQ(bad_row.at("cell").at("error_kind").as_string(),
+            "config_invalid");
+  const json::Value& ok_row = s.at("benchmarks").at(0);
+  EXPECT_EQ(ok_row.at("cell").at("status").as_string(), "ok");
+}
+
+} // namespace
+} // namespace harness
