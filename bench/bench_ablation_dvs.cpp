@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
       }
     }
   }
-  std::vector<harness::ExperimentResult> all = runner.run();
+  std::vector<harness::ExperimentResult> all =
+      harness::values(runner.run(), runner.options().fail_fast);
 
   const std::size_t n = workload::spec2000_profiles().size();
   auto slice = [&](std::size_t block) {

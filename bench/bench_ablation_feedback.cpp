@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
     }
     oracle_idx.push_back(std::move(cells));
   }
-  const std::vector<harness::ExperimentResult> results = runner.run();
+  const std::vector<harness::ExperimentResult> results =
+      harness::values(runner.run(), runner.options().fail_fast);
 
   double sum_fixed = 0.0;
   double sum_fb = 0.0;

@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
       runner.submit(prof, cfg);
     }
   }
-  const std::vector<harness::ExperimentResult> results = runner.run();
+  const std::vector<harness::ExperimentResult> results =
+      harness::values(runner.run(), runner.options().fail_fast);
 
   const std::size_t per_profile = schemes.size() + grid.size();
   const auto& profiles = workload::spec2000_profiles();

@@ -6,7 +6,7 @@
 // the drowsy/gated trade-off shifts: induced fetch misses stall the front
 // end directly.
 //
-// The benchmark x technique grid runs through harness::sweep_map — the
+// The benchmark x technique grid runs through harness::SweepRunner::run — the
 // generic lane of the sweep engine for cells that are not run_experiment
 // calls.
 #include <cstdio>
@@ -79,9 +79,9 @@ int main(int argc, char** argv) {
     cells.push_back({prof, leakctl::TechniqueParams::drowsy()});
     cells.push_back({prof, leakctl::TechniqueParams::gated_vss()});
   }
-  const std::vector<Row> rows = harness::sweep_map(
-      cells, [&](const Cell& c) { return run(c.profile, c.tech, insts); },
-      bench::sweep_options("ext-icache"));
+  harness::SweepRunner runner(bench::sweep_options("ext-icache"));
+  const std::vector<Row> rows = harness::values(runner.run(
+      cells, [&](const Cell& c) { return run(c.profile, c.tech, insts); }));
 
   const auto& profiles = workload::spec2000_profiles();
   for (std::size_t p = 0; p < profiles.size(); ++p) {

@@ -7,7 +7,7 @@
 // gated-Vss L2 (the BackingStore abstraction lets the controlled cache
 // stack at any level) and reports turnoff, performance, and the gross L2
 // leakage reclaimed.  The benchmark x interval grid runs through
-// harness::sweep_map.
+// harness::SweepRunner::run.
 #include <cstdio>
 
 #include "bench/common.h"
@@ -80,9 +80,9 @@ int main(int argc, char** argv) {
       cells.push_back({prof, interval});
     }
   }
-  const std::vector<Row> rows = harness::sweep_map(
-      cells, [&](const Cell& c) { return run(c.profile, c.interval, insts); },
-      bench::sweep_options("ext-l2"));
+  harness::SweepRunner runner(bench::sweep_options("ext-l2"));
+  const std::vector<Row> rows = harness::values(runner.run(
+      cells, [&](const Cell& c) { return run(c.profile, c.interval, insts); }));
 
   std::printf("== Extension: gated-Vss decay on the 2 MB L2 (110C) ==\n");
   std::printf("%-10s %9s | %8s %7s %8s %11s\n", "benchmark", "interval",

@@ -1,7 +1,7 @@
 // Extension: decay applied to the branch predictor and BTB (Hu et al.,
 // paper reference [17]) — per-benchmark turnoff ratio, gross predictor
 // leakage savings, and the misprediction cost, over an interval sweep.
-// The benchmark x interval grid runs through harness::sweep_map; the
+// The benchmark x interval grid runs through harness::SweepRunner::run; the
 // LeakageModel is shared read-only across workers (all evaluation is
 // const after set_operating_point).
 #include <cstdio>
@@ -31,15 +31,13 @@ int main(int argc, char** argv) {
       cells.push_back({prof, interval});
     }
   }
-  const auto rows = harness::sweep_map(
-      cells,
-      [&](const Cell& c) {
-        leakctl::PredictorDecayConfig cfg;
-        cfg.decay_interval = c.interval;
-        return leakctl::run_predictor_decay_experiment(c.profile, cfg, model,
-                                                       insts, 1.5);
-      },
-      bench::sweep_options("ext-predictor"));
+  harness::SweepRunner runner(bench::sweep_options("ext-predictor"));
+  const auto rows = harness::values(runner.run(cells, [&](const Cell& c) {
+    leakctl::PredictorDecayConfig cfg;
+    cfg.decay_interval = c.interval;
+    return leakctl::run_predictor_decay_experiment(c.profile, cfg, model,
+                                                   insts, 1.5);
+  }));
 
   std::printf("== Extension: branch predictor + BTB decay (gated rows) ==\n");
   std::printf("%-10s %9s | %10s %9s %12s\n", "benchmark", "interval",

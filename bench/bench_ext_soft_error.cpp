@@ -65,7 +65,8 @@ int main(int argc, char** argv) {
                        protection_name(prot));
     }
   }
-  std::vector<harness::ExperimentResult> all = runner.run();
+  std::vector<harness::ExperimentResult> all =
+      harness::values(runner.run(), runner.options().fail_fast);
 
   const std::size_t n = workload::spec2000_profiles().size();
   std::vector<Cell> cells;

@@ -7,7 +7,7 @@
 // on the L1D shifts the equilibrium down — a cooling benefit on top of the
 // energy benefit the main experiments measure.  Each operating point is
 // an independent fixed-point iteration, so the sweeps run through
-// harness::sweep_map (every cell builds its own LeakageModel).
+// harness::SweepRunner::run (every cell builds its own LeakageModel).
 #include <cstdio>
 #include <vector>
 
@@ -22,15 +22,14 @@ int main(int argc, char** argv) {
               "L1D[C]", "leakL1D[W]", "leakTot[W]", "status");
   const std::vector<double> pdyn_points = {10.0, 20.0, 30.0,
                                            40.0, 60.0, 120.0};
-  const auto loops = harness::sweep_map(
-      pdyn_points,
-      [](double pdyn) {
+  harness::SweepRunner loop_runner(bench::sweep_options("ext-thermal"));
+  const auto loops =
+      harness::values(loop_runner.run(pdyn_points, [](double pdyn) {
         hotleakage::LeakageModel model(
             hotleakage::TechNode::nm70,
             hotleakage::VariationConfig{.enabled = false});
         return thermal::run_leakage_thermal_loop(model, pdyn, pdyn / 8.0);
-      },
-      bench::sweep_options("ext-thermal"));
+      }));
   for (std::size_t i = 0; i < pdyn_points.size(); ++i) {
     const thermal::FeedbackResult& r = loops[i];
     std::printf("%-10.0f %10.1f %10.1f %12.2f %12.2f %10s\n", pdyn_points[i],
@@ -42,17 +41,16 @@ int main(int argc, char** argv) {
   std::printf("\nwith leakage control on the L1D (gated-Vss at 90%% "
               "turnoff), Pdyn=40 W:\n");
   const std::vector<double> scales = {1.0, 0.5, 0.1};
-  const auto controlled = harness::sweep_map(
-      scales,
-      [](double scale) {
+  harness::SweepRunner ctl_runner(bench::sweep_options("ext-thermal-ctl"));
+  const auto controlled =
+      harness::values(ctl_runner.run(scales, [](double scale) {
         hotleakage::LeakageModel model(
             hotleakage::TechNode::nm70,
             hotleakage::VariationConfig{.enabled = false});
         thermal::FeedbackConfig cfg;
         cfg.l1d_leakage_scale = scale;
         return thermal::run_leakage_thermal_loop(model, 40.0, 5.0, cfg);
-      },
-      bench::sweep_options("ext-thermal-ctl"));
+      }));
   for (std::size_t i = 0; i < scales.size(); ++i) {
     std::printf("  L1D leakage scale %.1f: L1D %.1f C, %.2f W of L1D "
                 "leakage\n",

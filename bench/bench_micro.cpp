@@ -159,6 +159,62 @@ void BM_EndToEndSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSimulation);
 
+/// The Table 3 oracle-interval grid — the paper's 7 decay intervals x 4
+/// L2 latencies for one benchmark, 28 same-stream cells — through
+/// SweepRunner on one thread, batched (one lockstep trace pass drives
+/// all 28 controlled-cache replicas) vs scalar (28 independent passes).
+/// Their ratio is the recorded sweep speedup (scripts/record_bench.py
+/// --suite sweep -> BENCH_6.json).  One untimed warm run in the same
+/// batch mode precedes the timed loop: it fills the baseline memo
+/// (shared across the grid either way) and takes the first-touch page
+/// faults of the lane working set, so a single-iteration repetition
+/// measures steady state, not allocator cold start.
+void BM_Table3Sweep(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  // Long enough that per-cell setup (cache construction, planner) is a
+  // realistic fraction of a cell — the paper's runs are 2M instructions;
+  // 200k keeps the scalar arm of the benchmark to a couple of seconds.
+  constexpr uint64_t kInstructions = 200'000;
+  const workload::BenchmarkProfile prof = workload::profile_by_name("gzip");
+  const std::vector<unsigned> l2_lats = {5, 8, 11, 17};
+  const std::vector<uint64_t> intervals = harness::paper_interval_grid();
+
+  const auto submit_grid = [&](harness::SweepRunner& runner) {
+    for (const unsigned l2 : l2_lats) {
+      for (const uint64_t interval : intervals) {
+        harness::ExperimentConfig cfg;
+        cfg.l2_latency = l2;
+        cfg.decay_interval = interval;
+        cfg.instructions = kInstructions;
+        cfg.variation = false;
+        runner.submit(prof, cfg);
+      }
+    }
+  };
+  const std::size_t cells = l2_lats.size() * intervals.size();
+  const auto run_grid = [&]() {
+    harness::SweepOptions opts;
+    opts.threads = 1;
+    opts.batch = batched ? static_cast<unsigned>(cells) : 1;
+    harness::SweepRunner runner(opts);
+    submit_grid(runner);
+    return harness::values(runner.run());
+  };
+
+  harness::clear_baseline_cache();
+  (void)run_grid(); // untimed warm run, same batch mode as the timed loop
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_grid());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cells * kInstructions));
+}
+BENCHMARK(BM_Table3Sweep)
+    ->ArgNames({"batched"})
+    ->Args({1})
+    ->Args({0})
+    ->Unit(benchmark::kMillisecond);
+
 /// Console reporter that also collects every run for the JSON export.
 class CollectingReporter : public benchmark::ConsoleReporter {
 public:

@@ -46,9 +46,9 @@ int main(int argc, char** argv) {
     double ipc, l1d_miss, l1i_miss, mispredict;
   };
   const auto& profiles = workload::spec2000_profiles();
-  const auto rows = harness::sweep_map(
-      profiles,
-      [&](const workload::BenchmarkProfile& prof) {
+  harness::SweepRunner runner(bench::sweep_options("table2"));
+  const auto rows = harness::values(
+      runner.run(profiles, [&](const workload::BenchmarkProfile& prof) {
         sim::Processor proc(cfg);
         sim::BaselineDataPort dport(cfg.l1d, proc.l2(), &proc.activity());
         workload::Generator gen(prof, 1);
@@ -56,8 +56,7 @@ int main(int argc, char** argv) {
         return Row{st.ipc(), dport.cache().stats().miss_rate(),
                    proc.iport().cache().stats().miss_rate(),
                    st.branch.mispredict_rate()};
-      },
-      bench::sweep_options("table2"));
+      }));
   for (std::size_t i = 0; i < profiles.size(); ++i) {
     std::printf("%-10s %6.2f %9.2f%% %9.2f%% %9.2f%%\n",
                 profiles[i].name.data(), rows[i].ipc,

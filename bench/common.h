@@ -26,9 +26,9 @@
 #include <cstdlib>
 #include <exception>
 #include <string>
-#include <string_view>
 #include <utility>
 
+#include "harness/env.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
 #include "harness/report_json.h"
@@ -64,14 +64,17 @@ inline void write_reports(const harness::ReportOptions& opts,
 }
 
 /// Instructions per run: HLCC_INSTRUCTIONS env var or the default.
+/// Strictly parsed (harness/env.h): "60000x" was silently accepted as
+/// 60000 by the old strtoull loop; now it is a usage error.
 inline uint64_t instructions(uint64_t fallback = 600'000) {
-  if (const char* env = std::getenv("HLCC_INSTRUCTIONS")) {
-    const unsigned long long v = std::strtoull(env, nullptr, 10);
-    if (v > 0) {
-      return v;
-    }
+  try {
+    return harness::env::positive_u64("HLCC_INSTRUCTIONS",
+                                      "positive instruction count")
+        .value_or(fallback);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
   }
-  return fallback;
 }
 
 /// Engine options for a bench sweep: default thread count, progress on.
@@ -84,15 +87,11 @@ inline harness::SweepOptions sweep_options(std::string label) {
   harness::SweepOptions opts;
   opts.progress = true;
   opts.label = std::move(label);
-  if (const char* env = std::getenv("HLCC_FAIL_FAST")) {
-    const std::string_view text(env);
-    if (text == "0") {
-      opts.fail_fast = false;
-    } else if (text != "1") {
-      std::fprintf(stderr, "HLCC_FAIL_FAST must be 0 or 1, got \"%s\"\n",
-                   env);
-      std::exit(2);
-    }
+  try {
+    opts.fail_fast = harness::env::flag01("HLCC_FAIL_FAST").value_or(true);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
   }
   return opts;
 }
@@ -126,7 +125,8 @@ run_both(harness::ExperimentConfig cfg, const std::string& label = "bench") {
   for (const workload::BenchmarkProfile& p : workload::spec2000_profiles()) {
     runner.submit(p, cfg);
   }
-  std::vector<harness::ExperimentResult> all = runner.run();
+  std::vector<harness::ExperimentResult> all =
+      harness::values(runner.run(), runner.options().fail_fast);
   const std::size_t n = all.size() / 2;
   harness::Series drowsy{"drowsy", {}};
   harness::Series gated{"gated-vss", {}};

@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
                       .technique(leakctl::TechniqueParams::gated_vss())
                       .build());
   }
-  const std::vector<harness::ExperimentResult> results = runner.run();
+  const std::vector<harness::ExperimentResult> results =
+      harness::values(runner.run(), runner.options().fail_fast);
 
   harness::Series drowsy{"drowsy", {}};
   harness::Series gated{"gated-vss", {}};

@@ -53,6 +53,14 @@ def check_cell(cell, where):
     check_number(cell, "duration_s", where)
     require(isinstance(cell.get("resumed"), bool), where,
             "cell.resumed must be a boolean")
+    # Lockstep-batch lane count: 0 = scalar path, K >= 2 = a K-lane
+    # batched trace pass.  Absent is fine (pre-batching reports).
+    if "batch" in cell:
+        check_number(cell, "batch", where)
+        require(cell["batch"] == int(cell["batch"]) and cell["batch"] >= 0,
+                where, "cell.batch must be a non-negative integer")
+        require(cell["batch"] != 1, where,
+                "cell.batch is a lane count: 0 (scalar) or >= 2 (batched)")
     if cell["status"] == "ok":
         require(cell["error_kind"] == "none", where,
                 "an ok cell must have error_kind 'none'")

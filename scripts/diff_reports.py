@@ -25,7 +25,7 @@ import json
 import sys
 
 # Execution-history fields: legitimately run-dependent.
-VOLATILE_CELL_FIELDS = {"duration_s", "resumed", "attempts"}
+VOLATILE_CELL_FIELDS = {"duration_s", "resumed", "attempts", "batch"}
 VOLATILE_ROLLUP_FIELDS = {"resumed", "retried"}
 VOLATILE_TOP_LEVEL = {"metadata", "metrics"}
 

@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
-"""Record the decay-stress micro-benchmark suite into BENCH_5.json.
+"""Record a bench_micro suite into a committed BENCH_N.json baseline.
 
-Runs ``bench_micro --benchmark_filter=BM_DecayStress --json`` (the schema-1
-report whose ``micro`` section carries the per-benchmark rows), converts
-each row to accesses/second, and writes a small machine-readable summary:
+Two suites (``--suite``):
+
+``decay-stress`` (default, BENCH_5.json) — runs
+``bench_micro --benchmark_filter=BM_DecayStress --json``, converts each
+row to accesses/second, and records the event-engine-vs-reference
+speedup per scenario:
 
     {
       "schema": 1,
@@ -14,14 +17,23 @@ each row to accesses/second, and writes a small machine-readable summary:
       "speedups": {"interval:512/kb:64": 6.9, ...}   # event vs reference
     }
 
-``--baseline BENCH_5.json`` additionally compares the freshly measured
-event-vs-reference *speedups* (machine-independent, unlike raw
-throughput) against the committed baseline with a generous regression
-gate (default 2x) and exits nonzero on a regression.
+``sweep`` (BENCH_6.json) — runs the BM_Table3Sweep pair (the paper's
+Table 3 oracle-interval grid through SweepRunner, batched lockstep pass
+vs scalar per-cell passes) and records the batched-vs-scalar sweep
+speedup as ``speedups["table3"]``.
+
+``--baseline BENCH_N.json`` additionally compares the freshly measured
+*speedups* (machine-independent, unlike raw throughput) against the
+committed baseline with a generous regression gate (default 2x), and
+``--min-speedup`` enforces an absolute floor on every recorded speedup;
+either failing exits nonzero.
 
 CI usage (see .github/workflows/ci.yml):
     python3 scripts/record_bench.py --bench ./build/bench/bench_micro \
         --out BENCH_5.ci.json --baseline BENCH_5.json --gate 2.0
+    python3 scripts/record_bench.py --suite sweep \
+        --bench ./build/bench/bench_micro \
+        --out BENCH_6.ci.json --baseline BENCH_6.json --gate 1.6
 """
 
 import argparse
@@ -34,6 +46,12 @@ import tempfile
 
 UNIT_TO_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
 STRESS_ROW = re.compile(r"^BM_DecayStress/(?P<scenario>.+)/event:(?P<event>[01])$")
+SWEEP_ROW = re.compile(r"^BM_Table3Sweep/batched:(?P<batched>[01])$")
+
+SUITES = {
+    "decay-stress": {"filter": "BM_DecayStress", "out": "BENCH_5.json"},
+    "sweep": {"filter": "BM_Table3Sweep", "out": "BENCH_6.json"},
+}
 
 
 def fnv1a(text):
@@ -56,7 +74,7 @@ class BenchError(Exception):
     """A benchmark run that cannot produce a usable report."""
 
 
-def run_bench(bench, min_time):
+def run_bench(bench, bench_filter, min_time, extra_args=()):
     if not os.path.exists(bench):
         raise BenchError(
             "bench binary not found: %s (build it, or point --bench at it)"
@@ -71,8 +89,9 @@ def run_bench(bench, min_time):
     env.setdefault("HLCC_INSTRUCTIONS", "60000")
     env.setdefault("HLCC_PROGRESS", "0")
     cmd = [bench,
-           "--benchmark_filter=BM_DecayStress",
+           "--benchmark_filter=%s" % bench_filter,
            "--benchmark_min_time=%g" % min_time,
+           *extra_args,
            "--json", tmp_path]
     try:
         try:
@@ -120,6 +139,32 @@ def extract(doc):
     return throughput, speedups
 
 
+def extract_sweep(doc):
+    """micro rows -> ({row name: sweeps/sec}, {"table3": batched speedup}).
+
+    Uses CPU time and keeps the best of the repetitions per arm: the
+    sweep pair runs for seconds per iteration, so on a busy (CI) host a
+    single wall-clock sample of one arm can skew the ratio badly.
+    """
+    throughput = {}
+    for row in doc.get("micro", []):
+        m = SWEEP_ROW.match(row["name"])
+        if not m:
+            continue
+        per_iter = row["cpu_time"] * UNIT_TO_SECONDS[row["time_unit"]]
+        if per_iter <= 0:
+            continue
+        rate = 1.0 / per_iter  # one full grid per iteration
+        name = row["name"]
+        throughput[name] = max(throughput.get(name, 0.0), rate)
+    speedups = {}
+    batched = throughput.get("BM_Table3Sweep/batched:1")
+    scalar = throughput.get("BM_Table3Sweep/batched:0")
+    if batched and scalar:
+        speedups["table3"] = batched / scalar
+    return throughput, speedups
+
+
 def compare(baseline_path, speedups, gate):
     try:
         with open(baseline_path) as f:
@@ -150,66 +195,95 @@ def compare(baseline_path, speedups, gate):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--suite", choices=sorted(SUITES), default="decay-stress",
+                    help="which recording to produce (default decay-stress)")
     ap.add_argument("--bench", default="build/bench/bench_micro",
                     help="path to the bench_micro binary")
-    ap.add_argument("--out", default="BENCH_5.json",
-                    help="output JSON path")
+    ap.add_argument("--out", default=None,
+                    help="output JSON path (default: the suite's BENCH_N.json)")
     ap.add_argument("--baseline", default=None,
-                    help="committed BENCH_5.json to gate against")
+                    help="committed BENCH_N.json to gate against")
     ap.add_argument("--gate", type=float, default=2.0,
                     help="allowed speedup regression factor (default 2x)")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="absolute floor every recorded speedup must clear")
     ap.add_argument("--min-time", type=float, default=0.5,
                     help="benchmark_min_time per scenario, seconds")
     args = ap.parse_args()
 
+    suite = SUITES[args.suite]
+    out_path = args.out if args.out is not None else suite["out"]
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    # The sweep pair runs whole seconds per iteration: repeat each arm and
+    # interleave the repetitions so slow drift on a shared host lands on
+    # both arms instead of skewing their ratio.
+    extra = (("--benchmark_repetitions=5",
+              "--benchmark_enable_random_interleaving=true")
+             if args.suite == "sweep" else ())
     try:
-        doc = run_bench(args.bench, args.min_time)
+        doc = run_bench(args.bench, suite["filter"], args.min_time, extra)
     except BenchError as e:
         print("record_bench: %s" % e, file=sys.stderr)
         return 1
-    throughput, speedups = extract(doc)
+    if args.suite == "sweep":
+        throughput, speedups = extract_sweep(doc)
+        rate_key = "sweeps_per_sec"
+        ratio_label = "batched/scalar sweep"
+    else:
+        throughput, speedups = extract(doc)
+        rate_key = "accesses_per_sec"
+        ratio_label = "event/reference"
     if not throughput:
-        print("record_bench: no BM_DecayStress rows in the bench output",
+        print("record_bench: no %s rows in the bench output" % suite["filter"],
               file=sys.stderr)
         return 1
 
     out = {
         "schema": 1,
-        "suite": "decay-stress",
+        "suite": args.suite,
         "git": git_describe(repo_root),
         "config_hash": fnv1a("\n".join(sorted(throughput))),
         "scenarios": [
-            {"name": name, "accesses_per_sec": round(aps, 1)}
-            for name, aps in sorted(throughput.items())
+            {"name": name, rate_key: round(rate, 4)}
+            for name, rate in sorted(throughput.items())
         ],
         "speedups": {k: round(v, 3) for k, v in sorted(speedups.items())},
     }
     try:
-        with open(args.out, "w") as f:
+        with open(out_path, "w") as f:
             json.dump(out, f, indent=2, sort_keys=True)
             f.write("\n")
     except OSError as e:
-        print("record_bench: cannot write %s: %s" % (args.out, e),
+        print("record_bench: cannot write %s: %s" % (out_path, e),
               file=sys.stderr)
         return 1
     print("wrote %s (%d scenarios, git %s)"
-          % (args.out, len(out["scenarios"]), out["git"]))
+          % (out_path, len(out["scenarios"]), out["git"]))
     for scenario, ratio in sorted(speedups.items()):
-        print("  %-24s event/reference speedup %.2fx" % (scenario, ratio))
+        print("  %-24s %s speedup %.2fx" % (scenario, ratio_label, ratio))
 
+    failures = []
+    if args.min_speedup is not None:
+        for scenario, ratio in sorted(speedups.items()):
+            if ratio < args.min_speedup:
+                failures.append(
+                    "%s: speedup %.2fx is below the required %.2fx floor"
+                    % (scenario, ratio, args.min_speedup))
+        if not speedups:
+            failures.append("--min-speedup given but no speedups measured")
     if args.baseline:
         print("gating against %s (%.gx regression allowance):"
               % (args.baseline, args.gate))
         try:
-            failures = compare(args.baseline, speedups, args.gate)
+            failures += compare(args.baseline, speedups, args.gate)
         except BenchError as e:
             print("record_bench: %s" % e, file=sys.stderr)
             return 1
-        if failures:
-            for f in failures:
-                print("record_bench: " + f, file=sys.stderr)
-            return 1
+    if failures:
+        for f in failures:
+            print("record_bench: " + f, file=sys.stderr)
+        return 1
+    if args.baseline or args.min_speedup is not None:
         print("gate passed")
     return 0
 

@@ -1,0 +1,168 @@
+#include "harness/batched.h"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "harness/experiment_detail.h"
+#include "harness/metrics.h"
+#include "sim/lockstep.h"
+#include "workload/generator.h"
+
+namespace harness {
+namespace {
+
+/// One lane's private memory system.  The L2System and ControlledCache
+/// hold pointers into the activities vector, so LaneState is built after
+/// that vector's size is final.
+struct LaneState {
+  std::unique_ptr<sim::L2System> l2;
+  std::unique_ptr<leakctl::ControlledCache> dport;
+  wattch::Activity* activity = nullptr;
+};
+
+/// The Io policy run_lockstep fans accesses through (contract in
+/// sim/lockstep.h).  Owns the one shared L1I: instruction fetch state
+/// depends only on the pc stream (identical across lanes), so lane 0's
+/// tag lookup decides hit/miss for everyone; each missing lane then
+/// fills from its *own* L2 (whose contents differ — the lanes' D-side
+/// miss streams diverge).  The per-lane l1_reads the scalar InstrPort
+/// would count are accumulated once here and flushed to every lane's
+/// activity at the end of the run — the total is stream-determined and
+/// equal across lanes.
+class BatchedIo {
+public:
+  BatchedIo(const sim::CacheConfig& l1i_cfg, std::vector<LaneState>& lanes)
+      : l1i_(l1i_cfg), l1i_hit_latency_(l1i_cfg.hit_latency), lanes_(lanes) {}
+
+  unsigned ifetch(std::size_t lane, uint64_t pc, uint64_t fetch_cycle) {
+    if (lane == 0) {
+      ++ifetches_;
+      ifetch_hit_ = l1i_.access(pc, /*is_write=*/false, fetch_cycle).hit;
+    }
+    if (ifetch_hit_) {
+      return l1i_hit_latency_;
+    }
+    return l1i_hit_latency_ +
+           lanes_[lane].l2->access(pc, /*is_store=*/false, fetch_cycle);
+  }
+
+  unsigned dmem(std::size_t lane, uint64_t addr, bool is_store,
+                uint64_t cycle) {
+    if (lane == 0) {
+      // All lanes share the Table 2 L1D geometry, so one decomposition
+      // serves the whole fan-out (lanes are visited in ascending order,
+      // at most one memory op per instruction).
+      decomp_ = lanes_[0].dport->cache().decompose(addr);
+    }
+    return lanes_[lane].dport->access_decomposed(addr, decomp_, is_store,
+                                                 cycle);
+  }
+
+  wattch::Activity* activity(std::size_t lane) {
+    return lanes_[lane].activity;
+  }
+
+  uint64_t ifetches() const { return ifetches_; }
+
+private:
+  sim::Cache l1i_;
+  unsigned l1i_hit_latency_;
+  std::vector<LaneState>& lanes_;
+  bool ifetch_hit_ = false;
+  sim::Cache::Decomposed decomp_{};
+  uint64_t ifetches_ = 0;
+};
+
+} // namespace
+
+bool batchable(const ExperimentConfig& cfg) {
+  return !cfg.faults.enabled &&
+         cfg.adaptive == ExperimentConfig::AdaptiveScheme::none;
+}
+
+BatchedExperiment::BatchedExperiment(const workload::BenchmarkProfile& profile,
+                                     std::vector<ExperimentConfig> cfgs)
+    : profile_(profile), cfgs_(std::move(cfgs)) {
+  if (cfgs_.empty()) {
+    throw std::invalid_argument("BatchedExperiment: empty config list");
+  }
+  for (std::size_t i = 0; i < cfgs_.size(); ++i) {
+    cfgs_[i].validate();
+    if (!batchable(cfgs_[i])) {
+      throw std::invalid_argument(
+          "BatchedExperiment: config " + std::to_string(i) +
+          " is not batchable (fault injection and adaptive schemes run "
+          "on the scalar path)");
+    }
+    if (cfgs_[i].instructions != cfgs_[0].instructions ||
+        cfgs_[i].seed != cfgs_[0].seed) {
+      throw std::invalid_argument(
+          "BatchedExperiment: config " + std::to_string(i) +
+          " disagrees with config 0 on instructions/seed; a batch shares "
+          "one instruction stream");
+    }
+  }
+}
+
+std::vector<ExperimentResult> BatchedExperiment::run(
+    const sim::CancellationToken* cancel) {
+  const std::size_t k = cfgs_.size();
+  metrics::ScopedTimer experiment_timer("phase.experiment");
+
+  // Baselines first: memoized per (benchmark, l2_latency, instructions,
+  // seed), so lanes sharing an L2 latency share one baseline run.  Each
+  // batch member still counts as one experiment.
+  std::vector<std::shared_ptr<const detail::BaselineData>> bases(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    metrics::count("experiments.run");
+    bases[i] = detail::baseline_for(profile_, cfgs_[i], cancel);
+  }
+
+  // Lane memory systems.  Activities are stable addresses (sized once);
+  // each lane's L2 + controlled cache charge it, exactly as a scalar
+  // Processor + ControlledCache pair would.
+  std::vector<wattch::Activity> activities(k);
+  std::vector<sim::ProcessorConfig> pcfgs(k);
+  std::vector<leakctl::ControlledCacheConfig> ccfgs(k);
+  std::vector<LaneState> lanes(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    pcfgs[i] = sim::ProcessorConfig::table2(cfgs_[i].l2_latency);
+    ccfgs[i] = detail::controlled_config(cfgs_[i], pcfgs[i]);
+    lanes[i].activity = &activities[i];
+    lanes[i].l2 = std::make_unique<sim::L2System>(
+        pcfgs[i].l2, pcfgs[i].memory_latency, &activities[i]);
+    lanes[i].dport = std::make_unique<leakctl::ControlledCache>(
+        ccfgs[i], *lanes[i].l2, &activities[i]);
+  }
+
+  // The shared front end: table2 varies only the L2 hit latency, so the
+  // core and L1I configs agree across lanes by construction.
+  BatchedIo io(pcfgs[0].l1i, lanes);
+  workload::Generator gen(profile_, cfgs_[0].seed);
+  std::vector<sim::RunStats> stats;
+  {
+    metrics::ScopedTimer sim_timer("phase.simulation");
+    sim::run_lockstep(pcfgs[0].core, k, io, gen, cfgs_[0].instructions,
+                      cancel, stats);
+  }
+
+  std::vector<ExperimentResult> results(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    activities[i].cycles += stats[i].cycles; // Processor::run does this
+    activities[i].l1_reads += io.ifetches(); // scalar InstrPort counting
+    lanes[i].dport->finalize(stats[i].cycles);
+
+    ExperimentResult& r = results[i];
+    r.benchmark = std::string(profile_.name);
+    r.config = cfgs_[i];
+    r.base_run = bases[i]->run;
+    r.base_l1d_miss_rate = bases[i]->l1d_miss_rate;
+    r.tech_run = stats[i];
+    r.control = lanes[i].dport->stats();
+    detail::finish_energy(r, pcfgs[i], ccfgs[i], *bases[i], activities[i]);
+  }
+  return results;
+}
+
+} // namespace harness

@@ -1,0 +1,61 @@
+// Batched multi-config experiment executor.
+//
+// One pass over a benchmark's trace drives K decay configurations
+// simultaneously: the trace is generated once, each address is
+// decomposed into (set, tag) once, and the access fans into K
+// leakage-controlled cache replicas riding the lockstep core engine
+// (sim/lockstep.h).  Every lane produces an ExperimentResult
+// bit-identical to what a scalar run_experiment of the same config
+// would return — the lockstep engine shares only stream-determined
+// state (see the invariant notes in sim/lockstep.h), and the
+// baseline/config/energy derivations are the same detail:: helpers the
+// scalar path uses.
+//
+// Sharing constraints: all configs in a batch must agree on the
+// instruction stream, i.e. (benchmark, instructions, seed).  The L2
+// latency MAY differ per lane — each lane owns its L2 — which is what
+// makes the paper's (interval x L2-latency) product grid batchable as
+// one pass.  Configs the lockstep pass cannot share fall back to the
+// scalar path (see batchable() below); SweepRunner handles that
+// fallback transparently.
+#pragma once
+
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace harness {
+
+/// True when @p cfg can share a lockstep trace pass with siblings:
+/// fault injection draws per-access randomness the scalar path
+/// interleaves differently, and adaptive schemes retune the decay
+/// interval through callbacks the lockstep loop does not route, so
+/// both run scalar.
+bool batchable(const ExperimentConfig& cfg);
+
+/// Executor for one batch: a benchmark profile plus K batchable
+/// configs sharing (instructions, seed).  run() performs the single
+/// lockstep trace pass and returns one result per config, in config
+/// order.  Construction validates the batch shape; run() may be
+/// called once.
+class BatchedExperiment {
+public:
+  /// @throws std::invalid_argument when a config is not batchable or
+  /// the configs disagree on instructions/seed.
+  BatchedExperiment(const workload::BenchmarkProfile& profile,
+                    std::vector<ExperimentConfig> cfgs);
+
+  /// One trace pass, K results.  @p cancel is polled at the same epoch
+  /// boundaries as the scalar loop; cancellation aborts the whole
+  /// batch with sim::CancelledError.
+  std::vector<ExperimentResult> run(
+      const sim::CancellationToken* cancel = nullptr);
+
+  std::size_t size() const { return cfgs_.size(); }
+
+private:
+  const workload::BenchmarkProfile& profile_;
+  std::vector<ExperimentConfig> cfgs_;
+};
+
+} // namespace harness

@@ -54,6 +54,12 @@ struct CellInfo {
   unsigned attempts = 1;  ///< total tries, including the successful one
   double duration_s = 0.0; ///< wall clock summed over attempts (no backoff)
   bool resumed = false;   ///< satisfied from a checkpoint journal
+  /// Lane count of the lockstep batch that produced this cell: 0 for the
+  /// scalar path, K >= 2 when the cell rode a K-lane batched trace pass
+  /// (harness/batched.h).  Execution metadata only — the payload is
+  /// bit-identical either way — and volatile across resumes (a resumed
+  /// grid may regroup batches differently).
+  unsigned batch = 0;
   bool ok() const { return status == CellStatus::ok; }
 };
 

@@ -1,0 +1,94 @@
+#include "harness/env.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace harness::env {
+namespace {
+
+[[noreturn]] void reject(const std::string& name, const std::string& text,
+                         const std::string& what) {
+  throw std::invalid_argument(name + " must be a " + what + ", got \"" +
+                              text + "\"");
+}
+
+} // namespace
+
+uint64_t parse_positive_u64(const std::string& name, const std::string& text,
+                            const std::string& what) {
+  if (text.empty()) {
+    reject(name, text, what);
+  }
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      reject(name, text, what); // rejects sign, space, trailing garbage
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      reject(name, text, what); // overflow
+    }
+    value = value * 10 + digit;
+  }
+  if (value == 0) {
+    reject(name, text, what);
+  }
+  return value;
+}
+
+double parse_positive_double(const std::string& name, const std::string& text,
+                             const std::string& what) {
+  // strtod is lenient about leading whitespace, signs, "inf"/"nan" —
+  // all of which are junk for a knob; only a bare digit-or-dot form may
+  // open the string.
+  if (text.empty() || !((text[0] >= '0' && text[0] <= '9') ||
+                        text[0] == '.')) {
+    reject(name, text, what);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(value) || !(value > 0.0)) {
+    reject(name, text, what);
+  }
+  return value;
+}
+
+std::optional<uint64_t> positive_u64(const std::string& name,
+                                     const std::string& what) {
+  const char* text = std::getenv(name.c_str());
+  if (text == nullptr) {
+    return std::nullopt;
+  }
+  return parse_positive_u64(name, text, what);
+}
+
+std::optional<double> positive_double(const std::string& name,
+                                      const std::string& what) {
+  const char* text = std::getenv(name.c_str());
+  if (text == nullptr) {
+    return std::nullopt;
+  }
+  return parse_positive_double(name, text, what);
+}
+
+std::optional<bool> flag01(const std::string& name) {
+  const char* text = std::getenv(name.c_str());
+  if (text == nullptr) {
+    return std::nullopt;
+  }
+  const std::string value(text);
+  if (value == "0") {
+    return false;
+  }
+  if (value == "1") {
+    return true;
+  }
+  throw std::invalid_argument(name + " must be 0 or 1, got \"" + value +
+                              "\"");
+}
+
+} // namespace harness::env

@@ -1,0 +1,40 @@
+// Uniformly strict environment-variable parsing.
+//
+// Every HLCC_* knob used to parse its value with a slightly different
+// hand-rolled loop — some rejected trailing garbage, some silently fell
+// back to a default (HLCC_INSTRUCTIONS accepted "60000x" as 60000 until
+// this helper).  All sites now go through one parser family with one
+// contract: the whole string must be the value, junk throws
+// std::invalid_argument naming the offending variable, and an unset
+// variable returns std::nullopt so the caller's default applies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace harness::env {
+
+/// Strictly-positive integer ("4", not "0", "-3", "5x", "", " 4", or an
+/// out-of-range value).  @p name is the environment variable being
+/// parsed and appears in the error; @p what describes the expected value
+/// ("thread count", "attempt budget", ...).
+uint64_t parse_positive_u64(const std::string& name, const std::string& text,
+                            const std::string& what);
+
+/// Strictly-positive double, fractional values allowed ("2.5").
+double parse_positive_double(const std::string& name, const std::string& text,
+                             const std::string& what);
+
+/// getenv + parse_positive_u64; nullopt when @p name is unset.
+std::optional<uint64_t> positive_u64(const std::string& name,
+                                     const std::string& what);
+
+/// getenv + parse_positive_double; nullopt when @p name is unset.
+std::optional<double> positive_double(const std::string& name,
+                                      const std::string& what);
+
+/// Boolean flag spelled "0" or "1" only; nullopt when unset.
+std::optional<bool> flag01(const std::string& name);
+
+} // namespace harness::env

@@ -1,6 +1,7 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -8,6 +9,7 @@
 #include <string>
 #include <tuple>
 
+#include "harness/experiment_detail.h"
 #include "harness/metrics.h"
 #include "harness/sweep.h"
 #include "workload/generator.h"
@@ -31,12 +33,6 @@ struct BaselineKey {
   auto operator<=>(const BaselineKey&) const = default;
 };
 
-struct BaselineRecord {
-  sim::RunStats run;
-  wattch::Activity activity;
-  double l1d_miss_rate = 0.0;
-};
-
 /// One cache slot.  The map hands out shared_ptrs under the mutex; the
 /// (expensive) baseline simulation itself runs *outside* the lock, under
 /// the slot's once_flag, so concurrent sweep cells that need the same
@@ -44,7 +40,7 @@ struct BaselineRecord {
 /// cells with different keys proceed in parallel.
 struct BaselineSlot {
   std::once_flag once;
-  BaselineRecord rec;
+  detail::BaselineData rec;
 };
 
 std::mutex& baseline_mutex() {
@@ -57,7 +53,11 @@ std::map<BaselineKey, std::shared_ptr<BaselineSlot>>& baseline_cache() {
   return cache;
 }
 
-std::shared_ptr<BaselineSlot> baseline_for(
+} // namespace
+
+namespace detail {
+
+std::shared_ptr<const BaselineData> baseline_for(
     const workload::BenchmarkProfile& profile, const ExperimentConfig& cfg,
     const sim::CancellationToken* cancel) {
   BaselineKey key{std::string(profile.name), cfg.l2_latency,
@@ -87,10 +87,76 @@ std::shared_ptr<BaselineSlot> baseline_for(
     slot->rec.activity = proc.activity();
     slot->rec.l1d_miss_rate = dport.cache().stats().miss_rate();
   });
-  return slot;
+  return {slot, &slot->rec};
 }
 
-} // namespace
+leakctl::ControlledCacheConfig controlled_config(
+    const ExperimentConfig& cfg, const sim::ProcessorConfig& pcfg) {
+  leakctl::ControlledCacheConfig ccfg;
+  ccfg.cache = pcfg.l1d;
+  ccfg.technique = cfg.technique;
+  ccfg.policy = cfg.policy;
+  ccfg.decay_interval = cfg.decay_interval;
+  if (cfg.faults.enabled) {
+    // Scale the raw upset rates to the operating point.  Standby cells sit
+    // at the technique's retention voltage: the drowsy supply for drowsy,
+    // the full (possibly DVS-lowered) rail for RBB; gated-Vss standby
+    // holds no state, so its standby rate is never consulted.
+    const hotleakage::TechParams& ftech =
+        hotleakage::tech_params(hotleakage::TechNode::nm70);
+    const double vdd_op = cfg.vdd > 0.0 ? cfg.vdd : ftech.vdd_nominal;
+    const double temp_k = cfg.temperature_c + 273.15;
+    const double standby_vdd =
+        cfg.technique.mode == hotleakage::StandbyMode::drowsy
+            ? retention_floor_v(ftech)
+            : vdd_op;
+    ccfg.faults = cfg.faults;
+    ccfg.faults.standby_rate_per_bit_cycle =
+        cfg.faults.standby_rate_per_bit_cycle *
+        hotleakage::cells::sram_seu_scale(ftech, standby_vdd, temp_k);
+    ccfg.faults.active_rate_per_bit_cycle =
+        cfg.faults.active_rate_per_bit_cycle *
+        hotleakage::cells::sram_seu_scale(ftech, vdd_op, temp_k);
+  }
+  if (cfg.adaptive != ExperimentConfig::AdaptiveScheme::none) {
+    // All adaptive schemes observe induced misses through the tags, which
+    // must therefore stay awake (paper Sec. 5.4).
+    ccfg.technique.decay_tags = false;
+  }
+  return ccfg;
+}
+
+void finish_energy(ExperimentResult& result, const sim::ProcessorConfig& pcfg,
+                   const leakctl::ControlledCacheConfig& ccfg,
+                   const BaselineData& base,
+                   const wattch::Activity& tech_activity) {
+  const ExperimentConfig& cfg = result.config;
+  metrics::ScopedTimer leakage_timer("phase.leakage_model");
+  hotleakage::VariationConfig vcfg;
+  vcfg.enabled = cfg.variation;
+  hotleakage::LeakageModel model(hotleakage::TechNode::nm70, vcfg);
+  const double vdd = cfg.vdd > 0.0 ? cfg.vdd : model.tech().vdd_nominal;
+  model.set_operating_point(
+      hotleakage::OperatingPoint::at_celsius(cfg.temperature_c, vdd));
+  const hotleakage::CacheGeometry geom = leakctl::geometry_of(pcfg.l1d);
+  const hotleakage::CacheGeometry l2geom = leakctl::geometry_of(pcfg.l2);
+  const wattch::PowerParams power =
+      wattch::PowerParams::for_config_at(model.tech(), geom, l2geom, vdd);
+
+  leakctl::RunPair runs;
+  runs.base_run = base.run;
+  runs.base_activity = base.activity;
+  runs.tech_run = result.tech_run;
+  runs.tech_activity = tech_activity;
+  runs.control = result.control;
+  // DVS: the clock follows the supply near-linearly; cycle counts are
+  // voltage-independent, so only the seconds-per-cycle change.
+  const double clock_hz = pcfg.clock_hz * (vdd / model.tech().vdd_nominal);
+  result.energy = leakctl::compute_energy(model, geom, power, ccfg.technique,
+                                          runs, clock_hz, ccfg.faults);
+}
+
+} // namespace detail
 
 void clear_baseline_cache() {
   std::lock_guard<std::mutex> lock(baseline_mutex());
@@ -126,14 +192,6 @@ void ExperimentConfig::validate() const {
     pcfg.l1d.validate();
     pcfg.l1i.validate();
     pcfg.l2.validate();
-  }
-  if (adaptive_feedback && adaptive != AdaptiveScheme::none &&
-      adaptive != AdaptiveScheme::feedback) {
-    throw std::invalid_argument(
-        "ExperimentConfig::adaptive_feedback contradicts "
-        "ExperimentConfig::adaptive: the legacy flag requests "
-        "AdaptiveScheme::feedback but `adaptive` selects a different "
-        "scheme; set only ExperimentConfig::adaptive");
   }
   const hotleakage::TechParams& tech =
       hotleakage::tech_params(hotleakage::TechNode::nm70);
@@ -173,46 +231,17 @@ ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
   result.benchmark = std::string(profile.name);
   result.config = cfg;
 
-  const std::shared_ptr<BaselineSlot> slot = baseline_for(profile, cfg, cancel);
-  const BaselineRecord& base = slot->rec;
-  result.base_run = base.run;
-  result.base_l1d_miss_rate = base.l1d_miss_rate;
+  const std::shared_ptr<const detail::BaselineData> base =
+      detail::baseline_for(profile, cfg, cancel);
+  result.base_run = base->run;
+  result.base_l1d_miss_rate = base->l1d_miss_rate;
 
   // Technique run: identical machine + instruction stream, controlled L1D.
   const sim::ProcessorConfig pcfg = sim::ProcessorConfig::table2(cfg.l2_latency);
   sim::Processor proc(pcfg);
-  leakctl::ControlledCacheConfig ccfg;
-  ccfg.cache = pcfg.l1d;
-  ccfg.technique = cfg.technique;
-  ccfg.policy = cfg.policy;
-  ccfg.decay_interval = cfg.decay_interval;
-  if (cfg.faults.enabled) {
-    // Scale the raw upset rates to the operating point.  Standby cells sit
-    // at the technique's retention voltage: the drowsy supply for drowsy,
-    // the full (possibly DVS-lowered) rail for RBB; gated-Vss standby
-    // holds no state, so its standby rate is never consulted.
-    const hotleakage::TechParams& ftech =
-        hotleakage::tech_params(hotleakage::TechNode::nm70);
-    const double vdd_op = cfg.vdd > 0.0 ? cfg.vdd : ftech.vdd_nominal;
-    const double temp_k = cfg.temperature_c + 273.15;
-    const double standby_vdd =
-        cfg.technique.mode == hotleakage::StandbyMode::drowsy
-            ? retention_floor_v(ftech)
-            : vdd_op;
-    ccfg.faults = cfg.faults;
-    ccfg.faults.standby_rate_per_bit_cycle =
-        cfg.faults.standby_rate_per_bit_cycle *
-        hotleakage::cells::sram_seu_scale(ftech, standby_vdd, temp_k);
-    ccfg.faults.active_rate_per_bit_cycle =
-        cfg.faults.active_rate_per_bit_cycle *
-        hotleakage::cells::sram_seu_scale(ftech, vdd_op, temp_k);
-  }
-  const ExperimentConfig::AdaptiveScheme scheme = cfg.effective_adaptive();
-  if (scheme != ExperimentConfig::AdaptiveScheme::none) {
-    // All adaptive schemes observe induced misses through the tags, which
-    // must therefore stay awake (paper Sec. 5.4).
-    ccfg.technique.decay_tags = false;
-  }
+  const leakctl::ControlledCacheConfig ccfg =
+      detail::controlled_config(cfg, pcfg);
+  const ExperimentConfig::AdaptiveScheme scheme = cfg.adaptive;
   leakctl::ControlledCache dport(ccfg, proc.l2(), &proc.activity());
   leakctl::FeedbackController feedback_ctl(cfg.feedback);
   leakctl::AdaptiveModeControl amc_ctl(cfg.amc);
@@ -239,31 +268,29 @@ ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
   result.control = dport.stats();
 
   // Energy accounting at the experiment's operating point.
-  metrics::ScopedTimer leakage_timer("phase.leakage_model");
-  hotleakage::VariationConfig vcfg;
-  vcfg.enabled = cfg.variation;
-  hotleakage::LeakageModel model(hotleakage::TechNode::nm70, vcfg);
-  const double vdd = cfg.vdd > 0.0 ? cfg.vdd : model.tech().vdd_nominal;
-  model.set_operating_point(
-      hotleakage::OperatingPoint::at_celsius(cfg.temperature_c, vdd));
-  const hotleakage::CacheGeometry geom = leakctl::geometry_of(pcfg.l1d);
-  const hotleakage::CacheGeometry l2geom = leakctl::geometry_of(pcfg.l2);
-  const wattch::PowerParams power =
-      wattch::PowerParams::for_config_at(model.tech(), geom, l2geom, vdd);
-
-  leakctl::RunPair runs;
-  runs.base_run = base.run;
-  runs.base_activity = base.activity;
-  runs.tech_run = result.tech_run;
-  runs.tech_activity = proc.activity();
-  runs.control = result.control;
-  // DVS: the clock follows the supply near-linearly; cycle counts are
-  // voltage-independent, so only the seconds-per-cycle change.
-  const double clock_hz = pcfg.clock_hz * (vdd / model.tech().vdd_nominal);
-  result.energy = leakctl::compute_energy(model, geom, power, ccfg.technique,
-                                          runs, clock_hz, ccfg.faults);
+  detail::finish_energy(result, pcfg, ccfg, *base, proc.activity());
   return result;
 }
+
+// The [[deprecated]] attribute on the declaration also fires inside the
+// out-of-line definition; suppress it here — defining a deprecated shim
+// is the whole point.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+ExperimentConfig::Builder&
+ExperimentConfig::Builder::adaptive_feedback(bool enabled) {
+  static std::once_flag warned;
+  std::call_once(warned, [] {
+    std::fprintf(stderr,
+                 "warning: ExperimentConfig::Builder::adaptive_feedback(bool) "
+                 "is deprecated; use "
+                 "adaptive(ExperimentConfig::AdaptiveScheme::feedback)\n");
+  });
+  cfg_.adaptive =
+      enabled ? AdaptiveScheme::feedback : AdaptiveScheme::none;
+  return *this;
+}
+#pragma GCC diagnostic pop
 
 const ExperimentResult* SuiteResult::find(std::string_view benchmark) const {
   for (const ExperimentResult& r : results_) {
@@ -309,7 +336,7 @@ IntervalSweepResult best_interval_sweep(
     cfg.decay_interval = interval;
     runner.submit(profile, cfg);
   }
-  std::vector<ExperimentResult> results = runner.run();
+  std::vector<ExperimentResult> results = values(runner.run());
 
   IntervalSweepResult out;
   for (std::size_t k = 0; k < intervals.size(); ++k) {

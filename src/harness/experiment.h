@@ -42,15 +42,10 @@ struct ExperimentConfig {
   /// the formal feedback controller [31], Zhou et al.'s adaptive mode
   /// control [33], or Kaxiras et al.'s per-line intervals [19] — the three
   /// methods the paper lists in Sec. 5.4.  This field is the single
-  /// source of truth; see effective_adaptive().
+  /// spelling; the legacy `adaptive_feedback` bool is retired (the
+  /// deprecated Builder::adaptive_feedback shim maps it here).
   enum class AdaptiveScheme { none, feedback, amc, per_line };
   AdaptiveScheme adaptive = AdaptiveScheme::none;
-
-  /// Legacy alias for `adaptive = AdaptiveScheme::feedback`, kept for
-  /// source compatibility with pre-sweep-engine callers.  Setting it
-  /// alongside a *different* adaptive scheme is contradictory and
-  /// rejected by validate().  New code should set `adaptive` directly.
-  bool adaptive_feedback = false;
 
   leakctl::FeedbackConfig feedback;
   leakctl::AmcConfig amc;
@@ -61,15 +56,6 @@ struct ExperimentConfig {
   /// the technique's retention voltage and the experiment temperature via
   /// hotleakage::cells::sram_seu_scale before handing them to the cache.
   faults::FaultConfig faults;
-
-  /// The adaptive scheme after folding in the legacy adaptive_feedback
-  /// flag — the one place the two fields are reconciled.
-  AdaptiveScheme effective_adaptive() const {
-    if (adaptive != AdaptiveScheme::none) {
-      return adaptive;
-    }
-    return adaptive_feedback ? AdaptiveScheme::feedback : AdaptiveScheme::none;
-  }
 
   /// Reject nonsense configurations with a std::invalid_argument naming
   /// the offending field.  Called at the top of run_experiment.
@@ -129,6 +115,11 @@ public:
     cfg_.adaptive = scheme;
     return *this;
   }
+  /// Shim for the retired ExperimentConfig::adaptive_feedback bool:
+  /// true selects AdaptiveScheme::feedback, false selects none.  Warns
+  /// once per process on stderr.  Use adaptive() instead.
+  [[deprecated("use adaptive(ExperimentConfig::AdaptiveScheme::feedback)")]]
+  Builder& adaptive_feedback(bool enabled);
   /// Configure and enable the feedback controller in one step.
   Builder& feedback(leakctl::FeedbackConfig f) {
     cfg_.feedback = f;

@@ -1,0 +1,50 @@
+// Shared internals of the scalar and batched experiment executors.
+//
+// run_experiment (experiment.cpp) and BatchedExperiment (batched.cpp)
+// must produce bit-identical ExperimentResults for the same cell, so the
+// pieces that define a cell's semantics — the memoized baseline, the
+// ControlledCacheConfig derivation (fault-rate scaling at the operating
+// point, the awake-tags rule for adaptive schemes), and the energy-model
+// tail — live here as one source of truth instead of being duplicated.
+// This header is harness-internal; nothing outside src/harness includes
+// it.
+#pragma once
+
+#include <memory>
+
+#include "harness/experiment.h"
+#include "leakctl/controlled_cache.h"
+
+namespace harness::detail {
+
+/// One memoized baseline: the uncontrolled run of (benchmark,
+/// l2_latency, instructions, seed).
+struct BaselineData {
+  sim::RunStats run;
+  wattch::Activity activity;
+  double l1d_miss_rate = 0.0;
+};
+
+/// The once-per-key baseline memo (mutex + call_once; see
+/// experiment.cpp).  The returned pointer keeps the slot alive across
+/// clear_baseline_cache().
+std::shared_ptr<const BaselineData> baseline_for(
+    const workload::BenchmarkProfile& profile, const ExperimentConfig& cfg,
+    const sim::CancellationToken* cancel);
+
+/// The ControlledCacheConfig a cell instantiates: Table 2 L1D geometry,
+/// the technique/policy/interval from @p cfg, fault rates scaled to the
+/// operating point, and tags forced awake when an adaptive scheme is
+/// active (paper Sec. 5.4).
+leakctl::ControlledCacheConfig controlled_config(
+    const ExperimentConfig& cfg, const sim::ProcessorConfig& pcfg);
+
+/// Energy-model tail: fills result.energy from the already-populated
+/// base_run/tech_run/control of @p result plus the activity pair.
+/// result.config must be the cell's config (operating point, variation).
+void finish_energy(ExperimentResult& result, const sim::ProcessorConfig& pcfg,
+                   const leakctl::ControlledCacheConfig& ccfg,
+                   const BaselineData& base,
+                   const wattch::Activity& tech_activity);
+
+} // namespace harness::detail

@@ -72,12 +72,12 @@ json::Value config_body(const ExperimentConfig& cfg) {
   v["instructions"] = cfg.instructions;
   v["seed"] = cfg.seed;
   v["variation"] = cfg.variation;
-  v["adaptive"] = adaptive_name(cfg.effective_adaptive());
+  v["adaptive"] = adaptive_name(cfg.adaptive);
   // The *active* adaptive scheme's parameters are part of the cell's
   // identity (bench_ablation_feedback sweeps them); inactive sub-configs
   // cannot affect the result, so they stay out of the canonical form and
   // two configs differing only in dormant knobs hash the same.
-  switch (cfg.effective_adaptive()) {
+  switch (cfg.adaptive) {
   case ExperimentConfig::AdaptiveScheme::none:
     break;
   case ExperimentConfig::AdaptiveScheme::feedback: {
@@ -228,6 +228,7 @@ json::Value to_json(const CellInfo& cell) {
   v["attempts"] = cell.attempts;
   v["duration_s"] = cell.duration_s;
   v["resumed"] = cell.resumed;
+  v["batch"] = cell.batch;
   return v;
 }
 
@@ -239,6 +240,10 @@ CellInfo cell_info_from_json(const json::Value& v) {
   info.attempts = static_cast<unsigned>(v.at("attempts").as_double());
   info.duration_s = v.at("duration_s").as_double();
   info.resumed = v.at("resumed").as_bool();
+  // Absent in pre-batching journals/reports; default to the scalar path.
+  if (v.contains("batch")) {
+    info.batch = static_cast<unsigned>(v.at("batch").as_double());
+  }
   return info;
 }
 

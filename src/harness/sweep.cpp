@@ -3,20 +3,22 @@
 #include <unistd.h>
 
 #include <atomic>
-#include <cctype>
-#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string_view>
 #include <thread>
+#include <tuple>
 
+#include "harness/batched.h"
+#include "harness/env.h"
 #include "harness/journal.h"
 #include "harness/metrics.h"
 #include "harness/report_json.h"
@@ -120,9 +122,7 @@ private:
 class Watchdog {
 public:
   Watchdog(double timeout_s, unsigned workers)
-      : timeout_(std::chrono::duration_cast<Clock::duration>(
-            std::chrono::duration<double>(timeout_s))),
-        slots_(workers) {
+      : timeout_s_(timeout_s), slots_(workers) {
     // Scan at a fraction of the budget so overshoot stays small, but
     // never busy-spin on microscopic timeouts.
     const auto poll = std::chrono::duration_cast<Clock::duration>(
@@ -141,10 +141,14 @@ public:
     scanner_.join();
   }
 
-  void arm(unsigned worker, sim::CancellationToken* token) {
+  /// @p weight scales this attempt's budget (a K-lane batch unit gets
+  /// K times the per-cell timeout).
+  void arm(unsigned worker, sim::CancellationToken* token, double weight) {
     std::lock_guard<std::mutex> lock(mu_);
     slots_[worker].token = token;
-    slots_[worker].deadline = Clock::now() + timeout_;
+    slots_[worker].deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(timeout_s_ * weight));
   }
 
   void disarm(unsigned worker) {
@@ -172,7 +176,7 @@ private:
     }
   }
 
-  Clock::duration timeout_;
+  double timeout_s_;
   Clock::duration poll_;
   std::vector<Slot> slots_;
   std::mutex mu_;
@@ -187,12 +191,12 @@ void execute_cell(
     const std::function<void(std::size_t, const sim::CancellationToken&)>&
         body,
     unsigned max_attempts, const RetryPolicy& retry, Watchdog* watchdog,
-    CellRun& out, double& worker_busy_s) {
+    double timeout_weight, CellRun& out, double& worker_busy_s) {
   double duration_s = 0.0;
   for (unsigned attempt = 1;; ++attempt) {
     sim::CancellationToken token;
     if (watchdog != nullptr) {
-      watchdog->arm(worker_id, &token);
+      watchdog->arm(worker_id, &token, timeout_weight);
     }
     std::exception_ptr error;
     metrics::ScopedTimer cell_timer("phase.sweep_cell");
@@ -234,29 +238,35 @@ void execute_cell(
 
 } // namespace
 
+namespace {
+
+/// env::positive_u64 narrowed to unsigned, with the variable named in
+/// the out-of-range error just like in the parse errors.
+unsigned positive_env_unsigned(const std::string& name,
+                               const std::string& what) {
+  const std::optional<uint64_t> v = env::positive_u64(name, what);
+  if (!v) {
+    return 0; // unset; caller's default applies
+  }
+  if (*v > std::numeric_limits<unsigned>::max()) {
+    throw std::invalid_argument(name + " must be a " + what + ", got \"" +
+                                std::to_string(*v) + "\"");
+  }
+  return static_cast<unsigned>(*v);
+}
+
+} // namespace
+
 unsigned resolve_thread_count(unsigned requested) {
   if (requested > 0) {
     return requested;
   }
-  if (const char* env = std::getenv("HLCC_THREADS")) {
-    // Strict parse: junk ("abc", "3x", ""), zero, and negatives are
-    // configuration errors, not an invitation to silently fall back to
-    // the hardware default.
-    const std::string_view text(env);
-    bool all_digits = !text.empty();
-    for (const char c : text) {
-      all_digits = all_digits && std::isdigit(static_cast<unsigned char>(c));
-    }
-    errno = 0;
-    char* end = nullptr;
-    const unsigned long v = std::strtoul(env, &end, 10);
-    if (!all_digits || errno == ERANGE || v == 0 ||
-        v > std::numeric_limits<unsigned>::max()) {
-      throw std::invalid_argument(
-          "HLCC_THREADS must be a positive integer thread count, got \"" +
-          std::string(text) + "\"");
-    }
-    return static_cast<unsigned>(v);
+  // Strict parse (harness/env.h): junk ("abc", "3x", ""), zero, and
+  // negatives are configuration errors, not an invitation to silently
+  // fall back to the hardware default.
+  if (const unsigned v = positive_env_unsigned(
+          "HLCC_THREADS", "positive integer thread count")) {
+    return v;
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
@@ -266,21 +276,9 @@ unsigned resolve_max_attempts(const RetryPolicy& retry) {
   if (retry.max_attempts > 0) {
     return retry.max_attempts;
   }
-  if (const char* env = std::getenv("HLCC_RETRIES")) {
-    const std::string_view text(env);
-    bool all_digits = !text.empty();
-    for (const char c : text) {
-      all_digits = all_digits && std::isdigit(static_cast<unsigned char>(c));
-    }
-    errno = 0;
-    const unsigned long v = std::strtoul(env, nullptr, 10);
-    if (!all_digits || errno == ERANGE || v == 0 ||
-        v > std::numeric_limits<unsigned>::max()) {
-      throw std::invalid_argument(
-          "HLCC_RETRIES must be a positive integer attempt budget, got \"" +
-          std::string(text) + "\"");
-    }
-    return static_cast<unsigned>(v);
+  if (const unsigned v = positive_env_unsigned(
+          "HLCC_RETRIES", "positive integer attempt budget")) {
+    return v;
   }
   return 1;
 }
@@ -294,18 +292,20 @@ double resolve_cell_timeout_s(double requested) {
   if (requested > 0.0) {
     return requested;
   }
-  if (const char* env = std::getenv("HLCC_CELL_TIMEOUT")) {
-    errno = 0;
-    char* end = nullptr;
-    const double v = std::strtod(env, &end);
-    if (end == env || *end != '\0' || errno == ERANGE || !(v > 0.0)) {
-      throw std::invalid_argument(
-          "HLCC_CELL_TIMEOUT must be a positive number of seconds, got \"" +
-          std::string(env) + "\"");
-    }
+  return env::positive_double("HLCC_CELL_TIMEOUT",
+                              "positive number of seconds")
+      .value_or(0.0);
+}
+
+unsigned resolve_batch_limit(unsigned requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  if (const unsigned v = positive_env_unsigned(
+          "HLCC_BATCH", "positive integer batch lane cap")) {
     return v;
   }
-  return 0.0;
+  return 16; // auto: see the header note on diminishing returns
 }
 
 std::string resolve_journal_path(const std::string& requested) {
@@ -331,12 +331,15 @@ unsigned retry_backoff_ms(const RetryPolicy& retry, unsigned next_attempt) {
       std::min<unsigned long long>(scaled, retry.max_backoff_ms));
 }
 
-std::vector<CellRun> parallel_for_cells(
+namespace detail {
+
+std::vector<CellRun> for_cells(
     std::size_t count,
     const std::function<void(std::size_t, const sim::CancellationToken&)>&
         body,
     const SweepOptions& opts,
-    const std::function<void(std::size_t, const CellRun&)>& on_cell_done) {
+    const std::function<void(std::size_t, const CellRun&)>& on_cell_done,
+    const std::function<double(std::size_t)>& timeout_weight) {
   std::vector<CellRun> runs(count);
   if (count == 0) {
     return runs;
@@ -362,8 +365,9 @@ std::vector<CellRun> parallel_for_cells(
   }
 
   const auto run_one = [&](std::size_t i, unsigned worker_id) {
+    const double weight = timeout_weight ? timeout_weight(i) : 1.0;
     execute_cell(i, worker_id, body, max_attempts, opts.retry,
-                 watchdog.get(), runs[i], worker_busy_s[worker_id]);
+                 watchdog.get(), weight, runs[i], worker_busy_s[worker_id]);
     if (on_cell_done) {
       on_cell_done(i, runs[i]);
     }
@@ -432,10 +436,21 @@ std::vector<CellRun> parallel_for_cells(
   return runs;
 }
 
+} // namespace detail
+
+std::vector<CellRun> parallel_for_cells(
+    std::size_t count,
+    const std::function<void(std::size_t, const sim::CancellationToken&)>&
+        body,
+    const SweepOptions& opts,
+    const std::function<void(std::size_t, const CellRun&)>& on_cell_done) {
+  return detail::for_cells(count, body, opts, on_cell_done);
+}
+
 void parallel_for_indexed(std::size_t count,
                           const std::function<void(std::size_t)>& body,
                           const SweepOptions& opts) {
-  const std::vector<CellRun> runs = parallel_for_cells(
+  const std::vector<CellRun> runs = detail::for_cells(
       count,
       [&body](std::size_t i, const sim::CancellationToken&) { body(i); },
       opts);
@@ -480,7 +495,7 @@ ExperimentResult result_from_journal(const JournalRecord& rec,
 
 } // namespace
 
-std::vector<CellResult<ExperimentResult>> SweepRunner::run_cells() {
+std::vector<CellResult<ExperimentResult>> SweepRunner::run() {
   std::vector<SweepCell> cells = std::move(cells_);
   cells_.clear();
   std::vector<CellResult<ExperimentResult>> out(cells.size());
@@ -529,35 +544,136 @@ std::vector<CellResult<ExperimentResult>> SweepRunner::run_cells() {
     }
   }
 
-  // --- execute the remainder with per-cell fault isolation ---
   std::unique_ptr<SweepJournal> journal;
   if (!journal_path.empty()) {
     journal = std::make_unique<SweepJournal>(journal_path);
   }
-  const auto body = [&](std::size_t j, const sim::CancellationToken& token) {
-    const std::size_t i = todo[j];
-    out[i].value = run_experiment(cells[i].profile, cells[i].config, &token);
-  };
-  // Checkpoint from the worker as each cell settles, so a kill at any
-  // instant preserves every finished cell.
-  const auto on_done = [&](std::size_t j, const CellRun& run) {
-    const std::size_t i = todo[j];
-    out[i].value.cell = run.info;
+  const auto checkpoint = [&](std::size_t i, const CellInfo& info) {
     if (journal) {
       JournalRecord rec;
       rec.key = keys[i];
-      rec.info = run.info;
-      if (run.info.ok()) {
+      rec.info = info;
+      if (info.ok()) {
         rec.result = to_json(out[i].value);
       }
       journal->append(rec);
     }
   };
-  const std::vector<CellRun> runs =
-      parallel_for_cells(todo.size(), body, opts_, on_done);
 
-  for (std::size_t j = 0; j < todo.size(); ++j) {
-    const std::size_t i = todo[j];
+  // --- planner: group batchable same-stream cells into lockstep units ---
+  // A unit shares one trace pass, so its members must agree on the
+  // instruction stream — (benchmark, instructions, seed); the L2 latency
+  // may differ per lane (harness/batched.h).  Everything else — fault
+  // injection, adaptive schemes, stream groups of one — runs scalar.
+  const unsigned batch_limit = resolve_batch_limit(opts_.batch);
+  std::vector<std::vector<std::size_t>> units;
+  std::vector<std::size_t> scalar;
+  scalar.reserve(todo.size());
+  if (batch_limit >= 2) {
+    std::map<std::tuple<std::string, uint64_t, uint64_t>,
+             std::vector<std::size_t>>
+        groups;
+    for (const std::size_t i : todo) {
+      if (batchable(cells[i].config)) {
+        groups[{std::string(cells[i].profile.name),
+                cells[i].config.instructions, cells[i].config.seed}]
+            .push_back(i);
+      } else {
+        scalar.push_back(i);
+      }
+    }
+    for (auto& [key, members] : groups) {
+      std::size_t p = 0;
+      while (members.size() - p >= 2) {
+        const std::size_t n =
+            std::min<std::size_t>(batch_limit, members.size() - p);
+        units.emplace_back(members.begin() + static_cast<std::ptrdiff_t>(p),
+                           members.begin() + static_cast<std::ptrdiff_t>(p + n));
+        p += n;
+      }
+      for (; p < members.size(); ++p) {
+        scalar.push_back(members[p]); // stream group of one: scalar
+      }
+    }
+  } else {
+    scalar = todo;
+  }
+
+  // --- phase 1: batch units, one lockstep trace pass each ---
+  // A unit runs with a single attempt and a K-scaled watchdog budget;
+  // any failure (one member's fault, a timeout, a cancellation) demotes
+  // *all* its members to the scalar phase, where the per-cell retry /
+  // watchdog / journal semantics apply individually — so one bad member
+  // never poisons its siblings' results.
+  if (!units.empty()) {
+    metrics::count("sweep.batches", units.size());
+    SweepOptions unit_opts = opts_;
+    unit_opts.retry.max_attempts = 1;
+    const auto unit_body = [&](std::size_t u,
+                               const sim::CancellationToken& token) {
+      const std::vector<std::size_t>& members = units[u];
+      std::vector<ExperimentConfig> cfgs;
+      cfgs.reserve(members.size());
+      for (const std::size_t i : members) {
+        cfgs.push_back(cells[i].config);
+      }
+      const Clock::time_point start = Clock::now();
+      BatchedExperiment batch(cells[members.front()].profile,
+                              std::move(cfgs));
+      std::vector<ExperimentResult> results = batch.run(&token);
+      const double per_cell_s =
+          std::chrono::duration<double>(Clock::now() - start).count() /
+          static_cast<double>(members.size());
+      for (std::size_t j = 0; j < members.size(); ++j) {
+        const std::size_t i = members[j];
+        out[i].value = std::move(results[j]);
+        CellInfo info;
+        info.attempts = 1;
+        info.duration_s = per_cell_s;
+        info.batch = static_cast<unsigned>(members.size());
+        out[i].info = info;
+        out[i].value.cell = info;
+        checkpoint(i, info);
+      }
+    };
+    const std::vector<CellRun> unit_runs = detail::for_cells(
+        units.size(), unit_body, unit_opts, nullptr,
+        [&](std::size_t u) { return static_cast<double>(units[u].size()); });
+    std::size_t batched_cells = 0;
+    std::size_t fallbacks = 0;
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      if (unit_runs[u].info.ok()) {
+        batched_cells += units[u].size();
+      } else {
+        fallbacks += units[u].size();
+        for (const std::size_t i : units[u]) {
+          scalar.push_back(i);
+        }
+      }
+    }
+    metrics::count("sweep.batched_cells", batched_cells);
+    if (fallbacks > 0) {
+      metrics::count("sweep.batch_fallbacks", fallbacks);
+    }
+  }
+
+  // --- phase 2: scalar cells with per-cell fault isolation ---
+  const auto body = [&](std::size_t j, const sim::CancellationToken& token) {
+    const std::size_t i = scalar[j];
+    out[i].value = run_experiment(cells[i].profile, cells[i].config, &token);
+  };
+  // Checkpoint from the worker as each cell settles, so a kill at any
+  // instant preserves every finished cell.
+  const auto on_done = [&](std::size_t j, const CellRun& run) {
+    const std::size_t i = scalar[j];
+    out[i].value.cell = run.info;
+    checkpoint(i, run.info);
+  };
+  const std::vector<CellRun> runs =
+      detail::for_cells(scalar.size(), body, opts_, on_done);
+
+  for (std::size_t j = 0; j < scalar.size(); ++j) {
+    const std::size_t i = scalar[j];
     out[i].info = runs[j].info;
     out[i].exception = runs[j].exception;
     if (!runs[j].info.ok()) {
@@ -571,31 +687,12 @@ std::vector<CellResult<ExperimentResult>> SweepRunner::run_cells() {
   return out;
 }
 
-std::vector<ExperimentResult> SweepRunner::run() {
-  std::vector<CellResult<ExperimentResult>> cells = run_cells();
-  if (opts_.fail_fast) {
-    for (const CellResult<ExperimentResult>& cell : cells) {
-      if (cell.exception) {
-        // Lowest submission index, original type — the serial loop's
-        // first throw.
-        std::rethrow_exception(cell.exception);
-      }
-    }
-  }
-  std::vector<ExperimentResult> results;
-  results.reserve(cells.size());
-  for (CellResult<ExperimentResult>& cell : cells) {
-    results.push_back(std::move(cell.value));
-  }
-  return results;
-}
-
 SuiteResult run_suite(const ExperimentConfig& cfg, const SweepOptions& opts) {
   SweepRunner runner(opts);
   for (const workload::BenchmarkProfile& p : workload::spec2000_profiles()) {
     runner.submit(p, cfg);
   }
-  return SuiteResult(runner.run());
+  return SuiteResult(values(runner.run(), opts.fail_fast));
 }
 
 std::vector<IntervalSweepResult> best_interval_sweeps_all(
@@ -610,7 +707,7 @@ std::vector<IntervalSweepResult> best_interval_sweeps_all(
       runner.submit(p, cell);
     }
   }
-  std::vector<ExperimentResult> flat = runner.run();
+  std::vector<ExperimentResult> flat = values(runner.run(), opts.fail_fast);
 
   std::vector<IntervalSweepResult> out(profiles.size());
   for (std::size_t p = 0; p < profiles.size(); ++p) {

@@ -13,23 +13,42 @@
 // once per key under a mutex (see experiment.cpp).  The engine therefore
 // guarantees results identical to the serial path at any thread count.
 //
+// Batched execution (see DESIGN.md "Batched execution"): before the pool
+// starts, a planner groups batchable cells that share one instruction
+// stream — same benchmark, instruction count, and seed — into lockstep
+// units of up to SweepOptions::batch lanes (HLCC_BATCH; auto default).
+// Each unit decodes the trace once and drives K leakage-controlled cache
+// replicas through one pass (harness/batched.h), producing results
+// bit-identical to the scalar path.  Cells the lockstep pass cannot
+// share (fault injection, adaptive schemes) and any member of a unit
+// that fails mid-batch fall back to the scalar path transparently, where
+// per-cell retry / watchdog / journal semantics apply unchanged.
+//
 // Resilience layer (see DESIGN.md "Sweep resilience"): production-scale
 // grids are hours long, so the engine also provides
-//  - per-cell fault isolation: run_cells()/parallel_for_cells record
-//    each cell's outcome (CellInfo: status + error taxonomy + attempts +
-//    duration) instead of aborting the sweep; the legacy abort-on-first-
-//    error behavior is retained behind SweepOptions::fail_fast (default
-//    on, so existing callers are unchanged);
+//  - per-cell fault isolation: each cell's outcome (CellInfo: status +
+//    error taxonomy + attempts + duration) is recorded instead of
+//    aborting the sweep; the legacy abort-on-first-error behavior is
+//    retained behind values()/SweepOptions::fail_fast;
 //  - capped-exponential retry for transiently failing cells
 //    (deterministic schedule; attempt counts surface in metrics and the
 //    schema-2 report);
 //  - a cooperative watchdog: cells poll a sim::CancellationToken at
 //    epoch boundaries, so a hung or over-budget cell times out cleanly
-//    without killing its worker thread;
+//    without killing its worker thread (a K-lane batch unit gets K times
+//    the per-cell budget);
 //  - a crash-safe checkpoint journal (harness/journal.h): completed
 //    cells are fsync'd to an append-only JSONL file, and a killed sweep
 //    restarted with HLCC_RESUME=<journal> skips them, reproducing the
 //    uninterrupted run's results bit-identically.
+//
+// Entry points: SweepRunner::run() is the single overload set — the
+// submitted (profile, config) grid, an index range with a body, or a
+// container with a map function — always returning per-cell rows
+// (CellResult / CellRun).  values() recovers the old fail-fast
+// value-vector behavior.  The former free functions (sweep_map,
+// sweep_map_cells, parallel_for_indexed, parallel_for_cells) and
+// SweepRunner::run_cells survive one release as deprecated wrappers.
 //
 // Thread count: SweepOptions::threads if nonzero, else the HLCC_THREADS
 // environment variable, else std::thread::hardware_concurrency().
@@ -40,6 +59,7 @@
 #include <functional>
 #include <iterator>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -70,13 +90,11 @@ struct SweepOptions {
   bool progress = false;
   /// Tag for the progress lines (e.g. the figure being regenerated).
   std::string label = "sweep";
-  /// When true (default), the value-returning entry points (run(),
-  /// run_suite, sweep_map, parallel_for_indexed) abort after the pool
-  /// drains by rethrowing the lowest-index error with its original type
-  /// — the pre-resilience behavior.  When false they degrade
-  /// gracefully: failed cells come back as placeholder results whose
-  /// CellInfo carries the status/error, and every other cell's result
-  /// is returned.
+  /// Honored by values() and the value-returning convenience wrappers
+  /// (run_suite, best_interval_sweeps_all): when true (default) they
+  /// abort after the pool drains by rethrowing the lowest-index error
+  /// with its original type; when false failed cells come back as
+  /// placeholder results whose CellInfo carries the status/error.
   bool fail_fast = true;
   /// Retry schedule for cells whose failure is classified retryable.
   RetryPolicy retry{};
@@ -88,6 +106,10 @@ struct SweepOptions {
   /// HLCC_RESUME, then no journal.  When set, SweepRunner appends each
   /// completed cell and skips cells already completed in the file.
   std::string journal_path{};
+  /// Maximum lanes per lockstep batch unit (grid run() only).  0 defers
+  /// to HLCC_BATCH, then the auto default; 1 disables batching; K >= 2
+  /// caps units at K lanes.
+  unsigned batch = 0;
 };
 
 /// The thread count an options struct resolves to (>= 1).
@@ -106,6 +128,12 @@ double resolve_cell_timeout_s(double requested);
 /// else HLCC_RESUME, else empty (journaling disabled).
 std::string resolve_journal_path(const std::string& requested);
 
+/// The batch-lane cap an options struct resolves to (>= 1): the explicit
+/// value, else a strictly-positive-integer HLCC_BATCH, else the auto
+/// default (16 lanes — past that the per-lane scoreboard work dwarfs the
+/// shared front end and wider batches stop paying).
+unsigned resolve_batch_limit(unsigned requested);
+
 /// Backoff before retry attempt @p next_attempt (2, 3, ...), in ms.
 unsigned retry_backoff_ms(const RetryPolicy& retry, unsigned next_attempt);
 
@@ -117,72 +145,44 @@ struct CellRun {
   std::exception_ptr exception;
 };
 
-/// Run body(0..count-1, token) across the pool with per-cell fault
-/// isolation: every cell runs (and is retried / timed out per @p opts)
-/// regardless of other cells' failures, and the outcome of each —
-/// status, error taxonomy, attempts, duration — is returned by index.
-/// Never throws for cell failures; the CellRun is the error channel.
-/// The token passed to the body is armed by the watchdog when
-/// opts.cell_timeout_s resolves nonzero; bodies that can hang should
-/// poll it (run_experiment does, at simulation epoch boundaries).
-std::vector<CellRun> parallel_for_cells(
+namespace detail {
+
+/// The engine's one execution primitive: run body(0..count-1, token)
+/// across the pool with per-cell fault isolation, retries, watchdog and
+/// metrics.  @p on_cell_done fires on the worker as each index settles
+/// (checkpointing hook).  @p timeout_weight, when set, scales the
+/// watchdog budget of index i by its return value (batch units get K
+/// times the per-cell budget).  Public entry points are thin shims over
+/// this.
+std::vector<CellRun> for_cells(
     std::size_t count,
     const std::function<void(std::size_t, const sim::CancellationToken&)>&
         body,
-    const SweepOptions& opts = {},
+    const SweepOptions& opts,
     const std::function<void(std::size_t, const CellRun&)>& on_cell_done =
-        nullptr);
+        nullptr,
+    const std::function<double(std::size_t)>& timeout_weight = nullptr);
 
-/// Run body(0..count-1) across the pool.  Each index runs exactly once
-/// per attempt budget; the call returns when all have finished.
-/// Exceptions thrown by the body are captured and the one from the
-/// lowest index is rethrown — with its original type, whatever it is —
-/// after the pool drains (matching what the serial loop would have
-/// thrown first).  With a resolved thread count of 1 the bodies run
-/// inline on the calling thread.
-void parallel_for_indexed(std::size_t count,
-                          const std::function<void(std::size_t)>& body,
-                          const SweepOptions& opts = {});
+} // namespace detail
 
-/// Deterministic parallel map: out[i] = fn(items[i]), in order.  The
-/// generic escape hatch for sweeps whose cells are not run_experiment
-/// calls (I-cache / L2 / predictor-decay studies).  Accepts any
-/// random-access container (vector, array, ...).  Fail-fast: the
-/// lowest-index exception is rethrown after the drain with its original
-/// type; use sweep_map_cells for per-item fault isolation.
-template <typename Container, typename Fn>
-auto sweep_map(const Container& items, Fn&& fn, const SweepOptions& opts = {})
-    -> std::vector<decltype(fn(*std::begin(items)))> {
-  std::vector<decltype(fn(*std::begin(items)))> out(std::size(items));
-  parallel_for_indexed(
-      std::size(items),
-      [&](std::size_t i) {
-        out[i] = fn(*(std::begin(items) + static_cast<std::ptrdiff_t>(i)));
-      },
-      opts);
-  return out;
-}
-
-/// Fault-isolated parallel map: every item is attempted (with retries
-/// and timeouts per @p opts) and comes back as a CellResult carrying
-/// either its value or its failure summary.  Never throws for item
-/// failures.
-template <typename Container, typename Fn>
-auto sweep_map_cells(const Container& items, Fn&& fn,
-                     const SweepOptions& opts = {})
-    -> std::vector<CellResult<decltype(fn(*std::begin(items)))>> {
-  using Value = decltype(fn(*std::begin(items)));
-  std::vector<CellResult<Value>> out(std::size(items));
-  const std::vector<CellRun> runs = parallel_for_cells(
-      std::size(items),
-      [&](std::size_t i, const sim::CancellationToken&) {
-        out[i].value =
-            fn(*(std::begin(items) + static_cast<std::ptrdiff_t>(i)));
-      },
-      opts);
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    out[i].info = runs[i].info;
-    out[i].exception = runs[i].exception;
+/// Unwrap CellResult rows into their values.  With @p fail_fast (the
+/// default) the lowest-index failed row's original exception is rethrown
+/// first — the serial loop's first throw; without it failed rows yield
+/// their placeholder values (identity + CellInfo status, zeroed
+/// measurements).
+template <typename V>
+std::vector<V> values(std::vector<CellResult<V>> rows, bool fail_fast = true) {
+  if (fail_fast) {
+    for (const CellResult<V>& row : rows) {
+      if (row.exception) {
+        std::rethrow_exception(row.exception);
+      }
+    }
+  }
+  std::vector<V> out;
+  out.reserve(rows.size());
+  for (CellResult<V>& row : rows) {
+    out.push_back(std::move(row.value));
   }
   return out;
 }
@@ -193,21 +193,26 @@ struct SweepCell {
   ExperimentConfig config;
 };
 
-/// Fans independent (benchmark, ExperimentConfig) cells across a worker
-/// pool.  Usage:
+/// Fans independent work across a worker pool.  The run() overload set
+/// is the engine's whole public surface:
 ///
 ///   SweepRunner runner({.threads = 0, .progress = true, .label = "fig3"});
 ///   for (...) runner.submit(profile, cfg);
-///   std::vector<ExperimentResult> results = runner.run();
+///   auto rows = runner.run();                    // grid form
+///   auto results = harness::values(std::move(rows));
 ///
-/// run() executes every pending cell and returns results in submission
-/// order regardless of completion order, then resets the runner for
-/// reuse.  With fail_fast (the default) a cell that throws (e.g.
-/// ExperimentConfig::validate) aborts the sweep after the pool drains,
-/// rethrowing the lowest-index error; with fail_fast=false failed cells
-/// become placeholder results whose CellInfo carries the error.
-/// run_cells() is the fully fault-isolated form.  Both checkpoint to /
-/// resume from the journal when one is configured.
+///   auto runs = runner.run(n, [](std::size_t i) { ... });       // index form
+///   auto rows = runner.run(items, [](const Item& x) { ... });   // map form
+///
+/// Every form returns per-cell rows in submission/index order with full
+/// fault isolation — a failing cell never throws out of run(); its row
+/// carries the status, error taxonomy and original exception.  values()
+/// restores fail-fast semantics when wanted.
+///
+/// The grid form routes batchable same-stream cells through the lockstep
+/// batched executor (see the header comment) and everything else through
+/// the scalar path; both checkpoint to / resume from the journal when
+/// one is configured.
 class SweepRunner {
 public:
   explicit SweepRunner(SweepOptions opts = {}) : opts_(std::move(opts)) {}
@@ -221,19 +226,106 @@ public:
 
   const SweepOptions& options() const { return opts_; }
 
-  /// Execute all pending cells; results land in submission order.
-  std::vector<ExperimentResult> run();
+  /// Grid form: execute all pending cells (batched where the planner
+  /// can, scalar otherwise); every cell's outcome in submission order,
+  /// then the runner resets for reuse.  Cells completed in a configured
+  /// journal are skipped and restored bit-identically with info.resumed
+  /// set.
+  std::vector<CellResult<ExperimentResult>> run();
 
-  /// Fault-isolated execution: every cell's outcome in submission
-  /// order.  Never throws for cell failures (the CellResult is the
-  /// error channel); cells completed in a configured journal are
-  /// skipped and restored bit-identically with info.resumed set.
-  std::vector<CellResult<ExperimentResult>> run_cells();
+  /// Index form: run body(0..count-1[, token]) across the pool.  The
+  /// body may take (std::size_t) or (std::size_t, const
+  /// sim::CancellationToken&); bodies that can hang should take the
+  /// token and poll it (run_experiment does, at epoch boundaries).
+  template <typename Body,
+            typename = std::enable_if_t<
+                std::is_invocable_v<Body&, std::size_t> ||
+                std::is_invocable_v<Body&, std::size_t,
+                                    const sim::CancellationToken&>>>
+  std::vector<CellRun> run(std::size_t count, Body&& body) {
+    if constexpr (std::is_invocable_v<Body&, std::size_t,
+                                      const sim::CancellationToken&>) {
+      return detail::for_cells(count, body, opts_);
+    } else {
+      return detail::for_cells(
+          count,
+          [&body](std::size_t i, const sim::CancellationToken&) { body(i); },
+          opts_);
+    }
+  }
+
+  /// Map form: out[i] pairs fn(items[i]) with its cell outcome, in item
+  /// order.  The generic escape hatch for sweeps whose cells are not
+  /// run_experiment calls (I-cache / L2 / predictor-decay studies).
+  /// Accepts any random-access container (vector, array, ...).
+  template <typename Container, typename Fn>
+  auto run(const Container& items, Fn&& fn)
+      -> std::vector<CellResult<std::decay_t<decltype(fn(*std::begin(items)))>>> {
+    using Value = std::decay_t<decltype(fn(*std::begin(items)))>;
+    std::vector<CellResult<Value>> out(std::size(items));
+    const std::vector<CellRun> runs = detail::for_cells(
+        std::size(items),
+        [&](std::size_t i, const sim::CancellationToken&) {
+          out[i].value =
+              fn(*(std::begin(items) + static_cast<std::ptrdiff_t>(i)));
+        },
+        opts_);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      out[i].info = runs[i].info;
+      out[i].exception = runs[i].exception;
+    }
+    return out;
+  }
+
+  /// Former name of the grid form; one-release compatibility wrapper.
+  [[deprecated("use run(); the grid form returns CellResult rows")]]
+  std::vector<CellResult<ExperimentResult>> run_cells() { return run(); }
 
 private:
   SweepOptions opts_;
   std::vector<SweepCell> cells_;
 };
+
+// --- Deprecated free-function entry points (one release) -------------
+// Each is a thin shim over SweepRunner::run() / values(); new code uses
+// those directly.
+
+/// @deprecated Use SweepRunner::run(count, body); failures are rows, not
+/// throws — wrap with your own rethrow or use values() semantics.
+[[deprecated("use SweepRunner::run(count, body)")]]
+std::vector<CellRun> parallel_for_cells(
+    std::size_t count,
+    const std::function<void(std::size_t, const sim::CancellationToken&)>&
+        body,
+    const SweepOptions& opts = {},
+    const std::function<void(std::size_t, const CellRun&)>& on_cell_done =
+        nullptr);
+
+/// @deprecated Use SweepRunner::run(count, body) and inspect the rows
+/// (or rethrow the lowest-index exception for the old behavior).
+[[deprecated("use SweepRunner::run(count, body)")]]
+void parallel_for_indexed(std::size_t count,
+                          const std::function<void(std::size_t)>& body,
+                          const SweepOptions& opts = {});
+
+/// @deprecated Use values(SweepRunner(opts).run(items, fn)).
+template <typename Container, typename Fn>
+[[deprecated("use values(SweepRunner(opts).run(items, fn))")]]
+auto sweep_map(const Container& items, Fn&& fn, const SweepOptions& opts = {})
+    -> std::vector<std::decay_t<decltype(fn(*std::begin(items)))>> {
+  SweepRunner runner(opts);
+  return values(runner.run(items, std::forward<Fn>(fn)));
+}
+
+/// @deprecated Use SweepRunner(opts).run(items, fn).
+template <typename Container, typename Fn>
+[[deprecated("use SweepRunner(opts).run(items, fn)")]]
+auto sweep_map_cells(const Container& items, Fn&& fn,
+                     const SweepOptions& opts = {})
+    -> std::vector<CellResult<std::decay_t<decltype(fn(*std::begin(items)))>>> {
+  SweepRunner runner(opts);
+  return runner.run(items, std::forward<Fn>(fn));
+}
 
 /// run_suite with explicit engine options (progress label, thread count).
 SuiteResult run_suite(const ExperimentConfig& cfg, const SweepOptions& opts);

@@ -153,6 +153,12 @@ unsigned ControlledCache::consume_faults(std::size_t index, uint64_t span,
 
 unsigned ControlledCache::access(uint64_t addr, bool is_store,
                                  uint64_t cycle) {
+  return access_decomposed(addr, cache_.decompose(addr), is_store, cycle);
+}
+
+unsigned ControlledCache::access_decomposed(uint64_t addr,
+                                            const sim::Cache::Decomposed& d,
+                                            bool is_store, uint64_t cycle) {
   if (finalized_) {
     throw std::logic_error("ControlledCache::access after finalize");
   }
@@ -171,8 +177,8 @@ unsigned ControlledCache::access(uint64_t addr, bool is_store,
     (is_store ? activity_->l1_writes : activity_->l1_reads)++;
   }
 
-  const std::size_t set = cache_.set_index(addr);
-  const uint64_t tag = cache_.tag_of(addr);
+  const std::size_t set = d.set;
+  const uint64_t tag = d.tag;
   const TechniqueParams& tech = cfg_.technique;
   const std::size_t assoc = cfg_.cache.assoc;
   const std::size_t base = set * assoc;
@@ -205,9 +211,13 @@ unsigned ControlledCache::access(uint64_t addr, bool is_store,
       induced_line = base + w;
     }
   }
-  (void)hit_way;
-
-  const sim::Cache::AccessResult r = cache_.access(addr, is_store, cycle);
+  // The pre-classify pass already located the matching way; on a hit the
+  // cache only needs the LRU/dirty/stat mutations, not a second scan.
+  const sim::Cache::AccessResult r =
+      hit_way >= 0
+          ? cache_.access_known_hit(set, static_cast<std::size_t>(hit_way),
+                                    is_store, cycle)
+          : cache_.access_decomposed(addr, d, is_store, cycle);
   const std::size_t idx = base + r.way;
   const bool was_standby = standby_[idx] != 0;
 

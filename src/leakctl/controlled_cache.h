@@ -135,6 +135,14 @@ public:
   /// BackingStore (an L2 in front of memory): decay applies at any level.
   unsigned access(uint64_t addr, bool is_store, uint64_t cycle) override;
 
+  /// access() with the (set, tag) decomposition hoisted out.  The
+  /// batched executor (harness/batched.h) decomposes each trace address
+  /// once and fans the pair into K same-geometry replicas; @p d must be
+  /// this cache's decompose(addr).  Non-virtual: the batched hot loop
+  /// calls it directly on the concrete replica.
+  unsigned access_decomposed(uint64_t addr, const sim::Cache::Decomposed& d,
+                             bool is_store, uint64_t cycle);
+
   /// BackingStore: absorb a dirty victim from the level above (off the
   /// critical path; still updates contents and decay state).
   void writeback(uint64_t addr, uint64_t cycle) override {

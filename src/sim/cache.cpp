@@ -60,9 +60,17 @@ Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
 
 Cache::AccessResult Cache::access(uint64_t addr, bool is_write,
                                   uint64_t cycle) {
+  return access_decomposed(addr, decompose(addr), is_write, cycle);
+}
+
+Cache::AccessResult Cache::access_decomposed(uint64_t addr,
+                                             const Decomposed& d,
+                                             bool is_write, uint64_t cycle) {
+  assert(d.set == set_index(addr) && d.tag == tag_of(addr));
+  (void)addr;
   AccessResult result;
-  result.set = set_index(addr);
-  const uint64_t tag = tag_of(addr);
+  result.set = d.set;
+  const uint64_t tag = d.tag;
   (is_write ? stats_.writes : stats_.reads)++;
 
   // Lookup.
@@ -103,6 +111,23 @@ Cache::AccessResult Cache::access(uint64_t addr, bool is_write,
   ln.lru = ++lru_clock_;
   ln.last_access_cycle = cycle;
   result.way = victim;
+  return result;
+}
+
+Cache::AccessResult Cache::access_known_hit(std::size_t set, std::size_t way,
+                                            bool is_write, uint64_t cycle) {
+  (is_write ? stats_.writes : stats_.reads)++;
+  Line& ln = line_mut(set, way);
+  assert(ln.valid);
+  ln.lru = ++lru_clock_;
+  ln.last_access_cycle = cycle;
+  if (is_write) {
+    ln.dirty = true;
+  }
+  AccessResult result;
+  result.hit = true;
+  result.set = set;
+  result.way = way;
   return result;
 }
 

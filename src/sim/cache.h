@@ -73,11 +73,39 @@ public:
     std::size_t way = 0; ///< way hit or filled
   };
 
+  /// An address split into its (set, tag) pair.  Decomposition depends
+  /// only on the geometry, so a batched executor driving K same-geometry
+  /// replicas can decompose once and fan the pair out (see
+  /// harness/batched.h).
+  struct Decomposed {
+    std::size_t set = 0;
+    uint64_t tag = 0;
+  };
+
   explicit Cache(const CacheConfig& cfg);
 
   /// Look up and, on miss, fill (victim selected by LRU).  @p is_write
   /// marks the line dirty on hit or fill (write-allocate).
   AccessResult access(uint64_t addr, bool is_write, uint64_t cycle);
+
+  /// access() with the shift/mask (or div/mod) work hoisted out: @p d
+  /// must be decompose(addr) for *this cache's geometry*.  The batched
+  /// hot loop pays the decomposition once per trace record instead of
+  /// once per replica.
+  AccessResult access_decomposed(uint64_t addr, const Decomposed& d,
+                                 bool is_write, uint64_t cycle);
+
+  /// access() when the caller has already found the matching way (a
+  /// ControlledCache access pre-scans the set anyway): applies the same
+  /// hit-path mutations — LRU touch, dirty mark, stats — without
+  /// rescanning the ways.  @p way must hold a valid line whose tag
+  /// matches the access.
+  AccessResult access_known_hit(std::size_t set, std::size_t way,
+                                bool is_write, uint64_t cycle);
+
+  Decomposed decompose(uint64_t addr) const {
+    return {set_index(addr), tag_of(addr)};
+  }
 
   /// Look up without fill or LRU update (for inspection / adaptive
   /// controllers that probe tags).

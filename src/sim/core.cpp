@@ -1,246 +1,37 @@
 #include "sim/core.h"
 
-#include <algorithm>
-#include <string>
+#include "sim/lockstep.h"
 
 namespace sim {
+namespace {
+
+/// Single-lane Io policy: the historical DataPort/FetchPort wiring.
+struct ScalarIo {
+  DataPort& dport;
+  FetchPort& iport;
+  wattch::Activity* act;
+
+  unsigned ifetch(std::size_t, uint64_t pc, uint64_t cycle) {
+    return iport.fetch(pc, cycle);
+  }
+  unsigned dmem(std::size_t, uint64_t addr, bool is_store, uint64_t cycle) {
+    return dport.access(addr, is_store, cycle);
+  }
+  wattch::Activity* activity(std::size_t) { return act; }
+};
+
+} // namespace
 
 OooCore::OooCore(const CoreConfig& cfg, DataPort& dport, FetchPort& iport,
                  wattch::Activity* activity)
-    : cfg_(cfg), dport_(dport), iport_(iport), activity_(activity) {
-  ready_ring_.assign(kRing, 0);
-  commit_ring_.assign(kRing, 0);
-  lsq_ring_.assign(std::max<std::size_t>(cfg_.lsq_size + 1, 64), 0);
-  issue_cycle_of_slot_.assign(kIssueRing, UINT64_MAX);
-  issue_used_.assign(kIssueRing, 0);
-  int_alu_free_.assign(cfg_.int_alu, 0);
-  int_multdiv_free_.assign(cfg_.int_multdiv, 0);
-  fp_alu_free_.assign(cfg_.fp_alu, 0);
-  fp_multdiv_free_.assign(cfg_.fp_multdiv, 0);
-  mem_port_free_.assign(cfg_.mem_ports, 0);
-}
-
-std::vector<uint64_t>& OooCore::units_for(OpClass op) {
-  switch (op) {
-  case OpClass::int_mult:
-  case OpClass::int_div:
-    return int_multdiv_free_;
-  case OpClass::fp_alu:
-    return fp_alu_free_;
-  case OpClass::fp_mult:
-  case OpClass::fp_div:
-    return fp_multdiv_free_;
-  case OpClass::load:
-  case OpClass::store:
-    return mem_port_free_;
-  case OpClass::int_alu:
-  case OpClass::branch:
-  default:
-    return int_alu_free_;
-  }
-}
-
-uint64_t OooCore::schedule_issue(OpClass op, uint64_t earliest) {
-  std::vector<uint64_t>& units = units_for(op);
-  // Pick the unit that frees up first.
-  auto unit_it = std::min_element(units.begin(), units.end());
-  uint64_t cycle = std::max(earliest, *unit_it);
-
-  // Find a cycle with spare issue bandwidth.
-  for (;;) {
-    const std::size_t slot = cycle % kIssueRing;
-    if (issue_cycle_of_slot_[slot] != cycle) {
-      issue_cycle_of_slot_[slot] = cycle;
-      issue_used_[slot] = 0;
-    }
-    if (issue_used_[slot] < cfg_.issue_width) {
-      issue_used_[slot]++;
-      break;
-    }
-    ++cycle;
-  }
-
-  // Book the unit: divide units are unpipelined and busy for the full
-  // latency; everything else accepts a new op next cycle.
-  const bool unpipelined = op == OpClass::int_div || op == OpClass::fp_div;
-  *unit_it = cycle + (unpipelined ? op_latency(op) : 1);
-  return cycle;
-}
+    : cfg_(cfg), dport_(dport), iport_(iport), activity_(activity) {}
 
 RunStats OooCore::run(TraceSource& trace, uint64_t max_instructions,
                       const CancellationToken* cancel) {
-  RunStats stats;
-  MicroOp op;
-
-  uint64_t fetch_cycle = 0;        // cycle the current fetch group starts
-  unsigned fetched_in_group = 0;   // ops fetched this cycle
-  uint64_t redirect_cycle = 0;     // earliest fetch after a mispredict
-  uint64_t last_fetch_line = UINT64_MAX;
-  uint64_t last_commit = 0;
-  unsigned committed_in_cycle = 0;
-
-  uint64_t mem_op_count = 0;
-  const std::size_t lsq_ring_size = lsq_ring_.size();
-
-  for (uint64_t i = 0; i < max_instructions && trace.next(op); ++i) {
-    // ---- Cooperative cancellation (epoch boundary) ----
-    if (cancel != nullptr && (i & (kCancelPollInterval - 1)) == 0 &&
-        cancel->cancelled()) {
-      throw CancelledError("simulation cancelled after " + std::to_string(i) +
-                           " of " + std::to_string(max_instructions) +
-                           " instructions");
-    }
-
-    // ---- Fetch ----
-    if (fetch_cycle < redirect_cycle) {
-      fetch_cycle = redirect_cycle;
-      fetched_in_group = 0;
-      last_fetch_line = UINT64_MAX; // refetch the line after redirect
-    }
-    if (fetched_in_group >= cfg_.fetch_width) {
-      ++fetch_cycle;
-      fetched_in_group = 0;
-    }
-    const uint64_t fetch_line = op.pc / 64;
-    if (fetch_line != last_fetch_line) {
-      const unsigned ilat = iport_.fetch(op.pc, fetch_cycle);
-      if (ilat > 1) {
-        fetch_cycle += ilat - 1; // stall beyond the pipelined 1-cycle hit
-        fetched_in_group = 0;
-      }
-      last_fetch_line = fetch_line;
-    }
-    ++fetched_in_group;
-
-    // ---- Dispatch: RUU/LSQ occupancy ----
-    uint64_t dispatch = fetch_cycle + cfg_.front_pipeline_depth;
-    const uint64_t ruu_blocker = commit_ring_[(i + kRing - cfg_.ruu_size) % kRing];
-    if (i >= cfg_.ruu_size) {
-      dispatch = std::max(dispatch, ruu_blocker);
-    }
-    const bool mem = is_mem(op.op);
-    if (mem) {
-      if (mem_op_count >= cfg_.lsq_size) {
-        dispatch = std::max(
-            dispatch, lsq_ring_[(mem_op_count - cfg_.lsq_size) % lsq_ring_size]);
-      }
-    }
-
-    // ---- Operand readiness ----
-    uint64_t ready = dispatch;
-    if (op.src1_dist != 0 && op.src1_dist < kRing && op.src1_dist <= i) {
-      ready = std::max(ready, ready_ring_[(i - op.src1_dist) % kRing]);
-    }
-    if (op.src2_dist != 0 && op.src2_dist < kRing && op.src2_dist <= i) {
-      ready = std::max(ready, ready_ring_[(i - op.src2_dist) % kRing]);
-    }
-
-    // ---- Issue + execute ----
-    // Full bypassing: a consumer can issue the cycle its last producer
-    // completes; instructions with no pending operands wait one stage past
-    // dispatch.
-    const uint64_t issue =
-        schedule_issue(op.op, std::max(ready, dispatch + 1));
-    uint64_t complete;
-    if (op.op == OpClass::load) {
-      const unsigned lat = dport_.access(op.mem_addr, false, issue);
-      complete = issue + lat;
-      stats.loads++;
-    } else if (op.op == OpClass::store) {
-      // Stores retire through the store buffer; the cache write happens off
-      // the critical path but still updates cache and decay state.
-      (void)dport_.access(op.mem_addr, true, issue);
-      complete = issue + 1;
-      stats.stores++;
-    } else {
-      complete = issue + op_latency(op.op);
-    }
-
-    // ---- Branch resolution ----
-    if (op.op == OpClass::branch) {
-      const bool dir_pred = predictor_.predict(op.pc);
-      const bool dir_correct = predictor_.update(op.pc, op.taken);
-      bool target_ok = true;
-      if (op.taken) {
-        uint64_t predicted_target = 0;
-        target_ok = btb_.lookup(op.pc, predicted_target) &&
-                    predicted_target == op.target;
-        btb_.update(op.pc, op.target);
-      }
-      (void)dir_pred;
-      if (!dir_correct || (op.taken && !target_ok)) {
-        redirect_cycle =
-            std::max(redirect_cycle, complete + cfg_.mispredict_redirect);
-      } else if (op.taken) {
-        // Correctly predicted taken branch: fetch group breaks.
-        fetched_in_group = cfg_.fetch_width;
-        last_fetch_line = UINT64_MAX;
-      }
-    }
-
-    // ---- Commit: in order, width-limited ----
-    uint64_t commit = std::max(complete + 1, last_commit);
-    if (commit == last_commit) {
-      if (++committed_in_cycle >= cfg_.commit_width) {
-        ++commit;
-        committed_in_cycle = 0;
-      }
-    } else {
-      committed_in_cycle = 1;
-    }
-    last_commit = commit;
-
-    ready_ring_[i % kRing] = complete;
-    commit_ring_[i % kRing] = commit;
-    if (mem) {
-      lsq_ring_[mem_op_count % lsq_ring_size] = commit;
-      ++mem_op_count;
-    }
-
-    // ---- Wattch core-structure accounting ----
-    if (activity_ != nullptr) {
-      wattch::CoreActivity& c = activity_->core;
-      c.fetched++;
-      c.renamed++;
-      c.window_inserts++;
-      c.wakeups++; // every completing op broadcasts its tag
-      if (mem) {
-        c.lsq_inserts++;
-      }
-      c.regfile_reads += (op.src1_dist != 0 ? 1u : 0u) +
-                         (op.src2_dist != 0 ? 1u : 0u);
-      switch (op.op) {
-      case OpClass::int_mult:
-      case OpClass::int_div:
-        c.mult_ops++;
-        break;
-      case OpClass::fp_alu:
-      case OpClass::fp_mult:
-      case OpClass::fp_div:
-        c.fp_ops++;
-        break;
-      case OpClass::branch:
-        c.branches++;
-        c.int_alu_ops++;
-        break;
-      default:
-        c.int_alu_ops++;
-        break;
-      }
-      if (op.op != OpClass::store && op.op != OpClass::branch) {
-        c.regfile_writes++;
-        c.results++;
-      }
-    }
-
-    stats.instructions++;
-    stats.cycles = commit;
-  }
-  stats.branch = predictor_.stats();
-  if (activity_ != nullptr) {
-    activity_->core.cycles += stats.cycles;
-  }
-  return stats;
+  ScalarIo io{dport_, iport_, activity_};
+  std::vector<RunStats> stats;
+  run_lockstep(cfg_, 1, io, trace, max_instructions, cancel, stats);
+  return stats.front();
 }
 
 } // namespace sim

@@ -64,6 +64,12 @@ struct RunStats {
   }
 };
 
+/// The scalar (single-lane) core.  Since the batched-execution work the
+/// scoreboard loop itself lives in sim/lockstep.h — one trace pass can
+/// drive K lanes whose D-side memory systems differ — and OooCore is the
+/// single-lane instantiation of that engine, wired to a DataPort/
+/// FetchPort pair.  One lane executes the same operations in the same
+/// order as the historical inline loop, so results are bit-identical.
 class OooCore {
 public:
   /// @p activity, when non-null, receives per-structure core activity
@@ -81,34 +87,10 @@ public:
                const CancellationToken* cancel = nullptr);
 
 private:
-  /// Earliest cycle >= @p earliest with a free issue slot and a free unit
-  /// of @p op's class; books both.
-  uint64_t schedule_issue(OpClass op, uint64_t earliest);
-  std::vector<uint64_t>& units_for(OpClass op);
-
   CoreConfig cfg_;
   DataPort& dport_;
   FetchPort& iport_;
   wattch::Activity* activity_;
-  HybridPredictor predictor_;
-  Btb btb_;
-
-  // Ring buffers over dynamic instruction index.
-  static constexpr std::size_t kRing = 1024; ///< > max dependency distance
-  std::vector<uint64_t> ready_ring_;  ///< result-ready cycle per instruction
-  std::vector<uint64_t> commit_ring_; ///< commit cycle per instruction
-  std::vector<uint64_t> lsq_ring_;    ///< commit cycle per memory op
-
-  // Issue bandwidth bookkeeping: slots used per cycle, small ring.
-  static constexpr std::size_t kIssueRing = 8192;
-  std::vector<uint64_t> issue_cycle_of_slot_;
-  std::vector<uint8_t> issue_used_;
-
-  std::vector<uint64_t> int_alu_free_;
-  std::vector<uint64_t> int_multdiv_free_;
-  std::vector<uint64_t> fp_alu_free_;
-  std::vector<uint64_t> fp_multdiv_free_;
-  std::vector<uint64_t> mem_port_free_;
 };
 
 } // namespace sim

@@ -1,0 +1,459 @@
+// Lockstep multi-lane core timing engine.
+//
+// One pass over a trace drives K independent "lanes" — replicas of the
+// OooCore scoreboard whose D-side memory systems (and therefore cycle
+// timings) differ, but whose instruction stream is identical.  The
+// engine hoists everything that depends only on the *stream* out of the
+// per-lane work and evaluates it once per instruction:
+//
+//   * trace decode/generation (one TraceSource::next per instruction);
+//   * the front-end fetch-group state machine (fetched_in_group,
+//     last_fetch_line, redirect pending) — see the invariant notes below
+//     for why these shared variables evolve identically in every lane;
+//   * branch prediction and BTB state: the predictor sees the same
+//     (pc, outcome) stream in every lane, so one shared structure
+//     produces the per-lane-identical mispredict / group-break decision;
+//   * Wattch per-structure core activity: the counts are a pure function
+//     of the instruction mix, accumulated once and credited to every
+//     lane at the end of the run.
+//
+// What stays per lane is exactly what the leakage-control techniques
+// perturb: issue/complete/commit cycle arithmetic, the D-side access
+// (latency feeds the scoreboard), the L2 fill on an I-side miss, and the
+// resulting RunStats.  With one lane the engine executes the same
+// operations in the same order as the historical OooCore::run loop, so
+// OooCore delegates here and stays bit-identical.
+//
+// Shared front-end invariants (the reason lockstep is exact, not
+// approximate):
+//
+//  - Redirect consumption.  The scalar loop re-checks
+//    `fetch_cycle < redirect_cycle` each instruction.  After a mispredict
+//    at instruction j, complete_j >= fetch_cycle_j + front_depth + 2 >
+//    fetch_cycle_j in *every* lane, so the check fires at j+1 in every
+//    lane; once consumed, fetch_cycle == redirect_cycle and only grows
+//    until the next mispredict.  A single shared pending flag is
+//    therefore equivalent to the per-lane comparison.
+//  - Fetch-group evolution.  Group wrap depends on fetched_in_group and
+//    fetch_width (shared); the I-fetch stall decision `ilat > 1` is an
+//    L1I hit/miss outcome plus the (config-shared) hit latency — on a
+//    hit every lane sees the same hit_latency, on a miss every lane pays
+//    hit_latency plus a (possibly different) L2 latency >= 1, so the
+//    *decision* agrees across lanes even when the stall length differs.
+//  - Cache state is order-determined.  sim::Cache consumes the cycle
+//    argument only to stamp `last_access_cycle` (never read back by
+//    replacement), so a shared L1I fed the same pc stream holds the same
+//    tags regardless of per-lane cycle skew.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/branch.h"
+#include "sim/cancellation.h"
+#include "sim/core.h"
+#include "sim/types.h"
+#include "wattch/power.h"
+
+namespace sim {
+
+/// Per-lane scoreboard state: the rings and unit free-lists of one
+/// OooCore replica, plus its private fetch/commit cycle cursors.
+///
+/// Anything the instruction stream alone determines — retired-op
+/// counters, LSQ occupancy, ring slot indices — lives in run_lockstep's
+/// shared per-instruction state instead: it evolves identically in
+/// every lane, and at K lanes hoisting it out of the lane loop is a
+/// direct K-fold saving on the batched hot path.
+class LockstepLane {
+public:
+  static constexpr std::size_t kRing = 1024; ///< > max dependency distance
+  static constexpr std::size_t kIssueRing = 8192;
+
+  /// Unit free-list classes (units_ index).
+  enum UnitKind : unsigned {
+    kIntAlu,
+    kIntMultdiv,
+    kFpAlu,
+    kFpMultdiv,
+    kMemPort,
+    kUnitKindCount,
+  };
+
+  static constexpr unsigned unit_kind(OpClass op) {
+    switch (op) {
+    case OpClass::int_mult:
+    case OpClass::int_div:
+      return kIntMultdiv;
+    case OpClass::fp_alu:
+      return kFpAlu;
+    case OpClass::fp_mult:
+    case OpClass::fp_div:
+      return kFpMultdiv;
+    case OpClass::load:
+    case OpClass::store:
+      return kMemPort;
+    case OpClass::int_alu:
+    case OpClass::branch:
+    default:
+      return kIntAlu;
+    }
+  }
+
+  explicit LockstepLane(const CoreConfig& cfg) {
+    ready_ring_.assign(kRing, 0);
+    commit_ring_.assign(kRing, 0);
+    // Power-of-two capacity so the wrap is a mask, not a runtime
+    // division.  Any capacity > lsq_size preserves the ring's contract
+    // (an entry is re-read exactly lsq_size insertions after it was
+    // written), so rounding up changes no observable value.
+    lsq_ring_.assign(std::bit_ceil(std::max<std::size_t>(cfg.lsq_size + 1, 64)),
+                     0);
+    issue_cycle_of_slot_.assign(kIssueRing, UINT64_MAX);
+    issue_used_.assign(kIssueRing, 0);
+    units_[kIntAlu].assign(cfg.int_alu, 0);
+    units_[kIntMultdiv].assign(cfg.int_multdiv, 0);
+    units_[kFpAlu].assign(cfg.fp_alu, 0);
+    units_[kFpMultdiv].assign(cfg.fp_multdiv, 0);
+    units_[kMemPort].assign(cfg.mem_ports, 0);
+  }
+
+  uint64_t fetch_cycle = 0;      ///< cycle the current fetch group starts
+  uint64_t redirect_cycle = 0;   ///< earliest fetch after a mispredict
+  uint64_t last_commit = 0;
+  unsigned committed_in_cycle = 0;
+  uint64_t cycles = 0;
+
+  /// Earliest cycle >= @p earliest with a free issue slot and a free
+  /// unit of class @p kind; books both.  @p book_latency is how long the
+  /// unit stays busy: divide units are unpipelined and busy for the full
+  /// op latency, everything else accepts a new op next cycle (the caller
+  /// precomputes this once per instruction).
+  uint64_t schedule_issue(unsigned kind, unsigned issue_width,
+                          uint64_t earliest, uint64_t book_latency) {
+    std::vector<uint64_t>& units = units_[kind];
+    // Pick the unit that frees up first.
+    uint64_t* unit_it = units.data();
+    uint64_t* const end_it = unit_it + units.size();
+    for (uint64_t* it = unit_it + 1; it != end_it; ++it) {
+      if (*it < *unit_it) {
+        unit_it = it;
+      }
+    }
+    uint64_t cycle = std::max(earliest, *unit_it);
+
+    // Find a cycle with spare issue bandwidth.
+    for (;;) {
+      const std::size_t slot = cycle & (kIssueRing - 1);
+      if (issue_cycle_of_slot_[slot] != cycle) {
+        issue_cycle_of_slot_[slot] = cycle;
+        issue_used_[slot] = 0;
+      }
+      if (issue_used_[slot] < issue_width) {
+        issue_used_[slot]++;
+        break;
+      }
+      ++cycle;
+    }
+
+    *unit_it = cycle + book_latency;
+    return cycle;
+  }
+
+  std::vector<uint64_t> ready_ring_;  ///< result-ready cycle per instruction
+  std::vector<uint64_t> commit_ring_; ///< commit cycle per instruction
+  std::vector<uint64_t> lsq_ring_;    ///< commit cycle per memory op
+
+  std::vector<uint64_t> issue_cycle_of_slot_;
+  std::vector<uint8_t> issue_used_;
+
+  std::array<std::vector<uint64_t>, kUnitKindCount> units_;
+};
+
+/// Drive @p nlanes lane replicas through one pass over @p trace.
+///
+/// The Io policy supplies the per-lane memory system:
+///   unsigned ifetch(std::size_t lane, uint64_t pc, uint64_t fetch_cycle)
+///     called once per front-end line fetch, lanes in ascending order;
+///     returns the I-side latency for that lane.  An implementation
+///     backed by a shared L1I does the tag lookup at lane 0 and replays
+///     the hit/miss to the other lanes (see harness/batched.cpp).
+///   unsigned dmem(std::size_t lane, uint64_t addr, bool is_store,
+///                 uint64_t cycle)
+///     the D-side access; the return latency feeds the lane's
+///     scoreboard for loads (discarded for stores, as in OooCore).
+///   wattch::Activity* activity(std::size_t lane)
+///     per-lane activity sink (may be nullptr): receives the shared core
+///     accounting plus the lane's core cycles at the end of the run.
+///
+/// Fills @p lanes (resized to @p nlanes) and @p stats_out (one RunStats
+/// per lane).  Throws CancelledError at the next epoch boundary after
+/// @p cancel is flagged, with the same message the scalar loop produces.
+template <typename Io>
+void run_lockstep(const CoreConfig& cfg, std::size_t nlanes, Io& io,
+                  TraceSource& trace, uint64_t max_instructions,
+                  const CancellationToken* cancel,
+                  std::vector<RunStats>& stats_out) {
+  std::vector<LockstepLane> lanes;
+  lanes.reserve(nlanes);
+  for (std::size_t l = 0; l < nlanes; ++l) {
+    lanes.emplace_back(cfg);
+  }
+
+  HybridPredictor predictor;
+  Btb btb;
+  unsigned fetched_in_group = 0; ///< ops fetched this cycle (shared)
+  uint64_t last_fetch_line = UINT64_MAX;
+  bool pending_redirect = false;
+  wattch::CoreActivity shared_core{};
+  MicroOp op;
+
+  // Stream-determined counters: every lane retires the same ops in the
+  // same order, so these are shared, not per-lane.
+  uint64_t instructions = 0;
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t mem_op_count = 0;
+  const std::size_t lsq_mask =
+      nlanes != 0 ? lanes[0].lsq_ring_.size() - 1 : 0;
+
+  for (uint64_t i = 0; i < max_instructions && trace.next(op); ++i) {
+    // ---- Cooperative cancellation (epoch boundary) ----
+    if (cancel != nullptr && (i & (kCancelPollInterval - 1)) == 0 &&
+        cancel->cancelled()) {
+      throw CancelledError("simulation cancelled after " + std::to_string(i) +
+                           " of " + std::to_string(max_instructions) +
+                           " instructions");
+    }
+
+    // ---- Fetch (shared decisions, per-lane cycles) ----
+    if (pending_redirect) {
+      for (LockstepLane& lane : lanes) {
+        lane.fetch_cycle = lane.redirect_cycle;
+      }
+      fetched_in_group = 0;
+      last_fetch_line = UINT64_MAX; // refetch the line after redirect
+      pending_redirect = false;
+    }
+    if (fetched_in_group >= cfg.fetch_width) {
+      for (LockstepLane& lane : lanes) {
+        ++lane.fetch_cycle;
+      }
+      fetched_in_group = 0;
+    }
+    const uint64_t fetch_line = op.pc / 64;
+    if (fetch_line != last_fetch_line) {
+      bool stall = false;
+      for (std::size_t l = 0; l < nlanes; ++l) {
+        const unsigned ilat = io.ifetch(l, op.pc, lanes[l].fetch_cycle);
+        // The >1 stall decision is a shared L1I hit/miss outcome (see
+        // header notes), so every lane agrees even when the stall
+        // length differs.
+        assert(l == 0 || (ilat > 1) == stall);
+        if (ilat > 1) {
+          // Stall beyond the pipelined 1-cycle hit.
+          lanes[l].fetch_cycle += ilat - 1;
+          stall = true;
+        }
+      }
+      if (stall) {
+        fetched_in_group = 0;
+      }
+      last_fetch_line = fetch_line;
+    }
+    ++fetched_in_group;
+
+    const bool mem = is_mem(op.op);
+
+    // ---- Branch resolution (shared structures, hoisted) ----
+    // The predictor/BTB touch no lane state and no lane touches them, so
+    // resolving before the per-lane scoreboard step reorders nothing
+    // observable; only the per-lane redirect_cycle update below needs
+    // the lane's completion cycle.
+    bool mispredict = false;
+    bool group_break = false;
+    if (op.op == OpClass::branch) {
+      const bool dir_pred = predictor.predict(op.pc);
+      const bool dir_correct = predictor.update(op.pc, op.taken);
+      bool target_ok = true;
+      if (op.taken) {
+        uint64_t predicted_target = 0;
+        target_ok = btb.lookup(op.pc, predicted_target) &&
+                    predicted_target == op.target;
+        btb.update(op.pc, op.target);
+      }
+      (void)dir_pred;
+      if (!dir_correct || (op.taken && !target_ok)) {
+        mispredict = true;
+      } else if (op.taken) {
+        group_break = true;
+      }
+    }
+
+    // ---- Per-lane scoreboard step ----
+    // Everything the stream alone determines is computed once here —
+    // ring slot indices, operand-check outcomes, unit class, execute
+    // latency — so the lane loop is pure cycle arithmetic on lane state.
+    const std::size_t slot = i % LockstepLane::kRing;
+    const bool ruu_full = i >= cfg.ruu_size;
+    const std::size_t ruu_slot =
+        (i + LockstepLane::kRing - cfg.ruu_size) % LockstepLane::kRing;
+    const bool lsq_full = mem && mem_op_count >= cfg.lsq_size;
+    const std::size_t lsq_head_slot =
+        lsq_full ? (mem_op_count - cfg.lsq_size) & lsq_mask : 0;
+    const std::size_t lsq_tail_slot = mem_op_count & lsq_mask;
+    const bool use_src1 = op.src1_dist != 0 &&
+                          op.src1_dist < LockstepLane::kRing &&
+                          op.src1_dist <= i;
+    const std::size_t src1_slot =
+        use_src1 ? (i - op.src1_dist) % LockstepLane::kRing : 0;
+    const bool use_src2 = op.src2_dist != 0 &&
+                          op.src2_dist < LockstepLane::kRing &&
+                          op.src2_dist <= i;
+    const std::size_t src2_slot =
+        use_src2 ? (i - op.src2_dist) % LockstepLane::kRing : 0;
+    const unsigned kind = LockstepLane::unit_kind(op.op);
+    const unsigned exec_lat = op_latency(op.op);
+    // Divide units are unpipelined and busy for the full latency;
+    // everything else accepts a new op next cycle.
+    const uint64_t book_lat =
+        (op.op == OpClass::int_div || op.op == OpClass::fp_div) ? exec_lat : 1;
+
+    for (std::size_t l = 0; l < nlanes; ++l) {
+      LockstepLane& lane = lanes[l];
+
+      // Dispatch: RUU/LSQ occupancy.
+      uint64_t dispatch = lane.fetch_cycle + cfg.front_pipeline_depth;
+      if (ruu_full) {
+        dispatch = std::max(dispatch, lane.commit_ring_[ruu_slot]);
+      }
+      if (lsq_full) {
+        dispatch = std::max(dispatch, lane.lsq_ring_[lsq_head_slot]);
+      }
+
+      // Operand readiness.
+      uint64_t ready = dispatch;
+      if (use_src1) {
+        ready = std::max(ready, lane.ready_ring_[src1_slot]);
+      }
+      if (use_src2) {
+        ready = std::max(ready, lane.ready_ring_[src2_slot]);
+      }
+
+      // Issue + execute.  Full bypassing: a consumer can issue the cycle
+      // its last producer completes; instructions with no pending
+      // operands wait one stage past dispatch.
+      const uint64_t issue = lane.schedule_issue(
+          kind, cfg.issue_width, std::max(ready, dispatch + 1), book_lat);
+      uint64_t complete;
+      if (op.op == OpClass::load) {
+        complete = issue + io.dmem(l, op.mem_addr, false, issue);
+      } else if (op.op == OpClass::store) {
+        // Stores retire through the store buffer; the cache write happens
+        // off the critical path but still updates cache and decay state.
+        (void)io.dmem(l, op.mem_addr, true, issue);
+        complete = issue + 1;
+      } else {
+        complete = issue + exec_lat;
+      }
+
+      if (mispredict) {
+        lane.redirect_cycle =
+            std::max(lane.redirect_cycle, complete + cfg.mispredict_redirect);
+      }
+
+      // Commit: in order, width-limited.
+      uint64_t commit = std::max(complete + 1, lane.last_commit);
+      if (commit == lane.last_commit) {
+        if (++lane.committed_in_cycle >= cfg.commit_width) {
+          ++commit;
+          lane.committed_in_cycle = 0;
+        }
+      } else {
+        lane.committed_in_cycle = 1;
+      }
+      lane.last_commit = commit;
+
+      lane.ready_ring_[slot] = complete;
+      lane.commit_ring_[slot] = commit;
+      if (mem) {
+        lane.lsq_ring_[lsq_tail_slot] = commit;
+      }
+      lane.cycles = commit;
+    }
+
+    ++instructions;
+    if (op.op == OpClass::load) {
+      ++loads;
+    } else if (op.op == OpClass::store) {
+      ++stores;
+    }
+    if (mem) {
+      ++mem_op_count;
+    }
+
+    // ---- Shared front-end consequences of the branch ----
+    if (mispredict) {
+      pending_redirect = true;
+    } else if (group_break) {
+      // Correctly predicted taken branch: fetch group breaks.
+      fetched_in_group = cfg.fetch_width;
+      last_fetch_line = UINT64_MAX;
+    }
+
+    // ---- Wattch core-structure accounting (stream-determined) ----
+    shared_core.fetched++;
+    shared_core.renamed++;
+    shared_core.window_inserts++;
+    shared_core.wakeups++; // every completing op broadcasts its tag
+    if (mem) {
+      shared_core.lsq_inserts++;
+    }
+    shared_core.regfile_reads +=
+        (op.src1_dist != 0 ? 1u : 0u) + (op.src2_dist != 0 ? 1u : 0u);
+    switch (op.op) {
+    case OpClass::int_mult:
+    case OpClass::int_div:
+      shared_core.mult_ops++;
+      break;
+    case OpClass::fp_alu:
+    case OpClass::fp_mult:
+    case OpClass::fp_div:
+      shared_core.fp_ops++;
+      break;
+    case OpClass::branch:
+      shared_core.branches++;
+      shared_core.int_alu_ops++;
+      break;
+    default:
+      shared_core.int_alu_ops++;
+      break;
+    }
+    if (op.op != OpClass::store && op.op != OpClass::branch) {
+      shared_core.regfile_writes++;
+      shared_core.results++;
+    }
+  }
+
+  stats_out.clear();
+  stats_out.resize(nlanes);
+  for (std::size_t l = 0; l < nlanes; ++l) {
+    RunStats& stats = stats_out[l];
+    stats.instructions = instructions;
+    stats.cycles = lanes[l].cycles;
+    stats.loads = loads;
+    stats.stores = stores;
+    stats.branch = predictor.stats();
+    if (wattch::Activity* act = io.activity(l)) {
+      act->core += shared_core;
+      act->core.cycles += stats.cycles;
+    }
+  }
+}
+
+} // namespace sim

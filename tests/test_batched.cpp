@@ -1,0 +1,281 @@
+// Batched multi-config execution: one lockstep trace pass driving K
+// decay configurations must be *bit-identical* to K scalar
+// run_experiment calls — same cycles, same control events, same energy
+// doubles — for any mix of intervals, techniques, policies and L2
+// latencies that legally shares a stream.  Also covers the grid
+// planner's fallback rules: non-batchable configs, stream groups of
+// one, a faulting batch member, and the HLCC_BATCH=1 kill switch.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/batched.h"
+#include "harness/metrics.h"
+#include "harness/sweep.h"
+
+namespace harness {
+namespace {
+
+ExperimentConfig quick_config() {
+  return ExperimentConfig::make().instructions(80'000).variation(false);
+}
+
+/// Full-payload bit identity: every deterministic field the schema-2
+/// report serializes, with exact == on doubles (the batched path must
+/// not perturb a single ulp).
+void expect_payload_identical(const ExperimentResult& a,
+                              const ExperimentResult& b) {
+  EXPECT_EQ(a.benchmark, b.benchmark);
+  EXPECT_EQ(a.base_run.cycles, b.base_run.cycles);
+  EXPECT_EQ(a.base_run.instructions, b.base_run.instructions);
+  EXPECT_EQ(a.tech_run.cycles, b.tech_run.cycles);
+  EXPECT_EQ(a.tech_run.instructions, b.tech_run.instructions);
+  EXPECT_EQ(a.tech_run.loads, b.tech_run.loads);
+  EXPECT_EQ(a.tech_run.stores, b.tech_run.stores);
+  EXPECT_EQ(a.tech_run.branch.direction_mispredicts,
+            b.tech_run.branch.direction_mispredicts);
+  EXPECT_EQ(a.tech_run.branch.btb_misses, b.tech_run.branch.btb_misses);
+  EXPECT_EQ(a.control.hits, b.control.hits);
+  EXPECT_EQ(a.control.true_misses, b.control.true_misses);
+  EXPECT_EQ(a.control.slow_hits, b.control.slow_hits);
+  EXPECT_EQ(a.control.induced_misses, b.control.induced_misses);
+  EXPECT_EQ(a.control.decays, b.control.decays);
+  EXPECT_EQ(a.control.wakes, b.control.wakes);
+  EXPECT_EQ(a.energy.baseline_leakage_j, b.energy.baseline_leakage_j);
+  EXPECT_EQ(a.energy.technique_leakage_j, b.energy.technique_leakage_j);
+  EXPECT_EQ(a.energy.extra_dynamic_j, b.energy.extra_dynamic_j);
+  EXPECT_EQ(a.energy.gross_savings_j, b.energy.gross_savings_j);
+  EXPECT_EQ(a.energy.net_savings_j, b.energy.net_savings_j);
+  EXPECT_EQ(a.energy.net_savings_frac, b.energy.net_savings_frac);
+  EXPECT_EQ(a.energy.perf_loss_frac, b.energy.perf_loss_frac);
+  EXPECT_EQ(a.energy.turnoff_ratio, b.energy.turnoff_ratio);
+  EXPECT_EQ(a.base_l1d_miss_rate, b.base_l1d_miss_rate);
+}
+
+TEST(Batched, SingleLaneBatchMatchesScalar) {
+  const workload::BenchmarkProfile prof = workload::profile_by_name("gcc");
+  const ExperimentConfig cfg = quick_config();
+  clear_baseline_cache();
+  const ExperimentResult scalar = run_experiment(prof, cfg);
+  clear_baseline_cache();
+  BatchedExperiment batch(prof, {cfg});
+  const std::vector<ExperimentResult> results = batch.run();
+  ASSERT_EQ(results.size(), 1u);
+  expect_payload_identical(results[0], scalar);
+}
+
+TEST(Batched, MixedTechniqueLanesMatchScalarLaneForLane) {
+  // The acceptance grid: drowsy and gated lanes, different intervals,
+  // different per-lane L2 latencies — one trace pass, K scalar replays.
+  const workload::BenchmarkProfile prof = workload::profile_by_name("mcf");
+  std::vector<ExperimentConfig> cfgs;
+  const std::vector<uint64_t> intervals = {512, 4096, 32768};
+  const std::vector<unsigned> l2_lats = {5, 11, 17};
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    ExperimentConfig cfg = quick_config();
+    cfg.decay_interval = intervals[i];
+    cfg.l2_latency = l2_lats[i];
+    cfg.technique = leakctl::TechniqueParams::drowsy();
+    cfgs.push_back(cfg);
+    cfg.technique = leakctl::TechniqueParams::gated_vss();
+    cfgs.push_back(cfg);
+  }
+  clear_baseline_cache();
+  BatchedExperiment batch(prof, cfgs);
+  const std::vector<ExperimentResult> got = batch.run();
+  ASSERT_EQ(got.size(), cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    clear_baseline_cache();
+    const ExperimentResult want = run_experiment(prof, cfgs[i]);
+    expect_payload_identical(got[i], want);
+  }
+}
+
+TEST(Batched, RandomizedGridsMatchScalarAtEveryK) {
+  // Property sweep: seeded-random grids of K in {1..8} lanes over the
+  // paper's knobs.  Any divergence between the shared front end and a
+  // lane's scalar history shows up as a cycle-count or event-count
+  // mismatch here.
+  std::mt19937 rng(20260807);
+  const std::vector<uint64_t> intervals = {256, 1024, 4096, 16384, 65536};
+  const std::vector<unsigned> l2_lats = {5, 8, 11, 17};
+  const std::vector<const char*> names = {"gzip", "twolf", "parser"};
+  for (unsigned k = 1; k <= 8; ++k) {
+    const workload::BenchmarkProfile prof =
+        workload::profile_by_name(names[rng() % names.size()]);
+    std::vector<ExperimentConfig> cfgs;
+    for (unsigned lane = 0; lane < k; ++lane) {
+      ExperimentConfig cfg = quick_config();
+      cfg.instructions = 50'000;
+      cfg.decay_interval = intervals[rng() % intervals.size()];
+      cfg.l2_latency = l2_lats[rng() % l2_lats.size()];
+      cfg.technique = rng() % 2 == 0 ? leakctl::TechniqueParams::drowsy()
+                                     : leakctl::TechniqueParams::gated_vss();
+      cfg.policy = rng() % 2 == 0 ? leakctl::DecayPolicy::noaccess
+                                  : leakctl::DecayPolicy::simple;
+      cfgs.push_back(cfg);
+    }
+    clear_baseline_cache();
+    BatchedExperiment batch(prof, cfgs);
+    const std::vector<ExperimentResult> got = batch.run();
+    ASSERT_EQ(got.size(), cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+      clear_baseline_cache();
+      const ExperimentResult want = run_experiment(prof, cfgs[i]);
+      expect_payload_identical(got[i], want);
+    }
+  }
+}
+
+TEST(Batched, ConstructorRejectsIllegalBatches) {
+  const workload::BenchmarkProfile prof = workload::profile_by_name("gcc");
+  EXPECT_THROW(BatchedExperiment(prof, {}), std::invalid_argument);
+
+  ExperimentConfig adaptive = quick_config();
+  adaptive.adaptive = ExperimentConfig::AdaptiveScheme::feedback;
+  EXPECT_FALSE(batchable(adaptive));
+  EXPECT_THROW(BatchedExperiment(prof, {adaptive}), std::invalid_argument);
+
+  ExperimentConfig faulty = quick_config();
+  faulty.faults.enabled = true;
+  EXPECT_FALSE(batchable(faulty));
+  EXPECT_THROW(BatchedExperiment(prof, {faulty}), std::invalid_argument);
+
+  ExperimentConfig a = quick_config();
+  ExperimentConfig b = quick_config();
+  b.instructions = a.instructions * 2; // different stream length
+  EXPECT_THROW(BatchedExperiment(prof, {a, b}), std::invalid_argument);
+  b = quick_config();
+  b.seed = a.seed + 1; // different stream
+  EXPECT_THROW(BatchedExperiment(prof, {a, b}), std::invalid_argument);
+}
+
+// --- grid planner ----------------------------------------------------
+
+std::vector<CellResult<ExperimentResult>> run_grid(SweepOptions opts,
+                                                   unsigned lanes) {
+  SweepRunner runner(std::move(opts));
+  for (unsigned i = 0; i < lanes; ++i) {
+    ExperimentConfig cfg = quick_config();
+    cfg.decay_interval = 1024u << i;
+    runner.submit(workload::profile_by_name("vpr"), cfg);
+  }
+  return runner.run();
+}
+
+TEST(Batched, GridBatchedMatchesBatchDisabledBitIdentically) {
+  ::unsetenv("HLCC_BATCH");
+  clear_baseline_cache();
+  const auto scalar = run_grid(SweepOptions{.threads = 2, .batch = 1}, 4);
+  clear_baseline_cache();
+  const auto batched = run_grid(SweepOptions{.threads = 2, .batch = 4}, 4);
+  ASSERT_EQ(scalar.size(), batched.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    ASSERT_TRUE(scalar[i].ok());
+    ASSERT_TRUE(batched[i].ok());
+    expect_payload_identical(batched[i].value, scalar[i].value);
+    // Execution metadata records which path ran.
+    EXPECT_EQ(scalar[i].info.batch, 0u);
+    EXPECT_EQ(batched[i].info.batch, 4u);
+    EXPECT_EQ(batched[i].value.cell.batch, 4u);
+  }
+}
+
+TEST(Batched, HlccBatchEnvDisablesBatching) {
+  ::setenv("HLCC_BATCH", "1", 1);
+  clear_baseline_cache();
+  const auto rows = run_grid(SweepOptions{.threads = 2}, 3);
+  ::unsetenv("HLCC_BATCH");
+  for (const auto& row : rows) {
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ(row.info.batch, 0u);
+  }
+}
+
+TEST(Batched, BatchLimitChopsGroupsAndLeavesNoSingletonUnits) {
+  // 5 same-stream cells at batch=2 -> units of 2+2, remainder of 1 runs
+  // scalar (a one-lane lockstep pass would only add overhead).
+  ::unsetenv("HLCC_BATCH");
+  clear_baseline_cache();
+  const auto rows = run_grid(SweepOptions{.threads = 2, .batch = 2}, 5);
+  ASSERT_EQ(rows.size(), 5u);
+  std::size_t in_pairs = 0, scalar = 0;
+  for (const auto& row : rows) {
+    ASSERT_TRUE(row.ok());
+    if (row.info.batch == 2u) {
+      ++in_pairs;
+    } else if (row.info.batch == 0u) {
+      ++scalar;
+    } else {
+      FAIL() << "unexpected batch lane count " << row.info.batch;
+    }
+  }
+  EXPECT_EQ(in_pairs, 4u);
+  EXPECT_EQ(scalar, 1u);
+}
+
+TEST(Batched, NonBatchableConfigsTakeTheScalarPath) {
+  ::unsetenv("HLCC_BATCH");
+  SweepRunner runner(SweepOptions{.threads = 2});
+  const workload::BenchmarkProfile prof = workload::profile_by_name("gap");
+  ExperimentConfig plain = quick_config();
+  runner.submit(prof, plain);
+  plain.decay_interval = 8192;
+  runner.submit(prof, plain);
+  ExperimentConfig adaptive = quick_config();
+  adaptive.adaptive = ExperimentConfig::AdaptiveScheme::amc;
+  runner.submit(prof, adaptive);
+  clear_baseline_cache();
+  const auto rows = runner.run();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].info.batch, 2u); // the two plain cells pair up
+  EXPECT_EQ(rows[1].info.batch, 2u);
+  EXPECT_EQ(rows[2].info.batch, 0u); // adaptive: scalar path
+  ASSERT_TRUE(rows[2].ok());
+}
+
+TEST(Batched, MidBatchFaultDemotesUnitWithoutPoisoningSiblings) {
+  // One member of a would-be batch carries a config that fails
+  // validation.  The unit fails as a whole, every member re-runs on the
+  // scalar path, and only the broken cell reports an error — its
+  // siblings' results are bit-identical to a clean scalar run.
+  ::unsetenv("HLCC_BATCH");
+  metrics::Registry& reg = metrics::Registry::global();
+  const uint64_t fallbacks_before = reg.counter("sweep.batch_fallbacks");
+  const workload::BenchmarkProfile prof = workload::profile_by_name("gcc");
+
+  SweepRunner runner(SweepOptions{.threads = 2});
+  ExperimentConfig good = quick_config();
+  runner.submit(prof, good);
+  ExperimentConfig broken = quick_config();
+  broken.decay_interval = 3; // validate(): must be a multiple of 4
+  runner.submit(prof, broken);
+  ExperimentConfig good2 = quick_config();
+  good2.decay_interval = 16384;
+  runner.submit(prof, good2);
+
+  clear_baseline_cache();
+  const auto rows = runner.run();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_GE(reg.counter("sweep.batch_fallbacks") - fallbacks_before, 3u);
+
+  ASSERT_TRUE(rows[0].ok()) << rows[0].error();
+  ASSERT_TRUE(rows[2].ok()) << rows[2].error();
+  EXPECT_EQ(rows[1].status(), CellStatus::failed);
+  EXPECT_EQ(rows[1].info.error_kind, CellErrorKind::config_invalid);
+  EXPECT_NE(rows[1].error().find("decay_interval"), std::string::npos);
+  // Demoted members ran scalar.
+  EXPECT_EQ(rows[0].info.batch, 0u);
+  EXPECT_EQ(rows[2].info.batch, 0u);
+
+  clear_baseline_cache();
+  expect_payload_identical(rows[0].value, run_experiment(prof, good));
+  clear_baseline_cache();
+  expect_payload_identical(rows[2].value, run_experiment(prof, good2));
+}
+
+} // namespace
+} // namespace harness

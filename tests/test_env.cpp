@@ -1,0 +1,89 @@
+// The one environment-variable parser family every HLCC_* knob resolves
+// through (harness/env.h).  The contract under test: the whole string
+// must be the value, junk throws std::invalid_argument *naming the
+// variable*, and an unset variable yields nullopt so the caller's
+// default applies.  Before this family existed each knob had its own
+// loop — HLCC_INSTRUCTIONS accepted "60000x" as 60000.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "harness/env.h"
+
+namespace harness::env {
+namespace {
+
+TEST(Env, ParsePositiveU64AcceptsWholeStringIntegersOnly) {
+  EXPECT_EQ(parse_positive_u64("HLCC_X", "1", "count"), 1u);
+  EXPECT_EQ(parse_positive_u64("HLCC_X", "600000", "count"), 600000u);
+  EXPECT_EQ(parse_positive_u64("HLCC_X", "18446744073709551615", "count"),
+            ~0ull);
+  for (const char* junk :
+       {"", "0", "-3", "+4", "5x", "x5", " 4", "4 ", "1.5", "0x10",
+        "18446744073709551616", "99999999999999999999999"}) {
+    EXPECT_THROW(parse_positive_u64("HLCC_X", junk, "count"),
+                 std::invalid_argument)
+        << "text \"" << junk << "\"";
+  }
+}
+
+TEST(Env, ParseErrorsNameTheOffendingVariable) {
+  try {
+    parse_positive_u64("HLCC_THREADS", "abc", "thread count");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("HLCC_THREADS"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("thread count"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("abc"), std::string::npos) << msg;
+  }
+  try {
+    parse_positive_double("HLCC_CELL_TIMEOUT", "1.5s", "seconds");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("HLCC_CELL_TIMEOUT"),
+              std::string::npos);
+  }
+}
+
+TEST(Env, ParsePositiveDoubleAcceptsFractionsRejectsJunk) {
+  EXPECT_DOUBLE_EQ(parse_positive_double("HLCC_X", "2.5", "seconds"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_positive_double("HLCC_X", "0.25", "seconds"), 0.25);
+  EXPECT_DOUBLE_EQ(parse_positive_double("HLCC_X", "3", "seconds"), 3.0);
+  for (const char* junk : {"", "0", "0.0", "-2", "-0.5", "1.5s", "abc",
+                           " 1", "1 ", "nan", "inf"}) {
+    EXPECT_THROW(parse_positive_double("HLCC_X", junk, "seconds"),
+                 std::invalid_argument)
+        << "text \"" << junk << "\"";
+  }
+}
+
+TEST(Env, GetenvWrappersReturnNulloptWhenUnset) {
+  ::unsetenv("HLCC_ENVTEST");
+  EXPECT_FALSE(positive_u64("HLCC_ENVTEST", "count").has_value());
+  EXPECT_FALSE(positive_double("HLCC_ENVTEST", "seconds").has_value());
+  EXPECT_FALSE(flag01("HLCC_ENVTEST").has_value());
+
+  ::setenv("HLCC_ENVTEST", "7", 1);
+  EXPECT_EQ(positive_u64("HLCC_ENVTEST", "count").value(), 7u);
+  EXPECT_DOUBLE_EQ(positive_double("HLCC_ENVTEST", "seconds").value(), 7.0);
+  ::unsetenv("HLCC_ENVTEST");
+}
+
+TEST(Env, Flag01IsStrict) {
+  ::setenv("HLCC_ENVTEST", "0", 1);
+  EXPECT_EQ(flag01("HLCC_ENVTEST"), std::optional<bool>(false));
+  ::setenv("HLCC_ENVTEST", "1", 1);
+  EXPECT_EQ(flag01("HLCC_ENVTEST"), std::optional<bool>(true));
+  for (const char* junk : {"", "2", "true", "false", "yes", "no", "01"}) {
+    ::setenv("HLCC_ENVTEST", junk, 1);
+    EXPECT_THROW(flag01("HLCC_ENVTEST"), std::invalid_argument)
+        << "HLCC_ENVTEST=\"" << junk << "\"";
+  }
+  ::unsetenv("HLCC_ENVTEST");
+}
+
+} // namespace
+} // namespace harness::env

@@ -144,34 +144,25 @@ TEST(Experiment, AdaptiveFeedbackRuns) {
   EXPECT_GT(r.energy.net_savings_frac, 0.0);
 }
 
-TEST(Experiment, LegacyAdaptiveFeedbackFlagStillSelectsFeedback) {
-  ExperimentConfig cfg = quick_config();
-  cfg.adaptive_feedback = true;
-  EXPECT_EQ(cfg.effective_adaptive(), ExperimentConfig::AdaptiveScheme::feedback);
-  cfg.adaptive = ExperimentConfig::AdaptiveScheme::feedback; // redundant, legal
-  EXPECT_NO_THROW(cfg.validate());
-  cfg.adaptive_feedback = false;
-  cfg.adaptive = ExperimentConfig::AdaptiveScheme::amc;
-  EXPECT_EQ(cfg.effective_adaptive(), ExperimentConfig::AdaptiveScheme::amc);
+// The struct field is retired; the deprecated builder shim is the only
+// remaining spelling of the legacy flag, kept for one release.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Experiment, LegacyAdaptiveFeedbackShimStillSelectsFeedback) {
+  const ExperimentConfig on =
+      ExperimentConfig::make().instructions(1000).adaptive_feedback(true);
+  EXPECT_EQ(on.adaptive, ExperimentConfig::AdaptiveScheme::feedback);
+  const ExperimentConfig off =
+      ExperimentConfig::make().instructions(1000).adaptive_feedback(false);
+  EXPECT_EQ(off.adaptive, ExperimentConfig::AdaptiveScheme::none);
+  // Later chained calls win, like any builder setter.
+  const ExperimentConfig amc = ExperimentConfig::make()
+                                   .instructions(1000)
+                                   .adaptive_feedback(true)
+                                   .adaptive(ExperimentConfig::AdaptiveScheme::amc);
+  EXPECT_EQ(amc.adaptive, ExperimentConfig::AdaptiveScheme::amc);
 }
-
-TEST(ExperimentValidate, RejectsContradictoryAdaptiveSettings) {
-  ExperimentConfig cfg = quick_config();
-  cfg.adaptive_feedback = true;
-  cfg.adaptive = ExperimentConfig::AdaptiveScheme::amc;
-  EXPECT_THROW(
-      {
-        try {
-          cfg.validate();
-        } catch (const std::invalid_argument& e) {
-          const std::string what = e.what();
-          EXPECT_NE(what.find("adaptive_feedback"), std::string::npos);
-          EXPECT_NE(what.find("adaptive"), std::string::npos);
-          throw;
-        }
-      },
-      std::invalid_argument);
-}
+#pragma GCC diagnostic pop
 
 TEST(Experiment, LongerDecayIntervalLowersTurnoff) {
   ExperimentConfig cfg = quick_config();

@@ -26,7 +26,7 @@ std::vector<ExperimentResult> run_cells(unsigned threads) {
     cfg.technique = leakctl::TechniqueParams::gated_vss();
     runner.submit(workload::profile_by_name(name), cfg);
   }
-  return runner.run();
+  return values(runner.run());
 }
 
 void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
@@ -77,7 +77,7 @@ TEST(Sweep, ResultsInSubmissionOrder) {
     runner.submit(workload::profile_by_name(name), quick_config());
   }
   EXPECT_EQ(runner.pending(), names.size());
-  const std::vector<ExperimentResult> results = runner.run();
+  const std::vector<ExperimentResult> results = values(runner.run());
   ASSERT_EQ(results.size(), names.size());
   for (std::size_t i = 0; i < names.size(); ++i) {
     EXPECT_EQ(results[i].benchmark, names[i]);
@@ -95,92 +95,167 @@ TEST(Sweep, BaselineSimulatedOncePerKeyUnderContention) {
     cfg.decay_interval = 1024u << i; // vary a non-baseline field
     runner.submit(workload::profile_by_name("gap"), cfg);
   }
-  const auto results = runner.run();
+  const auto results = values(runner.run());
   EXPECT_EQ(baseline_cache_size(), 1u);
   for (const auto& r : results) {
     EXPECT_EQ(r.base_run.cycles, results.front().base_run.cycles);
   }
 }
 
-TEST(Sweep, ParallelForCoversEveryIndexExactlyOnce) {
+TEST(Sweep, IndexFormCoversEveryIndexExactlyOnce) {
   constexpr std::size_t kCount = 1000;
   std::vector<std::atomic<int>> hits(kCount);
-  parallel_for_indexed(
-      kCount, [&](std::size_t i) { hits[i].fetch_add(1); },
-      SweepOptions{.threads = 8});
+  SweepRunner runner(SweepOptions{.threads = 8});
+  const std::vector<CellRun> runs =
+      runner.run(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  ASSERT_EQ(runs.size(), kCount);
   for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    EXPECT_EQ(runs[i].info.status, CellStatus::ok) << "index " << i;
+  }
+}
+
+TEST(Sweep, IndexFormBodyMayTakeTheCancellationToken) {
+  std::vector<std::atomic<int>> hits(16);
+  SweepRunner runner(SweepOptions{.threads = 4});
+  runner.run(hits.size(),
+             [&](std::size_t i, const sim::CancellationToken& token) {
+               EXPECT_FALSE(token.cancelled());
+               hits[i].fetch_add(1);
+             });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
     EXPECT_EQ(hits[i].load(), 1) << "index " << i;
   }
 }
 
-TEST(Sweep, LowestIndexExceptionWins) {
-  const auto run = [](unsigned threads) {
-    parallel_for_indexed(
-        16,
-        [](std::size_t i) {
-          if (i == 3 || i == 11) {
-            throw std::runtime_error("boom " + std::to_string(i));
-          }
-        },
-        SweepOptions{.threads = threads});
-  };
-  EXPECT_THROW(run(1), std::runtime_error);
-  try {
-    run(4);
-    FAIL() << "expected runtime_error";
-  } catch (const std::runtime_error& e) {
-    EXPECT_STREQ(e.what(), "boom 3");
+TEST(Sweep, IndexFormIsolatesFailuresPerRow) {
+  for (const unsigned threads : {1u, 4u}) {
+    SweepRunner runner(SweepOptions{.threads = threads});
+    const std::vector<CellRun> runs = runner.run(16, [](std::size_t i) {
+      if (i == 3 || i == 11) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+    ASSERT_EQ(runs.size(), 16u);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const bool fails = i == 3 || i == 11;
+      EXPECT_EQ(runs[i].info.status,
+                fails ? CellStatus::failed : CellStatus::ok)
+          << "index " << i;
+      EXPECT_EQ(static_cast<bool>(runs[i].exception), fails) << "index " << i;
+    }
+    try {
+      std::rethrow_exception(runs[3].exception);
+      FAIL() << "expected runtime_error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom 3");
+    }
   }
 }
 
-TEST(Sweep, PoolDrainPreservesThrownType) {
+TEST(Sweep, ValuesPreservesThrownType) {
   // The fail-fast rethrow must deliver the *original* exception object,
   // not a flattened std::runtime_error: callers dispatch on type (and
   // on payload fields) to distinguish a bad config from a bad trace.
   struct CustomSweepFault {
     int index;
   };
-  for (const unsigned threads : {1u, 4u}) {
+  const std::vector<int> items = {0, 1, 2, 3};
+  for (const unsigned threads : {1u, 2u}) {
+    SweepRunner runner(SweepOptions{.threads = threads});
+    auto rows = runner.run(items, [](int v) {
+      if (v == 1) {
+        throw CustomSweepFault{v};
+      }
+      return v;
+    });
     try {
-      parallel_for_indexed(
-          8,
-          [](std::size_t i) {
-            if (i == 2) {
-              throw CustomSweepFault{static_cast<int>(i)};
-            }
-          },
-          SweepOptions{.threads = threads});
+      values(std::move(rows));
       FAIL() << "expected CustomSweepFault at " << threads << " threads";
     } catch (const CustomSweepFault& f) {
-      EXPECT_EQ(f.index, 2);
+      EXPECT_EQ(f.index, 1);
     }
   }
-  // sweep_map drains through the same pool: same guarantee.
-  const std::vector<int> items = {0, 1, 2, 3};
-  EXPECT_THROW(sweep_map(
-                   items,
-                   [](int v) {
-                     if (v == 1) {
-                       throw CustomSweepFault{v};
-                     }
-                     return v;
-                   },
-                   SweepOptions{.threads = 2}),
-               CustomSweepFault);
 }
 
-TEST(Sweep, SweepMapPreservesOrder) {
+TEST(Sweep, ValuesWithoutFailFastYieldsPlaceholders) {
+  struct CustomSweepFault {
+    int index;
+  };
+  const std::vector<int> items = {10, 20, 30};
+  SweepRunner runner(SweepOptions{.threads = 2});
+  auto rows = runner.run(items, [](int v) {
+    if (v == 20) {
+      throw CustomSweepFault{v};
+    }
+    return v;
+  });
+  const std::vector<int> out = values(std::move(rows), /*fail_fast=*/false);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 10);
+  EXPECT_EQ(out[1], 0); // placeholder: value-initialized
+  EXPECT_EQ(out[2], 30);
+}
+
+TEST(Sweep, MapFormPreservesOrder) {
   std::vector<int> items(64);
   for (std::size_t i = 0; i < items.size(); ++i) {
     items[i] = static_cast<int>(i);
   }
-  const std::vector<int> squares = sweep_map(
-      items, [](int v) { return v * v; }, SweepOptions{.threads = 4});
+  SweepRunner runner(SweepOptions{.threads = 4});
+  const std::vector<int> squares =
+      values(runner.run(items, [](int v) { return v * v; }));
   ASSERT_EQ(squares.size(), items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
     EXPECT_EQ(squares[i], items[i] * items[i]);
   }
 }
+
+// The former free functions survive one release as deprecated shims over
+// SweepRunner::run(); pin their behavior until they are removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Sweep, DeprecatedWrappersStillWork) {
+  std::vector<std::atomic<int>> hits(32);
+  parallel_for_indexed(
+      hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); },
+      SweepOptions{.threads = 4});
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  EXPECT_THROW(parallel_for_indexed(
+                   4, [](std::size_t i) {
+                     if (i == 1) {
+                       throw std::runtime_error("boom");
+                     }
+                   }),
+               std::runtime_error);
+
+  const std::vector<int> items = {1, 2, 3};
+  const std::vector<int> doubled = sweep_map(
+      items, [](int v) { return 2 * v; }, SweepOptions{.threads = 2});
+  ASSERT_EQ(doubled.size(), 3u);
+  EXPECT_EQ(doubled[1], 4);
+
+  const auto rows = sweep_map_cells(
+      items, [](int v) { return 2 * v; }, SweepOptions{.threads = 2});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[2].value, 6);
+  EXPECT_EQ(rows[2].info.status, CellStatus::ok);
+
+  const std::vector<CellRun> runs = parallel_for_cells(
+      3, [](std::size_t, const sim::CancellationToken&) {},
+      SweepOptions{.threads = 2});
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].info.status, CellStatus::ok);
+
+  SweepRunner runner(SweepOptions{.threads = 2});
+  runner.submit(workload::profile_by_name("gzip"), quick_config());
+  const auto grid = runner.run_cells();
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_EQ(grid[0].value.benchmark, "gzip");
+}
+#pragma GCC diagnostic pop
 
 TEST(Sweep, ResolveThreadCount) {
   ::unsetenv("HLCC_THREADS");
@@ -207,6 +282,23 @@ TEST(Sweep, ResolveThreadCountRejectsJunkEnv) {
         << "HLCC_THREADS=\"" << junk << "\"";
   }
   ::unsetenv("HLCC_THREADS");
+}
+
+TEST(Sweep, ResolveBatchLimit) {
+  ::unsetenv("HLCC_BATCH");
+  EXPECT_EQ(resolve_batch_limit(0), 16u); // auto default
+  EXPECT_EQ(resolve_batch_limit(1), 1u);  // explicit disable
+  EXPECT_EQ(resolve_batch_limit(7), 7u);
+
+  ::setenv("HLCC_BATCH", "4", 1);
+  EXPECT_EQ(resolve_batch_limit(0), 4u);
+  EXPECT_EQ(resolve_batch_limit(2), 2u); // explicit beats env
+  for (const char* junk : {"abc", "0", "-2", "4x", "", " 8", "1.5"}) {
+    ::setenv("HLCC_BATCH", junk, 1);
+    EXPECT_THROW(resolve_batch_limit(0), std::invalid_argument)
+        << "HLCC_BATCH=\"" << junk << "\"";
+  }
+  ::unsetenv("HLCC_BATCH");
 }
 
 TEST(Sweep, RunSuiteMatchesSerialSuite) {

@@ -109,11 +109,11 @@ TEST(SweepResilience, FaultIsolationFirstMiddleLast) {
   const std::vector<std::size_t> broken = {0, 2, kGridNames.size() - 1};
   for (const unsigned threads : {1u, 3u}) {
     SweepRunner clean = grid_runner(SweepOptions{.threads = threads}, {});
-    const std::vector<ExperimentResult> want = clean.run();
+    const std::vector<ExperimentResult> want = values(clean.run());
 
     SweepRunner faulty =
         grid_runner(SweepOptions{.threads = threads}, broken);
-    const std::vector<CellResult<ExperimentResult>> got = faulty.run_cells();
+    const std::vector<CellResult<ExperimentResult>> got = faulty.run();
     ASSERT_EQ(got.size(), kGridNames.size());
     for (std::size_t i = 0; i < got.size(); ++i) {
       bool is_broken = false;
@@ -139,7 +139,8 @@ TEST(SweepResilience, FailFastOffReturnsPlaceholdersInOrder) {
   opts.threads = 2;
   opts.fail_fast = false;
   SweepRunner runner = grid_runner(std::move(opts), {1});
-  const std::vector<ExperimentResult> results = runner.run(); // must not throw
+  const std::vector<ExperimentResult> results =
+      values(runner.run(), /*fail_fast=*/false); // must not throw
   ASSERT_EQ(results.size(), kGridNames.size());
   for (std::size_t i = 0; i < results.size(); ++i) {
     EXPECT_EQ(results[i].benchmark, kGridNames[i]);
@@ -154,7 +155,8 @@ TEST(SweepResilience, FailFastOffReturnsPlaceholdersInOrder) {
 TEST(SweepResilience, FailFastDefaultRethrowsOriginalType) {
   SweepRunner runner = grid_runner(SweepOptions{.threads = 3}, {1});
   EXPECT_EQ(runner.options().fail_fast, true); // unchanged legacy default
-  EXPECT_THROW(runner.run(), std::invalid_argument);
+  EXPECT_THROW(values(runner.run(), runner.options().fail_fast),
+               std::invalid_argument);
 }
 
 // --- retry ------------------------------------------------------------
@@ -167,15 +169,14 @@ TEST(SweepResilience, TransientFailuresRetryWithAttemptCounts) {
   opts.threads = 2;
   opts.retry.max_attempts = 3;
   opts.retry.base_backoff_ms = 1; // keep the test fast
-  const std::vector<CellRun> runs = parallel_for_cells(
-      calls.size(),
-      [&](std::size_t i, const sim::CancellationToken&) {
+  SweepRunner runner(opts);
+  const std::vector<CellRun> runs = runner.run(
+      calls.size(), [&](std::size_t i, const sim::CancellationToken&) {
         const int call = calls[i].fetch_add(1) + 1;
         if (i == 1 && call < 3) {
           throw workload::TraceError("simulated transient trace failure");
         }
-      },
-      opts);
+      });
   ASSERT_EQ(runs.size(), 3u);
   EXPECT_TRUE(runs[0].info.ok());
   EXPECT_EQ(runs[0].info.attempts, 1u);
@@ -189,12 +190,11 @@ TEST(SweepResilience, ExhaustedRetriesReportTheFinalError) {
   SweepOptions opts;
   opts.retry.max_attempts = 2;
   opts.retry.base_backoff_ms = 1;
-  const std::vector<CellRun> runs = parallel_for_cells(
-      1,
-      [](std::size_t, const sim::CancellationToken&) {
+  SweepRunner runner(opts);
+  const std::vector<CellRun> runs =
+      runner.run(1, [](std::size_t, const sim::CancellationToken&) {
         throw workload::TraceError("still broken");
-      },
-      opts);
+      });
   EXPECT_EQ(runs[0].info.status, CellStatus::failed);
   EXPECT_EQ(runs[0].info.error_kind, CellErrorKind::trace_io);
   EXPECT_EQ(runs[0].info.attempts, 2u);
@@ -206,16 +206,15 @@ TEST(SweepResilience, ConfigAndInvariantErrorsNeverRetry) {
   opts.retry.max_attempts = 5;
   opts.retry.base_backoff_ms = 1;
   std::atomic<int> calls{0};
-  const std::vector<CellRun> runs = parallel_for_cells(
-      2,
-      [&](std::size_t i, const sim::CancellationToken&) {
+  SweepRunner runner(opts);
+  const std::vector<CellRun> runs = runner.run(
+      2, [&](std::size_t i, const sim::CancellationToken&) {
         calls.fetch_add(1);
         if (i == 0) {
           throw std::invalid_argument("bad knob");
         }
         throw std::logic_error("invariant violated");
-      },
-      opts);
+      });
   EXPECT_EQ(runs[0].info.error_kind, CellErrorKind::config_invalid);
   EXPECT_EQ(runs[1].info.error_kind, CellErrorKind::sim_invariant);
   EXPECT_EQ(runs[0].info.attempts, 1u);
@@ -243,9 +242,9 @@ TEST(SweepResilience, WatchdogTimesOutOverdueCellWithoutRetry) {
   opts.cell_timeout_s = 0.05;
   opts.retry.max_attempts = 3; // must NOT apply to timeouts
   std::atomic<int> slow_calls{0};
-  const std::vector<CellRun> runs = parallel_for_cells(
-      2,
-      [&](std::size_t i, const sim::CancellationToken& token) {
+  SweepRunner runner(opts);
+  const std::vector<CellRun> runs = runner.run(
+      2, [&](std::size_t i, const sim::CancellationToken& token) {
         if (i == 0) {
           return; // fast cell: unaffected by its neighbor's overrun
         }
@@ -254,8 +253,7 @@ TEST(SweepResilience, WatchdogTimesOutOverdueCellWithoutRetry) {
           std::this_thread::sleep_for(std::chrono::milliseconds(1));
           token.poll("test cell");
         }
-      },
-      opts);
+      });
   EXPECT_TRUE(runs[0].info.ok());
   EXPECT_EQ(runs[1].info.status, CellStatus::timed_out);
   EXPECT_EQ(runs[1].info.error_kind, CellErrorKind::timeout);
@@ -445,7 +443,7 @@ TEST(SweepJournal, ResultSerializationRoundTripsExactly) {
 TEST(SweepResilience, ResumeFromTruncatedJournalIsBitIdentical) {
   // Reference: an uninterrupted run (no journal).
   SweepRunner reference = grid_runner(SweepOptions{.threads = 2}, {});
-  const std::vector<ExperimentResult> want = reference.run();
+  const std::vector<ExperimentResult> want = values(reference.run());
 
   // A complete journal from one clean journaled run.
   const std::string full_path = temp_path("hlcc_resume_full.jsonl");
@@ -454,7 +452,7 @@ TEST(SweepResilience, ResumeFromTruncatedJournalIsBitIdentical) {
     opts.threads = 2;
     opts.journal_path = full_path;
     SweepRunner runner = grid_runner(std::move(opts), {});
-    const std::vector<ExperimentResult> journaled = runner.run();
+    const std::vector<ExperimentResult> journaled = values(runner.run());
     ASSERT_EQ(journaled.size(), want.size());
     for (std::size_t i = 0; i < want.size(); ++i) {
       expect_payload_identical(journaled[i], want[i]);
@@ -480,8 +478,7 @@ TEST(SweepResilience, ResumeFromTruncatedJournalIsBitIdentical) {
       opts.threads = threads;
       opts.journal_path = cut;
       SweepRunner runner = grid_runner(std::move(opts), {});
-      const std::vector<CellResult<ExperimentResult>> got =
-          runner.run_cells();
+      const std::vector<CellResult<ExperimentResult>> got = runner.run();
       ASSERT_EQ(got.size(), want.size());
       std::size_t restored = 0;
       for (std::size_t i = 0; i < want.size(); ++i) {
@@ -539,7 +536,7 @@ TEST(SweepResilience, ResumeRerunsFailedAndUnusableRecords) {
   opts.threads = 2;
   opts.journal_path = path;
   SweepRunner runner = grid_runner(std::move(opts), {});
-  const std::vector<CellResult<ExperimentResult>> got = runner.run_cells();
+  const std::vector<CellResult<ExperimentResult>> got = runner.run();
   for (std::size_t i = 0; i < got.size(); ++i) {
     EXPECT_TRUE(got[i].ok()) << "cell " << i;
     EXPECT_EQ(got[i].info.resumed, i != 1 && i != 3) << "cell " << i;
@@ -553,7 +550,8 @@ TEST(SweepResilience, SchemaTwoReportCarriesCellRollup) {
   opts.threads = 2;
   opts.fail_fast = false;
   SweepRunner runner = grid_runner(std::move(opts), {2});
-  std::vector<ExperimentResult> results = runner.run();
+  std::vector<ExperimentResult> results =
+      values(runner.run(), /*fail_fast=*/false);
   const Series series{"resilience", SuiteResult(std::move(results))};
   const json::Value doc = suite_report("partial sweep", {series});
   EXPECT_EQ(doc.at("schema").as_double(), 2.0);
