@@ -1,0 +1,197 @@
+// Hierarchy sweep: leakage control at BOTH cache levels, and the books
+// the paper never opened.
+//
+// The paper ranks drowsy vs gated-Vss on L1-D leakage alone.  This bench
+// runs the joint (L1 interval x L2 interval) grid with the same technique
+// applied at both levels (harness::joint_interval_sweep: explicit
+// two-controlled-level LevelConfig cells through SweepRunner, scalar
+// path) and compares two scoreboards per cell pair:
+//
+//   L1-only : level 0's net savings over its own baseline leakage — the
+//             paper's figure of merit.
+//   total   : HierarchyEnergy::total_net_savings_frac — every level's
+//             leakage (subthreshold + gate), decay hardware, and the
+//             global dynamic-energy delta, over the whole hierarchy's
+//             baseline leakage.
+//
+// The L2 array is an order of magnitude larger than the L1, so its books
+// dominate: a gated L2 reclaims nearly all of that leakage but every
+// decay-induced L2 miss pays full memory latency, while a drowsy L2
+// keeps its state at a residual leakage floor whose gate-tunnelling
+// share does not shrink with the retention voltage.  Where those forces
+// cross, the L1-only winner loses the total ranking — each such pair is
+// marked FLIP in the table below.
+//
+// Knobs:
+//   HLCC_HIER_L2_INTERVALS   comma-separated L2 decay intervals
+//                            (default "65536,262144,1048576")
+//   HLCC_HIER_BENCHMARKS     comma-separated SPECint profile names
+//                            (default "gcc,mcf,gzip,twolf")
+//   HLCC_INSTRUCTIONS        run length per cell (bench/common.h)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+
+namespace {
+
+std::vector<uint64_t> interval_list_env(const char* name,
+                                        std::vector<uint64_t> fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) {
+    return fallback;
+  }
+  std::vector<uint64_t> out;
+  const std::string text(env);
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string item = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    out.push_back(harness::env::parse_positive_u64(name, item,
+                                                   "decay interval"));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<workload::BenchmarkProfile> profile_list_env(
+    const char* name, const std::vector<std::string>& fallback) {
+  std::vector<std::string> names = fallback;
+  if (const char* env = std::getenv(name)) {
+    names.clear();
+    const std::string text(env);
+    std::size_t pos = 0;
+    for (;;) {
+      const std::size_t comma = text.find(',', pos);
+      names.push_back(text.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos));
+      if (comma == std::string::npos) {
+        break;
+      }
+      pos = comma + 1;
+    }
+  }
+  std::vector<workload::BenchmarkProfile> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) {
+    out.push_back(workload::profile_by_name(n));
+  }
+  return out;
+}
+
+/// Level 0's net savings over level 0's baseline leakage: the paper's
+/// L1-only scoreboard, read off the hierarchy rollup.
+double l1_only_frac(const harness::ExperimentResult& r) {
+  const leakctl::LevelEnergy& l1 = r.hierarchy.levels.at(0);
+  return l1.baseline_leakage_j > 0.0 ? l1.net_savings_j / l1.baseline_leakage_j
+                                     : 0.0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const harness::ReportOptions report = bench::parse_cli(argc, argv);
+  const std::vector<uint64_t> l1_intervals = {4096};
+  std::vector<uint64_t> l2_intervals;
+  std::vector<workload::BenchmarkProfile> profiles;
+  try {
+    l2_intervals = interval_list_env("HLCC_HIER_L2_INTERVALS",
+                                     {65536, 262144, 1048576});
+    profiles = profile_list_env("HLCC_HIER_BENCHMARKS",
+                                {"gcc", "mcf", "gzip", "twolf"});
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 2;
+  }
+
+  // Fig. 8/9 operating point: 110 C, where leakage is the story.
+  const harness::ExperimentConfig base =
+      bench::base_builder(11, 110.0).variation(false);
+
+  const auto sweep = [&](const leakctl::TechniqueParams& technique,
+                         const char* label) {
+    harness::ExperimentConfig cfg = base;
+    cfg.technique = technique;
+    return harness::joint_interval_sweep(cfg, l1_intervals, l2_intervals,
+                                         profiles,
+                                         bench::sweep_options(label));
+  };
+  const std::vector<harness::JointIntervalCell> drowsy =
+      sweep(leakctl::TechniqueParams::drowsy(), "hier-drowsy");
+  const std::vector<harness::JointIntervalCell> gated =
+      sweep(leakctl::TechniqueParams::gated_vss(), "hier-gated");
+
+  std::printf("== Hierarchy sweep: decay/drowsy at L1 AND L2 (110C, L2=11) "
+              "==\n");
+  std::printf("L1 interval %llu; L1-only = level-0 net / level-0 baseline "
+              "(the paper's books),\ntotal = whole-hierarchy net incl. gate "
+              "leakage and L2 slowdown costs\n\n",
+              static_cast<unsigned long long>(l1_intervals.front()));
+  std::printf("%-10s %9s | %18s | %18s | %s\n", "benchmark", "L2 intvl",
+              "L1-only  dro/gat", "total    dro/gat", "ranking");
+  std::size_t flips = 0;
+  for (std::size_t i = 0; i < drowsy.size(); ++i) {
+    const harness::JointIntervalCell& d = drowsy[i];
+    const harness::JointIntervalCell& g = gated[i];
+    const double d_l1 = l1_only_frac(d.result);
+    const double g_l1 = l1_only_frac(g.result);
+    const double d_tot = d.result.hierarchy.total_net_savings_frac;
+    const double g_tot = g.result.hierarchy.total_net_savings_frac;
+    const bool l1_drowsy_wins = d_l1 >= g_l1;
+    const bool tot_drowsy_wins = d_tot >= g_tot;
+    const bool flip = l1_drowsy_wins != tot_drowsy_wins;
+    flips += flip ? 1 : 0;
+    std::printf("%-10s %8lluk | %7.1f%% %7.1f%% | %7.1f%% %7.1f%% | %s%s\n",
+                d.benchmark.c_str(),
+                static_cast<unsigned long long>(d.l2_interval / 1024),
+                d_l1 * 100.0, g_l1 * 100.0, d_tot * 100.0, g_tot * 100.0,
+                tot_drowsy_wins ? "drowsy" : "gated", flip ? "  FLIP" : "");
+  }
+
+  // Where does the reversal come from?  Show the L2 books of one pair.
+  const harness::JointIntervalCell& d0 = drowsy.front();
+  const harness::JointIntervalCell& g0 = gated.front();
+  const leakctl::LevelEnergy& dl2 = d0.result.hierarchy.levels.at(1);
+  const leakctl::LevelEnergy& gl2 = g0.result.hierarchy.levels.at(1);
+  std::printf("\nL2 books, first cell (%s @ %lluk): drowsy residual %.3g J "
+              "(gate share %.0f%%), %llu induced misses;\n"
+              "  gated residual %.3g J (gate share %.0f%%), %llu induced "
+              "misses at full memory latency\n",
+              d0.benchmark.c_str(),
+              static_cast<unsigned long long>(d0.l2_interval / 1024),
+              dl2.technique_leakage_j,
+              dl2.technique_leakage_j > 0.0
+                  ? 100.0 * dl2.technique_gate_j / dl2.technique_leakage_j
+                  : 0.0,
+              dl2.induced_misses, gl2.technique_leakage_j,
+              gl2.technique_leakage_j > 0.0
+                  ? 100.0 * gl2.technique_gate_j / gl2.technique_leakage_j
+                  : 0.0,
+              gl2.induced_misses);
+  if (flips > 0) {
+    std::printf("\n%zu of %zu cell pairs reverse the L1-only ranking once "
+                "L2 energy is on the books.\n",
+                flips, drowsy.size());
+  } else {
+    std::printf("\nNo cell pair reverses the L1-only ranking on this grid "
+                "(gate leakage accounted; see the L2 books above).\n");
+  }
+
+  harness::Series d_series{"drowsy", {}};
+  harness::Series g_series{"gated-vss", {}};
+  for (const harness::JointIntervalCell& c : drowsy) {
+    d_series.results.push_back(c.result);
+  }
+  for (const harness::JointIntervalCell& c : gated) {
+    g_series.results.push_back(c.result);
+  }
+  bench::write_reports(report, "hierarchy: joint L1/L2 leakage control",
+                       {d_series, g_series});
+  return 0;
+}

@@ -130,7 +130,8 @@ BENCHMARK(BM_GeneratorNext);
 
 void BM_ControlledAccess(benchmark::State& state) {
   sim::ProcessorConfig pcfg = sim::ProcessorConfig::table2(11);
-  sim::L2System l2(pcfg.l2, pcfg.memory_latency, nullptr);
+  sim::MemoryBackend mem(pcfg.memory_latency, nullptr);
+  sim::CacheLevel l2(pcfg.l2, mem, nullptr);
   leakctl::ControlledCacheConfig ccfg;
   ccfg.cache = pcfg.l1d;
   ccfg.technique = leakctl::TechniqueParams::gated_vss();
@@ -214,6 +215,34 @@ BENCHMARK(BM_Table3Sweep)
     ->Args({1})
     ->Args({0})
     ->Unit(benchmark::kMillisecond);
+
+/// The joint (L1 interval x L2 interval) hierarchy grid: explicit
+/// two-controlled-level LevelConfig cells through SweepRunner.  These
+/// cells are never lockstep-batched (the planner only batches
+/// legacy-shaped configs), so this tracks the scalar hierarchy path's
+/// throughput — chained ControlledCaches, per-level residency
+/// finalization, and the compute_hierarchy_energy rollup.
+void BM_HierarchySweep(benchmark::State& state) {
+  constexpr uint64_t kInstructions = 100'000;
+  const std::vector<workload::BenchmarkProfile> profiles = {
+      workload::profile_by_name("gzip")};
+  const std::vector<uint64_t> l1_intervals = {4096};
+  const std::vector<uint64_t> l2_intervals = {65536, 262144};
+  harness::ExperimentConfig cfg;
+  cfg.instructions = kInstructions;
+  cfg.variation = false;
+  harness::SweepOptions opts;
+  opts.threads = 1;
+  harness::clear_baseline_cache();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness::joint_interval_sweep(
+        cfg, l1_intervals, l2_intervals, profiles, opts));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(l2_intervals.size() * kInstructions));
+}
+BENCHMARK(BM_HierarchySweep)->Unit(benchmark::kMillisecond);
 
 /// Console reporter that also collects every run for the JSON export.
 class CollectingReporter : public benchmark::ConsoleReporter {

@@ -23,7 +23,8 @@ void report(const TechniqueParams& tech) {
                 .hit_latency = 2};
   ccfg.technique = tech;
   ccfg.decay_interval = 4096;
-  sim::L2System l2(pcfg.l2, pcfg.memory_latency, nullptr);
+  sim::MemoryBackend mem(pcfg.memory_latency, nullptr);
+  sim::CacheLevel l2(pcfg.l2, mem, nullptr);
   ControlledCache cc(ccfg, l2, nullptr);
 
   cc.access(0x0, false, 10);                      // fill, active

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a --json suite report (schema versions 1 and 2).
+"""Validate a --json suite report (schema versions 1, 2 and 3).
 
 Usage: check_report_schema.py REPORT.json [REPORT2.json ...]
 
@@ -10,7 +10,11 @@ snapshot with its phase timers.  Schema-2 reports additionally carry a
 per-row "cell" execution record (status / error taxonomy / attempts /
 duration / resumed) and a per-series "cells" rollup whose "complete"
 flag distinguishes a partial (fail_fast=false) sweep from a clean one;
-both are validated.  Exits non-zero naming the first violation.
+both are validated.  Schema-3 rows additionally carry a "hierarchy"
+total-leakage section (one entry per cache level with the
+baseline/technique/gate energy split and control stats, plus hierarchy
+totals), and non-legacy configs serialize their per-level "levels" list;
+both are validated too.  Exits non-zero naming the first violation.
 """
 
 import json
@@ -84,6 +88,71 @@ def check_cells_rollup(cells, nrows, where):
             "cells.complete must equal (ok == total)")
 
 
+LEVEL_NUMBER_KEYS = ("baseline_leakage_j", "technique_leakage_j",
+                     "baseline_gate_j", "technique_gate_j",
+                     "decay_hw_leakage_j", "protection_leakage_j",
+                     "protection_dynamic_j", "net_savings_j",
+                     "induced_misses", "slow_hits", "wakes", "decays",
+                     "decay_writebacks", "turnoff_ratio")
+HIERARCHY_TOTAL_KEYS = ("extra_dynamic_j", "total_baseline_leakage_j",
+                        "total_technique_leakage_j", "total_gate_leakage_j",
+                        "total_net_savings_j", "total_net_savings_frac")
+
+
+def check_hierarchy(hierarchy, where):
+    require(isinstance(hierarchy, dict), where,
+            "'hierarchy' must be an object")
+    levels = hierarchy.get("levels")
+    require(isinstance(levels, list) and len(levels) >= 2, where,
+            "hierarchy.levels must be an array of >= 2 levels")
+    for i, lv in enumerate(levels):
+        lw = f"{where}.levels[{i}]"
+        require(isinstance(lv, dict), lw, "level must be an object")
+        require(isinstance(lv.get("name"), str) and lv["name"], lw,
+                "missing level name")
+        require(isinstance(lv.get("controlled"), bool), lw,
+                "'controlled' must be a boolean")
+        for key in LEVEL_NUMBER_KEYS:
+            check_number(lv, key, lw)
+        require(lv["baseline_leakage_j"] > 0, lw,
+                "every level leaks in the baseline")
+        if not lv["controlled"]:
+            require(lv["decay_hw_leakage_j"] == 0, lw,
+                    "a plain level carries no decay hardware")
+            require(lv["slow_hits"] == 0 and lv["induced_misses"] == 0, lw,
+                    "a plain level has no control events")
+    require(any(lv["controlled"] for lv in levels), where,
+            "at least one hierarchy level must be controlled")
+    for key in HIERARCHY_TOTAL_KEYS:
+        check_number(hierarchy, key, where)
+    total = sum(lv["baseline_leakage_j"] for lv in levels)
+    require(abs(hierarchy["total_baseline_leakage_j"] - total)
+            <= 1e-9 * max(total, 1e-30), where,
+            "total_baseline_leakage_j must equal the per-level sum")
+
+
+def check_config_levels(levels, where):
+    require(isinstance(levels, list) and len(levels) >= 2, where,
+            "config.levels must be an array of >= 2 levels")
+    for i, lv in enumerate(levels):
+        lw = f"{where}[{i}]"
+        require(isinstance(lv, dict), lw, "level must be an object")
+        require(isinstance(lv.get("name"), str), lw, "missing level name")
+        geom = lv.get("geometry")
+        require(isinstance(geom, dict), lw, "missing 'geometry'")
+        for key in ("size_bytes", "assoc", "line_bytes", "hit_latency"):
+            check_number(geom, key, f"{lw}.geometry")
+        if "control" in lv:
+            control = lv["control"]
+            require(isinstance(control, dict), lw,
+                    "'control' must be an object")
+            require(isinstance(control.get("technique"), dict),
+                    f"{lw}.control", "missing 'technique'")
+            require(isinstance(control.get("policy"), str),
+                    f"{lw}.control", "missing 'policy'")
+            check_number(control, "decay_interval", f"{lw}.control")
+
+
 def check_benchmark_row(row, where, schema):
     require(isinstance(row, dict), where, "benchmark row must be an object")
     require(isinstance(row.get("benchmark"), str) and row["benchmark"],
@@ -91,12 +160,18 @@ def check_benchmark_row(row, where, schema):
     if schema >= 2:
         require("cell" in row, where, "schema-2 row is missing 'cell'")
         check_cell(row["cell"], f"{where}.cell")
+    if schema >= 3:
+        require("hierarchy" in row, where,
+                "schema-3 row is missing 'hierarchy'")
+        check_hierarchy(row["hierarchy"], f"{where}.hierarchy")
     for key in ("net_savings_frac", "perf_loss_frac", "turnoff_ratio"):
         check_number(row, key, where)
     config = row.get("config")
     require(isinstance(config, dict), where, "missing 'config'")
     require(HASH_RE.match(config.get("hash", "")) is not None, where,
             f"config.hash must be 0x + 16 hex digits, got {config.get('hash')!r}")
+    if "levels" in config:
+        check_config_levels(config["levels"], f"{where}.config.levels")
     control = row.get("control")
     require(isinstance(control, dict), where, "missing 'control'")
     for key in ("hits", "slow_hits", "induced_misses", "true_misses",
@@ -107,8 +182,8 @@ def check_benchmark_row(row, where, schema):
 def check_report(doc, path):
     require(isinstance(doc, dict), path, "top level must be an object")
     schema = doc.get("schema")
-    require(schema in (1, 2), path,
-            f"schema must be 1 or 2, got {schema!r}")
+    require(schema in (1, 2, 3), path,
+            f"schema must be 1, 2 or 3, got {schema!r}")
     require(doc.get("kind") == "suite_report", path,
             f"kind must be 'suite_report', got {doc.get('kind')!r}")
     require(isinstance(doc.get("title"), str) and doc["title"], path,

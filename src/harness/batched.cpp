@@ -12,11 +12,12 @@
 namespace harness {
 namespace {
 
-/// One lane's private memory system.  The L2System and ControlledCache
+/// One lane's private memory system.  The CacheLevel and ControlledCache
 /// hold pointers into the activities vector, so LaneState is built after
 /// that vector's size is final.
 struct LaneState {
-  std::unique_ptr<sim::L2System> l2;
+  std::unique_ptr<sim::MemoryBackend> mem;
+  std::unique_ptr<sim::CacheLevel> l2;
   std::unique_ptr<leakctl::ControlledCache> dport;
   wattch::Activity* activity = nullptr;
 };
@@ -78,7 +79,8 @@ private:
 
 bool batchable(const ExperimentConfig& cfg) {
   return !cfg.faults.enabled &&
-         cfg.adaptive == ExperimentConfig::AdaptiveScheme::none;
+         cfg.adaptive == ExperimentConfig::AdaptiveScheme::none &&
+         cfg.legacy_shape();
 }
 
 BatchedExperiment::BatchedExperiment(const workload::BenchmarkProfile& profile,
@@ -130,8 +132,10 @@ std::vector<ExperimentResult> BatchedExperiment::run(
     pcfgs[i] = sim::ProcessorConfig::table2(cfgs_[i].l2_latency);
     ccfgs[i] = detail::controlled_config(cfgs_[i], pcfgs[i]);
     lanes[i].activity = &activities[i];
-    lanes[i].l2 = std::make_unique<sim::L2System>(
-        pcfgs[i].l2, pcfgs[i].memory_latency, &activities[i]);
+    lanes[i].mem = std::make_unique<sim::MemoryBackend>(
+        pcfgs[i].memory_latency, &activities[i]);
+    lanes[i].l2 = std::make_unique<sim::CacheLevel>(pcfgs[i].l2, *lanes[i].mem,
+                                                    &activities[i]);
     lanes[i].dport = std::make_unique<leakctl::ControlledCache>(
         ccfgs[i], *lanes[i].l2, &activities[i]);
   }

@@ -28,9 +28,11 @@ namespace harness {
 
 /// True when @p cfg can share a lockstep trace pass with siblings:
 /// fault injection draws per-access randomness the scalar path
-/// interleaves differently, and adaptive schemes retune the decay
-/// interval through callbacks the lockstep loop does not route, so
-/// both run scalar.
+/// interleaves differently, adaptive schemes retune the decay
+/// interval through callbacks the lockstep loop does not route, and
+/// explicit-hierarchy cells (non-legacy_shape LevelConfig lists) stack
+/// controlled levels the lockstep lanes do not model, so all three run
+/// scalar.
 bool batchable(const ExperimentConfig& cfg);
 
 /// Executor for one batch: a benchmark profile plus K batchable

@@ -25,11 +25,30 @@ double retention_floor_v(const hotleakage::TechParams& tech) {
          std::max(tech.nmos.vth0, tech.pmos.vth0);
 }
 
+/// The baseline machine depends only on the level *geometries*, never on
+/// which levels carry control — so explicit-hierarchy configs that differ
+/// only in technique/interval share one baseline.  Legacy-shaped configs
+/// keep an empty signature (and thus the pre-hierarchy cache keys).
+std::string levels_signature(const ExperimentConfig& cfg) {
+  if (cfg.legacy_shape()) {
+    return {};
+  }
+  std::string sig;
+  for (const LevelConfig& lv : cfg.levels) {
+    sig += lv.name + ':' + std::to_string(lv.geometry.size_bytes) + '/' +
+           std::to_string(lv.geometry.assoc) + '/' +
+           std::to_string(lv.geometry.line_bytes) + '/' +
+           std::to_string(lv.geometry.hit_latency) + ';';
+  }
+  return sig;
+}
+
 struct BaselineKey {
   std::string benchmark;
   unsigned l2_latency;
   uint64_t instructions;
   uint64_t seed;
+  std::string levels_sig;
   auto operator<=>(const BaselineKey&) const = default;
 };
 
@@ -61,7 +80,7 @@ std::shared_ptr<const BaselineData> baseline_for(
     const workload::BenchmarkProfile& profile, const ExperimentConfig& cfg,
     const sim::CancellationToken* cancel) {
   BaselineKey key{std::string(profile.name), cfg.l2_latency,
-                  cfg.instructions, cfg.seed};
+                  cfg.instructions, cfg.seed, levels_signature(cfg)};
   std::shared_ptr<BaselineSlot> slot;
   {
     std::lock_guard<std::mutex> lock(baseline_mutex());
@@ -76,27 +95,56 @@ std::shared_ptr<const BaselineData> baseline_for(
   }
   std::call_once(slot->once, [&] {
     metrics::ScopedTimer timer("phase.baseline_sim");
-    const sim::ProcessorConfig pcfg =
-        sim::ProcessorConfig::table2(cfg.l2_latency);
-    sim::Processor proc(pcfg);
-    sim::BaselineDataPort dport(pcfg.l1d, proc.l2(), &proc.activity());
     // A cancelled baseline unwinds out of call_once without setting the
     // flag, so the next cell needing this key recomputes it.
     workload::Generator gen(profile, cfg.seed);
-    slot->rec.run = proc.run(gen, dport, cfg.instructions, cancel);
-    slot->rec.activity = proc.activity();
-    slot->rec.l1d_miss_rate = dport.cache().stats().miss_rate();
+    if (cfg.legacy_shape()) {
+      const sim::ProcessorConfig pcfg =
+          sim::ProcessorConfig::table2(cfg.l2_latency);
+      sim::Processor proc(pcfg);
+      sim::BaselineDataPort dport(pcfg.l1d, proc.l2(), &proc.activity());
+      slot->rec.run = proc.run(gen, dport, cfg.instructions, cancel);
+      slot->rec.activity = proc.activity();
+      slot->rec.l1d_miss_rate = dport.cache().stats().miss_rate();
+    } else {
+      // Explicit hierarchy: stack plain CacheLevels bottom-up with the
+      // configured geometries; the I-side shares the level-1 store, as
+      // the unified L2 always did.  The Processor's internal L2/I-port
+      // go unused (we supply both ports) but keep the core, clock, and
+      // activity plumbing identical to the legacy path.
+      const std::vector<LevelConfig> lv = cfg.resolved_levels();
+      sim::ProcessorConfig pcfg =
+          sim::ProcessorConfig::table2(cfg.l2_latency);
+      pcfg.l1d = lv[0].geometry;
+      pcfg.l2 = lv[1].geometry;
+      sim::Processor proc(pcfg);
+      sim::MemoryBackend mem(pcfg.memory_latency, &proc.activity());
+      std::vector<std::unique_ptr<sim::CacheLevel>> chain;
+      sim::BackingStore* below = &mem;
+      for (std::size_t i = lv.size(); i-- > 1;) {
+        chain.push_back(std::make_unique<sim::CacheLevel>(
+            lv[i].geometry, *below, &proc.activity()));
+        below = chain.back().get();
+      }
+      sim::BaselineDataPort dport(lv[0].geometry, *below, &proc.activity());
+      sim::InstrPort iport(pcfg.l1i, *below, &proc.activity());
+      slot->rec.run = proc.run(gen, dport, iport, cfg.instructions, cancel);
+      slot->rec.activity = proc.activity();
+      slot->rec.l1d_miss_rate = dport.cache().stats().miss_rate();
+    }
   });
   return {slot, &slot->rec};
 }
 
-leakctl::ControlledCacheConfig controlled_config(
-    const ExperimentConfig& cfg, const sim::ProcessorConfig& pcfg) {
+leakctl::ControlledCacheConfig level_controlled_config(
+    const ExperimentConfig& cfg, const LevelConfig& level,
+    leakctl::LevelRole role) {
   leakctl::ControlledCacheConfig ccfg;
-  ccfg.cache = pcfg.l1d;
-  ccfg.technique = cfg.technique;
-  ccfg.policy = cfg.policy;
-  ccfg.decay_interval = cfg.decay_interval;
+  ccfg.cache = level.geometry;
+  ccfg.role = role;
+  ccfg.technique = level.control->technique;
+  ccfg.policy = level.control->policy;
+  ccfg.decay_interval = level.control->decay_interval;
   if (cfg.faults.enabled) {
     // Scale the raw upset rates to the operating point.  Standby cells sit
     // at the technique's retention voltage: the drowsy supply for drowsy,
@@ -107,7 +155,7 @@ leakctl::ControlledCacheConfig controlled_config(
     const double vdd_op = cfg.vdd > 0.0 ? cfg.vdd : ftech.vdd_nominal;
     const double temp_k = cfg.temperature_c + 273.15;
     const double standby_vdd =
-        cfg.technique.mode == hotleakage::StandbyMode::drowsy
+        ccfg.technique.mode == hotleakage::StandbyMode::drowsy
             ? retention_floor_v(ftech)
             : vdd_op;
     ccfg.faults = cfg.faults;
@@ -120,10 +168,21 @@ leakctl::ControlledCacheConfig controlled_config(
   }
   if (cfg.adaptive != ExperimentConfig::AdaptiveScheme::none) {
     // All adaptive schemes observe induced misses through the tags, which
-    // must therefore stay awake (paper Sec. 5.4).
+    // must therefore stay awake (paper Sec. 5.4).  Applied to every
+    // controlled level: the controller attaches to the outermost one, but
+    // a deeper level with decayed tags would blind the same sensors.
     ccfg.technique.decay_tags = false;
   }
   return ccfg;
+}
+
+leakctl::ControlledCacheConfig controlled_config(
+    const ExperimentConfig& cfg, const sim::ProcessorConfig& pcfg) {
+  const LevelConfig legacy_l1{
+      .name = "l1d",
+      .geometry = pcfg.l1d,
+      .control = LevelControl{cfg.technique, cfg.policy, cfg.decay_interval}};
+  return level_controlled_config(cfg, legacy_l1, leakctl::LevelRole::l1d);
 }
 
 void finish_energy(ExperimentResult& result, const sim::ProcessorConfig& pcfg,
@@ -154,6 +213,76 @@ void finish_energy(ExperimentResult& result, const sim::ProcessorConfig& pcfg,
   const double clock_hz = pcfg.clock_hz * (vdd / model.tech().vdd_nominal);
   result.energy = leakctl::compute_energy(model, geom, power, ccfg.technique,
                                           runs, clock_hz, ccfg.faults);
+
+  // The per-level rollup for the same machine: a controlled L1-D over a
+  // plain L2.  Level 0's totals match result.energy bit for bit (same
+  // residency counters against the same sram_power evaluations).
+  std::vector<leakctl::LevelInput> inputs(2);
+  inputs[0] = {.name = "l1d",
+               .geom = geom,
+               .controlled = true,
+               .technique = ccfg.technique,
+               .control = &result.control,
+               .faults = ccfg.faults};
+  inputs[1] = {.name = "l2", .geom = l2geom};
+  result.hierarchy =
+      leakctl::compute_hierarchy_energy(model, inputs, runs, power, clock_hz);
+}
+
+void finish_energy_levels(ExperimentResult& result,
+                          const sim::ProcessorConfig& pcfg,
+                          const std::vector<leakctl::LevelInput>& inputs,
+                          const BaselineData& base,
+                          const wattch::Activity& tech_activity) {
+  const ExperimentConfig& cfg = result.config;
+  metrics::ScopedTimer leakage_timer("phase.leakage_model");
+  hotleakage::VariationConfig vcfg;
+  vcfg.enabled = cfg.variation;
+  hotleakage::LeakageModel model(hotleakage::TechNode::nm70, vcfg);
+  const double vdd = cfg.vdd > 0.0 ? cfg.vdd : model.tech().vdd_nominal;
+  model.set_operating_point(
+      hotleakage::OperatingPoint::at_celsius(cfg.temperature_c, vdd));
+  const wattch::PowerParams power = wattch::PowerParams::for_config_at(
+      model.tech(), inputs[0].geom, inputs[1].geom, vdd);
+
+  leakctl::RunPair runs;
+  runs.base_run = base.run;
+  runs.base_activity = base.activity;
+  runs.tech_run = result.tech_run;
+  runs.tech_activity = tech_activity;
+  runs.control = result.control;
+  const double clock_hz = pcfg.clock_hz * (vdd / model.tech().vdd_nominal);
+  result.hierarchy =
+      leakctl::compute_hierarchy_energy(model, inputs, runs, power, clock_hz);
+
+  // The flat, figure-facing view stays level-0-centric.  A controlled
+  // outermost level gets the classic breakdown; a plain one maps its
+  // LevelEnergy into the flat shape (net goes negative by the runtime
+  // cost — the right answer when only a deeper level is controlled).
+  if (inputs[0].controlled) {
+    result.energy =
+        leakctl::compute_energy(model, inputs[0].geom, power,
+                                inputs[0].technique, runs, clock_hz,
+                                inputs[0].faults);
+  } else {
+    const leakctl::LevelEnergy& l0 = result.hierarchy.levels[0];
+    leakctl::EnergyBreakdown e;
+    e.baseline_leakage_j = l0.baseline_leakage_j;
+    e.technique_leakage_j = l0.technique_leakage_j;
+    e.extra_dynamic_j = result.hierarchy.extra_dynamic_j;
+    e.gross_savings_j = e.baseline_leakage_j - e.technique_leakage_j;
+    e.net_savings_j = e.gross_savings_j - e.extra_dynamic_j;
+    e.net_savings_frac = e.baseline_leakage_j > 0.0
+                             ? e.net_savings_j / e.baseline_leakage_j
+                             : 0.0;
+    e.perf_loss_frac =
+        runs.base_run.cycles
+            ? (static_cast<double>(runs.tech_run.cycles) -
+               static_cast<double>(runs.base_run.cycles)) /
+                  static_cast<double>(runs.base_run.cycles)
+            : 0.0;
+    result.energy = e;
+  }
 }
 
 } // namespace detail
@@ -167,6 +296,31 @@ void clear_baseline_cache() {
 std::size_t baseline_cache_size() {
   std::lock_guard<std::mutex> lock(baseline_mutex());
   return baseline_cache().size();
+}
+
+std::vector<LevelConfig> ExperimentConfig::legacy_levels() const {
+  const sim::ProcessorConfig pcfg = sim::ProcessorConfig::table2(l2_latency);
+  std::vector<LevelConfig> lv(2);
+  lv[0] = {.name = "l1d",
+           .geometry = pcfg.l1d,
+           .control = LevelControl{technique, policy, decay_interval}};
+  lv[1] = {.name = "l2", .geometry = pcfg.l2};
+  return lv;
+}
+
+std::vector<LevelConfig> ExperimentConfig::resolved_levels() const {
+  return levels.empty() ? legacy_levels() : levels;
+}
+
+bool ExperimentConfig::legacy_shape() const {
+  return levels.empty() || levels == legacy_levels();
+}
+
+void ExperimentConfig::set_l1_decay_interval(uint64_t interval) {
+  decay_interval = interval;
+  if (!levels.empty() && levels[0].control) {
+    levels[0].control->decay_interval = interval;
+  }
 }
 
 void ExperimentConfig::validate() const {
@@ -214,12 +368,196 @@ void ExperimentConfig::validate() const {
         "ExperimentConfig::faults.active_rate_per_bit_cycle must be a "
         "probability in [0, 1]");
   }
+  if (!levels.empty()) {
+    if (levels.size() < 2) {
+      throw std::invalid_argument(
+          "ExperimentConfig::levels must describe at least two levels "
+          "(levels[0] = the L1-D, levels[1] = its backing cache); got " +
+          std::to_string(levels.size()));
+    }
+    bool any_control = false;
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      const LevelConfig& lv = levels[i];
+      const std::string where =
+          "ExperimentConfig::levels[" + std::to_string(i) + "]" +
+          (lv.name.empty() ? std::string() : " (" + lv.name + ")");
+      try {
+        lv.geometry.validate();
+      } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(where + ".geometry: " + e.what());
+      }
+      if (lv.control) {
+        any_control = true;
+        const uint64_t di = lv.control->decay_interval;
+        if (di == 0 || di % 4 != 0) {
+          throw std::invalid_argument(
+              where +
+              ".control->decay_interval must be a nonzero multiple of 4 "
+              "(the epoch quantization), got " +
+              std::to_string(di));
+        }
+      }
+      if (i > 0) {
+        const LevelConfig& outer = levels[i - 1];
+        if (lv.geometry.line_bytes != outer.geometry.line_bytes) {
+          throw std::invalid_argument(
+              where + ".geometry.line_bytes = " +
+              std::to_string(lv.geometry.line_bytes) +
+              " contradicts ExperimentConfig::levels[" +
+              std::to_string(i - 1) + "].geometry.line_bytes = " +
+              std::to_string(outer.geometry.line_bytes) +
+              " (victim writebacks map whole lines between levels)");
+        }
+        if (lv.geometry.size_bytes < outer.geometry.size_bytes) {
+          throw std::invalid_argument(
+              where + ".geometry.size_bytes = " +
+              std::to_string(lv.geometry.size_bytes) +
+              " is smaller than the ExperimentConfig::levels[" +
+              std::to_string(i - 1) + "].geometry.size_bytes = " +
+              std::to_string(outer.geometry.size_bytes) +
+              " it backs (an inner level cannot be smaller than the outer)");
+        }
+      }
+    }
+    if (!any_control) {
+      throw std::invalid_argument(
+          "ExperimentConfig::levels: at least one level must carry control "
+          "(a fully uncontrolled hierarchy is just the baseline; use the "
+          "flat fields for that)");
+    }
+  }
 }
 
 ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
                                 const ExperimentConfig& cfg) {
   return run_experiment(profile, cfg, nullptr);
 }
+
+namespace {
+
+/// Attach the configured adaptive controller to @p target for the run's
+/// lifetime.  The controllers are owned by the caller's frame; attach()
+/// installs hooks into the cache, so they must outlive the simulation.
+struct AdaptiveControllers {
+  leakctl::FeedbackController feedback;
+  leakctl::AdaptiveModeControl amc;
+  leakctl::PerLineAdaptiveController per_line;
+
+  AdaptiveControllers(const ExperimentConfig& cfg)
+      : feedback(cfg.feedback), amc(cfg.amc), per_line(cfg.per_line) {}
+
+  void attach(ExperimentConfig::AdaptiveScheme scheme,
+              leakctl::ControlledCache& target) {
+    switch (scheme) {
+    case ExperimentConfig::AdaptiveScheme::feedback:
+      feedback.attach(target);
+      break;
+    case ExperimentConfig::AdaptiveScheme::amc:
+      amc.attach(target);
+      break;
+    case ExperimentConfig::AdaptiveScheme::per_line:
+      per_line.attach(target);
+      break;
+    case ExperimentConfig::AdaptiveScheme::none:
+      break;
+    }
+  }
+};
+
+/// The explicit-hierarchy technique run: stack controlled / plain levels
+/// bottom-up over memory, run the trace, and roll up per-level energy.
+void run_hierarchy_experiment(const workload::BenchmarkProfile& profile,
+                              const ExperimentConfig& cfg,
+                              const detail::BaselineData& base,
+                              ExperimentResult& result,
+                              const sim::CancellationToken* cancel) {
+  const std::vector<LevelConfig> lv = cfg.resolved_levels();
+  sim::ProcessorConfig pcfg = sim::ProcessorConfig::table2(cfg.l2_latency);
+  pcfg.l1d = lv[0].geometry;
+  pcfg.l2 = lv[1].geometry;
+  sim::Processor proc(pcfg);
+  sim::MemoryBackend mem(pcfg.memory_latency, &proc.activity());
+
+  // Levels N-1 .. 1 as BackingStores, bottom-up; level 0 is the DataPort.
+  std::vector<std::unique_ptr<sim::BackingStore>> chain;
+  std::vector<leakctl::ControlledCache*> controlled(lv.size(), nullptr);
+  std::vector<leakctl::ControlledCacheConfig> ccfgs(lv.size());
+  sim::BackingStore* below = &mem;
+  for (std::size_t i = lv.size(); i-- > 1;) {
+    if (lv[i].control) {
+      ccfgs[i] =
+          detail::level_controlled_config(cfg, lv[i], leakctl::LevelRole::l2);
+      auto cc = std::make_unique<leakctl::ControlledCache>(ccfgs[i], *below,
+                                                           &proc.activity());
+      controlled[i] = cc.get();
+      below = cc.get();
+      chain.push_back(std::move(cc));
+    } else {
+      auto cl = std::make_unique<sim::CacheLevel>(lv[i].geometry, *below,
+                                                  &proc.activity());
+      below = cl.get();
+      chain.push_back(std::move(cl));
+    }
+  }
+  sim::BackingStore& level1 = *below;
+
+  std::unique_ptr<leakctl::ControlledCache> l1_controlled;
+  std::unique_ptr<sim::BaselineDataPort> l1_plain;
+  sim::DataPort* dport = nullptr;
+  if (lv[0].control) {
+    ccfgs[0] =
+        detail::level_controlled_config(cfg, lv[0], leakctl::LevelRole::l1d);
+    l1_controlled = std::make_unique<leakctl::ControlledCache>(
+        ccfgs[0], level1, &proc.activity());
+    controlled[0] = l1_controlled.get();
+    dport = l1_controlled.get();
+  } else {
+    l1_plain = std::make_unique<sim::BaselineDataPort>(lv[0].geometry, level1,
+                                                       &proc.activity());
+    dport = l1_plain.get();
+  }
+  // The I-side shares the level-1 store, as the unified L2 always did —
+  // so I-fetch misses genuinely warm (and wake) a controlled L2.
+  sim::InstrPort iport(pcfg.l1i, level1, &proc.activity());
+
+  // Adaptive controllers observe the outermost controlled level.
+  AdaptiveControllers adaptive(cfg);
+  for (leakctl::ControlledCache* cc : controlled) {
+    if (cc != nullptr) {
+      adaptive.attach(cfg.adaptive, *cc);
+      break;
+    }
+  }
+
+  workload::Generator gen(profile, cfg.seed);
+  {
+    metrics::ScopedTimer sim_timer("phase.simulation");
+    result.tech_run = proc.run(gen, *dport, iport, cfg.instructions, cancel);
+  }
+  for (leakctl::ControlledCache* cc : controlled) {
+    if (cc != nullptr) {
+      cc->finalize(result.tech_run.cycles);
+    }
+  }
+  result.control = controlled[0] != nullptr ? controlled[0]->stats()
+                                            : leakctl::ControlStats{};
+
+  std::vector<leakctl::LevelInput> inputs(lv.size());
+  for (std::size_t i = 0; i < lv.size(); ++i) {
+    inputs[i].name = lv[i].name.empty() ? "level" + std::to_string(i)
+                                        : lv[i].name;
+    inputs[i].geom = leakctl::geometry_of(lv[i].geometry);
+    if (controlled[i] != nullptr) {
+      inputs[i].controlled = true;
+      inputs[i].technique = ccfgs[i].technique;
+      inputs[i].control = &controlled[i]->stats();
+      inputs[i].faults = ccfgs[i].faults;
+    }
+  }
+  detail::finish_energy_levels(result, pcfg, inputs, base, proc.activity());
+}
+
+} // namespace
 
 ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
                                 const ExperimentConfig& cfg,
@@ -236,29 +574,21 @@ ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
   result.base_run = base->run;
   result.base_l1d_miss_rate = base->l1d_miss_rate;
 
-  // Technique run: identical machine + instruction stream, controlled L1D.
+  if (!cfg.legacy_shape()) {
+    run_hierarchy_experiment(profile, cfg, *base, result, cancel);
+    return result;
+  }
+
+  // Legacy shape: identical machine + instruction stream, controlled L1D.
+  // This path is byte-for-byte the pre-LevelConfig code so legacy-shaped
+  // configs stay bit-identical across the API redesign.
   const sim::ProcessorConfig pcfg = sim::ProcessorConfig::table2(cfg.l2_latency);
   sim::Processor proc(pcfg);
   const leakctl::ControlledCacheConfig ccfg =
       detail::controlled_config(cfg, pcfg);
-  const ExperimentConfig::AdaptiveScheme scheme = cfg.adaptive;
   leakctl::ControlledCache dport(ccfg, proc.l2(), &proc.activity());
-  leakctl::FeedbackController feedback_ctl(cfg.feedback);
-  leakctl::AdaptiveModeControl amc_ctl(cfg.amc);
-  leakctl::PerLineAdaptiveController per_line_ctl(cfg.per_line);
-  switch (scheme) {
-  case ExperimentConfig::AdaptiveScheme::feedback:
-    feedback_ctl.attach(dport);
-    break;
-  case ExperimentConfig::AdaptiveScheme::amc:
-    amc_ctl.attach(dport);
-    break;
-  case ExperimentConfig::AdaptiveScheme::per_line:
-    per_line_ctl.attach(dport);
-    break;
-  case ExperimentConfig::AdaptiveScheme::none:
-    break;
-  }
+  AdaptiveControllers adaptive(cfg);
+  adaptive.attach(cfg.adaptive, dport);
   workload::Generator gen(profile, cfg.seed);
   {
     metrics::ScopedTimer sim_timer("phase.simulation");
@@ -271,26 +601,6 @@ ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
   detail::finish_energy(result, pcfg, ccfg, *base, proc.activity());
   return result;
 }
-
-// The [[deprecated]] attribute on the declaration also fires inside the
-// out-of-line definition; suppress it here — defining a deprecated shim
-// is the whole point.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-ExperimentConfig::Builder&
-ExperimentConfig::Builder::adaptive_feedback(bool enabled) {
-  static std::once_flag warned;
-  std::call_once(warned, [] {
-    std::fprintf(stderr,
-                 "warning: ExperimentConfig::Builder::adaptive_feedback(bool) "
-                 "is deprecated; use "
-                 "adaptive(ExperimentConfig::AdaptiveScheme::feedback)\n");
-  });
-  cfg_.adaptive =
-      enabled ? AdaptiveScheme::feedback : AdaptiveScheme::none;
-  return *this;
-}
-#pragma GCC diagnostic pop
 
 const ExperimentResult* SuiteResult::find(std::string_view benchmark) const {
   for (const ExperimentResult& r : results_) {
@@ -333,7 +643,7 @@ IntervalSweepResult best_interval_sweep(
     const std::vector<uint64_t>& intervals) {
   SweepRunner runner;
   for (const uint64_t interval : intervals) {
-    cfg.decay_interval = interval;
+    cfg.set_l1_decay_interval(interval);
     runner.submit(profile, cfg);
   }
   std::vector<ExperimentResult> results = values(runner.run());

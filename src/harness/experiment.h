@@ -25,6 +25,27 @@
 
 namespace harness {
 
+/// Leakage control carried by one hierarchy level.
+struct LevelControl {
+  leakctl::TechniqueParams technique = leakctl::TechniqueParams::drowsy();
+  leakctl::DecayPolicy policy = leakctl::DecayPolicy::noaccess;
+  uint64_t decay_interval = 4096; ///< cycles
+  bool operator==(const LevelControl&) const = default;
+};
+
+/// One level of the simulated data-side hierarchy: geometry plus optional
+/// leakage control.  ExperimentConfig::levels orders these outermost
+/// first: index 0 is the L1-D the core talks to, index 1 its backing L2,
+/// and so on down to memory.  A level without control is a plain
+/// sim::CacheLevel; a level with control is a leakctl::ControlledCache in
+/// the matching role.
+struct LevelConfig {
+  std::string name;    ///< "l1d", "l2", ... — used in validation errors
+  sim::CacheConfig geometry;
+  std::optional<LevelControl> control;
+  bool operator==(const LevelConfig&) const = default;
+};
+
 struct ExperimentConfig {
   unsigned l2_latency = 11;       ///< paper sweep: 5 / 8 / 11 / 17
   double temperature_c = 110.0;   ///< paper: 85 or 110
@@ -42,8 +63,7 @@ struct ExperimentConfig {
   /// the formal feedback controller [31], Zhou et al.'s adaptive mode
   /// control [33], or Kaxiras et al.'s per-line intervals [19] — the three
   /// methods the paper lists in Sec. 5.4.  This field is the single
-  /// spelling; the legacy `adaptive_feedback` bool is retired (the
-  /// deprecated Builder::adaptive_feedback shim maps it here).
+  /// spelling; the legacy `adaptive_feedback` bool is retired.
   enum class AdaptiveScheme { none, feedback, amc, per_line };
   AdaptiveScheme adaptive = AdaptiveScheme::none;
 
@@ -55,7 +75,34 @@ struct ExperimentConfig {
   /// the node's nominal supply and 300 K); run_experiment scales them to
   /// the technique's retention voltage and the experiment temperature via
   /// hotleakage::cells::sram_seu_scale before handing them to the cache.
+  /// With an explicit `levels` list the config applies to every
+  /// controlled level, scaled by that level's own standby mode.
   faults::FaultConfig faults;
+
+  /// Explicit per-level hierarchy, outermost first.  Empty means "legacy
+  /// shape": the flat fields above describe the paper's machine — a
+  /// controlled L1-D over a plain Table 2 L2 — exactly as before this API
+  /// existed.  legacy_levels() is that mapping made explicit, and a
+  /// `levels` list equal to it is *still* legacy-shaped: same run path,
+  /// same config hash, bit-identical results (tests/test_level_config).
+  /// Any other list takes the generalized hierarchy path, where each
+  /// controlled level carries its own technique/policy/interval and
+  /// per-level energy lands in ExperimentResult::hierarchy.
+  std::vector<LevelConfig> levels;
+
+  /// The flat L1-only fields rendered as the two-level list they imply.
+  std::vector<LevelConfig> legacy_levels() const;
+  /// The canonical level list: `levels` when explicit, legacy_levels()
+  /// otherwise.
+  std::vector<LevelConfig> resolved_levels() const;
+  /// True when this config takes the original L1-only code path (and
+  /// keeps the original config hash): levels is empty or merely restates
+  /// the flat fields.
+  bool legacy_shape() const;
+  /// Set the outermost level's decay interval in whichever shape the
+  /// config is in; interval sweeps mutate configs through this so they
+  /// work on legacy and explicit-levels configs alike.
+  void set_l1_decay_interval(uint64_t interval);
 
   /// Reject nonsense configurations with a std::invalid_argument naming
   /// the offending field.  Called at the top of run_experiment.
@@ -115,11 +162,23 @@ public:
     cfg_.adaptive = scheme;
     return *this;
   }
-  /// Shim for the retired ExperimentConfig::adaptive_feedback bool:
-  /// true selects AdaptiveScheme::feedback, false selects none.  Warns
-  /// once per process on stderr.  Use adaptive() instead.
-  [[deprecated("use adaptive(ExperimentConfig::AdaptiveScheme::feedback)")]]
-  Builder& adaptive_feedback(bool enabled);
+  /// Append one hierarchy level (outermost first).  Level 0's control,
+  /// when present, is mirrored into the flat technique/policy/interval
+  /// fields, and level 1's hit latency into l2_latency — so a two-level
+  /// list that restates the legacy machine stays legacy-shaped (identical
+  /// config hash, bit-identical results).  Call after any flat setters
+  /// you want mirrored over.
+  Builder& level(LevelConfig lc) {
+    cfg_.levels.push_back(std::move(lc));
+    sync_levels();
+    return *this;
+  }
+  /// Replace the whole level list (same mirroring as level()).
+  Builder& levels(std::vector<LevelConfig> ls) {
+    cfg_.levels = std::move(ls);
+    sync_levels();
+    return *this;
+  }
   /// Configure and enable the feedback controller in one step.
   Builder& feedback(leakctl::FeedbackConfig f) {
     cfg_.feedback = f;
@@ -149,6 +208,20 @@ public:
   operator ExperimentConfig() const { return build(); } // NOLINT(google-explicit-constructor)
 
 private:
+  void sync_levels() {
+    if (cfg_.levels.empty()) {
+      return;
+    }
+    if (cfg_.levels[0].control) {
+      cfg_.technique = cfg_.levels[0].control->technique;
+      cfg_.policy = cfg_.levels[0].control->policy;
+      cfg_.decay_interval = cfg_.levels[0].control->decay_interval;
+    }
+    if (cfg_.levels.size() > 1) {
+      cfg_.l2_latency = cfg_.levels[1].geometry.hit_latency;
+    }
+  }
+
   ExperimentConfig cfg_;
 };
 
@@ -157,9 +230,17 @@ inline ExperimentConfig::Builder ExperimentConfig::make() { return {}; }
 struct ExperimentResult {
   std::string benchmark;
   ExperimentConfig config;
+  /// The flat, L1-centric view the paper's figures use (level 0 only).
   leakctl::EnergyBreakdown energy;
+  /// Per-level total-leakage rollup (schema-3 "hierarchy" section).
+  /// Populated for every shape: legacy configs get the controlled-L1 +
+  /// plain-L2 breakdown whose level-0 numbers match `energy` exactly.
+  leakctl::HierarchyEnergy hierarchy;
   sim::RunStats base_run;
   sim::RunStats tech_run;
+  /// Level-0 control stats (zero when the outermost level is a plain
+  /// cache in an explicit-levels config); deeper levels' stats are in
+  /// `hierarchy`.
   leakctl::ControlStats control;
   double base_l1d_miss_rate = 0.0;
   /// How this cell executed under the sweep engine (status, attempts,

@@ -11,9 +11,11 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "harness/experiment.h"
 #include "leakctl/controlled_cache.h"
+#include "leakctl/energy.h"
 
 namespace harness::detail {
 
@@ -32,19 +34,37 @@ std::shared_ptr<const BaselineData> baseline_for(
     const workload::BenchmarkProfile& profile, const ExperimentConfig& cfg,
     const sim::CancellationToken* cancel);
 
-/// The ControlledCacheConfig a cell instantiates: Table 2 L1D geometry,
-/// the technique/policy/interval from @p cfg, fault rates scaled to the
-/// operating point, and tags forced awake when an adaptive scheme is
-/// active (paper Sec. 5.4).
+/// The ControlledCacheConfig one controlled hierarchy level instantiates:
+/// that level's geometry/technique/policy/interval, the role selecting
+/// which Activity counters it charges, fault rates scaled to the operating
+/// point (per the level's own standby mode), and tags forced awake when an
+/// adaptive scheme is active (paper Sec. 5.4).
+leakctl::ControlledCacheConfig level_controlled_config(
+    const ExperimentConfig& cfg, const LevelConfig& level,
+    leakctl::LevelRole role);
+
+/// The legacy-shape specialization: Table 2 L1D geometry with the flat
+/// technique/policy/interval fields, value-identical to what it produced
+/// before the LevelConfig API existed (bit-identity depends on it).
 leakctl::ControlledCacheConfig controlled_config(
     const ExperimentConfig& cfg, const sim::ProcessorConfig& pcfg);
 
-/// Energy-model tail: fills result.energy from the already-populated
-/// base_run/tech_run/control of @p result plus the activity pair.
+/// Energy-model tail for legacy-shaped cells: fills result.energy from the
+/// already-populated base_run/tech_run/control of @p result plus the
+/// activity pair, and result.hierarchy with the matching two-level rollup.
 /// result.config must be the cell's config (operating point, variation).
 void finish_energy(ExperimentResult& result, const sim::ProcessorConfig& pcfg,
                    const leakctl::ControlledCacheConfig& ccfg,
                    const BaselineData& base,
                    const wattch::Activity& tech_activity);
+
+/// Energy-model tail for explicit-hierarchy cells: @p inputs describe each
+/// level (outermost first, control stats wired in for controlled levels).
+/// Fills result.hierarchy and maps level 0 into the flat result.energy.
+void finish_energy_levels(ExperimentResult& result,
+                          const sim::ProcessorConfig& pcfg,
+                          const std::vector<leakctl::LevelInput>& inputs,
+                          const BaselineData& base,
+                          const wattch::Activity& tech_activity);
 
 } // namespace harness::detail

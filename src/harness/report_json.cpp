@@ -54,6 +54,15 @@ const char* protection_name(faults::Protection p) {
   return "?";
 }
 
+json::Value technique_body(const leakctl::TechniqueParams& technique) {
+  json::Value tech = json::Value::object();
+  tech["name"] = technique.name;
+  tech["mode"] = standby_mode_name(technique.mode);
+  tech["state_preserving"] = technique.state_preserving;
+  tech["decay_tags"] = technique.decay_tags;
+  return tech;
+}
+
 /// Config serialization *without* the hash field — the form the hash is
 /// computed over.
 json::Value config_body(const ExperimentConfig& cfg) {
@@ -61,12 +70,7 @@ json::Value config_body(const ExperimentConfig& cfg) {
   v["l2_latency"] = cfg.l2_latency;
   v["temperature_c"] = cfg.temperature_c;
   v["vdd"] = cfg.vdd;
-  json::Value tech = json::Value::object();
-  tech["name"] = cfg.technique.name;
-  tech["mode"] = standby_mode_name(cfg.technique.mode);
-  tech["state_preserving"] = cfg.technique.state_preserving;
-  tech["decay_tags"] = cfg.technique.decay_tags;
-  v["technique"] = std::move(tech);
+  v["technique"] = technique_body(cfg.technique);
   v["policy"] = policy_name(cfg.policy);
   v["decay_interval"] = cfg.decay_interval;
   v["instructions"] = cfg.instructions;
@@ -117,6 +121,32 @@ json::Value config_body(const ExperimentConfig& cfg) {
   faults["protection"] = protection_name(cfg.faults.protection);
   faults["seed"] = cfg.faults.seed;
   v["faults"] = std::move(faults);
+  // Explicit hierarchies extend the canonical form with the per-level
+  // list.  Legacy-shaped configs — including LevelConfig spellings that
+  // compare equal to legacy_levels() — omit it, so every pre-hierarchy
+  // config hash is preserved.
+  if (!cfg.legacy_shape()) {
+    json::Value levels = json::Value::array();
+    for (const LevelConfig& level : cfg.levels) {
+      json::Value lv = json::Value::object();
+      lv["name"] = level.name;
+      json::Value geom = json::Value::object();
+      geom["size_bytes"] = level.geometry.size_bytes;
+      geom["assoc"] = level.geometry.assoc;
+      geom["line_bytes"] = level.geometry.line_bytes;
+      geom["hit_latency"] = level.geometry.hit_latency;
+      lv["geometry"] = std::move(geom);
+      if (level.control.has_value()) {
+        json::Value ctl = json::Value::object();
+        ctl["technique"] = technique_body(level.control->technique);
+        ctl["policy"] = policy_name(level.control->policy);
+        ctl["decay_interval"] = level.control->decay_interval;
+        lv["control"] = std::move(ctl);
+      }
+      levels.push_back(std::move(lv));
+    }
+    v["levels"] = std::move(levels);
+  }
   return v;
 }
 
@@ -220,6 +250,73 @@ leakctl::EnergyBreakdown energy_from_json(const json::Value& v) {
   return energy;
 }
 
+json::Value to_json(const leakctl::HierarchyEnergy& hierarchy) {
+  json::Value v = json::Value::object();
+  json::Value levels = json::Value::array();
+  for (const leakctl::LevelEnergy& le : hierarchy.levels) {
+    json::Value lv = json::Value::object();
+    lv["name"] = le.name;
+    lv["controlled"] = le.controlled;
+    lv["baseline_leakage_j"] = le.baseline_leakage_j;
+    lv["technique_leakage_j"] = le.technique_leakage_j;
+    lv["baseline_gate_j"] = le.baseline_gate_j;
+    lv["technique_gate_j"] = le.technique_gate_j;
+    lv["decay_hw_leakage_j"] = le.decay_hw_leakage_j;
+    lv["protection_leakage_j"] = le.protection_leakage_j;
+    lv["protection_dynamic_j"] = le.protection_dynamic_j;
+    lv["net_savings_j"] = le.net_savings_j;
+    lv["induced_misses"] = le.induced_misses;
+    lv["slow_hits"] = le.slow_hits;
+    lv["wakes"] = le.wakes;
+    lv["decays"] = le.decays;
+    lv["decay_writebacks"] = le.decay_writebacks;
+    lv["turnoff_ratio"] = le.turnoff_ratio;
+    levels.push_back(std::move(lv));
+  }
+  v["levels"] = std::move(levels);
+  v["extra_dynamic_j"] = hierarchy.extra_dynamic_j;
+  v["total_baseline_leakage_j"] = hierarchy.total_baseline_leakage_j;
+  v["total_technique_leakage_j"] = hierarchy.total_technique_leakage_j;
+  v["total_gate_leakage_j"] = hierarchy.total_gate_leakage_j;
+  v["total_net_savings_j"] = hierarchy.total_net_savings_j;
+  v["total_net_savings_frac"] = hierarchy.total_net_savings_frac;
+  return v;
+}
+
+leakctl::HierarchyEnergy hierarchy_from_json(const json::Value& v) {
+  leakctl::HierarchyEnergy h;
+  for (const json::Value& lv : v.at("levels").as_array()) {
+    leakctl::LevelEnergy le;
+    le.name = lv.at("name").as_string();
+    le.controlled = lv.at("controlled").as_bool();
+    le.baseline_leakage_j = lv.at("baseline_leakage_j").as_double();
+    le.technique_leakage_j = lv.at("technique_leakage_j").as_double();
+    le.baseline_gate_j = lv.at("baseline_gate_j").as_double();
+    le.technique_gate_j = lv.at("technique_gate_j").as_double();
+    le.decay_hw_leakage_j = lv.at("decay_hw_leakage_j").as_double();
+    le.protection_leakage_j = lv.at("protection_leakage_j").as_double();
+    le.protection_dynamic_j = lv.at("protection_dynamic_j").as_double();
+    le.net_savings_j = lv.at("net_savings_j").as_double();
+    le.induced_misses =
+        static_cast<unsigned long long>(lv.at("induced_misses").as_double());
+    le.slow_hits =
+        static_cast<unsigned long long>(lv.at("slow_hits").as_double());
+    le.wakes = static_cast<unsigned long long>(lv.at("wakes").as_double());
+    le.decays = static_cast<unsigned long long>(lv.at("decays").as_double());
+    le.decay_writebacks = static_cast<unsigned long long>(
+        lv.at("decay_writebacks").as_double());
+    le.turnoff_ratio = lv.at("turnoff_ratio").as_double();
+    h.levels.push_back(std::move(le));
+  }
+  h.extra_dynamic_j = v.at("extra_dynamic_j").as_double();
+  h.total_baseline_leakage_j = v.at("total_baseline_leakage_j").as_double();
+  h.total_technique_leakage_j = v.at("total_technique_leakage_j").as_double();
+  h.total_gate_leakage_j = v.at("total_gate_leakage_j").as_double();
+  h.total_net_savings_j = v.at("total_net_savings_j").as_double();
+  h.total_net_savings_frac = v.at("total_net_savings_frac").as_double();
+  return h;
+}
+
 json::Value to_json(const CellInfo& cell) {
   json::Value v = json::Value::object();
   v["status"] = to_string(cell.status);
@@ -263,6 +360,7 @@ json::Value to_json(const ExperimentResult& result) {
   v["base_l1d_miss_rate"] = result.base_l1d_miss_rate;
   v["config"] = to_json(result.config);
   v["energy"] = to_json(result.energy);
+  v["hierarchy"] = to_json(result.hierarchy);
   v["base_run"] = to_json(result.base_run);
   v["tech_run"] = to_json(result.tech_run);
   v["control"] = to_json(result.control);

@@ -1,4 +1,4 @@
-// Machine-readable result export (schema version 2).
+// Machine-readable result export (schema version 3).
 //
 // Turns the harness's result structures — SuiteResult, ExperimentResult,
 // ControlStats, EnergyBreakdown — into a json::Value document carrying
@@ -34,7 +34,12 @@ namespace harness {
 ///       (status, error taxonomy, attempts, duration, resumed), and
 ///       series/suite levels gain a "cells" rollup with a "complete"
 ///       flag so consumers can tell a partial sweep from a clean one.
-inline constexpr int kReportSchemaVersion = 2;
+///   3 — hierarchy: every row carries a "hierarchy" total-leakage
+///       section (per-level baseline/technique/gate energy, induced-miss
+///       and wake-up stats, totals), and non-legacy configs serialize
+///       their per-level "levels" list.  Legacy-shaped configs keep the
+///       schema-2 canonical form, so their hashes are unchanged.
+inline constexpr int kReportSchemaVersion = 3;
 
 /// `git describe` of the build, baked in at configure time ("unknown"
 /// outside a git checkout).
@@ -47,6 +52,7 @@ uint64_t config_hash(const ExperimentConfig& cfg);
 json::Value to_json(const sim::RunStats& run);
 json::Value to_json(const leakctl::ControlStats& control);
 json::Value to_json(const leakctl::EnergyBreakdown& energy);
+json::Value to_json(const leakctl::HierarchyEnergy& hierarchy);
 json::Value to_json(const CellInfo& cell);
 json::Value to_json(const ExperimentConfig& cfg);
 json::Value to_json(const ExperimentResult& result);
@@ -62,6 +68,7 @@ json::Value to_json(const SuiteResult& suite);
 leakctl::ControlStats control_stats_from_json(const json::Value& v);
 sim::RunStats run_stats_from_json(const json::Value& v);
 leakctl::EnergyBreakdown energy_from_json(const json::Value& v);
+leakctl::HierarchyEnergy hierarchy_from_json(const json::Value& v);
 CellInfo cell_info_from_json(const json::Value& v);
 
 /// Snapshot of a metrics registry: {"counters": {...}, "gauges": {...},

@@ -438,32 +438,6 @@ std::vector<CellRun> for_cells(
 
 } // namespace detail
 
-std::vector<CellRun> parallel_for_cells(
-    std::size_t count,
-    const std::function<void(std::size_t, const sim::CancellationToken&)>&
-        body,
-    const SweepOptions& opts,
-    const std::function<void(std::size_t, const CellRun&)>& on_cell_done) {
-  return detail::for_cells(count, body, opts, on_cell_done);
-}
-
-void parallel_for_indexed(std::size_t count,
-                          const std::function<void(std::size_t)>& body,
-                          const SweepOptions& opts) {
-  const std::vector<CellRun> runs = detail::for_cells(
-      count,
-      [&body](std::size_t i, const sim::CancellationToken&) { body(i); },
-      opts);
-  for (const CellRun& run : runs) {
-    if (run.exception) {
-      // Lowest index: what the serial loop would have thrown first.
-      // rethrow_exception preserves the payload's concrete type, so
-      // even non-std::exception throws survive the pool drain.
-      std::rethrow_exception(run.exception);
-    }
-  }
-}
-
 std::size_t SweepRunner::submit(const workload::BenchmarkProfile& profile,
                                 const ExperimentConfig& cfg) {
   cells_.push_back(SweepCell{profile, cfg});
@@ -484,6 +458,10 @@ ExperimentResult result_from_journal(const JournalRecord& rec,
     throw std::runtime_error("journal record benchmark mismatch");
   }
   r.energy = energy_from_json(rec.result.at("energy"));
+  // Required since schema 3: a pre-hierarchy journal record throws here
+  // and the caller re-runs the cell instead of resuming a result whose
+  // hierarchy section it cannot reconstruct.
+  r.hierarchy = hierarchy_from_json(rec.result.at("hierarchy"));
   r.base_run = run_stats_from_json(rec.result.at("base_run"));
   r.tech_run = run_stats_from_json(rec.result.at("tech_run"));
   r.control = control_stats_from_json(rec.result.at("control"));
@@ -564,7 +542,8 @@ std::vector<CellResult<ExperimentResult>> SweepRunner::run() {
   // A unit shares one trace pass, so its members must agree on the
   // instruction stream — (benchmark, instructions, seed); the L2 latency
   // may differ per lane (harness/batched.h).  Everything else — fault
-  // injection, adaptive schemes, stream groups of one — runs scalar.
+  // injection, adaptive schemes, explicit hierarchies, stream groups of
+  // one — runs scalar.
   const unsigned batch_limit = resolve_batch_limit(opts_.batch);
   std::vector<std::vector<std::size_t>> units;
   std::vector<std::size_t> scalar;
@@ -703,7 +682,7 @@ std::vector<IntervalSweepResult> best_interval_sweeps_all(
   for (const workload::BenchmarkProfile& p : profiles) {
     for (const uint64_t interval : intervals) {
       ExperimentConfig cell = cfg;
-      cell.decay_interval = interval;
+      cell.set_l1_decay_interval(interval);
       runner.submit(p, cell);
     }
   }
@@ -722,6 +701,54 @@ std::vector<IntervalSweepResult> best_interval_sweeps_all(
       }
       sweep.sweep.push_back(std::move(r));
     }
+  }
+  return out;
+}
+
+std::vector<JointIntervalCell> joint_interval_sweep(
+    const ExperimentConfig& cfg, const std::vector<uint64_t>& l1_intervals,
+    const std::vector<uint64_t>& l2_intervals,
+    const std::vector<workload::BenchmarkProfile>& profiles,
+    const SweepOptions& opts) {
+  if (l1_intervals.empty() || l2_intervals.empty()) {
+    throw std::invalid_argument(
+        "joint_interval_sweep: interval grids must be non-empty");
+  }
+  std::vector<LevelConfig> levels = cfg.resolved_levels();
+  if (levels.size() < 2) {
+    throw std::invalid_argument(
+        "joint_interval_sweep: config must resolve to >= 2 levels");
+  }
+  if (!levels[0].control.has_value()) {
+    throw std::invalid_argument(
+        "joint_interval_sweep: level 0 must be controlled");
+  }
+  if (!levels[1].control.has_value()) {
+    levels[1].control = *levels[0].control; // promote: same technique at L2
+  }
+
+  SweepRunner runner(opts);
+  std::vector<JointIntervalCell> out;
+  out.reserve(profiles.size() * l1_intervals.size() * l2_intervals.size());
+  for (const workload::BenchmarkProfile& p : profiles) {
+    for (const uint64_t l1 : l1_intervals) {
+      for (const uint64_t l2 : l2_intervals) {
+        ExperimentConfig cell = cfg;
+        cell.levels = levels;
+        cell.set_l1_decay_interval(l1);
+        cell.levels[1].control->decay_interval = l2;
+        runner.submit(p, cell);
+        JointIntervalCell jc;
+        jc.benchmark = std::string(p.name);
+        jc.l1_interval = l1;
+        jc.l2_interval = l2;
+        out.push_back(std::move(jc));
+      }
+    }
+  }
+  std::vector<ExperimentResult> flat = values(runner.run(), opts.fail_fast);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].result = std::move(flat[i]);
   }
   return out;
 }

@@ -20,9 +20,10 @@
 // Each unit decodes the trace once and drives K leakage-controlled cache
 // replicas through one pass (harness/batched.h), producing results
 // bit-identical to the scalar path.  Cells the lockstep pass cannot
-// share (fault injection, adaptive schemes) and any member of a unit
-// that fails mid-batch fall back to the scalar path transparently, where
-// per-cell retry / watchdog / journal semantics apply unchanged.
+// share (fault injection, adaptive schemes, explicit-hierarchy levels)
+// and any member of a unit that fails mid-batch fall back to the scalar
+// path transparently, where per-cell retry / watchdog / journal
+// semantics apply unchanged.
 //
 // Resilience layer (see DESIGN.md "Sweep resilience"): production-scale
 // grids are hours long, so the engine also provides
@@ -46,9 +47,7 @@
 // submitted (profile, config) grid, an index range with a body, or a
 // container with a map function — always returning per-cell rows
 // (CellResult / CellRun).  values() recovers the old fail-fast
-// value-vector behavior.  The former free functions (sweep_map,
-// sweep_map_cells, parallel_for_indexed, parallel_for_cells) and
-// SweepRunner::run_cells survive one release as deprecated wrappers.
+// value-vector behavior.
 //
 // Thread count: SweepOptions::threads if nonzero, else the HLCC_THREADS
 // environment variable, else std::thread::hardware_concurrency().
@@ -277,55 +276,10 @@ public:
     return out;
   }
 
-  /// Former name of the grid form; one-release compatibility wrapper.
-  [[deprecated("use run(); the grid form returns CellResult rows")]]
-  std::vector<CellResult<ExperimentResult>> run_cells() { return run(); }
-
 private:
   SweepOptions opts_;
   std::vector<SweepCell> cells_;
 };
-
-// --- Deprecated free-function entry points (one release) -------------
-// Each is a thin shim over SweepRunner::run() / values(); new code uses
-// those directly.
-
-/// @deprecated Use SweepRunner::run(count, body); failures are rows, not
-/// throws — wrap with your own rethrow or use values() semantics.
-[[deprecated("use SweepRunner::run(count, body)")]]
-std::vector<CellRun> parallel_for_cells(
-    std::size_t count,
-    const std::function<void(std::size_t, const sim::CancellationToken&)>&
-        body,
-    const SweepOptions& opts = {},
-    const std::function<void(std::size_t, const CellRun&)>& on_cell_done =
-        nullptr);
-
-/// @deprecated Use SweepRunner::run(count, body) and inspect the rows
-/// (or rethrow the lowest-index exception for the old behavior).
-[[deprecated("use SweepRunner::run(count, body)")]]
-void parallel_for_indexed(std::size_t count,
-                          const std::function<void(std::size_t)>& body,
-                          const SweepOptions& opts = {});
-
-/// @deprecated Use values(SweepRunner(opts).run(items, fn)).
-template <typename Container, typename Fn>
-[[deprecated("use values(SweepRunner(opts).run(items, fn))")]]
-auto sweep_map(const Container& items, Fn&& fn, const SweepOptions& opts = {})
-    -> std::vector<std::decay_t<decltype(fn(*std::begin(items)))>> {
-  SweepRunner runner(opts);
-  return values(runner.run(items, std::forward<Fn>(fn)));
-}
-
-/// @deprecated Use SweepRunner(opts).run(items, fn).
-template <typename Container, typename Fn>
-[[deprecated("use SweepRunner(opts).run(items, fn)")]]
-auto sweep_map_cells(const Container& items, Fn&& fn,
-                     const SweepOptions& opts = {})
-    -> std::vector<CellResult<std::decay_t<decltype(fn(*std::begin(items)))>>> {
-  SweepRunner runner(opts);
-  return runner.run(items, std::forward<Fn>(fn));
-}
 
 /// run_suite with explicit engine options (progress label, thread count).
 SuiteResult run_suite(const ExperimentConfig& cfg, const SweepOptions& opts);
@@ -336,6 +290,29 @@ SuiteResult run_suite(const ExperimentConfig& cfg, const SweepOptions& opts);
 /// Returned in spec2000_profiles() order.
 std::vector<IntervalSweepResult> best_interval_sweeps_all(
     const ExperimentConfig& cfg, const std::vector<uint64_t>& intervals,
+    const SweepOptions& opts = {});
+
+/// One cell of a joint (L1 interval, L2 interval) hierarchy grid.
+struct JointIntervalCell {
+  std::string benchmark;
+  uint64_t l1_interval = 0;
+  uint64_t l2_interval = 0;
+  ExperimentResult result;
+};
+
+/// Joint (L1-interval x L2-interval) grid over @p profiles through the
+/// engine, flattened benchmark-major / L1-major / L2-minor.  @p cfg's
+/// resolved level list supplies the hierarchy: level 0 must be
+/// controlled; when level 1 is plain it is promoted to a controlled
+/// level reusing level 0's technique and policy, so a legacy L1-only
+/// config sweeps as "same technique at both levels" without hand-built
+/// LevelConfig lists.  Each cell is an explicit-hierarchy config, so the
+/// planner routes it scalar (lockstep batching covers legacy-shaped
+/// cells only) and per-level energy lands in result.hierarchy.
+std::vector<JointIntervalCell> joint_interval_sweep(
+    const ExperimentConfig& cfg, const std::vector<uint64_t>& l1_intervals,
+    const std::vector<uint64_t>& l2_intervals,
+    const std::vector<workload::BenchmarkProfile>& profiles,
     const SweepOptions& opts = {});
 
 } // namespace harness

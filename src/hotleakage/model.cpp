@@ -73,6 +73,21 @@ double LeakageModel::sram_power(double n_cells, StandbyMode mode) const {
   throw std::invalid_argument("sram_power: unknown standby mode");
 }
 
+LeakageModel::LeakagePowerSplit
+LeakageModel::sram_power_split(double n_cells, StandbyMode mode) const {
+  const double total = sram_power(n_cells, mode);
+  OperatingPoint eval_op = op_;
+  if (mode == StandbyMode::drowsy) {
+    eval_op.vdd = standby_.drowsy_vdd_over_vth *
+                  std::max(tech_.nmos.vth0, tech_.pmos.vth0);
+  }
+  const CellLeakage cell = cell_leakage(tech_, sram_, eval_op);
+  const double cell_total = cell.total();
+  const double gate_frac = cell_total > 0.0 ? cell.gate / cell_total : 0.0;
+  return {.subthreshold_w = total * (1.0 - gate_frac),
+          .gate_w = total * gate_frac};
+}
+
 double LeakageModel::data_line_power(const CacheGeometry& geom,
                                      StandbyMode mode) const {
   return sram_power(static_cast<double>(geom.data_bits_per_line()), mode);

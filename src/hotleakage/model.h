@@ -94,6 +94,24 @@ public:
   /// tables, BTBs, ...) — adding a structure model is one call.
   double sram_power(double n_cells, StandbyMode mode) const;
 
+  /// sram_power decomposed into its subthreshold and gate-tunnelling
+  /// components (src/hotleakage/gate_leakage).  By construction
+  /// split.total() == sram_power(n_cells, mode): the split applies the
+  /// gate fraction of the cell's leakage at the mode's evaluation supply
+  /// (the drowsy retention rail for drowsy, the full rail otherwise) to
+  /// the mode's total.  Gated-Vss and RBB scale both components by the
+  /// same suppression factor — a simplification, since the footer mainly
+  /// attenuates the subthreshold path, but one that keeps the split and
+  /// the mode totals consistent.  Gate leakage grows relative to
+  /// subthreshold at large L2/L3 arrays, which is what makes per-level
+  /// accounting matter (Bai et al., PAPERS.md).
+  struct LeakagePowerSplit {
+    double subthreshold_w = 0.0;
+    double gate_w = 0.0;
+    double total() const { return subthreshold_w + gate_w; }
+  };
+  LeakagePowerSplit sram_power_split(double n_cells, StandbyMode mode) const;
+
 private:
 
   TechParams tech_;

@@ -174,7 +174,11 @@ unsigned ControlledCache::access_decomposed(uint64_t addr,
   }
 
   if (activity_ != nullptr) {
-    (is_store ? activity_->l1_writes : activity_->l1_reads)++;
+    if (cfg_.role == LevelRole::l2) {
+      activity_->l2_accesses++; // priced like the plain CacheLevel it replaces
+    } else {
+      (is_store ? activity_->l1_writes : activity_->l1_reads)++;
+    }
   }
 
   const std::size_t set = d.set;

@@ -1,4 +1,4 @@
-// L1 D-cache wrapped with a leakage-control technique (paper Sec. 2.3).
+// A cache level wrapped with a leakage-control technique (paper Sec. 2.3).
 //
 // This is the paper's central artifact: a sim::DataPort that interposes the
 // decay machinery between the core and the L1 D-cache, classifies every
@@ -34,8 +34,15 @@
 
 namespace leakctl {
 
+/// Which hierarchy level a ControlledCache instance plays.  Decay logic is
+/// level-agnostic; the role only selects which wattch::Activity counters the
+/// instance charges (l1_reads/l1_writes vs l2_accesses), so a controlled L2
+/// is priced like the plain CacheLevel it replaces rather than like an L1.
+enum class LevelRole { l1d, l2 };
+
 struct ControlledCacheConfig {
   sim::CacheConfig cache;
+  LevelRole role = LevelRole::l1d;
   TechniqueParams technique = TechniqueParams::drowsy();
   DecayPolicy policy = DecayPolicy::noaccess;
   uint64_t decay_interval = 4096;
@@ -145,6 +152,23 @@ public:
 
   /// BackingStore: absorb a dirty victim from the level above (off the
   /// critical path; still updates contents and decay state).
+  ///
+  /// Writeback-absorption contract (what makes stacked controlled levels
+  /// safe to compose without double-counting in wattch::Activity):
+  ///   * The absorbed victim is replayed as a single store through this
+  ///     level's normal access path, so it is classified (hit / induced /
+  ///     true miss), warms or wakes the target line, resets its decay
+  ///     counter, and charges exactly one access at this level's role
+  ///     counter — never the level above's.
+  ///   * Only a *miss* here propagates further down (one next_.access for
+  ///     the fill, plus this level's own victim writeback if the fill
+  ///     evicts dirty data).  A hit is fully absorbed: no memory_accesses
+  ///     are charged, matching sim::CacheLevel::writeback.
+  ///   * The returned latency is discarded — victim writebacks are off the
+  ///     critical path, so absorption affects energy and contents, never
+  ///     the upper level's access latency.
+  /// tests/test_hierarchy_control.cpp pins this contract for L1->L2
+  /// controlled stacks.
   void writeback(uint64_t addr, uint64_t cycle) override {
     (void)access(addr, /*is_store=*/true, cycle);
   }

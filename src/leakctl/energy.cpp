@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace leakctl {
 
@@ -93,6 +94,135 @@ EnergyBreakdown compute_energy(const hotleakage::LeakageModel& model,
           : 0.0;
   e.turnoff_ratio = c.turnoff_ratio();
   return e;
+}
+
+HierarchyEnergy compute_hierarchy_energy(const hotleakage::LeakageModel& model,
+                                         const std::vector<LevelInput>& levels,
+                                         const RunPair& runs,
+                                         const wattch::PowerParams& power,
+                                         double clock_hz) {
+  if (clock_hz <= 0.0) {
+    throw std::invalid_argument(
+        "compute_hierarchy_energy: clock must be positive");
+  }
+  using hotleakage::StandbyMode;
+  const double dt = 1.0 / clock_hz;
+  const double t_base = static_cast<double>(runs.base_run.cycles) * dt;
+  const double t_tech = static_cast<double>(runs.tech_run.cycles) * dt;
+
+  HierarchyEnergy h;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const LevelInput& in = levels[i];
+    const double data_bits =
+        static_cast<double>(in.geom.data_bits_per_line());
+    const double tag_bits = static_cast<double>(in.geom.tag_bits);
+    const double lines = static_cast<double>(in.geom.lines);
+    // Totals come straight from sram_power (so the controlled-L1 numbers
+    // match compute_energy bit for bit); the split only supplies the gate
+    // share.  Edge logic is gate-dominated differently (wide devices, no
+    // storage), so it stays out of the gate decomposition.
+    const double p_data_active = model.data_line_power(in.geom,
+                                                       StandbyMode::active);
+    const double p_tag_active = model.tag_line_power(in.geom,
+                                                     StandbyMode::active);
+    const double p_edge = model.edge_logic_power(in.geom);
+    const double g_data_active =
+        model.sram_power_split(data_bits, StandbyMode::active).gate_w;
+    const double g_tag_active =
+        model.sram_power_split(tag_bits, StandbyMode::active).gate_w;
+
+    LevelEnergy le;
+    le.name = in.name;
+    le.controlled = in.controlled;
+    le.baseline_leakage_j =
+        (lines * (p_data_active + p_tag_active) + p_edge) * t_base;
+    le.baseline_gate_j = lines * (g_data_active + g_tag_active) * t_base;
+
+    if (in.controlled) {
+      if (in.control == nullptr) {
+        throw std::invalid_argument("compute_hierarchy_energy: level '" +
+                                    in.name +
+                                    "' is controlled but has no ControlStats");
+      }
+      const ControlStats& c = *in.control;
+      const double p_data_standby =
+          model.data_line_power(in.geom, in.technique.mode);
+      const double p_tag_standby =
+          model.tag_line_power(in.geom, in.technique.mode);
+      const double g_data_standby =
+          model.sram_power_split(data_bits, in.technique.mode).gate_w;
+      const double g_tag_standby =
+          model.sram_power_split(tag_bits, in.technique.mode).gate_w;
+      le.technique_leakage_j =
+          (p_data_active * static_cast<double>(c.data_active_cycles) +
+           p_data_standby * static_cast<double>(c.data_standby_cycles) +
+           p_tag_active * static_cast<double>(c.tag_active_cycles) +
+           p_tag_standby * static_cast<double>(c.tag_standby_cycles)) *
+              dt +
+          p_edge * t_tech;
+      le.technique_gate_j =
+          (g_data_active * static_cast<double>(c.data_active_cycles) +
+           g_data_standby * static_cast<double>(c.data_standby_cycles) +
+           g_tag_active * static_cast<double>(c.tag_active_cycles) +
+           g_tag_standby * static_cast<double>(c.tag_standby_cycles)) *
+          dt;
+      le.decay_hw_leakage_j = model.decay_hardware_power(in.geom) * t_tech;
+      if (in.faults.enabled &&
+          in.faults.protection != faults::Protection::none) {
+        const faults::ProtectionParams prot =
+            faults::ProtectionParams::for_scheme(in.faults.protection);
+        const double check_bits = static_cast<double>(
+            prot.check_bits_per_line(in.geom.data_bits_per_line()));
+        const double p_check_active =
+            model.sram_power(check_bits, StandbyMode::active);
+        const double p_check_standby =
+            model.sram_power(check_bits, in.technique.mode);
+        // Check/encode energy is priced against this level's access
+        // energy: the L1 read for the outermost level, the L2 access
+        // deeper down.
+        const double access_j = i == 0 ? power.l1_read : power.l2_access;
+        le.protection_leakage_j =
+            (p_check_active * static_cast<double>(c.data_active_cycles) +
+             p_check_standby * static_cast<double>(c.data_standby_cycles)) *
+            dt;
+        le.protection_dynamic_j =
+            static_cast<double>(c.accesses()) * prot.check_energy_factor *
+                access_j +
+            static_cast<double>(c.fault_corrections) *
+                prot.correction_energy_factor * access_j;
+      }
+      le.induced_misses = c.induced_misses;
+      le.slow_hits = c.slow_hits;
+      le.wakes = c.wakes;
+      le.decays = c.decays;
+      le.decay_writebacks = c.decay_writebacks;
+      le.turnoff_ratio = c.turnoff_ratio();
+    } else {
+      // A plain level is fully active for the whole (possibly slower)
+      // technique run: it saves nothing and pays for the extra runtime.
+      le.technique_leakage_j =
+          (lines * (p_data_active + p_tag_active) + p_edge) * t_tech;
+      le.technique_gate_j = lines * (g_data_active + g_tag_active) * t_tech;
+    }
+
+    le.net_savings_j = le.baseline_leakage_j - le.technique_leakage_j -
+                       le.decay_hw_leakage_j - le.protection_leakage_j -
+                       le.protection_dynamic_j;
+    h.total_baseline_leakage_j += le.baseline_leakage_j;
+    h.total_technique_leakage_j += le.technique_leakage_j;
+    h.total_gate_leakage_j += le.technique_gate_j;
+    h.total_net_savings_j += le.net_savings_j;
+    h.levels.push_back(std::move(le));
+  }
+
+  h.extra_dynamic_j =
+      runs.tech_activity.energy(power) - runs.base_activity.energy(power);
+  h.total_net_savings_j -= h.extra_dynamic_j;
+  h.total_net_savings_frac = h.total_baseline_leakage_j > 0.0
+                                 ? h.total_net_savings_j /
+                                       h.total_baseline_leakage_j
+                                 : 0.0;
+  return h;
 }
 
 } // namespace leakctl

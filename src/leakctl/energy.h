@@ -14,6 +14,9 @@
 // point; all dynamic terms from the Wattch-style event energies.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "hotleakage/model.h"
 #include "leakctl/controlled_cache.h"
 #include "sim/core.h"
@@ -65,5 +68,69 @@ EnergyBreakdown compute_energy(const hotleakage::LeakageModel& model,
 /// The L1 D-cache geometry corresponding to a sim::CacheConfig.
 hotleakage::CacheGeometry geometry_of(const sim::CacheConfig& cfg,
                                       std::size_t physical_address_bits = 40);
+
+/// One hierarchy level as the total-leakage rollup sees it: geometry plus,
+/// when the level is controlled, its technique and run statistics.
+struct LevelInput {
+  std::string name;                ///< "l1d", "l2", ...
+  hotleakage::CacheGeometry geom;
+  bool controlled = false;
+  TechniqueParams technique{};        ///< meaningful when controlled
+  const ControlStats* control = nullptr; ///< required when controlled
+  faults::FaultConfig faults{};       ///< protection pricing when controlled
+};
+
+/// One level's share of the hierarchy's leakage energy, with the
+/// subthreshold/gate decomposition (hotleakage sram_power_split) that the
+/// multi-level trade-off turns on: gate leakage does not shrink in drowsy
+/// standby the way subthreshold does, and large L2 arrays carry most of
+/// the gate-oxide area (Bai et al., PAPERS.md).
+struct LevelEnergy {
+  std::string name;
+  bool controlled = false;
+  double baseline_leakage_j = 0.0;  ///< same geometry, fully active, t_base
+  double technique_leakage_j = 0.0; ///< residual over the technique run
+  double baseline_gate_j = 0.0;     ///< gate-tunnelling share of baseline
+  double technique_gate_j = 0.0;    ///< gate-tunnelling share of residual
+  double decay_hw_leakage_j = 0.0;  ///< controlled levels only
+  double protection_leakage_j = 0.0;
+  double protection_dynamic_j = 0.0;
+  /// This level's own contribution: baseline - technique - its hw and
+  /// protection costs.  Negative for an uncontrolled level on a slowed
+  /// run (it leaks for longer) — the effect that can flip an L1-only
+  /// ranking once the L2 is on the books.
+  double net_savings_j = 0.0;
+  /// Control-stat snapshot for the report (zero for plain levels).
+  unsigned long long induced_misses = 0;
+  unsigned long long slow_hits = 0;
+  unsigned long long wakes = 0;
+  unsigned long long decays = 0;
+  unsigned long long decay_writebacks = 0;
+  double turnoff_ratio = 0.0;
+};
+
+/// The schema-3 "total hierarchy leakage" section: per-level breakdowns
+/// plus totals.  extra_dynamic_j is global (one activity delta covers the
+/// whole machine), so it is subtracted once from the summed level nets,
+/// not apportioned.
+struct HierarchyEnergy {
+  std::vector<LevelEnergy> levels;
+  double extra_dynamic_j = 0.0;
+  double total_baseline_leakage_j = 0.0;
+  double total_technique_leakage_j = 0.0;
+  double total_gate_leakage_j = 0.0; ///< technique-run gate total
+  double total_net_savings_j = 0.0;  ///< sum of level nets - extra_dynamic
+  double total_net_savings_frac = 0.0; ///< of total baseline leakage
+};
+
+/// Roll up the hierarchy's leakage.  For the legacy two-level shape
+/// (controlled L1D over a plain L2) levels[0]'s baseline/technique/net
+/// equal compute_energy's to the bit: both integrate the same residency
+/// counters against the same sram_power totals.
+HierarchyEnergy compute_hierarchy_energy(const hotleakage::LeakageModel& model,
+                                         const std::vector<LevelInput>& levels,
+                                         const RunPair& runs,
+                                         const wattch::PowerParams& power,
+                                         double clock_hz);
 
 } // namespace leakctl

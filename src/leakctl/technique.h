@@ -53,6 +53,10 @@ struct TechniqueParams {
   static TechniqueParams drowsy();
   static TechniqueParams gated_vss();
   static TechniqueParams rbb();
+
+  /// Member-wise; `name` compares by content (string_view ==), so two
+  /// independently built drowsy() descriptors are equal.
+  bool operator==(const TechniqueParams&) const = default;
 };
 
 } // namespace leakctl

@@ -35,6 +35,8 @@ struct CacheConfig {
   /// crosses an API boundary (an unchecked `sets()` of zero would
   /// otherwise surface as a division by zero deep in the hot path).
   void validate() const;
+
+  bool operator==(const CacheConfig&) const = default;
 };
 
 /// Aggregate statistics.

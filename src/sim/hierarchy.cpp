@@ -2,34 +2,37 @@
 
 namespace sim {
 
-L2System::L2System(const CacheConfig& l2cfg, unsigned memory_latency,
-                   wattch::Activity* activity)
-    : l2_(l2cfg), memory_latency_(memory_latency), activity_(activity) {}
+CacheLevel::CacheLevel(const CacheConfig& cfg, BackingStore& next,
+                       wattch::Activity* activity)
+    : cache_(cfg), next_(next), activity_(activity) {}
 
-unsigned L2System::access(uint64_t addr, bool is_store, uint64_t cycle) {
+unsigned CacheLevel::access(uint64_t addr, bool is_store, uint64_t cycle) {
   if (activity_ != nullptr) {
     activity_->l2_accesses++;
   }
-  const Cache::AccessResult r = l2_.access(addr, is_store, cycle);
-  if (r.hit) {
-    return l2_.config().hit_latency;
-  }
-  if (activity_ != nullptr) {
-    activity_->memory_accesses++;
+  const Cache::AccessResult r = cache_.access(addr, is_store, cycle);
+  unsigned latency = cache_.config().hit_latency;
+  if (!r.hit) {
     if (r.writeback) {
-      activity_->memory_accesses++; // dirty L2 victim written to memory
+      next_.writeback(r.writeback_addr, cycle);
     }
+    latency += next_.access(addr, /*is_store=*/false, cycle);
   }
-  return l2_.config().hit_latency + memory_latency_;
+  return latency;
 }
 
-void L2System::writeback(uint64_t addr, uint64_t cycle) {
+void CacheLevel::writeback(uint64_t addr, uint64_t cycle) {
   if (activity_ != nullptr) {
     activity_->l2_accesses++;
   }
-  const Cache::AccessResult r = l2_.access(addr, /*is_write=*/true, cycle);
-  if (!r.hit && activity_ != nullptr) {
-    activity_->memory_accesses++;
+  const Cache::AccessResult r = cache_.access(addr, /*is_write=*/true, cycle);
+  if (!r.hit) {
+    // Fill the line so the absorbed dirty data has somewhere to live:
+    // exactly one backing access.  The fill's own dirty victim, if any, is
+    // deliberately not forwarded — replicating the shared-L2 accounting
+    // this level replaced, where an L1 writeback miss cost a single memory
+    // access regardless of what it evicted.
+    (void)next_.access(addr, /*is_store=*/true, cycle);
   }
 }
 

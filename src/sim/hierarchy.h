@@ -1,7 +1,10 @@
-// Memory-hierarchy plumbing: ports the core model uses, the shared
-// L2 + memory backend, and the baseline (no leakage control) L1 D-cache
-// port.  The leakage-control layer provides an alternative DataPort that
-// wraps the L1 D-cache with decay machinery (leakctl/controlled_cache.h).
+// Memory-hierarchy plumbing: ports the core model uses, stackable cache
+// levels, the fixed-latency memory backend, and the baseline (no leakage
+// control) L1 D-cache port.  A hierarchy is assembled bottom-up —
+// MemoryBackend, then one CacheLevel (or leakctl::ControlledCache) per
+// level, then a DataPort/FetchPort pair on top — so leakage control can
+// interpose at *any* level, not just the L1-D (the decay papers cover L2
+// as well as L1; see leakctl/controlled_cache.h).
 #pragma once
 
 #include <cstdint>
@@ -54,29 +57,34 @@ private:
   wattch::Activity* activity_; ///< not owned; may be null
 };
 
-/// Unified L2 plus off-chip memory.  Both the I-side and D-side miss paths
-/// share it (Table 2: unified 2 MB, 2-way, 11-cycle; memory 100 cycles).
-class L2System : public BackingStore {
+/// One plain (non-controlled) cache level stacked over whatever backs it:
+/// another CacheLevel, a leakctl::ControlledCache, or MemoryBackend.
+/// The unified L2 of Table 2 is simply `CacheLevel{l2cfg, memory, act}`;
+/// both the I-side and D-side miss paths share it.
+class CacheLevel final : public BackingStore {
 public:
-  L2System(const CacheConfig& l2cfg, unsigned memory_latency,
-           wattch::Activity* activity);
+  CacheLevel(const CacheConfig& cfg, BackingStore& next,
+             wattch::Activity* activity);
 
-  /// Access beyond L1; returns the additional latency (L2 hit latency or
-  /// L2 latency + memory latency).
+  /// Access from the level above; returns the additional latency (this
+  /// level's hit latency, plus the backing store's latency on a miss).
   unsigned access(uint64_t addr, bool is_store, uint64_t cycle) override;
 
-  /// Write back a dirty L1 victim (no latency on the critical path; counts
-  /// energy and keeps L2 contents coherent).
+  /// Absorb a dirty victim from the level above (no latency on the
+  /// critical path; counts energy and keeps contents coherent).  On a
+  /// writeback miss the line is fetched from the backing store so the
+  /// dirty data has somewhere to live — one backing access, and (as in
+  /// the original shared-L2 accounting) the fill's own victim is not
+  /// forwarded further down.
   void writeback(uint64_t addr, uint64_t cycle) override;
 
-  Cache& cache() { return l2_; }
-  const Cache& cache() const { return l2_; }
-  unsigned hit_latency() const { return l2_.config().hit_latency; }
-  unsigned memory_latency() const { return memory_latency_; }
+  Cache& cache() { return cache_; }
+  const Cache& cache() const { return cache_; }
+  unsigned hit_latency() const { return cache_.config().hit_latency; }
 
 private:
-  Cache l2_;
-  unsigned memory_latency_;
+  Cache cache_;
+  BackingStore& next_;
   wattch::Activity* activity_; ///< not owned; may be null
 };
 

@@ -10,7 +10,8 @@ ProcessorConfig ProcessorConfig::table2(unsigned l2_latency) {
 
 Processor::Processor(const ProcessorConfig& cfg)
     : cfg_(cfg),
-      l2_(cfg.l2, cfg.memory_latency, &activity_),
+      mem_(cfg.memory_latency, &activity_),
+      l2_(cfg.l2, mem_, &activity_),
       iport_(cfg.l1i, l2_, &activity_) {}
 
 RunStats Processor::run(TraceSource& trace, DataPort& dport,

@@ -50,7 +50,8 @@ public:
                const CancellationToken* cancel = nullptr);
 
   const ProcessorConfig& config() const { return cfg_; }
-  L2System& l2() { return l2_; }
+  CacheLevel& l2() { return l2_; }
+  MemoryBackend& memory() { return mem_; }
   InstrPort& iport() { return iport_; }
   wattch::Activity& activity() { return activity_; }
   const wattch::Activity& activity() const { return activity_; }
@@ -58,7 +59,8 @@ public:
 private:
   ProcessorConfig cfg_;
   wattch::Activity activity_;
-  L2System l2_;
+  MemoryBackend mem_;
+  CacheLevel l2_;
   InstrPort iport_;
 };
 

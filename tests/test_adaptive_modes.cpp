@@ -15,15 +15,16 @@ struct Fixture {
     cfg.technique = tech;
     cfg.technique.decay_tags = false; // adaptive schemes need awake tags
     cfg.decay_interval = 4096;
-    l2 = std::make_unique<sim::L2System>(pcfg.l2, pcfg.memory_latency,
-                                         nullptr);
+    mem = std::make_unique<sim::MemoryBackend>(pcfg.memory_latency, nullptr);
+    l2 = std::make_unique<sim::CacheLevel>(pcfg.l2, *mem, nullptr);
     cc = std::make_unique<ControlledCache>(cfg, *l2, nullptr);
   }
   uint64_t addr(uint64_t set, uint64_t tag) const {
     return (tag * 8 + set) * 64;
   }
   ControlledCacheConfig cfg;
-  std::unique_ptr<sim::L2System> l2;
+  std::unique_ptr<sim::MemoryBackend> mem;
+  std::unique_ptr<sim::CacheLevel> l2;
   std::unique_ptr<ControlledCache> cc;
 };
 

@@ -144,6 +144,20 @@ TEST(Batched, ConstructorRejectsIllegalBatches) {
   EXPECT_FALSE(batchable(faulty));
   EXPECT_THROW(BatchedExperiment(prof, {faulty}), std::invalid_argument);
 
+  // Explicit hierarchies run the scalar path: the lockstep replica loop
+  // only models the legacy controlled-L1 machine.  A levels list that
+  // merely restates the flat fields is still legacy-shaped, hence
+  // batchable; one with a controlled L2 is not.
+  ExperimentConfig restated = quick_config();
+  restated.levels = restated.legacy_levels();
+  EXPECT_TRUE(batchable(restated));
+  ExperimentConfig hier = quick_config();
+  hier.levels = hier.legacy_levels();
+  hier.levels[1].control =
+      LevelControl{hier.technique, hier.policy, 65536};
+  EXPECT_FALSE(batchable(hier));
+  EXPECT_THROW(BatchedExperiment(prof, {hier}), std::invalid_argument);
+
   ExperimentConfig a = quick_config();
   ExperimentConfig b = quick_config();
   b.instructions = a.instructions * 2; // different stream length

@@ -18,8 +18,8 @@ struct Fixture {
     cfg.technique = tech;
     cfg.policy = policy;
     cfg.decay_interval = interval;
-    l2 = std::make_unique<sim::L2System>(pcfg.l2, pcfg.memory_latency,
-                                         &activity);
+    mem = std::make_unique<sim::MemoryBackend>(pcfg.memory_latency, &activity);
+    l2 = std::make_unique<sim::CacheLevel>(pcfg.l2, *mem, &activity);
     cc = std::make_unique<ControlledCache>(cfg, *l2, &activity);
   }
 
@@ -29,7 +29,8 @@ struct Fixture {
 
   ControlledCacheConfig cfg;
   wattch::Activity activity;
-  std::unique_ptr<sim::L2System> l2;
+  std::unique_ptr<sim::MemoryBackend> mem;
+  std::unique_ptr<sim::CacheLevel> l2;
   std::unique_ptr<ControlledCache> cc;
 };
 

@@ -14,13 +14,14 @@ struct Fixture {
     ccfg.cache = pcfg.l1i; // 64 KB, 2-way, 1-cycle
     ccfg.technique = tech;
     ccfg.decay_interval = 4096;
-    l2 = std::make_unique<sim::L2System>(pcfg.l2, pcfg.memory_latency,
-                                         nullptr);
+    mem = std::make_unique<sim::MemoryBackend>(pcfg.memory_latency, nullptr);
+    l2 = std::make_unique<sim::CacheLevel>(pcfg.l2, *mem, nullptr);
     iport = std::make_unique<ControlledFetchPort>(ccfg, *l2, nullptr);
   }
   sim::ProcessorConfig pcfg;
   ControlledCacheConfig ccfg;
-  std::unique_ptr<sim::L2System> l2;
+  std::unique_ptr<sim::MemoryBackend> mem;
+  std::unique_ptr<sim::CacheLevel> l2;
   std::unique_ptr<ControlledFetchPort> iport;
 };
 

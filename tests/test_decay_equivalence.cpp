@@ -130,9 +130,11 @@ INSTANTIATE_TEST_SUITE_P(
 /// even when aggregate counters happen to collide.
 class RecordingL2 final : public sim::BackingStore {
 public:
-  RecordingL2() : l2_({.size_bytes = 256 * 1024, .assoc = 2,
-                       .line_bytes = 64, .hit_latency = 11},
-                      /*memory_latency=*/100, nullptr) {}
+  RecordingL2()
+      : mem_(/*latency=*/100, nullptr),
+        l2_({.size_bytes = 256 * 1024, .assoc = 2, .line_bytes = 64,
+             .hit_latency = 11},
+            mem_, nullptr) {}
 
   unsigned access(uint64_t addr, bool is_store, uint64_t cycle) override {
     mix(1, addr, cycle);
@@ -151,7 +153,8 @@ private:
       digest_ ^= v + 0x9e3779b97f4a7c15ull + (digest_ << 6) + (digest_ >> 2);
     }
   }
-  sim::L2System l2_;
+  sim::MemoryBackend mem_;
+  sim::CacheLevel l2_;
   uint64_t digest_ = 0xcbf29ce484222325ull;
 };
 

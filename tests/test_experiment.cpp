@@ -144,26 +144,6 @@ TEST(Experiment, AdaptiveFeedbackRuns) {
   EXPECT_GT(r.energy.net_savings_frac, 0.0);
 }
 
-// The struct field is retired; the deprecated builder shim is the only
-// remaining spelling of the legacy flag, kept for one release.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Experiment, LegacyAdaptiveFeedbackShimStillSelectsFeedback) {
-  const ExperimentConfig on =
-      ExperimentConfig::make().instructions(1000).adaptive_feedback(true);
-  EXPECT_EQ(on.adaptive, ExperimentConfig::AdaptiveScheme::feedback);
-  const ExperimentConfig off =
-      ExperimentConfig::make().instructions(1000).adaptive_feedback(false);
-  EXPECT_EQ(off.adaptive, ExperimentConfig::AdaptiveScheme::none);
-  // Later chained calls win, like any builder setter.
-  const ExperimentConfig amc = ExperimentConfig::make()
-                                   .instructions(1000)
-                                   .adaptive_feedback(true)
-                                   .adaptive(ExperimentConfig::AdaptiveScheme::amc);
-  EXPECT_EQ(amc.adaptive, ExperimentConfig::AdaptiveScheme::amc);
-}
-#pragma GCC diagnostic pop
-
 TEST(Experiment, LongerDecayIntervalLowersTurnoff) {
   ExperimentConfig cfg = quick_config();
   cfg.decay_interval = 1024;

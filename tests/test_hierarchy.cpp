@@ -10,7 +10,8 @@ namespace {
 struct Fixture {
   wattch::Activity activity;
   ProcessorConfig cfg = ProcessorConfig::table2(11);
-  L2System l2{cfg.l2, cfg.memory_latency, &activity};
+  MemoryBackend mem{cfg.memory_latency, &activity};
+  CacheLevel l2{cfg.l2, mem, &activity};
   BaselineDataPort dport{cfg.l1d, l2, &activity};
   InstrPort iport{cfg.l1i, l2, &activity};
 };
@@ -73,7 +74,8 @@ TEST(Hierarchy, DirtyL1VictimWrittenToL2) {
 
 TEST(Hierarchy, NullActivityAllowed) {
   ProcessorConfig cfg = ProcessorConfig::table2(5);
-  L2System l2(cfg.l2, cfg.memory_latency, nullptr);
+  MemoryBackend mem(cfg.memory_latency, nullptr);
+  CacheLevel l2(cfg.l2, mem, nullptr);
   BaselineDataPort dport(cfg.l1d, l2, nullptr);
   EXPECT_NO_THROW(dport.access(0x1234, false, 1));
 }
@@ -81,7 +83,8 @@ TEST(Hierarchy, NullActivityAllowed) {
 TEST(Hierarchy, L2LatencyConfigurable) {
   for (unsigned lat : {5u, 8u, 11u, 17u}) {
     ProcessorConfig cfg = ProcessorConfig::table2(lat);
-    L2System l2(cfg.l2, cfg.memory_latency, nullptr);
+    MemoryBackend mem(cfg.memory_latency, nullptr);
+    CacheLevel l2(cfg.l2, mem, nullptr);
     BaselineDataPort dport(cfg.l1d, l2, nullptr);
     dport.access(0x1000, false, 1);
     const uint64_t stride = 512 * 64;

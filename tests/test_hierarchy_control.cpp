@@ -1,0 +1,191 @@
+// Controlled caches stacked across the hierarchy: LevelRole counter
+// routing, the writeback-absorption contract (leakctl/controlled_cache.h)
+// that makes an L1-over-L2 controlled stack safe to compose without
+// double-counting, and the latency asymmetry between a decayed gated-Vss
+// L2 (induced miss at full memory latency) and a drowsy one (slow hit).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "leakctl/controlled_cache.h"
+#include "sim/hierarchy.h"
+
+namespace leakctl {
+namespace {
+
+constexpr unsigned kMemLatency = 100;
+constexpr uint64_t kNever = 1u << 20; // interval long enough to never decay
+
+ControlledCacheConfig small_l1(TechniqueParams tech, uint64_t interval) {
+  ControlledCacheConfig cfg;
+  cfg.cache = {.size_bytes = 1024, .assoc = 2, .line_bytes = 64,
+               .hit_latency = 2}; // 8 sets x 2 ways
+  cfg.role = LevelRole::l1d;
+  cfg.technique = tech;
+  cfg.decay_interval = interval;
+  return cfg;
+}
+
+ControlledCacheConfig small_l2(TechniqueParams tech, uint64_t interval) {
+  ControlledCacheConfig cfg;
+  cfg.cache = {.size_bytes = 4096, .assoc = 2, .line_bytes = 64,
+               .hit_latency = 11}; // 32 sets x 2 ways
+  cfg.role = LevelRole::l2;
+  cfg.technique = tech;
+  cfg.decay_interval = interval;
+  return cfg;
+}
+
+/// A controlled cache in the L2 role directly over memory.
+struct L2Fixture {
+  explicit L2Fixture(TechniqueParams tech = TechniqueParams::drowsy(),
+                     uint64_t interval = 4096)
+      : mem(kMemLatency, &activity),
+        cc(small_l2(tech, interval), mem, &activity) {}
+
+  /// Address mapping for the 32-set L2.
+  uint64_t addr(uint64_t set, uint64_t tag) const {
+    return (tag * 32 + set) * 64;
+  }
+
+  wattch::Activity activity;
+  sim::MemoryBackend mem;
+  ControlledCache cc;
+};
+
+/// The full two-controlled-level stack: L1 over L2 over memory.
+struct StackFixture {
+  StackFixture(TechniqueParams l1_tech, uint64_t l1_interval,
+               TechniqueParams l2_tech, uint64_t l2_interval)
+      : mem(kMemLatency, &activity),
+        l2(small_l2(l2_tech, l2_interval), mem, &activity),
+        l1(small_l1(l1_tech, l1_interval), l2, &activity) {}
+
+  /// Address mapping for the 8-set L1; the 32-set L2 sees the same
+  /// addresses, so same-L1-set strides land in distinct L2 sets.
+  uint64_t addr(uint64_t set, uint64_t tag) const {
+    return (tag * 8 + set) * 64;
+  }
+
+  wattch::Activity activity;
+  sim::MemoryBackend mem;
+  ControlledCache l2;
+  ControlledCache l1;
+};
+
+// --- LevelRole counter routing ----------------------------------------
+
+TEST(HierarchyControl, L2RoleChargesL2AccessCounter) {
+  L2Fixture f;
+  f.cc.access(f.addr(0, 1), false, 10);       // cold miss -> memory
+  f.cc.access(f.addr(0, 1), true, 20);        // hit, store
+  EXPECT_EQ(f.activity.l2_accesses, 2ull);    // priced like a plain L2
+  EXPECT_EQ(f.activity.l1_reads, 0ull);       // never the L1 counters
+  EXPECT_EQ(f.activity.l1_writes, 0ull);
+  EXPECT_EQ(f.activity.memory_accesses, 1ull);
+}
+
+TEST(HierarchyControl, L1RoleChargesL1Counters) {
+  wattch::Activity activity;
+  sim::MemoryBackend mem(kMemLatency, &activity);
+  ControlledCache cc(small_l1(TechniqueParams::drowsy(), kNever), mem,
+                     &activity);
+  cc.access(64, false, 10);
+  cc.access(64, true, 20);
+  EXPECT_EQ(activity.l1_reads, 1ull);
+  EXPECT_EQ(activity.l1_writes, 1ull);
+  EXPECT_EQ(activity.l2_accesses, 0ull);
+}
+
+// --- writeback-absorption contract ------------------------------------
+
+TEST(HierarchyControl, WritebackReplayedAsOneClassifiedStore) {
+  L2Fixture f(TechniqueParams::drowsy(), kNever);
+  // Cold absorption: the victim misses here, so exactly one backing
+  // access fetches the line the dirty data lands in.
+  f.cc.writeback(f.addr(0, 1), 10);
+  EXPECT_EQ(f.cc.stats().true_misses, 1ull);
+  EXPECT_EQ(f.activity.l2_accesses, 1ull);
+  EXPECT_EQ(f.activity.memory_accesses, 1ull);
+  // Warm absorption: a hit is fully absorbed — no memory traffic at all.
+  f.cc.writeback(f.addr(0, 1), 20);
+  EXPECT_EQ(f.cc.stats().hits, 1ull);
+  EXPECT_EQ(f.activity.l2_accesses, 2ull);
+  EXPECT_EQ(f.activity.memory_accesses, 1ull);
+}
+
+TEST(HierarchyControl, StackedEvictionDoesNotDoubleCountMemory) {
+  // Dirty L1 victim -> controlled L2 that already holds the line: the
+  // writeback charges one l2_access and nothing at memory, and stays off
+  // the evicting access's critical path.
+  StackFixture f(TechniqueParams::drowsy(), kNever,
+                 TechniqueParams::drowsy(), kNever);
+  const uint64_t stride = 8 * 64; // same L1 set, distinct L2 sets
+  f.l1.access(f.addr(0, 1), true, 10); // dirty; fills L1 and L2
+  f.l1.access(f.addr(0, 1) + stride, false, 20);
+  EXPECT_EQ(f.activity.memory_accesses, 2ull);
+  EXPECT_EQ(f.activity.l2_accesses, 2ull);
+  // Third fill into the 2-way set evicts dirty tag 1 -> writeback.
+  const unsigned lat = f.l1.access(f.addr(0, 1) + 2 * stride, false, 30);
+  EXPECT_EQ(lat, 2u + 11u + kMemLatency); // writeback adds no latency
+  EXPECT_EQ(f.activity.memory_accesses, 3ull); // 3 cold fills, no 4th
+  EXPECT_EQ(f.activity.l2_accesses, 4ull);     // 3 misses + 1 absorption
+  EXPECT_EQ(f.l2.stats().hits, 1ull);          // the absorbed victim
+  // The dirty data survived in the L2: a re-access is an L2 hit.
+  EXPECT_EQ(f.l1.access(f.addr(0, 1), false, 40), 2u + 11u);
+  EXPECT_EQ(f.activity.memory_accesses, 3ull);
+}
+
+TEST(HierarchyControl, L1DecayWritebackWarmsControlledL2) {
+  // Gated L1 decays a dirty line; the decay writeback lands in a drowsy
+  // L2 whose copy has itself gone to standby (shorter L2 interval) — the
+  // absorption is a slow hit that wakes and re-warms that line, so the
+  // later L1 induced miss is served by the L2, never by memory.
+  StackFixture f(TechniqueParams::gated_vss(), 4096,
+                 TechniqueParams::drowsy(), 1024);
+  f.l1.access(f.addr(0, 1), true, 10); // dirty in L1, resident in L2
+  EXPECT_EQ(f.activity.memory_accesses, 1ull);
+  // Past both intervals: advancing time fires the L1 decay sweep, whose
+  // dirty victim is replayed into the long-standby L2 line; the same
+  // access then finds its gated L1 line destroyed -> induced miss.
+  const unsigned lat = f.l1.access(f.addr(0, 1), false, 10000);
+  EXPECT_EQ(f.l1.stats().decay_writebacks, 1ull);
+  EXPECT_EQ(f.l1.stats().induced_misses, 1ull);
+  EXPECT_GE(f.l2.stats().slow_hits, 1ull); // absorbed into a drowsy line
+  EXPECT_GE(f.l2.stats().wakes, 1ull);
+  // Served at L2 latency (plus at most drowsy wake penalties) — the
+  // dirty data survived without a single further memory access.
+  EXPECT_LT(lat, 2u + 11u + kMemLatency);
+  EXPECT_EQ(f.activity.memory_accesses, 1ull);
+}
+
+// --- decayed-L2 service latencies -------------------------------------
+
+TEST(HierarchyControl, GatedL2InducedMissPaysFullMemoryLatency) {
+  L2Fixture f(TechniqueParams::gated_vss(), 4096);
+  EXPECT_EQ(f.cc.access(f.addr(0, 1), false, 10), 11u + kMemLatency);
+  // Decay destroyed the line: the re-access is an induced miss served
+  // from memory at full latency, exactly like the cold miss.
+  EXPECT_EQ(f.cc.access(f.addr(0, 1), false, 10000), 11u + kMemLatency);
+  EXPECT_EQ(f.cc.stats().induced_misses, 1ull);
+  EXPECT_EQ(f.activity.memory_accesses, 2ull);
+}
+
+TEST(HierarchyControl, DrowsyL2SlowHitAvoidsMemory) {
+  L2Fixture f(TechniqueParams::drowsy(), 4096);
+  f.cc.access(f.addr(0, 1), false, 10);
+  const unsigned lat = f.cc.access(f.addr(0, 1), false, 10000);
+  EXPECT_LT(lat, 11u + kMemLatency); // wake penalty, not a memory trip
+  EXPECT_EQ(f.cc.stats().slow_hits, 1ull);
+  EXPECT_EQ(f.activity.memory_accesses, 1ull);
+}
+
+TEST(HierarchyControl, StackedColdMissLatencyComposes) {
+  StackFixture f(TechniqueParams::drowsy(), kNever,
+                 TechniqueParams::drowsy(), kNever);
+  EXPECT_EQ(f.l1.access(f.addr(0, 1), false, 10), 2u + 11u + kMemLatency);
+  EXPECT_EQ(f.l1.access(f.addr(0, 1), false, 20), 2u);
+}
+
+} // namespace
+} // namespace leakctl

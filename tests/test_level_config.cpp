@@ -1,0 +1,371 @@
+// LevelConfig API: the compatibility contract between the flat L1-only
+// fields and the explicit per-level hierarchy.
+//
+// Three guarantees pinned here:
+//   1. A levels list that merely restates the flat fields is *still*
+//      legacy-shaped: same run path (bit-identical ExperimentResult) and
+//      same config hash as the flat form, so journals and perf baselines
+//      survive the API redesign.
+//   2. validate() rejects contradictory per-level geometries with errors
+//      that name the offending field (ExperimentConfig::levels[i]
+//      (name).geometry...), not a generic "bad config".
+//   3. joint_interval_sweep runs explicit two-controlled-level cells end
+//      to end through SweepRunner, in benchmark-major / L1-major /
+//      L2-minor grid order, promoting a plain level 1 to controlled.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/report_json.h"
+#include "harness/sweep.h"
+
+namespace harness {
+namespace {
+
+ExperimentConfig quick_config() {
+  return ExperimentConfig::make().instructions(100'000).variation(false);
+}
+
+/// The flat config's two-level restatement, as an explicit list.
+ExperimentConfig explicit_legacy(const ExperimentConfig& flat) {
+  ExperimentConfig cfg = flat;
+  cfg.levels = flat.legacy_levels();
+  return cfg;
+}
+
+/// A genuinely hierarchical config: control at both levels.
+ExperimentConfig controlled_l2_config(const ExperimentConfig& flat,
+                                      uint64_t l2_interval = 65536) {
+  ExperimentConfig cfg = flat;
+  cfg.levels = flat.legacy_levels();
+  cfg.levels[1].control =
+      LevelControl{cfg.technique, cfg.policy, l2_interval};
+  return cfg;
+}
+
+std::string validate_error(const ExperimentConfig& cfg) {
+  try {
+    cfg.validate();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return {};
+}
+
+void expect_contains(const std::string& haystack, const std::string& needle) {
+  EXPECT_NE(haystack.find(needle), std::string::npos)
+      << "expected \"" << needle << "\" in:\n" << haystack;
+}
+
+// --- shape detection --------------------------------------------------
+
+TEST(LevelConfig, EmptyLevelsIsLegacyShape) {
+  EXPECT_TRUE(quick_config().legacy_shape());
+}
+
+TEST(LevelConfig, RestatedLevelsStayLegacyShape) {
+  EXPECT_TRUE(explicit_legacy(quick_config()).legacy_shape());
+}
+
+TEST(LevelConfig, ControlledL2IsNotLegacyShape) {
+  EXPECT_FALSE(controlled_l2_config(quick_config()).legacy_shape());
+}
+
+TEST(LevelConfig, ResolvedLevelsFallBackToLegacy) {
+  const ExperimentConfig flat = quick_config();
+  const std::vector<LevelConfig> resolved = flat.resolved_levels();
+  ASSERT_EQ(resolved.size(), 2u);
+  EXPECT_EQ(resolved, flat.legacy_levels());
+  EXPECT_EQ(resolved[0].name, "l1d");
+  EXPECT_EQ(resolved[1].name, "l2");
+  ASSERT_TRUE(resolved[0].control.has_value());
+  EXPECT_FALSE(resolved[1].control.has_value());
+  EXPECT_EQ(resolved[0].control->decay_interval, flat.decay_interval);
+  EXPECT_EQ(resolved[1].geometry.hit_latency, flat.l2_latency);
+}
+
+TEST(LevelConfig, SetL1DecayIntervalUpdatesBothShapes) {
+  ExperimentConfig flat = quick_config();
+  flat.set_l1_decay_interval(8192);
+  EXPECT_EQ(flat.decay_interval, 8192ull);
+
+  ExperimentConfig expl = explicit_legacy(quick_config());
+  expl.set_l1_decay_interval(8192);
+  EXPECT_EQ(expl.decay_interval, 8192ull);
+  ASSERT_TRUE(expl.levels[0].control.has_value());
+  EXPECT_EQ(expl.levels[0].control->decay_interval, 8192ull);
+  // Still coherent, so still legacy-shaped at the new interval.
+  EXPECT_TRUE(expl.legacy_shape());
+}
+
+// --- builder mirroring ------------------------------------------------
+
+TEST(LevelConfig, BuilderMirrorsLevelZeroControlIntoFlatFields) {
+  ExperimentConfig base;
+  base.l2_latency = 17;
+  std::vector<LevelConfig> lv = base.legacy_levels();
+  lv[0].control =
+      LevelControl{leakctl::TechniqueParams::gated_vss(),
+                   leakctl::DecayPolicy::simple, 16384};
+  const ExperimentConfig cfg = ExperimentConfig::make()
+                                   .instructions(100'000)
+                                   .variation(false)
+                                   .levels(lv);
+  EXPECT_EQ(cfg.technique, leakctl::TechniqueParams::gated_vss());
+  EXPECT_EQ(cfg.policy, leakctl::DecayPolicy::simple);
+  EXPECT_EQ(cfg.decay_interval, 16384ull);
+  EXPECT_EQ(cfg.l2_latency, 17u); // level 1's hit latency mirrored over
+  // Mirroring makes the restated list legacy-shaped again.
+  EXPECT_TRUE(cfg.legacy_shape());
+}
+
+TEST(LevelConfig, BuilderLevelAppendsOneAtATime) {
+  const std::vector<LevelConfig> lv = quick_config().legacy_levels();
+  const ExperimentConfig cfg = ExperimentConfig::make()
+                                   .instructions(100'000)
+                                   .variation(false)
+                                   .level(lv[0])
+                                   .level(lv[1]);
+  EXPECT_EQ(cfg.levels.size(), 2u);
+  EXPECT_TRUE(cfg.legacy_shape());
+}
+
+// --- bit identity and hash identity -----------------------------------
+
+TEST(LevelConfig, RestatedLevelsBitIdenticalToFlat) {
+  const workload::BenchmarkProfile prof = workload::profile_by_name("gzip");
+  const ExperimentConfig flat = quick_config();
+  const ExperimentConfig expl = explicit_legacy(flat);
+  clear_baseline_cache();
+  const ExperimentResult a = run_experiment(prof, flat);
+  clear_baseline_cache();
+  const ExperimentResult b = run_experiment(prof, expl);
+
+  // Exact == on doubles: both forms must take the same code path.
+  EXPECT_EQ(a.tech_run.cycles, b.tech_run.cycles);
+  EXPECT_EQ(a.base_run.cycles, b.base_run.cycles);
+  a.control.for_each_field([&](const char* name, unsigned long long va) {
+    unsigned long long vb = 0;
+    b.control.for_each_field([&](const char* n2, unsigned long long v2) {
+      if (std::string(name) == n2) {
+        vb = v2;
+      }
+    });
+    EXPECT_EQ(va, vb) << "ControlStats::" << name;
+  });
+  EXPECT_EQ(a.energy.baseline_leakage_j, b.energy.baseline_leakage_j);
+  EXPECT_EQ(a.energy.technique_leakage_j, b.energy.technique_leakage_j);
+  EXPECT_EQ(a.energy.extra_dynamic_j, b.energy.extra_dynamic_j);
+  EXPECT_EQ(a.energy.net_savings_j, b.energy.net_savings_j);
+  EXPECT_EQ(a.energy.net_savings_frac, b.energy.net_savings_frac);
+  EXPECT_EQ(a.energy.perf_loss_frac, b.energy.perf_loss_frac);
+  ASSERT_EQ(a.hierarchy.levels.size(), b.hierarchy.levels.size());
+  for (std::size_t i = 0; i < a.hierarchy.levels.size(); ++i) {
+    EXPECT_EQ(a.hierarchy.levels[i].baseline_leakage_j,
+              b.hierarchy.levels[i].baseline_leakage_j);
+    EXPECT_EQ(a.hierarchy.levels[i].technique_leakage_j,
+              b.hierarchy.levels[i].technique_leakage_j);
+    EXPECT_EQ(a.hierarchy.levels[i].net_savings_j,
+              b.hierarchy.levels[i].net_savings_j);
+  }
+  EXPECT_EQ(a.hierarchy.total_net_savings_frac,
+            b.hierarchy.total_net_savings_frac);
+}
+
+TEST(LevelConfig, RestatedLevelsHashIdenticalToFlat) {
+  const ExperimentConfig flat = quick_config();
+  EXPECT_EQ(config_hash(flat), config_hash(explicit_legacy(flat)));
+}
+
+TEST(LevelConfig, HierarchyConfigHashesDifferently) {
+  const ExperimentConfig flat = quick_config();
+  EXPECT_NE(config_hash(flat), config_hash(controlled_l2_config(flat)));
+  // ... and the L2 interval is part of the identity.
+  EXPECT_NE(config_hash(controlled_l2_config(flat, 65536)),
+            config_hash(controlled_l2_config(flat, 262144)));
+}
+
+TEST(LevelConfig, LegacyConfigJsonOmitsLevelsKey) {
+  // Schema-3 promise: legacy-shaped configs keep the schema-2 canonical
+  // form, which is what keeps their hashes (above) unchanged.
+  EXPECT_FALSE(to_json(quick_config()).contains("levels"));
+  EXPECT_FALSE(to_json(explicit_legacy(quick_config())).contains("levels"));
+  const json::Value v = to_json(controlled_l2_config(quick_config()));
+  ASSERT_TRUE(v.contains("levels"));
+  EXPECT_EQ(v.at("levels").as_array().size(), 2u);
+}
+
+// --- validate(): field-naming rejection -------------------------------
+
+TEST(LevelConfigValidate, RejectsSingleLevelList) {
+  ExperimentConfig cfg = quick_config();
+  cfg.levels = {cfg.legacy_levels()[0]};
+  expect_contains(validate_error(cfg), "at least two levels");
+}
+
+TEST(LevelConfigValidate, RejectsLineSizeContradictionNamingBothLevels) {
+  ExperimentConfig cfg = explicit_legacy(quick_config());
+  cfg.levels[1].geometry.line_bytes = 32;
+  const std::string msg = validate_error(cfg);
+  expect_contains(msg,
+                  "ExperimentConfig::levels[1] (l2).geometry.line_bytes = 32");
+  expect_contains(msg, "levels[0].geometry.line_bytes = 64");
+}
+
+TEST(LevelConfigValidate, RejectsInnerLevelSmallerThanOuter) {
+  ExperimentConfig cfg = explicit_legacy(quick_config());
+  cfg.levels[1].geometry.size_bytes = 1024; // smaller than the 64 KB L1
+  const std::string msg = validate_error(cfg);
+  expect_contains(msg,
+                  "ExperimentConfig::levels[1] (l2).geometry.size_bytes = "
+                  "1024");
+  expect_contains(msg, "smaller");
+}
+
+TEST(LevelConfigValidate, RejectsBadGeometryWithLevelPrefix) {
+  ExperimentConfig cfg = explicit_legacy(quick_config());
+  cfg.levels[0].geometry.assoc = 0;
+  expect_contains(validate_error(cfg),
+                  "ExperimentConfig::levels[0] (l1d).geometry: ");
+}
+
+TEST(LevelConfigValidate, UnnamedLevelErrorsOmitTheParenthetical) {
+  ExperimentConfig cfg = explicit_legacy(quick_config());
+  cfg.levels[0].name.clear();
+  cfg.levels[0].geometry.assoc = 0;
+  expect_contains(validate_error(cfg),
+                  "ExperimentConfig::levels[0].geometry: ");
+}
+
+TEST(LevelConfigValidate, RejectsUnquantizedPerLevelDecayInterval) {
+  ExperimentConfig cfg = controlled_l2_config(quick_config());
+  cfg.levels[1].control->decay_interval = 6;
+  const std::string msg = validate_error(cfg);
+  expect_contains(msg, "ExperimentConfig::levels[1] (l2)");
+  expect_contains(msg, "control->decay_interval must be a nonzero multiple "
+                       "of 4");
+}
+
+TEST(LevelConfigValidate, RejectsFullyUncontrolledHierarchy) {
+  ExperimentConfig cfg = explicit_legacy(quick_config());
+  cfg.levels[0].control.reset();
+  expect_contains(validate_error(cfg),
+                  "at least one level must carry control");
+}
+
+// --- schema-3 hierarchy round trip ------------------------------------
+
+TEST(LevelConfig, HierarchyEnergyJsonRoundTripIsIdentity) {
+  ExperimentConfig cfg = controlled_l2_config(quick_config(), 16384);
+  cfg.instructions = 60'000;
+  clear_baseline_cache();
+  const ExperimentResult r =
+      run_experiment(workload::profile_by_name("mcf"), cfg);
+  ASSERT_EQ(r.hierarchy.levels.size(), 2u);
+  EXPECT_TRUE(r.hierarchy.levels[1].controlled);
+
+  // Serialize, print, reparse, deserialize: every field must survive
+  // (the writer emits shortest-round-trip doubles).
+  const json::Value doc = json::Value::parse(to_json(r.hierarchy).dump());
+  const leakctl::HierarchyEnergy back = hierarchy_from_json(doc);
+  ASSERT_EQ(back.levels.size(), r.hierarchy.levels.size());
+  for (std::size_t i = 0; i < back.levels.size(); ++i) {
+    const leakctl::LevelEnergy& want = r.hierarchy.levels[i];
+    const leakctl::LevelEnergy& got = back.levels[i];
+    EXPECT_EQ(got.name, want.name);
+    EXPECT_EQ(got.controlled, want.controlled);
+    EXPECT_EQ(got.baseline_leakage_j, want.baseline_leakage_j);
+    EXPECT_EQ(got.technique_leakage_j, want.technique_leakage_j);
+    EXPECT_EQ(got.baseline_gate_j, want.baseline_gate_j);
+    EXPECT_EQ(got.technique_gate_j, want.technique_gate_j);
+    EXPECT_EQ(got.decay_hw_leakage_j, want.decay_hw_leakage_j);
+    EXPECT_EQ(got.protection_leakage_j, want.protection_leakage_j);
+    EXPECT_EQ(got.protection_dynamic_j, want.protection_dynamic_j);
+    EXPECT_EQ(got.net_savings_j, want.net_savings_j);
+    EXPECT_EQ(got.induced_misses, want.induced_misses);
+    EXPECT_EQ(got.slow_hits, want.slow_hits);
+    EXPECT_EQ(got.wakes, want.wakes);
+    EXPECT_EQ(got.decays, want.decays);
+    EXPECT_EQ(got.decay_writebacks, want.decay_writebacks);
+    EXPECT_EQ(got.turnoff_ratio, want.turnoff_ratio);
+  }
+  EXPECT_EQ(back.extra_dynamic_j, r.hierarchy.extra_dynamic_j);
+  EXPECT_EQ(back.total_baseline_leakage_j,
+            r.hierarchy.total_baseline_leakage_j);
+  EXPECT_EQ(back.total_technique_leakage_j,
+            r.hierarchy.total_technique_leakage_j);
+  EXPECT_EQ(back.total_gate_leakage_j, r.hierarchy.total_gate_leakage_j);
+  EXPECT_EQ(back.total_net_savings_j, r.hierarchy.total_net_savings_j);
+  EXPECT_EQ(back.total_net_savings_frac,
+            r.hierarchy.total_net_savings_frac);
+}
+
+// --- joint sweep through the engine -----------------------------------
+
+TEST(JointIntervalSweep, RunsEndToEndInGridOrder) {
+  ExperimentConfig cfg = quick_config();
+  cfg.instructions = 50'000;
+  SweepOptions opts;
+  opts.threads = 2;
+  const std::vector<workload::BenchmarkProfile> profiles = {
+      workload::profile_by_name("gzip"), workload::profile_by_name("mcf")};
+  clear_baseline_cache();
+  const std::vector<JointIntervalCell> cells = joint_interval_sweep(
+      cfg, {2048, 4096}, {16384, 65536}, profiles, opts);
+  ASSERT_EQ(cells.size(), 8u);
+
+  // Benchmark-major, L1-major, L2-minor.
+  EXPECT_EQ(cells[0].benchmark, "gzip");
+  EXPECT_EQ(cells[0].l1_interval, 2048ull);
+  EXPECT_EQ(cells[0].l2_interval, 16384ull);
+  EXPECT_EQ(cells[1].l2_interval, 65536ull);
+  EXPECT_EQ(cells[2].l1_interval, 4096ull);
+  EXPECT_EQ(cells[4].benchmark, "mcf");
+
+  for (const JointIntervalCell& c : cells) {
+    SCOPED_TRACE(c.benchmark + " " + std::to_string(c.l1_interval) + "/" +
+                 std::to_string(c.l2_interval));
+    // Ran through the engine cleanly.
+    EXPECT_TRUE(c.result.cell.ok());
+    // The cell took the hierarchy path: a plain legacy L2 was promoted to
+    // a controlled one carrying the grid's L2 interval.
+    EXPECT_FALSE(c.result.config.legacy_shape());
+    ASSERT_EQ(c.result.config.levels.size(), 2u);
+    ASSERT_TRUE(c.result.config.levels[1].control.has_value());
+    EXPECT_EQ(c.result.config.levels[1].control->decay_interval,
+              c.l2_interval);
+    EXPECT_EQ(c.result.config.decay_interval, c.l1_interval);
+    // ... and the rollup priced both levels.
+    ASSERT_EQ(c.result.hierarchy.levels.size(), 2u);
+    EXPECT_TRUE(c.result.hierarchy.levels[0].controlled);
+    EXPECT_TRUE(c.result.hierarchy.levels[1].controlled);
+    EXPECT_GT(c.result.hierarchy.levels[1].baseline_leakage_j, 0.0);
+    EXPECT_GT(c.result.hierarchy.total_baseline_leakage_j,
+              c.result.hierarchy.levels[0].baseline_leakage_j);
+  }
+}
+
+TEST(JointIntervalSweep, RejectsEmptyGridsAndUncontrolledLevelZero) {
+  const ExperimentConfig cfg = quick_config();
+  const std::vector<workload::BenchmarkProfile> profiles = {
+      workload::profile_by_name("gzip")};
+  EXPECT_THROW(joint_interval_sweep(cfg, {}, {4096}, profiles),
+               std::invalid_argument);
+  EXPECT_THROW(joint_interval_sweep(cfg, {4096}, {}, profiles),
+               std::invalid_argument);
+
+  // Control only at the L2: level 0 has no interval for the L1 grid to
+  // sweep, so the call must refuse rather than silently promote.
+  ExperimentConfig l2_only = explicit_legacy(cfg);
+  l2_only.levels[0].control.reset();
+  l2_only.levels[1].control =
+      LevelControl{cfg.technique, cfg.policy, 65536};
+  EXPECT_THROW(joint_interval_sweep(l2_only, {4096}, {65536}, profiles),
+               std::invalid_argument);
+}
+
+} // namespace
+} // namespace harness

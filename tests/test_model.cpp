@@ -61,6 +61,46 @@ TEST(Model, StandbyRatiosMatchTechniqueCharacter) {
   EXPECT_DOUBLE_EQ(m.standby_ratio(StandbyMode::active), 1.0);
 }
 
+TEST(Model, SramPowerSplitSumsToSramPower) {
+  // The split invariant the per-level hierarchy accounting relies on:
+  // subthreshold + gate == sram_power for every mode, by construction
+  // (the split apportions the mode's total, it does not re-derive it).
+  LeakageModel m = model_novar();
+  for (double celsius : {27.0, 85.0, 110.0}) {
+    m.set_operating_point(OperatingPoint::at_celsius(celsius, 0.9));
+    for (StandbyMode mode : {StandbyMode::active, StandbyMode::drowsy,
+                             StandbyMode::gated, StandbyMode::rbb}) {
+      const double n_cells = 64.0 * 1024.0 * 8.0;
+      const LeakageModel::LeakagePowerSplit s =
+          m.sram_power_split(n_cells, mode);
+      const double total = m.sram_power(n_cells, mode);
+      EXPECT_GT(s.subthreshold_w, 0.0);
+      EXPECT_GT(s.gate_w, 0.0);
+      EXPECT_NEAR(s.subthreshold_w + s.gate_w, total, 1e-12 * total)
+          << "mode " << static_cast<int>(mode) << " at " << celsius << " C";
+      EXPECT_DOUBLE_EQ(s.total(), s.subthreshold_w + s.gate_w);
+    }
+  }
+}
+
+TEST(Model, SramPowerSplitScalesLinearlyWithCells) {
+  // The hierarchy rollup prices each level by its own cell count, so the
+  // split must be linear in n_cells: twice the array, twice each
+  // component.  (Shares are per-cell properties; totals are not.)
+  LeakageModel m = model_novar();
+  m.set_operating_point(OperatingPoint::at_celsius(110.0, 0.9));
+  const double n = 64.0 * 1024.0 * 8.0;
+  for (StandbyMode mode : {StandbyMode::active, StandbyMode::drowsy,
+                           StandbyMode::gated}) {
+    const LeakageModel::LeakagePowerSplit one = m.sram_power_split(n, mode);
+    const LeakageModel::LeakagePowerSplit two =
+        m.sram_power_split(2.0 * n, mode);
+    EXPECT_NEAR(two.subthreshold_w, 2.0 * one.subthreshold_w,
+                1e-12 * two.subthreshold_w);
+    EXPECT_NEAR(two.gate_w, 2.0 * one.gate_w, 1e-12 * two.gate_w);
+  }
+}
+
 TEST(Model, GatedBeatsDrowsyResidualAtAllTemperatures) {
   LeakageModel m = model_novar();
   for (double celsius : {27.0, 60.0, 85.0, 110.0}) {

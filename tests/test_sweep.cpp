@@ -211,52 +211,6 @@ TEST(Sweep, MapFormPreservesOrder) {
   }
 }
 
-// The former free functions survive one release as deprecated shims over
-// SweepRunner::run(); pin their behavior until they are removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Sweep, DeprecatedWrappersStillWork) {
-  std::vector<std::atomic<int>> hits(32);
-  parallel_for_indexed(
-      hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); },
-      SweepOptions{.threads = 4});
-  for (std::size_t i = 0; i < hits.size(); ++i) {
-    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
-  }
-  EXPECT_THROW(parallel_for_indexed(
-                   4, [](std::size_t i) {
-                     if (i == 1) {
-                       throw std::runtime_error("boom");
-                     }
-                   }),
-               std::runtime_error);
-
-  const std::vector<int> items = {1, 2, 3};
-  const std::vector<int> doubled = sweep_map(
-      items, [](int v) { return 2 * v; }, SweepOptions{.threads = 2});
-  ASSERT_EQ(doubled.size(), 3u);
-  EXPECT_EQ(doubled[1], 4);
-
-  const auto rows = sweep_map_cells(
-      items, [](int v) { return 2 * v; }, SweepOptions{.threads = 2});
-  ASSERT_EQ(rows.size(), 3u);
-  EXPECT_EQ(rows[2].value, 6);
-  EXPECT_EQ(rows[2].info.status, CellStatus::ok);
-
-  const std::vector<CellRun> runs = parallel_for_cells(
-      3, [](std::size_t, const sim::CancellationToken&) {},
-      SweepOptions{.threads = 2});
-  ASSERT_EQ(runs.size(), 3u);
-  EXPECT_EQ(runs[0].info.status, CellStatus::ok);
-
-  SweepRunner runner(SweepOptions{.threads = 2});
-  runner.submit(workload::profile_by_name("gzip"), quick_config());
-  const auto grid = runner.run_cells();
-  ASSERT_EQ(grid.size(), 1u);
-  EXPECT_EQ(grid[0].value.benchmark, "gzip");
-}
-#pragma GCC diagnostic pop
-
 TEST(Sweep, ResolveThreadCount) {
   ::unsetenv("HLCC_THREADS");
   EXPECT_EQ(resolve_thread_count(3), 3u);

@@ -545,7 +545,7 @@ TEST(SweepResilience, ResumeRerunsFailedAndUnusableRecords) {
   std::remove(path.c_str());
 }
 
-TEST(SweepResilience, SchemaTwoReportCarriesCellRollup) {
+TEST(SweepResilience, ReportCarriesCellRollup) {
   SweepOptions opts;
   opts.threads = 2;
   opts.fail_fast = false;
@@ -554,7 +554,8 @@ TEST(SweepResilience, SchemaTwoReportCarriesCellRollup) {
       values(runner.run(), /*fail_fast=*/false);
   const Series series{"resilience", SuiteResult(std::move(results))};
   const json::Value doc = suite_report("partial sweep", {series});
-  EXPECT_EQ(doc.at("schema").as_double(), 2.0);
+  EXPECT_EQ(doc.at("schema").as_double(),
+            static_cast<double>(kReportSchemaVersion));
   const json::Value& s = doc.at("series").at(0);
   EXPECT_EQ(s.at("cells").at("total").as_double(),
             static_cast<double>(kGridNames.size()));
