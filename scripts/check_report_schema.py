@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a --json suite report (schema versions 1, 2 and 3).
+"""Validate a --json suite report (schema versions 1 through 4).
 
 Usage: check_report_schema.py REPORT.json [REPORT2.json ...]
 
@@ -14,7 +14,12 @@ both are validated.  Schema-3 rows additionally carry a "hierarchy"
 total-leakage section (one entry per cache level with the
 baseline/technique/gate energy split and control stats, plus hierarchy
 totals), and non-legacy configs serialize their per-level "levels" list;
-both are validated too.  Exits non-zero naming the first violation.
+both are validated too.  Schema-4 rows additionally carry a "tenants"
+array — one per-tenant fairness entry (accesses decomposed into
+hits / slow hits / induced / true misses, fills, switch-outs, colors,
+occupancy and standby residency), empty for single-tenant runs — and
+multi-tenant configs serialize a "tenants" config section.  Exits
+non-zero naming the first violation.
 """
 
 import json
@@ -153,6 +158,40 @@ def check_config_levels(levels, where):
             check_number(control, "decay_interval", f"{lw}.control")
 
 
+TENANT_NUMBER_KEYS = ("tenant", "accesses", "hits", "slow_hits",
+                      "induced_misses", "true_misses", "fills",
+                      "switch_outs", "colors", "occupancy_line_cycles",
+                      "standby_line_cycles")
+
+
+def check_tenants(tenants, where):
+    require(isinstance(tenants, list), where, "'tenants' must be an array")
+    for i, ts in enumerate(tenants):
+        tw = f"{where}[{i}]"
+        require(isinstance(ts, dict), tw, "tenant entry must be an object")
+        for key in TENANT_NUMBER_KEYS:
+            check_number(ts, key, tw)
+        require(ts["tenant"] == i, tw,
+                f"tenant entries must be indexed in order, got {ts['tenant']}")
+        decomposed = (ts["hits"] + ts["slow_hits"] + ts["induced_misses"]
+                      + ts["true_misses"])
+        require(ts["accesses"] == decomposed, tw,
+                f"accesses ({ts['accesses']}) must decompose into hits + "
+                f"slow_hits + induced_misses + true_misses ({decomposed})")
+
+
+def check_config_tenants(tenants, where):
+    require(isinstance(tenants, dict), where,
+            "config.tenants must be an object")
+    check_number(tenants, "count", where)
+    require(tenants["count"] >= 1, where,
+            "a serialized tenants section implies count >= 1")
+    check_number(tenants, "quantum", where)
+    require(tenants["quantum"] >= 1, where, "quantum must be positive")
+    require(isinstance(tenants.get("co_benchmarks"), list), where,
+            "missing 'co_benchmarks'")
+
+
 def check_benchmark_row(row, where, schema):
     require(isinstance(row, dict), where, "benchmark row must be an object")
     require(isinstance(row.get("benchmark"), str) and row["benchmark"],
@@ -164,6 +203,9 @@ def check_benchmark_row(row, where, schema):
         require("hierarchy" in row, where,
                 "schema-3 row is missing 'hierarchy'")
         check_hierarchy(row["hierarchy"], f"{where}.hierarchy")
+    if schema >= 4:
+        require("tenants" in row, where, "schema-4 row is missing 'tenants'")
+        check_tenants(row["tenants"], f"{where}.tenants")
     for key in ("net_savings_frac", "perf_loss_frac", "turnoff_ratio"):
         check_number(row, key, where)
     config = row.get("config")
@@ -172,6 +214,8 @@ def check_benchmark_row(row, where, schema):
             f"config.hash must be 0x + 16 hex digits, got {config.get('hash')!r}")
     if "levels" in config:
         check_config_levels(config["levels"], f"{where}.config.levels")
+    if "tenants" in config:
+        check_config_tenants(config["tenants"], f"{where}.config.tenants")
     control = row.get("control")
     require(isinstance(control, dict), where, "missing 'control'")
     for key in ("hits", "slow_hits", "induced_misses", "true_misses",
@@ -182,8 +226,8 @@ def check_benchmark_row(row, where, schema):
 def check_report(doc, path):
     require(isinstance(doc, dict), path, "top level must be an object")
     schema = doc.get("schema")
-    require(schema in (1, 2, 3), path,
-            f"schema must be 1, 2 or 3, got {schema!r}")
+    require(schema in (1, 2, 3, 4), path,
+            f"schema must be 1, 2, 3 or 4, got {schema!r}")
     require(doc.get("kind") == "suite_report", path,
             f"kind must be 'suite_report', got {doc.get('kind')!r}")
     require(isinstance(doc.get("title"), str) and doc["title"], path,

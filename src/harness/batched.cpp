@@ -80,7 +80,7 @@ private:
 bool batchable(const ExperimentConfig& cfg) {
   return !cfg.faults.enabled &&
          cfg.adaptive == ExperimentConfig::AdaptiveScheme::none &&
-         cfg.legacy_shape();
+         cfg.legacy_shape() && !cfg.tenants.enabled();
 }
 
 BatchedExperiment::BatchedExperiment(const workload::BenchmarkProfile& profile,
@@ -94,8 +94,8 @@ BatchedExperiment::BatchedExperiment(const workload::BenchmarkProfile& profile,
     if (!batchable(cfgs_[i])) {
       throw std::invalid_argument(
           "BatchedExperiment: config " + std::to_string(i) +
-          " is not batchable (fault injection and adaptive schemes run "
-          "on the scalar path)");
+          " is not batchable (fault injection, adaptive schemes, and "
+          "multi-tenant interleaving run on the scalar path)");
     }
     if (cfgs_[i].instructions != cfgs_[0].instructions ||
         cfgs_[i].seed != cfgs_[0].seed) {

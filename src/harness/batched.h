@@ -31,8 +31,10 @@ namespace harness {
 /// interleaves differently, adaptive schemes retune the decay
 /// interval through callbacks the lockstep loop does not route, and
 /// explicit-hierarchy cells (non-legacy_shape LevelConfig lists) stack
-/// controlled levels the lockstep lanes do not model, so all three run
-/// scalar.
+/// controlled levels the lockstep lanes do not model, and multi-tenant
+/// cells (TenantConfig::enabled) need the original addresses for tenant
+/// decode and coloring remap, which the decompose-once lockstep loop
+/// discards — so all four run scalar.
 bool batchable(const ExperimentConfig& cfg);
 
 /// Executor for one batch: a benchmark profile plus K batchable

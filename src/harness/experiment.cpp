@@ -12,7 +12,9 @@
 #include "harness/experiment_detail.h"
 #include "harness/metrics.h"
 #include "harness/sweep.h"
+#include "sim/tenant.h"
 #include "workload/generator.h"
+#include "workload/interleaver.h"
 
 namespace harness {
 namespace {
@@ -43,12 +45,60 @@ std::string levels_signature(const ExperimentConfig& cfg) {
   return sig;
 }
 
+/// Everything the instruction stream depends on beyond (benchmark, seed):
+/// multi-tenant runs interleave extra tagged streams, so configs that
+/// differ in tenant setup must not share a baseline.  Single-tenant
+/// configs keep an empty signature (and thus the pre-multi-tenant keys).
+std::string tenants_signature(const ExperimentConfig& cfg) {
+  if (!cfg.tenants.enabled()) {
+    return {};
+  }
+  std::string sig = std::to_string(cfg.tenants.count) + '@' +
+                    std::to_string(cfg.tenants.quantum);
+  for (const std::string& b : cfg.tenants.co_benchmarks) {
+    sig += ';';
+    sig += b;
+  }
+  for (const unsigned t : cfg.tenants.tenant_tags) {
+    sig += ',' + std::to_string(t);
+  }
+  return sig;
+}
+
+/// Build the run's trace source: the plain seeded Generator when
+/// single-tenant, the workload::Interleaver otherwise.  Every simulation
+/// site (baseline and technique, legacy and hierarchy shape) builds its
+/// trace here, so the paired runs always consume the identical stream.
+std::unique_ptr<sim::TraceSource> make_trace(
+    const workload::BenchmarkProfile& profile, const ExperimentConfig& cfg) {
+  if (!cfg.tenants.enabled()) {
+    return std::make_unique<workload::Generator>(profile, cfg.seed);
+  }
+  std::vector<workload::TenantStream> streams(cfg.tenants.count);
+  for (unsigned i = 0; i < cfg.tenants.count; ++i) {
+    // Tenant 0 runs the experiment's own benchmark; the rest cycle
+    // through co_benchmarks (or clone the same benchmark when none are
+    // named).  Distinct seeds keep even same-benchmark streams distinct.
+    streams[i].profile =
+        i == 0 || cfg.tenants.co_benchmarks.empty()
+            ? profile
+            : workload::profile_by_name(
+                  cfg.tenants.co_benchmarks[(i - 1) %
+                                            cfg.tenants.co_benchmarks.size()]);
+    streams[i].seed = cfg.seed + i;
+    streams[i].tenant =
+        cfg.tenants.tenant_tags.empty() ? i : cfg.tenants.tenant_tags[i];
+  }
+  return std::make_unique<workload::Interleaver>(streams, cfg.tenants.quantum);
+}
+
 struct BaselineKey {
   std::string benchmark;
   unsigned l2_latency;
   uint64_t instructions;
   uint64_t seed;
   std::string levels_sig;
+  std::string tenants_sig;
   auto operator<=>(const BaselineKey&) const = default;
 };
 
@@ -80,7 +130,8 @@ std::shared_ptr<const BaselineData> baseline_for(
     const workload::BenchmarkProfile& profile, const ExperimentConfig& cfg,
     const sim::CancellationToken* cancel) {
   BaselineKey key{std::string(profile.name), cfg.l2_latency,
-                  cfg.instructions, cfg.seed, levels_signature(cfg)};
+                  cfg.instructions,           cfg.seed,
+                  levels_signature(cfg),      tenants_signature(cfg)};
   std::shared_ptr<BaselineSlot> slot;
   {
     std::lock_guard<std::mutex> lock(baseline_mutex());
@@ -97,13 +148,13 @@ std::shared_ptr<const BaselineData> baseline_for(
     metrics::ScopedTimer timer("phase.baseline_sim");
     // A cancelled baseline unwinds out of call_once without setting the
     // flag, so the next cell needing this key recomputes it.
-    workload::Generator gen(profile, cfg.seed);
+    const std::unique_ptr<sim::TraceSource> trace = make_trace(profile, cfg);
     if (cfg.legacy_shape()) {
       const sim::ProcessorConfig pcfg =
           sim::ProcessorConfig::table2(cfg.l2_latency);
       sim::Processor proc(pcfg);
       sim::BaselineDataPort dport(pcfg.l1d, proc.l2(), &proc.activity());
-      slot->rec.run = proc.run(gen, dport, cfg.instructions, cancel);
+      slot->rec.run = proc.run(*trace, dport, cfg.instructions, cancel);
       slot->rec.activity = proc.activity();
       slot->rec.l1d_miss_rate = dport.cache().stats().miss_rate();
     } else {
@@ -128,7 +179,8 @@ std::shared_ptr<const BaselineData> baseline_for(
       }
       sim::BaselineDataPort dport(lv[0].geometry, *below, &proc.activity());
       sim::InstrPort iport(pcfg.l1i, *below, &proc.activity());
-      slot->rec.run = proc.run(gen, dport, iport, cfg.instructions, cancel);
+      slot->rec.run =
+          proc.run(*trace, dport, iport, cfg.instructions, cancel);
       slot->rec.activity = proc.activity();
       slot->rec.l1d_miss_rate = dport.cache().stats().miss_rate();
     }
@@ -145,6 +197,9 @@ leakctl::ControlledCacheConfig level_controlled_config(
   ccfg.technique = level.control->technique;
   ccfg.policy = level.control->policy;
   ccfg.decay_interval = level.control->decay_interval;
+  // Every controlled level of a multi-tenant run keeps per-tenant stats;
+  // DecayPolicy::tenant_color additionally partitions its sets.
+  ccfg.tenants = cfg.tenants.count;
   if (cfg.faults.enabled) {
     // Scale the raw upset rates to the operating point.  Standby cells sit
     // at the technique's retention voltage: the drowsy supply for drowsy,
@@ -426,6 +481,102 @@ void ExperimentConfig::validate() const {
           "flat fields for that)");
     }
   }
+
+  // --- multi-tenant setup ---
+  if (!tenants.enabled()) {
+    if (!tenants.co_benchmarks.empty()) {
+      throw std::invalid_argument(
+          "ExperimentConfig::tenants.co_benchmarks is set but "
+          "tenants.count == 0 (multi-tenant interleaving is off; set "
+          "tenants.count to enable it)");
+    }
+    if (!tenants.tenant_tags.empty()) {
+      throw std::invalid_argument(
+          "ExperimentConfig::tenants.tenant_tags is set but "
+          "tenants.count == 0 (multi-tenant interleaving is off; set "
+          "tenants.count to enable it)");
+    }
+  } else {
+    if (tenants.count > sim::kMaxTenants) {
+      throw std::invalid_argument(
+          "ExperimentConfig::tenants.count = " + std::to_string(tenants.count) +
+          " exceeds the " + std::to_string(sim::kMaxTenants) +
+          "-tenant address-tag budget (sim/tenant.h)");
+    }
+    if (tenants.quantum == 0) {
+      throw std::invalid_argument(
+          "ExperimentConfig::tenants.quantum must be a positive "
+          "committed-instruction count, got 0");
+    }
+    for (const std::string& b : tenants.co_benchmarks) {
+      try {
+        workload::profile_by_name(b);
+      } catch (const std::out_of_range&) {
+        throw std::invalid_argument(
+            "ExperimentConfig::tenants.co_benchmarks names unknown "
+            "benchmark '" + b + "'");
+      }
+    }
+    if (!tenants.tenant_tags.empty()) {
+      if (tenants.tenant_tags.size() != tenants.count) {
+        throw std::invalid_argument(
+            "ExperimentConfig::tenants.tenant_tags has " +
+            std::to_string(tenants.tenant_tags.size()) +
+            " entries but tenants.count = " + std::to_string(tenants.count) +
+            " (it must be a permutation of [0, count) or empty)");
+      }
+      std::vector<bool> seen(tenants.count, false);
+      for (const unsigned tag : tenants.tenant_tags) {
+        if (tag >= tenants.count || seen[tag]) {
+          throw std::invalid_argument(
+              "ExperimentConfig::tenants.tenant_tags must be a permutation "
+              "of [0, " + std::to_string(tenants.count) + "); tag " +
+              std::to_string(tag) +
+              (tag < tenants.count ? " repeats" : " is out of range"));
+        }
+        seen[tag] = true;
+      }
+    }
+  }
+  // DecayPolicy::tenant_color placement: only on a shared (non-outermost)
+  // level of an explicit hierarchy, with enough tenants and colors.
+  if (policy == leakctl::DecayPolicy::tenant_color && levels.empty()) {
+    throw std::invalid_argument(
+        "ExperimentConfig::policy = tenant_color needs an explicit "
+        "ExperimentConfig::levels list: coloring set-partitions a *shared* "
+        "level (e.g. the L2), never the flat L1-only shape");
+  }
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (!levels[i].control ||
+        levels[i].control->policy != leakctl::DecayPolicy::tenant_color) {
+      continue;
+    }
+    const std::string where =
+        "ExperimentConfig::levels[" + std::to_string(i) + "]" +
+        (levels[i].name.empty() ? std::string()
+                                : " (" + levels[i].name + ")");
+    if (i == 0) {
+      throw std::invalid_argument(
+          where + ".control->policy = tenant_color, but the outermost "
+          "level is the core's private L1-D; coloring partitions a shared "
+          "level (levels[1] or deeper)");
+    }
+    if (tenants.count < 2) {
+      throw std::invalid_argument(
+          where + ".control->policy = tenant_color requires "
+          "ExperimentConfig::tenants.count >= 2 (got " +
+          std::to_string(tenants.count) +
+          "): there is nothing to partition among fewer than two tenants");
+    }
+    const std::size_t sets = levels[i].geometry.sets();
+    if (tenants.count > sets) {
+      throw std::invalid_argument(
+          where + ": ExperimentConfig::tenants.count = " +
+          std::to_string(tenants.count) + " exceeds the level's " +
+          std::to_string(sets) +
+          " sets — no colors left to hand every tenant");
+    }
+  }
 }
 
 ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
@@ -529,10 +680,11 @@ void run_hierarchy_experiment(const workload::BenchmarkProfile& profile,
     }
   }
 
-  workload::Generator gen(profile, cfg.seed);
+  const std::unique_ptr<sim::TraceSource> trace = make_trace(profile, cfg);
   {
     metrics::ScopedTimer sim_timer("phase.simulation");
-    result.tech_run = proc.run(gen, *dport, iport, cfg.instructions, cancel);
+    result.tech_run =
+        proc.run(*trace, *dport, iport, cfg.instructions, cancel);
   }
   for (leakctl::ControlledCache* cc : controlled) {
     if (cc != nullptr) {
@@ -541,6 +693,14 @@ void run_hierarchy_experiment(const workload::BenchmarkProfile& profile,
   }
   result.control = controlled[0] != nullptr ? controlled[0]->stats()
                                             : leakctl::ControlStats{};
+  // The fairness breakdown comes from the deepest controlled level — in a
+  // multi-tenant setup that is the shared one (empty when tenants is off).
+  for (std::size_t i = lv.size(); i-- > 0;) {
+    if (controlled[i] != nullptr) {
+      result.tenants = controlled[i]->tenant_stats();
+      break;
+    }
+  }
 
   std::vector<leakctl::LevelInput> inputs(lv.size());
   for (std::size_t i = 0; i < lv.size(); ++i) {
@@ -589,13 +749,14 @@ ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
   leakctl::ControlledCache dport(ccfg, proc.l2(), &proc.activity());
   AdaptiveControllers adaptive(cfg);
   adaptive.attach(cfg.adaptive, dport);
-  workload::Generator gen(profile, cfg.seed);
+  const std::unique_ptr<sim::TraceSource> trace = make_trace(profile, cfg);
   {
     metrics::ScopedTimer sim_timer("phase.simulation");
-    result.tech_run = proc.run(gen, dport, cfg.instructions, cancel);
+    result.tech_run = proc.run(*trace, dport, cfg.instructions, cancel);
   }
   dport.finalize(result.tech_run.cycles);
   result.control = dport.stats();
+  result.tenants = dport.tenant_stats();
 
   // Energy accounting at the experiment's operating point.
   detail::finish_energy(result, pcfg, ccfg, *base, proc.activity());

@@ -46,6 +46,34 @@ struct LevelConfig {
   bool operator==(const LevelConfig&) const = default;
 };
 
+/// Multi-tenant (multi-programmed) trace setup: N seeded benchmark
+/// streams interleaved onto the one simulated core by
+/// workload::Interleaver under a round-robin context-switch schedule,
+/// each stream tagged with a disjoint address-space tenant id
+/// (sim/tenant.h).  count == 0 (the default) is single-tenant: no
+/// interleaving, no tagging, bit-identical to the pre-multi-tenant run
+/// path and config hash.  count == 1 runs the interleaver with one
+/// stream — the differential tests pin that this, too, is bit-identical
+/// to the plain path.
+struct TenantConfig {
+  /// Number of tenants sharing the machine (0 = off).
+  unsigned count = 0;
+  /// Context-switch quantum in committed instructions per turn.
+  uint64_t quantum = 50'000;
+  /// Benchmarks for tenants 1..count-1 (tenant 0 runs the experiment's
+  /// own profile).  Cycled when shorter than count-1; empty means every
+  /// tenant runs the same benchmark.  Resolved by workload::find_profile.
+  std::vector<std::string> co_benchmarks;
+  /// Optional address-tag permutation: tenant_tags[i] is the tag stream
+  /// i carries.  Must be a permutation of [0, count); empty means the
+  /// identity.  The permutation-invariance differential tests relabel
+  /// tenants through this without touching the schedule.
+  std::vector<unsigned> tenant_tags;
+
+  bool enabled() const { return count != 0; }
+  bool operator==(const TenantConfig&) const = default;
+};
+
 struct ExperimentConfig {
   unsigned l2_latency = 11;       ///< paper sweep: 5 / 8 / 11 / 17
   double temperature_c = 110.0;   ///< paper: 85 or 110
@@ -78,6 +106,15 @@ struct ExperimentConfig {
   /// With an explicit `levels` list the config applies to every
   /// controlled level, scaled by that level's own standby mode.
   faults::FaultConfig faults;
+
+  /// Multi-tenant trace interleaving (off by default).  When enabled the
+  /// trace comes from workload::Interleaver and every controlled level is
+  /// told the tenant count so it keeps per-tenant fairness stats
+  /// (ExperimentResult::tenants).  DecayPolicy::tenant_color on a shared
+  /// level requires this.  Multi-tenant cells are excluded from batched
+  /// execution (harness::batchable) — the tenant decode and coloring
+  /// remap need original addresses.
+  TenantConfig tenants;
 
   /// Explicit per-level hierarchy, outermost first.  Empty means "legacy
   /// shape": the flat fields above describe the paper's machine — a
@@ -199,6 +236,10 @@ public:
     cfg_.faults = f;
     return *this;
   }
+  Builder& tenants(TenantConfig t) {
+    cfg_.tenants = std::move(t);
+    return *this;
+  }
 
   /// Validate and return the finished config.
   ExperimentConfig build() const {
@@ -242,6 +283,10 @@ struct ExperimentResult {
   /// cache in an explicit-levels config); deeper levels' stats are in
   /// `hierarchy`.
   leakctl::ControlStats control;
+  /// Per-tenant fairness stats from the deepest (shared) controlled
+  /// level, indexed by tenant id; empty when config.tenants is off or no
+  /// level is controlled.  Schema-4 report section "tenants".
+  std::vector<leakctl::TenantStats> tenants;
   double base_l1d_miss_rate = 0.0;
   /// How this cell executed under the sweep engine (status, attempts,
   /// duration, resumed-from-journal).  Defaults to a clean first-try ok

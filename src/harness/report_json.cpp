@@ -31,6 +31,7 @@ const char* policy_name(leakctl::DecayPolicy policy) {
   switch (policy) {
   case leakctl::DecayPolicy::noaccess: return "noaccess";
   case leakctl::DecayPolicy::simple: return "simple";
+  case leakctl::DecayPolicy::tenant_color: return "tenant_color";
   }
   return "?";
 }
@@ -121,6 +122,32 @@ json::Value config_body(const ExperimentConfig& cfg) {
   faults["protection"] = protection_name(cfg.faults.protection);
   faults["seed"] = cfg.faults.seed;
   v["faults"] = std::move(faults);
+  // Multi-tenant runs extend the canonical form with the tenant setup.
+  // Single-tenant configs omit the section — and identity tenant_tags are
+  // themselves omitted — so every pre-multi-tenant hash is preserved and
+  // the two spellings of "no permutation" hash the same.
+  if (cfg.tenants.enabled()) {
+    json::Value mt = json::Value::object();
+    mt["count"] = cfg.tenants.count;
+    mt["quantum"] = cfg.tenants.quantum;
+    json::Value cob = json::Value::array();
+    for (const std::string& b : cfg.tenants.co_benchmarks) {
+      cob.push_back(b);
+    }
+    mt["co_benchmarks"] = std::move(cob);
+    bool identity = true;
+    for (std::size_t i = 0; i < cfg.tenants.tenant_tags.size(); ++i) {
+      identity = identity && cfg.tenants.tenant_tags[i] == i;
+    }
+    if (!identity) {
+      json::Value tags = json::Value::array();
+      for (const unsigned t : cfg.tenants.tenant_tags) {
+        tags.push_back(t);
+      }
+      mt["tenant_tags"] = std::move(tags);
+    }
+    v["tenants"] = std::move(mt);
+  }
   // Explicit hierarchies extend the canonical form with the per-level
   // list.  Legacy-shaped configs — including LevelConfig spellings that
   // compare equal to legacy_levels() — omit it, so every pre-hierarchy
@@ -216,6 +243,28 @@ leakctl::ControlStats control_stats_from_json(const json::Value& v) {
     value = static_cast<unsigned long long>(v.at(name).as_double());
   });
   return control;
+}
+
+json::Value to_json(const leakctl::TenantStats& tenant) {
+  json::Value v = json::Value::object();
+  tenant.for_each_field(
+      [&v](const char* name, const unsigned long long& value) {
+        v[name] = value;
+      });
+  return v;
+}
+
+std::vector<leakctl::TenantStats> tenant_stats_from_json(
+    const json::Value& v) {
+  std::vector<leakctl::TenantStats> tenants;
+  for (const json::Value& row : v.as_array()) {
+    leakctl::TenantStats ts;
+    ts.for_each_field([&row](const char* name, unsigned long long& value) {
+      value = static_cast<unsigned long long>(row.at(name).as_double());
+    });
+    tenants.push_back(ts);
+  }
+  return tenants;
 }
 
 json::Value to_json(const leakctl::EnergyBreakdown& energy) {
@@ -364,6 +413,15 @@ json::Value to_json(const ExperimentResult& result) {
   v["base_run"] = to_json(result.base_run);
   v["tech_run"] = to_json(result.tech_run);
   v["control"] = to_json(result.control);
+  // Always present since schema 4 (empty array for single-tenant runs),
+  // so consumers can distinguish "no tenants" from "old writer".
+  json::Value tenants = json::Value::array();
+  for (std::size_t i = 0; i < result.tenants.size(); ++i) {
+    json::Value ts = to_json(result.tenants[i]);
+    ts["tenant"] = i;
+    tenants.push_back(std::move(ts));
+  }
+  v["tenants"] = std::move(tenants);
   return v;
 }
 

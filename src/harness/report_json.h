@@ -1,4 +1,4 @@
-// Machine-readable result export (schema version 3).
+// Machine-readable result export (schema version 4).
 //
 // Turns the harness's result structures — SuiteResult, ExperimentResult,
 // ControlStats, EnergyBreakdown — into a json::Value document carrying
@@ -39,7 +39,11 @@ namespace harness {
 ///       and wake-up stats, totals), and non-legacy configs serialize
 ///       their per-level "levels" list.  Legacy-shaped configs keep the
 ///       schema-2 canonical form, so their hashes are unchanged.
-inline constexpr int kReportSchemaVersion = 3;
+///   4 — multi-tenant: every row carries a "tenants" array (one
+///       fairness-stats entry per tenant; empty for single-tenant runs),
+///       and multi-tenant configs serialize a "tenants" config section.
+///       Single-tenant configs omit it, so their hashes are unchanged.
+inline constexpr int kReportSchemaVersion = 4;
 
 /// `git describe` of the build, baked in at configure time ("unknown"
 /// outside a git checkout).
@@ -51,6 +55,7 @@ uint64_t config_hash(const ExperimentConfig& cfg);
 
 json::Value to_json(const sim::RunStats& run);
 json::Value to_json(const leakctl::ControlStats& control);
+json::Value to_json(const leakctl::TenantStats& tenant);
 json::Value to_json(const leakctl::EnergyBreakdown& energy);
 json::Value to_json(const leakctl::HierarchyEnergy& hierarchy);
 json::Value to_json(const CellInfo& cell);
@@ -66,6 +71,10 @@ json::Value to_json(const SuiteResult& suite);
 /// journaled cells bit-identically.  All throw std::runtime_error on a
 /// missing field.
 leakctl::ControlStats control_stats_from_json(const json::Value& v);
+/// Parse a row's "tenants" array (required since schema 4; rows written
+/// by older schemas fail with the missing-field error).
+std::vector<leakctl::TenantStats> tenant_stats_from_json(
+    const json::Value& v);
 sim::RunStats run_stats_from_json(const json::Value& v);
 leakctl::EnergyBreakdown energy_from_json(const json::Value& v);
 leakctl::HierarchyEnergy hierarchy_from_json(const json::Value& v);

@@ -465,6 +465,9 @@ ExperimentResult result_from_journal(const JournalRecord& rec,
   r.base_run = run_stats_from_json(rec.result.at("base_run"));
   r.tech_run = run_stats_from_json(rec.result.at("tech_run"));
   r.control = control_stats_from_json(rec.result.at("control"));
+  // Required since schema 4 (empty array for single-tenant cells): a
+  // pre-multi-tenant record throws here and the cell re-runs.
+  r.tenants = tenant_stats_from_json(rec.result.at("tenants"));
   r.base_l1d_miss_rate = rec.result.at("base_l1d_miss_rate").as_double();
   r.cell = rec.info;
   r.cell.resumed = true;
@@ -744,6 +747,46 @@ std::vector<JointIntervalCell> joint_interval_sweep(
         jc.l2_interval = l2;
         out.push_back(std::move(jc));
       }
+    }
+  }
+  std::vector<ExperimentResult> flat = values(runner.run(), opts.fail_fast);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].result = std::move(flat[i]);
+  }
+  return out;
+}
+
+std::vector<MultiTenantCell> multi_tenant_sweep(
+    const ExperimentConfig& cfg,
+    const std::vector<std::vector<std::string>>& mixes,
+    const std::vector<uint64_t>& quanta, const SweepOptions& opts) {
+  if (mixes.empty() || quanta.empty()) {
+    throw std::invalid_argument(
+        "multi_tenant_sweep: mix and quantum grids must be non-empty");
+  }
+  SweepRunner runner(opts);
+  std::vector<MultiTenantCell> out;
+  out.reserve(mixes.size() * quanta.size());
+  for (const std::vector<std::string>& mix : mixes) {
+    if (mix.empty()) {
+      throw std::invalid_argument(
+          "multi_tenant_sweep: a mix must name at least one benchmark");
+    }
+    const workload::BenchmarkProfile& p = workload::profile_by_name(mix[0]);
+    std::string label = mix[0];
+    for (std::size_t i = 1; i < mix.size(); ++i) {
+      label += '+' + mix[i];
+    }
+    for (const uint64_t quantum : quanta) {
+      ExperimentConfig cell = cfg;
+      cell.tenants.count = static_cast<unsigned>(mix.size());
+      cell.tenants.quantum = quantum;
+      cell.tenants.co_benchmarks.assign(mix.begin() + 1, mix.end());
+      runner.submit(p, cell);
+      MultiTenantCell mc;
+      mc.mix = label;
+      mc.quantum = quantum;
+      out.push_back(std::move(mc));
     }
   }
   std::vector<ExperimentResult> flat = values(runner.run(), opts.fail_fast);

@@ -315,4 +315,25 @@ std::vector<JointIntervalCell> joint_interval_sweep(
     const std::vector<workload::BenchmarkProfile>& profiles,
     const SweepOptions& opts = {});
 
+/// One cell of a (workload mix x context-switch quantum) multi-tenant
+/// grid: @p mix is the '+'-joined benchmark list ("gcc+mcf+gzip+twolf").
+struct MultiTenantCell {
+  std::string mix;
+  uint64_t quantum = 0;
+  ExperimentResult result;
+};
+
+/// Multi-tenant grid over @p mixes (each a benchmark-name list: entry 0
+/// is tenant 0 and names the cell's profile, the rest become
+/// TenantConfig::co_benchmarks) and @p quanta, flattened mix-major /
+/// quantum-minor through the engine.  Each cell runs @p cfg with
+/// tenants.count = mix size and the cell's quantum; everything else —
+/// levels, technique, policy (e.g. a tenant_color L2), tags — comes from
+/// @p cfg verbatim.  Multi-tenant cells always execute on the scalar
+/// path (harness::batchable excludes them).
+std::vector<MultiTenantCell> multi_tenant_sweep(
+    const ExperimentConfig& cfg,
+    const std::vector<std::vector<std::string>>& mixes,
+    const std::vector<uint64_t>& quanta, const SweepOptions& opts = {});
+
 } // namespace harness

@@ -5,6 +5,16 @@
 
 namespace leakctl {
 
+namespace {
+// tenant_color replaces idle-counter decay with switch-time partition
+// gating: the embedded DecayCounters is built as (and stays) a no-op
+// noaccess instance so it prices zero counter ticks — every decay_ call
+// site is additionally gated on !coloring_.
+DecayPolicy counter_policy(DecayPolicy policy) {
+  return policy == DecayPolicy::tenant_color ? DecayPolicy::noaccess : policy;
+}
+} // namespace
+
 ControlledCache::ControlledCache(const ControlledCacheConfig& cfg,
                                  sim::BackingStore& next_level,
                                  wattch::Activity* activity)
@@ -12,7 +22,7 @@ ControlledCache::ControlledCache(const ControlledCacheConfig& cfg,
       cache_(cfg.cache),
       next_(next_level),
       activity_(activity),
-      decay_(cfg.cache.lines(), cfg.decay_interval, cfg.policy,
+      decay_(cfg.cache.lines(), cfg.decay_interval, counter_policy(cfg.policy),
              cfg.decay_engine),
       prot_(faults::ProtectionParams::for_scheme(cfg.faults.protection)),
       event_cycle_(cfg.cache.lines(), 0),
@@ -20,9 +30,51 @@ ControlledCache::ControlledCache(const ControlledCacheConfig& cfg,
       standby_in_set_(cfg.cache.sets(), 0),
       fault_check_cycle_(cfg.cache.lines(), 0),
       ghost_tag_(cfg.cache.lines(), 0),
-      ghost_fresh_(cfg.cache.lines(), 0) {
+      ghost_fresh_(cfg.cache.lines(), 0),
+      coloring_(cfg.policy == DecayPolicy::tenant_color) {
   if (cfg.faults.enabled) {
     injector_.emplace(cfg.faults, cfg.cache.line_bytes * 8);
+  }
+  if (cfg.tenants > sim::kMaxTenants) {
+    throw std::invalid_argument(
+        "ControlledCacheConfig::tenants (" + std::to_string(cfg.tenants) +
+        ") exceeds the " + std::to_string(sim::kMaxTenants) +
+        "-tenant address-tag budget (sim/tenant.h)");
+  }
+  if (coloring_ && cfg.tenants == 0) {
+    throw std::invalid_argument(
+        "DecayPolicy::tenant_color requires ControlledCacheConfig::tenants "
+        ">= 1 (no tenants to partition the sets among)");
+  }
+  if (cfg.tenants != 0) {
+    tenant_stats_.resize(cfg.tenants);
+    owner_.assign(cfg_.cache.lines(), sim::kNoTenant);
+    owner_since_.assign(cfg_.cache.lines(), 0);
+  }
+  if (coloring_) {
+    const std::size_t sets = cfg_.cache.sets();
+    if (cfg.tenants > sets) {
+      throw std::invalid_argument(
+          "ControlledCacheConfig::tenants (" + std::to_string(cfg.tenants) +
+          ") exceeds the cache's " + std::to_string(sets) +
+          " sets: DecayPolicy::tenant_color has no colors left to hand out");
+    }
+    // Contiguous set partitions, remainder sets to the low tenants:
+    // tenant t owns [base(t), base(t) + span(t)).
+    const std::size_t spt = sets / cfg.tenants;
+    const std::size_t rem = sets % cfg.tenants;
+    partition_base_.resize(cfg.tenants);
+    partition_sets_.resize(cfg.tenants);
+    set_tenant_.resize(sets);
+    for (unsigned t = 0; t < cfg.tenants; ++t) {
+      const std::size_t base = t * spt + std::min<std::size_t>(t, rem);
+      const std::size_t span = spt + (t < rem ? 1 : 0);
+      partition_base_[t] = static_cast<uint32_t>(base);
+      partition_sets_[t] = static_cast<uint32_t>(span);
+      for (std::size_t s = base; s < base + span; ++s) {
+        set_tenant_[s] = static_cast<uint8_t>(t);
+      }
+    }
   }
 }
 
@@ -74,6 +126,12 @@ void ControlledCache::wake(std::size_t index, uint64_t cycle) {
   stats_.data_standby_cycles += standby_span;
   if (cfg_.technique.decay_tags) {
     stats_.tag_standby_cycles += standby_span;
+  }
+  if (cfg_.tenants != 0) {
+    const uint8_t t = standby_attribution(index);
+    if (t != sim::kNoTenant) {
+      tenant_stats_[t].standby_line_cycles += standby_span;
+    }
   }
   standby_[index] = 0;
   --standby_in_set_[index / cfg_.cache.assoc];
@@ -153,18 +211,115 @@ unsigned ControlledCache::consume_faults(std::size_t index, uint64_t span,
 
 unsigned ControlledCache::access(uint64_t addr, bool is_store,
                                  uint64_t cycle) {
-  return access_decomposed(addr, cache_.decompose(addr), is_store, cycle);
+  if (cfg_.tenants == 0) {
+    return access_impl(addr, cache_.decompose(addr), is_store, cycle, 0);
+  }
+  const unsigned tenant = sim::tenant_of(addr);
+  if (tenant >= cfg_.tenants) {
+    throw std::out_of_range(
+        "ControlledCache: address tags tenant " + std::to_string(tenant) +
+        " but the level is configured for " + std::to_string(cfg_.tenants) +
+        " tenants (was the trace built by workload::Interleaver with a "
+        "matching tenant count?)");
+  }
+  if (coloring_) {
+    // A *demand* access by a different tenant than the last one is the
+    // context switch: gate/drowse everything outside the incoming
+    // partition, then serve the access remapped into its own colors.
+    // Absorbed victim writebacks carry the victim owner's tag — that
+    // tenant is not running, so they remap without switching.
+    if (tenant != current_tenant_ && !absorbing_writeback_) {
+      switch_to(tenant, cycle);
+    }
+    const uint64_t mapped = color_remap(addr, tenant);
+    return access_impl(mapped, cache_.decompose(mapped), is_store, cycle,
+                       tenant);
+  }
+  return access_impl(addr, cache_.decompose(addr), is_store, cycle, tenant);
 }
 
 unsigned ControlledCache::access_decomposed(uint64_t addr,
                                             const sim::Cache::Decomposed& d,
                                             bool is_store, uint64_t cycle) {
+  if (cfg_.tenants != 0) {
+    // Tenant decode / coloring remap must see the original address; the
+    // caller's decomposition may not match the remapped set.  Batched
+    // execution never reaches here (harness::batchable excludes
+    // multi-tenant configs), so the re-decompose is off any hot path.
+    return access(addr, is_store, cycle);
+  }
+  return access_impl(addr, d, is_store, cycle, 0);
+}
+
+uint64_t ControlledCache::color_remap(uint64_t addr, unsigned tenant) const {
+  // Injective per tenant: fold the full line-address space into the
+  // tenant's contiguous set range [base, base + span) while spilling the
+  // quotient into the tag bits.  Recovering (line, tenant) from the
+  // mapped address is exact — mapped_line % sets names the partition and
+  // hence the tenant, the rest reconstructs the original line — so no
+  // two addresses alias and correctness is untouched.
+  const uint64_t line_bytes = cfg_.cache.line_bytes;
+  const uint64_t offset = addr % line_bytes;
+  const uint64_t line = addr / line_bytes;
+  const uint64_t span = partition_sets_[tenant];
+  const uint64_t sets = cfg_.cache.sets();
+  const uint64_t mapped_line =
+      (line / span) * sets + partition_base_[tenant] + (line % span);
+  return mapped_line * line_bytes + offset;
+}
+
+void ControlledCache::switch_to(unsigned tenant, uint64_t cycle) {
+  if (current_tenant_ != sim::kNoTenant) {
+    tenant_stats_[current_tenant_].switch_outs++;
+  }
+  current_tenant_ = static_cast<uint8_t>(tenant);
+  // Standby every line outside the incoming tenant's partition.  The
+  // existing deactivate() semantics do the rest: drowsy colors come back
+  // as slow hits when their tenant resumes, gated colors are invalidated
+  // (dirty lines written back) and resurface as induced misses — all
+  // through the normal classification machinery.  The incoming tenant's
+  // own colors are left as they are and wake lazily, access by access.
+  const std::size_t assoc = cfg_.cache.assoc;
+  const std::size_t lo =
+      static_cast<std::size_t>(partition_base_[tenant]) * assoc;
+  const std::size_t hi =
+      lo + static_cast<std::size_t>(partition_sets_[tenant]) * assoc;
+  for (std::size_t i = 0; i < lo; ++i) {
+    deactivate(i, cycle);
+  }
+  for (std::size_t i = hi; i < event_cycle_.size(); ++i) {
+    deactivate(i, cycle);
+  }
+}
+
+void ControlledCache::set_owner(std::size_t index, unsigned tenant,
+                                uint64_t cycle) {
+  const uint8_t prev = owner_[index];
+  if (prev == static_cast<uint8_t>(tenant)) {
+    return; // refill by the same tenant: the occupancy span continues
+  }
+  if (prev != sim::kNoTenant) {
+    const uint64_t span =
+        cycle > owner_since_[index] ? cycle - owner_since_[index] : 0;
+    tenant_stats_[prev].occupancy_line_cycles += span;
+  }
+  owner_[index] = static_cast<uint8_t>(tenant);
+  owner_since_[index] = cycle;
+}
+
+unsigned ControlledCache::access_impl(uint64_t addr,
+                                      const sim::Cache::Decomposed& d,
+                                      bool is_store, uint64_t cycle,
+                                      unsigned tenant) {
   if (finalized_) {
     throw std::logic_error("ControlledCache::access after finalize");
   }
   max_cycle_ = std::max(max_cycle_, cycle);
-  decay_.advance(max_cycle_,
-                 [this](std::size_t idx, uint64_t at) { deactivate(idx, at); });
+  if (!coloring_) { // tenant_color gates at switch time, not by idle decay
+    decay_.advance(
+        max_cycle_,
+        [this](std::size_t idx, uint64_t at) { deactivate(idx, at); });
+  }
   while (window_cycles_ != 0 && max_cycle_ >= next_window_) {
     const uint64_t boundary = next_window_;
     next_window_ += window_cycles_;
@@ -179,6 +334,11 @@ unsigned ControlledCache::access_decomposed(uint64_t addr,
     } else {
       (is_store ? activity_->l1_writes : activity_->l1_reads)++;
     }
+  }
+
+  TenantStats* ts = cfg_.tenants != 0 ? &tenant_stats_[tenant] : nullptr;
+  if (ts != nullptr) {
+    ts->accesses++;
   }
 
   const std::size_t set = d.set;
@@ -229,6 +389,9 @@ unsigned ControlledCache::access_decomposed(uint64_t addr,
     if (was_standby) {
       // State-preserving standby hit: slow hit, pay the wake penalty.
       stats_.slow_hits++;
+      if (ts != nullptr) {
+        ts->slow_hits++;
+      }
       induced_events_window_++;
       if (induced_hook_) {
         induced_hook_(idx);
@@ -245,6 +408,9 @@ unsigned ControlledCache::access_decomposed(uint64_t addr,
                                 /*on_critical_path=*/true);
     } else {
       stats_.hits++;
+      if (ts != nullptr) {
+        ts->hits++;
+      }
       if (injector_ && cfg_.faults.active_rate_per_bit_cycle > 0.0) {
         const uint64_t active_span = cycle > fault_check_cycle_[idx]
                                          ? cycle - fault_check_cycle_[idx]
@@ -258,12 +424,18 @@ unsigned ControlledCache::access_decomposed(uint64_t addr,
     // Miss path.
     if (induced) {
       stats_.induced_misses++;
+      if (ts != nullptr) {
+        ts->induced_misses++;
+      }
       induced_events_window_++;
       if (induced_hook_) {
         induced_hook_(induced_line);
       }
     } else {
       stats_.true_misses++;
+      if (ts != nullptr) {
+        ts->true_misses++;
+      }
       true_misses_window_++;
       if (set_has_standby) {
         stats_.true_misses_on_standby_set++;
@@ -291,9 +463,15 @@ unsigned ControlledCache::access_decomposed(uint64_t addr,
       wake(idx, cycle); // fill powers the way back up (settle overlapped)
     }
     note_fill(r.set, r.way, cycle);
+    if (ts != nullptr) {
+      ts->fills++;
+      set_owner(idx, tenant, cycle);
+    }
   }
 
-  decay_.on_access(idx);
+  if (!coloring_) {
+    decay_.on_access(idx);
+  }
   if (injector_) {
     fault_check_cycle_[idx] = cycle;
   }
@@ -308,8 +486,11 @@ void ControlledCache::finalize(uint64_t end_cycle) {
     return;
   }
   max_cycle_ = std::max(max_cycle_, end_cycle);
-  decay_.advance(max_cycle_,
-                 [this](std::size_t idx, uint64_t at) { deactivate(idx, at); });
+  if (!coloring_) {
+    decay_.advance(
+        max_cycle_,
+        [this](std::size_t idx, uint64_t at) { deactivate(idx, at); });
+  }
   for (std::size_t i = 0; i < event_cycle_.size(); ++i) {
     const uint64_t span =
         max_cycle_ > event_cycle_[i] ? max_cycle_ - event_cycle_[i] : 0;
@@ -317,6 +498,12 @@ void ControlledCache::finalize(uint64_t end_cycle) {
       stats_.data_standby_cycles += span;
       if (cfg_.technique.decay_tags) {
         stats_.tag_standby_cycles += span;
+      }
+      if (cfg_.tenants != 0) {
+        const uint8_t t = standby_attribution(i);
+        if (t != sim::kNoTenant) {
+          tenant_stats_[t].standby_line_cycles += span;
+        }
       }
     } else {
       stats_.data_active_cycles += span;
@@ -330,6 +517,20 @@ void ControlledCache::finalize(uint64_t end_cycle) {
     stats_.tag_active_cycles =
         static_cast<unsigned long long>(event_cycle_.size()) * max_cycle_;
     stats_.tag_standby_cycles = 0;
+  }
+  // Close every open per-tenant occupancy span and record the partition
+  // geometry (colors) so the fairness report carries it.
+  for (std::size_t i = 0; i < owner_.size(); ++i) {
+    if (owner_[i] != sim::kNoTenant) {
+      const uint64_t span =
+          max_cycle_ > owner_since_[i] ? max_cycle_ - owner_since_[i] : 0;
+      tenant_stats_[owner_[i]].occupancy_line_cycles += span;
+    }
+  }
+  if (coloring_) {
+    for (unsigned t = 0; t < cfg_.tenants; ++t) {
+      tenant_stats_[t].colors = partition_sets_[t];
+    }
   }
   stats_.counter_ticks = decay_.counter_ticks();
   if (activity_ != nullptr) {

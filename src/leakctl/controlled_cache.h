@@ -31,6 +31,7 @@
 #include "leakctl/decay.h"
 #include "leakctl/technique.h"
 #include "sim/hierarchy.h"
+#include "sim/tenant.h"
 
 namespace leakctl {
 
@@ -55,6 +56,18 @@ struct ControlledCacheConfig {
   /// faults only apply to state-preserving techniques (gated-Vss standby
   /// holds no state to corrupt).
   faults::FaultConfig faults;
+  /// Number of tenants sharing this level (0 = single-tenant: no
+  /// per-tenant tracking, no behavioral change).  When nonzero, each
+  /// access's tenant id is decoded from the address's high tag bits
+  /// (sim/tenant.h) and per-tenant occupancy / classification stats are
+  /// kept alongside the shared ControlStats.  DecayPolicy::tenant_color
+  /// additionally set-partitions the cache: tenant t owns a contiguous
+  /// range of sets ("colors"), its accesses are remapped injectively into
+  /// that partition, and a context switch (first access by a different
+  /// tenant) puts every line outside the incoming tenant's partition into
+  /// standby — drowsy colors wake as slow hits, gated colors resurface as
+  /// induced misses, all through the existing classification machinery.
+  unsigned tenants = 0;
 };
 
 /// Access classification and residency statistics for one run.
@@ -131,6 +144,54 @@ struct ControlStats {
   }
 };
 
+/// Per-tenant access and residency statistics for one run of a shared
+/// (multi-tenant) level — the fairness breakdown behind the schema-4
+/// "tenants" report section.  Kept separate from ControlStats: these are
+/// per-tenant rows, not shared scalars.
+struct TenantStats {
+  unsigned long long accesses = 0;
+  unsigned long long hits = 0;           ///< active-line hits
+  unsigned long long slow_hits = 0;      ///< standby hits (state-preserving)
+  unsigned long long induced_misses = 0; ///< standby destroyed useful data
+  unsigned long long true_misses = 0;
+  unsigned long long fills = 0;          ///< lines this tenant filled
+  unsigned long long switch_outs = 0;    ///< times this tenant was switched
+                                         ///< away from (coloring gates its
+                                         ///< partition then)
+  unsigned long long colors = 0;         ///< sets owned under tenant_color
+                                         ///< (0 when uncolored)
+  /// Residency integrals in line-cycles.  Occupancy runs from a line's
+  /// fill by this tenant to the next fill by a different tenant (or end
+  /// of run) — deactivation does not end ownership.  Standby cycles are
+  /// attributed to the partition owner under coloring, and to the
+  /// filling tenant otherwise (never-filled standby lines go
+  /// unattributed).
+  unsigned long long occupancy_line_cycles = 0;
+  unsigned long long standby_line_cycles = 0;
+
+  /// Visit every counter as a (name, value) pair, in declaration order —
+  /// the single source of truth for serialization, exactly like
+  /// ControlStats::for_each_field.
+  template <typename F> void for_each_field(F&& f) const {
+    const_cast<TenantStats*>(this)->for_each_field(
+        [&f](const char* name, unsigned long long& v) {
+          f(name, static_cast<const unsigned long long&>(v));
+        });
+  }
+  template <typename F> void for_each_field(F&& f) {
+    f("accesses", accesses);
+    f("hits", hits);
+    f("slow_hits", slow_hits);
+    f("induced_misses", induced_misses);
+    f("true_misses", true_misses);
+    f("fills", fills);
+    f("switch_outs", switch_outs);
+    f("colors", colors);
+    f("occupancy_line_cycles", occupancy_line_cycles);
+    f("standby_line_cycles", standby_line_cycles);
+  }
+};
+
 class ControlledCache final : public sim::DataPort,
                               public sim::BackingStore {
 public:
@@ -146,7 +207,10 @@ public:
   /// batched executor (harness/batched.h) decomposes each trace address
   /// once and fans the pair into K same-geometry replicas; @p d must be
   /// this cache's decompose(addr).  Non-virtual: the batched hot loop
-  /// calls it directly on the concrete replica.
+  /// calls it directly on the concrete replica.  Multi-tenant instances
+  /// (cfg.tenants != 0) re-route through access() — the tenant decode
+  /// and coloring remap must see the original address — but never meet
+  /// the batched path in practice (harness::batchable excludes them).
   unsigned access_decomposed(uint64_t addr, const sim::Cache::Decomposed& d,
                              bool is_store, uint64_t cycle);
 
@@ -167,10 +231,17 @@ public:
   ///   * The returned latency is discarded — victim writebacks are off the
   ///     critical path, so absorption affects energy and contents, never
   ///     the upper level's access latency.
+  ///   * Multi-tenant: the victim belongs to whichever tenant filled it
+  ///     above, not necessarily the tenant running now, so absorption is
+  ///     attributed (and color-remapped) by the victim's own tag but never
+  ///     counts as a context switch — only demand accesses move
+  ///     tenant_color's running-tenant state.
   /// tests/test_hierarchy_control.cpp pins this contract for L1->L2
   /// controlled stacks.
   void writeback(uint64_t addr, uint64_t cycle) override {
+    absorbing_writeback_ = true;
     (void)access(addr, /*is_store=*/true, cycle);
+    absorbing_writeback_ = false;
   }
 
   /// Close residency integrals at the end of the run.  Must be called once
@@ -184,6 +255,11 @@ public:
   const ControlStats& stats() const { return stats_; }
   const ControlledCacheConfig& config() const { return cfg_; }
   const sim::Cache& cache() const { return cache_; }
+  /// Per-tenant stats, indexed by tenant id; empty when cfg.tenants == 0.
+  /// Residency integrals are closed by finalize().
+  const std::vector<TenantStats>& tenant_stats() const {
+    return tenant_stats_;
+  }
 
   /// Induced misses + slow hits since the last call (feedback-controller
   /// sensor; the tags identify induced misses when kept awake).
@@ -223,6 +299,23 @@ private:
   std::size_t line_index(std::size_t set, std::size_t way) const {
     return set * cfg_.cache.assoc + way;
   }
+  /// The shared access implementation behind access()/access_decomposed();
+  /// @p tenant is the decoded tenant id (ignored when cfg_.tenants == 0),
+  /// and @p addr / @p d are post-remap under tenant coloring.
+  unsigned access_impl(uint64_t addr, const sim::Cache::Decomposed& d,
+                       bool is_store, uint64_t cycle, unsigned tenant);
+  /// Coloring: map @p addr injectively into @p tenant's set partition.
+  uint64_t color_remap(uint64_t addr, unsigned tenant) const;
+  /// Coloring context switch: gate/drowse every line outside the incoming
+  /// tenant's partition (lazy wake brings its own colors back per-access).
+  void switch_to(unsigned tenant, uint64_t cycle);
+  /// Close the previous owner's occupancy span and hand the line over.
+  void set_owner(std::size_t index, unsigned tenant, uint64_t cycle);
+  /// Which tenant a standby span at @p index is charged to (kNoTenant =
+  /// unattributed); see TenantStats for the attribution rule.
+  uint8_t standby_attribution(std::size_t index) const {
+    return coloring_ ? set_tenant_[index / cfg_.cache.assoc] : owner_[index];
+  }
   void deactivate(std::size_t index, uint64_t boundary_cycle);
   void wake(std::size_t index, uint64_t cycle);
   bool any_standby_in_set(std::size_t set) const {
@@ -253,6 +346,16 @@ private:
   std::vector<uint64_t> ghost_tag_;  ///< tag at deactivation (gated-Vss)
   std::vector<uint8_t> ghost_fresh_; ///< no fill into the set since decay
   ControlStats stats_;
+  // Multi-tenant state (all empty / inert when cfg.tenants == 0):
+  std::vector<TenantStats> tenant_stats_;
+  std::vector<uint8_t> owner_;         ///< per-line filling tenant (kNoTenant)
+  std::vector<uint64_t> owner_since_;  ///< open occupancy-span start cycle
+  std::vector<uint32_t> partition_base_; ///< coloring: tenant's first set
+  std::vector<uint32_t> partition_sets_; ///< coloring: tenant's set count
+  std::vector<uint8_t> set_tenant_;      ///< coloring: set -> partition owner
+  bool coloring_ = false;                ///< policy == tenant_color
+  uint8_t current_tenant_ = sim::kNoTenant; ///< last demand tenant (coloring)
+  bool absorbing_writeback_ = false; ///< inside writeback(): no switch
   uint64_t max_cycle_ = 0;
   unsigned long long induced_events_window_ = 0;
   unsigned long long true_misses_window_ = 0;

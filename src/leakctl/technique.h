@@ -20,10 +20,17 @@
 
 namespace leakctl {
 
-/// Decay policies from the drowsy-cache paper (Sec. 2.3).
+/// Decay policies from the drowsy-cache paper (Sec. 2.3), plus the
+/// multitasking cache-coloring scheme (Mittal): instead of per-line idle
+/// counters, a shared level is set-partitioned by tenant and an idle
+/// tenant's whole partition is gated/drowsed at context-switch time.
 enum class DecayPolicy {
-  noaccess, ///< per-line 2-bit counters + global counter (used throughout)
-  simple,   ///< all lines deactivated every interval, no access history
+  noaccess,     ///< per-line 2-bit counters + global counter (used throughout)
+  simple,       ///< all lines deactivated every interval, no access history
+  tenant_color, ///< set-partition by tenant; standby an idle tenant's colors
+                ///< at switch-out (shared levels only; needs
+                ///< ControlledCacheConfig::tenants >= 1 and a multi-tenant
+                ///< trace, see sim/tenant.h)
 };
 
 struct TechniqueParams {

@@ -1,0 +1,51 @@
+// Tenant (address-space) tagging for multi-programmed traces.
+//
+// A multi-tenant workload interleaves several per-benchmark instruction
+// streams onto one core (workload/interleaver.h).  Each stream carries a
+// tenant id in the high bits of every address it emits — the same shape
+// as a per-core owner[] array in a multi-core pintool, folded into the
+// address so the whole single-core pipeline (branch tables, L1s, a
+// shared L2) is tenant-aware without new plumbing:
+//
+//   * address spaces are disjoint by construction: two tenants can never
+//     alias a cache line, a BTB entry, or an LSQ address;
+//   * single-program addresses stay below 2^32 (the generator's code and
+//     data bases plus any realistic footprint), so tenant 0's transform
+//     is the exact identity — an N=1 interleaved run is bit-identical to
+//     the single-stream path;
+//   * set indices and predictor indices use low address bits only, so a
+//     permutation of tenant ids permutes per-tenant statistics without
+//     changing any global timing (tests/test_multitenant.cpp pins this).
+//
+// A shared leakctl::ControlledCache recovers the tenant of an access
+// with tenant_of() to keep per-tenant occupancy and classification
+// stats, and (under DecayPolicy::tenant_color) to pick the tenant's set
+// partition.
+#pragma once
+
+#include <cstdint>
+
+namespace sim {
+
+/// Bit position of the tenant tag.  Bits [0, 32) are the tenant-local
+/// address; a 64-tenant budget keeps tagged addresses within a 40-bit
+/// physical space.
+inline constexpr unsigned kTenantShift = 32;
+
+/// Hard cap on tenant count (tag values), set by the address-bit budget.
+inline constexpr unsigned kMaxTenants = 64;
+
+/// Sentinel for "no tenant" in per-line owner arrays.
+inline constexpr uint8_t kNoTenant = 0xFF;
+
+/// The tenant id carried by a tagged address (0 for untagged addresses).
+constexpr unsigned tenant_of(uint64_t addr) {
+  return static_cast<unsigned>(addr >> kTenantShift);
+}
+
+/// The tag bits tenant @p tenant ORs into every address (0 for tenant 0).
+constexpr uint64_t tenant_bits(unsigned tenant) {
+  return static_cast<uint64_t>(tenant) << kTenantShift;
+}
+
+} // namespace sim

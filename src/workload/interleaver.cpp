@@ -1,0 +1,65 @@
+#include "workload/interleaver.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace workload {
+
+Interleaver::Interleaver(const std::vector<TenantStream>& streams,
+                         uint64_t quantum)
+    : quantum_(quantum) {
+  if (streams.empty()) {
+    throw std::invalid_argument(
+        "Interleaver: streams must name at least one tenant");
+  }
+  if (quantum == 0) {
+    throw std::invalid_argument(
+        "Interleaver: quantum must be a positive committed-instruction "
+        "count, got 0");
+  }
+  bool seen[sim::kMaxTenants] = {};
+  slots_.reserve(streams.size());
+  for (const TenantStream& s : streams) {
+    if (s.tenant >= sim::kMaxTenants) {
+      throw std::invalid_argument(
+          "Interleaver: tenant tag " + std::to_string(s.tenant) +
+          " exceeds the " + std::to_string(sim::kMaxTenants) +
+          "-tenant address-tag budget (sim/tenant.h)");
+    }
+    if (seen[s.tenant]) {
+      throw std::invalid_argument(
+          "Interleaver: duplicate tenant tag " + std::to_string(s.tenant) +
+          " (tenant address spaces must be disjoint)");
+    }
+    seen[s.tenant] = true;
+    slots_.push_back(Slot{Generator(s.profile, s.seed),
+                          sim::tenant_bits(s.tenant)});
+  }
+}
+
+bool Interleaver::next(sim::MicroOp& op) {
+  if (emitted_in_quantum_ == quantum_) {
+    emitted_in_quantum_ = 0;
+    if (slots_.size() > 1) {
+      active_ = (active_ + 1) % slots_.size();
+      ++switches_;
+    }
+  }
+  Slot& slot = slots_[active_];
+  if (!slot.gen.next(op)) {
+    return false;
+  }
+  ++emitted_in_quantum_;
+  if (slot.tag_bits != 0) {
+    op.pc |= slot.tag_bits;
+    if (sim::is_mem(op.op)) {
+      op.mem_addr |= slot.tag_bits;
+    }
+    if (op.op == sim::OpClass::branch) {
+      op.target |= slot.tag_bits;
+    }
+  }
+  return true;
+}
+
+} // namespace workload

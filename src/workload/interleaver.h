@@ -1,0 +1,61 @@
+// Deterministic multi-programmed trace interleaver (sim::TraceSource).
+//
+// Merges N per-benchmark Generator streams onto one core under a
+// round-robin context-switch schedule: slot 0 runs for `quantum`
+// committed instructions, then slot 1, and so on, wrapping around.  Each
+// slot owns an independent, seeded Generator, so the merged stream is a
+// pure function of (streams, quantum) — bit-identical across runs and
+// thread counts, which is what the multi-tenant differential tests pin.
+//
+// Every emitted op is tagged with its slot's tenant id in the high
+// address bits (sim/tenant.h): pc, branch target, and memory address all
+// carry the tag, giving each tenant a disjoint address space.  Tenant 0's
+// tag is zero, so a single-stream Interleaver forwards its Generator's
+// ops unmodified and an N=1 run is bit-identical to the plain
+// single-stream path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/tenant.h"
+#include "workload/generator.h"
+
+namespace workload {
+
+/// One tenant's stream: which benchmark it runs, its private generator
+/// seed, and the address-space tag its ops carry.
+struct TenantStream {
+  BenchmarkProfile profile;
+  uint64_t seed = 1;
+  unsigned tenant = 0; ///< address tag and per-tenant stat index
+};
+
+class Interleaver final : public sim::TraceSource {
+public:
+  /// @throws std::invalid_argument on an empty stream list, a zero
+  /// quantum, a tenant tag >= sim::kMaxTenants, or a duplicate tag
+  /// (address spaces must be disjoint).
+  Interleaver(const std::vector<TenantStream>& streams, uint64_t quantum);
+
+  bool next(sim::MicroOp& op) override;
+
+  std::size_t streams() const { return slots_.size(); }
+  uint64_t quantum() const { return quantum_; }
+  /// Context switches performed so far (always 0 with one stream).
+  uint64_t switches() const { return switches_; }
+
+private:
+  struct Slot {
+    Generator gen;
+    uint64_t tag_bits;
+  };
+
+  std::vector<Slot> slots_;
+  uint64_t quantum_;
+  std::size_t active_ = 0;
+  uint64_t emitted_in_quantum_ = 0;
+  uint64_t switches_ = 0;
+};
+
+} // namespace workload

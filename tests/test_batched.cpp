@@ -144,6 +144,14 @@ TEST(Batched, ConstructorRejectsIllegalBatches) {
   EXPECT_FALSE(batchable(faulty));
   EXPECT_THROW(BatchedExperiment(prof, {faulty}), std::invalid_argument);
 
+  // Multi-tenant interleaving: lanes would need the original (untagged)
+  // addresses back, and coloring remaps per lane — scalar path only.
+  ExperimentConfig tenants = quick_config();
+  tenants.tenants.count = 2;
+  tenants.tenants.co_benchmarks = {"mcf"};
+  EXPECT_FALSE(batchable(tenants));
+  EXPECT_THROW(BatchedExperiment(prof, {tenants}), std::invalid_argument);
+
   // Explicit hierarchies run the scalar path: the lockstep replica loop
   // only models the legacy controlled-L1 machine.  A levels list that
   // merely restates the flat fields is still legacy-shaped, hence

@@ -1,0 +1,550 @@
+// Multi-tenant differential harness: the properties that make the
+// interleaved/colored machinery trustworthy.
+//
+//   1. N=1 bit identity: a one-tenant TenantConfig is a no-op — every
+//      deterministic payload field equals the plain single-stream run,
+//      across techniques, seeds, and quanta.
+//   2. Tenant-permutation invariance: relabeling the address tags
+//      permutes the per-tenant stats and changes *nothing else* — global
+//      timing, control totals, and energy are bit-identical, colored or
+//      not, at one thread and many.
+//   3. validate() names the offending field for every multi-tenant
+//      misconfiguration, and DecayPolicy::tenant_color enforces its
+//      placement rules (shared level only, enough tenants, enough sets).
+//   4. ControlledCache coloring semantics: partition gating is driven by
+//      context switches, not decay intervals, and books per-tenant.
+//   5. Schema-4 report plumbing: the "tenants" section round-trips and
+//      multi_tenant_sweep populates it for every cell.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/batched.h"
+#include "harness/experiment.h"
+#include "harness/report_json.h"
+#include "harness/sweep.h"
+#include "leakctl/controlled_cache.h"
+#include "sim/processor.h"
+#include "sim/tenant.h"
+
+namespace harness {
+namespace {
+
+ExperimentConfig quick_config() {
+  return ExperimentConfig::make().instructions(60'000).variation(false);
+}
+
+/// Plain L1-D over a controlled drowsy L2 — the shared-level shape the
+/// multi-tenant scenarios run on.  Built by struct mutation because
+/// tenant_color only validates once tenants.count is set.
+ExperimentConfig shared_l2_config(leakctl::DecayPolicy policy,
+                                  uint64_t l2_interval = 65536) {
+  ExperimentConfig cfg = quick_config();
+  const sim::ProcessorConfig pcfg = sim::ProcessorConfig::table2(11);
+  cfg.technique = leakctl::TechniqueParams::drowsy();
+  cfg.levels = {
+      {.name = "l1d", .geometry = pcfg.l1d, .control = std::nullopt},
+      {.name = "l2",
+       .geometry = pcfg.l2,
+       .control = LevelControl{leakctl::TechniqueParams::drowsy(), policy,
+                               l2_interval}}};
+  return cfg;
+}
+
+ExperimentConfig multi_tenant(ExperimentConfig cfg, unsigned count,
+                              uint64_t quantum,
+                              std::vector<unsigned> tags = {}) {
+  cfg.tenants.count = count;
+  cfg.tenants.quantum = quantum;
+  cfg.tenants.co_benchmarks = {"mcf", "gzip", "twolf"};
+  cfg.tenants.tenant_tags = std::move(tags);
+  return cfg;
+}
+
+void expect_tenant_stats_equal(const leakctl::TenantStats& a,
+                               const leakctl::TenantStats& b) {
+  a.for_each_field([&](const char* name, unsigned long long va) {
+    unsigned long long vb = 0;
+    b.for_each_field([&](const char* n2, unsigned long long v2) {
+      if (std::string(name) == n2) {
+        vb = v2;
+      }
+    });
+    EXPECT_EQ(va, vb) << "TenantStats::" << name;
+  });
+}
+
+/// Every deterministic tenant-blind payload field, exact == on doubles.
+void expect_payload_identical(const ExperimentResult& a,
+                              const ExperimentResult& b) {
+  EXPECT_EQ(a.benchmark, b.benchmark);
+  EXPECT_EQ(a.base_run.cycles, b.base_run.cycles);
+  EXPECT_EQ(a.base_run.instructions, b.base_run.instructions);
+  EXPECT_EQ(a.tech_run.cycles, b.tech_run.cycles);
+  EXPECT_EQ(a.tech_run.instructions, b.tech_run.instructions);
+  EXPECT_EQ(a.tech_run.loads, b.tech_run.loads);
+  EXPECT_EQ(a.tech_run.stores, b.tech_run.stores);
+  EXPECT_EQ(a.tech_run.branch.direction_mispredicts,
+            b.tech_run.branch.direction_mispredicts);
+  EXPECT_EQ(a.tech_run.branch.btb_misses, b.tech_run.branch.btb_misses);
+  a.control.for_each_field([&](const char* name, unsigned long long va) {
+    unsigned long long vb = 0;
+    b.control.for_each_field([&](const char* n2, unsigned long long v2) {
+      if (std::string(name) == n2) {
+        vb = v2;
+      }
+    });
+    EXPECT_EQ(va, vb) << "ControlStats::" << name;
+  });
+  EXPECT_EQ(a.energy.baseline_leakage_j, b.energy.baseline_leakage_j);
+  EXPECT_EQ(a.energy.technique_leakage_j, b.energy.technique_leakage_j);
+  EXPECT_EQ(a.energy.extra_dynamic_j, b.energy.extra_dynamic_j);
+  EXPECT_EQ(a.energy.net_savings_j, b.energy.net_savings_j);
+  EXPECT_EQ(a.energy.net_savings_frac, b.energy.net_savings_frac);
+  EXPECT_EQ(a.energy.perf_loss_frac, b.energy.perf_loss_frac);
+  EXPECT_EQ(a.energy.turnoff_ratio, b.energy.turnoff_ratio);
+  EXPECT_EQ(a.hierarchy.total_baseline_leakage_j,
+            b.hierarchy.total_baseline_leakage_j);
+  EXPECT_EQ(a.hierarchy.total_technique_leakage_j,
+            b.hierarchy.total_technique_leakage_j);
+  EXPECT_EQ(a.hierarchy.total_net_savings_j,
+            b.hierarchy.total_net_savings_j);
+  EXPECT_EQ(a.base_l1d_miss_rate, b.base_l1d_miss_rate);
+}
+
+// --- property 1: N=1 bit identity -------------------------------------
+
+TEST(MultiTenant, SingleTenantBitIdenticalToPlainRun) {
+  const workload::BenchmarkProfile prof = workload::profile_by_name("gcc");
+  const std::vector<leakctl::TechniqueParams> techs = {
+      leakctl::TechniqueParams::drowsy(), leakctl::TechniqueParams::gated_vss()};
+  // Quantum beyond the trace and quantum far below it: with one stream
+  // there is nothing to switch to, so both degenerate to the plain path.
+  const std::vector<uint64_t> quanta = {uint64_t{1} << 30, 512};
+  for (const leakctl::TechniqueParams& tech : techs) {
+    for (const uint64_t seed : {1ull, 7ull}) {
+      ExperimentConfig plain = quick_config();
+      plain.technique = tech;
+      plain.seed = seed;
+      clear_baseline_cache();
+      const ExperimentResult want = run_experiment(prof, plain);
+      EXPECT_TRUE(want.tenants.empty());
+      for (const uint64_t quantum : quanta) {
+        ExperimentConfig mt = plain;
+        mt.tenants.count = 1;
+        mt.tenants.quantum = quantum;
+        clear_baseline_cache();
+        const ExperimentResult got = run_experiment(prof, mt);
+        expect_payload_identical(got, want);
+        // The one tenant owns the whole books.
+        ASSERT_EQ(got.tenants.size(), 1u);
+        EXPECT_EQ(got.tenants[0].accesses,
+                  got.control.hits + got.control.slow_hits +
+                      got.control.induced_misses + got.control.true_misses);
+        EXPECT_EQ(got.tenants[0].switch_outs, 0ull);
+      }
+    }
+  }
+}
+
+TEST(MultiTenant, SingleTenantHierarchyBitIdenticalToPlainRun) {
+  // Same property through the explicit-hierarchy path: the shared
+  // controlled L2 books the stats, and the totals still match the
+  // tenant-free run exactly.
+  const workload::BenchmarkProfile prof = workload::profile_by_name("mcf");
+  const ExperimentConfig plain = shared_l2_config(leakctl::DecayPolicy::noaccess);
+  clear_baseline_cache();
+  const ExperimentResult want = run_experiment(prof, plain);
+  ExperimentConfig mt = plain;
+  mt.tenants.count = 1;
+  mt.tenants.quantum = 4096;
+  clear_baseline_cache();
+  const ExperimentResult got = run_experiment(prof, mt);
+  expect_payload_identical(got, want);
+  ASSERT_EQ(got.tenants.size(), 1u);
+  EXPECT_GT(got.tenants[0].fills, 0ull);
+}
+
+// --- property 2: tenant-permutation invariance ------------------------
+
+// Relabeling tenants through tenant_tags moves each stream's address
+// space to a different tag (and, colored, a different partition of equal
+// size), which must permute the per-tenant books and change nothing
+// global.  Checked for the tag-blind noaccess L2 and the tag-aware
+// colored L2.
+void permutation_invariance(leakctl::DecayPolicy policy) {
+  const workload::BenchmarkProfile prof = workload::profile_by_name("gcc");
+  const std::vector<unsigned> perm = {2, 0, 3, 1};
+  const ExperimentConfig base = shared_l2_config(policy);
+  const ExperimentConfig id = multi_tenant(base, 4, 5000);
+  const ExperimentConfig pm = multi_tenant(base, 4, 5000, perm);
+  clear_baseline_cache();
+  const ExperimentResult a = run_experiment(prof, id);
+  clear_baseline_cache();
+  const ExperimentResult b = run_experiment(prof, pm);
+  expect_payload_identical(a, b);
+  ASSERT_EQ(a.tenants.size(), 4u);
+  ASSERT_EQ(b.tenants.size(), 4u);
+  uint64_t slow_hits = 0, induced = 0;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    // Stream i carries tag i in the identity run and tag perm[i] in the
+    // permuted run; its books move with the tag.
+    expect_tenant_stats_equal(a.tenants[i], b.tenants[perm[i]]);
+    EXPECT_GT(a.tenants[i].accesses, 0ull) << "tenant " << i;
+    slow_hits += a.tenants[i].slow_hits;
+    induced += a.tenants[i].induced_misses;
+  }
+  // Per-tenant books partition the shared L2's control events.
+  ASSERT_EQ(a.hierarchy.levels.size(), 2u);
+  EXPECT_EQ(slow_hits, a.hierarchy.levels[1].slow_hits);
+  EXPECT_EQ(induced, a.hierarchy.levels[1].induced_misses);
+}
+
+TEST(MultiTenant, PermutationInvarianceUncolored) {
+  permutation_invariance(leakctl::DecayPolicy::noaccess);
+}
+
+TEST(MultiTenant, PermutationInvarianceColored) {
+  permutation_invariance(leakctl::DecayPolicy::tenant_color);
+}
+
+TEST(MultiTenant, SweepThreadCountDoesNotPerturbResults) {
+  // The engine half of the differential harness: the same two cells
+  // (identity and permuted tags, colored L2) through SweepRunner at one
+  // worker and at four are bit-identical to scalar run_experiment.
+  const workload::BenchmarkProfile prof = workload::profile_by_name("gcc");
+  const ExperimentConfig base = shared_l2_config(leakctl::DecayPolicy::tenant_color);
+  const std::vector<ExperimentConfig> cfgs = {
+      multi_tenant(base, 4, 5000), multi_tenant(base, 4, 5000, {2, 0, 3, 1})};
+  std::vector<ExperimentResult> scalar;
+  for (const ExperimentConfig& cfg : cfgs) {
+    clear_baseline_cache();
+    scalar.push_back(run_experiment(prof, cfg));
+  }
+  for (const unsigned threads : {1u, 4u}) {
+    SweepRunner runner(SweepOptions{.threads = threads});
+    for (const ExperimentConfig& cfg : cfgs) {
+      runner.submit(prof, cfg);
+    }
+    clear_baseline_cache();
+    const std::vector<CellResult<ExperimentResult>> rows = runner.run();
+    ASSERT_EQ(rows.size(), cfgs.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_TRUE(rows[i].ok()) << rows[i].error();
+      // Multi-tenant cells must have taken the scalar path.
+      EXPECT_EQ(rows[i].info.batch, 0u);
+      expect_payload_identical(rows[i].value, scalar[i]);
+      ASSERT_EQ(rows[i].value.tenants.size(), scalar[i].tenants.size());
+      for (std::size_t t = 0; t < scalar[i].tenants.size(); ++t) {
+        expect_tenant_stats_equal(rows[i].value.tenants[t],
+                                  scalar[i].tenants[t]);
+      }
+    }
+  }
+}
+
+// --- property 3: validate() names the field ---------------------------
+
+std::string validate_error(const ExperimentConfig& cfg) {
+  try {
+    cfg.validate();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return {};
+}
+
+void expect_contains(const std::string& haystack, const std::string& needle) {
+  EXPECT_NE(haystack.find(needle), std::string::npos)
+      << "expected \"" << needle << "\" in:\n" << haystack;
+}
+
+TEST(MultiTenantValidate, RejectsLeftoversWhileDisabled) {
+  ExperimentConfig cfg = quick_config();
+  cfg.tenants.co_benchmarks = {"mcf"};
+  expect_contains(validate_error(cfg),
+                  "ExperimentConfig::tenants.co_benchmarks is set but "
+                  "tenants.count == 0");
+  cfg = quick_config();
+  cfg.tenants.tenant_tags = {0};
+  expect_contains(validate_error(cfg),
+                  "ExperimentConfig::tenants.tenant_tags is set but "
+                  "tenants.count == 0");
+}
+
+TEST(MultiTenantValidate, RejectsZeroQuantum) {
+  ExperimentConfig cfg = multi_tenant(quick_config(), 2, 1);
+  cfg.tenants.quantum = 0;
+  expect_contains(validate_error(cfg),
+                  "ExperimentConfig::tenants.quantum must be a positive");
+}
+
+TEST(MultiTenantValidate, RejectsTooManyTenants) {
+  const ExperimentConfig cfg =
+      multi_tenant(quick_config(), sim::kMaxTenants + 1, 4096);
+  const std::string msg = validate_error(cfg);
+  expect_contains(msg, "ExperimentConfig::tenants.count = " +
+                           std::to_string(sim::kMaxTenants + 1));
+}
+
+TEST(MultiTenantValidate, RejectsUnknownCoBenchmark) {
+  ExperimentConfig cfg = multi_tenant(quick_config(), 2, 4096);
+  cfg.tenants.co_benchmarks = {"not-a-benchmark"};
+  const std::string msg = validate_error(cfg);
+  expect_contains(msg, "ExperimentConfig::tenants.co_benchmarks");
+  expect_contains(msg, "not-a-benchmark");
+}
+
+TEST(MultiTenantValidate, RejectsBadTagPermutations) {
+  ExperimentConfig cfg = multi_tenant(quick_config(), 3, 4096, {0, 1});
+  expect_contains(validate_error(cfg),
+                  "ExperimentConfig::tenants.tenant_tags has 2 entries but "
+                  "tenants.count = 3");
+  cfg = multi_tenant(quick_config(), 3, 4096, {0, 1, 1});
+  expect_contains(validate_error(cfg), "must be a permutation");
+  cfg = multi_tenant(quick_config(), 3, 4096, {0, 1, 3});
+  expect_contains(validate_error(cfg), "must be a permutation");
+}
+
+TEST(MultiTenantValidate, ColoringNeedsAnExplicitHierarchy) {
+  ExperimentConfig cfg = quick_config();
+  cfg.policy = leakctl::DecayPolicy::tenant_color;
+  expect_contains(validate_error(cfg), "needs an explicit");
+}
+
+TEST(MultiTenantValidate, ColoringRejectedOnThePrivateOutermostLevel) {
+  ExperimentConfig cfg = multi_tenant(quick_config(), 2, 4096);
+  cfg.levels = cfg.legacy_levels();
+  cfg.levels[0].control =
+      LevelControl{leakctl::TechniqueParams::drowsy(),
+                   leakctl::DecayPolicy::tenant_color, 65536};
+  const std::string msg = validate_error(cfg);
+  expect_contains(msg, "levels[0]");
+  expect_contains(msg, "outermost");
+}
+
+TEST(MultiTenantValidate, ColoringNeedsAtLeastTwoTenants) {
+  const ExperimentConfig cfg =
+      shared_l2_config(leakctl::DecayPolicy::tenant_color);
+  expect_contains(validate_error(cfg), "tenants.count >= 2");
+}
+
+TEST(MultiTenantValidate, ColoringNeedsOneColorPerTenant) {
+  ExperimentConfig cfg = multi_tenant(
+      shared_l2_config(leakctl::DecayPolicy::tenant_color), 64, 4096);
+  // Crank the L2's associativity until only 32 sets remain: 64 tenants
+  // no longer fit one color each.
+  cfg.levels[1].geometry.assoc = cfg.levels[1].geometry.lines() / 32;
+  const std::string msg = validate_error(cfg);
+  expect_contains(msg, "exceeds the level's 32 sets");
+}
+
+// --- property 4: ControlledCache coloring semantics -------------------
+
+struct MtFixture {
+  explicit MtFixture(leakctl::TechniqueParams tech, unsigned tenants) {
+    sim::ProcessorConfig pcfg = sim::ProcessorConfig::table2(11);
+    // 8 sets x 2 ways; a colossal decay interval proves that partition
+    // gating is switch-driven, never counter-driven.
+    cfg.cache = {.size_bytes = 1024, .assoc = 2, .line_bytes = 64,
+                 .hit_latency = 2};
+    cfg.technique = tech;
+    cfg.policy = leakctl::DecayPolicy::tenant_color;
+    cfg.decay_interval = uint64_t{1} << 40;
+    cfg.tenants = tenants;
+    mem = std::make_unique<sim::MemoryBackend>(pcfg.memory_latency, &activity);
+    l2 = std::make_unique<sim::CacheLevel>(pcfg.l2, *mem, &activity);
+    cc = std::make_unique<leakctl::ControlledCache>(cfg, *l2, &activity);
+  }
+
+  leakctl::ControlledCacheConfig cfg;
+  wattch::Activity activity;
+  std::unique_ptr<sim::MemoryBackend> mem;
+  std::unique_ptr<sim::CacheLevel> l2;
+  std::unique_ptr<leakctl::ControlledCache> cc;
+};
+
+TEST(ControlledCacheColoring, SwitchDrowsesTheOutgoingPartition) {
+  MtFixture f(leakctl::TechniqueParams::drowsy(), 2);
+  const uint64_t a0 = 512;                        // tenant 0
+  const uint64_t a1 = sim::tenant_bits(1) | 512;  // tenant 1, same raw line
+  f.cc->access(a0, false, 10); // cold fill in tenant 0's colors
+  f.cc->access(a1, false, 20); // context switch: tenant 0 drowsed
+  // Tenant 0 returns: its line survived in standby (state-preserving),
+  // so this is a slow hit at the decayed-tags wake penalty (2 + 3) —
+  // despite the decay interval never elapsing.
+  EXPECT_EQ(f.cc->access(a0, false, 30), 5u);
+  const auto& ts = f.cc->tenant_stats();
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts[0].accesses, 2ull);
+  EXPECT_EQ(ts[0].slow_hits, 1ull);
+  EXPECT_EQ(ts[0].fills, 1ull);
+  EXPECT_EQ(ts[0].switch_outs, 1ull);
+  EXPECT_EQ(ts[1].accesses, 1ull);
+  EXPECT_EQ(ts[1].fills, 1ull);
+  EXPECT_EQ(ts[1].switch_outs, 1ull);
+}
+
+TEST(ControlledCacheColoring, GatedSwitchDestroysTheOutgoingPartition) {
+  MtFixture f(leakctl::TechniqueParams::gated_vss(), 2);
+  const uint64_t a0 = 512;
+  const uint64_t a1 = sim::tenant_bits(1) | 512;
+  f.cc->access(a0, false, 10);
+  f.cc->access(a1, false, 20);
+  // Gated-Vss loses the data at switch-out: the return trip is an
+  // induced miss served from the next level (2 + 11).
+  EXPECT_EQ(f.cc->access(a0, false, 30), 13u);
+  EXPECT_EQ(f.cc->tenant_stats()[0].induced_misses, 1ull);
+  EXPECT_EQ(f.cc->tenant_stats()[0].slow_hits, 0ull);
+}
+
+TEST(ControlledCacheColoring, PartitionsAreDisjoint) {
+  // Two tenants touching the *same* raw addresses never alias: the
+  // color remap keeps every fill inside the owner's half of the sets.
+  MtFixture f(leakctl::TechniqueParams::drowsy(), 2);
+  for (uint64_t line = 0; line < 16; ++line) {
+    f.cc->access(line * 64, false, 10 + line);
+  }
+  for (uint64_t line = 0; line < 16; ++line) {
+    f.cc->access(sim::tenant_bits(1) | (line * 64), false, 100 + line);
+  }
+  const auto& ts = f.cc->tenant_stats();
+  // Each tenant got 8 of the 16 lines' worth of colors (4 of 8 sets).
+  EXPECT_EQ(ts[0].accesses, 16ull);
+  EXPECT_EQ(ts[1].accesses, 16ull);
+  // Tenant 1's fills never evicted tenant 0's partition: re-touching
+  // tenant 0's hot half hits (slow, post-switch) instead of missing.
+  unsigned survivors = 0;
+  for (uint64_t line = 8; line < 16; ++line) {
+    const unsigned lat = f.cc->access(line * 64, false, 200 + line);
+    if (lat < 13) { // anything but a round trip to the next level
+      ++survivors;
+    }
+  }
+  EXPECT_GT(survivors, 0u);
+}
+
+TEST(ControlledCacheColoring, RejectsOutOfRangeTenantTags) {
+  MtFixture f(leakctl::TechniqueParams::drowsy(), 2);
+  EXPECT_THROW(f.cc->access(sim::tenant_bits(2) | 512, false, 10),
+               std::out_of_range);
+}
+
+TEST(ControlledCacheColoring, ConstructorRejectsImpossiblePartitions) {
+  const auto make = [](unsigned tenants, leakctl::DecayPolicy policy) {
+    MtFixture f(leakctl::TechniqueParams::drowsy(), 2);
+    leakctl::ControlledCacheConfig cfg = f.cfg;
+    cfg.policy = policy;
+    cfg.tenants = tenants;
+    wattch::Activity activity;
+    return std::make_unique<leakctl::ControlledCache>(cfg, *f.l2, &activity);
+  };
+  EXPECT_THROW(make(sim::kMaxTenants + 1, leakctl::DecayPolicy::noaccess),
+               std::invalid_argument);
+  EXPECT_THROW(make(0, leakctl::DecayPolicy::tenant_color), std::invalid_argument);
+  EXPECT_THROW(make(9, leakctl::DecayPolicy::tenant_color), // 9 tenants, 8 sets
+               std::invalid_argument);
+}
+
+// --- property 5: schema-4 report plumbing -----------------------------
+
+TEST(MultiTenant, TenantStatsJsonGoldenAndRoundTrip) {
+  leakctl::TenantStats ts;
+  ts.accesses = 10;
+  ts.hits = 4;
+  ts.slow_hits = 3;
+  ts.induced_misses = 2;
+  ts.true_misses = 1;
+  ts.fills = 5;
+  ts.switch_outs = 6;
+  ts.colors = 7;
+  ts.occupancy_line_cycles = 8;
+  ts.standby_line_cycles = 9;
+  // The exact serialized text is an interface (scripts and the schema
+  // checker read it); a field rename or reorder must show up here.
+  EXPECT_EQ(to_json(ts).dump(),
+            "{\"accesses\":10,\"hits\":4,\"slow_hits\":3,"
+            "\"induced_misses\":2,\"true_misses\":1,\"fills\":5,"
+            "\"switch_outs\":6,\"colors\":7,\"occupancy_line_cycles\":8,"
+            "\"standby_line_cycles\":9}");
+
+  ExperimentResult r;
+  r.benchmark = "gcc";
+  r.tenants = {ts, leakctl::TenantStats{}};
+  const json::Value doc = json::Value::parse(to_json(r).dump());
+  ASSERT_TRUE(doc.contains("tenants"));
+  const auto& rows = doc.at("tenants").as_array();
+  ASSERT_EQ(rows.size(), 2u);
+  // Rows are indexed for humans reading the report...
+  EXPECT_EQ(rows[0].at("tenant").as_double(), 0.0);
+  EXPECT_EQ(rows[1].at("tenant").as_double(), 1.0);
+  // ...and round-trip losslessly for the journal.
+  const std::vector<leakctl::TenantStats> back =
+      tenant_stats_from_json(doc.at("tenants"));
+  ASSERT_EQ(back.size(), 2u);
+  expect_tenant_stats_equal(back[0], ts);
+  expect_tenant_stats_equal(back[1], leakctl::TenantStats{});
+}
+
+TEST(MultiTenant, ResultJsonAlwaysCarriesTheTenantsSection) {
+  // Schema 4: the section is present (empty) even for single-tenant
+  // rows, so consumers need no presence probes.
+  const json::Value v = to_json(ExperimentResult{});
+  ASSERT_TRUE(v.contains("tenants"));
+  EXPECT_TRUE(v.at("tenants").as_array().empty());
+  EXPECT_EQ(kReportSchemaVersion, 4);
+}
+
+TEST(MultiTenant, SingleTenantConfigHashesUnchanged) {
+  // The "tenants" config section only exists when enabled, so every
+  // pre-multi-tenant journal and perf baseline keeps its hash.
+  const ExperimentConfig cfg = quick_config();
+  ExperimentConfig off = cfg;
+  off.tenants = TenantConfig{};
+  EXPECT_EQ(config_hash(cfg), config_hash(off));
+  EXPECT_FALSE(to_json(cfg).contains("tenants"));
+  ExperimentConfig on = cfg;
+  on.tenants.count = 2;
+  on.tenants.co_benchmarks = {"mcf"};
+  EXPECT_NE(config_hash(cfg), config_hash(on));
+  // Identity tags hash like no tags at all: same schedule, same run.
+  ExperimentConfig tagged = on;
+  tagged.tenants.tenant_tags = {0, 1};
+  EXPECT_EQ(config_hash(on), config_hash(tagged));
+  ExperimentConfig permuted = on;
+  permuted.tenants.tenant_tags = {1, 0};
+  EXPECT_NE(config_hash(on), config_hash(permuted));
+}
+
+TEST(MultiTenant, MultiTenantSweepPopulatesEveryCell) {
+  ExperimentConfig base = shared_l2_config(leakctl::DecayPolicy::tenant_color);
+  base.instructions = 30'000;
+  clear_baseline_cache();
+  const std::vector<MultiTenantCell> cells =
+      multi_tenant_sweep(base, {{"gcc", "mcf"}, {"gzip", "twolf", "vpr"}},
+                         {2000, 8000}, SweepOptions{.threads = 2});
+  ASSERT_EQ(cells.size(), 4u); // mix-major, quantum-minor
+  EXPECT_EQ(cells[0].mix, "gcc+mcf");
+  EXPECT_EQ(cells[0].quantum, 2000ull);
+  EXPECT_EQ(cells[1].mix, "gcc+mcf");
+  EXPECT_EQ(cells[1].quantum, 8000ull);
+  EXPECT_EQ(cells[2].mix, "gzip+twolf+vpr");
+  EXPECT_EQ(cells[3].quantum, 8000ull);
+  for (const MultiTenantCell& cell : cells) {
+    const std::size_t n = cell.mix.find("vpr") == std::string::npos ? 2 : 3;
+    ASSERT_EQ(cell.result.tenants.size(), n) << cell.mix;
+    EXPECT_EQ(cell.result.config.tenants.quantum, cell.quantum);
+    uint64_t colors = 0;
+    for (const leakctl::TenantStats& ts : cell.result.tenants) {
+      EXPECT_GT(ts.accesses, 0ull);
+      colors += ts.colors;
+    }
+    // tenant_color hands out every set exactly once.
+    EXPECT_EQ(colors, cell.result.config.levels[1].geometry.sets());
+  }
+}
+
+} // namespace
+} // namespace harness
