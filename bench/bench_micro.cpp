@@ -15,6 +15,7 @@
 #include "hotleakage/model.h"
 #include "leakctl/controlled_cache.h"
 #include "sim/processor.h"
+#include "workload/arena.h"
 #include "workload/generator.h"
 
 namespace {
@@ -164,14 +165,17 @@ BENCHMARK(BM_EndToEndSimulation);
 /// L2 latencies for one benchmark, 28 same-stream cells — through
 /// SweepRunner on one thread, batched (one lockstep trace pass drives
 /// all 28 controlled-cache replicas) vs scalar (28 independent passes).
-/// Their ratio is the recorded sweep speedup (scripts/record_bench.py
-/// --suite sweep -> BENCH_6.json).  One untimed warm run in the same
+/// The batched/scalar ratio at arena:0 is the recorded sweep speedup
+/// (scripts/record_bench.py --suite sweep -> BENCH_6.json); the
+/// batched:1 arena:1/arena:0 ratio feeds the trace suite (BENCH_7.json).
+/// One untimed warm run in the same
 /// batch mode precedes the timed loop: it fills the baseline memo
 /// (shared across the grid either way) and takes the first-touch page
 /// faults of the lane working set, so a single-iteration repetition
 /// measures steady state, not allocator cold start.
 void BM_Table3Sweep(benchmark::State& state) {
   const bool batched = state.range(0) != 0;
+  const bool arena = state.range(1) != 0;
   // Long enough that per-cell setup (cache construction, planner) is a
   // realistic fraction of a cell — the paper's runs are 2M instructions;
   // 200k keeps the scalar arm of the benchmark to a couple of seconds.
@@ -203,17 +207,27 @@ void BM_Table3Sweep(benchmark::State& state) {
   };
 
   harness::clear_baseline_cache();
+  // The arena arm measures steady-state replay (the warm run pays the
+  // one-time materialization); the arena:0 arm is the pre-arena scalar /
+  // batched behavior BENCH_6 gates on.
+  workload::TraceArena& ta = workload::TraceArena::instance();
+  const bool arena_was = ta.enabled();
+  ta.set_enabled(arena);
+  ta.clear();
   (void)run_grid(); // untimed warm run, same batch mode as the timed loop
   for (auto _ : state) {
     benchmark::DoNotOptimize(run_grid());
   }
+  ta.set_enabled(arena_was);
+  ta.clear();
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(cells * kInstructions));
 }
 BENCHMARK(BM_Table3Sweep)
-    ->ArgNames({"batched"})
-    ->Args({1})
-    ->Args({0})
+    ->ArgNames({"batched", "arena"})
+    ->Args({1, 0})
+    ->Args({0, 0})
+    ->Args({1, 1})
     ->Unit(benchmark::kMillisecond);
 
 /// The joint (L1 interval x L2 interval) hierarchy grid: explicit
@@ -223,6 +237,7 @@ BENCHMARK(BM_Table3Sweep)
 /// throughput — chained ControlledCaches, per-level residency
 /// finalization, and the compute_hierarchy_energy rollup.
 void BM_HierarchySweep(benchmark::State& state) {
+  const bool arena = state.range(0) != 0;
   constexpr uint64_t kInstructions = 100'000;
   const std::vector<workload::BenchmarkProfile> profiles = {
       workload::profile_by_name("gzip")};
@@ -234,15 +249,30 @@ void BM_HierarchySweep(benchmark::State& state) {
   harness::SweepOptions opts;
   opts.threads = 1;
   harness::clear_baseline_cache();
+  workload::TraceArena& ta = workload::TraceArena::instance();
+  const bool arena_was = ta.enabled();
+  ta.set_enabled(arena);
+  ta.clear();
+  // Untimed warm run: fills the baseline memo and (arena arm) pays the
+  // one-time stream materialization, so the timed loop measures the
+  // steady-state scalar hierarchy path both arms claim to compare.
+  benchmark::DoNotOptimize(harness::joint_interval_sweep(
+      cfg, l1_intervals, l2_intervals, profiles, opts));
   for (auto _ : state) {
     benchmark::DoNotOptimize(harness::joint_interval_sweep(
         cfg, l1_intervals, l2_intervals, profiles, opts));
   }
+  ta.set_enabled(arena_was);
+  ta.clear();
   state.SetItemsProcessed(
       state.iterations() *
       static_cast<int64_t>(l2_intervals.size() * kInstructions));
 }
-BENCHMARK(BM_HierarchySweep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HierarchySweep)
+    ->ArgNames({"arena"})
+    ->Args({0})
+    ->Args({1})
+    ->Unit(benchmark::kMillisecond);
 
 /// Console reporter that also collects every run for the JSON export.
 class CollectingReporter : public benchmark::ConsoleReporter {

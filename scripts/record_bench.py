@@ -17,10 +17,19 @@ speedup per scenario:
       "speedups": {"interval:512/kb:64": 6.9, ...}   # event vs reference
     }
 
-``sweep`` (BENCH_6.json) — runs the BM_Table3Sweep pair (the paper's
-Table 3 oracle-interval grid through SweepRunner, batched lockstep pass
-vs scalar per-cell passes) and records the batched-vs-scalar sweep
-speedup as ``speedups["table3"]``.
+``sweep`` (BENCH_6.json) — runs the BM_Table3Sweep arena:0 pair (the
+paper's Table 3 oracle-interval grid through SweepRunner, batched
+lockstep pass vs scalar per-cell passes, trace arena off) and records
+the batched-vs-scalar sweep speedup as ``speedups["table3"]``.
+
+``trace`` (BENCH_7.json) — runs the arena-on/arena-off arms of
+BM_HierarchySweep (scalar hierarchy path) and BM_Table3Sweep batched:1,
+and records the trace-arena replay speedups as ``speedups["hierarchy"]``
+and ``speedups["table3_batched"]``.
+
+The recording refuses a dirty work tree (the committed baseline must be
+attributable to a commit); ``--allow-dirty`` overrides, recording the
+clean HEAD hash in ``git`` plus ``"git_dirty": true``.
 
 ``--baseline BENCH_N.json`` additionally compares the freshly measured
 *speedups* (machine-independent, unlike raw throughput) against the
@@ -46,11 +55,16 @@ import tempfile
 
 UNIT_TO_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
 STRESS_ROW = re.compile(r"^BM_DecayStress/(?P<scenario>.+)/event:(?P<event>[01])$")
-SWEEP_ROW = re.compile(r"^BM_Table3Sweep/batched:(?P<batched>[01])$")
+SWEEP_ROW = re.compile(
+    r"^BM_Table3Sweep/batched:(?P<batched>[01])/arena:(?P<arena>[01])$")
+HIER_ROW = re.compile(r"^BM_HierarchySweep/arena:(?P<arena>[01])$")
 
 SUITES = {
     "decay-stress": {"filter": "BM_DecayStress", "out": "BENCH_5.json"},
-    "sweep": {"filter": "BM_Table3Sweep", "out": "BENCH_6.json"},
+    "sweep": {"filter": "BM_Table3Sweep/batched:[01]/arena:0",
+              "out": "BENCH_6.json"},
+    "trace": {"filter": "BM_HierarchySweep|BM_Table3Sweep/batched:1",
+              "out": "BENCH_7.json"},
 }
 
 
@@ -61,13 +75,18 @@ def fnv1a(text):
     return "%016x" % h
 
 
-def git_describe(repo_root):
+def git_state(repo_root):
+    """-> (describe of HEAD without any -dirty suffix, work tree dirty?)."""
     try:
-        return subprocess.check_output(
+        clean = subprocess.check_output(
+            ["git", "describe", "--always", "--tags"],
+            cwd=repo_root, text=True, stderr=subprocess.DEVNULL).strip()
+        dirty = subprocess.check_output(
             ["git", "describe", "--always", "--dirty", "--tags"],
             cwd=repo_root, text=True, stderr=subprocess.DEVNULL).strip()
+        return clean, dirty != clean
     except (OSError, subprocess.CalledProcessError):
-        return "unknown"
+        return "unknown", False
 
 
 class BenchError(Exception):
@@ -158,10 +177,39 @@ def extract_sweep(doc):
         name = row["name"]
         throughput[name] = max(throughput.get(name, 0.0), rate)
     speedups = {}
-    batched = throughput.get("BM_Table3Sweep/batched:1")
-    scalar = throughput.get("BM_Table3Sweep/batched:0")
+    batched = throughput.get("BM_Table3Sweep/batched:1/arena:0")
+    scalar = throughput.get("BM_Table3Sweep/batched:0/arena:0")
     if batched and scalar:
         speedups["table3"] = batched / scalar
+    return throughput, speedups
+
+
+def extract_trace(doc):
+    """micro rows -> ({row name: sweeps/sec}, arena-replay speedups).
+
+    Same best-of-repetitions CPU-time policy as extract_sweep; the
+    speedups pair each benchmark's arena:1 arm against its arena:0 arm.
+    """
+    throughput = {}
+    for row in doc.get("micro", []):
+        if not (SWEEP_ROW.match(row["name"]) or HIER_ROW.match(row["name"])):
+            continue
+        per_iter = row["cpu_time"] * UNIT_TO_SECONDS[row["time_unit"]]
+        if per_iter <= 0:
+            continue
+        rate = 1.0 / per_iter  # one full grid per iteration
+        name = row["name"]
+        throughput[name] = max(throughput.get(name, 0.0), rate)
+    speedups = {}
+    pairs = {
+        "hierarchy": ("BM_HierarchySweep/arena:1",
+                      "BM_HierarchySweep/arena:0"),
+        "table3_batched": ("BM_Table3Sweep/batched:1/arena:1",
+                           "BM_Table3Sweep/batched:1/arena:0"),
+    }
+    for key, (on, off) in pairs.items():
+        if throughput.get(on) and throughput.get(off):
+            speedups[key] = throughput[on] / throughput[off]
     return throughput, speedups
 
 
@@ -209,17 +257,29 @@ def main():
                     help="absolute floor every recorded speedup must clear")
     ap.add_argument("--min-time", type=float, default=0.5,
                     help="benchmark_min_time per scenario, seconds")
+    ap.add_argument("--allow-dirty", action="store_true",
+                    help="record despite uncommitted changes (the baseline "
+                         "then carries \"git_dirty\": true)")
     args = ap.parse_args()
 
     suite = SUITES[args.suite]
     out_path = args.out if args.out is not None else suite["out"]
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    git_rev, git_dirty = git_state(repo_root)
+    if git_dirty:
+        print("record_bench: WARNING: work tree has uncommitted changes; "
+              "the recorded numbers are not attributable to commit %s"
+              % git_rev, file=sys.stderr)
+        if not args.allow_dirty:
+            print("record_bench: refusing to record from a dirty tree "
+                  "(commit first, or pass --allow-dirty)", file=sys.stderr)
+            return 1
     # The sweep pair runs whole seconds per iteration: repeat each arm and
     # interleave the repetitions so slow drift on a shared host lands on
     # both arms instead of skewing their ratio.
     extra = (("--benchmark_repetitions=5",
               "--benchmark_enable_random_interleaving=true")
-             if args.suite == "sweep" else ())
+             if args.suite in ("sweep", "trace") else ())
     try:
         doc = run_bench(args.bench, suite["filter"], args.min_time, extra)
     except BenchError as e:
@@ -229,6 +289,10 @@ def main():
         throughput, speedups = extract_sweep(doc)
         rate_key = "sweeps_per_sec"
         ratio_label = "batched/scalar sweep"
+    elif args.suite == "trace":
+        throughput, speedups = extract_trace(doc)
+        rate_key = "sweeps_per_sec"
+        ratio_label = "arena/live trace"
     else:
         throughput, speedups = extract(doc)
         rate_key = "accesses_per_sec"
@@ -241,7 +305,8 @@ def main():
     out = {
         "schema": 1,
         "suite": args.suite,
-        "git": git_describe(repo_root),
+        "git": git_rev,
+        "git_dirty": git_dirty,
         "config_hash": fnv1a("\n".join(sorted(throughput))),
         "scenarios": [
             {"name": name, rate_key: round(rate, 4)}

@@ -7,7 +7,6 @@
 #include "harness/experiment_detail.h"
 #include "harness/metrics.h"
 #include "sim/lockstep.h"
-#include "workload/generator.h"
 
 namespace harness {
 namespace {
@@ -97,12 +96,20 @@ BatchedExperiment::BatchedExperiment(const workload::BenchmarkProfile& profile,
           " is not batchable (fault injection, adaptive schemes, and "
           "multi-tenant interleaving run on the scalar path)");
     }
-    if (cfgs_[i].instructions != cfgs_[0].instructions ||
-        cfgs_[i].seed != cfgs_[0].seed) {
+    if (cfgs_[i].seed != cfgs_[0].seed) {
       throw std::invalid_argument(
-          "BatchedExperiment: config " + std::to_string(i) +
-          " disagrees with config 0 on instructions/seed; a batch shares "
-          "one instruction stream");
+          "BatchedExperiment: seed mismatch: config " + std::to_string(i) +
+          " has seed " + std::to_string(cfgs_[i].seed) + " but config 0 has " +
+          std::to_string(cfgs_[0].seed) +
+          "; a batch shares one instruction stream");
+    }
+    if (cfgs_[i].instructions != cfgs_[0].instructions) {
+      throw std::invalid_argument(
+          "BatchedExperiment: instruction-count mismatch: config " +
+          std::to_string(i) + " runs " +
+          std::to_string(cfgs_[i].instructions) + " instructions but config "
+          "0 runs " + std::to_string(cfgs_[0].instructions) +
+          "; a batch shares one instruction stream");
     }
   }
 }
@@ -143,11 +150,25 @@ std::vector<ExperimentResult> BatchedExperiment::run(
   // The shared front end: table2 varies only the L2 hit latency, so the
   // core and L1I configs agree across lanes by construction.
   BatchedIo io(pcfgs[0].l1i, lanes);
-  workload::Generator gen(profile_, cfgs_[0].seed);
+  // The whole batch pulls one stream, built from cfgs_[0]'s seed and
+  // instruction count.  The constructor already rejected disagreeing
+  // lanes; re-assert here so a config mutated after construction fails
+  // loudly instead of silently simulating lane 0's stream for everyone.
+  for (std::size_t i = 0; i < k; ++i) {
+    if (cfgs_[i].seed != cfgs_[0].seed ||
+        cfgs_[i].instructions != cfgs_[0].instructions) {
+      throw std::logic_error(
+          "BatchedExperiment: lane " + std::to_string(i) +
+          " no longer agrees with lane 0 on seed/instructions at run time; "
+          "the shared stream would misrepresent it");
+    }
+  }
+  const std::unique_ptr<sim::TraceSource> trace =
+      detail::make_trace(profile_, cfgs_[0]);
   std::vector<sim::RunStats> stats;
   {
     metrics::ScopedTimer sim_timer("phase.simulation");
-    sim::run_lockstep(pcfgs[0].core, k, io, gen, cfgs_[0].instructions,
+    sim::run_lockstep(pcfgs[0].core, k, io, *trace, cfgs_[0].instructions,
                       cancel, stats);
   }
 

@@ -13,6 +13,7 @@
 #include "harness/metrics.h"
 #include "harness/sweep.h"
 #include "sim/tenant.h"
+#include "workload/arena.h"
 #include "workload/generator.h"
 #include "workload/interleaver.h"
 
@@ -65,33 +66,6 @@ std::string tenants_signature(const ExperimentConfig& cfg) {
   return sig;
 }
 
-/// Build the run's trace source: the plain seeded Generator when
-/// single-tenant, the workload::Interleaver otherwise.  Every simulation
-/// site (baseline and technique, legacy and hierarchy shape) builds its
-/// trace here, so the paired runs always consume the identical stream.
-std::unique_ptr<sim::TraceSource> make_trace(
-    const workload::BenchmarkProfile& profile, const ExperimentConfig& cfg) {
-  if (!cfg.tenants.enabled()) {
-    return std::make_unique<workload::Generator>(profile, cfg.seed);
-  }
-  std::vector<workload::TenantStream> streams(cfg.tenants.count);
-  for (unsigned i = 0; i < cfg.tenants.count; ++i) {
-    // Tenant 0 runs the experiment's own benchmark; the rest cycle
-    // through co_benchmarks (or clone the same benchmark when none are
-    // named).  Distinct seeds keep even same-benchmark streams distinct.
-    streams[i].profile =
-        i == 0 || cfg.tenants.co_benchmarks.empty()
-            ? profile
-            : workload::profile_by_name(
-                  cfg.tenants.co_benchmarks[(i - 1) %
-                                            cfg.tenants.co_benchmarks.size()]);
-    streams[i].seed = cfg.seed + i;
-    streams[i].tenant =
-        cfg.tenants.tenant_tags.empty() ? i : cfg.tenants.tenant_tags[i];
-  }
-  return std::make_unique<workload::Interleaver>(streams, cfg.tenants.quantum);
-}
-
 struct BaselineKey {
   std::string benchmark;
   unsigned l2_latency;
@@ -122,9 +96,79 @@ std::map<BaselineKey, std::shared_ptr<BaselineSlot>>& baseline_cache() {
   return cache;
 }
 
+/// Exact textual rendering of a double for key-building: %a round-trips
+/// every finite value, so profiles differing in any field get distinct
+/// stream keys.
+void append_hex_double(std::string& s, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%a,", v);
+  s += buf;
+}
+
+/// Every numeric field of the profile, not just its name: a hand-built
+/// profile that shares a name with a table entry but differs in contents
+/// must not share its materialized stream.
+std::string profile_signature(const workload::BenchmarkProfile& p) {
+  std::string s(p.name);
+  s += '|';
+  for (const double v :
+       {p.f_load, p.f_store, p.f_branch, p.f_mul, p.f_div, p.f_fp, p.dep_mean,
+        p.dep_second_prob, p.br_random_frac, p.br_taken_bias, p.zipf_alpha,
+        p.p_new, p.p_dormant_schedule, p.dormant_gap_mean,
+        p.dormant_gap_sigma}) {
+    append_hex_double(s, v);
+  }
+  s += std::to_string(p.code_lines) + ',' + std::to_string(p.hot_lines) +
+       ',' + std::to_string(p.footprint_lines);
+  return s;
+}
+
 } // namespace
 
 namespace detail {
+
+std::string stream_key(const workload::BenchmarkProfile& profile,
+                       const ExperimentConfig& cfg) {
+  return profile_signature(profile) + '#' + std::to_string(cfg.seed) + '#' +
+         std::to_string(cfg.instructions) + '#' + tenants_signature(cfg);
+}
+
+std::unique_ptr<sim::TraceSource> make_trace_live(
+    const workload::BenchmarkProfile& profile, const ExperimentConfig& cfg) {
+  if (!cfg.tenants.enabled()) {
+    return std::make_unique<workload::Generator>(profile, cfg.seed);
+  }
+  std::vector<workload::TenantStream> streams(cfg.tenants.count);
+  for (unsigned i = 0; i < cfg.tenants.count; ++i) {
+    // Tenant 0 runs the experiment's own benchmark; the rest cycle
+    // through co_benchmarks (or clone the same benchmark when none are
+    // named).  Distinct seeds keep even same-benchmark streams distinct.
+    streams[i].profile =
+        i == 0 || cfg.tenants.co_benchmarks.empty()
+            ? profile
+            : workload::profile_by_name(
+                  cfg.tenants.co_benchmarks[(i - 1) %
+                                            cfg.tenants.co_benchmarks.size()]);
+    streams[i].seed = cfg.seed + i;
+    streams[i].tenant =
+        cfg.tenants.tenant_tags.empty() ? i : cfg.tenants.tenant_tags[i];
+  }
+  return std::make_unique<workload::Interleaver>(streams, cfg.tenants.quantum);
+}
+
+std::unique_ptr<sim::TraceSource> make_trace(
+    const workload::BenchmarkProfile& profile, const ExperimentConfig& cfg) {
+  workload::TraceArena& arena = workload::TraceArena::instance();
+  if (arena.enabled()) {
+    std::unique_ptr<sim::TraceSource> replay =
+        arena.open(stream_key(profile, cfg), cfg.instructions,
+                   [&] { return make_trace_live(profile, cfg); });
+    if (replay) {
+      return replay;
+    }
+  }
+  return make_trace_live(profile, cfg);
+}
 
 std::shared_ptr<const BaselineData> baseline_for(
     const workload::BenchmarkProfile& profile, const ExperimentConfig& cfg,
@@ -680,7 +724,8 @@ void run_hierarchy_experiment(const workload::BenchmarkProfile& profile,
     }
   }
 
-  const std::unique_ptr<sim::TraceSource> trace = make_trace(profile, cfg);
+  const std::unique_ptr<sim::TraceSource> trace =
+      detail::make_trace(profile, cfg);
   {
     metrics::ScopedTimer sim_timer("phase.simulation");
     result.tech_run =
@@ -749,7 +794,8 @@ ExperimentResult run_experiment(const workload::BenchmarkProfile& profile,
   leakctl::ControlledCache dport(ccfg, proc.l2(), &proc.activity());
   AdaptiveControllers adaptive(cfg);
   adaptive.attach(cfg.adaptive, dport);
-  const std::unique_ptr<sim::TraceSource> trace = make_trace(profile, cfg);
+  const std::unique_ptr<sim::TraceSource> trace =
+      detail::make_trace(profile, cfg);
   {
     metrics::ScopedTimer sim_timer("phase.simulation");
     result.tech_run = proc.run(*trace, dport, cfg.instructions, cancel);

@@ -34,6 +34,25 @@ std::shared_ptr<const BaselineData> baseline_for(
     const workload::BenchmarkProfile& profile, const ExperimentConfig& cfg,
     const sim::CancellationToken* cancel);
 
+/// The trace-arena sharing key: cells whose instruction streams are
+/// bit-identical — same profile contents, seed, instruction count, and
+/// tenant setup, i.e. exactly the inputs make_trace_live consumes — map
+/// to the same key and share one materialized stream.
+std::string stream_key(const workload::BenchmarkProfile& profile,
+                       const ExperimentConfig& cfg);
+
+/// Build the run's live trace source: the plain seeded Generator when
+/// single-tenant, the workload::Interleaver otherwise.
+std::unique_ptr<sim::TraceSource> make_trace_live(
+    const workload::BenchmarkProfile& profile, const ExperimentConfig& cfg);
+
+/// The trace every simulation site (baseline and technique, scalar and
+/// batched, legacy and hierarchy shape) pulls from: an arena replay of
+/// the materialized stream when resident, the live source otherwise —
+/// bit-identical either way, so paired runs always see the same stream.
+std::unique_ptr<sim::TraceSource> make_trace(
+    const workload::BenchmarkProfile& profile, const ExperimentConfig& cfg);
+
 /// The ControlledCacheConfig one controlled hierarchy level instantiates:
 /// that level's geometry/technique/policy/interval, the role selecting
 /// which Activity counters it charges, fault rates scaled to the operating

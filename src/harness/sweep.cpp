@@ -22,6 +22,8 @@
 #include "harness/journal.h"
 #include "harness/metrics.h"
 #include "harness/report_json.h"
+#include "harness/experiment_detail.h"
+#include "workload/arena.h"
 #include "workload/generator.h"
 
 namespace harness {
@@ -541,6 +543,50 @@ std::vector<CellResult<ExperimentResult>> SweepRunner::run() {
     }
   };
 
+  // --- arena pre-materialization: one build per distinct stream ---
+  // Cells sharing a (profile, seed, instructions, tenants) stream replay
+  // one packed buffer (workload/arena.h).  Building each distinct stream
+  // up front, in parallel, keeps the first wave of workers from
+  // serializing on the per-stream build locks.  A failed prefetch is
+  // harmless: the cell falls back to live generation, bit-identically.
+  const workload::ArenaStats arena_before =
+      workload::TraceArena::instance().stats();
+  if (workload::TraceArena::instance().enabled() && !todo.empty()) {
+    metrics::ScopedTimer prefetch_timer("phase.trace_prefetch");
+    std::map<std::string, std::size_t> streams;
+    for (const std::size_t i : todo) {
+      streams.emplace(detail::stream_key(cells[i].profile, cells[i].config),
+                      i);
+    }
+    std::vector<std::pair<std::string, std::size_t>> work(streams.begin(),
+                                                          streams.end());
+    std::atomic<std::size_t> next{0};
+    const auto prefetch_worker = [&] {
+      for (std::size_t w = next.fetch_add(1); w < work.size();
+           w = next.fetch_add(1)) {
+        const SweepCell& cell = cells[work[w].second];
+        try {
+          workload::TraceArena::instance().prefetch(
+              work[w].first, cell.config.instructions, [&cell] {
+                return detail::make_trace_live(cell.profile, cell.config);
+              });
+        } catch (const std::exception&) {
+          // The cell itself will surface the error (or generate live).
+        }
+      }
+    };
+    const std::size_t threads = std::min<std::size_t>(
+        resolve_thread_count(opts_.threads), work.size());
+    std::vector<std::thread> pool;
+    for (std::size_t t = 1; t < threads; ++t) {
+      pool.emplace_back(prefetch_worker);
+    }
+    prefetch_worker();
+    for (std::thread& th : pool) {
+      th.join();
+    }
+  }
+
   // --- planner: group batchable same-stream cells into lockstep units ---
   // A unit shares one trace pass, so its members must agree on the
   // instruction stream — (benchmark, instructions, seed); the L2 latency
@@ -666,6 +712,19 @@ std::vector<CellResult<ExperimentResult>> SweepRunner::run() {
     }
     out[i].value.cell = out[i].info;
   }
+
+  // Arena effectiveness over this run: the counters are process-wide, so
+  // export deltas against the entry snapshot; bytes is a point-in-time
+  // gauge of resident stream storage.
+  const workload::ArenaStats arena_after =
+      workload::TraceArena::instance().stats();
+  metrics::count("sweep.trace_arena_hits", arena_after.hits - arena_before.hits);
+  metrics::count("sweep.trace_arena_misses",
+                 arena_after.misses - arena_before.misses);
+  metrics::count("sweep.trace_arena_evictions",
+                 arena_after.evictions - arena_before.evictions);
+  metrics::set_gauge("sweep.trace_arena_bytes",
+                     static_cast<double>(arena_after.bytes));
   return out;
 }
 

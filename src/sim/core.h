@@ -20,6 +20,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -45,12 +46,30 @@ struct CoreConfig {
   unsigned mem_ports = 2;
 };
 
+/// Ops per block on the batched trace path (sim/lockstep.h and the other
+/// hot consumers pull this many at a time).  Divides kCancelPollInterval,
+/// so block starts land exactly on the scalar loop's cancellation-poll
+/// epochs and block-granular polling observes the same instruction counts.
+inline constexpr std::size_t kTraceBlockOps = 64;
+
 /// A pull-based instruction source (implemented by workload generators).
 class TraceSource {
 public:
   virtual ~TraceSource() = default;
   /// Produce the next committed instruction; false at end of stream.
   virtual bool next(MicroOp& op) = 0;
+  /// Batched pull: fill up to @p n ops into @p out and return how many
+  /// were produced.  A short count means end of stream — a later call
+  /// must return 0, never resume.  The default loops next(); hot sources
+  /// override it natively so consumers pay one virtual dispatch per
+  /// block instead of per op.
+  virtual std::size_t next_block(MicroOp* out, std::size_t n) {
+    std::size_t i = 0;
+    while (i < n && next(out[i])) {
+      ++i;
+    }
+    return i;
+  }
 };
 
 struct RunStats {

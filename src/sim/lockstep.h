@@ -6,7 +6,10 @@
 // engine hoists everything that depends only on the *stream* out of the
 // per-lane work and evaluates it once per instruction:
 //
-//   * trace decode/generation (one TraceSource::next per instruction);
+//   * trace decode/generation (one TraceSource::next_block per
+//     kTraceBlockOps instructions — the per-op virtual dispatch and
+//     cancellation poll of the historical loop are hoisted to block
+//     granularity);
 //   * the front-end fetch-group state machine (fetched_in_group,
 //     last_fetch_line, redirect pending) — see the invariant notes below
 //     for why these shared variables evolve identically in every lane;
@@ -211,7 +214,7 @@ void run_lockstep(const CoreConfig& cfg, std::size_t nlanes, Io& io,
   uint64_t last_fetch_line = UINT64_MAX;
   bool pending_redirect = false;
   wattch::CoreActivity shared_core{};
-  MicroOp op;
+  MicroOp block[kTraceBlockOps];
 
   // Stream-determined counters: every lane retires the same ops in the
   // same order, so these are shared, not per-lane.
@@ -222,7 +225,23 @@ void run_lockstep(const CoreConfig& cfg, std::size_t nlanes, Io& io,
   const std::size_t lsq_mask =
       nlanes != 0 ? lanes[0].lsq_ring_.size() - 1 : 0;
 
-  for (uint64_t i = 0; i < max_instructions && trace.next(op); ++i) {
+  // The trace is consumed in kTraceBlockOps-sized blocks: one virtual
+  // next_block() dispatch and one cancellation check replace the per-op
+  // versions the historical loop paid.  Blocks start at multiples of 64
+  // (only the final block is short), and kCancelPollInterval is a
+  // multiple of the block size, so the poll below fires at exactly the
+  // instruction indices — and with exactly the error message — the
+  // per-op loop produced.
+  static_assert(kCancelPollInterval % kTraceBlockOps == 0);
+  uint64_t i = 0;
+  while (i < max_instructions) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<uint64_t>(kTraceBlockOps, max_instructions - i));
+    const std::size_t got = trace.next_block(block, want);
+    if (got == 0) {
+      break;
+    }
+
     // ---- Cooperative cancellation (epoch boundary) ----
     if (cancel != nullptr && (i & (kCancelPollInterval - 1)) == 0 &&
         cancel->cancelled()) {
@@ -231,212 +250,219 @@ void run_lockstep(const CoreConfig& cfg, std::size_t nlanes, Io& io,
                            " instructions");
     }
 
-    // ---- Fetch (shared decisions, per-lane cycles) ----
-    if (pending_redirect) {
-      for (LockstepLane& lane : lanes) {
-        lane.fetch_cycle = lane.redirect_cycle;
-      }
-      fetched_in_group = 0;
-      last_fetch_line = UINT64_MAX; // refetch the line after redirect
-      pending_redirect = false;
-    }
-    if (fetched_in_group >= cfg.fetch_width) {
-      for (LockstepLane& lane : lanes) {
-        ++lane.fetch_cycle;
-      }
-      fetched_in_group = 0;
-    }
-    const uint64_t fetch_line = op.pc / 64;
-    if (fetch_line != last_fetch_line) {
-      bool stall = false;
-      for (std::size_t l = 0; l < nlanes; ++l) {
-        const unsigned ilat = io.ifetch(l, op.pc, lanes[l].fetch_cycle);
-        // The >1 stall decision is a shared L1I hit/miss outcome (see
-        // header notes), so every lane agrees even when the stall
-        // length differs.
-        assert(l == 0 || (ilat > 1) == stall);
-        if (ilat > 1) {
-          // Stall beyond the pipelined 1-cycle hit.
-          lanes[l].fetch_cycle += ilat - 1;
-          stall = true;
+    for (std::size_t b = 0; b < got; ++b, ++i) {
+      const MicroOp& op = block[b];
+      // ---- Fetch (shared decisions, per-lane cycles) ----
+      if (pending_redirect) {
+        for (LockstepLane& lane : lanes) {
+          lane.fetch_cycle = lane.redirect_cycle;
         }
+        fetched_in_group = 0;
+        last_fetch_line = UINT64_MAX; // refetch the line after redirect
+        pending_redirect = false;
       }
-      if (stall) {
+      if (fetched_in_group >= cfg.fetch_width) {
+        for (LockstepLane& lane : lanes) {
+          ++lane.fetch_cycle;
+        }
         fetched_in_group = 0;
       }
-      last_fetch_line = fetch_line;
-    }
-    ++fetched_in_group;
-
-    const bool mem = is_mem(op.op);
-
-    // ---- Branch resolution (shared structures, hoisted) ----
-    // The predictor/BTB touch no lane state and no lane touches them, so
-    // resolving before the per-lane scoreboard step reorders nothing
-    // observable; only the per-lane redirect_cycle update below needs
-    // the lane's completion cycle.
-    bool mispredict = false;
-    bool group_break = false;
-    if (op.op == OpClass::branch) {
-      const bool dir_pred = predictor.predict(op.pc);
-      const bool dir_correct = predictor.update(op.pc, op.taken);
-      bool target_ok = true;
-      if (op.taken) {
-        uint64_t predicted_target = 0;
-        target_ok = btb.lookup(op.pc, predicted_target) &&
-                    predicted_target == op.target;
-        btb.update(op.pc, op.target);
-      }
-      (void)dir_pred;
-      if (!dir_correct || (op.taken && !target_ok)) {
-        mispredict = true;
-      } else if (op.taken) {
-        group_break = true;
-      }
-    }
-
-    // ---- Per-lane scoreboard step ----
-    // Everything the stream alone determines is computed once here —
-    // ring slot indices, operand-check outcomes, unit class, execute
-    // latency — so the lane loop is pure cycle arithmetic on lane state.
-    const std::size_t slot = i % LockstepLane::kRing;
-    const bool ruu_full = i >= cfg.ruu_size;
-    const std::size_t ruu_slot =
-        (i + LockstepLane::kRing - cfg.ruu_size) % LockstepLane::kRing;
-    const bool lsq_full = mem && mem_op_count >= cfg.lsq_size;
-    const std::size_t lsq_head_slot =
-        lsq_full ? (mem_op_count - cfg.lsq_size) & lsq_mask : 0;
-    const std::size_t lsq_tail_slot = mem_op_count & lsq_mask;
-    const bool use_src1 = op.src1_dist != 0 &&
-                          op.src1_dist < LockstepLane::kRing &&
-                          op.src1_dist <= i;
-    const std::size_t src1_slot =
-        use_src1 ? (i - op.src1_dist) % LockstepLane::kRing : 0;
-    const bool use_src2 = op.src2_dist != 0 &&
-                          op.src2_dist < LockstepLane::kRing &&
-                          op.src2_dist <= i;
-    const std::size_t src2_slot =
-        use_src2 ? (i - op.src2_dist) % LockstepLane::kRing : 0;
-    const unsigned kind = LockstepLane::unit_kind(op.op);
-    const unsigned exec_lat = op_latency(op.op);
-    // Divide units are unpipelined and busy for the full latency;
-    // everything else accepts a new op next cycle.
-    const uint64_t book_lat =
-        (op.op == OpClass::int_div || op.op == OpClass::fp_div) ? exec_lat : 1;
-
-    for (std::size_t l = 0; l < nlanes; ++l) {
-      LockstepLane& lane = lanes[l];
-
-      // Dispatch: RUU/LSQ occupancy.
-      uint64_t dispatch = lane.fetch_cycle + cfg.front_pipeline_depth;
-      if (ruu_full) {
-        dispatch = std::max(dispatch, lane.commit_ring_[ruu_slot]);
-      }
-      if (lsq_full) {
-        dispatch = std::max(dispatch, lane.lsq_ring_[lsq_head_slot]);
-      }
-
-      // Operand readiness.
-      uint64_t ready = dispatch;
-      if (use_src1) {
-        ready = std::max(ready, lane.ready_ring_[src1_slot]);
-      }
-      if (use_src2) {
-        ready = std::max(ready, lane.ready_ring_[src2_slot]);
-      }
-
-      // Issue + execute.  Full bypassing: a consumer can issue the cycle
-      // its last producer completes; instructions with no pending
-      // operands wait one stage past dispatch.
-      const uint64_t issue = lane.schedule_issue(
-          kind, cfg.issue_width, std::max(ready, dispatch + 1), book_lat);
-      uint64_t complete;
-      if (op.op == OpClass::load) {
-        complete = issue + io.dmem(l, op.mem_addr, false, issue);
-      } else if (op.op == OpClass::store) {
-        // Stores retire through the store buffer; the cache write happens
-        // off the critical path but still updates cache and decay state.
-        (void)io.dmem(l, op.mem_addr, true, issue);
-        complete = issue + 1;
-      } else {
-        complete = issue + exec_lat;
-      }
-
-      if (mispredict) {
-        lane.redirect_cycle =
-            std::max(lane.redirect_cycle, complete + cfg.mispredict_redirect);
-      }
-
-      // Commit: in order, width-limited.
-      uint64_t commit = std::max(complete + 1, lane.last_commit);
-      if (commit == lane.last_commit) {
-        if (++lane.committed_in_cycle >= cfg.commit_width) {
-          ++commit;
-          lane.committed_in_cycle = 0;
+      const uint64_t fetch_line = op.pc / 64;
+      if (fetch_line != last_fetch_line) {
+        bool stall = false;
+        for (std::size_t l = 0; l < nlanes; ++l) {
+          const unsigned ilat = io.ifetch(l, op.pc, lanes[l].fetch_cycle);
+          // The >1 stall decision is a shared L1I hit/miss outcome (see
+          // header notes), so every lane agrees even when the stall
+          // length differs.
+          assert(l == 0 || (ilat > 1) == stall);
+          if (ilat > 1) {
+            // Stall beyond the pipelined 1-cycle hit.
+            lanes[l].fetch_cycle += ilat - 1;
+            stall = true;
+          }
         }
-      } else {
-        lane.committed_in_cycle = 1;
+        if (stall) {
+          fetched_in_group = 0;
+        }
+        last_fetch_line = fetch_line;
       }
-      lane.last_commit = commit;
+      ++fetched_in_group;
 
-      lane.ready_ring_[slot] = complete;
-      lane.commit_ring_[slot] = commit;
+      const bool mem = is_mem(op.op);
+
+      // ---- Branch resolution (shared structures, hoisted) ----
+      // The predictor/BTB touch no lane state and no lane touches them, so
+      // resolving before the per-lane scoreboard step reorders nothing
+      // observable; only the per-lane redirect_cycle update below needs
+      // the lane's completion cycle.
+      bool mispredict = false;
+      bool group_break = false;
+      if (op.op == OpClass::branch) {
+        const bool dir_pred = predictor.predict(op.pc);
+        const bool dir_correct = predictor.update(op.pc, op.taken);
+        bool target_ok = true;
+        if (op.taken) {
+          uint64_t predicted_target = 0;
+          target_ok = btb.lookup(op.pc, predicted_target) &&
+                      predicted_target == op.target;
+          btb.update(op.pc, op.target);
+        }
+        (void)dir_pred;
+        if (!dir_correct || (op.taken && !target_ok)) {
+          mispredict = true;
+        } else if (op.taken) {
+          group_break = true;
+        }
+      }
+
+      // ---- Per-lane scoreboard step ----
+      // Everything the stream alone determines is computed once here —
+      // ring slot indices, operand-check outcomes, unit class, execute
+      // latency — so the lane loop is pure cycle arithmetic on lane state.
+      const std::size_t slot = i % LockstepLane::kRing;
+      const bool ruu_full = i >= cfg.ruu_size;
+      const std::size_t ruu_slot =
+          (i + LockstepLane::kRing - cfg.ruu_size) % LockstepLane::kRing;
+      const bool lsq_full = mem && mem_op_count >= cfg.lsq_size;
+      const std::size_t lsq_head_slot =
+          lsq_full ? (mem_op_count - cfg.lsq_size) & lsq_mask : 0;
+      const std::size_t lsq_tail_slot = mem_op_count & lsq_mask;
+      const bool use_src1 = op.src1_dist != 0 &&
+                            op.src1_dist < LockstepLane::kRing &&
+                            op.src1_dist <= i;
+      const std::size_t src1_slot =
+          use_src1 ? (i - op.src1_dist) % LockstepLane::kRing : 0;
+      const bool use_src2 = op.src2_dist != 0 &&
+                            op.src2_dist < LockstepLane::kRing &&
+                            op.src2_dist <= i;
+      const std::size_t src2_slot =
+          use_src2 ? (i - op.src2_dist) % LockstepLane::kRing : 0;
+      const unsigned kind = LockstepLane::unit_kind(op.op);
+      const unsigned exec_lat = op_latency(op.op);
+      // Divide units are unpipelined and busy for the full latency;
+      // everything else accepts a new op next cycle.
+      const uint64_t book_lat =
+          (op.op == OpClass::int_div || op.op == OpClass::fp_div) ? exec_lat : 1;
+
+      for (std::size_t l = 0; l < nlanes; ++l) {
+        LockstepLane& lane = lanes[l];
+
+        // Dispatch: RUU/LSQ occupancy.
+        uint64_t dispatch = lane.fetch_cycle + cfg.front_pipeline_depth;
+        if (ruu_full) {
+          dispatch = std::max(dispatch, lane.commit_ring_[ruu_slot]);
+        }
+        if (lsq_full) {
+          dispatch = std::max(dispatch, lane.lsq_ring_[lsq_head_slot]);
+        }
+
+        // Operand readiness.
+        uint64_t ready = dispatch;
+        if (use_src1) {
+          ready = std::max(ready, lane.ready_ring_[src1_slot]);
+        }
+        if (use_src2) {
+          ready = std::max(ready, lane.ready_ring_[src2_slot]);
+        }
+
+        // Issue + execute.  Full bypassing: a consumer can issue the cycle
+        // its last producer completes; instructions with no pending
+        // operands wait one stage past dispatch.
+        const uint64_t issue = lane.schedule_issue(
+            kind, cfg.issue_width, std::max(ready, dispatch + 1), book_lat);
+        uint64_t complete;
+        if (op.op == OpClass::load) {
+          complete = issue + io.dmem(l, op.mem_addr, false, issue);
+        } else if (op.op == OpClass::store) {
+          // Stores retire through the store buffer; the cache write happens
+          // off the critical path but still updates cache and decay state.
+          (void)io.dmem(l, op.mem_addr, true, issue);
+          complete = issue + 1;
+        } else {
+          complete = issue + exec_lat;
+        }
+
+        if (mispredict) {
+          lane.redirect_cycle =
+              std::max(lane.redirect_cycle, complete + cfg.mispredict_redirect);
+        }
+
+        // Commit: in order, width-limited.
+        uint64_t commit = std::max(complete + 1, lane.last_commit);
+        if (commit == lane.last_commit) {
+          if (++lane.committed_in_cycle >= cfg.commit_width) {
+            ++commit;
+            lane.committed_in_cycle = 0;
+          }
+        } else {
+          lane.committed_in_cycle = 1;
+        }
+        lane.last_commit = commit;
+
+        lane.ready_ring_[slot] = complete;
+        lane.commit_ring_[slot] = commit;
+        if (mem) {
+          lane.lsq_ring_[lsq_tail_slot] = commit;
+        }
+        lane.cycles = commit;
+      }
+
+      ++instructions;
+      if (op.op == OpClass::load) {
+        ++loads;
+      } else if (op.op == OpClass::store) {
+        ++stores;
+      }
       if (mem) {
-        lane.lsq_ring_[lsq_tail_slot] = commit;
+        ++mem_op_count;
       }
-      lane.cycles = commit;
+
+      // ---- Shared front-end consequences of the branch ----
+      if (mispredict) {
+        pending_redirect = true;
+      } else if (group_break) {
+        // Correctly predicted taken branch: fetch group breaks.
+        fetched_in_group = cfg.fetch_width;
+        last_fetch_line = UINT64_MAX;
+      }
+
+      // ---- Wattch core-structure accounting (stream-determined) ----
+      shared_core.fetched++;
+      shared_core.renamed++;
+      shared_core.window_inserts++;
+      shared_core.wakeups++; // every completing op broadcasts its tag
+      if (mem) {
+        shared_core.lsq_inserts++;
+      }
+      shared_core.regfile_reads +=
+          (op.src1_dist != 0 ? 1u : 0u) + (op.src2_dist != 0 ? 1u : 0u);
+      switch (op.op) {
+      case OpClass::int_mult:
+      case OpClass::int_div:
+        shared_core.mult_ops++;
+        break;
+      case OpClass::fp_alu:
+      case OpClass::fp_mult:
+      case OpClass::fp_div:
+        shared_core.fp_ops++;
+        break;
+      case OpClass::branch:
+        shared_core.branches++;
+        shared_core.int_alu_ops++;
+        break;
+      default:
+        shared_core.int_alu_ops++;
+        break;
+      }
+      if (op.op != OpClass::store && op.op != OpClass::branch) {
+        shared_core.regfile_writes++;
+        shared_core.results++;
+      }
     }
 
-    ++instructions;
-    if (op.op == OpClass::load) {
-      ++loads;
-    } else if (op.op == OpClass::store) {
-      ++stores;
-    }
-    if (mem) {
-      ++mem_op_count;
-    }
-
-    // ---- Shared front-end consequences of the branch ----
-    if (mispredict) {
-      pending_redirect = true;
-    } else if (group_break) {
-      // Correctly predicted taken branch: fetch group breaks.
-      fetched_in_group = cfg.fetch_width;
-      last_fetch_line = UINT64_MAX;
-    }
-
-    // ---- Wattch core-structure accounting (stream-determined) ----
-    shared_core.fetched++;
-    shared_core.renamed++;
-    shared_core.window_inserts++;
-    shared_core.wakeups++; // every completing op broadcasts its tag
-    if (mem) {
-      shared_core.lsq_inserts++;
-    }
-    shared_core.regfile_reads +=
-        (op.src1_dist != 0 ? 1u : 0u) + (op.src2_dist != 0 ? 1u : 0u);
-    switch (op.op) {
-    case OpClass::int_mult:
-    case OpClass::int_div:
-      shared_core.mult_ops++;
-      break;
-    case OpClass::fp_alu:
-    case OpClass::fp_mult:
-    case OpClass::fp_div:
-      shared_core.fp_ops++;
-      break;
-    case OpClass::branch:
-      shared_core.branches++;
-      shared_core.int_alu_ops++;
-      break;
-    default:
-      shared_core.int_alu_ops++;
-      break;
-    }
-    if (op.op != OpClass::store && op.op != OpClass::branch) {
-      shared_core.regfile_writes++;
-      shared_core.results++;
+    if (got < want) {
+      break; // end of stream (TraceSource::next_block contract)
     }
   }
 

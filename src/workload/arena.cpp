@@ -1,0 +1,285 @@
+#include "workload/arena.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <iterator>
+#include <stdexcept>
+#include <string_view>
+
+namespace workload {
+namespace {
+
+/// Strict positive-integer env parse (same policy as harness/env.h,
+/// which this library cannot link): junk, zero, and negatives are
+/// configuration errors, never a silent default.
+uint64_t env_positive_u64(const char* name, uint64_t dflt,
+                          const char* what) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return dflt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0' || v[0] == '-' || parsed == 0) {
+    throw std::invalid_argument(std::string(name) + " must be a " + what +
+                                ", got \"" + v + "\"");
+  }
+  return parsed;
+}
+
+/// HLCC_TRACE_ARENA: unset/"1" = on, "0" = off, anything else rejected.
+bool env_arena_enabled() {
+  const char* v = std::getenv("HLCC_TRACE_ARENA");
+  if (v == nullptr || *v == '\0' || std::string_view(v) == "1") {
+    return true;
+  }
+  if (std::string_view(v) == "0") {
+    return false;
+  }
+  throw std::invalid_argument(
+      std::string("HLCC_TRACE_ARENA must be \"0\" or \"1\", got \"") + v +
+      "\"");
+}
+
+constexpr uint64_t kDefaultBudgetBytes = 3ULL << 29; // 1.5 GiB
+
+template <typename T>
+std::size_t vec_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+} // namespace
+
+std::shared_ptr<const PackedTrace> PackedTrace::materialize(
+    sim::TraceSource& live, uint64_t max_ops) {
+  const auto trace = std::make_shared<PackedTrace>();
+  PackedTrace& t = *trace;
+  const auto reserve = static_cast<std::size_t>(max_ops);
+  t.opbits_.reserve(reserve);
+  t.src1_.reserve(reserve);
+  t.src2_.reserve(reserve);
+  t.pc_.reserve(reserve);
+
+  sim::MicroOp block[256];
+  uint64_t total = 0;
+  while (total < max_ops) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<uint64_t>(std::size(block), max_ops - total));
+    const std::size_t got = live.next_block(block, want);
+    for (std::size_t k = 0; k < got; ++k) {
+      const sim::MicroOp& op = block[k];
+      const bool mem = sim::is_mem(op.op);
+      const bool branch = op.op == sim::OpClass::branch;
+      if ((!mem && op.mem_addr != 0) || (!branch && op.target != 0) ||
+          (static_cast<uint8_t>(op.op) & kTakenBit) != 0) {
+        return nullptr; // non-conforming stream: stay on live generation
+      }
+      t.opbits_.push_back(static_cast<uint8_t>(op.op) |
+                          (op.taken ? kTakenBit : 0));
+      t.src1_.push_back(op.src1_dist);
+      t.src2_.push_back(op.src2_dist);
+      t.pc_.push_back(op.pc);
+      if (mem) {
+        t.mem_addr_.push_back(op.mem_addr);
+      } else if (branch) {
+        t.target_.push_back(op.target);
+      }
+    }
+    total += got;
+    if (got < want) {
+      break; // end of stream
+    }
+  }
+  t.opbits_.shrink_to_fit();
+  t.src1_.shrink_to_fit();
+  t.src2_.shrink_to_fit();
+  t.pc_.shrink_to_fit();
+  t.mem_addr_.shrink_to_fit();
+  t.target_.shrink_to_fit();
+  return trace;
+}
+
+std::size_t PackedTrace::decode(Cursor& c, sim::MicroOp* out,
+                                std::size_t n) const {
+  const uint64_t avail = ops() - c.op;
+  const std::size_t take =
+      static_cast<std::size_t>(std::min<uint64_t>(n, avail));
+  uint64_t op_i = c.op;
+  uint64_t mem_i = c.mem;
+  uint64_t br_i = c.branch;
+  for (std::size_t k = 0; k < take; ++k, ++op_i) {
+    sim::MicroOp& op = out[k];
+    op = sim::MicroOp{};
+    const uint8_t bits = opbits_[op_i];
+    op.op = static_cast<sim::OpClass>(bits & static_cast<uint8_t>(~kTakenBit));
+    op.taken = (bits & kTakenBit) != 0;
+    op.src1_dist = src1_[op_i];
+    op.src2_dist = src2_[op_i];
+    op.pc = pc_[op_i];
+    if (sim::is_mem(op.op)) {
+      op.mem_addr = mem_addr_[mem_i++];
+    } else if (op.op == sim::OpClass::branch) {
+      op.target = target_[br_i++];
+    }
+  }
+  c.op = op_i;
+  c.mem = mem_i;
+  c.branch = br_i;
+  return take;
+}
+
+std::size_t PackedTrace::bytes() const {
+  return vec_bytes(opbits_) + vec_bytes(src1_) + vec_bytes(src2_) +
+         vec_bytes(pc_) + vec_bytes(mem_addr_) + vec_bytes(target_);
+}
+
+TraceArena::TraceArena()
+    : budget_(env_positive_u64("HLCC_TRACE_BUDGET", kDefaultBudgetBytes,
+                               "positive byte budget")),
+      enabled_(env_arena_enabled()) {}
+
+TraceArena& TraceArena::instance() {
+  static TraceArena arena;
+  return arena;
+}
+
+uint64_t TraceArena::budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_;
+}
+
+void TraceArena::set_budget(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_ = bytes;
+  evict_for(0);
+}
+
+void TraceArena::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+  bytes_ = 0;
+}
+
+ArenaStats TraceArena::stats() const {
+  ArenaStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.bytes = bytes_;
+  for (const auto& [key, slot] : slots_) {
+    if (slot->trace) {
+      ++s.streams;
+    }
+  }
+  return s;
+}
+
+void TraceArena::evict_for(uint64_t need_bytes) {
+  while (bytes_ + need_bytes > budget_) {
+    auto victim = slots_.end();
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+      const Slot& s = *it->second;
+      // Evictable = resident with no outstanding readers (the slot's
+      // shared_ptr is the only reference).
+      if (s.trace && s.trace.use_count() == 1 &&
+          (victim == slots_.end() ||
+           s.last_use < victim->second->last_use)) {
+        victim = it;
+      }
+    }
+    if (victim == slots_.end()) {
+      return; // everything resident is in use; over-budget admission fails
+    }
+    bytes_ -= victim->second->trace->bytes();
+    slots_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::shared_ptr<const PackedTrace> TraceArena::acquire(
+    const std::string& key, uint64_t instructions, const LiveFactory& live) {
+  if (!enabled_.load(std::memory_order_relaxed)) {
+    return nullptr; // disabled is not a fallback: nothing was attempted
+  }
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Upfront gate: a stream whose worst-case encoding alone exceeds the
+    // budget is never worth building (it could not be admitted).
+    if (instructions > budget_ / PackedTrace::kMaxBytesPerOp) {
+      fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    std::shared_ptr<Slot>& entry = slots_[key];
+    if (!entry) {
+      entry = std::make_shared<Slot>();
+    }
+    slot = entry;
+    slot->last_use = ++tick_;
+  }
+
+  // Materialization runs outside the arena lock, under the slot's
+  // once_flag: threads needing this stream block here instead of
+  // duplicating the build; other streams proceed in parallel.
+  std::shared_ptr<const PackedTrace> built;
+  std::call_once(slot->once, [&] {
+    const std::unique_ptr<sim::TraceSource> src = live();
+    built = PackedTrace::materialize(*src, instructions);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (!built) {
+      slot->failed = true; // non-conforming encoding: permanent for key
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t need = built->bytes();
+    evict_for(need);
+    if (bytes_ + need <= budget_) {
+      slot->trace = built;
+      bytes_ += need;
+    } else {
+      // Cannot hold it: the builder keeps its private copy (correct,
+      // just uncached) and the slot is dropped so a later acquire may
+      // retry once memory pressure eases.
+      slot->failed = true;
+      const auto it = slots_.find(key);
+      if (it != slots_.end() && it->second == slot) {
+        slots_.erase(it);
+      }
+    }
+  });
+  if (built) {
+    return built; // the builder, admitted or not
+  }
+  if (!slot->failed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slot->trace) {
+      slot->last_use = ++tick_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return slot->trace;
+    }
+  }
+  // Build refused, or the stream was evicted before this reader attached.
+  fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+std::unique_ptr<sim::TraceSource> TraceArena::open(const std::string& key,
+                                                   uint64_t instructions,
+                                                   const LiveFactory& live) {
+  std::shared_ptr<const PackedTrace> trace = acquire(key, instructions, live);
+  if (!trace) {
+    return nullptr;
+  }
+  return std::make_unique<PackedTrace::Reader>(std::move(trace));
+}
+
+bool TraceArena::prefetch(const std::string& key, uint64_t instructions,
+                          const LiveFactory& live) {
+  return acquire(key, instructions, live) != nullptr;
+}
+
+} // namespace workload

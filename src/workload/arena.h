@@ -1,0 +1,192 @@
+// Shared trace arena: materialize-once, replay-many instruction streams.
+//
+// A sweep runs the same (profile, seed, instructions, tenants) stream
+// through many cells — the baseline and every technique/interval cell of
+// a grid consume bit-identical ops — yet historically each run re-drew
+// the stream from workload::Generator at ~150 ns/op, which BENCH_5
+// measured as the dominant share of scalar-path cell time.  The arena
+// kills that redundancy: the first user of a stream materializes it once
+// into a compact structure-of-arrays buffer; every later user (on any
+// worker thread) replays the buffer through a cheap cursor reader.
+//
+// Encoding (lossless for conforming streams, ~17 B/op on the SPEC
+// profiles vs sizeof(MicroOp) = 40):
+//   * per op: 1 B op-class + taken bit, 2 B src1_dist, 2 B src2_dist,
+//     8 B pc;
+//   * side arrays in stream order: 8 B mem_addr per load/store, 8 B
+//     target per branch — replay walks them with cursors.
+// A stream where a non-memory op carries mem_addr or a non-branch op
+// carries target would be lossy to encode; materialize() detects that
+// and the arena falls back to live generation (Generator / Interleaver
+// streams always conform).
+//
+// Concurrency: slots are handed out under one mutex; the (expensive)
+// materialization runs outside the lock under the slot's once_flag, so
+// threads needing the same stream block on each other instead of
+// duplicating the build, while different streams build in parallel —
+// the same shape as the harness baseline memo.  Readers hold the buffer
+// via shared_ptr, so eviction never invalidates an in-flight replay.
+//
+// Budget: total resident bytes are capped (HLCC_TRACE_BUDGET, default
+// 1.5 GiB).  Admission evicts least-recently-used streams with no
+// outstanding readers; a stream that still cannot fit is returned to its
+// builder (correct, just uncached) and later users generate live.
+// Streams whose upfront size estimate alone exceeds the budget are never
+// built.  HLCC_TRACE_ARENA=0 disables the arena entirely.
+//
+// Determinism: replay returns exactly the ops the live source emitted,
+// so every consumer is bit-identical with the arena on, off, or
+// thrashing — the differential tests in tests/test_trace_arena.cpp pin
+// this at 1 and N threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/core.h"
+
+namespace workload {
+
+/// One materialized stream in the arena's SoA encoding.  Immutable after
+/// materialize(); shared across threads by const reference counting.
+class PackedTrace {
+public:
+  /// Replay position: the op index plus the side-array cursors.
+  struct Cursor {
+    uint64_t op = 0;
+    uint64_t mem = 0;
+    uint64_t branch = 0;
+  };
+
+  /// Reader over a shared buffer; each reader owns its cursor, so any
+  /// number replay the same trace concurrently.
+  class Reader final : public sim::TraceSource {
+  public:
+    explicit Reader(std::shared_ptr<const PackedTrace> trace)
+        : trace_(std::move(trace)) {}
+    bool next(sim::MicroOp& op) override {
+      return trace_->decode(cur_, &op, 1) == 1;
+    }
+    std::size_t next_block(sim::MicroOp* out, std::size_t n) override {
+      return trace_->decode(cur_, out, n);
+    }
+
+  private:
+    std::shared_ptr<const PackedTrace> trace_;
+    Cursor cur_;
+  };
+
+  /// Drain up to @p max_ops from @p live into a new buffer.  Returns
+  /// nullptr when the stream does not conform to the packed encoding
+  /// (see the header notes) — the caller then stays on live generation.
+  static std::shared_ptr<const PackedTrace> materialize(
+      sim::TraceSource& live, uint64_t max_ops);
+
+  /// Decode up to @p n ops at @p c into @p out; advances the cursor and
+  /// returns the count produced (short only at end of trace).
+  std::size_t decode(Cursor& c, sim::MicroOp* out, std::size_t n) const;
+
+  uint64_t ops() const { return opbits_.size(); }
+  /// Resident heap bytes (vector capacities — what the budget meters).
+  std::size_t bytes() const;
+
+  /// Worst-case encoded bytes per op (an op is memory or branch, never
+  /// both) — the upfront admission estimate.
+  static constexpr uint64_t kMaxBytesPerOp = 1 + 2 + 2 + 8 + 8;
+
+private:
+  static constexpr uint8_t kTakenBit = 0x80;
+
+  std::vector<uint8_t> opbits_;    ///< op class | taken << 7
+  std::vector<uint16_t> src1_;
+  std::vector<uint16_t> src2_;
+  std::vector<uint64_t> pc_;
+  std::vector<uint64_t> mem_addr_; ///< loads/stores only, stream order
+  std::vector<uint64_t> target_;   ///< branches only, stream order
+};
+
+/// Arena effectiveness counters (process-cumulative; the sweep engine
+/// exports per-run deltas as sweep.trace_arena_* metrics).
+struct ArenaStats {
+  uint64_t hits = 0;       ///< opens served by a resident stream
+  uint64_t misses = 0;     ///< opens that had to materialize
+  uint64_t evictions = 0;  ///< streams evicted to make room
+  uint64_t fallbacks = 0;  ///< opens that fell back to live generation
+  uint64_t bytes = 0;      ///< resident encoded bytes right now
+  uint64_t streams = 0;    ///< resident streams right now
+};
+
+/// The process-wide keyed store of materialized streams.
+class TraceArena {
+public:
+  /// The arena every simulation site shares (streams are keyed globally,
+  /// so one instance maximizes sharing across concurrent sweeps).
+  static TraceArena& instance();
+
+  /// Builds the live source for a stream key — invoked at most once per
+  /// materialization, from whichever thread wins the build race.
+  using LiveFactory =
+      std::function<std::unique_ptr<sim::TraceSource>()>;
+
+  /// A fresh replay reader over the stream @p key of @p instructions
+  /// ops, materializing via @p live on first use.  Returns nullptr when
+  /// the arena is disabled or the stream cannot be held (budget); the
+  /// caller falls back to live generation, which is bit-identical.
+  std::unique_ptr<sim::TraceSource> open(const std::string& key,
+                                         uint64_t instructions,
+                                         const LiveFactory& live);
+
+  /// Materialize without reading — the sweep planner's pre-warm hook.
+  /// Returns true when the stream is resident after the call.
+  bool prefetch(const std::string& key, uint64_t instructions,
+                const LiveFactory& live);
+
+  bool enabled() const { return enabled_; }
+  uint64_t budget() const;
+  ArenaStats stats() const;
+
+  /// Test-and-bench hooks: the env knobs (HLCC_TRACE_ARENA,
+  /// HLCC_TRACE_BUDGET) are read once at construction; these override
+  /// them for the current process.  set_budget evicts idle streams down
+  /// to the new cap immediately.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  void set_budget(uint64_t bytes);
+  /// Drop every resident stream (in-flight readers keep theirs alive).
+  void clear();
+
+private:
+  TraceArena();
+
+  struct Slot {
+    std::once_flag once;
+    std::shared_ptr<const PackedTrace> trace; ///< null until admitted
+    bool failed = false; ///< build refused (estimate/encoding/budget)
+    uint64_t last_use = 0;
+  };
+
+  std::shared_ptr<const PackedTrace> acquire(const std::string& key,
+                                             uint64_t instructions,
+                                             const LiveFactory& live);
+  /// Evict idle streams (LRU first) until @p need_bytes fit under the
+  /// budget or nothing evictable remains.  Caller holds mu_.
+  void evict_for(uint64_t need_bytes);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Slot>> slots_;
+  uint64_t bytes_ = 0;
+  uint64_t tick_ = 0;
+  uint64_t budget_;
+  std::atomic<bool> enabled_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> fallbacks_{0};
+};
+
+} // namespace workload

@@ -165,4 +165,14 @@ bool Generator::next(sim::MicroOp& op) {
   return true;
 }
 
+std::size_t Generator::next_block(sim::MicroOp* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!next(out[i])) {
+      return i; // unreachable today (the generator never ends), but the
+                // next_block contract must hold for any future profile
+    }
+  }
+  return n;
+}
+
 } // namespace workload

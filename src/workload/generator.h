@@ -31,6 +31,9 @@ public:
   explicit Generator(const BenchmarkProfile& profile, uint64_t seed = 1);
 
   bool next(sim::MicroOp& op) override;
+  /// Native batched pull: the class is final, so the internal next()
+  /// calls devirtualize and callers pay one dispatch per block.
+  std::size_t next_block(sim::MicroOp* out, std::size_t n) override;
 
   const BenchmarkProfile& profile() const { return profile_; }
   uint64_t data_accesses() const { return data_accesses_; }

@@ -1,5 +1,6 @@
 #include "workload/interleaver.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -60,6 +61,42 @@ bool Interleaver::next(sim::MicroOp& op) {
     }
   }
   return true;
+}
+
+std::size_t Interleaver::next_block(sim::MicroOp* out, std::size_t n) {
+  std::size_t filled = 0;
+  while (filled < n) {
+    if (emitted_in_quantum_ == quantum_) {
+      emitted_in_quantum_ = 0;
+      if (slots_.size() > 1) {
+        active_ = (active_ + 1) % slots_.size();
+        ++switches_;
+      }
+    }
+    Slot& slot = slots_[active_];
+    const uint64_t room = quantum_ - emitted_in_quantum_;
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<uint64_t>(n - filled, room));
+    const std::size_t got = slot.gen.next_block(out + filled, want);
+    emitted_in_quantum_ += got;
+    if (slot.tag_bits != 0) {
+      for (std::size_t i = filled; i < filled + got; ++i) {
+        sim::MicroOp& op = out[i];
+        op.pc |= slot.tag_bits;
+        if (sim::is_mem(op.op)) {
+          op.mem_addr |= slot.tag_bits;
+        }
+        if (op.op == sim::OpClass::branch) {
+          op.target |= slot.tag_bits;
+        }
+      }
+    }
+    filled += got;
+    if (got < want) {
+      break; // the active generator ended; so does the merged stream
+    }
+  }
+  return filled;
 }
 
 } // namespace workload

@@ -39,6 +39,10 @@ public:
   Interleaver(const std::vector<TenantStream>& streams, uint64_t quantum);
 
   bool next(sim::MicroOp& op) override;
+  /// Native batched pull: fills in chunks capped at the active slot's
+  /// quantum remainder, so context switches land on exactly the op
+  /// indices the per-op path produces.
+  std::size_t next_block(sim::MicroOp* out, std::size_t n) override;
 
   std::size_t streams() const { return slots_.size(); }
   uint64_t quantum() const { return quantum_; }

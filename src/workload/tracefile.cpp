@@ -1,5 +1,6 @@
 #include "workload/tracefile.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <stdexcept>
@@ -130,6 +131,31 @@ bool TraceFileReader::next(sim::MicroOp& op) {
   unpack(buf, op);
   ++read_;
   return true;
+}
+
+std::size_t TraceFileReader::next_block(sim::MicroOp* out, std::size_t n) {
+  const uint64_t avail = total_ - read_;
+  const std::size_t take =
+      static_cast<std::size_t>(std::min<uint64_t>(n, avail));
+  constexpr std::size_t kChunkRecords = 64;
+  unsigned char buf[kChunkRecords * kRecordBytes];
+  std::size_t done = 0;
+  while (done < take) {
+    const std::size_t chunk = std::min(kChunkRecords, take - done);
+    if (std::fread(buf, kRecordBytes, chunk, file_) != chunk) {
+      // Same contract as next(): the size was validated at open, so a
+      // short read means the file changed under us — fail loudly.
+      throw TraceError(
+          "TraceFileReader: short read at record " + std::to_string(read_) +
+          " of " + std::to_string(total_) + " (file truncated mid-stream?)");
+    }
+    for (std::size_t j = 0; j < chunk; ++j) {
+      unpack(buf + j * kRecordBytes, out[done + j]);
+    }
+    read_ += chunk;
+    done += chunk;
+  }
+  return take;
 }
 
 void TraceFileReader::rewind() {

@@ -49,6 +49,10 @@ public:
   TraceFileReader& operator=(const TraceFileReader&) = delete;
 
   bool next(sim::MicroOp& op) override;
+  /// Native batched pull: one fread per chunk of records instead of one
+  /// per record.  Same short-read policy as next() — throws TraceError,
+  /// never silently ends the trace early.
+  std::size_t next_block(sim::MicroOp* out, std::size_t n) override;
 
   uint64_t total_records() const { return total_; }
   uint64_t records_read() const { return read_; }

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <random>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "harness/batched.h"
@@ -173,6 +174,37 @@ TEST(Batched, ConstructorRejectsIllegalBatches) {
   b = quick_config();
   b.seed = a.seed + 1; // different stream
   EXPECT_THROW(BatchedExperiment(prof, {a, b}), std::invalid_argument);
+}
+
+TEST(Batched, StreamMismatchErrorsNameTheOffendingField) {
+  // The whole batch simulates cfgs[0]'s stream; a lane that disagrees on
+  // seed or instruction count must be rejected with an error naming the
+  // field and both values, not silently run lane 0's stream.
+  const workload::BenchmarkProfile prof = workload::profile_by_name("gcc");
+  const ExperimentConfig a = quick_config();
+  ExperimentConfig b = quick_config();
+  b.seed = a.seed + 1;
+  try {
+    BatchedExperiment batch(prof, {a, b});
+    FAIL() << "seed mismatch accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("seed mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(a.seed)), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(b.seed)), std::string::npos) << what;
+  }
+  b = quick_config();
+  b.instructions = a.instructions * 2;
+  try {
+    BatchedExperiment batch(prof, {a, b});
+    FAIL() << "instruction-count mismatch accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("instruction-count mismatch"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find(std::to_string(b.instructions)), std::string::npos)
+        << what;
+  }
 }
 
 // --- grid planner ----------------------------------------------------

@@ -1,0 +1,161 @@
+// TraceSource::next_block contract: for every implementation — the
+// default next()-looping shim, Generator, Interleaver, TraceFileReader,
+// and the arena's PackedTrace::Reader — a block pull of any size must
+// yield the byte-identical op sequence the per-op path produces,
+// including partial final blocks, quantum straddles, and the short-count
+// end-of-stream rule (a later call returns 0, never resumes).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/core.h"
+#include "workload/arena.h"
+#include "workload/generator.h"
+#include "workload/interleaver.h"
+#include "workload/tracefile.h"
+
+namespace workload {
+namespace {
+
+void expect_op_eq(const sim::MicroOp& a, const sim::MicroOp& b,
+                  uint64_t index) {
+  ASSERT_EQ(a.op, b.op) << "op class diverges at index " << index;
+  ASSERT_EQ(a.pc, b.pc) << "pc diverges at index " << index;
+  ASSERT_EQ(a.mem_addr, b.mem_addr) << "mem_addr diverges at index " << index;
+  ASSERT_EQ(a.src1_dist, b.src1_dist) << "src1 diverges at index " << index;
+  ASSERT_EQ(a.src2_dist, b.src2_dist) << "src2 diverges at index " << index;
+  ASSERT_EQ(a.taken, b.taken) << "taken diverges at index " << index;
+  ASSERT_EQ(a.target, b.target) << "target diverges at index " << index;
+}
+
+/// Drain @p n ops one at a time.
+std::vector<sim::MicroOp> drain_per_op(sim::TraceSource& src, uint64_t n) {
+  std::vector<sim::MicroOp> ops;
+  ops.reserve(n);
+  sim::MicroOp op;
+  while (ops.size() < n && src.next(op)) {
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+/// Drain @p n ops through next_block with a cycling pattern of awkward
+/// block sizes (1, primes, the hot-path 64, >64) so chunk boundaries
+/// land everywhere.
+std::vector<sim::MicroOp> drain_blocks(sim::TraceSource& src, uint64_t n) {
+  static constexpr std::size_t kSizes[] = {1, 3, 64, 7, 257, 13};
+  std::vector<sim::MicroOp> ops;
+  ops.reserve(n);
+  sim::MicroOp buf[512];
+  std::size_t pick = 0;
+  while (ops.size() < n) {
+    const std::size_t want = std::min<uint64_t>(
+        kSizes[pick++ % std::size(kSizes)], n - ops.size());
+    const std::size_t got = src.next_block(buf, want);
+    ops.insert(ops.end(), buf, buf + got);
+    if (got < want) {
+      break;
+    }
+  }
+  return ops;
+}
+
+void expect_streams_equal(const std::vector<sim::MicroOp>& a,
+                          const std::vector<sim::MicroOp>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (uint64_t i = 0; i < a.size(); ++i) {
+    expect_op_eq(a[i], b[i], i);
+  }
+}
+
+TEST(NextBlock, GeneratorBlockMatchesPerOp) {
+  for (const char* name : {"gzip", "gcc", "mcf"}) {
+    Generator per_op(profile_by_name(name), 7);
+    Generator blocks(profile_by_name(name), 7);
+    expect_streams_equal(drain_blocks(blocks, 20'000),
+                         drain_per_op(per_op, 20'000));
+  }
+}
+
+TEST(NextBlock, InterleaverBlockMatchesPerOpAcrossQuantumBoundaries) {
+  const std::vector<TenantStream> streams = {
+      {profile_by_name("gzip"), 11, 0},
+      {profile_by_name("mcf"), 12, 1},
+      {profile_by_name("vpr"), 13, 2},
+  };
+  // Quantum 37 is coprime to every block size the drain uses, so chunks
+  // straddle context switches in all phases.
+  Interleaver per_op(streams, 37);
+  Interleaver blocks(streams, 37);
+  expect_streams_equal(drain_blocks(blocks, 30'000),
+                       drain_per_op(per_op, 30'000));
+  EXPECT_EQ(blocks.switches(), per_op.switches());
+}
+
+TEST(NextBlock, TraceFileReaderBlockMatchesPerOpWithPartialFinalBlock) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hlcc_next_block.trc")
+          .string();
+  // 5'000 % 64 != 0: the last block pull comes up short.
+  Generator gen(profile_by_name("gcc"), 3);
+  ASSERT_EQ(write_trace(path, gen, 5'000), 5'000u);
+
+  TraceFileReader per_op(path);
+  TraceFileReader blocks(path);
+  const auto expect = drain_per_op(per_op, 10'000); // file-limited
+  ASSERT_EQ(expect.size(), 5'000u);
+  expect_streams_equal(drain_blocks(blocks, 10'000), expect);
+
+  // End-of-stream is final: the next pull yields 0, not a resumed tail.
+  sim::MicroOp buf[64];
+  EXPECT_EQ(blocks.next_block(buf, 64), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(NextBlock, PackedTraceReaderBlockMatchesPerOp) {
+  Generator live(profile_by_name("parser"), 5);
+  const std::shared_ptr<const PackedTrace> trace =
+      PackedTrace::materialize(live, 12'000);
+  ASSERT_NE(trace, nullptr);
+  ASSERT_EQ(trace->ops(), 12'000u);
+
+  PackedTrace::Reader per_op(trace);
+  PackedTrace::Reader blocks(trace);
+  expect_streams_equal(drain_blocks(blocks, 12'000),
+                       drain_per_op(per_op, 12'000));
+  sim::MicroOp buf[64];
+  EXPECT_EQ(blocks.next_block(buf, 64), 0u);
+}
+
+/// A source that only implements next(): exercises the base-class shim.
+class CountingSource final : public sim::TraceSource {
+public:
+  explicit CountingSource(uint64_t n) : remaining_(n) {}
+  bool next(sim::MicroOp& op) override {
+    if (remaining_ == 0) {
+      return false;
+    }
+    op = sim::MicroOp{};
+    op.pc = --remaining_;
+    return true;
+  }
+
+private:
+  uint64_t remaining_;
+};
+
+TEST(NextBlock, DefaultImplementationLoopsNextAndEndsShort) {
+  CountingSource src(100); // 100 = 64 + a partial block of 36
+  sim::MicroOp buf[64];
+  EXPECT_EQ(src.next_block(buf, 64), 64u);
+  EXPECT_EQ(buf[0].pc, 99u);
+  EXPECT_EQ(src.next_block(buf, 64), 36u);
+  EXPECT_EQ(buf[35].pc, 0u);
+  EXPECT_EQ(src.next_block(buf, 64), 0u);
+}
+
+} // namespace
+} // namespace workload

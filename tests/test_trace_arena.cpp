@@ -1,0 +1,336 @@
+// Trace arena differential + policy tests.
+//
+// The load-bearing property is bit-identity: an arena replay must equal
+// the live Generator / Interleaver stream op-for-op for every profile,
+// and whole experiments (scalar, batched, hierarchy, multi-tenant; 1 and
+// N threads) must produce identical payloads with the arena on, off, or
+// too small to hold anything — the arena is a pure throughput
+// optimization with zero semantic surface.  Policy coverage: LRU
+// eviction under a tiny budget, the upfront estimate gate, in-flight
+// readers surviving eviction/clear, and build-once under concurrency.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/metrics.h"
+#include "harness/sweep.h"
+#include "workload/arena.h"
+#include "workload/generator.h"
+#include "workload/interleaver.h"
+
+namespace workload {
+namespace {
+
+/// Saves and restores the process-wide arena around each test, starting
+/// from a clean, enabled, generously budgeted state.
+class TraceArenaTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    TraceArena& ta = TraceArena::instance();
+    saved_enabled_ = ta.enabled();
+    saved_budget_ = ta.budget();
+    ta.set_enabled(true);
+    ta.set_budget(1ULL << 30);
+    ta.clear();
+  }
+  void TearDown() override {
+    TraceArena& ta = TraceArena::instance();
+    ta.set_enabled(saved_enabled_);
+    ta.set_budget(saved_budget_);
+    ta.clear();
+  }
+
+private:
+  bool saved_enabled_ = true;
+  uint64_t saved_budget_ = 0;
+};
+
+void expect_op_eq(const sim::MicroOp& a, const sim::MicroOp& b,
+                  uint64_t index) {
+  ASSERT_EQ(a.op, b.op) << "op class diverges at index " << index;
+  ASSERT_EQ(a.pc, b.pc) << "pc diverges at index " << index;
+  ASSERT_EQ(a.mem_addr, b.mem_addr) << "mem_addr diverges at index " << index;
+  ASSERT_EQ(a.src1_dist, b.src1_dist) << "src1 diverges at index " << index;
+  ASSERT_EQ(a.src2_dist, b.src2_dist) << "src2 diverges at index " << index;
+  ASSERT_EQ(a.taken, b.taken) << "taken diverges at index " << index;
+  ASSERT_EQ(a.target, b.target) << "target diverges at index " << index;
+}
+
+/// Replay through @p replay must equal @p live op-for-op over @p n ops.
+void expect_replay_identical(sim::TraceSource& replay, sim::TraceSource& live,
+                             uint64_t n) {
+  sim::MicroOp a;
+  sim::MicroOp b;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(replay.next(a)) << "replay ended early at " << i;
+    ASSERT_TRUE(live.next(b)) << "live ended early at " << i;
+    expect_op_eq(a, b, i);
+  }
+  EXPECT_FALSE(replay.next(a)) << "replay is longer than the live stream";
+}
+
+TEST_F(TraceArenaTest, ReplayIsBitIdenticalForEveryProfile) {
+  TraceArena& ta = TraceArena::instance();
+  constexpr uint64_t kOps = 20'000;
+  for (const BenchmarkProfile& profile : spec2000_profiles()) {
+    const std::unique_ptr<sim::TraceSource> replay =
+        ta.open(std::string("test#") + std::string(profile.name), kOps,
+                [&] { return std::make_unique<Generator>(profile, 42); });
+    ASSERT_NE(replay, nullptr) << profile.name;
+    Generator live(profile, 42);
+    expect_replay_identical(*replay, live, kOps);
+  }
+}
+
+TEST_F(TraceArenaTest, ReplayIsBitIdenticalForMultiTenantStream) {
+  TraceArena& ta = TraceArena::instance();
+  constexpr uint64_t kOps = 30'000;
+  const std::vector<TenantStream> streams = {
+      {profile_by_name("gzip"), 21, 0},
+      {profile_by_name("mcf"), 22, 1},
+      {profile_by_name("twolf"), 23, 2},
+  };
+  const std::unique_ptr<sim::TraceSource> replay =
+      ta.open("test#tenants", kOps,
+              [&] { return std::make_unique<Interleaver>(streams, 1000); });
+  ASSERT_NE(replay, nullptr);
+  Interleaver live(streams, 1000);
+  expect_replay_identical(*replay, live, kOps);
+}
+
+TEST_F(TraceArenaTest, SecondOpenIsAHitAndCountsBytes) {
+  TraceArena& ta = TraceArena::instance();
+  const ArenaStats before = ta.stats();
+  const auto live = [] {
+    return std::make_unique<Generator>(profile_by_name("gzip"), 1);
+  };
+  ASSERT_NE(ta.open("test#hit", 10'000, live), nullptr);
+  ASSERT_NE(ta.open("test#hit", 10'000, live), nullptr);
+  const ArenaStats after = ta.stats();
+  EXPECT_EQ(after.misses - before.misses, 1u);
+  EXPECT_EQ(after.hits - before.hits, 1u);
+  EXPECT_EQ(after.streams, 1u);
+  EXPECT_GT(after.bytes, 0u);
+  // ~17 B/op on the SPEC mixes: well under the worst-case estimate.
+  EXPECT_LE(after.bytes, 10'000 * PackedTrace::kMaxBytesPerOp);
+}
+
+TEST_F(TraceArenaTest, TinyBudgetEvictsLruAndFallsBackBitIdentically) {
+  TraceArena& ta = TraceArena::instance();
+  constexpr uint64_t kOps = 10'000;
+  const auto live_for = [](const char* name, uint64_t seed) {
+    return [name, seed] {
+      return std::make_unique<Generator>(profile_by_name(name), seed);
+    };
+  };
+  // Size one resident stream, then budget for one-and-a-half: admitting
+  // the second stream must evict the idle first.
+  ASSERT_NE(ta.open("test#a", kOps, live_for("gzip", 1)), nullptr);
+  const uint64_t one_stream = ta.stats().bytes;
+  ASSERT_GT(one_stream, 0u);
+  ta.set_budget(one_stream + one_stream / 2);
+
+  const ArenaStats before = ta.stats();
+  ASSERT_NE(ta.open("test#b", kOps, live_for("gcc", 2)), nullptr);
+  const ArenaStats after = ta.stats();
+  EXPECT_EQ(after.evictions - before.evictions, 1u);
+  EXPECT_EQ(after.streams, 1u);
+
+  // The evicted stream rebuilds on demand, still bit-identical.
+  const std::unique_ptr<sim::TraceSource> replay =
+      ta.open("test#a", kOps, live_for("gzip", 1));
+  ASSERT_NE(replay, nullptr);
+  Generator live(profile_by_name("gzip"), 1);
+  expect_replay_identical(*replay, live, kOps);
+}
+
+TEST_F(TraceArenaTest, EstimateGateRefusesOversizedStreams) {
+  TraceArena& ta = TraceArena::instance();
+  ta.set_budget(1); // nothing fits
+  const ArenaStats before = ta.stats();
+  const std::unique_ptr<sim::TraceSource> replay =
+      ta.open("test#huge", 1'000'000, [] {
+        return std::make_unique<Generator>(profile_by_name("gzip"), 1);
+      });
+  EXPECT_EQ(replay, nullptr); // caller falls back to live generation
+  const ArenaStats after = ta.stats();
+  EXPECT_EQ(after.fallbacks - before.fallbacks, 1u);
+  EXPECT_EQ(after.misses - before.misses, 0u); // never built
+}
+
+TEST_F(TraceArenaTest, DisabledArenaOpensNothingAndCountsNoFallback) {
+  TraceArena& ta = TraceArena::instance();
+  ta.set_enabled(false);
+  const ArenaStats before = ta.stats();
+  EXPECT_EQ(ta.open("test#off", 1'000, [] {
+    return std::make_unique<Generator>(profile_by_name("gzip"), 1);
+  }), nullptr);
+  const ArenaStats after = ta.stats();
+  EXPECT_EQ(after.fallbacks - before.fallbacks, 0u);
+  EXPECT_EQ(after.misses - before.misses, 0u);
+}
+
+TEST_F(TraceArenaTest, InFlightReaderSurvivesClearAndEviction) {
+  TraceArena& ta = TraceArena::instance();
+  constexpr uint64_t kOps = 10'000;
+  const std::unique_ptr<sim::TraceSource> replay =
+      ta.open("test#held", kOps, [] {
+        return std::make_unique<Generator>(profile_by_name("vpr"), 9);
+      });
+  ASSERT_NE(replay, nullptr);
+  ta.clear(); // drops the arena's reference; the reader holds its own
+  ta.set_budget(1);
+  Generator live(profile_by_name("vpr"), 9);
+  expect_replay_identical(*replay, live, kOps);
+}
+
+TEST_F(TraceArenaTest, ConcurrentOpensMaterializeExactlyOnce) {
+  TraceArena& ta = TraceArena::instance();
+  constexpr uint64_t kOps = 20'000;
+  constexpr unsigned kThreads = 8;
+  const ArenaStats before = ta.stats();
+  std::vector<std::thread> pool;
+  std::vector<bool> ok(kThreads, false);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      const std::unique_ptr<sim::TraceSource> replay =
+          ta.open("test#race", kOps, [] {
+            return std::make_unique<Generator>(profile_by_name("gcc"), 77);
+          });
+      if (!replay) {
+        return;
+      }
+      Generator live(profile_by_name("gcc"), 77);
+      sim::MicroOp a;
+      sim::MicroOp b;
+      bool same = true;
+      for (uint64_t i = 0; i < kOps; ++i) {
+        same = same && replay->next(a) && live.next(b) && a.pc == b.pc &&
+               a.mem_addr == b.mem_addr;
+      }
+      ok[t] = same;
+    });
+  }
+  for (std::thread& th : pool) {
+    th.join();
+  }
+  for (unsigned t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(ok[t]) << "thread " << t;
+  }
+  const ArenaStats after = ta.stats();
+  EXPECT_EQ(after.misses - before.misses, 1u) << "stream built more than once";
+  EXPECT_EQ(after.hits - before.hits, kThreads - 1);
+}
+
+// --- whole-experiment differentials ----------------------------------
+
+void expect_payload_identical(const harness::ExperimentResult& a,
+                              const harness::ExperimentResult& b) {
+  EXPECT_EQ(a.base_run.cycles, b.base_run.cycles);
+  EXPECT_EQ(a.tech_run.cycles, b.tech_run.cycles);
+  EXPECT_EQ(a.tech_run.loads, b.tech_run.loads);
+  EXPECT_EQ(a.tech_run.stores, b.tech_run.stores);
+  EXPECT_EQ(a.control.hits, b.control.hits);
+  EXPECT_EQ(a.control.true_misses, b.control.true_misses);
+  EXPECT_EQ(a.control.induced_misses, b.control.induced_misses);
+  EXPECT_EQ(a.control.decays, b.control.decays);
+  EXPECT_EQ(a.control.wakes, b.control.wakes);
+  EXPECT_EQ(a.energy.net_savings_j, b.energy.net_savings_j);
+  EXPECT_EQ(a.energy.net_savings_frac, b.energy.net_savings_frac);
+  EXPECT_EQ(a.energy.perf_loss_frac, b.energy.perf_loss_frac);
+  EXPECT_EQ(a.base_l1d_miss_rate, b.base_l1d_miss_rate);
+}
+
+/// A small mixed grid: batchable same-stream cells, a distinct-stream
+/// cell, and a multi-tenant (scalar-path) cell.
+std::vector<harness::CellResult<harness::ExperimentResult>> run_mixed_grid(
+    unsigned threads) {
+  harness::SweepRunner runner(harness::SweepOptions{.threads = threads});
+  for (const uint64_t interval : {4096u, 65536u}) {
+    harness::ExperimentConfig cfg =
+        harness::ExperimentConfig::make().instructions(60'000).variation(
+            false);
+    cfg.decay_interval = interval;
+    runner.submit(workload::profile_by_name("gzip"), cfg);
+  }
+  harness::ExperimentConfig other =
+      harness::ExperimentConfig::make().instructions(60'000).variation(false);
+  other.seed = 5;
+  runner.submit(workload::profile_by_name("mcf"), other);
+  harness::ExperimentConfig tenants =
+      harness::ExperimentConfig::make().instructions(60'000).variation(false);
+  tenants.tenants.count = 2;
+  tenants.tenants.co_benchmarks = {"vortex"};
+  runner.submit(workload::profile_by_name("gzip"), tenants);
+  return runner.run();
+}
+
+void expect_grids_identical(
+    const std::vector<harness::CellResult<harness::ExperimentResult>>& a,
+    const std::vector<harness::CellResult<harness::ExperimentResult>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].ok()) << "cell " << i;
+    ASSERT_TRUE(b[i].ok()) << "cell " << i;
+    expect_payload_identical(a[i].value, b[i].value);
+  }
+}
+
+TEST_F(TraceArenaTest, SweepIsBitIdenticalWithArenaOnOffAndThrashing) {
+  TraceArena& ta = TraceArena::instance();
+  for (const unsigned threads : {1u, 4u}) {
+    ta.set_enabled(false);
+    harness::clear_baseline_cache();
+    const auto off = run_mixed_grid(threads);
+
+    ta.set_enabled(true);
+    ta.clear();
+    harness::clear_baseline_cache();
+    const auto on = run_mixed_grid(threads);
+    expect_grids_identical(on, off);
+
+    // A budget too small for any stream: every open falls back to live.
+    ta.set_budget(1);
+    ta.clear();
+    harness::clear_baseline_cache();
+    const auto thrash = run_mixed_grid(threads);
+    expect_grids_identical(thrash, off);
+    ta.set_budget(1ULL << 30);
+  }
+}
+
+TEST_F(TraceArenaTest, SweepExportsArenaEffectivenessMetrics) {
+  harness::metrics::Registry::global().reset();
+  harness::clear_baseline_cache();
+  TraceArena::instance().clear();
+  (void)run_mixed_grid(2);
+  const auto& reg = harness::metrics::Registry::global();
+  // 3 distinct streams (the two gzip cells share one); the baseline and
+  // technique arms of each cell replay them, so hits must accrue.
+  EXPECT_GT(reg.counter("sweep.trace_arena_hits"), 0u);
+  EXPECT_GT(reg.counter("sweep.trace_arena_misses"), 0u);
+  EXPECT_GT(reg.gauge("sweep.trace_arena_bytes"), 0.0);
+}
+
+TEST_F(TraceArenaTest, RunExperimentMatchesAcrossArenaState) {
+  const workload::BenchmarkProfile prof = profile_by_name("parser");
+  const harness::ExperimentConfig cfg =
+      harness::ExperimentConfig::make().instructions(60'000).variation(false);
+  TraceArena& ta = TraceArena::instance();
+
+  ta.set_enabled(false);
+  harness::clear_baseline_cache();
+  const harness::ExperimentResult off = harness::run_experiment(prof, cfg);
+
+  ta.set_enabled(true);
+  ta.clear();
+  harness::clear_baseline_cache();
+  const harness::ExperimentResult on = harness::run_experiment(prof, cfg);
+  expect_payload_identical(on, off);
+}
+
+} // namespace
+} // namespace workload
